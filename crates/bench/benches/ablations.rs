@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! Each ablation runs a scenario with one model feature disabled and prints
+//! the virtual-time effect next to the timed simulation, demonstrating that
+//! the feature is load-bearing for the corresponding paper shape:
+//!
+//! 1. contention model off → the Fig. 4 multi-executor cliff disappears;
+//! 2. DCPM write asymmetry off → lda's NVM blow-up shrinks (Takeaway 3);
+//! 3. serializing arbitration → uniform slowdown replaces fair sharing;
+//! 4. coordination traffic off → multi-executor NVM penalty shrinks
+//!    (Takeaway 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memtier_core::{conf_for, run_scenario_with_conf, Scenario};
+use memtier_memsim::config::Arbitration;
+use memtier_memsim::TierId;
+use memtier_workloads::DataSize;
+use sparklite::SparkConf;
+use std::hint::black_box;
+
+fn contention_cell() -> Scenario {
+    Scenario::default_conf("pagerank", DataSize::Small, TierId::NVM_NEAR).with_grid(8, 10)
+}
+
+fn elapsed(s: &Scenario, conf: SparkConf) -> f64 {
+    run_scenario_with_conf(s, conf).unwrap().elapsed_s
+}
+
+/// Ablation 1: concurrency-dependent rate degradation.
+fn bench_loaded_latency(c: &mut Criterion) {
+    let s = contention_cell();
+    let on = conf_for(&s);
+    let mut off = conf_for(&s);
+    off.memsim.contention_enabled = false;
+    let (t_on, t_off) = (elapsed(&s, on.clone()), elapsed(&s, off.clone()));
+    eprintln!(
+        "ablation_loaded_latency pagerank-small 8x10: contention on {t_on:.4}s vs off \
+         {t_off:.4}s ({:.2}x)",
+        t_on / t_off
+    );
+    let mut g = c.benchmark_group("ablation_loaded_latency");
+    g.sample_size(10);
+    g.bench_function("contention_on", |b| {
+        b.iter(|| black_box(elapsed(&s, on.clone())))
+    });
+    g.bench_function("contention_off", |b| {
+        b.iter(|| black_box(elapsed(&s, off.clone())))
+    });
+    g.finish();
+}
+
+/// Ablation 2: DCPM read/write latency asymmetry.
+fn bench_write_asym(c: &mut Criterion) {
+    let s = Scenario::default_conf("lda", DataSize::Large, TierId::NVM_NEAR);
+    let on = conf_for(&s);
+    let mut off = conf_for(&s);
+    off.memsim.write_asymmetry = false;
+    let (t_on, t_off) = (elapsed(&s, on.clone()), elapsed(&s, off.clone()));
+    eprintln!(
+        "ablation_write_asym lda-large Tier2: asym on {t_on:.4}s vs off {t_off:.4}s ({:.2}x)",
+        t_on / t_off
+    );
+    let mut g = c.benchmark_group("ablation_write_asym");
+    g.sample_size(10);
+    g.bench_function("asymmetry_on", |b| {
+        b.iter(|| black_box(elapsed(&s, on.clone())))
+    });
+    g.bench_function("asymmetry_off", |b| {
+        b.iter(|| black_box(elapsed(&s, off.clone())))
+    });
+    g.finish();
+}
+
+/// Ablation 3: fair-share vs serializing bandwidth arbitration.
+fn bench_arbitration(c: &mut Criterion) {
+    let s = Scenario::default_conf("sort", DataSize::Large, TierId::NVM_NEAR);
+    let fair = conf_for(&s);
+    let mut serial = conf_for(&s);
+    serial.memsim.arbitration = Arbitration::Serializing;
+    let (t_fair, t_serial) = (elapsed(&s, fair.clone()), elapsed(&s, serial.clone()));
+    eprintln!(
+        "ablation_arbitration sort-large Tier2: fair {t_fair:.4}s vs serializing \
+         {t_serial:.4}s ({:.2}x)",
+        t_serial / t_fair
+    );
+    let mut g = c.benchmark_group("ablation_arbitration");
+    g.sample_size(10);
+    g.bench_function("fair_share", |b| {
+        b.iter(|| black_box(elapsed(&s, fair.clone())))
+    });
+    g.bench_function("serializing", |b| {
+        b.iter(|| black_box(elapsed(&s, serial.clone())))
+    });
+    g.finish();
+}
+
+/// Ablation 4: cross-executor coordination traffic.
+fn bench_shuffle_coord(c: &mut Criterion) {
+    let s = Scenario::default_conf("rf", DataSize::Small, TierId::NVM_FAR).with_grid(8, 5);
+    let on = conf_for(&s);
+    let mut off = conf_for(&s);
+    off.cost.coord_bytes_per_task = 0;
+    let (t_on, t_off) = (elapsed(&s, on.clone()), elapsed(&s, off.clone()));
+    eprintln!(
+        "ablation_shuffle_coord rf-small 8x5 Tier3: coordination on {t_on:.4}s vs off \
+         {t_off:.4}s ({:.2}x)",
+        t_on / t_off
+    );
+    let mut g = c.benchmark_group("ablation_shuffle_coord");
+    g.sample_size(10);
+    g.bench_function("coordination_on", |b| {
+        b.iter(|| black_box(elapsed(&s, on.clone())))
+    });
+    g.bench_function("coordination_off", |b| {
+        b.iter(|| black_box(elapsed(&s, off.clone())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_loaded_latency,
+    bench_write_asym,
+    bench_arbitration,
+    bench_shuffle_coord
+);
+criterion_main!(ablations);

@@ -1,0 +1,88 @@
+//! Engine microbenchmarks: the primitives the figure campaigns are built
+//! from. These track wall-clock performance of the simulator itself (not
+//! the virtual-time model): regressions here slow every campaign down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memtier_des::{ContentionModel, EventQueue, SharedResource, SimTime};
+use memtier_metrics::{pearson, LinearModel, ViolinSummary};
+use sparklite::{SparkConf, SparkContext};
+use std::hint::black_box;
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ns(i * 7 % 5000), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.bench_function("fair_share_100_flows", |b| {
+        b.iter(|| {
+            let mut r = SharedResource::new(1e9, ContentionModel::Linear { alpha: 0.01 });
+            for id in 0..100 {
+                r.add_flow(SimTime::ZERO, id, 1e6, 5e7);
+            }
+            while let Some((t, id)) = r.next_completion() {
+                r.advance(t);
+                r.remove_flow(t, id);
+            }
+            black_box(r.total_served())
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let sc = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+    let data: Vec<(u64, u64)> = (0..100_000u64).map(|i| (i % 1000, i)).collect();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("reduce_by_key_100k", |b| {
+        b.iter(|| {
+            let rdd = sc.parallelize(data.clone(), 8).reduce_by_key(|a, b| a + b);
+            black_box(rdd.count().unwrap())
+        })
+    });
+    g.bench_function("sort_by_key_100k", |b| {
+        b.iter(|| {
+            let rdd = sc.parallelize(data.clone(), 8).sort_by_key(8).unwrap();
+            black_box(rdd.count().unwrap())
+        })
+    });
+    g.bench_function("map_filter_chain_100k", |b| {
+        b.iter(|| {
+            let rdd = sc
+                .parallelize(data.clone(), 8)
+                .map(|&(k, v)| (k, v * 2))
+                .filter(|&(k, _)| k % 2 == 0)
+                .map(|&(_, v)| v);
+            black_box(rdd.count().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..10_000)
+        .map(|i| (i as f64).sin() * 50.0 + i as f64)
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 3.0).collect();
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, x * x]).collect();
+    let mut g = c.benchmark_group("metrics");
+    g.bench_function("pearson_10k", |b| b.iter(|| black_box(pearson(&xs, &ys))));
+    g.bench_function("ols_10k_x2", |b| {
+        b.iter(|| black_box(LinearModel::fit(&rows, &ys)))
+    });
+    g.bench_function("violin_10k", |b| {
+        b.iter(|| black_box(ViolinSummary::from_samples(&xs)))
+    });
+    g.finish();
+}
+
+criterion_group!(engine_micro, bench_des, bench_engine_ops, bench_metrics);
+criterion_main!(engine_micro);

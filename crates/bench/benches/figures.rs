@@ -1,0 +1,116 @@
+//! Criterion benches over the figure-regeneration scenarios.
+//!
+//! Each group times representative scenario simulations for one paper
+//! artifact; the full tables/series come from the `fig*`/`table*` binaries
+//! (`cargo run -p memtier-bench --bin fig2 --release`). Before timing, each
+//! group prints the *virtual*-time measurements criterion cannot see, so a
+//! `cargo bench` log carries the reproduced numbers too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memtier_core::{run_scenario, Scenario};
+use memtier_memsim::probe::{measure_bandwidth, measure_idle_latency};
+use memtier_memsim::{MemorySystem, TierId};
+use memtier_workloads::DataSize;
+use std::hint::black_box;
+
+/// Table I: the latency/bandwidth probes.
+fn bench_table1(c: &mut Criterion) {
+    let system = MemorySystem::paper_default();
+    let mut g = c.benchmark_group("table1_probe");
+    g.bench_function("idle_latency_all_tiers", |b| {
+        b.iter(|| {
+            for tier in TierId::all() {
+                black_box(measure_idle_latency(&system, tier));
+            }
+        })
+    });
+    g.bench_function("bandwidth_all_tiers", |b| {
+        b.iter(|| {
+            for tier in TierId::all() {
+                black_box(measure_bandwidth(&system, tier));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 2: execution time per tier (representative cells of the 84-run
+/// campaign).
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_time");
+    g.sample_size(10);
+    for tier in TierId::all() {
+        let s = Scenario::default_conf("sort", DataSize::Small, tier);
+        let r = run_scenario(&s).unwrap();
+        eprintln!("fig2 sort-small {tier}: {:.4}s virtual", r.elapsed_s);
+        g.bench_function(format!("sort_small_tier{}", tier.index()), |b| {
+            b.iter(|| black_box(run_scenario(&s).unwrap().elapsed_s))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3: MBA throttling (10 % vs 100 % on the NVM tier).
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_mba");
+    g.sample_size(10);
+    for pct in [10u8, 100] {
+        let s = Scenario::default_conf("bayes", DataSize::Small, TierId::NVM_NEAR).with_mba(pct);
+        let r = run_scenario(&s).unwrap();
+        eprintln!("fig3 bayes-small MBA {pct}%: {:.4}s virtual", r.elapsed_s);
+        g.bench_function(format!("bayes_small_mba{pct}"), |b| {
+            b.iter(|| black_box(run_scenario(&s).unwrap().elapsed_s))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 4: executor-grid extremes (1×40 baseline vs 8×10 contention cell).
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_grid");
+    g.sample_size(10);
+    for (e, cores) in [(1usize, 40usize), (8, 10)] {
+        let s = Scenario::default_conf("pagerank", DataSize::Small, TierId::NVM_NEAR)
+            .with_grid(e, cores);
+        let r = run_scenario(&s).unwrap();
+        eprintln!(
+            "fig4 pagerank-small {e}x{cores}: {:.4}s virtual",
+            r.elapsed_s
+        );
+        g.bench_function(format!("pagerank_small_{e}x{cores}"), |b| {
+            b.iter(|| black_box(run_scenario(&s).unwrap().elapsed_s))
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 5/6: the correlation analyses over a prebuilt result set.
+fn bench_fig56(c: &mut Criterion) {
+    use memtier_core::predict::{correlation_with_specs, event_correlations, leave_one_tier_out};
+    let results: Vec<_> = TierId::all()
+        .into_iter()
+        .map(|t| run_scenario(&Scenario::default_conf("bayes", DataSize::Tiny, t)).unwrap())
+        .collect();
+    let refs: Vec<_> = results.iter().collect();
+    let mut g = c.benchmark_group("fig56_analysis");
+    g.bench_function("fig6_spec_correlation", |b| {
+        b.iter(|| black_box(correlation_with_specs(&refs)))
+    });
+    g.bench_function("fig6_leave_one_tier_out", |b| {
+        b.iter(|| black_box(leave_one_tier_out(&refs)))
+    });
+    g.bench_function("fig5_event_correlations", |b| {
+        b.iter(|| black_box(event_correlations("bayes", &refs)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig56
+);
+criterion_main!(figures);

@@ -1,0 +1,42 @@
+//! Fig. 4 regeneration: speedup/slowdown heat maps over the executor ×
+//! cores grid for sort, rf, lda and pagerank under small and large inputs,
+//! NVM tier, baseline 1 executor × 40 cores.
+
+use memtier_bench::{campaign_threads, maybe_dump_json};
+use memtier_core::campaign::{fig4_grid, FIG4_APPS, FIG4_CORES, FIG4_EXECUTORS};
+use memtier_core::Fig4Cell;
+use memtier_metrics::AsciiTable;
+use memtier_workloads::DataSize;
+
+fn main() {
+    let threads = campaign_threads();
+    let mut all: Vec<(String, String, Vec<Fig4Cell>)> = Vec::new();
+    for size in [DataSize::Small, DataSize::Large] {
+        for app in FIG4_APPS {
+            let cells = fig4_grid(app, size, threads).expect("fig4 grid");
+            print_grid(app, size, &cells);
+            all.push((app.to_string(), size.label().to_string(), cells));
+        }
+    }
+    maybe_dump_json(&all);
+}
+
+fn print_grid(app: &str, size: DataSize, cells: &[Fig4Cell]) {
+    let mut headers = vec!["executors \\ cores".to_string()];
+    headers.extend(FIG4_CORES.iter().map(|c| c.to_string()));
+    let mut t = AsciiTable::new(headers).title(format!(
+        "Fig 4 — {app}-{size}: speedup over 1x40 (NVM tier; >1 faster, <1 slower; '-' shape \
+         does not fit the machine)"
+    ));
+    for &e in FIG4_EXECUTORS.iter() {
+        let mut row = vec![e.to_string()];
+        for &c in FIG4_CORES.iter() {
+            match cells.iter().find(|x| x.executors == e && x.cores == c) {
+                Some(cell) => row.push(format!("{:.2}x", cell.speedup)),
+                None => row.push("-".to_string()),
+            }
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

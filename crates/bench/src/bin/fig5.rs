@@ -1,0 +1,62 @@
+//! Fig. 5 regeneration: Pearson correlation of system-level events with
+//! execution time, per benchmark, on local memory.
+//!
+//! Like the paper, each benchmark's correlation is computed across its
+//! local-tier runs — we vary the input size and the executor grid to get a
+//! run population (the paper varies workload size and configuration).
+
+use memtier_bench::{campaign_threads, maybe_dump_json};
+use memtier_core::predict::event_correlations;
+use memtier_core::{run_scenarios, Scenario, ScenarioResult};
+use memtier_memsim::TierId;
+use memtier_metrics::table::fmt_f64;
+use memtier_metrics::AsciiTable;
+use memtier_workloads::{all_workloads, DataSize};
+
+/// Executor grids sampled for the run population.
+const GRIDS: [(usize, usize); 3] = [(1, 40), (2, 20), (4, 10)];
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for w in all_workloads() {
+        for size in DataSize::all() {
+            for (e, c) in GRIDS {
+                scenarios.push(
+                    Scenario::default_conf(w.name(), size, TierId::LOCAL_DRAM).with_grid(e, c),
+                );
+            }
+        }
+    }
+    let results = run_scenarios(&scenarios, campaign_threads()).expect("fig5 runs");
+    maybe_dump_json(&results);
+
+    // Event names from the first result.
+    let names: Vec<String> = results[0].events.iter().map(|(n, _)| n.clone()).collect();
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(names.iter().cloned());
+    let mut t = AsciiTable::new(headers)
+        .title("Fig 5 — Pearson correlation of system-level events with execution time (Tier 0)");
+
+    for w in all_workloads() {
+        let runs: Vec<&ScenarioResult> = results
+            .iter()
+            .filter(|r| r.scenario.workload == w.name())
+            .collect();
+        let ec = event_correlations(w.name(), &runs);
+        let mut row = vec![w.name().to_string()];
+        for name in &names {
+            let r = ec
+                .correlations
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, r)| *r);
+            row.push(r.map(|v| fmt_f64(v, 2)).unwrap_or_else(|| "-".into()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper: bayes near-linear with almost all events; pagerank weakly correlated — \
+         complex models needed)"
+    );
+}

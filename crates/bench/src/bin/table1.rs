@@ -1,0 +1,67 @@
+//! Table I regeneration: idle latency and peak bandwidth per tier, measured
+//! by running the MLC-style probes against the simulated memory system.
+
+use memtier_bench::maybe_dump_json;
+use memtier_memsim::probe::{compare_to_paper, loaded_latency_curve, table1};
+use memtier_memsim::MemorySystem;
+use memtier_metrics::table::fmt_f64;
+use memtier_metrics::AsciiTable;
+
+fn main() {
+    let system = MemorySystem::paper_default();
+    let rows = table1(&system);
+    maybe_dump_json(&rows.to_vec());
+
+    const PAPER: [(f64, f64); 4] = [(77.8, 39.3), (130.9, 31.6), (172.1, 10.7), (231.3, 0.47)];
+    let errs = compare_to_paper(&rows);
+    let mut t = AsciiTable::new(vec![
+        "tier",
+        "idle latency (ns)",
+        "paper (ns)",
+        "bandwidth (GB/s)",
+        "paper (GB/s)",
+    ])
+    .title("Table I — idle access latency and memory bandwidth per tier");
+    for (i, row) in rows.iter().enumerate() {
+        t.row(vec![
+            format!("Tier {i}"),
+            fmt_f64(row.idle_latency_ns, 1),
+            fmt_f64(PAPER[i].0, 1),
+            fmt_f64(row.bandwidth_gb_s, 2),
+            fmt_f64(PAPER[i].1, 2),
+        ]);
+    }
+    println!("{}", t.render());
+    for (i, (lat_err, bw_err)) in errs.iter().enumerate() {
+        println!(
+            "Tier {i}: latency err {:.1}%, bandwidth err {:.1}%",
+            lat_err * 100.0,
+            bw_err * 100.0
+        );
+    }
+
+    // Bonus characterization: the MLC-style loaded-latency curves that the
+    // contention model produces (the Fig. 4 mechanism, visualized).
+    let loads = [0usize, 1, 4, 8, 16, 24, 32, 39];
+    let mut ll = AsciiTable::new(vec![
+        "tier",
+        "idle (ns)",
+        "+4 streams",
+        "+16",
+        "+39 (full socket)",
+    ])
+    .title("Loaded latency (effective per-access cost under concurrent streams)");
+    use memtier_memsim::TierId;
+    for tier in TierId::all() {
+        let curve = loaded_latency_curve(&system, tier, &loads);
+        let at = |n: usize| {
+            curve
+                .iter()
+                .find(|p| p.load_streams == n)
+                .map(|p| format!("{:.1}", p.latency_ns))
+                .unwrap_or_default()
+        };
+        ll.row(vec![tier.to_string(), at(0), at(4), at(16), at(39)]);
+    }
+    println!("{}", ll.render());
+}

@@ -1,0 +1,20 @@
+//! Table II regeneration: the examined applications and their (scaled)
+//! dataset sizes.
+
+use memtier_metrics::AsciiTable;
+use memtier_workloads::{all_workloads, DataSize};
+
+fn main() {
+    let mut t = AsciiTable::new(vec!["application", "category", "tiny", "small", "large"])
+        .title("Table II — examined applications and dataset sizes (scaled; see DESIGN.md)");
+    for w in all_workloads() {
+        t.row(vec![
+            w.name().to_string(),
+            w.category().to_string(),
+            w.data_description(DataSize::Tiny),
+            w.data_description(DataSize::Small),
+            w.data_description(DataSize::Large),
+        ]);
+    }
+    println!("{}", t.render());
+}

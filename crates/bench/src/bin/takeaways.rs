@@ -1,0 +1,51 @@
+//! Evaluate the paper's eight takeaways against a full reproduction
+//! campaign (Figs. 2, 3 and 4) and print the verdicts with evidence.
+
+use memtier_bench::{campaign_threads, maybe_dump_json};
+use memtier_core::campaign::{fig2_campaign, fig3_campaign, fig4_grid, FIG4_APPS};
+use memtier_core::guidelines::{check_all, CampaignData};
+use memtier_core::Fig4Cell;
+use memtier_workloads::DataSize;
+
+fn main() {
+    let threads = campaign_threads();
+    eprintln!("running Fig 2 campaign (84 scenarios)…");
+    let fig2 = fig2_campaign(threads).expect("fig2");
+    eprintln!("running Fig 3 campaign (210 scenarios)…");
+    let fig3 = fig3_campaign(threads).expect("fig3");
+    eprintln!("running Fig 4 grids…");
+    let mut fig4: Vec<(String, DataSize, Vec<Fig4Cell>)> = Vec::new();
+    for size in [DataSize::Small, DataSize::Large] {
+        for app in FIG4_APPS {
+            fig4.push((
+                app.to_string(),
+                size,
+                fig4_grid(app, size, threads).expect("fig4"),
+            ));
+        }
+    }
+
+    let reports = check_all(&CampaignData {
+        fig2: &fig2,
+        fig3: &fig3,
+        fig4: &fig4,
+    });
+    maybe_dump_json(&reports);
+
+    println!("## Takeaways 1-8 — paper claims vs reproduction");
+    let mut pass = 0;
+    for r in &reports {
+        println!(
+            "[{}] Takeaway {}: {}\n      evidence: {}",
+            if r.holds { "PASS" } else { "FAIL" },
+            r.id,
+            r.statement,
+            r.evidence
+        );
+        pass += usize::from(r.holds);
+    }
+    println!("{pass}/8 takeaways reproduced");
+    if pass < 8 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # memtier-bench — table/figure regeneration harnesses
+//!
+//! One binary per paper artifact (Tables I–II, Figs. 2–6, the takeaways),
+//! plus Criterion benches (`benches/`) that time the underlying campaigns
+//! and the ablations DESIGN.md calls out. Every binary prints the same rows
+//! or series the paper reports and, with `--json <path>`, also dumps the raw
+//! results for EXPERIMENTS.md regeneration.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Worker threads for campaign parallelism (scenarios are independent
+/// deterministic simulations; parallelism never changes a measurement).
+pub fn campaign_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Parse `--json <path>` from argv, if present.
+pub fn json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Dump a serializable value to the `--json` path when one was given.
+pub fn maybe_dump_json<T: Serialize>(value: &T) {
+    if let Some(path) = json_path() {
+        let json = serde_json::to_string_pretty(value).expect("serialize results");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Render a ratio as a signed percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::campaign_threads() >= 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.25), "+25.0%");
+        assert_eq!(super::pct(-0.051), "-5.1%");
+    }
+}

@@ -1,0 +1,202 @@
+//! Tier-placement advisor: the paper's deployment guidelines, executable.
+//!
+//! The paper closes by saying its outcomes "can be exploited by developers
+//! who target Spark analytics over multi-tier heterogeneous memory
+//! systems". This module operationalizes that: given characterization
+//! results and a slowdown tolerance, recommend the *cheapest* tier each
+//! workload can run on — the capacity/cost question (DRAM is scarce and
+//! expensive per GB; Optane is plentiful and cheap) that motivates tiering
+//! in the first place.
+
+use crate::scenario::ScenarioResult;
+use memtier_memsim::{TierId, TierKind, TierParams};
+use memtier_workloads::DataSize;
+use serde::{Deserialize, Serialize};
+
+/// Relative cost per GB of capacity for each tier (DRAM normalized to 1.0;
+/// Optane at the ~1/3 price point that motivated DCPM deployments, with
+/// remote variants discounted for being otherwise-idle capacity).
+pub fn default_cost_per_gb(tier: TierId) -> f64 {
+    match tier {
+        TierId::LOCAL_DRAM => 1.0,
+        TierId::REMOTE_DRAM => 0.85,
+        TierId::NVM_NEAR => 0.33,
+        TierId::NVM_FAR => 0.30,
+        _ => 1.0,
+    }
+}
+
+/// One placement recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Workload.
+    pub workload: String,
+    /// Input profile.
+    pub size: DataSize,
+    /// Recommended tier (cheapest within tolerance).
+    pub tier: TierId,
+    /// Slowdown vs Tier 0 at the recommended tier.
+    pub slowdown: f64,
+    /// Capacity-cost saving vs an all-DRAM placement (fraction).
+    pub cost_saving: f64,
+    /// Why this tier (or why it fell back to DRAM).
+    pub rationale: String,
+}
+
+/// Recommend, for every (workload, size) series in `results` (tier-ordered,
+/// four tiers each), the cheapest tier whose slowdown vs Tier 0 stays
+/// within `tolerance` (e.g. `0.10` = accept up to 10 % slower).
+///
+/// Endurance guard: a workload whose Tier-2 write ratio exceeds
+/// `write_ratio_cap` is never placed on NVM even if fast enough — the
+/// paper's Takeaway-3 warning that write-heavy tenants burn DCPM lifetime.
+pub fn recommend(
+    series: &[((String, DataSize), Vec<&ScenarioResult>)],
+    tolerance: f64,
+    write_ratio_cap: f64,
+) -> Vec<Placement> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let mut out = Vec::new();
+    for ((workload, size), runs) in series {
+        if runs.len() != 4 {
+            continue;
+        }
+        let t0 = runs[0].elapsed_s;
+        let write_ratio = runs[2].write_ratio();
+        // Candidate order: cheapest first.
+        let mut candidates: Vec<&&ScenarioResult> = runs.iter().collect();
+        candidates.sort_by(|a, b| {
+            default_cost_per_gb(a.scenario.tier)
+                .partial_cmp(&default_cost_per_gb(b.scenario.tier))
+                .unwrap()
+        });
+        let mut chosen: Option<(&ScenarioResult, String)> = None;
+        for r in candidates {
+            let tier = r.scenario.tier;
+            let nvm = TierParams::paper_default(tier).kind == TierKind::Nvm;
+            if nvm && write_ratio > write_ratio_cap {
+                continue; // endurance guard
+            }
+            let slowdown = r.elapsed_s / t0 - 1.0;
+            if slowdown <= tolerance {
+                let rationale = if nvm {
+                    format!(
+                        "tier-tolerant at {:+.1}% and write ratio {:.2} ≤ {:.2}",
+                        slowdown * 100.0,
+                        write_ratio,
+                        write_ratio_cap
+                    )
+                } else if tier == TierId::LOCAL_DRAM {
+                    "tier-sensitive: every cheaper tier exceeds the tolerance or the \
+                     write-ratio cap"
+                        .to_string()
+                } else {
+                    format!("remote DRAM within tolerance at {:+.1}%", slowdown * 100.0)
+                };
+                chosen = Some((r, rationale));
+                break;
+            }
+        }
+        let (r, rationale) = chosen.unwrap_or_else(|| {
+            (
+                runs[0],
+                "no tier met the tolerance; defaulting to local DRAM".into(),
+            )
+        });
+        let tier = r.scenario.tier;
+        out.push(Placement {
+            workload: workload.clone(),
+            size: *size,
+            tier,
+            slowdown: r.elapsed_s / t0 - 1.0,
+            cost_saving: 1.0 - default_cost_per_gb(tier),
+            rationale,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::by_workload_size;
+    use crate::runner::run_scenarios;
+    use crate::scenario::Scenario;
+
+    fn mini_campaign(apps: &[&str], sizes: &[DataSize]) -> Vec<ScenarioResult> {
+        let mut scenarios = Vec::new();
+        for app in apps {
+            for &size in sizes {
+                for tier in TierId::all() {
+                    scenarios.push(Scenario::default_conf(app, size, tier));
+                }
+            }
+        }
+        run_scenarios(&scenarios, 8).unwrap()
+    }
+
+    fn grouped(results: &[ScenarioResult]) -> Vec<((String, DataSize), Vec<&ScenarioResult>)> {
+        by_workload_size(results)
+            .into_iter()
+            .map(|(k, mut v)| {
+                v.sort_by_key(|r| r.scenario.tier);
+                (k, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tolerant_workloads_land_on_cheap_tiers() {
+        let results = mini_campaign(&["sort", "repartition"], &[DataSize::Tiny]);
+        let series = grouped(&results);
+        // Generous tolerance: tiny inputs are tier-tolerant, so placements
+        // must leave DRAM.
+        let placements = recommend(&series, 0.60, 0.9);
+        assert_eq!(placements.len(), 2);
+        for p in &placements {
+            assert_ne!(
+                p.tier,
+                TierId::LOCAL_DRAM,
+                "{}-{} should tolerate a cheaper tier: {:?}",
+                p.workload,
+                p.size,
+                p
+            );
+            assert!(p.cost_saving > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_everything_on_dram() {
+        let results = mini_campaign(&["bayes"], &[DataSize::Small]);
+        let series = grouped(&results);
+        let placements = recommend(&series, 0.0, 1.0);
+        assert_eq!(placements[0].tier, TierId::LOCAL_DRAM);
+        assert_eq!(placements[0].cost_saving, 0.0);
+    }
+
+    #[test]
+    fn endurance_guard_blocks_write_heavy_nvm_placement() {
+        let results = mini_campaign(&["lda"], &[DataSize::Small]);
+        let series = grouped(&results);
+        // Huge tolerance would normally put lda on NVM; a strict write cap
+        // must veto it.
+        let open = recommend(&series, 10.0, 1.0);
+        assert!(matches!(open[0].tier, TierId::NVM_NEAR | TierId::NVM_FAR));
+        let guarded = recommend(&series, 10.0, 0.05);
+        assert!(
+            !matches!(guarded[0].tier, TierId::NVM_NEAR | TierId::NVM_FAR),
+            "write-heavy lda must not land on NVM under a strict cap: {:?}",
+            guarded[0]
+        );
+    }
+
+    #[test]
+    fn cost_ordering_prefers_far_nvm_when_free() {
+        // NVM_FAR is the cheapest; with infinite tolerance it wins.
+        let results = mini_campaign(&["repartition"], &[DataSize::Tiny]);
+        let series = grouped(&results);
+        let placements = recommend(&series, 100.0, 1.0);
+        assert_eq!(placements[0].tier, TierId::NVM_FAR);
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's standard experiment sweeps.
+
+use crate::runner::run_scenarios;
+use crate::scenario::{Scenario, ScenarioResult};
+use memtier_memsim::{TierId, MBA_LEVELS};
+use memtier_workloads::{all_workloads, DataSize};
+use serde::{Deserialize, Serialize};
+use sparklite::error::Result;
+
+pub use memtier_memsim::mba::MBA_LEVELS as MBA_SWEEP;
+
+/// Fig. 2's scenario set: every workload × {tiny, small, large} × Tier 0–3
+/// under the default 1×40 deployment.
+pub fn fig2_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for w in all_workloads() {
+        for size in DataSize::all() {
+            for tier in TierId::all() {
+                out.push(Scenario::default_conf(w.name(), size, tier));
+            }
+        }
+    }
+    out
+}
+
+/// Run the Fig. 2 campaign.
+pub fn fig2_campaign(threads: usize) -> Result<Vec<ScenarioResult>> {
+    run_scenarios(&fig2_scenarios(), threads)
+}
+
+/// Fig. 3's scenario set: every workload × size on the NVM tier (Tier 2),
+/// MBA swept over the ten deciles.
+pub fn fig3_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for w in all_workloads() {
+        for size in DataSize::all() {
+            for pct in MBA_LEVELS {
+                out.push(Scenario::default_conf(w.name(), size, TierId::NVM_NEAR).with_mba(pct));
+            }
+        }
+    }
+    out
+}
+
+/// Run the Fig. 3 campaign.
+pub fn fig3_campaign(threads: usize) -> Result<Vec<ScenarioResult>> {
+    run_scenarios(&fig3_scenarios(), threads)
+}
+
+/// Fig. 4's executor grid (paper axes).
+pub const FIG4_EXECUTORS: [usize; 5] = [1, 2, 4, 5, 8];
+/// Fig. 4's cores-per-executor axis.
+pub const FIG4_CORES: [usize; 5] = [5, 8, 10, 20, 40];
+/// Fig. 4's benchmark subset.
+pub const FIG4_APPS: [&str; 4] = ["sort", "rf", "lda", "pagerank"];
+
+/// One cell of the Fig. 4 heat map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Cell {
+    /// Executors.
+    pub executors: usize,
+    /// Cores per executor.
+    pub cores: usize,
+    /// Measured execution time, seconds.
+    pub elapsed_s: f64,
+    /// Speedup over the 1×40 baseline (>1 is faster, <1 slower).
+    pub speedup: f64,
+}
+
+/// Run the Fig. 4 grid for one app/size on the NVM tier. Cells whose
+/// executor grid does not fit the machine (e.g. 8×40 > 80 hyperthreads over
+/// 2 sockets: 8 executors × 40 cores needs 160 threads) are skipped, like
+/// the paper's hardware forces.
+pub fn fig4_grid(app: &str, size: DataSize, threads: usize) -> Result<Vec<Fig4Cell>> {
+    let mut scenarios = Vec::new();
+    let mut shapes = Vec::new();
+    for &executors in &FIG4_EXECUTORS {
+        for &cores in &FIG4_CORES {
+            // Executors round-robin over 2 sockets of 40 hyperthreads; skip
+            // shapes that oversubscribe a socket.
+            let per_socket = executors.div_ceil(2).max(1);
+            if executors == 1 {
+                if cores > 40 {
+                    continue;
+                }
+            } else if per_socket * cores > 40 {
+                continue;
+            }
+            scenarios.push(
+                Scenario::default_conf(app, size, TierId::NVM_NEAR).with_grid(executors, cores),
+            );
+            shapes.push((executors, cores));
+        }
+    }
+    let results = run_scenarios(&scenarios, threads)?;
+    let baseline = results
+        .iter()
+        .zip(&shapes)
+        .find(|(_, &(e, c))| e == 1 && c == 40)
+        .map(|(r, _)| r.elapsed_s)
+        .expect("baseline 1x40 must be part of the grid");
+    Ok(results
+        .iter()
+        .zip(&shapes)
+        .map(|(r, &(executors, cores))| Fig4Cell {
+            executors,
+            cores,
+            elapsed_s: r.elapsed_s,
+            speedup: baseline / r.elapsed_s,
+        })
+        .collect())
+}
+
+/// Group results by `(workload, size)`, preserving tier order — the shape
+/// Figs. 2/6 consume.
+pub fn by_workload_size(
+    results: &[ScenarioResult],
+) -> Vec<((String, DataSize), Vec<&ScenarioResult>)> {
+    let mut out: Vec<((String, DataSize), Vec<&ScenarioResult>)> = Vec::new();
+    for r in results {
+        let key = (r.scenario.workload.clone(), r.scenario.size);
+        match out.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(r),
+            None => out.push((key, vec![r])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_set_covers_the_matrix() {
+        let s = fig2_scenarios();
+        assert_eq!(s.len(), 7 * 3 * 4);
+        assert!(s.iter().all(|x| x.executors == 1 && x.cores == 40));
+    }
+
+    #[test]
+    fn fig3_set_covers_mba_levels() {
+        let s = fig3_scenarios();
+        assert_eq!(s.len(), 7 * 3 * 10);
+        assert!(s.iter().all(|x| x.tier == TierId::NVM_NEAR));
+        assert!(s.iter().all(|x| x.mba_percent.is_some()));
+    }
+
+    #[test]
+    fn grouping_preserves_tier_order() {
+        let results = run_scenarios(
+            &[
+                Scenario::default_conf("repartition", DataSize::Tiny, TierId::LOCAL_DRAM),
+                Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_FAR),
+            ],
+            2,
+        )
+        .unwrap();
+        let grouped = by_workload_size(&results);
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped[0].1.len(), 2);
+        assert_eq!(grouped[0].1[0].scenario.tier, TierId::LOCAL_DRAM);
+    }
+
+    #[test]
+    fn fig4_grid_runs_and_has_baseline() {
+        let cells = fig4_grid("repartition", DataSize::Tiny, 8).unwrap();
+        let baseline = cells
+            .iter()
+            .find(|c| c.executors == 1 && c.cores == 40)
+            .unwrap();
+        assert!((baseline.speedup - 1.0).abs() < 1e-9);
+        // Oversubscribed shapes are excluded.
+        assert!(!cells.iter().any(|c| c.executors == 8 && c.cores == 40));
+        assert!(cells.len() >= 15);
+    }
+}

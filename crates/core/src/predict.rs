@@ -1,0 +1,250 @@
+//! Cross-tier performance prediction (paper §IV-F, Takeaway 8).
+//!
+//! Two directions, mirroring the paper:
+//!
+//! 1. **Hardware-spec models** — per (workload, size), fit execution time
+//!    against each tier's idle latency and bandwidth. The paper's Fig. 6
+//!    observation (near-perfect ±1 Pearson correlation) implies a linear
+//!    model extrapolates well; [`leave_one_tier_out`] quantifies that.
+//! 2. **System-event correlation** — per workload, correlate each low-level
+//!    event with execution time across runs (Fig. 5).
+
+use crate::scenario::ScenarioResult;
+use memtier_memsim::{TierId, TierParams};
+use memtier_metrics::{pearson, LinearModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-tier hardware feature vector: (effective latency proxy ns, GB/s).
+fn tier_features(tier: TierId) -> Vec<f64> {
+    let p = TierParams::paper_default(tier);
+    vec![p.idle_read_latency_ns, p.bandwidth_bytes_per_s / 1e9]
+}
+
+/// Correlation of execution time with the tier specs, for one
+/// (workload, size) series across tiers — one row of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecCorrelation {
+    /// Workload.
+    pub workload: String,
+    /// Size label.
+    pub size: String,
+    /// Pearson r of time vs idle latency (paper: → +1).
+    pub latency_r: Option<f64>,
+    /// Pearson r of time vs bandwidth (paper: → −1).
+    pub bandwidth_r: Option<f64>,
+}
+
+/// Compute Fig. 6's correlations for one tier-ordered result series.
+pub fn correlation_with_specs(series: &[&ScenarioResult]) -> SpecCorrelation {
+    let times: Vec<f64> = series.iter().map(|r| r.elapsed_s).collect();
+    let lats: Vec<f64> = series
+        .iter()
+        .map(|r| tier_features(r.scenario.tier)[0])
+        .collect();
+    let bws: Vec<f64> = series
+        .iter()
+        .map(|r| tier_features(r.scenario.tier)[1])
+        .collect();
+    SpecCorrelation {
+        workload: series
+            .first()
+            .map(|r| r.scenario.workload.clone())
+            .unwrap_or_default(),
+        size: series
+            .first()
+            .map(|r| r.scenario.size.label().to_string())
+            .unwrap_or_default(),
+        latency_r: pearson(&lats, &times),
+        bandwidth_r: pearson(&bws, &times),
+    }
+}
+
+/// Leave-one-tier-out evaluation of the linear spec model for one
+/// (workload, size): train on three tiers, predict the fourth. Returns the
+/// mean absolute percentage error across the four folds, or `None` when a
+/// fold's model is under-determined.
+pub fn leave_one_tier_out(series: &[&ScenarioResult]) -> Option<f64> {
+    if series.len() < 4 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for held_out in 0..series.len() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for (i, r) in series.iter().enumerate() {
+            if i != held_out {
+                rows.push(tier_features(r.scenario.tier));
+                ys.push(r.elapsed_s);
+            }
+        }
+        let model = LinearModel::fit(&rows, &ys)?;
+        let target = series[held_out];
+        let pred = model.predict(&tier_features(target.scenario.tier));
+        if target.elapsed_s > 0.0 {
+            total += ((pred - target.elapsed_s) / target.elapsed_s).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+/// The paper's closing expectation (§IV-F): "by combining the
+/// hardware-related specifications along with system-level metrics, we can
+/// create accurate predictions of performance degradation across the
+/// different tiers". This fits one *global* linear model over a whole
+/// campaign — features are the tier's specs plus the run's (tier-agnostic)
+/// system-level events — and reports its training R² and MAPE.
+pub fn combined_model(results: &[&ScenarioResult]) -> Option<CombinedModelReport> {
+    let features = |r: &ScenarioResult| -> Vec<f64> {
+        let mut f = tier_features(r.scenario.tier);
+        // Events, log-compressed: they span orders of magnitude across
+        // sizes while their effect on time is closer to multiplicative.
+        for name in ["cpu_ns", "records_in", "shuffle_write_bytes", "mem_writes"] {
+            f.push(r.event(name).unwrap_or(0.0).max(1.0).ln());
+        }
+        f
+    };
+    let rows: Vec<Vec<f64>> = results.iter().map(|r| features(r)).collect();
+    // Predict log-time: degradation is multiplicative in both specs and
+    // work volume.
+    let ys: Vec<f64> = results.iter().map(|r| r.elapsed_s.max(1e-9).ln()).collect();
+    let model = LinearModel::fit(&rows, &ys)?;
+    let mut mape = 0.0;
+    for (row, r) in rows.iter().zip(results) {
+        let pred = model.predict(row).exp();
+        mape += ((pred - r.elapsed_s) / r.elapsed_s).abs();
+    }
+    mape /= results.len().max(1) as f64;
+    Some(CombinedModelReport {
+        r_squared: model.r_squared,
+        mape,
+        model,
+    })
+}
+
+/// Fit quality of the combined specs+events model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinedModelReport {
+    /// Training R² (on log-time).
+    pub r_squared: f64,
+    /// Mean absolute percentage error of the back-transformed predictions.
+    pub mape: f64,
+    /// The fitted model (features: latency, bandwidth, ln events…).
+    pub model: LinearModel,
+}
+
+/// One row of Fig. 5: Pearson correlation of each system-level event with
+/// execution time for a workload, across its runs (sizes and/or configs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventCorrelation {
+    /// Workload.
+    pub workload: String,
+    /// `(event name, Pearson r with execution time)`; `None` entries mark
+    /// events with no variance across the runs.
+    pub correlations: Vec<(String, Option<f64>)>,
+}
+
+/// Compute Fig. 5's event correlations for one workload's result set.
+pub fn event_correlations(workload: &str, runs: &[&ScenarioResult]) -> EventCorrelation {
+    let times: Vec<f64> = runs.iter().map(|r| r.elapsed_s).collect();
+    let names: Vec<String> = runs
+        .first()
+        .map(|r| r.events.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+    let correlations = names
+        .into_iter()
+        .map(|name| {
+            let xs: Vec<f64> = runs
+                .iter()
+                .map(|r| r.event(&name).unwrap_or(f64::NAN))
+                .collect();
+            let r = if xs.iter().any(|v| v.is_nan()) {
+                None
+            } else {
+                pearson(&xs, &times)
+            };
+            (name, r)
+        })
+        .collect();
+    EventCorrelation {
+        workload: workload.to_string(),
+        correlations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenarios;
+    use crate::scenario::Scenario;
+    use memtier_workloads::DataSize;
+
+    fn tier_series() -> Vec<ScenarioResult> {
+        let scenarios: Vec<Scenario> = TierId::all()
+            .into_iter()
+            .map(|t| Scenario::default_conf("bayes", DataSize::Tiny, t))
+            .collect();
+        run_scenarios(&scenarios, 4).unwrap()
+    }
+
+    #[test]
+    fn fig6_shape_latency_positive_bandwidth_negative() {
+        let results = tier_series();
+        let refs: Vec<&ScenarioResult> = results.iter().collect();
+        let corr = correlation_with_specs(&refs);
+        assert!(
+            corr.latency_r.unwrap() > 0.9,
+            "latency correlation {:?}",
+            corr.latency_r
+        );
+        assert!(
+            corr.bandwidth_r.unwrap() < -0.5,
+            "bandwidth correlation {:?}",
+            corr.bandwidth_r
+        );
+    }
+
+    #[test]
+    fn loto_prediction_is_reasonable() {
+        let results = tier_series();
+        let refs: Vec<&ScenarioResult> = results.iter().collect();
+        let mape = leave_one_tier_out(&refs).unwrap();
+        assert!(mape.is_finite());
+        assert!(mape < 1.0, "leave-one-tier-out MAPE {mape} too high");
+    }
+
+    #[test]
+    fn combined_model_beats_specs_only_loto() {
+        // A mixed campaign: two workloads x two sizes x all tiers.
+        let mut scenarios = Vec::new();
+        for app in ["repartition", "bayes"] {
+            for size in [DataSize::Tiny, DataSize::Small] {
+                for t in TierId::all() {
+                    scenarios.push(Scenario::default_conf(app, size, t));
+                }
+            }
+        }
+        let results = run_scenarios(&scenarios, 8).unwrap();
+        let refs: Vec<&ScenarioResult> = results.iter().collect();
+        let report = combined_model(&refs).unwrap();
+        assert!(
+            report.r_squared > 0.9,
+            "combined model should explain the campaign (R² {})",
+            report.r_squared
+        );
+        assert!(report.mape < 0.4, "combined MAPE {}", report.mape);
+    }
+
+    #[test]
+    fn event_correlations_cover_all_events() {
+        let results = tier_series();
+        let refs: Vec<&ScenarioResult> = results.iter().collect();
+        let ec = event_correlations("bayes", &refs);
+        assert_eq!(ec.correlations.len(), results[0].events.len());
+    }
+}

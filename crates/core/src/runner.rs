@@ -1,0 +1,135 @@
+//! Scenario execution.
+
+use crate::scenario::{Scenario, ScenarioResult};
+use memtier_memsim::TierId;
+use memtier_workloads::workload_by_name;
+use sparklite::error::{Result, SparkError};
+use sparklite::{SparkConf, SparkContext};
+
+/// Build the engine configuration for a scenario. Multi-executor
+/// deployments round-robin across the two sockets, like the paper's
+/// per-executor `numactl --cpunodebind` launches.
+pub fn conf_for(scenario: &Scenario) -> SparkConf {
+    let mut conf =
+        SparkConf::bound_to_tier(scenario.tier).with_executors(scenario.executors, scenario.cores);
+    if scenario.executors > 1 {
+        conf.placement.cpu = memtier_memsim::CpuBindPolicy::RoundRobin;
+    }
+    conf
+}
+
+/// Run one scenario end to end: a fresh context, the workload, and the full
+/// telemetry teardown. Deterministic in the scenario.
+///
+/// # Examples
+///
+/// ```
+/// use memtier_core::{run_scenario, Scenario};
+/// use memtier_memsim::TierId;
+/// use memtier_workloads::DataSize;
+///
+/// let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+/// let r = run_scenario(&s).unwrap();
+/// assert!(r.elapsed_s > 0.0);
+/// assert!(r.bound_tier_accesses() > 0);
+/// ```
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult> {
+    run_scenario_with_conf(scenario, conf_for(scenario))
+}
+
+/// Like [`run_scenario`] but with an explicit engine configuration — the
+/// ablation benches use this to switch model features on and off.
+pub fn run_scenario_with_conf(scenario: &Scenario, conf: SparkConf) -> Result<ScenarioResult> {
+    let workload = workload_by_name(&scenario.workload).ok_or_else(|| {
+        SparkError::InvalidConfig(format!("unknown workload {:?}", scenario.workload))
+    })?;
+    let sc = SparkContext::new(conf)?;
+    if let Some(pct) = scenario.mba_percent {
+        sc.set_mba_all(pct);
+    }
+    let output = workload.run(&sc, scenario.size, scenario.seed)?;
+    let report = sc.finish();
+
+    let energy_j = TierId::all().map(|t| report.telemetry.energy.tier(t).total_j());
+    let energy_per_dimm_j = TierId::all().map(|t| report.telemetry.energy.tier(t).per_dimm_j());
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        elapsed_s: report.elapsed.as_secs_f64(),
+        counters: report.telemetry.counters,
+        energy_j,
+        energy_per_dimm_j,
+        events: report.events.events,
+        jobs: report.metrics.jobs,
+        stages: report.metrics.stages,
+        tasks: report.metrics.tasks,
+        output_records: output.output_records,
+        checksum: output.checksum,
+        quality: output.quality,
+    })
+}
+
+/// Run many scenarios, `threads`-wide in parallel. Results come back in the
+/// input order; each scenario is an isolated deterministic simulation, so
+/// parallelism does not affect any measurement.
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Result<Vec<ScenarioResult>> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<Result<ScenarioResult>>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<Result<ScenarioResult>>>> =
+        results.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(scenarios.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let r = run_scenario(&scenarios[i]);
+                **slots[i].lock() = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("worker left a hole"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtier_workloads::DataSize;
+
+    #[test]
+    fn runs_a_scenario_and_reports_everything() {
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        assert!(r.elapsed_s > 0.0);
+        assert!(r.output_records > 0);
+        assert!(r.bound_tier_accesses() > 0);
+        assert_eq!(r.counters.tier(TierId::LOCAL_DRAM).total(), 0);
+        assert!(r.energy_j[TierId::NVM_NEAR.index()] > 0.0);
+        assert!(r.jobs > 0 && r.tasks > 0);
+        assert!(r.event("cpu_ns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_workload_errors() {
+        let s = Scenario::default_conf("nope", DataSize::Tiny, TierId::LOCAL_DRAM);
+        assert!(run_scenario(&s).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let scenarios: Vec<Scenario> = [TierId::LOCAL_DRAM, TierId::NVM_FAR]
+            .into_iter()
+            .map(|t| Scenario::default_conf("repartition", DataSize::Tiny, t))
+            .collect();
+        let seq: Vec<ScenarioResult> = scenarios.iter().map(|s| run_scenario(s).unwrap()).collect();
+        let par = run_scenarios(&scenarios, 4).unwrap();
+        assert_eq!(seq, par, "parallelism must not change measurements");
+    }
+}

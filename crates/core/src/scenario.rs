@@ -1,0 +1,150 @@
+//! Experimental points and their measurements.
+
+use memtier_memsim::{CounterSnapshot, TierId, NUM_TIERS};
+use memtier_workloads::DataSize;
+use serde::{Deserialize, Serialize};
+
+/// One experimental configuration — a cell of the paper's sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Workload name (`sort`, `pagerank`, ...).
+    pub workload: String,
+    /// Input profile.
+    pub size: DataSize,
+    /// Memory tier the executors are bound to.
+    pub tier: TierId,
+    /// Executor count.
+    pub executors: usize,
+    /// Cores per executor.
+    pub cores: usize,
+    /// MBA throttle applied to every tier (percent), if any.
+    pub mba_percent: Option<u8>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's default deployment (1 executor × 40 cores, no MBA) of a
+    /// workload on a tier.
+    pub fn default_conf(workload: &str, size: DataSize, tier: TierId) -> Scenario {
+        Scenario {
+            workload: workload.to_string(),
+            size,
+            tier,
+            executors: 1,
+            cores: 40,
+            mba_percent: None,
+            seed: 42,
+        }
+    }
+
+    /// Override the executor grid.
+    pub fn with_grid(mut self, executors: usize, cores: usize) -> Scenario {
+        self.executors = executors;
+        self.cores = cores;
+        self
+    }
+
+    /// Override the MBA throttle.
+    pub fn with_mba(mut self, percent: u8) -> Scenario {
+        self.mba_percent = Some(percent);
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// A short display label (`pagerank-large@Tier 2, 1x40`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}@{}, {}x{}",
+            self.workload, self.size, self.tier, self.executors, self.cores
+        )
+    }
+}
+
+/// Everything measured for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The configuration that produced this result.
+    pub scenario: Scenario,
+    /// Virtual execution time in seconds.
+    pub elapsed_s: f64,
+    /// `ipmctl`-style access counters per tier.
+    pub counters: CounterSnapshot,
+    /// Total energy per tier, joules (static + dynamic over the run).
+    pub energy_j: [f64; NUM_TIERS],
+    /// Energy per DIMM per tier, joules (Fig. 2 bottom's unit).
+    pub energy_per_dimm_j: [f64; NUM_TIERS],
+    /// System-level event vector (Fig. 5's features).
+    pub events: Vec<(String, f64)>,
+    /// Jobs / stages / tasks executed.
+    pub jobs: u64,
+    /// Stages executed.
+    pub stages: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Workload verification: output record count.
+    pub output_records: u64,
+    /// Workload verification: output checksum.
+    pub checksum: u64,
+    /// Workload quality figure (meaning is per-app).
+    pub quality: f64,
+}
+
+impl ScenarioResult {
+    /// Total media accesses (reads + writes) on the bound tier.
+    pub fn bound_tier_accesses(&self) -> u64 {
+        self.counters.tier(self.scenario.tier).total()
+    }
+
+    /// Media reads / writes on the bound tier.
+    pub fn bound_tier_rw(&self) -> (u64, u64) {
+        let t = self.counters.tier(self.scenario.tier);
+        (t.reads, t.writes)
+    }
+
+    /// Write ratio on the bound tier (0 when idle).
+    pub fn write_ratio(&self) -> f64 {
+        let (r, w) = self.bound_tier_rw();
+        if r + w == 0 {
+            0.0
+        } else {
+            w as f64 / (r + w) as f64
+        }
+    }
+
+    /// Value of a named system event.
+    pub fn event(&self, name: &str) -> Option<f64> {
+        self.events.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_label() {
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR)
+            .with_grid(4, 10)
+            .with_mba(50)
+            .with_seed(7);
+        assert_eq!(s.executors, 4);
+        assert_eq!(s.cores, 10);
+        assert_eq!(s.mba_percent, Some(50));
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.label(), "sort-tiny@Tier 2, 4x10");
+    }
+
+    #[test]
+    fn scenario_serde_roundtrip() {
+        let s = Scenario::default_conf("lda", DataSize::Large, TierId::NVM_FAR);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,136 @@
+//! Concurrency-dependent degradation of per-flow service rates.
+//!
+//! Real memory devices do not deliver their single-stream rate to every
+//! concurrent accessor even when aggregate bandwidth is available: queueing in
+//! the memory controller (and, on Optane DCPM, in the on-DIMM write-pending
+//! queue and XPBuffer) inflates the effective latency each stream observes as
+//! concurrency rises. The paper leans on exactly this effect — Takeaway 6
+//! observes that *"increased number of executors that compete over shared
+//! memory resources leads to further performance degradation, with persistent
+//! memory being even more susceptible to resource contention"*.
+//!
+//! [`ContentionModel`] captures it as a multiplicative factor on each flow's
+//! nominal (alone-on-the-machine) rate: with `n` concurrent flows every flow's
+//! cap becomes `nominal_rate × factor(n)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A model of how per-stream service rate degrades with concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ContentionModel {
+    /// No degradation: every flow keeps its nominal rate regardless of
+    /// concurrency (aggregate capacity still applies). Used by the
+    /// `ablation_loaded_latency` bench to show the Fig. 4 cliff disappears.
+    #[default]
+    None,
+    /// Linear queueing penalty: `factor(n) = 1 / (1 + alpha * (n - 1))`.
+    ///
+    /// `alpha` is the marginal per-competitor slowdown; DRAM controllers
+    /// tolerate concurrency well (small `alpha`), DCPM poorly (larger
+    /// `alpha`).
+    Linear {
+        /// Marginal slowdown per additional concurrent flow.
+        alpha: f64,
+    },
+    /// Saturating penalty: linear up to `knee` flows, then quadratic in the
+    /// excess — models the hard cliff once a device's internal queue
+    /// (e.g. the DCPM write-pending queue) overflows.
+    Knee {
+        /// Marginal slowdown per flow below the knee.
+        alpha: f64,
+        /// Concurrency level beyond which the penalty grows quadratically.
+        knee: usize,
+        /// Quadratic coefficient applied to flows beyond the knee.
+        beta: f64,
+    },
+}
+
+impl ContentionModel {
+    /// The per-flow rate factor (in `(0, 1]`) at concurrency `n`.
+    ///
+    /// `n == 0` and `n == 1` always yield `1.0`.
+    pub fn factor(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let extra = (n - 1) as f64;
+        match *self {
+            ContentionModel::None => 1.0,
+            ContentionModel::Linear { alpha } => 1.0 / (1.0 + alpha * extra),
+            ContentionModel::Knee { alpha, knee, beta } => {
+                let over = n.saturating_sub(knee.max(1)) as f64;
+                1.0 / (1.0 + alpha * extra + beta * over * over)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_is_unpenalized() {
+        for m in [
+            ContentionModel::None,
+            ContentionModel::Linear { alpha: 0.5 },
+            ContentionModel::Knee {
+                alpha: 0.5,
+                knee: 2,
+                beta: 0.1,
+            },
+        ] {
+            assert_eq!(m.factor(0), 1.0);
+            assert_eq!(m.factor(1), 1.0);
+        }
+    }
+
+    #[test]
+    fn none_never_degrades() {
+        assert_eq!(ContentionModel::None.factor(1000), 1.0);
+    }
+
+    #[test]
+    fn linear_matches_formula() {
+        let m = ContentionModel::Linear { alpha: 0.1 };
+        assert!((m.factor(2) - 1.0 / 1.1).abs() < 1e-12);
+        assert!((m.factor(11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_is_monotone_decreasing() {
+        let m = ContentionModel::Linear { alpha: 0.03 };
+        let mut prev = 1.0;
+        for n in 2..100 {
+            let f = m.factor(n);
+            assert!(f < prev, "factor must strictly decrease");
+            assert!(f > 0.0);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn knee_kicks_in_past_threshold() {
+        let m = ContentionModel::Knee {
+            alpha: 0.0,
+            knee: 4,
+            beta: 0.5,
+        };
+        // Below/at knee: no quadratic term, alpha=0 -> factor 1.
+        assert_eq!(m.factor(4), 1.0);
+        // One over: 1/(1+0.5) = 2/3.
+        assert!((m.factor(5) - 1.0 / 1.5).abs() < 1e-12);
+        // Four over: 1/(1+0.5*16).
+        assert!((m.factor(8) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_tolerates_zero_knee() {
+        let m = ContentionModel::Knee {
+            alpha: 0.1,
+            knee: 0,
+            beta: 0.1,
+        };
+        assert!(m.factor(2) > 0.0 && m.factor(2) < 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pending-event set with deterministic tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of simulation events.
+///
+/// Events scheduled for the same instant are delivered in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic regardless of the
+/// heap's internal layout. Scheduling into the past is a logic error and
+/// panics — the kernel never rewinds the clock.
+///
+/// # Examples
+///
+/// ```
+/// use memtier_des::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ms(5), "later");
+/// q.schedule(SimTime::from_ms(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(1), "sooner")));
+/// assert_eq!(q.now(), SimTime::from_ms(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Schedule `event` to fire `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        let Reverse((at, _)) = entry.key;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, entry.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_us(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1);
+        q.pop();
+        q.schedule_after(SimTime::from_ns(5), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(15), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_ns(1), ());
+        q.schedule(SimTime::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Max–min-fair processor-sharing resource.
+//!
+//! [`SharedResource`] models a memory channel (or any capacity-limited
+//! device): *flows* arrive with a total **demand** (e.g. bytes to move) and a
+//! **nominal rate** — the rate the flow would sustain if it were alone, i.e.
+//! its latency-limited single-stream throughput. The resource serves all
+//! active flows simultaneously, dividing its capacity max–min-fairly subject
+//! to each flow's (contention-degraded) nominal-rate cap.
+//!
+//! The model is piecewise-constant: rates only change when a flow is added or
+//! removed, so the caller drives a classic event loop —
+//! [`next_completion`](SharedResource::next_completion) tells it when the
+//! earliest active flow will drain *under the current rate allocation*; the
+//! caller advances to that instant, removes the finished flow, and re-queries.
+
+use crate::contention::ContentionModel;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifier for a flow within one resource. Uniqueness is the caller's
+/// responsibility (the `sparklite` scheduler uses task attempt ids).
+pub type FlowId = u64;
+
+/// Residual demand below this threshold counts as "drained" — guards against
+/// f64 rounding leaving 1e-12 bytes forever.
+const DRAIN_EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    /// Remaining demand, in capacity units (bytes for memory channels).
+    remaining: f64,
+    /// Single-stream rate in units/second, before contention degradation.
+    nominal_rate: f64,
+}
+
+/// A capacity-limited resource shared max–min-fairly among active flows.
+///
+/// # Examples
+///
+/// ```
+/// use memtier_des::{ContentionModel, SharedResource, SimTime};
+/// // A 10-units/s channel with two flows of 10 units each: fair sharing
+/// // gives 5 units/s apiece, so the first completion lands at t = 2 s.
+/// let mut r = SharedResource::new(10.0, ContentionModel::None);
+/// r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+/// r.add_flow(SimTime::ZERO, 2, 10.0, 10.0);
+/// let (t, id) = r.next_completion().unwrap();
+/// assert_eq!(id, 1);
+/// assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedResource {
+    /// Full capacity in units/second (e.g. bytes/s of a memory tier).
+    capacity: f64,
+    /// MBA-style throttle: fraction of `capacity` actually deliverable.
+    throttle: f64,
+    contention: ContentionModel,
+    flows: BTreeMap<FlowId, Flow>,
+    last_update: SimTime,
+    /// Total units served since construction (for utilization accounting).
+    served: f64,
+    /// Integral of busy time (at least one active flow), for utilization.
+    busy: SimTime,
+}
+
+impl SharedResource {
+    /// A resource with the given capacity (units/second) and contention model.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn new(capacity: f64, contention: ContentionModel) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive and finite, got {capacity}"
+        );
+        SharedResource {
+            capacity,
+            throttle: 1.0,
+            contention,
+            flows: BTreeMap::new(),
+            last_update: SimTime::ZERO,
+            served: 0.0,
+            busy: SimTime::ZERO,
+        }
+    }
+
+    /// Full (unthrottled) capacity in units/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Currently deliverable capacity (`capacity × throttle`).
+    pub fn effective_capacity(&self) -> f64 {
+        self.capacity * self.throttle
+    }
+
+    /// Set an MBA-style throttle as a fraction in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`. The caller must
+    /// [`advance`](Self::advance) to the current instant first so served
+    /// work up to the throttle change is accounted at the old rate.
+    pub fn set_throttle(&mut self, fraction: f64) {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "throttle fraction must be in (0,1], got {fraction}"
+        );
+        self.throttle = fraction;
+    }
+
+    /// Current throttle fraction.
+    pub fn throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total units served across the lifetime of the resource.
+    pub fn total_served(&self) -> f64 {
+        self.served
+    }
+
+    /// Total time during which at least one flow was active.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Advance internal state to `now`, draining flows at current rates.
+    ///
+    /// Idempotent for equal `now`; panics if `now` precedes the last update.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "resource time went backwards: {now:?} < {:?}",
+            self.last_update
+        );
+        let dt = (now - self.last_update).as_secs_f64();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rates = self.current_rates();
+            for (id, rate) in rates {
+                let flow = self.flows.get_mut(&id).expect("rate for unknown flow");
+                let drained = (rate * dt).min(flow.remaining);
+                flow.remaining -= drained;
+                self.served += drained;
+            }
+            self.busy += now - self.last_update;
+        }
+        self.last_update = now;
+    }
+
+    /// Register a new flow at time `now`.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, negative demand, or non-positive nominal rate.
+    pub fn add_flow(&mut self, now: SimTime, id: FlowId, demand: f64, nominal_rate: f64) {
+        assert!(demand >= 0.0 && demand.is_finite(), "bad demand {demand}");
+        assert!(
+            nominal_rate > 0.0 && nominal_rate.is_finite(),
+            "bad nominal rate {nominal_rate}"
+        );
+        self.advance(now);
+        let prev = self.flows.insert(
+            id,
+            Flow {
+                remaining: demand,
+                nominal_rate,
+            },
+        );
+        assert!(prev.is_none(), "duplicate flow id {id}");
+    }
+
+    /// Remove a flow, returning its residual demand (0 if it had drained).
+    ///
+    /// # Panics
+    /// Panics if the flow is unknown.
+    pub fn remove_flow(&mut self, now: SimTime, id: FlowId) -> f64 {
+        self.advance(now);
+        let flow = self.flows.remove(&id).expect("removing unknown flow");
+        if flow.remaining <= DRAIN_EPS {
+            0.0
+        } else {
+            flow.remaining
+        }
+    }
+
+    /// Residual demand of a flow, if it exists.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// The earliest `(instant, flow)` at which some active flow drains under
+    /// the *current* allocation, or `None` if no flows are active.
+    ///
+    /// Valid only until the next `add_flow`/`remove_flow`/`set_throttle`;
+    /// after any of those the caller must re-query. Ties break on the lowest
+    /// flow id, deterministically.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let rates = self.current_rates();
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (id, rate) in rates {
+            let flow = &self.flows[&id];
+            let eta = if flow.remaining <= DRAIN_EPS {
+                self.last_update
+            } else {
+                debug_assert!(rate > 0.0);
+                // Round up by one picosecond so the flow is guaranteed to
+                // have drained when the caller advances to the ETA —
+                // from_secs_f64 rounds to nearest and could land half a
+                // picosecond short.
+                self.last_update
+                    + SimTime::from_secs_f64(flow.remaining / rate)
+                    + SimTime::from_ps(1)
+            };
+            match best {
+                None => best = Some((eta, id)),
+                Some((bt, _)) if eta < bt => best = Some((eta, id)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Max–min-fair allocation of effective capacity among active flows,
+    /// respecting each flow's contention-degraded nominal-rate cap.
+    ///
+    /// Returned in ascending flow-id order (deterministic).
+    pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        let n = self.flows.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let cfactor = self.contention.factor(n);
+        let cap_total = self.effective_capacity();
+
+        // Per-flow caps after contention degradation.
+        let mut caps: Vec<(FlowId, f64)> = self
+            .flows
+            .iter()
+            .map(|(&id, f)| (id, f.nominal_rate * cfactor))
+            .collect();
+
+        let demand_sum: f64 = caps.iter().map(|&(_, c)| c).sum();
+        if demand_sum <= cap_total {
+            // Uncongested: everyone runs at their cap.
+            return caps;
+        }
+
+        // Water-filling: ascending by cap, give each flow min(cap, fair share
+        // of what's left). Sort is stable on (cap, id) for determinism.
+        caps.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut remaining_cap = cap_total;
+        let mut out = Vec::with_capacity(n);
+        for (i, &(id, cap)) in caps.iter().enumerate() {
+            let share = remaining_cap / (n - i) as f64;
+            let rate = cap.min(share);
+            remaining_cap -= rate;
+            out.push((id, rate));
+        }
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Current time of the resource's internal clock.
+    pub fn now(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// True if the given flow has (within tolerance) drained its demand.
+    pub fn is_drained(&self, id: FlowId) -> bool {
+        self.flows
+            .get(&id)
+            .map(|f| f.remaining <= DRAIN_EPS)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(cap: f64) -> SharedResource {
+        SharedResource::new(cap, ContentionModel::None)
+    }
+
+    #[test]
+    fn single_flow_runs_at_nominal_rate() {
+        let mut r = res(100.0);
+        r.add_flow(SimTime::ZERO, 1, 50.0, 10.0); // 5 seconds alone
+        let (t, id) = r.next_completion().unwrap();
+        assert_eq!(id, 1);
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_caps_aggregate() {
+        let mut r = res(10.0);
+        // Two flows each wanting 10 units/s; capacity 10 -> 5 each.
+        r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+        r.add_flow(SimTime::ZERO, 2, 10.0, 10.0);
+        let rates = r.current_rates();
+        assert!((rates[0].1 - 5.0).abs() < 1e-9);
+        assert!((rates[1].1 - 5.0).abs() < 1e-9);
+        let (t, _) = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_filling_respects_small_caps() {
+        let mut r = res(10.0);
+        // Flow 1 can only ever do 2/s; flow 2 can do 100/s.
+        r.add_flow(SimTime::ZERO, 1, 2.0, 2.0);
+        r.add_flow(SimTime::ZERO, 2, 100.0, 100.0);
+        let rates = r.current_rates();
+        let r1 = rates.iter().find(|&&(id, _)| id == 1).unwrap().1;
+        let r2 = rates.iter().find(|&&(id, _)| id == 2).unwrap().1;
+        assert!((r1 - 2.0).abs() < 1e-9, "capped flow keeps its cap");
+        assert!((r2 - 8.0).abs() < 1e-9, "big flow gets the rest");
+    }
+
+    #[test]
+    fn event_loop_drains_everything() {
+        let mut r = res(10.0);
+        r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+        r.add_flow(SimTime::ZERO, 2, 30.0, 10.0);
+        // Both run at 5/s. Flow 1 finishes at t=2 with flow 2 at 20 left.
+        let (t1, id1) = r.next_completion().unwrap();
+        assert_eq!(id1, 1);
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-9);
+        r.advance(t1);
+        assert!(r.is_drained(1));
+        assert_eq!(r.remove_flow(t1, 1), 0.0);
+        // Flow 2 now alone at 10/s with 20 left -> finishes at t=4.
+        let (t2, id2) = r.next_completion().unwrap();
+        assert_eq!(id2, 2);
+        assert!((t2.as_secs_f64() - 4.0).abs() < 1e-9);
+        r.advance(t2);
+        assert!(r.is_drained(2));
+    }
+
+    #[test]
+    fn throttle_scales_capacity() {
+        let mut r = res(100.0);
+        r.set_throttle(0.1);
+        assert!((r.effective_capacity() - 10.0).abs() < 1e-9);
+        // One flow with nominal 50/s is now capacity-bound at 10/s.
+        r.add_flow(SimTime::ZERO, 1, 10.0, 50.0);
+        let (t, _) = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttle_no_effect_when_unsaturated() {
+        // The Fig. 3 result: demand below the cap -> throttling is invisible.
+        let mut r = res(100.0);
+        r.add_flow(SimTime::ZERO, 1, 10.0, 5.0);
+        let (t_full, _) = r.next_completion().unwrap();
+        let mut r2 = res(100.0);
+        r2.set_throttle(0.2); // still 20 units/s > 5 demanded
+        r2.add_flow(SimTime::ZERO, 1, 10.0, 5.0);
+        let (t_thr, _) = r2.next_completion().unwrap();
+        assert_eq!(t_full, t_thr);
+    }
+
+    #[test]
+    fn contention_degrades_rates() {
+        let mut r = SharedResource::new(1000.0, ContentionModel::Linear { alpha: 1.0 });
+        r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+        r.add_flow(SimTime::ZERO, 2, 10.0, 10.0);
+        // factor(2) = 0.5 -> both capped at 5/s though capacity is ample.
+        for (_, rate) in r.current_rates() {
+            assert!((rate - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_demand_completes_immediately() {
+        let mut r = res(10.0);
+        r.add_flow(SimTime::from_ns(100), 7, 0.0, 1.0);
+        let (t, id) = r.next_completion().unwrap();
+        assert_eq!((t, id), (SimTime::from_ns(100), 7));
+        assert!(r.is_drained(7));
+    }
+
+    #[test]
+    fn served_and_busy_accounting() {
+        let mut r = res(10.0);
+        r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+        r.advance(SimTime::from_secs(1));
+        assert!((r.total_served() - 10.0).abs() < 1e-6);
+        assert_eq!(r.busy_time(), SimTime::from_secs(1));
+        r.remove_flow(SimTime::from_secs(1), 1);
+        // Idle period does not accrue busy time.
+        r.advance(SimTime::from_secs(5));
+        assert_eq!(r.busy_time(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn duplicate_flow_panics() {
+        let mut r = res(10.0);
+        r.add_flow(SimTime::ZERO, 1, 1.0, 1.0);
+        r.add_flow(SimTime::ZERO, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "throttle fraction")]
+    fn zero_throttle_rejected() {
+        res(10.0).set_throttle(0.0);
+    }
+
+    #[test]
+    fn rates_are_deterministic_order() {
+        let mut r = res(10.0);
+        for id in (0..10).rev() {
+            r.add_flow(SimTime::ZERO, id, 5.0, 5.0);
+        }
+        let ids: Vec<FlowId> = r.current_rates().iter().map(|&(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,43 @@
+//! Block identifiers and metadata.
+
+use crate::datanode::DataNodeId;
+
+/// Globally unique block identifier, allocated by the namenode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Namenode-side metadata for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The block.
+    pub id: BlockId,
+    /// Payload length in bytes (≤ the file's block size; the last block of a
+    /// file is usually short).
+    pub len: usize,
+    /// Datanodes holding a replica, in placement order.
+    pub replicas: Vec<DataNodeId>,
+}
+
+impl BlockInfo {
+    /// True if `node` holds a replica.
+    pub fn is_local_to(&self, node: DataNodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let info = BlockInfo {
+            id: BlockId(7),
+            len: 100,
+            replicas: vec![DataNodeId(0), DataNodeId(2)],
+        };
+        assert!(info.is_local_to(DataNodeId(0)));
+        assert!(info.is_local_to(DataNodeId(2)));
+        assert!(!info.is_local_to(DataNodeId(1)));
+    }
+}

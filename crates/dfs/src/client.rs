@@ -1,0 +1,226 @@
+//! Client API: whole-file and block-granular reads and writes.
+
+use crate::block::BlockInfo;
+use crate::datanode::{DataNode, DataNodeId};
+use crate::error::DfsError;
+use crate::namenode::{FileStatus, NameNode};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A handle onto a DFS deployment. Cheap to clone; thread-safe.
+#[derive(Debug, Clone)]
+pub struct DfsClient {
+    namenode: Arc<RwLock<NameNode>>,
+    datanodes: Vec<Arc<DataNode>>,
+}
+
+impl DfsClient {
+    pub(crate) fn new(namenode: Arc<RwLock<NameNode>>, datanodes: Vec<Arc<DataNode>>) -> Self {
+        DfsClient {
+            namenode,
+            datanodes,
+        }
+    }
+
+    /// Write an immutable file, splitting `data` into `block_size` blocks
+    /// replicated `replication` times.
+    pub fn write_file(
+        &self,
+        path: &str,
+        data: &[u8],
+        block_size: usize,
+        replication: usize,
+    ) -> Result<FileStatus, DfsError> {
+        let lens: Vec<usize> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(block_size.max(1)).map(|c| c.len()).collect()
+        };
+        let status = self.namenode.write().create_file(
+            path,
+            &lens,
+            block_size,
+            replication,
+            self.datanodes.len(),
+        )?;
+
+        let mut offset = 0usize;
+        for block in &status.blocks {
+            let payload = Arc::new(data[offset..offset + block.len].to_vec());
+            offset += block.len;
+            for &replica in &block.replicas {
+                if let Err(e) = self.datanode(replica).put(block.id, Arc::clone(&payload)) {
+                    // Roll back namespace on placement failure so the path
+                    // isn't left pointing at a half-written file.
+                    let _ = self.delete(path);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(status)
+    }
+
+    /// Read a whole file back.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let status = self.stat(path)?;
+        let mut out = Vec::with_capacity(status.len as usize);
+        for block in &status.blocks {
+            out.extend_from_slice(&self.read_block(block, None)?);
+        }
+        Ok(out)
+    }
+
+    /// Read one block, preferring a replica on `near` when given (short-
+    /// circuit read); falls back across the remaining replicas.
+    pub fn read_block(
+        &self,
+        block: &BlockInfo,
+        near: Option<DataNodeId>,
+    ) -> Result<Arc<Vec<u8>>, DfsError> {
+        let ordered = near
+            .filter(|n| block.is_local_to(*n))
+            .into_iter()
+            .chain(block.replicas.iter().copied().filter(|&r| Some(r) != near));
+        for replica in ordered {
+            if let Some(data) = self.datanode(replica).get(block.id) {
+                return Ok(data);
+            }
+        }
+        Err(DfsError::AllReplicasUnavailable(block.id))
+    }
+
+    /// File metadata.
+    pub fn stat(&self, path: &str) -> Result<FileStatus, DfsError> {
+        self.namenode.read().stat(path).cloned()
+    }
+
+    /// List files under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<FileStatus> {
+        self.namenode
+            .read()
+            .list(prefix)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Delete a file and free all its replicas.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let status = self.namenode.write().delete(path)?;
+        for block in &status.blocks {
+            for &replica in &block.replicas {
+                self.datanode(replica).evict(block.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.namenode.read().stat(path).is_ok()
+    }
+
+    fn datanode(&self, id: DataNodeId) -> &DataNode {
+        &self.datanodes[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dfs;
+
+    fn deployment() -> Dfs {
+        Dfs::new(4, 64 << 20)
+    }
+
+    #[test]
+    fn block_split_and_reassembly() {
+        let dfs = deployment();
+        let c = dfs.client();
+        let data: Vec<u8> = (0..10_007u32).map(|i| (i % 251) as u8).collect();
+        let st = c.write_file("/data", &data, 1000, 2).unwrap();
+        assert_eq!(st.blocks.len(), 11);
+        assert_eq!(st.blocks.last().unwrap().len, 7);
+        assert_eq!(c.read_file("/data").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_file() {
+        let dfs = deployment();
+        let c = dfs.client();
+        c.write_file("/empty", &[], 1000, 1).unwrap();
+        assert_eq!(c.read_file("/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_circuit_read_prefers_local_replica() {
+        let dfs = deployment();
+        let c = dfs.client();
+        let st = c.write_file("/f", &[7u8; 100], 100, 3).unwrap();
+        let block = &st.blocks[0];
+        let local = block.replicas[1];
+        let data = c.read_block(block, Some(local)).unwrap();
+        assert_eq!(data.len(), 100);
+        // A non-replica hint still succeeds via fallback.
+        let outside = DataNodeId((0..4).find(|&i| !block.is_local_to(DataNodeId(i))).unwrap());
+        assert!(c.read_block(block, Some(outside)).is_ok());
+    }
+
+    #[test]
+    fn read_survives_replica_loss() {
+        let dfs = deployment();
+        let c = dfs.client();
+        let st = c.write_file("/f", &[1u8; 100], 100, 2).unwrap();
+        let block = &st.blocks[0];
+        // Knock out the first replica.
+        dfs.datanodes[block.replicas[0].0 as usize].evict(block.id);
+        assert!(c.read_block(block, None).is_ok());
+        // Knock out the second too.
+        dfs.datanodes[block.replicas[1].0 as usize].evict(block.id);
+        assert_eq!(
+            c.read_block(block, None).unwrap_err(),
+            DfsError::AllReplicasUnavailable(block.id)
+        );
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let dfs = deployment();
+        let c = dfs.client();
+        c.write_file("/f", &[1u8; 1000], 100, 2).unwrap();
+        assert_eq!(dfs.used_bytes(), 2000);
+        c.delete("/f").unwrap();
+        assert_eq!(dfs.used_bytes(), 0);
+        assert!(!c.exists("/f"));
+    }
+
+    #[test]
+    fn capacity_failure_rolls_back_namespace() {
+        let dfs = Dfs::new(1, 500);
+        let c = dfs.client();
+        let err = c.write_file("/big", &[0u8; 1000], 100, 1).unwrap_err();
+        assert!(matches!(err, DfsError::OutOfCapacity(_)));
+        assert!(!c.exists("/big"), "failed write must not leave metadata");
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_collide() {
+        let dfs = deployment();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let c = dfs.client();
+                std::thread::spawn(move || {
+                    let path = format!("/part-{i}");
+                    c.write_file(&path, &[i as u8; 4096], 512, 2).unwrap();
+                    c.read_file(&path).unwrap()
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let data = h.join().unwrap();
+            assert!(data.iter().all(|&b| b == i as u8));
+        }
+        assert_eq!(dfs.client().list("/").len(), 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Datanodes: in-memory block replica storage with capacity accounting.
+
+use crate::block::BlockId;
+use crate::error::DfsError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a datanode within a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataNodeId(pub u32);
+
+/// One datanode: a capacity-bounded map of block replicas.
+#[derive(Debug)]
+pub struct DataNode {
+    id: DataNodeId,
+    capacity: u64,
+    state: RwLock<Store>,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    blocks: HashMap<BlockId, Arc<Vec<u8>>>,
+    used: u64,
+}
+
+impl DataNode {
+    /// A datanode with `capacity` bytes of storage.
+    pub fn new(id: DataNodeId, capacity: u64) -> Self {
+        DataNode {
+            id,
+            capacity,
+            state: RwLock::new(Store::default()),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> DataNodeId {
+        self.id
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.state.read().used
+    }
+
+    /// Number of replicas stored.
+    pub fn block_count(&self) -> usize {
+        self.state.read().blocks.len()
+    }
+
+    /// Store a replica. Data is shared (`Arc`) so replicas of the same block
+    /// on different nodes don't duplicate heap memory in-process, while
+    /// capacity accounting still charges each replica fully (as real
+    /// replication would).
+    pub fn put(&self, id: BlockId, data: Arc<Vec<u8>>) -> Result<(), DfsError> {
+        let mut s = self.state.write();
+        let len = data.len() as u64;
+        if s.blocks.contains_key(&id) {
+            return Ok(()); // idempotent re-replication
+        }
+        if s.used + len > self.capacity {
+            return Err(DfsError::OutOfCapacity(self.id));
+        }
+        s.used += len;
+        s.blocks.insert(id, data);
+        Ok(())
+    }
+
+    /// Fetch a replica, if present.
+    pub fn get(&self, id: BlockId) -> Option<Arc<Vec<u8>>> {
+        self.state.read().blocks.get(&id).cloned()
+    }
+
+    /// Drop a replica (no-op if absent). Returns whether it was present.
+    pub fn evict(&self, id: BlockId) -> bool {
+        let mut s = self.state.write();
+        if let Some(data) = s.blocks.remove(&id) {
+            s.used -= data.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_evict() {
+        let dn = DataNode::new(DataNodeId(0), 1000);
+        let data = Arc::new(vec![1u8; 100]);
+        dn.put(BlockId(1), Arc::clone(&data)).unwrap();
+        assert_eq!(dn.used(), 100);
+        assert_eq!(dn.block_count(), 1);
+        assert_eq!(dn.get(BlockId(1)).unwrap().len(), 100);
+        assert!(dn.evict(BlockId(1)));
+        assert_eq!(dn.used(), 0);
+        assert!(dn.get(BlockId(1)).is_none());
+        assert!(!dn.evict(BlockId(1)));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let dn = DataNode::new(DataNodeId(3), 150);
+        dn.put(BlockId(1), Arc::new(vec![0; 100])).unwrap();
+        let err = dn.put(BlockId(2), Arc::new(vec![0; 100])).unwrap_err();
+        assert_eq!(err, DfsError::OutOfCapacity(DataNodeId(3)));
+    }
+
+    #[test]
+    fn re_put_is_idempotent() {
+        let dn = DataNode::new(DataNodeId(0), 1000);
+        dn.put(BlockId(1), Arc::new(vec![0; 100])).unwrap();
+        dn.put(BlockId(1), Arc::new(vec![0; 100])).unwrap();
+        assert_eq!(dn.used(), 100);
+    }
+}

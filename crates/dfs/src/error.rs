@@ -1,0 +1,67 @@
+//! DFS error types.
+
+use crate::block::BlockId;
+use crate::datanode::DataNodeId;
+use std::fmt;
+
+/// Errors surfaced by the DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path does not exist.
+    FileNotFound(String),
+    /// Path already exists (files are immutable once written).
+    FileExists(String),
+    /// A block id the namenode knows nothing about.
+    UnknownBlock(BlockId),
+    /// No replica of a block could be read.
+    AllReplicasUnavailable(BlockId),
+    /// A datanode ran out of capacity during placement.
+    OutOfCapacity(DataNodeId),
+    /// Requested replication exceeds the number of datanodes.
+    InsufficientDataNodes {
+        /// Replicas requested.
+        wanted: usize,
+        /// Datanodes available.
+        available: usize,
+    },
+    /// Invalid argument (empty path, zero block size, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::UnknownBlock(b) => write!(f, "unknown block: {b:?}"),
+            DfsError::AllReplicasUnavailable(b) => {
+                write!(f, "all replicas unavailable for block {b:?}")
+            }
+            DfsError::OutOfCapacity(d) => write!(f, "datanode {d:?} out of capacity"),
+            DfsError::InsufficientDataNodes { wanted, available } => write!(
+                f,
+                "replication {wanted} exceeds available datanodes {available}"
+            ),
+            DfsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DfsError::FileNotFound("/x".into());
+        assert!(e.to_string().contains("/x"));
+        let e = DfsError::InsufficientDataNodes {
+            wanted: 3,
+            available: 1,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('1'));
+    }
+}

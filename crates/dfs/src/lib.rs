@@ -1,0 +1,151 @@
+//! # memtier-dfs — an in-process HDFS-like block store
+//!
+//! The paper stores Spark job input/output in HDFS rather than the local file
+//! system (§III-B). This crate is the equivalent substrate for `sparklite`:
+//! a namenode tracking files → blocks → replica placements, a set of
+//! datanodes holding block bytes in memory, and a client offering
+//! whole-file and block-granular reads with locality preferences.
+//!
+//! Everything runs in-process (the paper's cluster is single-node,
+//! pseudo-distributed), but the moving parts are the real ones: fixed-size
+//! block splitting, round-robin replica placement that never co-locates two
+//! replicas of one block, replication-aware reads that fall back across
+//! replicas, and capacity accounting per datanode.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod client;
+pub mod datanode;
+pub mod error;
+pub mod namenode;
+
+pub use block::{BlockId, BlockInfo};
+pub use client::DfsClient;
+pub use datanode::{DataNode, DataNodeId};
+pub use error::DfsError;
+pub use namenode::{FileStatus, NameNode};
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Default block size: 4 MiB (scaled from HDFS' 128 MiB the same ~32× the
+/// dataset sizes are scaled; see DESIGN.md).
+pub const DEFAULT_BLOCK_SIZE: usize = 4 << 20;
+/// Default replication factor (HDFS default is 3; a single-host
+/// pseudo-distributed deployment like the paper's typically uses 1–2).
+pub const DEFAULT_REPLICATION: usize = 2;
+
+/// A complete mini-HDFS deployment: one namenode plus `n` datanodes.
+#[derive(Debug)]
+pub struct Dfs {
+    namenode: Arc<RwLock<NameNode>>,
+    datanodes: Vec<Arc<DataNode>>,
+}
+
+impl Dfs {
+    /// Start a deployment with `datanodes` nodes of `capacity` bytes each.
+    ///
+    /// # Panics
+    /// Panics if `datanodes == 0`.
+    pub fn new(datanodes: usize, capacity: u64) -> Self {
+        assert!(datanodes > 0, "a DFS needs at least one datanode");
+        Dfs {
+            namenode: Arc::new(RwLock::new(NameNode::new())),
+            datanodes: (0..datanodes)
+                .map(|i| Arc::new(DataNode::new(DataNodeId(i as u32), capacity)))
+                .collect(),
+        }
+    }
+
+    /// A client handle (cheap to clone; all clients share the deployment).
+    pub fn client(&self) -> DfsClient {
+        DfsClient::new(Arc::clone(&self.namenode), self.datanodes.clone())
+    }
+
+    /// Number of datanodes.
+    pub fn datanode_count(&self) -> usize {
+        self.datanodes.len()
+    }
+
+    /// Total bytes stored across all datanodes (including replicas).
+    pub fn used_bytes(&self) -> u64 {
+        self.datanodes.iter().map(|d| d.used()).sum()
+    }
+
+    /// Simulate losing a datanode: every replica it held is dropped.
+    /// Files with replication ≥ 2 stay readable; run
+    /// [`rereplicate`](Self::rereplicate) to restore redundancy.
+    pub fn kill_datanode(&self, id: DataNodeId) -> usize {
+        let dn = &self.datanodes[id.0 as usize];
+        let mut dropped = 0;
+        for file in self.client().list("/") {
+            for block in &file.blocks {
+                if dn.evict(block.id) {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Restore full replication: for every block with fewer live replicas
+    /// than its file requested, copy from a survivor onto nodes that lack
+    /// it (fewest-used first). Returns the number of replicas created;
+    /// errors if some block has no surviving replica.
+    pub fn rereplicate(&self) -> Result<usize, DfsError> {
+        let client = self.client();
+        let mut created = 0;
+        for file in client.list("/") {
+            for block in &file.blocks {
+                let live: Vec<&std::sync::Arc<DataNode>> = self
+                    .datanodes
+                    .iter()
+                    .filter(|d| d.get(block.id).is_some())
+                    .collect();
+                if live.len() >= file.replication {
+                    continue;
+                }
+                let source = live
+                    .first()
+                    .ok_or(DfsError::AllReplicasUnavailable(block.id))?;
+                let payload = source.get(block.id).expect("just checked");
+                // Candidates: nodes without the block, least-used first.
+                let mut candidates: Vec<&std::sync::Arc<DataNode>> = self
+                    .datanodes
+                    .iter()
+                    .filter(|d| d.get(block.id).is_none())
+                    .collect();
+                candidates.sort_by_key(|d| (d.used(), d.id().0));
+                for target in candidates.into_iter().take(file.replication - live.len()) {
+                    target.put(block.id, std::sync::Arc::clone(&payload))?;
+                    created += 1;
+                }
+            }
+        }
+        Ok(created)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_roundtrip() {
+        let dfs = Dfs::new(3, 1 << 30);
+        let client = dfs.client();
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        client.write_file("/input/part-0", &data, 1024, 2).unwrap();
+        let read = client.read_file("/input/part-0").unwrap();
+        assert_eq!(read, data);
+        // 40000 bytes / 1024-byte blocks = 40 blocks × 2 replicas.
+        assert_eq!(dfs.used_bytes(), 2 * data.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one datanode")]
+    fn zero_datanodes_rejected() {
+        Dfs::new(0, 1024);
+    }
+}

@@ -1,0 +1,202 @@
+//! The namenode: file → block → replica metadata and placement decisions.
+
+use crate::block::{BlockId, BlockInfo};
+use crate::datanode::DataNodeId;
+use crate::error::DfsError;
+use std::collections::BTreeMap;
+
+/// Namenode metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    /// Absolute path.
+    pub path: String,
+    /// File length in bytes.
+    pub len: u64,
+    /// Block size the file was written with.
+    pub block_size: usize,
+    /// Replication factor.
+    pub replication: usize,
+    /// The file's blocks in order.
+    pub blocks: Vec<BlockInfo>,
+}
+
+/// The namenode: authoritative file-system metadata.
+///
+/// Placement policy: replicas of consecutive blocks rotate round-robin over
+/// the datanodes (starting from a per-file offset so files spread out), and
+/// the replicas of a single block always land on distinct nodes — the same
+/// invariants HDFS' default placement provides on a flat topology.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    files: BTreeMap<String, FileStatus>,
+    next_block: u64,
+    next_file_offset: usize,
+}
+
+impl NameNode {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        NameNode::default()
+    }
+
+    /// Plan a new file: allocate block ids and replica placements.
+    ///
+    /// `lens` are the payload lengths of the file's blocks in order.
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        lens: &[usize],
+        block_size: usize,
+        replication: usize,
+        datanodes: usize,
+    ) -> Result<FileStatus, DfsError> {
+        if path.is_empty() || !path.starts_with('/') {
+            return Err(DfsError::InvalidArgument(format!(
+                "path must be absolute, got {path:?}"
+            )));
+        }
+        if block_size == 0 {
+            return Err(DfsError::InvalidArgument("block size must be > 0".into()));
+        }
+        if replication == 0 {
+            return Err(DfsError::InvalidArgument("replication must be > 0".into()));
+        }
+        if replication > datanodes {
+            return Err(DfsError::InsufficientDataNodes {
+                wanted: replication,
+                available: datanodes,
+            });
+        }
+        if self.files.contains_key(path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+
+        let offset = self.next_file_offset;
+        self.next_file_offset = self.next_file_offset.wrapping_add(1);
+        let blocks: Vec<BlockInfo> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let id = BlockId(self.next_block + i as u64);
+                let replicas = (0..replication)
+                    .map(|r| DataNodeId(((offset + i + r) % datanodes) as u32))
+                    .collect();
+                BlockInfo { id, len, replicas }
+            })
+            .collect();
+        self.next_block += lens.len() as u64;
+
+        let status = FileStatus {
+            path: path.to_string(),
+            len: lens.iter().map(|&l| l as u64).sum(),
+            block_size,
+            replication,
+            blocks,
+        };
+        self.files.insert(path.to_string(), status.clone());
+        Ok(status)
+    }
+
+    /// Look up a file.
+    pub fn stat(&self, path: &str) -> Result<&FileStatus, DfsError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// Remove a file, returning its metadata so the caller can free replicas.
+    pub fn delete(&mut self, path: &str) -> Result<FileStatus, DfsError> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// All paths under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<&FileStatus> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_distinct_replicas() {
+        let mut nn = NameNode::new();
+        let st = nn.create_file("/f", &[100, 100, 50], 100, 2, 4).unwrap();
+        assert_eq!(st.blocks.len(), 3);
+        assert_eq!(st.len, 250);
+        for b in &st.blocks {
+            assert_eq!(b.replicas.len(), 2);
+            assert_ne!(b.replicas[0], b.replicas[1], "replicas must differ");
+        }
+        // Block ids are unique and sequential.
+        assert_eq!(st.blocks[0].id, BlockId(0));
+        assert_eq!(st.blocks[2].id, BlockId(2));
+    }
+
+    #[test]
+    fn consecutive_blocks_rotate_nodes() {
+        let mut nn = NameNode::new();
+        let st = nn.create_file("/f", &[10, 10, 10, 10], 10, 1, 4).unwrap();
+        let primaries: Vec<u32> = st.blocks.iter().map(|b| b.replicas[0].0).collect();
+        // Round-robin: all four datanodes used.
+        let mut sorted = primaries.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut nn = NameNode::new();
+        assert!(matches!(
+            nn.create_file("relative", &[1], 1, 1, 1),
+            Err(DfsError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            nn.create_file("/f", &[1], 0, 1, 1),
+            Err(DfsError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            nn.create_file("/f", &[1], 1, 3, 2),
+            Err(DfsError::InsufficientDataNodes { .. })
+        ));
+        nn.create_file("/f", &[1], 1, 1, 1).unwrap();
+        assert!(matches!(
+            nn.create_file("/f", &[1], 1, 1, 1),
+            Err(DfsError::FileExists(_))
+        ));
+        assert!(matches!(nn.stat("/nope"), Err(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut nn = NameNode::new();
+        nn.create_file("/a/1", &[1], 1, 1, 1).unwrap();
+        nn.create_file("/a/2", &[1], 1, 1, 1).unwrap();
+        nn.create_file("/b/1", &[1], 1, 1, 1).unwrap();
+        assert_eq!(nn.list("/a/").len(), 2);
+        assert_eq!(nn.list("/").len(), 3);
+        assert_eq!(nn.list("/c").len(), 0);
+    }
+
+    #[test]
+    fn delete_frees_namespace() {
+        let mut nn = NameNode::new();
+        nn.create_file("/f", &[1], 1, 1, 1).unwrap();
+        nn.delete("/f").unwrap();
+        assert_eq!(nn.file_count(), 0);
+        // Path can be reused after deletion.
+        nn.create_file("/f", &[1], 1, 1, 1).unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: the DFS round-trips arbitrary payloads under arbitrary
+//! block sizes, replication factors and cluster shapes.
+
+use memtier_dfs::Dfs;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whole-file round trip for arbitrary bytes / block size / replication.
+    #[test]
+    fn roundtrip(
+        data in prop::collection::vec(any::<u8>(), 0..8192),
+        block_size in 1usize..2048,
+        datanodes in 1usize..6,
+        replication in 1usize..4,
+    ) {
+        prop_assume!(replication <= datanodes);
+        let dfs = Dfs::new(datanodes, 1 << 30);
+        let c = dfs.client();
+        c.write_file("/f", &data, block_size, replication).unwrap();
+        prop_assert_eq!(c.read_file("/f").unwrap(), data.clone());
+        // Storage accounting: replication × payload.
+        prop_assert_eq!(dfs.used_bytes(), (replication * data.len()) as u64);
+        // Block structure: ceil division, all full except possibly the last.
+        let st = c.stat("/f").unwrap();
+        prop_assert_eq!(st.blocks.len(), data.len().div_ceil(block_size));
+        for (i, b) in st.blocks.iter().enumerate() {
+            if i + 1 < st.blocks.len() {
+                prop_assert_eq!(b.len, block_size);
+            }
+            prop_assert_eq!(b.replicas.len(), replication);
+            // Replicas land on distinct nodes.
+            let mut nodes: Vec<_> = b.replicas.clone();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), replication);
+        }
+    }
+
+    /// Any single replica of every block can be lost without data loss
+    /// when replication ≥ 2.
+    #[test]
+    fn single_fault_tolerance(
+        data in prop::collection::vec(any::<u8>(), 1..4096),
+        block_size in 1usize..512,
+        victim_choice in any::<u8>(),
+    ) {
+        let dfs = Dfs::new(4, 1 << 30);
+        let c = dfs.client();
+        c.write_file("/f", &data, block_size, 2).unwrap();
+        let st = c.stat("/f").unwrap();
+        // Read each block with its (victim_choice-selected) replica gone.
+        let mut out = Vec::new();
+        for b in &st.blocks {
+            let victim = b.replicas[victim_choice as usize % b.replicas.len()];
+            // The client falls back to the surviving replica when the
+            // preferred one is the *other* node.
+            let survivor = *b.replicas.iter().find(|&&r| r != victim).unwrap();
+            let bytes = c.read_block(b, Some(survivor)).unwrap();
+            out.extend_from_slice(&bytes);
+        }
+        prop_assert_eq!(out, data);
+    }
+
+    /// Delete always frees exactly what write allocated.
+    #[test]
+    fn delete_is_exact_inverse(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        block_size in 1usize..512,
+    ) {
+        let dfs = Dfs::new(3, 1 << 30);
+        let c = dfs.client();
+        c.write_file("/f", &data, block_size, 2).unwrap();
+        c.delete("/f").unwrap();
+        prop_assert_eq!(dfs.used_bytes(), 0);
+        prop_assert!(!c.exists("/f"));
+    }
+}
+
+#[test]
+fn kill_and_rereplicate_restores_redundancy() {
+    let dfs = Dfs::new(4, 1 << 30);
+    let c = dfs.client();
+    let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    c.write_file("/f", &data, 512, 2).unwrap();
+    let before = dfs.used_bytes();
+
+    let dropped = dfs.kill_datanode(memtier_dfs::DataNodeId(0));
+    assert!(dropped > 0, "node 0 should have held replicas");
+    assert!(dfs.used_bytes() < before);
+    // Still readable with one replica lost.
+    assert_eq!(c.read_file("/f").unwrap(), data);
+
+    let created = dfs.rereplicate().unwrap();
+    assert_eq!(created, dropped, "every lost replica must be recreated");
+    assert_eq!(dfs.used_bytes(), before);
+    // Every block again has 2 live replicas somewhere.
+    let st = c.stat("/f").unwrap();
+    for b in &st.blocks {
+        assert!(c.read_block(b, None).is_ok());
+    }
+    // Idempotent.
+    assert_eq!(dfs.rereplicate().unwrap(), 0);
+}
+
+#[test]
+fn rereplicate_fails_when_all_replicas_lost() {
+    let dfs = Dfs::new(2, 1 << 30);
+    let c = dfs.client();
+    c.write_file("/f", &[1u8; 100], 100, 2).unwrap();
+    dfs.kill_datanode(memtier_dfs::DataNodeId(0));
+    dfs.kill_datanode(memtier_dfs::DataNodeId(1));
+    assert!(dfs.rereplicate().is_err());
+}

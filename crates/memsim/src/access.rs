@@ -1,0 +1,229 @@
+//! Units of memory traffic.
+//!
+//! The engine describes each task's memory behaviour as an [`AccessBatch`]:
+//! how many cache-line reads and writes it performs and how many bytes those
+//! move. Batches are what the simulator prices (time/energy/wear) and what
+//! the `ipmctl`-equivalent counters record.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Cache-line size used to convert bytes into media accesses.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load from memory.
+    Read,
+    /// Store to memory.
+    Write,
+}
+
+/// A batch of memory accesses attributed to one logical operation (a task
+/// phase, a block write, a shuffle fetch, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessBatch {
+    /// Number of line-granularity read accesses.
+    pub reads: u64,
+    /// Number of line-granularity write accesses.
+    pub writes: u64,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Subset of `reads` that are *random* (dependent, unprefetchable).
+    /// Random accesses pay full latency but occupy the channel only
+    /// briefly — see [`AccessBatch::channel_bytes`].
+    pub random_reads: u64,
+    /// Subset of `writes` that are random.
+    pub random_writes: u64,
+}
+
+impl AccessBatch {
+    /// An empty batch.
+    pub const EMPTY: AccessBatch = AccessBatch {
+        reads: 0,
+        writes: 0,
+        bytes_read: 0,
+        bytes_written: 0,
+        random_reads: 0,
+        random_writes: 0,
+    };
+
+    /// A batch of `bytes` sequentially read: one access per cache line.
+    pub fn sequential_read(bytes: u64) -> AccessBatch {
+        AccessBatch {
+            reads: bytes.div_ceil(CACHE_LINE_BYTES),
+            bytes_read: bytes,
+            ..AccessBatch::EMPTY
+        }
+    }
+
+    /// A batch of `bytes` sequentially written.
+    pub fn sequential_write(bytes: u64) -> AccessBatch {
+        AccessBatch {
+            writes: bytes.div_ceil(CACHE_LINE_BYTES),
+            bytes_written: bytes,
+            ..AccessBatch::EMPTY
+        }
+    }
+
+    /// A batch of `count` random (non-adjacent) reads of up to one line each.
+    pub fn random_reads(count: u64) -> AccessBatch {
+        AccessBatch {
+            reads: count,
+            bytes_read: count * CACHE_LINE_BYTES,
+            random_reads: count,
+            ..AccessBatch::EMPTY
+        }
+    }
+
+    /// A batch of `count` random single-line writes.
+    pub fn random_writes(count: u64) -> AccessBatch {
+        AccessBatch {
+            writes: count,
+            bytes_written: count * CACHE_LINE_BYTES,
+            random_writes: count,
+            ..AccessBatch::EMPTY
+        }
+    }
+
+    /// Combined read+write batch from byte volumes (sequential pattern).
+    pub fn sequential(bytes_read: u64, bytes_written: u64) -> AccessBatch {
+        AccessBatch::sequential_read(bytes_read) + AccessBatch::sequential_write(bytes_written)
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Bytes charged against the shared channel-bandwidth resource.
+    ///
+    /// Sequential (prefetchable) traffic occupies the channel for its full
+    /// volume. A *random* dependent access transfers one line but leaves the
+    /// channel idle for most of its latency window, so it only consumes
+    /// `random_fraction` of its bytes as channel time — this is why real
+    /// latency-bound workloads neither saturate memory bandwidth nor react
+    /// to MBA throttling (the paper's Takeaway 4), even though every access
+    /// still pays full latency, energy and wear.
+    pub fn channel_bytes(&self, random_fraction: f64) -> f64 {
+        let rnd = (self.random_reads + self.random_writes) * CACHE_LINE_BYTES;
+        let seq = self.total_bytes().saturating_sub(rnd);
+        seq as f64 + rnd as f64 * random_fraction.clamp(0.0, 1.0)
+    }
+
+    /// Ratio of write accesses to total accesses (0 when empty).
+    pub fn write_ratio(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.writes as f64 / total as f64
+        }
+    }
+
+    /// True if the batch moves no traffic.
+    pub fn is_empty(&self) -> bool {
+        self.total_accesses() == 0 && self.total_bytes() == 0
+    }
+
+    /// Scale the batch by an integer factor (e.g. per-iteration traffic ×
+    /// iteration count).
+    pub fn scaled(&self, factor: u64) -> AccessBatch {
+        AccessBatch {
+            reads: self.reads * factor,
+            writes: self.writes * factor,
+            bytes_read: self.bytes_read * factor,
+            bytes_written: self.bytes_written * factor,
+            random_reads: self.random_reads * factor,
+            random_writes: self.random_writes * factor,
+        }
+    }
+}
+
+impl Add for AccessBatch {
+    type Output = AccessBatch;
+    fn add(self, rhs: AccessBatch) -> AccessBatch {
+        AccessBatch {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            random_reads: self.random_reads + rhs.random_reads,
+            random_writes: self.random_writes + rhs.random_writes,
+        }
+    }
+}
+
+impl AddAssign for AccessBatch {
+    fn add_assign(&mut self, rhs: AccessBatch) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for AccessBatch {
+    fn sum<I: Iterator<Item = AccessBatch>>(iter: I) -> AccessBatch {
+        iter.fold(AccessBatch::EMPTY, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_counts_lines() {
+        let b = AccessBatch::sequential_read(640);
+        assert_eq!(b.reads, 10);
+        assert_eq!(b.bytes_read, 640);
+        assert_eq!(b.writes, 0);
+        // Partial line rounds up.
+        assert_eq!(AccessBatch::sequential_read(65).reads, 2);
+        assert_eq!(AccessBatch::sequential_read(0).reads, 0);
+    }
+
+    #[test]
+    fn random_accesses_touch_full_lines() {
+        let b = AccessBatch::random_reads(5) + AccessBatch::random_writes(3);
+        assert_eq!(b.reads, 5);
+        assert_eq!(b.writes, 3);
+        assert_eq!(b.bytes_read, 5 * 64);
+        assert_eq!(b.bytes_written, 3 * 64);
+        assert_eq!(b.total_accesses(), 8);
+        assert_eq!(b.total_bytes(), 8 * 64);
+    }
+
+    #[test]
+    fn write_ratio() {
+        assert_eq!(AccessBatch::EMPTY.write_ratio(), 0.0);
+        let b = AccessBatch::random_reads(3) + AccessBatch::random_writes(1);
+        assert!((b.write_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let batches = vec![
+            AccessBatch::sequential_read(128),
+            AccessBatch::sequential_write(64),
+        ];
+        let total: AccessBatch = batches.into_iter().sum();
+        assert_eq!(total.reads, 2);
+        assert_eq!(total.writes, 1);
+        let scaled = total.scaled(3);
+        assert_eq!(scaled.reads, 6);
+        assert_eq!(scaled.bytes_written, 192);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(AccessBatch::EMPTY.is_empty());
+        assert!(!AccessBatch::sequential_read(1).is_empty());
+    }
+}

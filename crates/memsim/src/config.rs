@@ -1,0 +1,148 @@
+//! Simulator configuration and ablation switches.
+
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use crate::topology::Topology;
+use memtier_des::ContentionModel;
+use serde::{Deserialize, Serialize};
+
+/// How concurrent flows on one tier are arbitrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Max–min fair sharing with the tier's contention model (default, and
+    /// what real memory controllers approximate).
+    FairShare,
+    /// Pessimistic serializing arbitration: every flow's service rate is
+    /// divided by the number of active flows, as if requests queued behind
+    /// each other. Used by the `ablation_arbitration` bench.
+    Serializing,
+}
+
+/// Full configuration of the memory-system simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSimConfig {
+    /// Machine topology.
+    pub topology: Topology,
+    /// Per-tier device parameters, indexed by `TierId::index()`.
+    pub tiers: [TierParams; NUM_TIERS],
+    /// Model the DCPM read/write latency asymmetry (ablation: Takeaway 3
+    /// disappears when off).
+    pub write_asymmetry: bool,
+    /// Model concurrency-dependent rate degradation (ablation: the Fig. 4
+    /// contention cliff disappears when off).
+    pub contention_enabled: bool,
+    /// Bandwidth arbitration discipline.
+    pub arbitration: Arbitration,
+    /// Fraction of a random access's bytes that occupy the shared channel
+    /// (see [`AccessBatch::channel_bytes`](crate::access::AccessBatch::channel_bytes)).
+    pub random_channel_fraction: f64,
+}
+
+impl MemSimConfig {
+    /// The paper's testbed with Table I parameters.
+    pub fn paper_default() -> MemSimConfig {
+        MemSimConfig {
+            topology: Topology::paper_testbed(),
+            tiers: TierId::all().map(TierParams::paper_default),
+            write_asymmetry: true,
+            contention_enabled: true,
+            arbitration: Arbitration::FairShare,
+            random_channel_fraction: 0.15,
+        }
+    }
+
+    /// A what-if machine where the far Optane bank (Tier 3) is replaced by
+    /// a CXL-attached DRAM expander — the upgrade path the paper's
+    /// introduction anticipates. Tiers 0–2 stay as measured.
+    pub fn cxl_whatif() -> MemSimConfig {
+        let mut cfg = MemSimConfig::paper_default();
+        cfg.tiers[TierId::NVM_FAR.index()] = TierParams::cxl_expander();
+        cfg
+    }
+
+    /// Tier parameters with the ablation switches applied.
+    pub fn effective_tier_params(&self, tier: TierId) -> TierParams {
+        let mut p = self.tiers[tier.index()].clone();
+        if !self.write_asymmetry {
+            p.idle_write_latency_ns = p.idle_read_latency_ns;
+            p.write_mlp = p.read_mlp;
+        }
+        if !self.contention_enabled {
+            p.contention = ContentionModel::None;
+        } else if self.arbitration == Arbitration::Serializing {
+            // 1/(1 + 1·(n−1)) = 1/n: full serialization.
+            p.contention = ContentionModel::Linear { alpha: 1.0 };
+        }
+        p
+    }
+
+    /// Validate all tier parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in TierId::all() {
+            self.tiers[t.index()].validate()?;
+        }
+        if self.topology.sockets.is_empty() {
+            return Err("topology needs at least one socket".into());
+        }
+        if self.topology.mem_nodes.is_empty() {
+            return Err("topology needs at least one memory node".into());
+        }
+        if !(0.0..=1.0).contains(&self.random_channel_fraction) {
+            return Err(format!(
+                "random_channel_fraction must be in [0,1], got {}",
+                self.random_channel_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemSimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        MemSimConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn write_asymmetry_toggle() {
+        let mut cfg = MemSimConfig::paper_default();
+        cfg.write_asymmetry = false;
+        let p = cfg.effective_tier_params(TierId::NVM_NEAR);
+        assert_eq!(p.idle_write_latency_ns, p.idle_read_latency_ns);
+        assert_eq!(p.write_mlp, p.read_mlp);
+        cfg.write_asymmetry = true;
+        let p = cfg.effective_tier_params(TierId::NVM_NEAR);
+        assert!(p.idle_write_latency_ns > p.idle_read_latency_ns);
+    }
+
+    #[test]
+    fn contention_toggle() {
+        let mut cfg = MemSimConfig::paper_default();
+        cfg.contention_enabled = false;
+        let p = cfg.effective_tier_params(TierId::NVM_NEAR);
+        assert_eq!(p.contention, ContentionModel::None);
+    }
+
+    #[test]
+    fn serializing_arbitration_divides_by_n() {
+        let mut cfg = MemSimConfig::paper_default();
+        cfg.arbitration = Arbitration::Serializing;
+        let p = cfg.effective_tier_params(TierId::LOCAL_DRAM);
+        assert!((p.contention.factor(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_broken_tier() {
+        let mut cfg = MemSimConfig::paper_default();
+        cfg.tiers[0].bandwidth_bytes_per_s = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! `ipmctl`-equivalent media access counters.
+//!
+//! The paper monitors NVDIMM read/write traffic with Intel's `ipmctl` tool
+//! (Fig. 2, middle row). [`TierCounters`] provides the same observable for
+//! the simulated machine: per-DIMM media read/write counts, with traffic
+//! striped across a tier's DIMMs the way hardware interleaving does.
+
+use crate::access::AccessBatch;
+use crate::tier::{TierId, NUM_TIERS};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one DIMM.
+#[derive(Debug, Default)]
+pub struct DimmCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl DimmCounters {
+    fn record(&self, reads: u64, writes: u64, bytes_read: u64, bytes_written: u64) {
+        self.reads.fetch_add(reads, Ordering::Relaxed);
+        self.writes.fetch_add(writes, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes_written, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DimmSnapshot {
+        DimmSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable view of one DIMM's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DimmSnapshot {
+    /// Media read accesses.
+    pub reads: u64,
+    /// Media write accesses.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl DimmSnapshot {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Per-tier, per-DIMM access counters for the whole machine.
+#[derive(Debug)]
+pub struct TierCounters {
+    dimms: [Vec<DimmCounters>; NUM_TIERS],
+}
+
+impl TierCounters {
+    /// Counters for a machine whose tier `i` has `dimm_counts[i]` DIMMs.
+    pub fn new(dimm_counts: [usize; NUM_TIERS]) -> Self {
+        TierCounters {
+            dimms: dimm_counts.map(|n| (0..n.max(1)).map(|_| DimmCounters::default()).collect()),
+        }
+    }
+
+    /// Record a batch against a tier, striping it across the tier's DIMMs
+    /// (hardware-interleaving approximation: even split, remainder to the
+    /// lowest-numbered DIMMs).
+    pub fn record(&self, tier: TierId, batch: &AccessBatch) {
+        let dimms = &self.dimms[tier.index()];
+        let n = dimms.len() as u64;
+        for (i, dimm) in dimms.iter().enumerate() {
+            let i = i as u64;
+            let share = |total: u64| total / n + u64::from(i < total % n);
+            dimm.record(
+                share(batch.reads),
+                share(batch.writes),
+                share(batch.bytes_read),
+                share(batch.bytes_written),
+            );
+        }
+    }
+
+    /// Snapshot of one tier's DIMMs.
+    pub fn tier_snapshot(&self, tier: TierId) -> Vec<DimmSnapshot> {
+        self.dimms[tier.index()]
+            .iter()
+            .map(|d| d.snapshot())
+            .collect()
+    }
+
+    /// Aggregated snapshot across all DIMMs of a tier.
+    pub fn tier_total(&self, tier: TierId) -> DimmSnapshot {
+        let mut out = DimmSnapshot::default();
+        for d in &self.dimms[tier.index()] {
+            let s = d.snapshot();
+            out.reads += s.reads;
+            out.writes += s.writes;
+            out.bytes_read += s.bytes_read;
+            out.bytes_written += s.bytes_written;
+        }
+        out
+    }
+
+    /// Full-machine snapshot, indexed by tier.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            tiers: TierId::all().map(|t| self.tier_total(t)),
+        }
+    }
+}
+
+/// Aggregated machine-wide counter snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Per-tier totals, indexed by `TierId::index()`.
+    pub tiers: [DimmSnapshot; NUM_TIERS],
+}
+
+impl CounterSnapshot {
+    /// Totals for a tier.
+    pub fn tier(&self, tier: TierId) -> DimmSnapshot {
+        self.tiers[tier.index()]
+    }
+
+    /// Difference of two snapshots (`self - earlier`), for interval reads.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut tiers = self.tiers;
+        for (t, e) in tiers.iter_mut().zip(earlier.tiers.iter()) {
+            t.reads -= e.reads;
+            t.writes -= e.writes;
+            t.bytes_read -= e.bytes_read;
+            t.bytes_written -= e.bytes_written;
+        }
+        CounterSnapshot { tiers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> TierCounters {
+        TierCounters::new([2, 2, 4, 2])
+    }
+
+    #[test]
+    fn records_stripe_across_dimms() {
+        let c = counters();
+        let batch = AccessBatch {
+            reads: 10,
+            writes: 6,
+            bytes_read: 640,
+            bytes_written: 384,
+            ..AccessBatch::EMPTY
+        };
+        c.record(TierId::NVM_NEAR, &batch);
+        let snap = c.tier_snapshot(TierId::NVM_NEAR);
+        assert_eq!(snap.len(), 4);
+        // 10 reads over 4 DIMMs: 3,3,2,2.
+        assert_eq!(
+            snap.iter().map(|d| d.reads).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
+        let total = c.tier_total(TierId::NVM_NEAR);
+        assert_eq!(total.reads, 10);
+        assert_eq!(total.writes, 6);
+        assert_eq!(total.bytes_read, 640);
+        assert_eq!(total.bytes_written, 384);
+    }
+
+    #[test]
+    fn tiers_are_independent() {
+        let c = counters();
+        c.record(TierId::LOCAL_DRAM, &AccessBatch::random_reads(5));
+        assert_eq!(c.tier_total(TierId::LOCAL_DRAM).reads, 5);
+        assert_eq!(c.tier_total(TierId::NVM_FAR).reads, 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let c = counters();
+        c.record(TierId::NVM_FAR, &AccessBatch::random_writes(4));
+        let s1 = c.snapshot();
+        c.record(TierId::NVM_FAR, &AccessBatch::random_writes(6));
+        let s2 = c.snapshot();
+        let d = s2.delta_since(&s1);
+        assert_eq!(d.tier(TierId::NVM_FAR).writes, 6);
+        assert_eq!(s2.tier(TierId::NVM_FAR).writes, 10);
+    }
+
+    #[test]
+    fn zero_dimm_tier_gets_one_slot() {
+        // Degenerate configs still record without panicking.
+        let c = TierCounters::new([0, 1, 1, 1]);
+        c.record(TierId::LOCAL_DRAM, &AccessBatch::random_reads(3));
+        assert_eq!(c.tier_total(TierId::LOCAL_DRAM).reads, 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let c = Arc::new(counters());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(TierId::NVM_NEAR, &AccessBatch::random_reads(1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.tier_total(TierId::NVM_NEAR).reads, 8000);
+    }
+}

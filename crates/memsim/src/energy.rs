@@ -1,0 +1,205 @@
+//! DIMM energy model.
+//!
+//! The paper's Fig. 2 (bottom) compares the *accumulated* energy of the DRAM
+//! DIMMs (Tier 0 runs) against the Optane DCPM DIMMs (Tier 2 runs) and finds
+//! DRAM ~63.9 % lower — not because DCPM burns more power per access second
+//! by a huge margin, but because the NVM-bound run takes much longer, so the
+//! background (static) term integrates over a longer window (Takeaway 5:
+//! "energy consumption is in line with the execution time").
+//!
+//! We model exactly that decomposition:
+//!
+//! ```text
+//! E_tier = static_power_per_dimm × dimm_count × elapsed_time     (background)
+//!        + read_energy_per_byte  × bytes_read                    (dynamic)
+//!        + write_energy_per_byte × bytes_written                 (dynamic)
+//! ```
+
+use crate::access::AccessBatch;
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates dynamic energy per tier; static energy is folded in when the
+/// run's elapsed time is known (at [`EnergyMeter::finish`]).
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    /// Dynamic joules accumulated per tier.
+    dynamic_j: [f64; NUM_TIERS],
+    /// Per-tier (static power per DIMM, dimm count).
+    static_spec: [(f64, usize); NUM_TIERS],
+}
+
+impl EnergyMeter {
+    /// Build a meter from the tier parameter set.
+    pub fn new(params: &[TierParams; NUM_TIERS]) -> Self {
+        EnergyMeter {
+            dynamic_j: [0.0; NUM_TIERS],
+            static_spec: [0, 1, 2, 3]
+                .map(|i| (params[i].static_power_w_per_dimm, params[i].dimm_count)),
+        }
+    }
+
+    /// Record the dynamic energy of an access batch on a tier.
+    pub fn record(&mut self, tier: TierId, params: &TierParams, batch: &AccessBatch) {
+        let pj = params.read_energy_pj_per_byte * batch.bytes_read as f64
+            + params.write_energy_pj_per_byte * batch.bytes_written as f64;
+        self.dynamic_j[tier.index()] += pj * 1e-12;
+    }
+
+    /// Dynamic joules accumulated so far on a tier.
+    pub fn dynamic_joules(&self, tier: TierId) -> f64 {
+        self.dynamic_j[tier.index()]
+    }
+
+    /// Fold in static energy for a run of the given elapsed virtual time and
+    /// return the complete breakdown.
+    pub fn finish(&self, elapsed: SimTime) -> EnergyBreakdown {
+        let secs = elapsed.as_secs_f64();
+        let mut tiers = [TierEnergy::default(); NUM_TIERS];
+        for (i, tier) in tiers.iter_mut().enumerate() {
+            let (power, dimms) = self.static_spec[i];
+            *tier = TierEnergy {
+                static_j: power * dimms as f64 * secs,
+                dynamic_j: self.dynamic_j[i],
+                dimm_count: dimms,
+            };
+        }
+        EnergyBreakdown { elapsed, tiers }
+    }
+}
+
+/// Energy of one tier over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TierEnergy {
+    /// Background energy (static power integrated over the run), joules.
+    pub static_j: f64,
+    /// Access-proportional energy, joules.
+    pub dynamic_j: f64,
+    /// DIMMs backing the tier.
+    pub dimm_count: usize,
+}
+
+impl TierEnergy {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j
+    }
+
+    /// Joules per DIMM — the quantity Fig. 2 (bottom) plots.
+    pub fn per_dimm_j(&self) -> f64 {
+        self.total_j() / self.dimm_count.max(1) as f64
+    }
+}
+
+/// Complete per-run energy breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Run duration the static term was integrated over.
+    pub elapsed: SimTime,
+    /// Per-tier energies, indexed by `TierId::index()`.
+    pub tiers: [TierEnergy; NUM_TIERS],
+}
+
+impl EnergyBreakdown {
+    /// Energy of one tier.
+    pub fn tier(&self, tier: TierId) -> TierEnergy {
+        self.tiers[tier.index()]
+    }
+
+    /// Total joules across all tiers.
+    pub fn total_j(&self) -> f64 {
+        self.tiers.iter().map(|t| t.total_j()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> [TierParams; NUM_TIERS] {
+        TierId::all().map(TierParams::paper_default)
+    }
+
+    #[test]
+    fn dynamic_energy_tracks_bytes() {
+        let p = params();
+        let mut m = EnergyMeter::new(&p);
+        let batch = AccessBatch::sequential(1_000_000, 0); // 1 MB read
+        m.record(TierId::LOCAL_DRAM, &p[0], &batch);
+        // 15 pJ/B × 1e6 B = 15e6 pJ = 15 µJ.
+        assert!((m.dynamic_joules(TierId::LOCAL_DRAM) - 15e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvm_writes_cost_more_than_reads() {
+        let p = params();
+        let mut mr = EnergyMeter::new(&p);
+        let mut mw = EnergyMeter::new(&p);
+        mr.record(
+            TierId::NVM_NEAR,
+            &p[2],
+            &AccessBatch::sequential(1 << 20, 0),
+        );
+        mw.record(
+            TierId::NVM_NEAR,
+            &p[2],
+            &AccessBatch::sequential(0, 1 << 20),
+        );
+        assert!(
+            mw.dynamic_joules(TierId::NVM_NEAR) > 2.5 * mr.dynamic_joules(TierId::NVM_NEAR),
+            "NVM write energy must dominate read energy"
+        );
+    }
+
+    #[test]
+    fn static_term_scales_with_time() {
+        let p = params();
+        let m = EnergyMeter::new(&p);
+        let e1 = m.finish(SimTime::from_secs(10));
+        let e2 = m.finish(SimTime::from_secs(20));
+        let t = TierId::LOCAL_DRAM;
+        assert!((e2.tier(t).static_j - 2.0 * e1.tier(t).static_j).abs() < 1e-9);
+        // Tier 0: 3 W × 2 DIMMs × 10 s = 60 J.
+        assert!((e1.tier(t).static_j - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_dimm_divides_by_dimm_count() {
+        let p = params();
+        let m = EnergyMeter::new(&p);
+        let e = m.finish(SimTime::from_secs(1));
+        let near = e.tier(TierId::NVM_NEAR);
+        // 4.6 W × 4 DIMMs × 1 s / 4 DIMMs = 4.6 J per DIMM.
+        assert!((near.per_dimm_j() - 4.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_nvm_run_accumulates_more_energy() {
+        // The core Fig. 2 (bottom) effect: same traffic, but the NVM run
+        // lasts ~3x longer, so its accumulated energy is higher even though
+        // per-DIMM static power is comparable.
+        let p = params();
+        let traffic = AccessBatch::sequential(100 << 20, 50 << 20);
+        let mut dram = EnergyMeter::new(&p);
+        dram.record(TierId::LOCAL_DRAM, &p[0], &traffic);
+        let e_dram = dram.finish(SimTime::from_secs(10)).tier(TierId::LOCAL_DRAM);
+
+        let mut nvm = EnergyMeter::new(&p);
+        nvm.record(TierId::NVM_NEAR, &p[2], &traffic);
+        let e_nvm = nvm.finish(SimTime::from_secs(30)).tier(TierId::NVM_NEAR);
+
+        assert!(e_nvm.per_dimm_j() > 2.0 * e_dram.per_dimm_j());
+    }
+
+    #[test]
+    fn total_sums_tiers() {
+        let p = params();
+        let mut m = EnergyMeter::new(&p);
+        m.record(TierId::LOCAL_DRAM, &p[0], &AccessBatch::sequential(1000, 0));
+        m.record(TierId::NVM_FAR, &p[3], &AccessBatch::sequential(0, 1000));
+        let e = m.finish(SimTime::ZERO);
+        let sum: f64 = TierId::all().iter().map(|&t| e.tier(t).total_j()).sum();
+        assert!((e.total_j() - sum).abs() < 1e-15);
+    }
+}

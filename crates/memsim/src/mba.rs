@@ -1,0 +1,110 @@
+//! Intel Memory Bandwidth Allocation (MBA) equivalent.
+//!
+//! The paper's Fig. 3 experiment caps the deliverable memory bandwidth at
+//! 10–100 % and observes that execution time barely moves — the workloads are
+//! latency-bound, not bandwidth-bound (Takeaway 4). [`MbaController`] exposes
+//! the same knob for the simulated machine: a per-tier throttle level that is
+//! applied to the tier's fair-share bandwidth resource.
+
+use crate::tier::{TierId, NUM_TIERS};
+use serde::{Deserialize, Serialize};
+
+/// MBA throttling levels supported by the hardware (percent of full
+/// bandwidth). Real MBA exposes discrete COS levels; we model the 10 deciles
+/// the paper sweeps.
+pub const MBA_LEVELS: [u8; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// Per-tier bandwidth throttle state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MbaController {
+    /// Throttle percent per tier (10..=100).
+    levels: [u8; NUM_TIERS],
+}
+
+impl Default for MbaController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MbaController {
+    /// All tiers unthrottled (100 %).
+    pub fn new() -> Self {
+        MbaController {
+            levels: [100; NUM_TIERS],
+        }
+    }
+
+    /// Set a tier's throttle level in percent.
+    ///
+    /// # Panics
+    /// Panics if `percent` is not one of the supported [`MBA_LEVELS`].
+    pub fn set_level(&mut self, tier: TierId, percent: u8) {
+        assert!(
+            MBA_LEVELS.contains(&percent),
+            "unsupported MBA level {percent}% (valid: {MBA_LEVELS:?})"
+        );
+        self.levels[tier.index()] = percent;
+    }
+
+    /// Set all tiers to the same level.
+    pub fn set_all(&mut self, percent: u8) {
+        for t in TierId::all() {
+            self.set_level(t, percent);
+        }
+    }
+
+    /// A tier's throttle level in percent.
+    pub fn level(&self, tier: TierId) -> u8 {
+        self.levels[tier.index()]
+    }
+
+    /// A tier's throttle as a fraction in `(0, 1]`.
+    pub fn fraction(&self, tier: TierId) -> f64 {
+        self.levels[tier.index()] as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_unthrottled() {
+        let m = MbaController::new();
+        for t in TierId::all() {
+            assert_eq!(m.level(t), 100);
+            assert_eq!(m.fraction(t), 1.0);
+        }
+    }
+
+    #[test]
+    fn levels_are_per_tier() {
+        let mut m = MbaController::new();
+        m.set_level(TierId::NVM_NEAR, 30);
+        assert_eq!(m.level(TierId::NVM_NEAR), 30);
+        assert_eq!(m.level(TierId::LOCAL_DRAM), 100);
+        assert!((m.fraction(TierId::NVM_NEAR) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_all_applies_everywhere() {
+        let mut m = MbaController::new();
+        m.set_all(50);
+        for t in TierId::all() {
+            assert_eq!(m.level(t), 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported MBA level")]
+    fn rejects_off_grid_levels() {
+        MbaController::new().set_level(TierId::LOCAL_DRAM, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported MBA level")]
+    fn rejects_zero() {
+        MbaController::new().set_level(TierId::LOCAL_DRAM, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `numactl`-style binding policies.
+//!
+//! The paper pins every Spark executor with `numactl --cpunodebind=<node>
+//! --membind=<node>` (§III-B). These types express the same constraints for
+//! the simulated machine and resolve them to concrete tiers via the
+//! [`Topology`](crate::topology::Topology).
+
+use crate::tier::TierId;
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which socket an executor's threads are pinned to
+/// (`numactl --cpunodebind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuBindPolicy {
+    /// Pin to one socket.
+    Socket(u8),
+    /// Alternate executors across sockets round-robin (the engine's default
+    /// when several executors are launched).
+    RoundRobin,
+}
+
+impl CpuBindPolicy {
+    /// Resolve the socket for the `idx`-th executor under this policy on a
+    /// machine with `sockets` sockets.
+    pub fn socket_for(&self, idx: usize, sockets: usize) -> u8 {
+        match *self {
+            CpuBindPolicy::Socket(s) => {
+                assert!((s as usize) < sockets, "socket {s} out of range");
+                s
+            }
+            CpuBindPolicy::RoundRobin => (idx % sockets) as u8,
+        }
+    }
+}
+
+/// Where an executor's memory comes from (`numactl --membind`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemBindPolicy {
+    /// Bind all allocations to the tier as seen from the executor's socket
+    /// (the paper's four experimental scenarios).
+    Tier(TierId),
+    /// Bind to a concrete memory node regardless of which tier that makes it.
+    Node(NodeId),
+    /// Interleave page-granular allocations across the given tiers
+    /// (modeled as proportional traffic splitting).
+    Interleave([TierId; 2]),
+    /// Arbitrary traffic weights across tiers — the static equivalent of a
+    /// page-migration policy (HeMem/Nimble-style) that keeps the `w`-hot
+    /// fraction of pages in fast memory. Weights are normalized; entries
+    /// with non-positive weight are dropped.
+    Weighted([f64; 4]),
+}
+
+impl MemBindPolicy {
+    /// The tiers this policy touches from `cpu_socket`, with traffic weights
+    /// that sum to 1.
+    pub fn placement(&self, topo: &Topology, cpu_socket: u8) -> Vec<(TierId, f64)> {
+        match *self {
+            MemBindPolicy::Tier(t) => vec![(t, 1.0)],
+            MemBindPolicy::Node(n) => vec![(topo.tier_for(cpu_socket, n), 1.0)],
+            MemBindPolicy::Interleave([a, b]) => {
+                if a == b {
+                    vec![(a, 1.0)]
+                } else {
+                    vec![(a, 0.5), (b, 0.5)]
+                }
+            }
+            MemBindPolicy::Weighted(weights) => {
+                let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+                assert!(
+                    total > 0.0 && total.is_finite(),
+                    "weighted placement needs positive weights"
+                );
+                crate::tier::TierId::all()
+                    .iter()
+                    .zip(weights.iter())
+                    .filter(|(_, &w)| w > 0.0)
+                    .map(|(&t, &w)| (t, w / total))
+                    .collect()
+            }
+        }
+    }
+
+    /// A hot/cold split: `hot` fraction of traffic on local DRAM, the rest
+    /// on the near Optane bank — a perfect-migrator approximation.
+    pub fn hot_cold(hot: f64) -> MemBindPolicy {
+        let hot = hot.clamp(0.0, 1.0);
+        MemBindPolicy::Weighted([hot, 0.0, 1.0 - hot, 0.0])
+    }
+
+    /// The primary tier (largest traffic share; first on ties).
+    pub fn primary_tier(&self, topo: &Topology, cpu_socket: u8) -> TierId {
+        self.placement(topo, cpu_socket)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(t, _)| t)
+            .expect("placement is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_round_robin_alternates() {
+        let p = CpuBindPolicy::RoundRobin;
+        assert_eq!(p.socket_for(0, 2), 0);
+        assert_eq!(p.socket_for(1, 2), 1);
+        assert_eq!(p.socket_for(2, 2), 0);
+        assert_eq!(CpuBindPolicy::Socket(1).socket_for(5, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cpu_bind_validates_socket() {
+        CpuBindPolicy::Socket(3).socket_for(0, 2);
+    }
+
+    #[test]
+    fn tier_policy_is_identity() {
+        let topo = Topology::paper_testbed();
+        let p = MemBindPolicy::Tier(TierId::NVM_NEAR);
+        assert_eq!(p.placement(&topo, 0), vec![(TierId::NVM_NEAR, 1.0)]);
+        assert_eq!(p.primary_tier(&topo, 0), TierId::NVM_NEAR);
+    }
+
+    #[test]
+    fn node_policy_resolves_via_topology() {
+        let topo = Topology::paper_testbed();
+        // Binding to DRAM node 1 is local from socket 1, remote from socket 0.
+        let p = MemBindPolicy::Node(NodeId::Dram(1));
+        assert_eq!(p.primary_tier(&topo, 1), TierId::LOCAL_DRAM);
+        assert_eq!(p.primary_tier(&topo, 0), TierId::REMOTE_DRAM);
+    }
+
+    #[test]
+    fn weighted_normalizes_and_drops_zeroes() {
+        let topo = Topology::paper_testbed();
+        let p = MemBindPolicy::Weighted([3.0, 0.0, 1.0, 0.0]);
+        let placement = p.placement(&topo, 0);
+        assert_eq!(placement.len(), 2);
+        assert!((placement[0].1 - 0.75).abs() < 1e-12);
+        assert!((placement[1].1 - 0.25).abs() < 1e-12);
+        assert_eq!(p.primary_tier(&topo, 0), TierId::LOCAL_DRAM);
+    }
+
+    #[test]
+    fn hot_cold_clamps() {
+        let topo = Topology::paper_testbed();
+        let all_hot = MemBindPolicy::hot_cold(1.5);
+        assert_eq!(all_hot.placement(&topo, 0), vec![(TierId::LOCAL_DRAM, 1.0)]);
+        let all_cold = MemBindPolicy::hot_cold(-0.5);
+        assert_eq!(all_cold.placement(&topo, 0), vec![(TierId::NVM_NEAR, 1.0)]);
+        let half = MemBindPolicy::hot_cold(0.5).placement(&topo, 0);
+        assert_eq!(half.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weights")]
+    fn weighted_rejects_all_zero() {
+        MemBindPolicy::Weighted([0.0; 4]).placement(&Topology::paper_testbed(), 0);
+    }
+
+    #[test]
+    fn interleave_splits_evenly() {
+        let topo = Topology::paper_testbed();
+        let p = MemBindPolicy::Interleave([TierId::LOCAL_DRAM, TierId::NVM_NEAR]);
+        let placement = p.placement(&topo, 0);
+        assert_eq!(placement.len(), 2);
+        assert!((placement.iter().map(|&(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-12);
+        // Degenerate interleave collapses.
+        let p2 = MemBindPolicy::Interleave([TierId::NVM_FAR, TierId::NVM_FAR]);
+        assert_eq!(p2.placement(&topo, 0), vec![(TierId::NVM_FAR, 1.0)]);
+    }
+}

@@ -1,0 +1,498 @@
+//! The memory-system facade the analytics engine talks to.
+
+use crate::access::AccessBatch;
+use crate::config::MemSimConfig;
+use crate::counters::{CounterSnapshot, TierCounters};
+use crate::energy::{EnergyBreakdown, EnergyMeter};
+use crate::mba::MbaController;
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use crate::topology::Topology;
+use crate::wear::{WearReport, WearTracker};
+use memtier_des::{FlowId, SharedResource, SimTime};
+
+/// The simulated memory system: four tiers, each a fair-share bandwidth
+/// resource, plus counters / energy / wear instrumentation.
+///
+/// # Examples
+///
+/// ```
+/// use memtier_memsim::{AccessBatch, MemorySystem, TierId};
+///
+/// let sys = MemorySystem::paper_default();
+/// let batch = AccessBatch::sequential_read(1 << 20);
+/// // The same megabyte costs more memory time on Optane than on DRAM:
+/// let dram = sys.nominal_mem_time(TierId::LOCAL_DRAM, &batch);
+/// let nvm = sys.nominal_mem_time(TierId::NVM_NEAR, &batch);
+/// assert!(nvm > dram);
+/// ```
+///
+/// The engine drives it as an event loop:
+/// 1. [`begin_access`](Self::begin_access) when a task starts a memory phase;
+/// 2. [`next_completion`](Self::next_completion) to find the earliest finish;
+/// 3. [`finish_access`](Self::finish_access) when the phase drains — this is
+///    also the instant the traffic is charged to counters, energy and wear.
+pub struct MemorySystem {
+    config: MemSimConfig,
+    /// Effective (ablation-applied) tier parameters.
+    params: [TierParams; NUM_TIERS],
+    resources: [SharedResource; NUM_TIERS],
+    counters: TierCounters,
+    energy: EnergyMeter,
+    wear: WearTracker,
+    mba: MbaController,
+    sampler: Option<Sampler>,
+}
+
+/// One utilization sample (see
+/// [`enable_utilization_sampling`](MemorySystem::enable_utilization_sampling)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Per-tier channel utilization: aggregate service rate over effective
+    /// capacity, in `[0, 1]`.
+    pub utilization: [f64; NUM_TIERS],
+    /// Per-tier concurrent flows.
+    pub active: [usize; NUM_TIERS],
+}
+
+#[derive(Debug)]
+struct Sampler {
+    interval: SimTime,
+    next: SimTime,
+    samples: Vec<UtilizationSample>,
+}
+
+/// Everything the instrumentation observed over one run.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// `ipmctl`-style access counter totals.
+    pub counters: CounterSnapshot,
+    /// Energy breakdown with static power integrated over `elapsed`.
+    pub energy: EnergyBreakdown,
+    /// NVM wear reports.
+    pub wear: Vec<WearReport>,
+    /// Per-tier busy time of the bandwidth resource.
+    pub busy: [SimTime; NUM_TIERS],
+    /// Per-tier bytes served by the bandwidth resource.
+    pub bytes_served: [f64; NUM_TIERS],
+}
+
+impl MemorySystem {
+    /// Build a memory system from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: MemSimConfig) -> Self {
+        config.validate().expect("invalid MemSimConfig");
+        let params = TierId::all().map(|t| config.effective_tier_params(t));
+        let resources = [0usize, 1, 2, 3]
+            .map(|i| SharedResource::new(params[i].bandwidth_bytes_per_s, params[i].contention));
+        let dimms = [0usize, 1, 2, 3].map(|i| params[i].dimm_count);
+        let energy = EnergyMeter::new(&params);
+        let wear = WearTracker::new(&params);
+        MemorySystem {
+            config,
+            params,
+            resources,
+            counters: TierCounters::new(dimms),
+            energy,
+            wear,
+            mba: MbaController::new(),
+            sampler: None,
+        }
+    }
+
+    /// The paper-default memory system.
+    pub fn paper_default() -> Self {
+        Self::new(MemSimConfig::paper_default())
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &MemSimConfig {
+        &self.config
+    }
+
+    /// Effective parameters of a tier (after ablation switches).
+    pub fn tier_params(&self, tier: TierId) -> &TierParams {
+        &self.params[tier.index()]
+    }
+
+    /// Time the batch would take on `tier` with no competing traffic:
+    /// `reads × (read_latency / read_MLP) + writes × (write_latency / write_MLP)`.
+    ///
+    /// This is the latency-limited service time; bandwidth contention and MBA
+    /// throttling stretch it via the tier's [`SharedResource`].
+    pub fn nominal_mem_time(&self, tier: TierId, batch: &AccessBatch) -> SimTime {
+        let p = self.tier_params(tier);
+        let ns = batch.reads as f64 * p.effective_read_ns()
+            + batch.writes as f64 * p.effective_write_ns();
+        SimTime::from_ns_f64(ns)
+    }
+
+    /// The single-stream service rate (bytes/s) implied by
+    /// [`nominal_mem_time`](Self::nominal_mem_time) for this batch.
+    pub fn nominal_rate(&self, tier: TierId, batch: &AccessBatch) -> f64 {
+        let t = self.nominal_mem_time(tier, batch).as_secs_f64();
+        if t <= 0.0 {
+            // Zero-latency batches complete instantly; rate is irrelevant but
+            // must be positive for the resource.
+            return self.params[tier.index()].bandwidth_bytes_per_s;
+        }
+        batch.total_bytes() as f64 / t
+    }
+
+    /// Start serving a batch on a tier. Returns `true` if the batch carries
+    /// traffic (and therefore a completion must be awaited); empty batches
+    /// complete immediately and return `false`.
+    pub fn begin_access(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        flow: FlowId,
+        batch: &AccessBatch,
+    ) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        let demand = self.channel_demand(batch).max(1.0);
+        let t = self.nominal_mem_time(tier, batch).as_secs_f64().max(1e-12);
+        self.resources[tier.index()].add_flow(now, flow, demand, demand / t);
+        true
+    }
+
+    /// Channel bytes a batch charges against the bandwidth resource.
+    pub fn channel_demand(&self, batch: &AccessBatch) -> f64 {
+        batch.channel_bytes(self.config.random_channel_fraction)
+    }
+
+    /// Like [`begin_access`](Self::begin_access) but with a caller-supplied
+    /// service rate (bytes/s). The engine uses this to present a task's
+    /// *CPU-interleaved average* demand rate instead of a raw burst: a task
+    /// that computes for 1 ms and touches 100 KB asks for 100 MB/s, not the
+    /// device's full stream rate. This is what makes latency-bound
+    /// workloads insensitive to MBA throttling (the paper's Fig. 3) while
+    /// genuinely bandwidth-hungry aggregates still saturate the tier.
+    pub fn begin_access_with_rate(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        flow: FlowId,
+        batch: &AccessBatch,
+        rate: f64,
+    ) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        assert!(rate > 0.0 && rate.is_finite(), "bad flow rate {rate}");
+        let demand = self.channel_demand(batch).max(1.0);
+        self.resources[tier.index()].add_flow(now, flow, demand, rate);
+        true
+    }
+
+    /// Finish a batch: remove its flow and charge counters, energy and wear.
+    pub fn finish_access(&mut self, now: SimTime, tier: TierId, flow: FlowId, batch: &AccessBatch) {
+        if !batch.is_empty() {
+            self.resources[tier.index()].remove_flow(now, flow);
+        }
+        self.counters.record(tier, batch);
+        self.energy
+            .record(tier, &self.params[tier.index()].clone(), batch);
+        self.wear.record(tier, batch);
+    }
+
+    /// Abort a batch mid-flight (e.g. task failure), charging only the
+    /// fraction already served.
+    pub fn cancel_access(&mut self, now: SimTime, tier: TierId, flow: FlowId, batch: &AccessBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let residual = self.resources[tier.index()].remove_flow(now, flow);
+        let total = self.channel_demand(batch);
+        let served_frac = if total > 0.0 {
+            ((total - residual) / total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let partial = AccessBatch {
+            reads: (batch.reads as f64 * served_frac) as u64,
+            writes: (batch.writes as f64 * served_frac) as u64,
+            bytes_read: (batch.bytes_read as f64 * served_frac) as u64,
+            bytes_written: (batch.bytes_written as f64 * served_frac) as u64,
+            random_reads: (batch.random_reads as f64 * served_frac) as u64,
+            random_writes: (batch.random_writes as f64 * served_frac) as u64,
+        };
+        self.counters.record(tier, &partial);
+        self.energy
+            .record(tier, &self.params[tier.index()].clone(), &partial);
+        self.wear.record(tier, &partial);
+    }
+
+    /// Earliest completion across all tiers: `(time, tier, flow)`.
+    pub fn next_completion(&self) -> Option<(SimTime, TierId, FlowId)> {
+        let mut best: Option<(SimTime, TierId, FlowId)> = None;
+        for tier in TierId::all() {
+            if let Some((t, f)) = self.resources[tier.index()].next_completion() {
+                let cand = (t, tier, f);
+                best = match best {
+                    None => Some(cand),
+                    Some(b) if cand.0 < b.0 => Some(cand),
+                    b => b,
+                };
+            }
+        }
+        best
+    }
+
+    /// Advance all tier resources to `now`, taking utilization samples at
+    /// every crossed sampling instant (rates are piecewise-constant between
+    /// events, so sampling at the boundary is exact).
+    pub fn advance(&mut self, now: SimTime) {
+        if let Some(sampler) = &mut self.sampler {
+            while sampler.next <= now {
+                let at = sampler.next;
+                let mut utilization = [0.0; NUM_TIERS];
+                let mut active = [0; NUM_TIERS];
+                for (i, r) in self.resources.iter().enumerate() {
+                    let agg: f64 = r.current_rates().iter().map(|&(_, x)| x).sum();
+                    utilization[i] = (agg / r.effective_capacity()).clamp(0.0, 1.0);
+                    active[i] = r.active_flows();
+                }
+                sampler.samples.push(UtilizationSample {
+                    at,
+                    utilization,
+                    active,
+                });
+                sampler.next += sampler.interval;
+            }
+        }
+        for r in &mut self.resources {
+            r.advance(now);
+        }
+    }
+
+    /// Start recording per-tier channel utilization every `interval` of
+    /// virtual time. Cheap (one comparison per `advance` while idle) and
+    /// deterministic.
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub fn enable_utilization_sampling(&mut self, interval: SimTime) {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        if self.sampler.is_none() {
+            self.sampler = Some(Sampler {
+                interval,
+                next: SimTime::ZERO,
+                samples: Vec::new(),
+            });
+        }
+    }
+
+    /// The recorded utilization samples (empty if sampling is disabled).
+    pub fn utilization_samples(&self) -> &[UtilizationSample] {
+        self.sampler
+            .as_ref()
+            .map(|s| s.samples.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Apply an MBA throttle level (percent) to a tier.
+    pub fn set_mba_level(&mut self, now: SimTime, tier: TierId, percent: u8) {
+        self.advance(now);
+        self.mba.set_level(tier, percent);
+        self.resources[tier.index()].set_throttle(self.mba.fraction(tier));
+    }
+
+    /// Apply an MBA level to every tier.
+    pub fn set_mba_all(&mut self, now: SimTime, percent: u8) {
+        for t in TierId::all() {
+            self.set_mba_level(now, t, percent);
+        }
+    }
+
+    /// Current MBA controller state.
+    pub fn mba(&self) -> &MbaController {
+        &self.mba
+    }
+
+    /// Live access-counter snapshot (the `ipmctl` read).
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Number of in-flight flows on a tier.
+    pub fn active_flows(&self, tier: TierId) -> usize {
+        self.resources[tier.index()].active_flows()
+    }
+
+    /// Close out a run at `elapsed`, producing the full telemetry record.
+    pub fn finish_run(&mut self, elapsed: SimTime) -> RunTelemetry {
+        self.advance(elapsed);
+        RunTelemetry {
+            counters: self.counters.snapshot(),
+            energy: self.energy.finish(elapsed),
+            wear: self.wear.report(elapsed),
+            busy: TierId::all().map(|t| self.resources[t.index()].busy_time()),
+            bytes_served: TierId::all().map(|t| self.resources[t.index()].total_served()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::paper_default()
+    }
+
+    #[test]
+    fn nominal_time_orders_tiers() {
+        let s = sys();
+        let batch = AccessBatch::sequential(1 << 20, 1 << 20);
+        let times: Vec<f64> = TierId::all()
+            .iter()
+            .map(|&t| s.nominal_mem_time(t, &batch).as_secs_f64())
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[0] < w[1], "higher tiers must be slower: {times:?}");
+        }
+    }
+
+    #[test]
+    fn nvm_writes_slower_than_reads() {
+        let s = sys();
+        let t_read = s.nominal_mem_time(TierId::NVM_NEAR, &AccessBatch::sequential_read(1 << 20));
+        let t_write = s.nominal_mem_time(TierId::NVM_NEAR, &AccessBatch::sequential_write(1 << 20));
+        assert!(t_write > t_read.mul_f64(3.0));
+        // But symmetric on DRAM.
+        let d_read = s.nominal_mem_time(TierId::LOCAL_DRAM, &AccessBatch::sequential_read(1 << 20));
+        let d_write =
+            s.nominal_mem_time(TierId::LOCAL_DRAM, &AccessBatch::sequential_write(1 << 20));
+        assert_eq!(d_read, d_write);
+    }
+
+    #[test]
+    fn access_lifecycle_charges_instrumentation() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential(4096, 4096);
+        assert!(s.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch));
+        let (t, tier, flow) = s.next_completion().unwrap();
+        assert_eq!((tier, flow), (TierId::NVM_NEAR, 1));
+        s.advance(t);
+        s.finish_access(t, TierId::NVM_NEAR, 1, &batch);
+        let snap = s.counters();
+        assert_eq!(snap.tier(TierId::NVM_NEAR).bytes_read, 4096);
+        assert_eq!(snap.tier(TierId::NVM_NEAR).bytes_written, 4096);
+        assert!(s.next_completion().is_none());
+    }
+
+    #[test]
+    fn empty_batch_completes_inline() {
+        let mut s = sys();
+        assert!(!s.begin_access(SimTime::ZERO, TierId::LOCAL_DRAM, 1, &AccessBatch::EMPTY));
+        s.finish_access(SimTime::ZERO, TierId::LOCAL_DRAM, 1, &AccessBatch::EMPTY);
+        assert!(s.next_completion().is_none());
+    }
+
+    #[test]
+    fn completion_time_matches_nominal_when_alone() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential_read(1 << 20);
+        let nominal = s.nominal_mem_time(TierId::LOCAL_DRAM, &batch);
+        s.begin_access(SimTime::ZERO, TierId::LOCAL_DRAM, 9, &batch);
+        let (t, _, _) = s.next_completion().unwrap();
+        let rel_err =
+            (t.as_secs_f64() - nominal.as_secs_f64()).abs() / nominal.as_secs_f64().max(1e-12);
+        assert!(rel_err < 1e-6, "alone-flow time should equal nominal");
+    }
+
+    #[test]
+    fn mba_throttle_stretches_saturating_flows() {
+        // A flow demanding more than the throttled capacity takes longer.
+        let mut s = sys();
+        // Tier 3 capacity is only 0.47 GB/s: a fast nominal flow saturates it.
+        let batch = AccessBatch::sequential_read(1 << 26); // 64 MB
+        s.begin_access(SimTime::ZERO, TierId::NVM_FAR, 1, &batch);
+        let (t_free, _, _) = s.next_completion().unwrap();
+        let mut s2 = sys();
+        s2.set_mba_level(SimTime::ZERO, TierId::NVM_FAR, 10);
+        s2.begin_access(SimTime::ZERO, TierId::NVM_FAR, 1, &batch);
+        let (t_thr, _, _) = s2.next_completion().unwrap();
+        assert!(t_thr >= t_free, "throttle can only slow things down");
+    }
+
+    #[test]
+    fn mba_invisible_below_saturation() {
+        // The Fig. 3 shape: a latency-bound flow is unaffected by MBA.
+        let mut s = sys();
+        let batch = AccessBatch::random_reads(1000); // latency-bound trickle
+        s.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let (t_free, _, _) = s.next_completion().unwrap();
+        let mut s2 = sys();
+        s2.set_mba_level(SimTime::ZERO, TierId::NVM_NEAR, 10);
+        s2.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let (t_thr, _, _) = s2.next_completion().unwrap();
+        let rel = (t_thr.as_secs_f64() - t_free.as_secs_f64()) / t_free.as_secs_f64();
+        assert!(
+            rel.abs() < 0.01,
+            "latency-bound flow must not feel MBA (got {rel})"
+        );
+    }
+
+    #[test]
+    fn cancel_charges_partial_traffic() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential_read(1 << 20);
+        let nominal = s.nominal_mem_time(TierId::LOCAL_DRAM, &batch);
+        s.begin_access(SimTime::ZERO, TierId::LOCAL_DRAM, 1, &batch);
+        // Cancel halfway through.
+        let half = SimTime::from_ps(nominal.as_ps() / 2);
+        s.advance(half);
+        s.cancel_access(half, TierId::LOCAL_DRAM, 1, &batch);
+        let read = s.counters().tier(TierId::LOCAL_DRAM).bytes_read;
+        let frac = read as f64 / (1 << 20) as f64;
+        assert!((frac - 0.5).abs() < 0.01, "expected ~half charged: {frac}");
+    }
+
+    #[test]
+    fn finish_run_reports_energy_and_wear() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential(0, 1 << 20);
+        s.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let (t, _, _) = s.next_completion().unwrap();
+        s.advance(t);
+        s.finish_access(t, TierId::NVM_NEAR, 1, &batch);
+        let telemetry = s.finish_run(t);
+        assert!(telemetry.energy.tier(TierId::NVM_NEAR).dynamic_j > 0.0);
+        assert!(telemetry
+            .wear
+            .iter()
+            .any(|w| w.tier == TierId::NVM_NEAR && w.media_writes > 0));
+        assert!(telemetry.busy[TierId::NVM_NEAR.index()] > SimTime::ZERO);
+        assert!(telemetry.bytes_served[TierId::NVM_NEAR.index()] > 0.0);
+    }
+
+    #[test]
+    fn contention_slows_concurrent_nvm_flows() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential_write(1 << 20);
+        s.begin_access(SimTime::ZERO, TierId::NVM_FAR, 1, &batch);
+        let (alone, _, _) = s.next_completion().unwrap();
+
+        let mut s2 = sys();
+        for f in 0..60 {
+            s2.begin_access(SimTime::ZERO, TierId::NVM_FAR, f, &batch);
+        }
+        let (crowded, _, _) = s2.next_completion().unwrap();
+        assert!(
+            crowded.as_secs_f64() > 2.0 * alone.as_secs_f64(),
+            "60 concurrent NVM writers must contend hard"
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Memory tiers and their device parameters.
+
+use memtier_des::ContentionModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of tiers in the paper's testbed.
+pub const NUM_TIERS: usize = 4;
+
+/// Identifier of a memory tier (0–3, Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// Tier 0 — local DRAM (same socket as the executor's cores).
+    pub const LOCAL_DRAM: TierId = TierId(0);
+    /// Tier 1 — remote DRAM (other socket's DDR4, one UPI hop).
+    pub const REMOTE_DRAM: TierId = TierId(1);
+    /// Tier 2 — Optane DCPM on the 4-DIMM socket.
+    pub const NVM_NEAR: TierId = TierId(2);
+    /// Tier 3 — Optane DCPM on the 2-DIMM socket, accessed remotely.
+    pub const NVM_FAR: TierId = TierId(3);
+
+    /// All tiers in order.
+    pub fn all() -> [TierId; NUM_TIERS] {
+        [
+            TierId::LOCAL_DRAM,
+            TierId::REMOTE_DRAM,
+            TierId::NVM_NEAR,
+            TierId::NVM_FAR,
+        ]
+    }
+
+    /// Index into per-tier arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from an index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_TIERS`.
+    pub fn from_index(idx: usize) -> TierId {
+        assert!(idx < NUM_TIERS, "tier index {idx} out of range");
+        TierId(idx as u8)
+    }
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tier {}", self.0)
+    }
+}
+
+/// Memory technology behind a tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Conventional DDR4 DRAM.
+    Dram,
+    /// Intel Optane DC Persistent Memory (App Direct mode, ext4-DAX).
+    Nvm,
+}
+
+impl TierKind {
+    /// True for the persistent-memory technology.
+    pub fn is_nvm(self) -> bool {
+        matches!(self, TierKind::Nvm)
+    }
+}
+
+/// Device-level parameters of one tier.
+///
+/// Latency/bandwidth defaults come straight from Table I; the remaining
+/// constants (memory-level parallelism, write asymmetry, energy) are the
+/// calibration knobs documented in `MemSimConfig` and DESIGN.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// Human-readable tier name.
+    pub name: String,
+    /// Technology behind the tier.
+    pub kind: TierKind,
+    /// Idle (unloaded, dependent-load) read latency in nanoseconds.
+    pub idle_read_latency_ns: f64,
+    /// Idle write latency in nanoseconds. Equal to read latency for DRAM;
+    /// substantially higher for DCPM (the paper's Takeaway 3 asymmetry).
+    pub idle_write_latency_ns: f64,
+    /// Aggregate deliverable bandwidth of the tier, bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Achievable memory-level parallelism for reads: how many dependent-miss
+    /// latencies overlap for a realistic access stream. Divides the effective
+    /// per-access read cost.
+    pub read_mlp: f64,
+    /// Achievable MLP for writes. DCPM's write-pending queue makes this ~1.
+    pub write_mlp: f64,
+    /// Static (background) power per DIMM, watts.
+    pub static_power_w_per_dimm: f64,
+    /// Dynamic read energy, picojoules per byte.
+    pub read_energy_pj_per_byte: f64,
+    /// Dynamic write energy, picojoules per byte.
+    pub write_energy_pj_per_byte: f64,
+    /// Number of DIMMs backing this tier in the paper topology.
+    pub dimm_count: usize,
+    /// Per-DIMM media write endurance (total line writes before wear-out).
+    /// `None` for DRAM (effectively unlimited).
+    pub endurance_writes: Option<u64>,
+    /// Contention model for concurrent accessors of this tier.
+    pub contention: ContentionModel,
+}
+
+/// Gigabytes per second → bytes per second.
+pub const GB_S: f64 = 1e9;
+
+impl TierParams {
+    /// Paper Table I defaults for the given tier.
+    pub fn paper_default(tier: TierId) -> TierParams {
+        match tier {
+            TierId::LOCAL_DRAM => TierParams {
+                name: "Tier 0 (local DRAM)".to_string(),
+                kind: TierKind::Dram,
+                idle_read_latency_ns: 77.8,
+                idle_write_latency_ns: 77.8,
+                bandwidth_bytes_per_s: 39.3 * GB_S,
+                read_mlp: 4.0,
+                write_mlp: 4.0,
+                static_power_w_per_dimm: 3.0,
+                read_energy_pj_per_byte: 15.0,
+                write_energy_pj_per_byte: 20.0,
+                dimm_count: 2,
+                endurance_writes: None,
+                contention: ContentionModel::Linear { alpha: 0.004 },
+            },
+            TierId::REMOTE_DRAM => TierParams {
+                name: "Tier 1 (remote DRAM)".to_string(),
+                kind: TierKind::Dram,
+                idle_read_latency_ns: 130.9,
+                idle_write_latency_ns: 130.9,
+                bandwidth_bytes_per_s: 31.6 * GB_S,
+                read_mlp: 3.0,
+                write_mlp: 3.0,
+                static_power_w_per_dimm: 3.0,
+                read_energy_pj_per_byte: 17.0,
+                write_energy_pj_per_byte: 22.0,
+                dimm_count: 2,
+                endurance_writes: None,
+                contention: ContentionModel::Linear { alpha: 0.006 },
+            },
+            TierId::NVM_NEAR => TierParams {
+                name: "Tier 2 (Optane DCPM, 4-DIMM)".to_string(),
+                kind: TierKind::Nvm,
+                idle_read_latency_ns: 172.1,
+                idle_write_latency_ns: 520.0,
+                bandwidth_bytes_per_s: 10.7 * GB_S,
+                read_mlp: 1.3,
+                write_mlp: 0.9,
+                static_power_w_per_dimm: 4.6,
+                read_energy_pj_per_byte: 60.0,
+                write_energy_pj_per_byte: 180.0,
+                dimm_count: 4,
+                endurance_writes: Some(300_000_000_000),
+                contention: ContentionModel::Knee {
+                    alpha: 0.022,
+                    knee: 48,
+                    beta: 0.0012,
+                },
+            },
+            TierId::NVM_FAR => TierParams {
+                name: "Tier 3 (remote Optane DCPM, 2-DIMM)".to_string(),
+                kind: TierKind::Nvm,
+                idle_read_latency_ns: 231.3,
+                idle_write_latency_ns: 690.0,
+                bandwidth_bytes_per_s: 0.47 * GB_S,
+                read_mlp: 0.7,
+                write_mlp: 0.45,
+                static_power_w_per_dimm: 4.6,
+                read_energy_pj_per_byte: 66.0,
+                write_energy_pj_per_byte: 195.0,
+                dimm_count: 2,
+                endurance_writes: Some(300_000_000_000),
+                contention: ContentionModel::Knee {
+                    alpha: 0.03,
+                    knee: 40,
+                    beta: 0.0018,
+                },
+            },
+            other => panic!("unknown tier {other}"),
+        }
+    }
+
+    /// A what-if profile for a CXL-attached DRAM memory expander (the
+    /// upcoming technology the paper's introduction points at: Samsung
+    /// Memory Expander / CXL 2.0). Latency sits between remote DRAM and
+    /// DCPM (~210 ns across the CXL link), bandwidth is PCIe-5.0-x8-class,
+    /// and the media is DRAM: symmetric reads/writes, no endurance limit,
+    /// DRAM-like energy.
+    pub fn cxl_expander() -> TierParams {
+        TierParams {
+            name: "CXL expander (what-if)".to_string(),
+            kind: TierKind::Dram,
+            idle_read_latency_ns: 210.0,
+            idle_write_latency_ns: 210.0,
+            bandwidth_bytes_per_s: 24.0 * GB_S,
+            read_mlp: 2.6,
+            write_mlp: 2.6,
+            static_power_w_per_dimm: 3.4,
+            read_energy_pj_per_byte: 22.0,
+            write_energy_pj_per_byte: 28.0,
+            dimm_count: 2,
+            endurance_writes: None,
+            contention: ContentionModel::Linear { alpha: 0.01 },
+        }
+    }
+
+    /// Effective per-access read cost in nanoseconds (idle latency divided by
+    /// the achievable memory-level parallelism).
+    pub fn effective_read_ns(&self) -> f64 {
+        self.idle_read_latency_ns / self.read_mlp
+    }
+
+    /// Effective per-access write cost in nanoseconds.
+    pub fn effective_write_ns(&self) -> f64 {
+        self.idle_write_latency_ns / self.write_mlp
+    }
+
+    /// Validate internal consistency; used by `MemSimConfig::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = [
+            ("idle_read_latency_ns", self.idle_read_latency_ns),
+            ("idle_write_latency_ns", self.idle_write_latency_ns),
+            ("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s),
+            ("read_mlp", self.read_mlp),
+            ("write_mlp", self.write_mlp),
+            ("read_energy_pj_per_byte", self.read_energy_pj_per_byte),
+            ("write_energy_pj_per_byte", self.write_energy_pj_per_byte),
+        ];
+        for (name, v) in pos {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{}: {name} must be positive, got {v}", self.name));
+            }
+        }
+        if self.static_power_w_per_dimm < 0.0 {
+            return Err(format!("{}: negative static power", self.name));
+        }
+        if self.dimm_count == 0 {
+            return Err(format!("{}: tier must have at least one DIMM", self.name));
+        }
+        if self.kind.is_nvm() && self.idle_write_latency_ns < self.idle_read_latency_ns {
+            return Err(format!(
+                "{}: NVM write latency must not be below read latency",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_encoded() {
+        let t0 = TierParams::paper_default(TierId::LOCAL_DRAM);
+        assert_eq!(t0.idle_read_latency_ns, 77.8);
+        assert_eq!(t0.bandwidth_bytes_per_s, 39.3e9);
+        let t1 = TierParams::paper_default(TierId::REMOTE_DRAM);
+        assert_eq!(t1.idle_read_latency_ns, 130.9);
+        assert_eq!(t1.bandwidth_bytes_per_s, 31.6e9);
+        let t2 = TierParams::paper_default(TierId::NVM_NEAR);
+        assert_eq!(t2.idle_read_latency_ns, 172.1);
+        assert_eq!(t2.bandwidth_bytes_per_s, 10.7e9);
+        let t3 = TierParams::paper_default(TierId::NVM_FAR);
+        assert_eq!(t3.idle_read_latency_ns, 231.3);
+        assert!((t3.bandwidth_bytes_per_s - 0.47e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nvm_tiers_have_write_asymmetry() {
+        for t in [TierId::NVM_NEAR, TierId::NVM_FAR] {
+            let p = TierParams::paper_default(t);
+            assert!(p.kind.is_nvm());
+            assert!(p.idle_write_latency_ns > 2.0 * p.idle_read_latency_ns);
+            assert!(p.write_energy_pj_per_byte > 2.0 * p.read_energy_pj_per_byte);
+            assert!(p.endurance_writes.is_some());
+        }
+    }
+
+    #[test]
+    fn dram_tiers_are_symmetric() {
+        for t in [TierId::LOCAL_DRAM, TierId::REMOTE_DRAM] {
+            let p = TierParams::paper_default(t);
+            assert_eq!(p.idle_read_latency_ns, p.idle_write_latency_ns);
+            assert!(p.endurance_writes.is_none());
+        }
+    }
+
+    #[test]
+    fn effective_latency_ordering_matches_tiers() {
+        let eff: Vec<f64> = TierId::all()
+            .iter()
+            .map(|&t| TierParams::paper_default(t).effective_read_ns())
+            .collect();
+        for w in eff.windows(2) {
+            assert!(w[0] < w[1], "effective read cost must rise with tier id");
+        }
+    }
+
+    #[test]
+    fn defaults_validate() {
+        for t in TierId::all() {
+            TierParams::paper_default(t).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut p = TierParams::paper_default(TierId::LOCAL_DRAM);
+        p.read_mlp = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = TierParams::paper_default(TierId::NVM_NEAR);
+        p.idle_write_latency_ns = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = TierParams::paper_default(TierId::LOCAL_DRAM);
+        p.dimm_count = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tier_id_roundtrip_and_display() {
+        for (i, t) in TierId::all().into_iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(TierId::from_index(i), t);
+        }
+        assert_eq!(TierId::NVM_NEAR.to_string(), "Tier 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        TierId::from_index(4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Physical topology of the emulated testbed.
+//!
+//! The paper's machine: a single node with 2×20-core Xeon Gold 5218R
+//! (40 hyperthreads per socket), 4×32 GB DDR4 DIMMs (2 per socket) and
+//! 6×256 GB Optane DC NVDIMMs placed **asymmetrically** — 2 on socket 0 and
+//! 4 on socket 1 — exactly so that binding to one NVM bank or the other gives
+//! different latency/bandwidth (paper §III-A). The OS view is three NUMA
+//! nodes (DRAM-0, DRAM-1, NVM); we additionally distinguish the two NVM banks
+//! because the tier definition depends on which bank serves the allocation.
+
+use crate::tier::{TierId, TierKind};
+use serde::{Deserialize, Serialize};
+
+/// A memory node an allocation can be bound to (`numactl --membind`
+/// equivalent, with the NVM region split into its two physical banks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// DRAM of the given socket (NUMA node 0 or 1).
+    Dram(u8),
+    /// The 4-DIMM Optane bank (on socket 1).
+    NvmNear,
+    /// The 2-DIMM Optane bank (on socket 0).
+    NvmFar,
+}
+
+/// Description of one socket's compute resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketDesc {
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+}
+
+impl SocketDesc {
+    /// Hardware threads available on this socket.
+    pub fn hyperthreads(&self) -> u32 {
+        self.cores * self.threads_per_core
+    }
+}
+
+/// Description of one memory node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemNodeDesc {
+    /// The node.
+    pub node: NodeId,
+    /// Technology.
+    pub kind: TierKind,
+    /// Socket the DIMMs are attached to.
+    pub socket: u8,
+    /// DIMMs backing the node.
+    pub dimms: usize,
+    /// Capacity per DIMM in bytes.
+    pub dimm_capacity: u64,
+}
+
+impl MemNodeDesc {
+    /// Total capacity of the node in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.dimms as u64 * self.dimm_capacity
+    }
+}
+
+/// The machine topology: sockets plus memory nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Compute sockets.
+    pub sockets: Vec<SocketDesc>,
+    /// Memory nodes.
+    pub mem_nodes: Vec<MemNodeDesc>,
+}
+
+const GIB: u64 = 1 << 30;
+
+impl Topology {
+    /// The paper's testbed (§III-A).
+    pub fn paper_testbed() -> Topology {
+        Topology {
+            sockets: vec![
+                SocketDesc {
+                    cores: 20,
+                    threads_per_core: 2,
+                },
+                SocketDesc {
+                    cores: 20,
+                    threads_per_core: 2,
+                },
+            ],
+            mem_nodes: vec![
+                MemNodeDesc {
+                    node: NodeId::Dram(0),
+                    kind: TierKind::Dram,
+                    socket: 0,
+                    dimms: 2,
+                    dimm_capacity: 32 * GIB,
+                },
+                MemNodeDesc {
+                    node: NodeId::Dram(1),
+                    kind: TierKind::Dram,
+                    socket: 1,
+                    dimms: 2,
+                    dimm_capacity: 32 * GIB,
+                },
+                MemNodeDesc {
+                    node: NodeId::NvmNear,
+                    kind: TierKind::Nvm,
+                    socket: 1,
+                    dimms: 4,
+                    dimm_capacity: 256 * GIB,
+                },
+                MemNodeDesc {
+                    node: NodeId::NvmFar,
+                    kind: TierKind::Nvm,
+                    socket: 0,
+                    dimms: 2,
+                    dimm_capacity: 256 * GIB,
+                },
+            ],
+        }
+    }
+
+    /// Total hardware threads across sockets.
+    pub fn total_hyperthreads(&self) -> u32 {
+        self.sockets.iter().map(|s| s.hyperthreads()).sum()
+    }
+
+    /// Hardware threads on one socket.
+    ///
+    /// # Panics
+    /// Panics if the socket does not exist.
+    pub fn hyperthreads_on(&self, socket: u8) -> u32 {
+        self.sockets[socket as usize].hyperthreads()
+    }
+
+    /// Total DRAM capacity in bytes.
+    pub fn dram_capacity(&self) -> u64 {
+        self.mem_nodes
+            .iter()
+            .filter(|n| n.kind == TierKind::Dram)
+            .map(|n| n.capacity())
+            .sum()
+    }
+
+    /// Total NVM capacity in bytes.
+    pub fn nvm_capacity(&self) -> u64 {
+        self.mem_nodes
+            .iter()
+            .filter(|n| n.kind == TierKind::Nvm)
+            .map(|n| n.capacity())
+            .sum()
+    }
+
+    /// Find the descriptor for a memory node.
+    pub fn mem_node(&self, node: NodeId) -> Option<&MemNodeDesc> {
+        self.mem_nodes.iter().find(|n| n.node == node)
+    }
+
+    /// Map a (compute socket, memory node) pair to the tier the paper's
+    /// Table I characterizes — the `numactl --cpunodebind=$cpu
+    /// --membind=$mem` view of the machine.
+    ///
+    /// * Same-socket DRAM → Tier 0 (local).
+    /// * Other-socket DRAM → Tier 1 (one UPI hop).
+    /// * The 4-DIMM Optane bank → Tier 2.
+    /// * The 2-DIMM Optane bank → Tier 3.
+    pub fn tier_for(&self, cpu_socket: u8, mem: NodeId) -> TierId {
+        match mem {
+            NodeId::Dram(s) if s == cpu_socket => TierId::LOCAL_DRAM,
+            NodeId::Dram(_) => TierId::REMOTE_DRAM,
+            NodeId::NvmNear => TierId::NVM_NEAR,
+            NodeId::NvmFar => TierId::NVM_FAR,
+        }
+    }
+
+    /// The memory node an executor on `cpu_socket` must bind to in order to
+    /// land on `tier` — the inverse of [`tier_for`](Self::tier_for).
+    pub fn node_for_tier(&self, cpu_socket: u8, tier: TierId) -> NodeId {
+        match tier {
+            TierId::LOCAL_DRAM => NodeId::Dram(cpu_socket),
+            TierId::REMOTE_DRAM => NodeId::Dram(1 - cpu_socket),
+            TierId::NVM_NEAR => NodeId::NvmNear,
+            TierId::NVM_FAR => NodeId::NvmFar,
+            other => panic!("unknown tier {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_3a() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.total_hyperthreads(), 80);
+        assert_eq!(t.hyperthreads_on(0), 40);
+        assert_eq!(t.dram_capacity(), 4 * 32 * GIB);
+        assert_eq!(t.nvm_capacity(), 6 * 256 * GIB);
+        // NVM asymmetry: 4 DIMMs on socket 1, 2 on socket 0.
+        assert_eq!(t.mem_node(NodeId::NvmNear).unwrap().dimms, 4);
+        assert_eq!(t.mem_node(NodeId::NvmNear).unwrap().socket, 1);
+        assert_eq!(t.mem_node(NodeId::NvmFar).unwrap().dimms, 2);
+        assert_eq!(t.mem_node(NodeId::NvmFar).unwrap().socket, 0);
+    }
+
+    #[test]
+    fn tier_mapping_is_socket_relative() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.tier_for(0, NodeId::Dram(0)), TierId::LOCAL_DRAM);
+        assert_eq!(t.tier_for(0, NodeId::Dram(1)), TierId::REMOTE_DRAM);
+        assert_eq!(t.tier_for(1, NodeId::Dram(1)), TierId::LOCAL_DRAM);
+        assert_eq!(t.tier_for(1, NodeId::Dram(0)), TierId::REMOTE_DRAM);
+        assert_eq!(t.tier_for(0, NodeId::NvmNear), TierId::NVM_NEAR);
+        assert_eq!(t.tier_for(1, NodeId::NvmFar), TierId::NVM_FAR);
+    }
+
+    #[test]
+    fn node_for_tier_inverts_tier_for() {
+        let t = Topology::paper_testbed();
+        for socket in [0u8, 1] {
+            for tier in TierId::all() {
+                let node = t.node_for_tier(socket, tier);
+                assert_eq!(t.tier_for(socket, node), tier);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_node_lookup() {
+        let t = Topology::paper_testbed();
+        assert!(t.mem_node(NodeId::Dram(0)).is_some());
+        assert!(t.mem_node(NodeId::Dram(7)).is_none());
+        assert_eq!(
+            t.mem_node(NodeId::NvmFar).unwrap().capacity(),
+            2 * 256 * GIB
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! NVM endurance (wear) accounting.
+//!
+//! Takeaway 3 of the paper notes that beyond its latency cost, a high write
+//! rate "reduces the lifetime of persistent memory, thus in the long-term
+//! further performance degradation may occur due to potential hardware
+//! failures". [`WearTracker`] quantifies that: it charges media writes
+//! against each NVM DIMM's endurance budget and reports consumed-lifetime
+//! fractions and a projected time-to-wear-out at the observed write rate.
+
+use crate::access::AccessBatch;
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Tracks cumulative media writes against per-tier endurance budgets.
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    /// Cumulative media write accesses per tier.
+    writes: [u64; NUM_TIERS],
+    /// Per-tier (endurance per DIMM, dimm count); `None` for DRAM tiers.
+    budgets: [Option<(u64, usize)>; NUM_TIERS],
+}
+
+impl WearTracker {
+    /// Build a tracker from the tier parameter set.
+    pub fn new(params: &[TierParams; NUM_TIERS]) -> Self {
+        WearTracker {
+            writes: [0; NUM_TIERS],
+            budgets: [0, 1, 2, 3].map(|i| {
+                params[i]
+                    .endurance_writes
+                    .map(|e| (e, params[i].dimm_count))
+            }),
+        }
+    }
+
+    /// Charge a batch's writes against a tier.
+    pub fn record(&mut self, tier: TierId, batch: &AccessBatch) {
+        self.writes[tier.index()] += batch.writes;
+    }
+
+    /// Cumulative media writes on a tier.
+    pub fn writes(&self, tier: TierId) -> u64 {
+        self.writes[tier.index()]
+    }
+
+    /// Fraction of the tier's total endurance budget consumed so far.
+    /// Returns `None` for tiers without an endurance limit (DRAM).
+    pub fn consumed_fraction(&self, tier: TierId) -> Option<f64> {
+        let (per_dimm, dimms) = self.budgets[tier.index()]?;
+        let budget = per_dimm as f64 * dimms as f64;
+        Some(self.writes[tier.index()] as f64 / budget)
+    }
+
+    /// Projected time until wear-out if writes continue at the average rate
+    /// observed over `elapsed`. `None` if the tier has no limit or saw no
+    /// writes.
+    pub fn projected_lifetime(&self, tier: TierId, elapsed: SimTime) -> Option<SimTime> {
+        let consumed = self.consumed_fraction(tier)?;
+        if consumed <= 0.0 || elapsed.is_zero() {
+            return None;
+        }
+        let remaining = (1.0 - consumed).max(0.0);
+        Some(elapsed.mul_f64(remaining / consumed))
+    }
+
+    /// Summarize all NVM tiers.
+    pub fn report(&self, elapsed: SimTime) -> Vec<WearReport> {
+        TierId::all()
+            .iter()
+            .filter_map(|&t| {
+                self.consumed_fraction(t).map(|f| WearReport {
+                    tier: t,
+                    media_writes: self.writes(t),
+                    consumed_fraction: f,
+                    projected_lifetime: self.projected_lifetime(t, elapsed),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Wear summary for one endurance-limited tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearReport {
+    /// The tier.
+    pub tier: TierId,
+    /// Cumulative media writes.
+    pub media_writes: u64,
+    /// Fraction of total endurance consumed.
+    pub consumed_fraction: f64,
+    /// Time until wear-out at the observed rate, if computable.
+    pub projected_lifetime: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> WearTracker {
+        let params = TierId::all().map(TierParams::paper_default);
+        WearTracker::new(&params)
+    }
+
+    #[test]
+    fn dram_has_no_budget() {
+        let t = tracker();
+        assert!(t.consumed_fraction(TierId::LOCAL_DRAM).is_none());
+        assert!(t.consumed_fraction(TierId::REMOTE_DRAM).is_none());
+        assert!(t.consumed_fraction(TierId::NVM_NEAR).is_some());
+    }
+
+    #[test]
+    fn writes_accumulate() {
+        let mut t = tracker();
+        t.record(TierId::NVM_NEAR, &AccessBatch::random_writes(100));
+        t.record(TierId::NVM_NEAR, &AccessBatch::random_writes(50));
+        assert_eq!(t.writes(TierId::NVM_NEAR), 150);
+        // Reads don't wear.
+        t.record(TierId::NVM_NEAR, &AccessBatch::random_reads(1000));
+        assert_eq!(t.writes(TierId::NVM_NEAR), 150);
+    }
+
+    #[test]
+    fn consumed_fraction_uses_full_tier_budget() {
+        let mut t = tracker();
+        let params = TierParams::paper_default(TierId::NVM_FAR);
+        let per_dimm = params.endurance_writes.unwrap();
+        let budget = per_dimm * params.dimm_count as u64;
+        t.record(
+            TierId::NVM_FAR,
+            &AccessBatch {
+                writes: budget / 2,
+                ..AccessBatch::EMPTY
+            },
+        );
+        let f = t.consumed_fraction(TierId::NVM_FAR).unwrap();
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_lifetime_extrapolates() {
+        let mut t = tracker();
+        let params = TierParams::paper_default(TierId::NVM_NEAR);
+        let budget = params.endurance_writes.unwrap() * params.dimm_count as u64;
+        // Consume 1% of the budget in 1 hour -> ~99 hours left.
+        t.record(
+            TierId::NVM_NEAR,
+            &AccessBatch {
+                writes: budget / 100,
+                ..AccessBatch::EMPTY
+            },
+        );
+        let life = t
+            .projected_lifetime(TierId::NVM_NEAR, SimTime::from_secs(3600))
+            .unwrap();
+        assert!((life.as_secs_f64() - 99.0 * 3600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_writes_means_no_projection() {
+        let t = tracker();
+        assert!(t
+            .projected_lifetime(TierId::NVM_NEAR, SimTime::from_secs(10))
+            .is_none());
+    }
+
+    #[test]
+    fn report_covers_only_nvm() {
+        let mut t = tracker();
+        t.record(TierId::NVM_NEAR, &AccessBatch::random_writes(10));
+        let reports = t.report(SimTime::from_secs(1));
+        assert_eq!(reports.len(), 2);
+        assert!(reports
+            .iter()
+            .all(|r| matches!(r.tier, TierId::NVM_NEAR | TierId::NVM_FAR)));
+    }
+}

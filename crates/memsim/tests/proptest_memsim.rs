@@ -1,0 +1,91 @@
+//! Property tests for the memory simulator's accounting invariants.
+
+use memtier_des::SimTime;
+use memtier_memsim::{AccessBatch, MemSimConfig, MemorySystem, TierCounters, TierId};
+use proptest::prelude::*;
+
+fn arb_batch() -> impl Strategy<Value = AccessBatch> {
+    (0u64..10_000, 0u64..10_000, 0u64..5_000, 0u64..5_000).prop_map(|(sr, sw, rr, rw)| {
+        AccessBatch::sequential(sr, sw)
+            + AccessBatch::random_reads(rr)
+            + AccessBatch::random_writes(rw)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Batch addition is commutative and conserves every field.
+    #[test]
+    fn batch_addition_laws(a in arb_batch(), b in arb_batch()) {
+        prop_assert_eq!(a + b, b + a);
+        let s = a + b;
+        prop_assert_eq!(s.reads, a.reads + b.reads);
+        prop_assert_eq!(s.total_bytes(), a.total_bytes() + b.total_bytes());
+        prop_assert_eq!(s.random_reads, a.random_reads + b.random_reads);
+        prop_assert_eq!(a.scaled(3).total_accesses(), 3 * a.total_accesses());
+    }
+
+    /// Channel bytes interpolate between "random is free" and full volume.
+    #[test]
+    fn channel_bytes_bounds(batch in arb_batch(), frac in 0.0f64..=1.0) {
+        let cb = batch.channel_bytes(frac);
+        prop_assert!(cb <= batch.total_bytes() as f64 + 1e-9);
+        prop_assert!(cb >= batch.channel_bytes(0.0) - 1e-9);
+        // Monotone in the fraction.
+        prop_assert!(batch.channel_bytes(frac) <= batch.channel_bytes(1.0) + 1e-9);
+        // Full fraction charges everything.
+        prop_assert!((batch.channel_bytes(1.0) - batch.total_bytes() as f64).abs() < 1e-9);
+    }
+
+    /// DIMM striping conserves all counted quantities exactly.
+    #[test]
+    fn counter_striping_conserves(batch in arb_batch(), dimms in 1usize..8) {
+        let c = TierCounters::new([dimms, 1, 1, 1]);
+        c.record(TierId::LOCAL_DRAM, &batch);
+        let total = c.tier_total(TierId::LOCAL_DRAM);
+        prop_assert_eq!(total.reads, batch.reads);
+        prop_assert_eq!(total.writes, batch.writes);
+        prop_assert_eq!(total.bytes_read, batch.bytes_read);
+        prop_assert_eq!(total.bytes_written, batch.bytes_written);
+        // Per-DIMM shares are balanced within 1 access.
+        let per = c.tier_snapshot(TierId::LOCAL_DRAM);
+        let max = per.iter().map(|d| d.reads).max().unwrap();
+        let min = per.iter().map(|d| d.reads).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Nominal memory time is monotone in the tier index for any batch.
+    #[test]
+    fn tier_ordering_holds_for_any_batch(batch in arb_batch()) {
+        prop_assume!(!batch.is_empty());
+        let sys = MemorySystem::paper_default();
+        let times: Vec<f64> = TierId::all()
+            .iter()
+            .map(|&t| sys.nominal_mem_time(t, &batch).as_secs_f64())
+            .collect();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "tier times must be non-decreasing: {:?}", times);
+        }
+    }
+
+    /// A full access lifecycle charges exactly the batch, no matter the
+    /// contents.
+    #[test]
+    fn lifecycle_charges_exact_batch(batch in arb_batch()) {
+        prop_assume!(!batch.is_empty());
+        let mut sys = MemorySystem::new(MemSimConfig::paper_default());
+        sys.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        if let Some((t, tier, flow)) = sys.next_completion() {
+            sys.advance(t);
+            sys.finish_access(t, tier, flow, &batch);
+        } else {
+            sys.finish_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        }
+        let snap = sys.counters().tier(TierId::NVM_NEAR);
+        prop_assert_eq!(snap.reads, batch.reads);
+        prop_assert_eq!(snap.writes, batch.writes);
+        prop_assert_eq!(snap.bytes_read, batch.bytes_read);
+        prop_assert_eq!(snap.bytes_written, batch.bytes_written);
+    }
+}

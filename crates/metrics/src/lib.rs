@@ -1,0 +1,20 @@
+//! # memtier-metrics — statistics toolkit for the characterization campaign
+//!
+//! The paper's analysis sections lean on a small set of statistical tools:
+//! descriptive statistics and quantile summaries for the Fig. 3 violin plots,
+//! Pearson correlation for Figs. 5 and 6, and (for the Takeaway-8 prediction
+//! direction) ordinary-least-squares linear models. This crate implements
+//! them from scratch — no external stats dependency — together with the
+//! ASCII table renderer the bench harnesses print results with.
+
+#![warn(missing_docs)]
+
+pub mod pearson;
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use pearson::{correlation_matrix, pearson, spearman};
+pub use regression::LinearModel;
+pub use stats::{geometric_mean, mean, quantile, stddev, variance, ViolinSummary};
+pub use table::AsciiTable;

@@ -1,0 +1,183 @@
+//! Pearson correlation (paper Figs. 5 and 6).
+
+use crate::stats::mean;
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// # Examples
+///
+/// ```
+/// use memtier_metrics::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+///
+/// Returns `None` when fewer than two points are given or either sample has
+/// zero variance (the coefficient is undefined there — e.g. an application
+/// whose event count never changes across runs).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson inputs must be equal length");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    // Clamp against floating-point drift past ±1.
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson over the rank transforms. Robust to
+/// monotone non-linearity — the comparison point for the paper's "more
+/// complex models are required" remark about weakly linear workloads.
+///
+/// Ties receive average ranks. Same `None` conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "spearman inputs must be equal length");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in spearman input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pairwise correlation matrix of `series` (each inner slice one variable,
+/// all equal length). `None` entries mark undefined correlations; the
+/// diagonal is `Some(1.0)` whenever the variable has variance.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<Option<f64>>> {
+    let n = series.len();
+    let mut out = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let r = pearson(&series[i], &series[j]);
+            out[i][j] = r;
+            out[j][i] = r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [10.0, 20.0, 30.0, 40.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, -1.0, 1.0]; // symmetric about the x-midpoint
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn invariant_under_affine_transform() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 9.0, 4.0, 11.0, 6.0];
+        let r1 = pearson(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let r2 = pearson(&x2, &y).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [1.0, 4.0, 2.0, 7.0];
+        let y = [3.0, 1.0, 6.0, 2.0];
+        assert_eq!(pearson(&x, &y), pearson(&y, &x));
+    }
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![5.0, 5.0, 5.0], // constant
+        ];
+        let m = correlation_matrix(&series);
+        assert_eq!(m.len(), 3);
+        assert!((m[0][0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((m[0][1].unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(m[0][1], m[1][0]);
+        assert_eq!(m[2][2], None);
+        assert_eq!(m[0][2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_handles_monotone_nonlinearity() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect(); // monotone, non-linear
+        let s = spearman(&x, &y).unwrap();
+        assert!(
+            (s - 1.0).abs() < 1e-12,
+            "monotone data must rank-correlate at 1"
+        );
+        // Pearson is visibly below 1 for the same data.
+        assert!(pearson(&x, &y).unwrap() < 0.95);
+    }
+
+    #[test]
+    fn spearman_ties_share_ranks() {
+        let x = [1.0, 1.0, 2.0];
+        let y = [5.0, 5.0, 9.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [9.0, 4.0, 1.0];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+}

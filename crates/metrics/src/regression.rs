@@ -1,0 +1,259 @@
+//! Ordinary-least-squares linear regression.
+//!
+//! Takeaway 8 of the paper argues that "linear prediction models are expected
+//! to perform efficiently" for estimating execution time on unseen tiers from
+//! hardware specs and system-level events. [`LinearModel`] is that model:
+//! multiple linear regression fit by solving the normal equations with
+//! partial-pivot Gaussian elimination (plus a tiny ridge term for numerical
+//! safety on collinear designs).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y ≈ intercept + Σ coef[i]·x[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Intercept term.
+    pub intercept: f64,
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearModel {
+    /// Fit on `rows` of features against `targets`.
+    ///
+    /// Returns `None` when the system is under-determined (fewer rows than
+    /// parameters) or the inputs are empty/ragged.
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) fill
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64]) -> Option<LinearModel> {
+        let n = rows.len();
+        if n == 0 || n != targets.len() {
+            return None;
+        }
+        let k = rows[0].len();
+        if rows.iter().any(|r| r.len() != k) {
+            return None;
+        }
+        let p = k + 1; // + intercept
+        if n < p {
+            return None;
+        }
+
+        // Normal equations: (XᵀX) β = Xᵀy, with X carrying a leading 1s
+        // column. A tiny ridge on the diagonal keeps collinear designs
+        // solvable without meaningfully biasing well-posed fits.
+        let mut xtx = vec![vec![0.0f64; p]; p];
+        let mut xty = vec![0.0f64; p];
+        for (row, &y) in rows.iter().zip(targets) {
+            let x = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+            for i in 0..p {
+                xty[i] += x(i) * y;
+                for j in 0..p {
+                    xtx[i][j] += x(i) * x(j);
+                }
+            }
+        }
+        // Keep the ridge tiny relative to the design: it exists purely to
+        // make exactly-collinear systems solvable, not to regularize.
+        let ridge = 1e-12 * (0..p).map(|i| xtx[i][i]).fold(0.0f64, f64::max).max(1e-12);
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+
+        let beta = solve(xtx, xty)?;
+        let intercept = beta[0];
+        let coefficients = beta[1..].to_vec();
+
+        // R² on the training data.
+        let y_mean = targets.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &y) in rows.iter().zip(targets) {
+            let pred = intercept
+                + coefficients
+                    .iter()
+                    .zip(row)
+                    .map(|(c, x)| c * x)
+                    .sum::<f64>();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - y_mean) * (y - y_mean);
+        }
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+
+        Some(LinearModel {
+            intercept,
+            coefficients,
+            r_squared,
+        })
+    }
+
+    /// Fit a single-feature model.
+    pub fn fit_simple(xs: &[f64], ys: &[f64]) -> Option<LinearModel> {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        Self::fit(&rows, ys)
+    }
+
+    /// Predict the target for a feature vector.
+    ///
+    /// # Panics
+    /// Panics if the feature count doesn't match the fit.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "feature count mismatch"
+        );
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(features)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// Mean absolute percentage error against a labelled set. Rows with a
+    /// zero target are skipped; returns `None` if nothing is scorable.
+    pub fn mape(&self, rows: &[Vec<f64>], targets: &[f64]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (row, &y) in rows.iter().zip(targets) {
+            if y == 0.0 {
+                continue;
+            }
+            total += ((self.predict(row) - y) / y).abs();
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total / count as f64)
+        }
+    }
+}
+
+/// Solve `a·x = b` by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index arithmetic is the algorithm
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("NaN in normal equations")
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let m = LinearModel::fit_simple(&xs, &ys).unwrap();
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-6);
+        assert!((m.intercept - 2.0).abs() < 1e-6);
+        assert!(m.r_squared > 0.999999);
+        assert!((m.predict(&[10.0]) - 32.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        // y = 1 + 2a - 3b
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let m = LinearModel::fit(&rows, &ys).unwrap();
+        assert!((m.intercept - 1.0).abs() < 1e-6);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        assert!(LinearModel::fit(&[vec![1.0, 2.0]], &[3.0]).is_none());
+        assert!(LinearModel::fit(&[], &[]).is_none());
+        // Ragged rows.
+        assert!(LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn collinear_features_still_fit() {
+        // Second feature duplicates the first; ridge keeps it solvable.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let m = LinearModel::fit(&rows, &ys).unwrap();
+        assert!((m.predict(&[5.0, 5.0]) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noisy_fit_has_sensible_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                2.0 * x
+                    + if (x as u64).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+            })
+            .collect();
+        let m = LinearModel::fit_simple(&xs, &ys).unwrap();
+        assert!(m.r_squared > 0.99 && m.r_squared < 1.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let m = LinearModel::fit_simple(&xs, &ys).unwrap();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        assert!(m.mape(&rows, &ys).unwrap() < 1e-6);
+        assert!(m.mape(&rows, &[0.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn constant_target_r2_is_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let m = LinearModel::fit_simple(&xs, &ys).unwrap();
+        assert_eq!(m.r_squared, 1.0);
+        assert!((m.predict(&[9.0]) - 5.0).abs() < 1e-6);
+    }
+}

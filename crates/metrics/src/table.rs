@@ -1,0 +1,202 @@
+//! ASCII table rendering for the bench harness output.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// A table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (label + numbers convention);
+    /// override with [`aligns`](Self::aligns).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        AsciiTable {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set a title rendered above the table.
+    pub fn title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Override per-column alignment.
+    ///
+    /// # Panics
+    /// Panics if the count doesn't match the header count.
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count doesn't match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "## {t}");
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                let pad = widths[i].saturating_sub(cells[i].chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(line, " {}{} |", cells[i], " ".repeat(pad));
+                    }
+                    Align::Right => {
+                        let _ = write!(line, " {}{} |", " ".repeat(pad), cells[i]);
+                    }
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths, &self.aligns));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+}
+
+/// Render a series as a unicode sparkline (8 levels). Empty input yields
+/// an empty string; a constant series renders at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a float with `digits` decimal places, rendering NaN as "-".
+pub fn fmt_f64(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_style() {
+        let mut t = AsciiTable::new(vec!["app", "time (s)"]).title("demo");
+        t.row(vec!["sort", "1.50"]);
+        t.row(vec!["pagerank", "12.25"]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| app      | time (s) |"));
+        assert!(s.contains("| sort     |     1.50 |"));
+        assert!(s.contains("| pagerank |    12.25 |"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn column_widths_grow_with_content() {
+        let mut t = AsciiTable::new(vec!["x"]);
+        t.row(vec!["very-long-content"]);
+        let s = t.render();
+        assert!(s.contains("| very-long-content |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        AsciiTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn fmt_f64_handles_nan() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = AsciiTable::new(vec!["a", "b"]).aligns(vec![Align::Right, Align::Left]);
+        t.row(vec!["1", "x"]);
+        let s = t.render();
+        assert!(s.contains("| 1 | x |"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the statistics toolkit.
+
+use memtier_metrics::{pearson, quantile, LinearModel, ViolinSummary};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantiles stay within [min, max] and are monotone in q.
+    #[test]
+    fn quantile_bounds_and_monotonicity(xs in finite_vec(1..200), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min - 1e-9 && a <= max + 1e-9);
+        prop_assert!(a <= b + 1e-9, "quantile must be monotone in q");
+    }
+
+    /// Violin summaries are internally ordered.
+    #[test]
+    fn violin_ordering(xs in finite_vec(1..200)) {
+        let s = ViolinSummary::from_samples(&xs);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    /// Pearson is bounded, symmetric, and affine-invariant.
+    #[test]
+    fn pearson_properties(
+        pairs in prop::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 2..100),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+            prop_assert_eq!(pearson(&ys, &xs), Some(r));
+            // Positive affine transforms preserve r (within fp noise).
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            let r2 = pearson(&xs2, &ys).unwrap();
+            prop_assert!((r - r2).abs() < 1e-6, "affine invariance: {r} vs {r2}");
+        }
+    }
+
+    /// OLS recovers exact linear relationships to high precision.
+    #[test]
+    fn ols_recovers_linear_data(
+        xs in prop::collection::vec(-100.0f64..100.0, 4..50),
+        slope in -10.0f64..10.0,
+        intercept in -10.0f64..10.0,
+    ) {
+        // Need variance in x for identifiability.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let m = LinearModel::fit_simple(&xs, &ys).unwrap();
+        prop_assert!((m.coefficients[0] - slope).abs() < 1e-4, "slope {} vs {}", m.coefficients[0], slope);
+        prop_assert!((m.intercept - intercept).abs() < 1e-3);
+        // Prediction at an arbitrary point matches the line.
+        prop_assert!((m.predict(&[42.0]) - (slope * 42.0 + intercept)).abs() < 1e-2);
+    }
+}

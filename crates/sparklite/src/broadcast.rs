@@ -1,0 +1,91 @@
+//! Broadcast variables: read-only driver values shared with every task.
+//!
+//! Spark ships a broadcast variable to each executor once and lets every
+//! task read it locally. The engine models the same: the value lives behind
+//! an `Arc`, and the first task of a job *per executor* would pay the fetch
+//! — we approximate executor-granular delivery by charging each task a
+//! `1/cores` share of the serialized size, which totals one fetch per
+//! executor per wave, matching Spark's TorrentBroadcast amortization.
+
+use crate::memsize::MemSize;
+use crate::rdd::TaskEnv;
+use std::sync::Arc;
+
+/// A read-only value distributed to all executors.
+pub struct Broadcast<T: Send + Sync + 'static> {
+    value: Arc<T>,
+    bytes: u64,
+}
+
+impl<T: Send + Sync + 'static> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+            bytes: self.bytes,
+        }
+    }
+}
+
+impl<T: MemSize + Send + Sync + 'static> Broadcast<T> {
+    /// Wrap a driver-side value for distribution.
+    pub fn new(value: T) -> Broadcast<T> {
+        let bytes = value.mem_size() as u64;
+        Broadcast {
+            value: Arc::new(value),
+            bytes,
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Broadcast<T> {
+    /// Access the value inside a task, charging the amortized fetch.
+    ///
+    /// Call once per task (repeated calls recharge, mirroring repeated
+    /// block-manager reads in Spark when a task re-materializes a broadcast
+    /// iterator).
+    pub fn value<'b>(&'b self, env: &mut TaskEnv<'_>) -> &'b T {
+        // Amortized executor-level fetch: a 40-core executor fetches the
+        // broadcast once and its ~40 concurrent tasks share it.
+        let share = (self.bytes / 32).max(64);
+        env.charge_input_scan(share);
+        &self.value
+    }
+
+    /// Serialized size estimate in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Driver-side access (no task context, no charge).
+    pub fn driver_value(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SparkConf;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn broadcast_charges_amortized_fetch() {
+        let rt = Runtime::new(&SparkConf::default());
+        let b = Broadcast::new(vec![0u64; 1000]); // ~8 KB
+        assert!(b.size_bytes() >= 8000);
+        let mut env = TaskEnv::new(&rt);
+        let v = b.value(&mut env);
+        assert_eq!(v.len(), 1000);
+        let charged = env.metrics.input_bytes;
+        assert!(charged > 0 && charged < b.size_bytes());
+        assert_eq!(b.driver_value().len(), 1000);
+    }
+
+    #[test]
+    fn clone_shares_the_value() {
+        let b = Broadcast::new(String::from("model"));
+        let c = b.clone();
+        assert_eq!(c.driver_value(), "model");
+        assert_eq!(c.size_bytes(), b.size_bytes());
+    }
+}

@@ -1,0 +1,207 @@
+//! Engine configuration (`SparkConf` equivalent).
+
+use crate::cost::CostModel;
+use crate::error::{Result, SparkError};
+use memtier_memsim::{CpuBindPolicy, MemBindPolicy, MemSimConfig, TierId};
+use serde::{Deserialize, Serialize};
+
+/// Placement of one executor: which socket its threads are pinned to and
+/// which memory tiers its allocations land on (the `numactl` line the paper
+/// launches each executor with).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorPlacement {
+    /// `--cpunodebind`.
+    pub cpu: CpuBindPolicy,
+    /// `--membind`.
+    pub mem: MemBindPolicy,
+}
+
+impl Default for ExecutorPlacement {
+    fn default() -> Self {
+        ExecutorPlacement {
+            cpu: CpuBindPolicy::Socket(0),
+            mem: MemBindPolicy::Tier(TierId::LOCAL_DRAM),
+        }
+    }
+}
+
+/// Engine configuration.
+///
+/// The defaults mirror the paper's default deployment: standalone mode, one
+/// executor using all 40 hyperthreads of one socket, memory bound to the
+/// local DRAM tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparkConf {
+    /// Number of executors (paper Fig. 4 sweeps {1, 2, 4, 5, 8}).
+    pub num_executors: usize,
+    /// Cores per executor (paper Fig. 4 sweeps {5, 8, 10, 20, 40}).
+    pub cores_per_executor: usize,
+    /// Where executors run and allocate.
+    pub placement: ExecutorPlacement,
+    /// Partitions for source RDDs when the caller doesn't specify
+    /// (`spark.default.parallelism`); defaults to the total core count.
+    pub default_parallelism: Option<usize>,
+    /// Per-executor cache capacity in bytes (the storage region of Spark's
+    /// unified memory manager).
+    pub executor_cache_bytes: u64,
+    /// Memory-system model.
+    pub memsim: MemSimConfig,
+    /// Cost-model constants.
+    pub cost: CostModel,
+    /// DFS datanodes backing `text_file`/`save_as_text_file`.
+    pub dfs_datanodes: usize,
+    /// DFS block size in bytes.
+    pub dfs_block_size: usize,
+    /// Hadoop-comparison mode: round-trip every shuffle through disk
+    /// (MapReduce materializes intermediate data; Spark's in-memory shuffle
+    /// is the paper-intro motivation). Off by default.
+    pub shuffle_through_disk: bool,
+}
+
+impl Default for SparkConf {
+    fn default() -> Self {
+        SparkConf {
+            num_executors: 1,
+            cores_per_executor: 40,
+            placement: ExecutorPlacement::default(),
+            default_parallelism: None,
+            executor_cache_bytes: 512 << 20,
+            memsim: MemSimConfig::paper_default(),
+            cost: CostModel::default(),
+            dfs_datanodes: 4,
+            dfs_block_size: 4 << 20,
+            shuffle_through_disk: false,
+        }
+    }
+}
+
+impl SparkConf {
+    /// The paper's default deployment bound to the given memory tier.
+    pub fn bound_to_tier(tier: TierId) -> SparkConf {
+        SparkConf {
+            placement: ExecutorPlacement {
+                cpu: CpuBindPolicy::Socket(0),
+                mem: MemBindPolicy::Tier(tier),
+            },
+            ..SparkConf::default()
+        }
+    }
+
+    /// Override the executor grid (Fig. 4 sweep points).
+    pub fn with_executors(mut self, executors: usize, cores: usize) -> SparkConf {
+        self.num_executors = executors;
+        self.cores_per_executor = cores;
+        self
+    }
+
+    /// Override default parallelism.
+    pub fn with_parallelism(mut self, partitions: usize) -> SparkConf {
+        self.default_parallelism = Some(partitions);
+        self
+    }
+
+    /// Total task slots across executors.
+    pub fn total_cores(&self) -> usize {
+        self.num_executors * self.cores_per_executor
+    }
+
+    /// Effective default parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.default_parallelism
+            .unwrap_or_else(|| self.total_cores())
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_executors == 0 {
+            return Err(SparkError::InvalidConfig(
+                "need at least one executor".into(),
+            ));
+        }
+        if self.cores_per_executor == 0 {
+            return Err(SparkError::InvalidConfig(
+                "need at least one core per executor".into(),
+            ));
+        }
+        if let Some(p) = self.default_parallelism {
+            if p == 0 {
+                return Err(SparkError::InvalidConfig("parallelism must be > 0".into()));
+            }
+        }
+        if self.dfs_datanodes == 0 {
+            return Err(SparkError::InvalidConfig(
+                "need at least one datanode".into(),
+            ));
+        }
+        if self.dfs_block_size == 0 {
+            return Err(SparkError::InvalidConfig(
+                "dfs block size must be > 0".into(),
+            ));
+        }
+        self.cost.validate().map_err(SparkError::InvalidConfig)?;
+        self.memsim.validate().map_err(SparkError::InvalidConfig)?;
+        // Executors must fit on their socket.
+        let sockets = self.memsim.topology.sockets.len();
+        for i in 0..self.num_executors {
+            let socket = self.placement.cpu.socket_for(i, sockets);
+            let capacity = self.memsim.topology.hyperthreads_on(socket) as usize;
+            if self.cores_per_executor > capacity {
+                return Err(SparkError::InvalidConfig(format!(
+                    "executor {i}: {} cores exceed socket {socket}'s {capacity} hyperthreads",
+                    self.cores_per_executor
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let c = SparkConf::default();
+        c.validate().unwrap();
+        assert_eq!(c.num_executors, 1);
+        assert_eq!(c.cores_per_executor, 40);
+        assert_eq!(c.total_cores(), 40);
+        assert_eq!(c.parallelism(), 40);
+        assert_eq!(c.placement.mem, MemBindPolicy::Tier(TierId::LOCAL_DRAM));
+    }
+
+    #[test]
+    fn builders() {
+        let c = SparkConf::bound_to_tier(TierId::NVM_NEAR)
+            .with_executors(4, 10)
+            .with_parallelism(80);
+        assert_eq!(c.total_cores(), 40);
+        assert_eq!(c.parallelism(), 80);
+        assert_eq!(c.placement.mem, MemBindPolicy::Tier(TierId::NVM_NEAR));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(SparkConf::default()
+            .with_executors(0, 1)
+            .validate()
+            .is_err());
+        assert!(SparkConf::default()
+            .with_executors(1, 0)
+            .validate()
+            .is_err());
+        assert!(SparkConf::default().with_parallelism(0).validate().is_err());
+        // 41 cores on a 40-thread socket.
+        assert!(SparkConf::default()
+            .with_executors(1, 41)
+            .validate()
+            .is_err());
+        let c = SparkConf {
+            dfs_datanodes: 0,
+            ..SparkConf::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The `SparkContext`: application entry point and job driver.
+
+use crate::config::SparkConf;
+use crate::cost::OpCost;
+use crate::error::{Result, SparkError};
+use crate::metrics::{AppMetrics, SystemEvents};
+use crate::rdd::source::{GeneratorRdd, ParallelizeRdd, TextFileRdd};
+use crate::rdd::{Data, Rdd, RddId, RddVitals, TaskEnv};
+use crate::runtime::Runtime;
+use crate::scheduler::executor::{build_executors, ExecutorSpec};
+use crate::scheduler::{build_plan, JobRunner};
+use crate::storage::CacheStats;
+use memtier_des::SimTime;
+use memtier_dfs::DfsClient;
+use memtier_memsim::{CounterSnapshot, MemorySystem, RunTelemetry, TierId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Everything an application run produced, for the characterization layer.
+pub struct RunReport {
+    /// Total virtual execution time.
+    pub elapsed: SimTime,
+    /// Memory-system telemetry (counters, energy, wear, utilization).
+    pub telemetry: RunTelemetry,
+    /// Engine-level metrics.
+    pub metrics: AppMetrics,
+    /// The Fig. 5 system-level event vector.
+    pub events: SystemEvents,
+    /// Block-cache statistics.
+    pub cache: CacheStats,
+}
+
+struct Inner {
+    conf: SparkConf,
+    runtime: Runtime,
+    mem: Mutex<MemorySystem>,
+    clock: Mutex<SimTime>,
+    next_rdd: AtomicU32,
+    app: Mutex<AppMetrics>,
+    executors: Vec<ExecutorSpec>,
+    trace: Mutex<Option<Vec<crate::trace::TaskSpan>>>,
+}
+
+/// A handle to one application. Cloning shares the application (like
+/// `SparkContext` references in Spark).
+///
+/// # Examples
+///
+/// ```
+/// use sparklite::{SparkConf, SparkContext};
+///
+/// let sc = SparkContext::new(SparkConf::default()).unwrap();
+/// let doubled = sc.parallelize(vec![1u64, 2, 3], 2).map(|x| x * 2);
+/// assert_eq!(doubled.collect().unwrap(), vec![2, 4, 6]);
+/// // Execution time is virtual and deterministic:
+/// assert!(sc.elapsed().as_secs_f64() > 0.0);
+/// ```
+#[derive(Clone)]
+pub struct SparkContext {
+    inner: Arc<Inner>,
+}
+
+impl SparkContext {
+    /// Start an application with the given configuration.
+    pub fn new(conf: SparkConf) -> Result<SparkContext> {
+        conf.validate()?;
+        let runtime = Runtime::new(&conf);
+        let mem = MemorySystem::new(conf.memsim.clone());
+        let executors = build_executors(&conf, mem.topology());
+        Ok(SparkContext {
+            inner: Arc::new(Inner {
+                conf,
+                runtime,
+                mem: Mutex::new(mem),
+                clock: Mutex::new(SimTime::ZERO),
+                next_rdd: AtomicU32::new(0),
+                app: Mutex::new(AppMetrics::default()),
+                executors,
+                trace: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The application's configuration.
+    pub fn conf(&self) -> &SparkConf {
+        &self.inner.conf
+    }
+
+    /// Shared runtime services.
+    pub(crate) fn runtime(&self) -> &Runtime {
+        &self.inner.runtime
+    }
+
+    /// The resolved executor placements.
+    pub fn executors(&self) -> &[ExecutorSpec] {
+        &self.inner.executors
+    }
+
+    /// Allocate a lineage-node id.
+    pub(crate) fn next_rdd_id(&self) -> RddId {
+        RddId(self.inner.next_rdd.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// A DFS client for staging input data.
+    pub fn dfs(&self) -> DfsClient {
+        self.inner.runtime.dfs()
+    }
+
+    // --- sources ----------------------------------------------------------
+
+    /// Distribute a driver-side collection over `partitions` partitions.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> Rdd<T> {
+        let vitals = RddVitals::new(self.next_rdd_id(), "parallelize", partitions);
+        Rdd::from_node(
+            Arc::new(ParallelizeRdd::new(vitals, data, partitions)),
+            self.clone(),
+        )
+    }
+
+    /// Distribute with the configured default parallelism.
+    pub fn parallelize_default<T: Data>(&self, data: Vec<T>) -> Rdd<T> {
+        self.parallelize(data, self.inner.conf.parallelism())
+    }
+
+    /// A deterministic generator source: partition `i`'s records are
+    /// `per_part(i)`. `cost` prices the generation closure.
+    pub fn generate<T: Data>(
+        &self,
+        partitions: usize,
+        per_part: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+        cost: OpCost,
+    ) -> Rdd<T> {
+        assert!(partitions > 0, "need at least one partition");
+        let vitals = RddVitals::new(self.next_rdd_id(), "generate", partitions);
+        Rdd::from_node(
+            Arc::new(GeneratorRdd::new(vitals, Arc::new(per_part), cost)),
+            self.clone(),
+        )
+    }
+
+    /// Distribute a read-only value to all executors (`sc.broadcast`).
+    pub fn broadcast<T: crate::memsize::MemSize + Send + Sync + 'static>(
+        &self,
+        value: T,
+    ) -> crate::broadcast::Broadcast<T> {
+        crate::broadcast::Broadcast::new(value)
+    }
+
+    /// Read a DFS text file, one partition per block, Hadoop line-boundary
+    /// semantics.
+    pub fn text_file(&self, path: &str) -> Result<Rdd<String>> {
+        let status = self.dfs().stat(path)?;
+        let partitions = status.blocks.len().max(1);
+        let vitals = RddVitals::new(self.next_rdd_id(), format!("text_file({path})"), partitions);
+        Ok(Rdd::from_node(
+            Arc::new(TextFileRdd::new(vitals, status)),
+            self.clone(),
+        ))
+    }
+
+    // --- execution ---------------------------------------------------------
+
+    /// Run a job: one task per partition of `rdd`, each applying `f` to its
+    /// partition within a [`TaskEnv`]. Returns per-partition results.
+    pub(crate) fn run_job<T: Data, U: Send + 'static>(
+        &self,
+        rdd: &Rdd<T>,
+        f: Arc<dyn Fn(usize, &mut TaskEnv<'_>) -> U + Send + Sync>,
+    ) -> Result<Vec<U>> {
+        if !Arc::ptr_eq(&self.inner, &rdd.context().inner) {
+            return Err(SparkError::ContextMismatch);
+        }
+        let inner = &self.inner;
+        let plan = build_plan(rdd.node(), &inner.runtime);
+        let mut mem = inner.mem.lock();
+        let mut clock = inner.clock.lock();
+        let mut app = inner.app.lock();
+        let mut trace = inner.trace.lock();
+        let job_seq = app.jobs;
+        let runner = JobRunner::new(
+            &inner.runtime,
+            &mut mem,
+            &mut app,
+            &inner.executors,
+            plan,
+            f,
+            *clock,
+            job_seq,
+            trace.as_mut(),
+        );
+        let outcome = runner.run();
+        *clock = outcome.finished_at;
+        app.jobs += 1;
+        app.stages += outcome.stages_run;
+        Ok(outcome.results)
+    }
+
+    // --- observation & control ---------------------------------------------
+
+    /// Current virtual time (the application's running execution time).
+    pub fn elapsed(&self) -> SimTime {
+        *self.inner.clock.lock()
+    }
+
+    /// Charge serial driver-side computation: advances the virtual clock by
+    /// `cpu_ns` with no executor parallelism. Workloads whose algorithms do
+    /// non-trivial work between jobs on the driver (model normalization,
+    /// split selection, …) use this so that work is part of the measured
+    /// execution time — exactly as it is for a real Spark driver.
+    pub fn run_driver_work(&self, cpu_ns: f64) {
+        let mut clock = self.inner.clock.lock();
+        let mut mem = self.inner.mem.lock();
+        *clock += SimTime::from_ns_f64(cpu_ns);
+        mem.advance(*clock);
+        self.inner.app.lock().totals.cpu_ns += cpu_ns.max(0.0);
+    }
+
+    /// Start sampling per-tier channel utilization every `interval` of
+    /// virtual time (see [`MemorySystem::enable_utilization_sampling`]).
+    pub fn enable_utilization_sampling(&self, interval: SimTime) {
+        self.inner.mem.lock().enable_utilization_sampling(interval);
+    }
+
+    /// The recorded utilization samples so far.
+    pub fn utilization_samples(&self) -> Vec<memtier_memsim::UtilizationSample> {
+        self.inner.mem.lock().utilization_samples().to_vec()
+    }
+
+    /// Start recording per-task spans for Chrome-tracing export. Only jobs
+    /// run after this call are captured.
+    pub fn enable_tracing(&self) {
+        let mut t = self.inner.trace.lock();
+        if t.is_none() {
+            *t = Some(Vec::new());
+        }
+    }
+
+    /// The recorded task spans, if tracing is enabled.
+    pub fn task_spans(&self) -> Option<Vec<crate::trace::TaskSpan>> {
+        self.inner.trace.lock().clone()
+    }
+
+    /// The recorded timeline as Chrome-tracing JSON (`chrome://tracing`,
+    /// Perfetto). `None` if tracing was never enabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.inner
+            .trace
+            .lock()
+            .as_ref()
+            .map(|spans| crate::trace::chrome_trace_json(spans))
+    }
+
+    /// Engine-level metrics so far.
+    pub fn metrics(&self) -> AppMetrics {
+        *self.inner.app.lock()
+    }
+
+    /// Live `ipmctl`-style counter snapshot.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.inner.mem.lock().counters()
+    }
+
+    /// Apply an MBA throttle level (percent) to one tier.
+    pub fn set_mba_level(&self, tier: TierId, percent: u8) {
+        let mut mem = self.inner.mem.lock();
+        let now = *self.inner.clock.lock();
+        mem.set_mba_level(now, tier, percent);
+    }
+
+    /// Apply an MBA throttle level to every tier.
+    pub fn set_mba_all(&self, percent: u8) {
+        let mut mem = self.inner.mem.lock();
+        let now = *self.inner.clock.lock();
+        mem.set_mba_all(now, percent);
+    }
+
+    /// Close out the application: returns the full run report (virtual
+    /// time, telemetry with static energy integrated, metrics, event
+    /// vector).
+    pub fn finish(&self) -> RunReport {
+        let mut mem = self.inner.mem.lock();
+        let elapsed = *self.inner.clock.lock();
+        let telemetry = mem.finish_run(elapsed);
+        let metrics = *self.inner.app.lock();
+        let snap = telemetry.counters;
+        let (reads, writes) = TierId::all().iter().fold((0, 0), |(r, w), &t| {
+            (r + snap.tier(t).reads, w + snap.tier(t).writes)
+        });
+        let events = SystemEvents::collect(&metrics, reads, writes);
+        RunReport {
+            elapsed,
+            telemetry,
+            metrics,
+            events,
+            cache: self.inner.runtime.cache.stats(),
+        }
+    }
+}

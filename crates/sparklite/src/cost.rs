@@ -1,0 +1,208 @@
+//! The operator cost model (the time plane's constants).
+//!
+//! Every task's virtual duration is assembled from these constants plus the
+//! actual record/byte counts observed on the data plane. The defaults are
+//! calibrated so that the *shapes* of the paper's figures reproduce (see
+//! DESIGN.md §1 and the `memtier-core` calibration tests); they are all
+//! overridable per [`SparkConf`](crate::config::SparkConf).
+
+use serde::{Deserialize, Serialize};
+
+/// Engine-wide cost constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Default CPU cost of one record through a narrow operator, ns.
+    pub per_record_ns: f64,
+    /// CPU cost per byte scanned at a stage input (deserialization), ns.
+    pub scan_ns_per_byte: f64,
+    /// CPU cost per byte produced at a stage output (serialization), ns.
+    pub write_ns_per_byte: f64,
+    /// Driver-side dispatch + launch overhead per task, ns.
+    pub task_dispatch_ns: f64,
+    /// Fixed overhead per shuffle bucket fetched (connection setup,
+    /// per-fetch bookkeeping), ns.
+    pub bucket_overhead_ns: f64,
+    /// Random memory reads charged per shuffle bucket fetched (index walks).
+    pub bucket_random_reads: u64,
+    /// Intra-executor ("fat JVM") contention: each co-running task on the
+    /// same executor inflates a task's CPU time by this fraction. Models
+    /// allocator/GC/lock pressure that makes 1×40 slower per task than 8×5.
+    pub jvm_contention_alpha: f64,
+    /// Cross-executor coordination bytes written per task per *other*
+    /// executor (status, shuffle registration, block announcements). The
+    /// Takeaway-6 mechanism: more executors → more traffic on the bound
+    /// tier.
+    pub coord_bytes_per_task: u64,
+    /// Random reads per record during hash aggregation (probe).
+    pub hash_reads_per_record: f64,
+    /// Random writes per record during hash aggregation (insert/update).
+    pub hash_writes_per_record: f64,
+    /// CPU cost per comparison when sorting, ns (total cost uses n·log₂n).
+    pub sort_ns_per_cmp: f64,
+    /// Working sets up to this size are treated as cache-resident: hash
+    /// probes against them cost CPU but almost no memory traffic. Larger
+    /// tables pay `hash_reads/writes_per_record` in DRAM/NVM accesses —
+    /// this is what separates the paper's access-heavy workloads
+    /// (bayes/lda/pagerank, big aggregation state) from the tier-tolerant
+    /// ones.
+    pub cache_resident_bytes: u64,
+    /// Fraction of probes that still miss the cache for resident tables
+    /// (cold misses, evictions by neighbours).
+    pub hash_cold_fraction: f64,
+    /// CPU-equivalent cost per byte when reading a spilled block back from
+    /// local disk (NVMe-class; dwarfs any memory tier).
+    pub disk_read_ns_per_byte: f64,
+    /// Fixed per-block disk read overhead (open + seek), ns.
+    pub disk_seek_ns: f64,
+    /// CPU-equivalent cost per byte when writing spilled/materialized data
+    /// to local disk.
+    pub disk_write_ns_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_record_ns: 180.0,
+            scan_ns_per_byte: 0.6,
+            write_ns_per_byte: 0.9,
+            task_dispatch_ns: 1_200_000.0,
+            bucket_overhead_ns: 40_000.0,
+            bucket_random_reads: 16,
+            jvm_contention_alpha: 0.011,
+            coord_bytes_per_task: 3_072,
+            hash_reads_per_record: 2.0,
+            hash_writes_per_record: 1.0,
+            sort_ns_per_cmp: 18.0,
+            cache_resident_bytes: 2 << 20,
+            hash_cold_fraction: 0.05,
+            disk_read_ns_per_byte: 2.5,
+            disk_seek_ns: 250_000.0,
+            disk_write_ns_per_byte: 3.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU cost of sorting `n` records, ns.
+    pub fn sort_cost_ns(&self, n: u64) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let n = n as f64;
+        self.sort_ns_per_cmp * n * n.log2()
+    }
+
+    /// Validate positivity of all constants.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("per_record_ns", self.per_record_ns),
+            ("scan_ns_per_byte", self.scan_ns_per_byte),
+            ("write_ns_per_byte", self.write_ns_per_byte),
+            ("task_dispatch_ns", self.task_dispatch_ns),
+            ("bucket_overhead_ns", self.bucket_overhead_ns),
+            ("jvm_contention_alpha", self.jvm_contention_alpha),
+            ("hash_reads_per_record", self.hash_reads_per_record),
+            ("hash_writes_per_record", self.hash_writes_per_record),
+            ("sort_ns_per_cmp", self.sort_ns_per_cmp),
+            ("hash_cold_fraction", self.hash_cold_fraction),
+            ("disk_read_ns_per_byte", self.disk_read_ns_per_byte),
+            ("disk_seek_ns", self.disk_seek_ns),
+            ("disk_write_ns_per_byte", self.disk_write_ns_per_byte),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("cost model: {name} must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-operator cost hint supplied by workload code for closures whose work
+/// the engine cannot see (e.g. an ALS factor solve per record).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// CPU ns per record processed.
+    pub cpu_ns_per_record: f64,
+    /// Random memory reads per record (working-set probes).
+    pub rnd_reads_per_record: f64,
+    /// Random memory writes per record.
+    pub rnd_writes_per_record: f64,
+}
+
+impl OpCost {
+    /// A pure-CPU hint.
+    pub fn cpu(ns_per_record: f64) -> OpCost {
+        OpCost {
+            cpu_ns_per_record: ns_per_record,
+            rnd_reads_per_record: 0.0,
+            rnd_writes_per_record: 0.0,
+        }
+    }
+
+    /// Add random-read traffic per record.
+    pub fn with_reads(mut self, reads: f64) -> OpCost {
+        self.rnd_reads_per_record = reads;
+        self
+    }
+
+    /// Add random-write traffic per record.
+    pub fn with_writes(mut self, writes: f64) -> OpCost {
+        self.rnd_writes_per_record = writes;
+        self
+    }
+}
+
+impl Default for OpCost {
+    /// The engine-default narrow-operator cost (used by plain `map`).
+    fn default() -> Self {
+        OpCost::cpu(CostModel::default().per_record_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CostModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn sort_cost_is_nlogn() {
+        let c = CostModel::default();
+        assert_eq!(c.sort_cost_ns(0), 0.0);
+        assert_eq!(c.sort_cost_ns(1), 0.0);
+        let c1k = c.sort_cost_ns(1024);
+        let c2k = c.sort_cost_ns(2048);
+        // Doubling n slightly more than doubles the cost.
+        assert!(c2k > 2.0 * c1k && c2k < 2.4 * c1k);
+    }
+
+    #[test]
+    fn validate_rejects_negative() {
+        let c = CostModel {
+            per_record_ns: -1.0,
+            ..CostModel::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CostModel {
+            scan_ns_per_byte: f64::NAN,
+            ..CostModel::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn op_cost_builder() {
+        let op = OpCost::cpu(100.0).with_reads(2.0).with_writes(0.5);
+        assert_eq!(op.cpu_ns_per_record, 100.0);
+        assert_eq!(op.rnd_reads_per_record, 2.0);
+        assert_eq!(op.rnd_writes_per_record, 0.5);
+        assert_eq!(
+            OpCost::default().cpu_ns_per_record,
+            CostModel::default().per_record_ns
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced by the engine's public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparkError {
+    /// Invalid configuration (zero executors, zero cores, ...).
+    InvalidConfig(String),
+    /// A DFS operation failed.
+    Dfs(String),
+    /// An action was invoked on an RDD from a different context.
+    ContextMismatch,
+    /// Empty collection where a value was required (e.g. `reduce` on an
+    /// empty RDD).
+    EmptyCollection,
+    /// Internal invariant violation (a bug in the engine).
+    Internal(String),
+}
+
+impl fmt::Display for SparkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            SparkError::Dfs(m) => write!(f, "dfs error: {m}"),
+            SparkError::ContextMismatch => write!(f, "RDD belongs to a different SparkContext"),
+            SparkError::EmptyCollection => write!(f, "empty collection"),
+            SparkError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkError {}
+
+impl From<memtier_dfs::DfsError> for SparkError {
+    fn from(e: memtier_dfs::DfsError) -> Self {
+        SparkError::Dfs(e.to_string())
+    }
+}
+
+/// Engine result type.
+pub type Result<T> = std::result::Result<T, SparkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: SparkError = memtier_dfs::DfsError::FileNotFound("/x".into()).into();
+        assert!(matches!(e, SparkError::Dfs(_)));
+        assert!(e.to_string().contains("/x"));
+        assert!(SparkError::EmptyCollection.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # sparklite — an RDD-based in-memory analytics engine on simulated tiers
+//!
+//! `sparklite` reproduces the slice of Apache Spark the paper exercises:
+//!
+//! * **RDDs** — lazy, lineage-tracked, partitioned collections with the
+//!   classic transformation surface (`map`, `filter`, `flat_map`,
+//!   `reduce_by_key`, `group_by_key`, `join`, `sort_by_key`, `union`,
+//!   `sample`, `distinct`, …) and actions (`collect`, `count`, `reduce`,
+//!   `take`, `save_as_text_file`).
+//! * **A DAG scheduler** that splits lineage into stages at shuffle
+//!   boundaries and runs them as task sets, pipelining narrow chains within
+//!   a task exactly like Spark does (intermediate `map` steps cost CPU and
+//!   working-set accesses, not materialization traffic).
+//! * **A shuffle subsystem** with hash and range partitioners, optional
+//!   map-side combining, and a map-output tracker.
+//! * **A block manager** with storage-level caching and LRU eviction, so
+//!   iterative workloads (`pagerank`, `als`, `lda`) hit memory instead of
+//!   recomputing lineage.
+//! * **A standalone cluster** of executors pinned to sockets and memory
+//!   tiers the way the paper pins Spark executors with `numactl`.
+//!
+//! ## The two planes
+//!
+//! Every job runs on two planes at once:
+//!
+//! 1. the **data plane** actually computes partition contents in Rust —
+//!    results are real and checked by tests;
+//! 2. the **time plane** prices each task (modeled CPU + an
+//!    [`AccessBatch`](memtier_memsim::AccessBatch) of memory traffic) and
+//!    schedules it through a discrete-event simulation of executor cores and
+//!    the [`MemorySystem`](memtier_memsim::MemorySystem), producing a
+//!    deterministic virtual execution time, energy and access counts.
+//!
+//! Wall-clock time never enters a measurement; a run is a pure function of
+//! (workload, configuration, seed).
+
+#![warn(missing_docs)]
+// Closure-heavy engine code trips this lint pervasively; the aliases the
+// lint wants would hurt readability more than the long types do.
+#![allow(clippy::type_complexity)]
+
+pub mod accumulator;
+pub mod broadcast;
+pub mod config;
+pub mod context;
+pub mod cost;
+pub mod error;
+pub mod memsize;
+pub mod metrics;
+pub mod rdd;
+pub mod runtime;
+pub mod scheduler;
+pub mod shuffle;
+pub mod storage;
+pub mod trace;
+
+pub use accumulator::Accumulator;
+pub use broadcast::Broadcast;
+pub use config::{ExecutorPlacement, SparkConf};
+pub use context::SparkContext;
+pub use cost::{CostModel, OpCost};
+pub use error::SparkError;
+pub use memsize::MemSize;
+pub use metrics::{AppMetrics, SystemEvents};
+pub use rdd::{Data, Key, Rdd};
+pub use shuffle::{HashPartitioner, RangePartitioner};
+pub use storage::StorageLevel;
+pub use trace::{chrome_trace_json, TaskSpan};

@@ -1,0 +1,202 @@
+//! In-memory footprint estimation for records.
+//!
+//! The time plane needs to know how many bytes a partition occupies to price
+//! its traffic (Spark has the analogous `SizeEstimator`). [`MemSize`] is a
+//! deliberately cheap structural estimate: stack size plus owned heap, no
+//! attempt at allocator overhead or sharing detection.
+
+/// Estimated in-memory footprint of a value in bytes.
+pub trait MemSize {
+    /// Total footprint: inline (stack) size plus owned heap allocations.
+    fn mem_size(&self) -> usize;
+}
+
+macro_rules! primitive_mem_size {
+    ($($t:ty),* $(,)?) => {
+        $(impl MemSize for $t {
+            #[inline]
+            fn mem_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+primitive_mem_size!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl MemSize for String {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<String>() + self.len()
+    }
+}
+
+impl MemSize for &'static str {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<&str>() + self.len()
+    }
+}
+
+impl<T: MemSize, const N: usize> MemSize for [T; N] {
+    fn mem_size(&self) -> usize {
+        self.iter().map(MemSize::mem_size).sum()
+    }
+}
+
+impl<K: MemSize, V: MemSize, S> MemSize for std::collections::HashMap<K, V, S> {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .iter()
+                .map(|(k, v)| k.mem_size() + v.mem_size())
+                .sum::<usize>()
+    }
+}
+
+impl<K: MemSize, V: MemSize> MemSize for std::collections::BTreeMap<K, V> {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .iter()
+                .map(|(k, v)| k.mem_size() + v.mem_size())
+                .sum::<usize>()
+    }
+}
+
+impl<T: MemSize> MemSize for Vec<T> {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<Vec<T>>() + self.iter().map(MemSize::mem_size).sum::<usize>()
+    }
+}
+
+impl<T: MemSize> MemSize for Box<T> {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<Box<T>>() + (**self).mem_size()
+    }
+}
+
+impl<T: MemSize> MemSize for Option<T> {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<Option<T>>()
+            + self
+                .as_ref()
+                .map_or(0, |v| v.mem_size().saturating_sub(std::mem::size_of::<T>()))
+    }
+}
+
+impl<T: MemSize> MemSize for std::sync::Arc<T> {
+    fn mem_size(&self) -> usize {
+        // Shared data is charged once per handle holder in this estimate;
+        // good enough for traffic pricing, documented as approximate.
+        std::mem::size_of::<std::sync::Arc<T>>() + (**self).mem_size()
+    }
+}
+
+macro_rules! tuple_mem_size {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {
+        $(impl<$($name: MemSize),+> MemSize for ($($name,)+) {
+            fn mem_size(&self) -> usize {
+                0 $(+ self.$idx.mem_size())+
+            }
+        })+
+    };
+}
+
+tuple_mem_size!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Footprint of a slice's elements (without the container header).
+pub fn slice_mem_size<T: MemSize>(items: &[T]) -> usize {
+    items.iter().map(MemSize::mem_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(42u64.mem_size(), 8);
+        assert_eq!(1.5f32.mem_size(), 4);
+        assert_eq!(true.mem_size(), 1);
+        assert_eq!(().mem_size(), 0);
+    }
+
+    #[test]
+    fn strings_include_heap() {
+        let s = String::from("hello");
+        assert_eq!(s.mem_size(), std::mem::size_of::<String>() + 5);
+        assert_eq!("abc".mem_size(), std::mem::size_of::<&str>() + 3);
+    }
+
+    #[test]
+    fn vec_sums_elements() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.mem_size(), std::mem::size_of::<Vec<u32>>() + 12);
+        let nested = vec![vec![1u8, 2], vec![3u8]];
+        assert_eq!(
+            nested.mem_size(),
+            std::mem::size_of::<Vec<Vec<u8>>>() + 2 * std::mem::size_of::<Vec<u8>>() + 3
+        );
+    }
+
+    #[test]
+    fn tuples_sum_fields() {
+        assert_eq!((1u64, 2u32).mem_size(), 12);
+        assert_eq!((1u8, (2u8, 3u8)).mem_size(), 3);
+    }
+
+    #[test]
+    fn option_and_box() {
+        let some: Option<u64> = Some(1);
+        let none: Option<u64> = None;
+        assert!(some.mem_size() >= 8);
+        assert_eq!(none.mem_size(), std::mem::size_of::<Option<u64>>());
+        assert_eq!(Box::new(7u64).mem_size(), 8 + 8);
+    }
+
+    #[test]
+    fn maps_sum_entries() {
+        let mut h: std::collections::HashMap<u32, u64> = Default::default();
+        h.insert(1, 2);
+        h.insert(3, 4);
+        assert_eq!(
+            h.mem_size(),
+            std::mem::size_of::<std::collections::HashMap<u32, u64>>() + 2 * 12
+        );
+        let mut b: std::collections::BTreeMap<u8, u8> = Default::default();
+        b.insert(1, 2);
+        assert_eq!(
+            b.mem_size(),
+            std::mem::size_of::<std::collections::BTreeMap<u8, u8>>() + 2
+        );
+    }
+
+    #[test]
+    fn slice_helper() {
+        assert_eq!(slice_mem_size(&[1u16, 2, 3]), 6);
+        assert_eq!(slice_mem_size::<u64>(&[]), 0);
+    }
+}

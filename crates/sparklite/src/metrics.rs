@@ -1,0 +1,179 @@
+//! Task- and application-level metrics, and the system-level event vector
+//! the paper's Fig. 5 correlates with execution time.
+
+use memtier_memsim::AccessBatch;
+use serde::{Deserialize, Serialize};
+
+/// Metrics accumulated by one task on the data plane. The time plane turns
+/// these into the task's virtual duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetrics {
+    /// Records consumed from stage inputs.
+    pub records_in: u64,
+    /// Records produced by the task's terminal operator.
+    pub records_out: u64,
+    /// Bytes read at stage inputs (source scan, cache hit, shuffle fetch).
+    pub input_bytes: u64,
+    /// Bytes produced at stage outputs (shuffle write, cache put, result).
+    pub output_bytes: u64,
+    /// Shuffle bytes fetched.
+    pub shuffle_read_bytes: u64,
+    /// Shuffle bytes written.
+    pub shuffle_write_bytes: u64,
+    /// Shuffle buckets fetched (per-fetch overheads scale with this).
+    pub shuffle_buckets_read: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (lookups on cached RDDs that had to recompute).
+    pub cache_misses: u64,
+    /// Modeled CPU nanoseconds.
+    pub cpu_ns: f64,
+    /// Memory traffic to charge against the executor's bound tier(s).
+    pub traffic: AccessBatch,
+}
+
+impl TaskMetrics {
+    /// Merge another task's metrics into this one.
+    pub fn merge(&mut self, other: &TaskMetrics) {
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+        self.input_bytes += other.input_bytes;
+        self.output_bytes += other.output_bytes;
+        self.shuffle_read_bytes += other.shuffle_read_bytes;
+        self.shuffle_write_bytes += other.shuffle_write_bytes;
+        self.shuffle_buckets_read += other.shuffle_buckets_read;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cpu_ns += other.cpu_ns;
+        self.traffic += other.traffic;
+    }
+}
+
+/// Application-level aggregation across every job the context ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppMetrics {
+    /// Jobs executed (one per action).
+    pub jobs: u64,
+    /// Stages executed.
+    pub stages: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Sum of all task metrics.
+    pub totals: TaskMetrics,
+}
+
+impl AppMetrics {
+    /// Record one finished task.
+    pub fn record_task(&mut self, m: &TaskMetrics) {
+        self.tasks += 1;
+        self.totals.merge(m);
+    }
+}
+
+/// The system-level event vector of the paper's Fig. 5: one scalar per
+/// low-level metric, collected per run, correlated against execution time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemEvents {
+    /// `(event name, value)` pairs, fixed order.
+    pub events: Vec<(String, f64)>,
+}
+
+impl SystemEvents {
+    /// Build the event vector from application metrics plus the memory
+    /// system's counter totals for the run.
+    pub fn collect(app: &AppMetrics, mem_reads: u64, mem_writes: u64) -> SystemEvents {
+        let t = &app.totals;
+        let ev = |name: &str, v: f64| (name.to_string(), v);
+        SystemEvents {
+            events: vec![
+                ev("cpu_ns", t.cpu_ns),
+                ev("tasks", app.tasks as f64),
+                ev("stages", app.stages as f64),
+                ev("jobs", app.jobs as f64),
+                ev("records_in", t.records_in as f64),
+                ev("records_out", t.records_out as f64),
+                ev("input_bytes", t.input_bytes as f64),
+                ev("output_bytes", t.output_bytes as f64),
+                ev("shuffle_read_bytes", t.shuffle_read_bytes as f64),
+                ev("shuffle_write_bytes", t.shuffle_write_bytes as f64),
+                ev("mem_reads", mem_reads as f64),
+                ev("mem_writes", mem_writes as f64),
+                ev("cache_hits", t.cache_hits as f64),
+                ev("cache_misses", t.cache_misses as f64),
+            ],
+        }
+    }
+
+    /// Event names in collection order.
+    pub fn names(&self) -> Vec<&str> {
+        self.events.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Value of a named event.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.events.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = TaskMetrics {
+            records_in: 10,
+            cpu_ns: 100.0,
+            traffic: AccessBatch::sequential_read(64),
+            ..Default::default()
+        };
+        let b = TaskMetrics {
+            records_in: 5,
+            cpu_ns: 50.0,
+            cache_hits: 2,
+            traffic: AccessBatch::sequential_write(64),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.records_in, 15);
+        assert_eq!(a.cpu_ns, 150.0);
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.traffic.reads, 1);
+        assert_eq!(a.traffic.writes, 1);
+    }
+
+    #[test]
+    fn app_metrics_count_tasks() {
+        let mut app = AppMetrics::default();
+        app.record_task(&TaskMetrics {
+            records_in: 3,
+            ..Default::default()
+        });
+        app.record_task(&TaskMetrics {
+            records_in: 4,
+            ..Default::default()
+        });
+        assert_eq!(app.tasks, 2);
+        assert_eq!(app.totals.records_in, 7);
+    }
+
+    #[test]
+    fn event_vector_lookup() {
+        let mut app = AppMetrics {
+            jobs: 3,
+            stages: 7,
+            ..AppMetrics::default()
+        };
+        app.record_task(&TaskMetrics {
+            cpu_ns: 1e9,
+            ..Default::default()
+        });
+        let ev = SystemEvents::collect(&app, 1000, 500);
+        assert_eq!(ev.get("jobs"), Some(3.0));
+        assert_eq!(ev.get("mem_reads"), Some(1000.0));
+        assert_eq!(ev.get("mem_writes"), Some(500.0));
+        assert_eq!(ev.get("cpu_ns"), Some(1e9));
+        assert_eq!(ev.get("nonexistent"), None);
+        assert_eq!(ev.names().len(), 14);
+    }
+}

@@ -1,0 +1,388 @@
+//! Additional RDD operators: `coalesce`, `glom`, `key_by`,
+//! `zip_with_index`, `aggregate`, `top`, and numeric reductions.
+
+use crate::cost::OpCost;
+use crate::error::Result;
+use crate::rdd::map::impl_vitals;
+use crate::rdd::{Computed, Data, Dep, Rdd, RddBase, RddVitals, TaskEnv};
+use crate::storage::StorageLevel;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// `coalesce`: merge adjacent parent partitions into fewer child
+/// partitions *without* a shuffle (each child reads a contiguous run of
+/// parents inside the same stage, exactly like Spark's narrow coalesce).
+pub struct CoalescedRdd<T: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    /// Child partition `i` reads parent partitions `ranges[i]`.
+    ranges: Vec<std::ops::Range<usize>>,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<T: Data> CoalescedRdd<T> {
+    pub(crate) fn new(vitals: RddVitals, parent: Arc<dyn RddBase>, target: usize) -> Self {
+        let parents = parent.num_partitions();
+        let target = target.clamp(1, parents.max(1));
+        assert_eq!(vitals.partitions, target);
+        // Even contiguous ranges (same assignment Spark's
+        // DefaultPartitionCoalescer produces for locality-free parents).
+        let ranges = (0..target)
+            .map(|i| {
+                let lo = i * parents / target;
+                let hi = (i + 1) * parents / target;
+                lo..hi
+            })
+            .collect();
+        CoalescedRdd {
+            vitals,
+            parent,
+            ranges,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data> RddBase for CoalescedRdd<T> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let mut out: Vec<T> = Vec::new();
+        for p in self.ranges[part].clone() {
+            let input = env.narrow_input::<T>(&self.parent, p);
+            out.extend(input.iter().cloned());
+        }
+        let n = out.len() as u64;
+        env.charge_records(n, n);
+        Computed::from_vec(out)
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    /// Reduce the partition count without a shuffle. `target` is clamped to
+    /// `[1, current]`.
+    pub fn coalesce(&self, target: usize) -> Rdd<T> {
+        let target = target.clamp(1, self.num_partitions().max(1));
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "coalesce", target);
+        Rdd::from_node(
+            Arc::new(CoalescedRdd::<T>::new(
+                vitals,
+                Arc::clone(&self.node),
+                target,
+            )),
+            self.ctx.clone(),
+        )
+    }
+
+    /// Materialize each partition as a single record (`glom`).
+    pub fn glom(&self) -> Rdd<Vec<T>> {
+        self.map_partitions(|_, items| vec![items.to_vec()], OpCost::cpu(5.0))
+    }
+
+    /// Key every record by `f(record)`.
+    pub fn key_by<K: Data>(&self, f: impl Fn(&T) -> K + Send + Sync + 'static) -> Rdd<(K, T)> {
+        self.map(move |t| (f(t), t.clone()))
+    }
+
+    /// Pair each record with its global index (in partition order).
+    ///
+    /// Like Spark's `zipWithIndex`, this eagerly runs a counting job to
+    /// learn partition sizes; the cost of that job is part of the measured
+    /// application time.
+    pub fn zip_with_index(&self) -> Result<Rdd<(T, u64)>> {
+        let node = Arc::clone(&self.node);
+        let sizes: Vec<u64> = self.ctx.run_job(
+            self,
+            Arc::new(move |part, env: &mut TaskEnv<'_>| {
+                env.narrow_input::<T>(&node, part).len() as u64
+            }),
+        )?;
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0u64;
+        for s in sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        Ok(self.map_partitions(
+            move |part, items| {
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (t.clone(), offsets[part] + i as u64))
+                    .collect()
+            },
+            OpCost::cpu(8.0),
+        ))
+    }
+
+    /// Generalized aggregation (`aggregate`): fold each partition with
+    /// `seq_op` from `zero`, combine partials with `comb_op` on the driver.
+    pub fn aggregate<U: Data>(
+        &self,
+        zero: U,
+        seq_op: impl Fn(U, &T) -> U + Send + Sync + 'static,
+        comb_op: impl Fn(U, U) -> U + Send + Sync + 'static,
+    ) -> Result<U> {
+        let node = Arc::clone(&self.node);
+        let z = zero.clone();
+        let partials: Vec<U> = self.ctx.run_job(
+            self,
+            Arc::new(move |part, env: &mut TaskEnv<'_>| {
+                let data = env.narrow_input::<T>(&node, part);
+                env.charge_cpu_ns(data.len() as f64 * env.rt.cost.per_record_ns * 0.5);
+                data.iter().fold(z.clone(), &seq_op)
+            }),
+        )?;
+        Ok(partials.into_iter().fold(zero, comb_op))
+    }
+}
+
+impl<T: Data + Ord> Rdd<T> {
+    /// The `n` largest records (descending), computed with per-partition
+    /// top-`n` heaps and a driver merge.
+    pub fn top(&self, n: usize) -> Result<Vec<T>> {
+        let node = Arc::clone(&self.node);
+        let partials: Vec<Vec<T>> = self.ctx.run_job(
+            self,
+            Arc::new(move |part, env: &mut TaskEnv<'_>| {
+                let data = env.narrow_input::<T>(&node, part);
+                let cost = env.rt.cost.sort_cost_ns(data.len() as u64);
+                env.charge_cpu_ns(cost);
+                let mut v: Vec<T> = data.iter().cloned().collect();
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v.truncate(n);
+                v
+            }),
+        )?;
+        let mut all: Vec<T> = partials.into_iter().flatten().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        all.truncate(n);
+        Ok(all)
+    }
+
+    /// The minimum record; errors on an empty RDD.
+    pub fn min(&self) -> Result<T> {
+        self.reduce(|a, b| if a <= b { a } else { b })
+    }
+
+    /// The maximum record; errors on an empty RDD.
+    pub fn max(&self) -> Result<T> {
+        self.reduce(|a, b| if a >= b { a } else { b })
+    }
+}
+
+impl Rdd<f64> {
+    /// Sum of all records (0.0 for empty).
+    pub fn sum(&self) -> Result<f64> {
+        self.fold(0.0, |a, b| a + b)
+    }
+
+    /// Arithmetic mean; errors on an empty RDD.
+    pub fn mean(&self) -> Result<f64> {
+        let (sum, count) = self.aggregate(
+            (0.0f64, 0u64),
+            |(s, c), &x| (s + x, c + 1),
+            |(s1, c1), (s2, c2)| (s1 + s2, c1 + c2),
+        )?;
+        if count == 0 {
+            Err(crate::error::SparkError::EmptyCollection)
+        } else {
+            Ok(sum / count as f64)
+        }
+    }
+}
+
+impl Rdd<u64> {
+    /// Sum of all records (0 for empty).
+    pub fn sum(&self) -> Result<u64> {
+        self.fold(0, |a, b| a + b)
+    }
+}
+
+/// Summary statistics of a numeric RDD (Spark's `StatCounter`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatCounter {
+    /// Record count.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Minimum (NaN when empty).
+    pub min: f64,
+    /// Maximum (NaN when empty).
+    pub max: f64,
+    /// Sum of squared deviations accumulator (for variance).
+    m2: f64,
+    mean: f64,
+}
+
+impl StatCounter {
+    fn empty() -> StatCounter {
+        StatCounter {
+            count: 0,
+            sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+            m2: 0.0,
+            mean: 0.0,
+        }
+    }
+
+    fn add(mut self, x: f64) -> StatCounter {
+        // Welford's online update: numerically stable within a partition.
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = if self.min.is_nan() {
+            x
+        } else {
+            self.min.min(x)
+        };
+        self.max = if self.max.is_nan() {
+            x
+        } else {
+            self.max.max(x)
+        };
+        self
+    }
+
+    fn merge(self, other: StatCounter) -> StatCounter {
+        if self.count == 0 {
+            return other;
+        }
+        if other.count == 0 {
+            return self;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / count as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / count as f64;
+        StatCounter {
+            count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            m2,
+            mean,
+        }
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (NaN when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stdev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl crate::memsize::MemSize for StatCounter {
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<StatCounter>()
+    }
+}
+
+impl Rdd<f64> {
+    /// One-pass summary statistics (count/sum/min/max/mean/variance) —
+    /// Spark's `DoubleRDDFunctions.stats()`.
+    pub fn stats(&self) -> Result<StatCounter> {
+        self.aggregate(
+            StatCounter::empty(),
+            |acc, &x| acc.add(x),
+            StatCounter::merge,
+        )
+    }
+
+    /// Histogram over `buckets` even-width bins spanning `[min, max]`.
+    /// Returns `(bucket boundaries, counts)`; errors on an empty RDD.
+    /// Values exactly at the upper bound land in the last bucket, like
+    /// Spark's `histogram(n)`.
+    pub fn histogram(&self, buckets: usize) -> Result<(Vec<f64>, Vec<u64>)> {
+        assert!(buckets > 0, "need at least one bucket");
+        let s = self.stats()?;
+        if s.count == 0 {
+            return Err(crate::error::SparkError::EmptyCollection);
+        }
+        let (lo, hi) = (s.min, s.max);
+        let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
+        let bounds: Vec<f64> = (0..=buckets).map(|i| lo + width * i as f64).collect();
+        let counts = self.aggregate(
+            vec![0u64; buckets],
+            move |mut acc, &x| {
+                let idx = (((x - lo) / width) as usize).min(buckets - 1);
+                acc[idx] += 1;
+                acc
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )?;
+        Ok((bounds, counts))
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    /// Checkpoint: materialize this RDD through the DFS and return a new
+    /// RDD whose lineage starts at the checkpoint — Spark's mechanism for
+    /// truncating long iterative lineages. The write and the (lazy)
+    /// re-reads are charged at DFS/disk rates.
+    pub fn checkpoint(&self) -> Result<Rdd<T>> {
+        let node = Arc::clone(&self.node);
+        // Materialize every partition, charging a DFS write.
+        let parts: Vec<Vec<T>> = self.ctx.run_job(
+            self,
+            Arc::new(move |part, env: &mut TaskEnv<'_>| {
+                let data = env.narrow_input::<T>(&node, part);
+                let bytes = crate::memsize::slice_mem_size(&data) as u64;
+                env.charge_materialize(bytes);
+                // Replicated DFS write: disk cost per replica.
+                env.charge_cpu_ns(
+                    bytes as f64 * env.rt.cost.disk_write_ns_per_byte * 2.0
+                        + env.rt.cost.disk_seek_ns,
+                );
+                (*data).clone()
+            }),
+        )?;
+        // The checkpointed RDD is a generator over the materialized
+        // partitions: no upstream lineage, re-reads priced as disk scans.
+        let parts = Arc::new(parts);
+        let disk_read = self.ctx.runtime().cost.disk_read_ns_per_byte;
+        let seek = self.ctx.runtime().cost.disk_seek_ns;
+        let n = parts.len();
+        let checkpointed = self.ctx.generate(
+            n.max(1),
+            move |p| parts.get(p).cloned().unwrap_or_default(),
+            OpCost::cpu(0.0),
+        );
+        // Reading a checkpoint back costs a disk scan; model it as a
+        // per-partition env charge by wrapping in an env-aware pass.
+        Ok(checkpointed.map_partitions_with_env(move |_, items, env| {
+            let bytes = crate::memsize::slice_mem_size(items) as u64;
+            env.charge_cpu_ns(bytes as f64 * disk_read + seek);
+            items.to_vec()
+        }))
+    }
+}

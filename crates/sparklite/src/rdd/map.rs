@@ -1,0 +1,405 @@
+//! Narrow element-wise transformations: `map`, `filter`, `flat_map`,
+//! `map_partitions`, `sample`.
+//!
+//! Narrow operators are pipelined inside a task, so they charge CPU time and
+//! optional working-set accesses (via [`OpCost`]) but *no* materialization
+//! traffic — matching how Spark fuses narrow chains into a single task.
+
+use crate::cost::OpCost;
+use crate::rdd::{Computed, Data, Dep, Rdd, RddBase, RddVitals, TaskEnv};
+use crate::storage::StorageLevel;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+macro_rules! impl_vitals {
+    () => {
+        fn id(&self) -> crate::rdd::RddId {
+            self.vitals.id
+        }
+        fn name(&self) -> String {
+            self.vitals.name.clone()
+        }
+        fn num_partitions(&self) -> usize {
+            self.vitals.partitions
+        }
+        fn storage_level(&self) -> StorageLevel {
+            *self.vitals.storage.read()
+        }
+        fn set_storage_level(&self, level: StorageLevel) {
+            *self.vitals.storage.write() = level;
+        }
+    };
+}
+pub(crate) use impl_vitals;
+
+/// `map`: apply `f` to every record.
+pub struct MapRdd<T: Data, U: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    f: Arc<dyn Fn(&T) -> U + Send + Sync>,
+    cost: OpCost,
+    _m: PhantomData<fn(T) -> U>,
+}
+
+impl<T: Data, U: Data> MapRdd<T, U> {
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        f: Arc<dyn Fn(&T) -> U + Send + Sync>,
+        cost: OpCost,
+    ) -> Self {
+        MapRdd {
+            vitals,
+            parent,
+            f,
+            cost,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for MapRdd<T, U> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let out: Vec<U> = input.iter().map(|x| (self.f)(x)).collect();
+        let n = input.len() as u64;
+        env.charge_op(n, &self.cost);
+        env.charge_records(n, n);
+        Computed::from_vec(out)
+    }
+}
+
+/// `filter`: keep records satisfying `p`.
+pub struct FilterRdd<T: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    p: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+    cost: OpCost,
+}
+
+impl<T: Data> FilterRdd<T> {
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        p: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+        cost: OpCost,
+    ) -> Self {
+        FilterRdd {
+            vitals,
+            parent,
+            p,
+            cost,
+        }
+    }
+}
+
+impl<T: Data> RddBase for FilterRdd<T> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let out: Vec<T> = input.iter().filter(|x| (self.p)(x)).cloned().collect();
+        env.charge_op(input.len() as u64, &self.cost);
+        env.charge_records(input.len() as u64, out.len() as u64);
+        Computed::from_vec(out)
+    }
+}
+
+/// `flat_map`: apply `f` and flatten.
+pub struct FlatMapRdd<T: Data, U: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    f: Arc<dyn Fn(&T) -> Vec<U> + Send + Sync>,
+    cost: OpCost,
+    _m: PhantomData<fn(T) -> U>,
+}
+
+impl<T: Data, U: Data> FlatMapRdd<T, U> {
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        f: Arc<dyn Fn(&T) -> Vec<U> + Send + Sync>,
+        cost: OpCost,
+    ) -> Self {
+        FlatMapRdd {
+            vitals,
+            parent,
+            f,
+            cost,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for FlatMapRdd<T, U> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let out: Vec<U> = input.iter().flat_map(|x| (self.f)(x)).collect();
+        // The closure's CPU hint is per input record, but emission cost and
+        // working-set traffic scale with the records *produced* — a
+        // flat_map fanning one record out to a thousand touches memory a
+        // thousand times.
+        env.charge_cpu_ns(input.len() as f64 * self.cost.cpu_ns_per_record);
+        env.charge_cpu_ns(out.len() as f64 * env.rt.cost.per_record_ns * 0.25);
+        let n_out = out.len() as u64;
+        env.charge_random(
+            (n_out as f64 * self.cost.rnd_reads_per_record).round() as u64,
+            (n_out as f64 * self.cost.rnd_writes_per_record).round() as u64,
+        );
+        env.charge_records(input.len() as u64, n_out);
+        Computed::from_vec(out)
+    }
+}
+
+/// `map_partitions`: whole-partition transformation.
+pub struct MapPartitionsRdd<T: Data, U: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    f: Arc<dyn Fn(usize, &[T]) -> Vec<U> + Send + Sync>,
+    cost: OpCost,
+    _m: PhantomData<fn(T) -> U>,
+}
+
+impl<T: Data, U: Data> MapPartitionsRdd<T, U> {
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        f: Arc<dyn Fn(usize, &[T]) -> Vec<U> + Send + Sync>,
+        cost: OpCost,
+    ) -> Self {
+        MapPartitionsRdd {
+            vitals,
+            parent,
+            f,
+            cost,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for MapPartitionsRdd<T, U> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let out = (self.f)(part, &input);
+        env.charge_op(input.len() as u64, &self.cost);
+        env.charge_records(input.len() as u64, out.len() as u64);
+        Computed::from_vec(out)
+    }
+}
+
+/// `map_partitions_with_env`: whole-partition transformation with access
+/// to the task environment, so workload code can charge custom traffic
+/// (e.g. broadcast-variable fetches) exactly where it happens.
+pub struct MapPartitionsEnvRdd<T: Data, U: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, &[T], &mut TaskEnv<'_>) -> Vec<U> + Send + Sync>,
+    _m: PhantomData<fn(T) -> U>,
+}
+
+impl<T: Data, U: Data> MapPartitionsEnvRdd<T, U> {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        f: Arc<dyn Fn(usize, &[T], &mut TaskEnv<'_>) -> Vec<U> + Send + Sync>,
+    ) -> Self {
+        MapPartitionsEnvRdd {
+            vitals,
+            parent,
+            f,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data, U: Data> RddBase for MapPartitionsEnvRdd<T, U> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let out = (self.f)(part, &input, env);
+        env.charge_records(input.len() as u64, out.len() as u64);
+        Computed::from_vec(out)
+    }
+}
+
+/// `sample`: Bernoulli sampling, deterministic per (seed, partition).
+pub struct SampleRdd<T: Data> {
+    vitals: RddVitals,
+    parent: Arc<dyn RddBase>,
+    fraction: f64,
+    seed: u64,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<T: Data> SampleRdd<T> {
+    pub(crate) fn new(
+        vitals: RddVitals,
+        parent: Arc<dyn RddBase>,
+        fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "sample fraction must be in [0,1], got {fraction}"
+        );
+        SampleRdd {
+            vitals,
+            parent,
+            fraction,
+            seed,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: Data> RddBase for SampleRdd<T> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let input = env.narrow_input::<T>(&self.parent, part);
+        let mut rng =
+            rand_chacha::ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(part as u64 * 0x9E37));
+        let out: Vec<T> = input
+            .iter()
+            .filter(|_| rng.gen::<f64>() < self.fraction)
+            .cloned()
+            .collect();
+        env.charge_op(input.len() as u64, &OpCost::cpu(8.0));
+        env.charge_records(input.len() as u64, out.len() as u64);
+        Computed::from_vec(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public transformation methods.
+// ---------------------------------------------------------------------------
+
+impl<T: Data> Rdd<T> {
+    fn child<U: Data>(&self, node: Arc<dyn RddBase>) -> Rdd<U> {
+        Rdd::from_node(node, self.ctx.clone())
+    }
+
+    /// Apply `f` to every record.
+    pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        self.map_with_cost(f, OpCost::default())
+    }
+
+    /// `map` with an explicit cost hint for the closure.
+    pub fn map_with_cost<U: Data>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+        cost: OpCost,
+    ) -> Rdd<U> {
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "map", self.num_partitions());
+        self.child(Arc::new(MapRdd::new(
+            vitals,
+            Arc::clone(&self.node),
+            Arc::new(f),
+            cost,
+        )))
+    }
+
+    /// Keep records satisfying `p`.
+    pub fn filter(&self, p: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "filter", self.num_partitions());
+        self.child(Arc::new(FilterRdd::new(
+            vitals,
+            Arc::clone(&self.node),
+            Arc::new(p),
+            OpCost::cpu(10.0),
+        )))
+    }
+
+    /// Apply `f` and flatten the results.
+    pub fn flat_map<U: Data>(&self, f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
+        self.flat_map_with_cost(f, OpCost::default())
+    }
+
+    /// `flat_map` with an explicit cost hint.
+    pub fn flat_map_with_cost<U: Data>(
+        &self,
+        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
+        cost: OpCost,
+    ) -> Rdd<U> {
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "flat_map", self.num_partitions());
+        self.child(Arc::new(FlatMapRdd::new(
+            vitals,
+            Arc::clone(&self.node),
+            Arc::new(f),
+            cost,
+        )))
+    }
+
+    /// Whole-partition transformation; `f` receives `(partition index,
+    /// records)`.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync + 'static,
+        cost: OpCost,
+    ) -> Rdd<U> {
+        let vitals = RddVitals::new(
+            self.ctx.next_rdd_id(),
+            "map_partitions",
+            self.num_partitions(),
+        );
+        self.child(Arc::new(MapPartitionsRdd::new(
+            vitals,
+            Arc::clone(&self.node),
+            Arc::new(f),
+            cost,
+        )))
+    }
+
+    /// Whole-partition transformation with task-environment access: the
+    /// closure can charge CPU and traffic itself (broadcast fetches, custom
+    /// working sets). The closure is responsible for its own `charge_*`
+    /// calls; the engine only records record counts.
+    pub fn map_partitions_with_env<U: Data>(
+        &self,
+        f: impl Fn(usize, &[T], &mut TaskEnv<'_>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let vitals = RddVitals::new(
+            self.ctx.next_rdd_id(),
+            "map_partitions_with_env",
+            self.num_partitions(),
+        );
+        self.child(Arc::new(MapPartitionsEnvRdd::new(
+            vitals,
+            Arc::clone(&self.node),
+            Arc::new(f),
+        )))
+    }
+
+    /// Bernoulli-sample a fraction of records, deterministically.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "sample", self.num_partitions());
+        self.child(Arc::new(SampleRdd::<T>::new(
+            vitals,
+            Arc::clone(&self.node),
+            fraction,
+            seed,
+        )))
+    }
+}

@@ -1,0 +1,414 @@
+//! RDDs: lazy, lineage-tracked, partitioned collections.
+//!
+//! The module mirrors Spark's RDD layer. A [`Rdd<T>`] is a cheap typed handle
+//! onto an [`RddBase`] lineage node; transformations build new nodes without
+//! computing anything, actions hand the terminal node to the DAG scheduler.
+//!
+//! Computation happens per partition inside a [`TaskEnv`]: narrow parents
+//! are pipelined (computed recursively within the same task, memoized for
+//! the task's lifetime), shuffle parents are read from the
+//! [`ShuffleManager`](crate::shuffle::ShuffleManager), and every operator
+//! charges the metrics accumulator with the CPU and memory traffic the time
+//! plane will price.
+
+pub mod action;
+pub mod cogroup;
+pub mod extra;
+pub mod map;
+pub mod pair;
+pub mod shuffled;
+pub mod sort;
+pub mod source;
+pub mod union;
+
+pub use shuffled::{Aggregator, ShuffledRdd};
+
+use crate::context::SparkContext;
+use crate::cost::OpCost;
+use crate::memsize::{slice_mem_size, MemSize};
+use crate::metrics::TaskMetrics;
+use crate::runtime::Runtime;
+use crate::shuffle::{AnyPart, ShuffleId};
+use crate::storage::StorageLevel;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Marker for record types the engine can hold: cloneable, thread-safe and
+/// size-estimable. Blanket-implemented; user types only need [`MemSize`].
+pub trait Data: Clone + Send + Sync + MemSize + 'static {}
+impl<T: Clone + Send + Sync + MemSize + 'static> Data for T {}
+
+/// Marker for key types (hashable + comparable data). Blanket-implemented.
+pub trait Key: Data + Eq + Hash {}
+impl<T: Data + Eq + Hash> Key for T {}
+
+/// Identifier of a lineage node, unique within one context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RddId(pub u32);
+
+/// The result of materializing one partition.
+pub struct Computed {
+    /// `Arc<Vec<T>>`, type-erased.
+    pub data: AnyPart,
+    /// Record count.
+    pub records: u64,
+    /// Estimated in-memory bytes.
+    pub bytes: u64,
+}
+
+impl Computed {
+    /// Wrap a typed partition.
+    pub fn from_vec<T: Data>(items: Vec<T>) -> Computed {
+        let records = items.len() as u64;
+        let bytes = slice_mem_size(&items) as u64;
+        Computed {
+            data: Arc::new(items),
+            records,
+            bytes,
+        }
+    }
+}
+
+/// Common bookkeeping every lineage node embeds.
+#[derive(Debug)]
+pub struct RddVitals {
+    /// Node id.
+    pub id: RddId,
+    /// Display name (operator name).
+    pub name: String,
+    /// Partition count.
+    pub partitions: usize,
+    /// Current persistence level (mutable: `persist` flips it after
+    /// construction, exactly like Spark).
+    pub storage: RwLock<StorageLevel>,
+}
+
+impl RddVitals {
+    /// New vitals with storage level `None`.
+    pub fn new(id: RddId, name: impl Into<String>, partitions: usize) -> RddVitals {
+        RddVitals {
+            id,
+            name: name.into(),
+            partitions,
+            storage: RwLock::new(StorageLevel::None),
+        }
+    }
+}
+
+/// A dependency edge in the lineage graph.
+#[derive(Clone)]
+pub enum Dep {
+    /// Narrow: each child partition reads exactly one parent partition;
+    /// pipelined within the same stage.
+    Narrow(Arc<dyn RddBase>),
+    /// Wide: requires a shuffle; forms a stage boundary.
+    Shuffle(Arc<ShuffleDep>),
+}
+
+/// A shuffle dependency: the map-side writer plus its registration.
+pub struct ShuffleDep {
+    /// Shuffle registration in the manager.
+    pub shuffle_id: ShuffleId,
+    /// The map-side parent RDD.
+    pub parent: Arc<dyn RddBase>,
+    /// Reduce partition count.
+    pub num_reduces: usize,
+    /// Type-aware map-task logic (bucketing + map-side combine).
+    pub writer: Arc<dyn ShuffleWriter>,
+}
+
+/// Map-task logic of one shuffle: compute parent partition `map_part`,
+/// bucket it by the partitioner, and store buckets in the shuffle manager,
+/// charging the env for the traffic.
+pub trait ShuffleWriter: Send + Sync {
+    /// Execute the map side for one partition.
+    fn write_partition(&self, map_part: usize, env: &mut TaskEnv<'_>);
+}
+
+/// A lineage node. Object-safe so the scheduler can walk heterogeneous
+/// graphs; the typed API lives on [`Rdd<T>`].
+pub trait RddBase: Send + Sync {
+    /// Node id.
+    fn id(&self) -> RddId;
+    /// Operator name.
+    fn name(&self) -> String;
+    /// Partition count.
+    fn num_partitions(&self) -> usize;
+    /// Dependency edges.
+    fn deps(&self) -> Vec<Dep>;
+    /// Current persistence level.
+    fn storage_level(&self) -> StorageLevel;
+    /// Set the persistence level (used by `persist`/`unpersist`).
+    fn set_storage_level(&self, level: StorageLevel);
+    /// Materialize one partition within a task.
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed;
+}
+
+/// Per-task execution environment: runtime services, a metrics accumulator,
+/// and the pipeline memo (computed partitions of this task's lineage chain).
+pub struct TaskEnv<'a> {
+    /// Shared services (shuffle manager, block cache, cost model, DFS).
+    pub rt: &'a Runtime,
+    /// Metrics accumulated by this task.
+    pub metrics: TaskMetrics,
+    memo: HashMap<(RddId, usize), AnyPart>,
+}
+
+impl<'a> TaskEnv<'a> {
+    /// A fresh environment for one task.
+    pub fn new(rt: &'a Runtime) -> TaskEnv<'a> {
+        TaskEnv {
+            rt,
+            metrics: TaskMetrics::default(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Materialize a narrow parent partition, pipelining within this task.
+    ///
+    /// Resolution order: task memo → block cache (for persisted RDDs,
+    /// charging a cache read) → recursive compute (charging whatever the
+    /// parent's operators charge, then a cache write if persisted).
+    ///
+    /// # Panics
+    /// Panics if the parent's partition type is not `Vec<T>` — a lineage
+    /// construction bug, not a runtime condition.
+    pub fn narrow_input<T: Data>(&mut self, parent: &Arc<dyn RddBase>, part: usize) -> Arc<Vec<T>> {
+        let key = (parent.id(), part);
+        if let Some(hit) = self.memo.get(&key) {
+            return downcast::<T>(hit.clone(), parent);
+        }
+        let level = parent.storage_level();
+        if level.is_cached() {
+            if let Some((data, bytes, location)) = self.rt.cache.get((parent.id().0, part)) {
+                self.metrics.cache_hits += 1;
+                self.charge_input_scan(bytes);
+                if location == crate::storage::BlockLocation::Disk {
+                    // Spilled block: pay the disk read on top of the scan.
+                    self.charge_cpu_ns(
+                        bytes as f64 * self.rt.cost.disk_read_ns_per_byte
+                            + self.rt.cost.disk_seek_ns,
+                    );
+                }
+                self.memo.insert(key, data.clone());
+                return downcast::<T>(data, parent);
+            }
+            self.metrics.cache_misses += 1;
+        }
+        let computed = parent.compute_partition(part, self);
+        if level.is_cached()
+            && self.rt.cache.put(
+                (parent.id().0, part),
+                computed.data.clone(),
+                computed.bytes,
+                level,
+            )
+        {
+            self.charge_materialize(computed.bytes);
+        }
+        self.memo.insert(key, computed.data.clone());
+        downcast::<T>(computed.data, parent)
+    }
+
+    /// Charge pure CPU time.
+    pub fn charge_cpu_ns(&mut self, ns: f64) {
+        self.metrics.cpu_ns += ns.max(0.0);
+    }
+
+    /// Charge a sequential stage-input scan: read traffic plus
+    /// deserialization CPU.
+    pub fn charge_input_scan(&mut self, bytes: u64) {
+        self.metrics.input_bytes += bytes;
+        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_read(bytes);
+        self.metrics.cpu_ns += bytes as f64 * self.rt.cost.scan_ns_per_byte;
+    }
+
+    /// Charge a sequential stage-output materialization: write traffic plus
+    /// serialization CPU.
+    pub fn charge_materialize(&mut self, bytes: u64) {
+        self.metrics.output_bytes += bytes;
+        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_write(bytes);
+        self.metrics.cpu_ns += bytes as f64 * self.rt.cost.write_ns_per_byte;
+    }
+
+    /// Charge random working-set accesses (hash probes, index walks).
+    pub fn charge_random(&mut self, reads: u64, writes: u64) {
+        self.metrics.traffic += memtier_memsim::AccessBatch::random_reads(reads)
+            + memtier_memsim::AccessBatch::random_writes(writes);
+    }
+
+    /// Charge an operator pass over `records` records with the given hint.
+    pub fn charge_op(&mut self, records: u64, op: &OpCost) {
+        self.metrics.cpu_ns += records as f64 * op.cpu_ns_per_record;
+        let reads = (records as f64 * op.rnd_reads_per_record).round() as u64;
+        let writes = (records as f64 * op.rnd_writes_per_record).round() as u64;
+        self.charge_random(reads, writes);
+    }
+
+    /// Charge writing `bytes` of shuffle output: write traffic plus
+    /// serialization CPU.
+    pub fn charge_shuffle_write(&mut self, bytes: u64) {
+        self.metrics.shuffle_write_bytes += bytes;
+        self.metrics.output_bytes += bytes;
+        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_write(bytes);
+        self.metrics.cpu_ns += bytes as f64 * self.rt.cost.write_ns_per_byte;
+        if self.rt.shuffle_through_disk {
+            // MapReduce mode: the map output is materialized on disk.
+            self.metrics.cpu_ns +=
+                bytes as f64 * self.rt.cost.disk_write_ns_per_byte + self.rt.cost.disk_seek_ns;
+        }
+    }
+
+    /// Charge fetching `bytes` of shuffle input spread over `buckets`
+    /// buckets: read traffic, deserialization CPU, plus the per-bucket fetch
+    /// overhead (connection setup CPU and index-walk random reads).
+    pub fn charge_shuffle_read(&mut self, bytes: u64, buckets: u64) {
+        self.metrics.shuffle_read_bytes += bytes;
+        self.metrics.input_bytes += bytes;
+        self.metrics.shuffle_buckets_read += buckets;
+        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_read(bytes);
+        self.metrics.cpu_ns += bytes as f64 * self.rt.cost.scan_ns_per_byte
+            + buckets as f64 * self.rt.cost.bucket_overhead_ns;
+        if self.rt.shuffle_through_disk {
+            // MapReduce mode: reducers re-read materialized map output from
+            // disk, one seek per bucket.
+            self.metrics.cpu_ns += bytes as f64 * self.rt.cost.disk_read_ns_per_byte
+                + buckets as f64 * self.rt.cost.disk_seek_ns;
+        }
+        self.charge_random(buckets * self.rt.cost.bucket_random_reads, 0);
+    }
+
+    /// Charge a hash-aggregation pass over `records` records against a
+    /// table of `table_bytes`. Cache-resident tables (small combiner maps)
+    /// cost CPU plus a trickle of cold misses; tables beyond
+    /// `cache_resident_bytes` pay full per-probe memory traffic — the
+    /// mechanism that makes large aggregation state tier-sensitive.
+    pub fn charge_hash_ops(&mut self, records: u64, table_bytes: u64) {
+        let cpu = records as f64 * self.rt.cost.per_record_ns * 0.6;
+        self.charge_cpu_ns(cpu);
+        let (reads, writes) = if table_bytes <= self.rt.cost.cache_resident_bytes {
+            let f = self.rt.cost.hash_cold_fraction;
+            (
+                (records as f64 * f).round() as u64,
+                (records as f64 * f * 0.5).round() as u64,
+            )
+        } else {
+            (
+                (records as f64 * self.rt.cost.hash_reads_per_record).round() as u64,
+                (records as f64 * self.rt.cost.hash_writes_per_record).round() as u64,
+            )
+        };
+        self.charge_random(reads, writes);
+    }
+
+    /// Record records flowing through the terminal operator.
+    pub fn charge_records(&mut self, records_in: u64, records_out: u64) {
+        self.metrics.records_in += records_in;
+        self.metrics.records_out += records_out;
+    }
+}
+
+fn downcast<T: Data>(part: AnyPart, parent: &Arc<dyn RddBase>) -> Arc<Vec<T>> {
+    part.downcast::<Vec<T>>().unwrap_or_else(|_| {
+        panic!(
+            "lineage type error: partition of {} is not Vec<{}>",
+            parent.name(),
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// A typed handle onto a lineage node. Cloning is cheap (two `Arc` bumps).
+///
+/// # Examples
+///
+/// ```
+/// use sparklite::{SparkConf, SparkContext};
+///
+/// let sc = SparkContext::new(SparkConf::default().with_parallelism(4)).unwrap();
+/// let mut counts = sc
+///     .parallelize(vec!["a", "b", "a"], 2)
+///     .map(|w| (w.to_string(), 1u64))
+///     .reduce_by_key(|x, y| x + y)
+///     .collect()
+///     .unwrap();
+/// counts.sort();
+/// assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 1)]);
+/// ```
+pub struct Rdd<T: Data> {
+    pub(crate) node: Arc<dyn RddBase>,
+    pub(crate) ctx: SparkContext,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            node: Arc::clone(&self.node),
+            ctx: self.ctx.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    /// Wrap a lineage node (crate-internal; users go through transformations
+    /// and `SparkContext` sources).
+    pub(crate) fn from_node(node: Arc<dyn RddBase>, ctx: SparkContext) -> Rdd<T> {
+        Rdd {
+            node,
+            ctx,
+            _marker: PhantomData,
+        }
+    }
+
+    /// This RDD's id.
+    pub fn id(&self) -> RddId {
+        self.node.id()
+    }
+
+    /// Operator name.
+    pub fn name(&self) -> String {
+        self.node.name()
+    }
+
+    /// Partition count.
+    pub fn num_partitions(&self) -> usize {
+        self.node.num_partitions()
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &SparkContext {
+        &self.ctx
+    }
+
+    /// Persist at the given level; returns the same RDD for chaining.
+    pub fn persist(&self, level: StorageLevel) -> Rdd<T> {
+        self.node.set_storage_level(level);
+        self.clone()
+    }
+
+    /// Shorthand for `persist(StorageLevel::MemoryOnly)`.
+    pub fn cache(&self) -> Rdd<T> {
+        self.persist(StorageLevel::MemoryOnly)
+    }
+
+    /// Drop persistence and free cached blocks.
+    pub fn unpersist(&self) {
+        self.node.set_storage_level(StorageLevel::None);
+        self.ctx.runtime().cache.unpersist(self.id().0);
+    }
+
+    /// Current storage level.
+    pub fn storage_level(&self) -> StorageLevel {
+        self.node.storage_level()
+    }
+
+    /// The underlying lineage node (for the scheduler).
+    pub(crate) fn node(&self) -> &Arc<dyn RddBase> {
+        &self.node
+    }
+}

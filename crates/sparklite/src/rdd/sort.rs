@@ -1,0 +1,43 @@
+//! `sort_by_key`: total ordering via range partitioning.
+//!
+//! Like Spark, constructing the sorted RDD eagerly runs a *sampling job* to
+//! pick the range-partition split points — that job's cost is part of the
+//! application's virtual time, exactly as HiBench `sort`'s sampling stage is
+//! part of its measured runtime.
+
+use crate::error::Result;
+use crate::rdd::shuffled::shuffled_plain;
+use crate::rdd::{Data, Key, Rdd};
+use crate::shuffle::RangePartitioner;
+use std::sync::Arc;
+
+/// Sample size target per output partition for split-point estimation.
+const SAMPLE_PER_PARTITION: usize = 20;
+
+impl<K: Key + Ord, V: Data> Rdd<(K, V)> {
+    /// Sort by key ascending into `partitions` range partitions.
+    ///
+    /// Runs a sampling job immediately (like Spark's `RangePartitioner`),
+    /// then returns the lazily-evaluated sorted RDD: partition `i`'s keys
+    /// all precede partition `i+1`'s, and each partition is sorted.
+    pub fn sort_by_key(&self, partitions: usize) -> Result<Rdd<(K, V)>> {
+        assert!(partitions > 0, "need at least one output partition");
+        // Sampling job: grab ~SAMPLE_PER_PARTITION × partitions keys.
+        // The fraction is a heuristic on the unknown total (Spark bounds the
+        // sample size the same way); a low estimate only skews balance.
+        let want = (SAMPLE_PER_PARTITION * partitions) as f64;
+        let per_part_guess = 10_000.0;
+        let fraction = (want / (per_part_guess * self.num_partitions() as f64)).clamp(0.01, 1.0);
+        let sample: Vec<K> = self
+            .map(|(k, _)| k.clone())
+            .sample(fraction, 0x5EED)
+            .collect()?;
+        let partitioner = Arc::new(RangePartitioner::from_sample(sample, partitions));
+        Ok(shuffled_plain(
+            self,
+            partitioner,
+            Some(Arc::new(|a: &K, b: &K| a.cmp(b))),
+            "sort_by_key",
+        ))
+    }
+}

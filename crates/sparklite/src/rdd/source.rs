@@ -1,0 +1,214 @@
+//! Source RDDs: `parallelize`, deterministic generators, and DFS text files.
+
+use crate::cost::OpCost;
+use crate::memsize::slice_mem_size;
+use crate::rdd::{Computed, Data, Dep, RddBase, RddVitals, TaskEnv};
+use crate::storage::StorageLevel;
+use memtier_dfs::FileStatus;
+
+/// A driver-side collection split into partitions (`sc.parallelize`).
+pub struct ParallelizeRdd<T: Data> {
+    vitals: RddVitals,
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Data> ParallelizeRdd<T> {
+    /// Split `data` into `partitions` even slices.
+    pub fn new(vitals: RddVitals, data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        assert_eq!(vitals.partitions, partitions);
+        let total = data.len();
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        if total > 0 {
+            // Even split: partition i gets the half-open range scaled by i.
+            let mut iter = data.into_iter();
+            for (i, part) in parts.iter_mut().enumerate() {
+                let start = i * total / partitions;
+                let end = (i + 1) * total / partitions;
+                part.extend(iter.by_ref().take(end - start));
+            }
+        }
+        ParallelizeRdd { vitals, parts }
+    }
+}
+
+impl<T: Data> RddBase for ParallelizeRdd<T> {
+    fn id(&self) -> crate::rdd::RddId {
+        self.vitals.id
+    }
+    fn name(&self) -> String {
+        self.vitals.name.clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.vitals.partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        Vec::new()
+    }
+    fn storage_level(&self) -> StorageLevel {
+        *self.vitals.storage.read()
+    }
+    fn set_storage_level(&self, level: StorageLevel) {
+        *self.vitals.storage.write() = level;
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let items = self.parts[part].clone();
+        let computed = Computed::from_vec(items);
+        // Driver → executor transfer is a stage-input scan.
+        env.charge_input_scan(computed.bytes);
+        env.charge_records(computed.records, computed.records);
+        computed
+    }
+}
+
+/// A deterministic per-partition generator (the workload suite's input
+/// source: data is synthesized on first touch instead of shipped from the
+/// driver, like reading a pre-generated HiBench dataset from page cache).
+pub struct GeneratorRdd<T: Data> {
+    vitals: RddVitals,
+    gen: std::sync::Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+    cost: OpCost,
+}
+
+impl<T: Data> GeneratorRdd<T> {
+    /// A generator over `vitals.partitions` partitions.
+    pub fn new(
+        vitals: RddVitals,
+        gen: std::sync::Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+        cost: OpCost,
+    ) -> Self {
+        GeneratorRdd { vitals, gen, cost }
+    }
+}
+
+impl<T: Data> RddBase for GeneratorRdd<T> {
+    fn id(&self) -> crate::rdd::RddId {
+        self.vitals.id
+    }
+    fn name(&self) -> String {
+        self.vitals.name.clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.vitals.partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        Vec::new()
+    }
+    fn storage_level(&self) -> StorageLevel {
+        *self.vitals.storage.read()
+    }
+    fn set_storage_level(&self, level: StorageLevel) {
+        *self.vitals.storage.write() = level;
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let items = (self.gen)(part);
+        let computed = Computed::from_vec(items);
+        env.charge_input_scan(computed.bytes);
+        env.charge_op(computed.records, &self.cost);
+        env.charge_records(computed.records, computed.records);
+        computed
+    }
+}
+
+/// A DFS-backed text file: one partition per block, Hadoop
+/// `LineRecordReader` boundary semantics (a partition skips its leading
+/// partial line and reads past its end to finish the trailing one).
+pub struct TextFileRdd {
+    vitals: RddVitals,
+    status: FileStatus,
+}
+
+impl TextFileRdd {
+    /// Wrap a resolved DFS file.
+    pub fn new(vitals: RddVitals, status: FileStatus) -> Self {
+        assert_eq!(vitals.partitions, status.blocks.len().max(1));
+        TextFileRdd { vitals, status }
+    }
+}
+
+impl RddBase for TextFileRdd {
+    fn id(&self) -> crate::rdd::RddId {
+        self.vitals.id
+    }
+    fn name(&self) -> String {
+        self.vitals.name.clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.vitals.partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        Vec::new()
+    }
+    fn storage_level(&self) -> StorageLevel {
+        *self.vitals.storage.read()
+    }
+    fn set_storage_level(&self, level: StorageLevel) {
+        *self.vitals.storage.write() = level;
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let client = env.rt.dfs();
+        if self.status.blocks.is_empty() {
+            return Computed::from_vec(Vec::<String>::new());
+        }
+        let block = &self.status.blocks[part];
+        let data = client
+            .read_block(block, None)
+            .unwrap_or_else(|e| panic!("text_file: {e}"));
+        let mut bytes = data.as_slice().to_vec();
+
+        // Hadoop line-boundary semantics: a non-first partition owns the
+        // line in progress at its start ONLY if the previous block ended on
+        // a newline; otherwise that line belongs upstream and is skipped.
+        let mut start = 0usize;
+        if part > 0 {
+            let prev = client
+                .read_block(&self.status.blocks[part - 1], None)
+                .unwrap_or_else(|e| panic!("text_file: {e}"));
+            if !prev.ends_with(b"\n") {
+                match bytes.iter().position(|&b| b == b'\n') {
+                    Some(nl) => start = nl + 1,
+                    // No newline in the whole block: it all belongs upstream.
+                    None => start = bytes.len(),
+                }
+            }
+        }
+        // …and read forward into subsequent blocks to finish the trailing
+        // line (unless this block already ends on a newline boundary).
+        let mut extra_read = 0u64;
+        if !bytes.ends_with(b"\n") {
+            for next in self.status.blocks.iter().skip(part + 1) {
+                let next_data = client
+                    .read_block(next, None)
+                    .unwrap_or_else(|e| panic!("text_file: {e}"));
+                match next_data.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        bytes.extend_from_slice(&next_data[..=nl]);
+                        extra_read += (nl + 1) as u64;
+                        break;
+                    }
+                    None => {
+                        bytes.extend_from_slice(&next_data);
+                        extra_read += next_data.len() as u64;
+                    }
+                }
+            }
+        }
+
+        let lines: Vec<String> = bytes[start..]
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect();
+
+        env.charge_input_scan(block.len as u64 + extra_read);
+        let records = lines.len() as u64;
+        env.charge_op(records, &OpCost::default());
+        env.charge_records(records, records);
+        let bytes_est = slice_mem_size(&lines) as u64;
+        Computed {
+            records,
+            bytes: bytes_est,
+            data: std::sync::Arc::new(lines),
+        }
+    }
+}

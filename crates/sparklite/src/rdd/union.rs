@@ -1,0 +1,74 @@
+//! `union`: concatenate RDDs partition-wise.
+
+use crate::rdd::map::impl_vitals;
+use crate::rdd::{Computed, Data, Dep, Rdd, RddBase, RddVitals, TaskEnv};
+use crate::storage::StorageLevel;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Union of several RDDs: the child has the concatenation of all parents'
+/// partitions, each child partition a narrow view of exactly one parent
+/// partition.
+pub struct UnionRdd<T: Data> {
+    vitals: RddVitals,
+    parents: Vec<Arc<dyn RddBase>>,
+    /// `offsets[i]` = first child partition index of parent `i`.
+    offsets: Vec<usize>,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<T: Data> UnionRdd<T> {
+    pub(crate) fn new(vitals: RddVitals, parents: Vec<Arc<dyn RddBase>>) -> Self {
+        assert!(!parents.is_empty(), "union needs at least one parent");
+        let mut offsets = Vec::with_capacity(parents.len());
+        let mut acc = 0;
+        for p in &parents {
+            offsets.push(acc);
+            acc += p.num_partitions();
+        }
+        assert_eq!(vitals.partitions, acc);
+        UnionRdd {
+            vitals,
+            parents,
+            offsets,
+            _m: PhantomData,
+        }
+    }
+
+    fn locate(&self, part: usize) -> (usize, usize) {
+        let idx = self.offsets.partition_point(|&o| o <= part) - 1;
+        (idx, part - self.offsets[idx])
+    }
+}
+
+impl<T: Data> RddBase for UnionRdd<T> {
+    impl_vitals!();
+    fn deps(&self) -> Vec<Dep> {
+        self.parents
+            .iter()
+            .map(|p| Dep::Narrow(Arc::clone(p)))
+            .collect()
+    }
+    fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
+        let (parent_idx, local) = self.locate(part);
+        let input = env.narrow_input::<T>(&self.parents[parent_idx], local);
+        let n = input.len() as u64;
+        env.charge_records(n, n);
+        Computed::from_vec((*input).clone())
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    /// Concatenate with another RDD (partitions of `self` first).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let total = self.num_partitions() + other.num_partitions();
+        let vitals = RddVitals::new(self.ctx.next_rdd_id(), "union", total);
+        Rdd::from_node(
+            Arc::new(UnionRdd::<T>::new(
+                vitals,
+                vec![Arc::clone(&self.node), Arc::clone(&other.node)],
+            )),
+            self.ctx.clone(),
+        )
+    }
+}

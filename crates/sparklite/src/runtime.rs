@@ -1,0 +1,68 @@
+//! Shared runtime services every task sees.
+
+use crate::config::SparkConf;
+use crate::cost::CostModel;
+use crate::shuffle::ShuffleManager;
+use crate::storage::BlockManager;
+use memtier_dfs::{Dfs, DfsClient};
+
+/// The application-wide services: shuffle bucket store, block cache, cost
+/// model and the DFS deployment backing `text_file`/`save_as_text_file`.
+pub struct Runtime {
+    /// Shuffle subsystem.
+    pub shuffle: ShuffleManager,
+    /// Block cache (all executors' storage regions pooled; see DESIGN.md).
+    pub cache: BlockManager,
+    /// Cost-model constants.
+    pub cost: CostModel,
+    /// DFS block size for writes.
+    pub dfs_block_size: usize,
+    /// DFS replication factor for writes.
+    pub dfs_replication: usize,
+    /// Hadoop-comparison mode (see `SparkConf::shuffle_through_disk`).
+    pub shuffle_through_disk: bool,
+    dfs: Dfs,
+}
+
+impl Runtime {
+    /// Build the runtime from a validated configuration.
+    pub fn new(conf: &SparkConf) -> Runtime {
+        let cache_capacity = conf.executor_cache_bytes * conf.num_executors as u64;
+        Runtime {
+            shuffle: ShuffleManager::new(),
+            cache: BlockManager::new(cache_capacity),
+            cost: conf.cost.clone(),
+            dfs_block_size: conf.dfs_block_size,
+            dfs_replication: memtier_dfs::DEFAULT_REPLICATION.min(conf.dfs_datanodes),
+            shuffle_through_disk: conf.shuffle_through_disk,
+            dfs: Dfs::new(conf.dfs_datanodes, u64::MAX / 4),
+        }
+    }
+
+    /// A DFS client handle.
+    pub fn dfs(&self) -> DfsClient {
+        self.dfs.client()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_wires_services() {
+        let conf = SparkConf::default();
+        let rt = Runtime::new(&conf);
+        assert_eq!(rt.shuffle.live_shuffles(), 0);
+        assert_eq!(rt.cache.stats().used, 0);
+        let c = rt.dfs();
+        c.write_file("/t", &[1, 2, 3], 2, 1).unwrap();
+        assert_eq!(c.read_file("/t").unwrap(), vec![1, 2, 3]);
+        // Replication is clamped to the datanode count.
+        let small = SparkConf {
+            dfs_datanodes: 1,
+            ..SparkConf::default()
+        };
+        assert_eq!(Runtime::new(&small).dfs_replication, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Stage construction: split lineage at shuffle boundaries.
+//!
+//! This is Spark's `DAGScheduler::getOrCreateParentStages` in miniature:
+//! walking back from the action's RDD, every [`ShuffleDep`] becomes a
+//! shuffle-map stage whose terminal is the dependency's map-side parent;
+//! narrow chains stay inside a stage and are pipelined per task. Two pieces
+//! of Spark's skipping logic are reproduced because the iterative workloads
+//! depend on them:
+//!
+//! * traversal stops at an RDD whose partitions are all resident in the
+//!   block cache (`cacheLocs` pruning) — a cached `links.partition_by(...)`
+//!   does not re-run its upstream generator every pagerank iteration;
+//! * a shuffle whose map outputs are all present is not re-executed — its
+//!   stage is planned but marked *skippable* (Spark's greyed-out "skipped
+//!   stages").
+
+use crate::rdd::{Dep, RddBase, ShuffleDep};
+use crate::runtime::Runtime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a stage within one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub u32);
+
+/// What a stage produces.
+#[derive(Clone)]
+pub enum StageKind {
+    /// Writes shuffle buckets for this dependency.
+    ShuffleMap(Arc<ShuffleDep>),
+    /// Computes the action's partitions.
+    Result,
+}
+
+/// One stage: a terminal RDD plus everything reachable through narrow deps.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage id (topological: parents have smaller ids).
+    pub id: StageId,
+    /// The stage's terminal RDD (for a map stage, the shuffle's parent).
+    pub terminal: Arc<dyn RddBase>,
+    /// Map or result.
+    pub kind: StageKind,
+    /// Direct parent stages.
+    pub parents: Vec<StageId>,
+    /// Task count (terminal's partitions).
+    pub num_tasks: usize,
+    /// True if the stage's outputs already exist (complete shuffle) and it
+    /// need not run.
+    pub skippable: bool,
+}
+
+/// A compiled job: stages in topological order, last one the result stage.
+pub struct StagePlan {
+    /// Stages; `stages[i].id == StageId(i)`.
+    pub stages: Vec<Stage>,
+}
+
+impl StagePlan {
+    /// The result stage id.
+    pub fn result_stage(&self) -> StageId {
+        StageId((self.stages.len() - 1) as u32)
+    }
+
+    /// Stages that will actually execute (not skippable, and needed).
+    pub fn runnable(&self) -> impl Iterator<Item = &Stage> {
+        self.stages.iter().filter(|s| !s.skippable)
+    }
+}
+
+/// Is every partition of `rdd` resident in the block cache?
+fn fully_cached(rdd: &Arc<dyn RddBase>, rt: &Runtime) -> bool {
+    rdd.storage_level().is_cached()
+        && (0..rdd.num_partitions()).all(|p| rt.cache.contains((rdd.id().0, p)))
+}
+
+/// Shuffle dependencies reachable from `rdd` without crossing a shuffle
+/// boundary or a fully-cached RDD.
+fn direct_shuffle_deps(rdd: &Arc<dyn RddBase>, rt: &Runtime) -> Vec<Arc<ShuffleDep>> {
+    let mut out = Vec::new();
+    let mut queue = vec![Arc::clone(rdd)];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(node) = queue.pop() {
+        if !seen.insert(node.id()) {
+            continue;
+        }
+        for dep in node.deps() {
+            match dep {
+                Dep::Shuffle(sd) => out.push(sd),
+                Dep::Narrow(parent) => {
+                    if !fully_cached(&parent, rt) {
+                        queue.push(parent);
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order regardless of traversal.
+    out.sort_by_key(|d| d.shuffle_id);
+    out.dedup_by_key(|d| d.shuffle_id);
+    out
+}
+
+/// Build the stage plan for a job on `final_rdd`.
+pub fn build_plan(final_rdd: &Arc<dyn RddBase>, rt: &Runtime) -> StagePlan {
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut by_shuffle: HashMap<u32, StageId> = HashMap::new();
+
+    // Recursion via explicit helper because stages must be created
+    // parents-first (topological ids).
+    fn stage_for(
+        dep: &Arc<ShuffleDep>,
+        rt: &Runtime,
+        stages: &mut Vec<Stage>,
+        by_shuffle: &mut HashMap<u32, StageId>,
+    ) -> StageId {
+        if let Some(&id) = by_shuffle.get(&dep.shuffle_id.0) {
+            return id;
+        }
+        let skippable = rt.shuffle.is_complete(dep.shuffle_id);
+        let parents = if skippable {
+            // Outputs exist: upstream lineage is not needed.
+            Vec::new()
+        } else {
+            direct_shuffle_deps(&dep.parent, rt)
+                .iter()
+                .map(|p| stage_for(p, rt, stages, by_shuffle))
+                .collect()
+        };
+        let id = StageId(stages.len() as u32);
+        stages.push(Stage {
+            id,
+            terminal: Arc::clone(&dep.parent),
+            kind: StageKind::ShuffleMap(Arc::clone(dep)),
+            parents,
+            num_tasks: dep.parent.num_partitions(),
+            skippable,
+        });
+        by_shuffle.insert(dep.shuffle_id.0, id);
+        id
+    }
+
+    let parents = direct_shuffle_deps(final_rdd, rt)
+        .iter()
+        .map(|p| stage_for(p, rt, &mut stages, &mut by_shuffle))
+        .collect();
+    let id = StageId(stages.len() as u32);
+    stages.push(Stage {
+        id,
+        terminal: Arc::clone(final_rdd),
+        kind: StageKind::Result,
+        parents,
+        num_tasks: final_rdd.num_partitions(),
+        skippable: false,
+    });
+    StagePlan { stages }
+}

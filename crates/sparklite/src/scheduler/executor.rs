@@ -1,0 +1,69 @@
+//! Executor placement: the `numactl`-pinned workers of the standalone
+//! cluster.
+
+use crate::config::SparkConf;
+use memtier_memsim::{TierId, Topology};
+
+/// One executor's resolved placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorSpec {
+    /// Executor index.
+    pub id: usize,
+    /// Socket its threads are pinned to.
+    pub socket: u8,
+    /// Task slots (cores).
+    pub cores: usize,
+    /// Memory tiers its allocations land on, with traffic weights summing
+    /// to 1.
+    pub placement: Vec<(TierId, f64)>,
+    /// The tier carrying the largest traffic share.
+    pub primary_tier: TierId,
+}
+
+/// Resolve the configuration's executor grid against the topology.
+pub fn build_executors(conf: &SparkConf, topo: &Topology) -> Vec<ExecutorSpec> {
+    let sockets = topo.sockets.len();
+    (0..conf.num_executors)
+        .map(|i| {
+            let socket = conf.placement.cpu.socket_for(i, sockets);
+            let placement = conf.placement.mem.placement(topo, socket);
+            let primary_tier = conf.placement.mem.primary_tier(topo, socket);
+            ExecutorSpec {
+                id: i,
+                socket,
+                cores: conf.cores_per_executor,
+                placement,
+                primary_tier,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtier_memsim::{CpuBindPolicy, MemBindPolicy};
+
+    #[test]
+    fn default_conf_builds_one_fat_executor() {
+        let conf = SparkConf::default();
+        let topo = Topology::paper_testbed();
+        let execs = build_executors(&conf, &topo);
+        assert_eq!(execs.len(), 1);
+        assert_eq!(execs[0].cores, 40);
+        assert_eq!(execs[0].socket, 0);
+        assert_eq!(execs[0].primary_tier, TierId::LOCAL_DRAM);
+        assert_eq!(execs[0].placement, vec![(TierId::LOCAL_DRAM, 1.0)]);
+    }
+
+    #[test]
+    fn round_robin_spreads_sockets() {
+        let mut conf = SparkConf::default().with_executors(4, 10);
+        conf.placement.cpu = CpuBindPolicy::RoundRobin;
+        conf.placement.mem = MemBindPolicy::Tier(TierId::NVM_NEAR);
+        let execs = build_executors(&conf, &Topology::paper_testbed());
+        let sockets: Vec<u8> = execs.iter().map(|e| e.socket).collect();
+        assert_eq!(sockets, vec![0, 1, 0, 1]);
+        assert!(execs.iter().all(|e| e.primary_tier == TierId::NVM_NEAR));
+    }
+}

@@ -1,0 +1,9 @@
+//! The DAG scheduler and the discrete-event task execution simulation.
+
+pub mod dag;
+pub mod executor;
+pub mod sim;
+
+pub use dag::{build_plan, Stage, StageId, StageKind, StagePlan};
+pub use executor::ExecutorSpec;
+pub use sim::JobRunner;

@@ -1,0 +1,484 @@
+//! The discrete-event execution simulation (the time plane).
+//!
+//! A [`JobRunner`] takes a compiled [`StagePlan`] and plays it out on the
+//! executor grid and the simulated [`MemorySystem`]:
+//!
+//! * each executor is a pool of task slots (cores);
+//! * a dispatched task first runs its **data plane** (really computing the
+//!   partition, accumulating [`TaskMetrics`]), then occupies its slot for a
+//!   modeled CPU phase followed by a memory phase whose traffic drains
+//!   through the per-tier fair-share bandwidth resources;
+//! * the CPU phase is inflated by intra-executor contention
+//!   (`jvm_contention_alpha × co-running tasks`) and every task pays a
+//!   dispatch overhead plus cross-executor coordination traffic — the
+//!   Takeaway-6 mechanisms.
+//!
+//! Everything is deterministic: ties in the event queue resolve FIFO, the
+//! executor choice rotates round-robin, and no wall-clock value is read.
+
+use crate::metrics::{AppMetrics, TaskMetrics};
+use crate::rdd::TaskEnv;
+use crate::runtime::Runtime;
+use crate::scheduler::dag::{StageId, StageKind, StagePlan};
+use crate::scheduler::executor::ExecutorSpec;
+use crate::trace::TaskSpan;
+use memtier_des::{EventQueue, SimTime};
+use memtier_memsim::{AccessBatch, MemorySystem, TierId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The outcome of one job.
+pub struct JobOutcome<U> {
+    /// Per-partition results of the result stage, in partition order.
+    pub results: Vec<U>,
+    /// Virtual time at which the job finished.
+    pub finished_at: SimTime,
+    /// Stages that actually executed (excludes skipped ones).
+    pub stages_run: u64,
+}
+
+struct ExecState {
+    spec: ExecutorSpec,
+    running: usize,
+}
+
+struct StageState {
+    remaining: usize,
+    unmet: usize,
+    children: Vec<StageId>,
+    done: bool,
+}
+
+struct RunningTask<U> {
+    exec: usize,
+    stage: StageId,
+    partition: usize,
+    slot: usize,
+    started: SimTime,
+    outstanding: usize,
+    metrics: TaskMetrics,
+    /// (tier, flow id, batch) for each in-flight memory flow.
+    flows: Vec<(TierId, u64, AccessBatch)>,
+    /// Result-stage output parked until completion (already computed on the
+    /// data plane; stored at completion purely for bookkeeping symmetry).
+    result: Option<(usize, U)>,
+}
+
+enum Ev {
+    CpuDone(u64),
+}
+
+/// Runs one job's stage plan through the DES. `U` is the per-partition
+/// result type of the action.
+pub struct JobRunner<'a, U> {
+    rt: &'a Runtime,
+    mem: &'a mut MemorySystem,
+    app: &'a mut AppMetrics,
+    plan: StagePlan,
+    result_fn: Arc<dyn Fn(usize, &mut TaskEnv<'_>) -> U + Send + Sync>,
+    executors: Vec<ExecState>,
+    stage_state: Vec<StageState>,
+    ready: VecDeque<(StageId, usize)>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    running: HashMap<u64, RunningTask<U>>,
+    flow_owner: HashMap<u64, u64>,
+    results: Vec<Option<(usize, U)>>,
+    next_task: u64,
+    rr_exec: usize,
+    stages_run: u64,
+    job_seq: u64,
+    trace: Option<&'a mut Vec<TaskSpan>>,
+}
+
+impl<'a, U> JobRunner<'a, U> {
+    /// Prepare a runner starting at virtual time `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rt: &'a Runtime,
+        mem: &'a mut MemorySystem,
+        app: &'a mut AppMetrics,
+        executors: &[ExecutorSpec],
+        plan: StagePlan,
+        result_fn: Arc<dyn Fn(usize, &mut TaskEnv<'_>) -> U + Send + Sync>,
+        start: SimTime,
+        job_seq: u64,
+        trace: Option<&'a mut Vec<TaskSpan>>,
+    ) -> Self {
+        let n = plan.stages.len();
+        let result_tasks = plan.stages[n - 1].num_tasks;
+        let mut runner = JobRunner {
+            rt,
+            mem,
+            app,
+            plan,
+            result_fn,
+            executors: executors
+                .iter()
+                .map(|s| ExecState {
+                    spec: s.clone(),
+                    running: 0,
+                })
+                .collect(),
+            stage_state: Vec::new(),
+            ready: VecDeque::new(),
+            queue: EventQueue::new(),
+            now: start,
+            running: HashMap::new(),
+            flow_owner: HashMap::new(),
+            results: (0..result_tasks).map(|_| None).collect(),
+            next_task: 0,
+            rr_exec: 0,
+            stages_run: 0,
+            job_seq,
+            trace,
+        };
+        runner.init_stages();
+        runner
+    }
+
+    fn init_stages(&mut self) {
+        let n = self.plan.stages.len();
+        // A stage is needed iff reachable from the result stage through
+        // parents of non-skippable stages.
+        let mut needed = vec![false; n];
+        let mut stack = vec![n - 1];
+        while let Some(i) = stack.pop() {
+            if needed[i] {
+                continue;
+            }
+            needed[i] = true;
+            if !self.plan.stages[i].skippable {
+                for p in &self.plan.stages[i].parents {
+                    stack.push(p.0 as usize);
+                }
+            }
+        }
+
+        self.stage_state = (0..n)
+            .map(|i| StageState {
+                remaining: self.plan.stages[i].num_tasks,
+                unmet: 0,
+                children: Vec::new(),
+                done: self.plan.stages[i].skippable || !needed[i],
+            })
+            .collect();
+        for i in 0..n {
+            if self.stage_state[i].done {
+                continue;
+            }
+            let parents: Vec<StageId> = self.plan.stages[i].parents.clone();
+            for p in parents {
+                let pi = p.0 as usize;
+                if !self.stage_state[pi].done {
+                    self.stage_state[i].unmet += 1;
+                    self.stage_state[pi].children.push(StageId(i as u32));
+                }
+            }
+        }
+        for i in 0..n {
+            if !self.stage_state[i].done && self.stage_state[i].unmet == 0 {
+                self.activate_stage(StageId(i as u32));
+            }
+        }
+    }
+
+    fn activate_stage(&mut self, id: StageId) {
+        let stage = &self.plan.stages[id.0 as usize];
+        self.stages_run += 1;
+        for part in 0..stage.num_tasks {
+            self.ready.push_back((id, part));
+        }
+    }
+
+    /// Split a task's traffic across its executor's tier placement, giving
+    /// rounding remainders to the first (primary) tier.
+    fn split_traffic(
+        batch: &AccessBatch,
+        placement: &[(TierId, f64)],
+    ) -> Vec<(TierId, AccessBatch)> {
+        if placement.len() == 1 {
+            return vec![(placement[0].0, *batch)];
+        }
+        let mut out = Vec::with_capacity(placement.len());
+        let mut assigned = AccessBatch::EMPTY;
+        for &(tier, w) in placement.iter().skip(1) {
+            let sub = AccessBatch {
+                reads: (batch.reads as f64 * w).floor() as u64,
+                writes: (batch.writes as f64 * w).floor() as u64,
+                bytes_read: (batch.bytes_read as f64 * w).floor() as u64,
+                bytes_written: (batch.bytes_written as f64 * w).floor() as u64,
+                random_reads: (batch.random_reads as f64 * w).floor() as u64,
+                random_writes: (batch.random_writes as f64 * w).floor() as u64,
+            };
+            assigned += sub;
+            out.push((tier, sub));
+        }
+        let first = AccessBatch {
+            reads: batch.reads - assigned.reads,
+            writes: batch.writes - assigned.writes,
+            bytes_read: batch.bytes_read - assigned.bytes_read,
+            bytes_written: batch.bytes_written - assigned.bytes_written,
+            random_reads: batch.random_reads - assigned.random_reads,
+            random_writes: batch.random_writes - assigned.random_writes,
+        };
+        out.insert(0, (placement[0].0, first));
+        out
+    }
+
+    fn dispatch(&mut self) {
+        while !self.ready.is_empty() {
+            // Rotate over executors looking for a free slot.
+            let n = self.executors.len();
+            let mut chosen = None;
+            for off in 0..n {
+                let i = (self.rr_exec + off) % n;
+                if self.executors[i].running < self.executors[i].spec.cores {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+            let Some(exec_idx) = chosen else { break };
+            self.rr_exec = (exec_idx + 1) % n;
+            let (stage_id, part) = self.ready.pop_front().expect("checked non-empty");
+
+            // Data plane: really compute the partition.
+            let mut env = TaskEnv::new(self.rt);
+            let mut result = None;
+            match &self.plan.stages[stage_id.0 as usize].kind {
+                StageKind::ShuffleMap(dep) => {
+                    dep.writer.write_partition(part, &mut env);
+                    self.rt.shuffle.mark_map_done(dep.shuffle_id, part);
+                }
+                StageKind::Result => {
+                    let out = (self.result_fn)(part, &mut env);
+                    result = Some((part, out));
+                }
+            }
+            let mut metrics = env.metrics;
+
+            // Time plane: dispatch overhead, coordination traffic, JVM
+            // contention.
+            metrics.cpu_ns += self.rt.cost.task_dispatch_ns;
+            let n_exec = self.executors.len() as u64;
+            if n_exec > 1 {
+                let coord = self.rt.cost.coord_bytes_per_task * (n_exec - 1);
+                metrics.traffic += AccessBatch::sequential_write(coord);
+                metrics.output_bytes += coord;
+            }
+            let co_running = self.executors[exec_idx].running;
+            let factor = 1.0 + self.rt.cost.jvm_contention_alpha * co_running as f64;
+            let cpu = SimTime::from_ns_f64(metrics.cpu_ns * factor);
+
+            self.executors[exec_idx].running += 1;
+            let task_id = self.next_task;
+            self.next_task += 1;
+
+            let placement = self.executors[exec_idx].spec.placement.clone();
+            let flows: Vec<(TierId, u64, AccessBatch)> =
+                Self::split_traffic(&metrics.traffic, &placement)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, (_, b))| !b.is_empty())
+                    .map(|(i, (tier, b))| (tier, task_id * 8 + i as u64, b))
+                    .collect();
+
+            // The task's memory demand is presented at its CPU-interleaved
+            // *average* rate: each tier's flow drains over (its share of the
+            // CPU time) + (its nominal memory time), so a compute-heavy task
+            // asks for few bytes/s even on a fast device. Tasks without
+            // traffic are pure timers.
+            // A task's stalls are serial: misses to different tiers
+            // interleave in one instruction stream, so the task's nominal
+            // duration is CPU plus the SUM of its per-tier memory times.
+            // Every flow spans that full duration (they all belong to the
+            // same task and drain together), which keeps mixed placements
+            // strictly between the pure tiers.
+            let total_mem: SimTime = flows
+                .iter()
+                .map(|(tier, _, batch)| self.mem.nominal_mem_time(*tier, batch))
+                .fold(SimTime::ZERO, |acc, t| acc + t);
+            let duration = cpu + total_mem;
+            let mut outstanding = 0;
+            for (tier, flow, batch) in &flows {
+                // Demand is in channel bytes: random accesses mostly leave
+                // the channel idle while they wait on latency.
+                let rate =
+                    self.mem.channel_demand(batch).max(1.0) / duration.as_secs_f64().max(1e-12);
+                if self
+                    .mem
+                    .begin_access_with_rate(self.now, *tier, *flow, batch, rate)
+                {
+                    outstanding += 1;
+                    self.flow_owner.insert(*flow, task_id);
+                }
+            }
+
+            self.running.insert(
+                task_id,
+                RunningTask {
+                    exec: exec_idx,
+                    stage: stage_id,
+                    partition: part,
+                    slot: co_running,
+                    started: self.now,
+                    outstanding,
+                    metrics,
+                    flows,
+                    result,
+                },
+            );
+            if outstanding == 0 {
+                self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
+            }
+        }
+    }
+
+    fn complete_task(&mut self, task_id: u64) {
+        let task = self.running.remove(&task_id).expect("unknown task");
+        self.executors[task.exec].running -= 1;
+        self.app.record_task(&task.metrics);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push(TaskSpan {
+                task_id,
+                job: self.job_seq,
+                stage: task.stage.0,
+                partition: task.partition,
+                executor: task.exec,
+                slot: task.slot,
+                start: task.started,
+                end: self.now,
+            });
+        }
+        if let Some((part, out)) = task.result {
+            self.results[part] = Some((part, out));
+        }
+        let si = task.stage.0 as usize;
+        self.stage_state[si].remaining -= 1;
+        if self.stage_state[si].remaining == 0 {
+            self.stage_state[si].done = true;
+            let children = self.stage_state[si].children.clone();
+            for child in children {
+                let ci = child.0 as usize;
+                self.stage_state[ci].unmet -= 1;
+                if self.stage_state[ci].unmet == 0 {
+                    self.activate_stage(child);
+                }
+            }
+        }
+    }
+
+    /// Run the job to completion; returns results in partition order.
+    pub fn run(mut self) -> JobOutcome<U> {
+        loop {
+            self.dispatch();
+            let queue_next = self.queue.peek_time();
+            let mem_next = self.mem.next_completion();
+            match (queue_next, mem_next) {
+                (None, None) => break,
+                (Some(qt), Some((mt, _, _))) if qt <= mt => self.handle_cpu_event(),
+                (Some(_), None) => self.handle_cpu_event(),
+                (None, Some(_)) | (Some(_), Some(_)) => self.handle_mem_event(),
+            }
+        }
+        debug_assert!(
+            self.stage_state.iter().all(|s| s.done),
+            "job ended with unfinished stages"
+        );
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| r.expect("missing result partition").1)
+            .collect();
+        JobOutcome {
+            results,
+            finished_at: self.now,
+            stages_run: self.stages_run,
+        }
+    }
+
+    fn handle_cpu_event(&mut self) {
+        let (t, ev) = self.queue.pop().expect("peeked event vanished");
+        self.now = t;
+        self.mem.advance(t);
+        match ev {
+            // Pure-compute task (no memory traffic) finished its timer.
+            Ev::CpuDone(task) => self.complete_task(task),
+        }
+    }
+
+    fn handle_mem_event(&mut self) {
+        let (t, tier, flow) = self.mem.next_completion().expect("peeked flow vanished");
+        self.now = t;
+        self.mem.advance(t);
+        let task_id = self
+            .flow_owner
+            .remove(&flow)
+            .expect("completion for unowned flow");
+        let batch = {
+            let task = self.running.get_mut(&task_id).expect("unknown task");
+            task.outstanding -= 1;
+            task.flows
+                .iter()
+                .find(|&&(ft, f, _)| ft == tier && f == flow)
+                .map(|&(_, _, b)| b)
+                .expect("flow not registered on task")
+        };
+        self.mem.finish_access(t, tier, flow, &batch);
+        if self.running[&task_id].outstanding == 0 {
+            self.complete_task(task_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Runner = JobRunner<'static, ()>;
+
+    fn batch() -> AccessBatch {
+        AccessBatch::sequential(1_000_003, 499_999)
+            + AccessBatch::random_reads(12_345)
+            + AccessBatch::random_writes(6_789)
+    }
+
+    #[test]
+    fn split_traffic_conserves_every_field() {
+        let placement = vec![
+            (TierId::LOCAL_DRAM, 0.5),
+            (TierId::NVM_NEAR, 0.3),
+            (TierId::NVM_FAR, 0.2),
+        ];
+        let b = batch();
+        let parts = Runner::split_traffic(&b, &placement);
+        assert_eq!(parts.len(), 3);
+        let total: AccessBatch = parts.iter().map(|&(_, p)| p).sum();
+        assert_eq!(total, b, "splitting must conserve the batch exactly");
+        // Each share is roughly proportional (primary absorbs remainders).
+        let near = parts
+            .iter()
+            .find(|&&(t, _)| t == TierId::NVM_NEAR)
+            .unwrap()
+            .1;
+        let frac = near.total_bytes() as f64 / b.total_bytes() as f64;
+        assert!((frac - 0.3).abs() < 0.01, "share off: {frac}");
+    }
+
+    #[test]
+    fn single_tier_split_is_identity() {
+        let b = batch();
+        let parts = Runner::split_traffic(&b, &[(TierId::NVM_FAR, 1.0)]);
+        assert_eq!(parts, vec![(TierId::NVM_FAR, b)]);
+    }
+
+    #[test]
+    fn split_traffic_handles_tiny_batches() {
+        // Rounding on a 1-access batch must not lose the access.
+        let b = AccessBatch::random_reads(1);
+        let parts =
+            Runner::split_traffic(&b, &[(TierId::LOCAL_DRAM, 0.5), (TierId::NVM_NEAR, 0.5)]);
+        let total: AccessBatch = parts.iter().map(|&(_, p)| p).sum();
+        assert_eq!(total, b);
+    }
+}

@@ -1,0 +1,372 @@
+//! The shuffle subsystem: partitioners, bucket storage, map-output tracking.
+//!
+//! A shuffle map task partitions its output into one bucket per reduce
+//! partition and registers the buckets here; reduce tasks fetch every
+//! `(map, reduce)` bucket addressed to them. Bucket payloads are type-erased
+//! (`Arc<dyn Any>`) — the typed ends live in
+//! [`ShuffledRdd`](crate::rdd::ShuffledRdd).
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
+
+/// A type-erased, shareable partition payload (`Arc<Vec<T>>` underneath).
+pub type AnyPart = Arc<dyn Any + Send + Sync>;
+
+/// Identifier of a registered shuffle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShuffleId(pub u32);
+
+/// Deterministic hasher (fixed-key SipHash): shuffle placement must be a
+/// pure function of the key so runs are reproducible.
+pub type DetHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+
+/// Hash a key deterministically.
+pub fn det_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Assigns keys to reduce partitions.
+pub trait Partitioner<K>: Send + Sync {
+    /// Number of reduce partitions.
+    fn num_partitions(&self) -> usize;
+    /// The partition a key belongs to (must be `< num_partitions`).
+    fn partition(&self, key: &K) -> usize;
+}
+
+/// Spark's default: partition by key hash.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    partitions: usize,
+}
+
+impl HashPartitioner {
+    /// A hash partitioner with `partitions` reduce partitions.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "partitioner needs at least one partition");
+        HashPartitioner { partitions }
+    }
+}
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn partition(&self, key: &K) -> usize {
+        (det_hash(key) % self.partitions as u64) as usize
+    }
+}
+
+/// Range partitioner for sorted output (`sort_by_key`): keys are assigned by
+/// binary search over sampled split points, so partition `i` holds keys
+/// entirely ≤ partition `i+1`'s.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner<K> {
+    /// Upper bounds of partitions `0..n-1` (partition `n-1` is unbounded).
+    bounds: Vec<K>,
+}
+
+impl<K: Ord + Clone> RangePartitioner<K> {
+    /// Build from a sample of keys, splitting it into `partitions` quantile
+    /// ranges. Duplicated split points collapse, so the effective partition
+    /// count can be lower for heavily skewed samples.
+    pub fn from_sample(mut sample: Vec<K>, partitions: usize) -> Self {
+        assert!(partitions > 0, "partitioner needs at least one partition");
+        sample.sort();
+        sample.dedup();
+        let mut bounds = Vec::with_capacity(partitions.saturating_sub(1));
+        if !sample.is_empty() {
+            for i in 1..partitions {
+                let idx = i * sample.len() / partitions;
+                if idx > 0 && idx < sample.len() {
+                    let candidate = sample[idx].clone();
+                    if bounds.last() != Some(&candidate) {
+                        bounds.push(candidate);
+                    }
+                }
+            }
+        }
+        RangePartitioner { bounds }
+    }
+
+    /// The split points.
+    pub fn bounds(&self) -> &[K] {
+        &self.bounds
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> Partitioner<K> for RangePartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.bounds.len() + 1
+    }
+    fn partition(&self, key: &K) -> usize {
+        self.bounds.partition_point(|b| b <= key)
+    }
+}
+
+/// One shuffle bucket: the records a map task addressed to one reducer.
+#[derive(Clone)]
+pub struct Bucket {
+    /// Payload (`Arc<Vec<(K, C)>>`).
+    pub data: AnyPart,
+    /// Record count.
+    pub records: u64,
+    /// Serialized size estimate in bytes.
+    pub bytes: u64,
+}
+
+struct ShuffleData {
+    num_maps: usize,
+    num_reduces: usize,
+    buckets: HashMap<(usize, usize), Bucket>,
+    done_maps: std::collections::HashSet<usize>,
+}
+
+/// Stores shuffle buckets and tracks map outputs (Spark's shuffle service +
+/// `MapOutputTracker` rolled together).
+#[derive(Default)]
+pub struct ShuffleManager {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u32,
+    shuffles: HashMap<ShuffleId, ShuffleData>,
+}
+
+impl ShuffleManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a shuffle with the given map/reduce fan.
+    pub fn register(&self, num_maps: usize, num_reduces: usize) -> ShuffleId {
+        let mut inner = self.inner.lock();
+        let id = ShuffleId(inner.next_id);
+        inner.next_id += 1;
+        inner.shuffles.insert(
+            id,
+            ShuffleData {
+                num_maps,
+                num_reduces,
+                buckets: HashMap::new(),
+                done_maps: std::collections::HashSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Record that a map task finished writing its buckets.
+    pub fn mark_map_done(&self, id: ShuffleId, map: usize) {
+        let mut inner = self.inner.lock();
+        let data = inner.shuffles.get_mut(&id).expect("unregistered shuffle");
+        assert!(map < data.num_maps, "map index {map} out of range");
+        data.done_maps.insert(map);
+    }
+
+    /// True once every map task's output is registered — the stage-skipping
+    /// predicate the DAG scheduler uses.
+    pub fn is_complete(&self, id: ShuffleId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .shuffles
+            .get(&id)
+            .map(|d| d.done_maps.len() == d.num_maps)
+            .unwrap_or(false)
+    }
+
+    /// Store one bucket.
+    ///
+    /// # Panics
+    /// Panics on an unregistered shuffle or out-of-range indices.
+    pub fn put_bucket(&self, id: ShuffleId, map: usize, reduce: usize, bucket: Bucket) {
+        let mut inner = self.inner.lock();
+        let data = inner.shuffles.get_mut(&id).expect("unregistered shuffle");
+        assert!(map < data.num_maps, "map index {map} out of range");
+        assert!(
+            reduce < data.num_reduces,
+            "reduce index {reduce} out of range"
+        );
+        data.buckets.insert((map, reduce), bucket);
+    }
+
+    /// Fetch all buckets addressed to `reduce`, in map order. Missing
+    /// buckets (a map task produced nothing for that reducer) are skipped.
+    pub fn fetch_reduce(&self, id: ShuffleId, reduce: usize) -> Vec<Bucket> {
+        let inner = self.inner.lock();
+        let data = inner.shuffles.get(&id).expect("unregistered shuffle");
+        (0..data.num_maps)
+            .filter_map(|m| data.buckets.get(&(m, reduce)).cloned())
+            .collect()
+    }
+
+    /// Total bytes a reducer would fetch (map-output tracker estimate).
+    pub fn reduce_input_bytes(&self, id: ShuffleId, reduce: usize) -> u64 {
+        let inner = self.inner.lock();
+        let data = inner.shuffles.get(&id).expect("unregistered shuffle");
+        (0..data.num_maps)
+            .filter_map(|m| data.buckets.get(&(m, reduce)))
+            .map(|b| b.bytes)
+            .sum()
+    }
+
+    /// Drop a shuffle's buckets (lineage GC between iterations).
+    pub fn unregister(&self, id: ShuffleId) {
+        self.inner.lock().shuffles.remove(&id);
+    }
+
+    /// Drop everything (application teardown).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.shuffles.clear();
+    }
+
+    /// Number of live shuffles.
+    pub fn live_shuffles(&self) -> usize {
+        self.inner.lock().shuffles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner::new(7);
+        for key in 0..1000u64 {
+            let a = Partitioner::<u64>::partition(&p, &key);
+            let b = Partitioner::<u64>::partition(&p, &key);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for key in 0..8000u64 {
+            counts[Partitioner::<u64>::partition(&p, &key)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "severely unbalanced hash partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_orders_partitions() {
+        let sample: Vec<u64> = (0..1000).collect();
+        let p = RangePartitioner::from_sample(sample, 4);
+        assert_eq!(Partitioner::<u64>::num_partitions(&p), 4);
+        let parts: Vec<usize> = (0..1000u64).map(|k| p.partition(&k)).collect();
+        // Partition ids are monotone in the key.
+        for w in parts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // All partitions are used.
+        for target in 0..4 {
+            assert!(parts.contains(&target));
+        }
+    }
+
+    #[test]
+    fn range_partitioner_handles_skew_and_empty() {
+        let p = RangePartitioner::from_sample(vec![5u64; 100], 4);
+        // All-equal sample collapses to a single split-free partitioner.
+        assert_eq!(Partitioner::<u64>::num_partitions(&p), 1);
+        let p = RangePartitioner::<u64>::from_sample(vec![], 4);
+        assert_eq!(Partitioner::<u64>::num_partitions(&p), 1);
+        assert_eq!(p.partition(&42), 0);
+    }
+
+    #[test]
+    fn shuffle_bucket_roundtrip() {
+        let mgr = ShuffleManager::new();
+        let id = mgr.register(2, 3);
+        let payload: AnyPart = Arc::new(vec![(1u64, 2u64), (3, 4)]);
+        mgr.put_bucket(
+            id,
+            0,
+            1,
+            Bucket {
+                data: payload,
+                records: 2,
+                bytes: 32,
+            },
+        );
+        let buckets = mgr.fetch_reduce(id, 1);
+        assert_eq!(buckets.len(), 1);
+        let data = buckets[0]
+            .data
+            .clone()
+            .downcast::<Vec<(u64, u64)>>()
+            .unwrap();
+        assert_eq!(*data, vec![(1, 2), (3, 4)]);
+        assert_eq!(mgr.reduce_input_bytes(id, 1), 32);
+        assert_eq!(mgr.fetch_reduce(id, 0).len(), 0);
+    }
+
+    #[test]
+    fn unregister_and_clear() {
+        let mgr = ShuffleManager::new();
+        let a = mgr.register(1, 1);
+        let _b = mgr.register(1, 1);
+        assert_eq!(mgr.live_shuffles(), 2);
+        mgr.unregister(a);
+        assert_eq!(mgr.live_shuffles(), 1);
+        mgr.clear();
+        assert_eq!(mgr.live_shuffles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn put_bucket_validates_indices() {
+        let mgr = ShuffleManager::new();
+        let id = mgr.register(1, 1);
+        mgr.put_bucket(
+            id,
+            5,
+            0,
+            Bucket {
+                data: Arc::new(Vec::<u8>::new()),
+                records: 0,
+                bytes: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn map_completion_tracking() {
+        let mgr = ShuffleManager::new();
+        let id = mgr.register(2, 1);
+        assert!(!mgr.is_complete(id));
+        mgr.mark_map_done(id, 0);
+        assert!(!mgr.is_complete(id));
+        mgr.mark_map_done(id, 1);
+        assert!(mgr.is_complete(id));
+        // Idempotent.
+        mgr.mark_map_done(id, 1);
+        assert!(mgr.is_complete(id));
+        // Unknown shuffle is never complete.
+        mgr.unregister(id);
+        assert!(!mgr.is_complete(id));
+    }
+
+    #[test]
+    fn shuffle_ids_are_unique() {
+        let mgr = ShuffleManager::new();
+        let a = mgr.register(1, 1);
+        let b = mgr.register(1, 1);
+        assert_ne!(a, b);
+    }
+}

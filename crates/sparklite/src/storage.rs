@@ -1,0 +1,374 @@
+//! Block manager: storage-level caching with LRU eviction.
+//!
+//! Spark's `persist()` keeps computed partitions in the executor storage
+//! region so iterative jobs (pagerank, als, lda) reread them instead of
+//! recomputing lineage — which is exactly what makes those workloads
+//! *memory-access-bound* and therefore tier-sensitive in the paper.
+
+use crate::shuffle::AnyPart;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How an RDD asks to be persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageLevel {
+    /// Not persisted: recompute lineage on every use.
+    #[default]
+    None,
+    /// Keep deserialized partitions in executor memory (the paper's
+    /// in-memory analytics setting; `MEMORY_ONLY`). Evicted blocks are
+    /// recomputed on next use.
+    MemoryOnly,
+    /// Keep partitions in memory, but spill LRU victims to local disk
+    /// instead of dropping them (`MEMORY_AND_DISK`). Disk reads are far
+    /// slower and charged accordingly.
+    MemoryAndDisk,
+}
+
+impl StorageLevel {
+    /// True if this level caches anything.
+    pub fn is_cached(self) -> bool {
+        self != StorageLevel::None
+    }
+
+    /// True if evicted blocks spill to disk instead of being dropped.
+    pub fn uses_disk(self) -> bool {
+        self == StorageLevel::MemoryAndDisk
+    }
+}
+
+/// Where a cache lookup found the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockLocation {
+    /// Resident in executor memory.
+    Memory,
+    /// Spilled to local disk (slower to read back).
+    Disk,
+}
+
+/// Key of a cached block: (RDD id, partition index).
+pub type BlockKey = (u32, usize);
+
+struct Entry {
+    data: AnyPart,
+    bytes: u64,
+    last_use: u64,
+    spills: bool,
+}
+
+struct Inner {
+    map: HashMap<BlockKey, Entry>,
+    disk: HashMap<BlockKey, (AnyPart, u64)>,
+    used: u64,
+    disk_used: u64,
+    capacity: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    spills: u64,
+    disk_reads: u64,
+}
+
+/// An LRU block cache shared by all executors of an application.
+pub struct BlockManager {
+    inner: Mutex<Inner>,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found the block (memory or disk).
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Blocks evicted under capacity pressure (dropped or spilled).
+    pub evictions: u64,
+    /// Bytes currently cached in memory.
+    pub used: u64,
+    /// Blocks spilled to disk instead of dropped.
+    pub spills: u64,
+    /// Lookups served from disk.
+    pub disk_reads: u64,
+    /// Bytes currently on disk.
+    pub disk_used: u64,
+}
+
+impl BlockManager {
+    /// A block manager with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        BlockManager {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                disk: HashMap::new(),
+                used: 0,
+                disk_used: 0,
+                capacity,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                spills: 0,
+                disk_reads: 0,
+            }),
+        }
+    }
+
+    /// Look up a block, refreshing its recency. Records a hit or miss and
+    /// reports where the block was found so the caller can price the read.
+    pub fn get(&self, key: BlockKey) -> Option<(AnyPart, u64, BlockLocation)> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_use = tick;
+            let out = (entry.data.clone(), entry.bytes, BlockLocation::Memory);
+            inner.hits += 1;
+            return Some(out);
+        }
+        if let Some((data, bytes)) = inner.disk.get(&key).cloned() {
+            inner.hits += 1;
+            inner.disk_reads += 1;
+            return Some((data, bytes, BlockLocation::Disk));
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Insert a block, evicting LRU entries if needed. Victims whose level
+    /// was `MemoryAndDisk` spill to the disk store instead of being
+    /// dropped. Returns `false` (and caches nothing in memory) when the
+    /// block alone exceeds capacity — except that a disk-spilling block is
+    /// then written straight to disk, like Spark's `MEMORY_AND_DISK`.
+    pub fn put(&self, key: BlockKey, data: AnyPart, bytes: u64, level: StorageLevel) -> bool {
+        let mut inner = self.inner.lock();
+        let spills = level.uses_disk();
+        if bytes > inner.capacity {
+            if spills {
+                inner.disk_used += bytes;
+                inner.spills += 1;
+                inner.disk.insert(key, (data, bytes));
+                return true;
+            }
+            return false;
+        }
+        if let Some(old) = inner.map.remove(&key) {
+            inner.used -= old.bytes;
+        }
+        while inner.used + bytes > inner.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_use, **k))
+                .map(|(k, _)| *k)
+                .expect("used > 0 implies a victim exists");
+            let evicted = inner.map.remove(&victim).unwrap();
+            inner.used -= evicted.bytes;
+            inner.evictions += 1;
+            if evicted.spills {
+                inner.disk_used += evicted.bytes;
+                inner.spills += 1;
+                inner.disk.insert(victim, (evicted.data, evicted.bytes));
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.used += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                data,
+                bytes,
+                last_use: tick,
+                spills,
+            },
+        );
+        true
+    }
+
+    /// True if the block is resident, without touching recency or stats
+    /// (the DAG scheduler's `cacheLocs` probe).
+    pub fn contains(&self, key: BlockKey) -> bool {
+        let inner = self.inner.lock();
+        inner.map.contains_key(&key) || inner.disk.contains_key(&key)
+    }
+
+    /// Drop every block of one RDD (`unpersist`). Returns bytes freed.
+    pub fn unpersist(&self, rdd_id: u32) -> u64 {
+        let mut inner = self.inner.lock();
+        let victims: Vec<BlockKey> = inner
+            .map
+            .keys()
+            .filter(|(r, _)| *r == rdd_id)
+            .copied()
+            .collect();
+        let mut freed = 0;
+        for k in victims {
+            let e = inner.map.remove(&k).unwrap();
+            inner.used -= e.bytes;
+            freed += e.bytes;
+        }
+        let disk_victims: Vec<BlockKey> = inner
+            .disk
+            .keys()
+            .filter(|(r, _)| *r == rdd_id)
+            .copied()
+            .collect();
+        for k in disk_victims {
+            let (_, bytes) = inner.disk.remove(&k).unwrap();
+            inner.disk_used -= bytes;
+            freed += bytes;
+        }
+        freed
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            used: inner.used,
+            spills: inner.spills,
+            disk_reads: inner.disk_reads,
+            disk_used: inner.disk_used,
+        }
+    }
+
+    /// Drop everything and reset statistics.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.disk.clear();
+        inner.used = 0;
+        inner.disk_used = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+        inner.spills = 0;
+        inner.disk_reads = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn part(v: Vec<u64>) -> AnyPart {
+        Arc::new(v)
+    }
+
+    const MO: StorageLevel = StorageLevel::MemoryOnly;
+    const MD: StorageLevel = StorageLevel::MemoryAndDisk;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let bm = BlockManager::new(1000);
+        assert!(bm.get((1, 0)).is_none());
+        assert!(bm.put((1, 0), part(vec![1, 2, 3]), 24, MO));
+        let (data, bytes, loc) = bm.get((1, 0)).unwrap();
+        assert_eq!(bytes, 24);
+        assert_eq!(loc, BlockLocation::Memory);
+        assert_eq!(*data.downcast::<Vec<u64>>().unwrap(), vec![1, 2, 3]);
+        let s = bm.stats();
+        assert_eq!((s.hits, s.misses, s.used), (1, 1, 24));
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![]), 40, MO);
+        bm.put((1, 1), part(vec![]), 40, MO);
+        // Touch block 0 so block 1 is the LRU victim.
+        bm.get((1, 0));
+        bm.put((1, 2), part(vec![]), 40, MO);
+        assert!(bm.get((1, 0)).is_some());
+        assert!(bm.get((1, 1)).is_none());
+        assert!(bm.get((1, 2)).is_some());
+        assert_eq!(bm.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_block_is_rejected() {
+        let bm = BlockManager::new(10);
+        assert!(!bm.put((1, 0), part(vec![]), 100, MO));
+        assert_eq!(bm.stats().used, 0);
+    }
+
+    #[test]
+    fn oversized_disk_level_block_goes_straight_to_disk() {
+        let bm = BlockManager::new(10);
+        assert!(bm.put((1, 0), part(vec![7]), 100, MD));
+        let (_, bytes, loc) = bm.get((1, 0)).unwrap();
+        assert_eq!((bytes, loc), (100, BlockLocation::Disk));
+        assert_eq!(bm.stats().disk_used, 100);
+        assert_eq!(bm.stats().spills, 1);
+    }
+
+    #[test]
+    fn memory_and_disk_spills_victims() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 60, MD);
+        bm.put((1, 1), part(vec![2]), 60, MD); // evicts (1,0) -> disk
+        let (_, _, loc0) = bm.get((1, 0)).unwrap();
+        assert_eq!(loc0, BlockLocation::Disk);
+        let (_, _, loc1) = bm.get((1, 1)).unwrap();
+        assert_eq!(loc1, BlockLocation::Memory);
+        let s = bm.stats();
+        assert_eq!(s.spills, 1);
+        assert_eq!(s.disk_reads, 1);
+        assert_eq!(s.disk_used, 60);
+        // cacheLocs probe sees disk blocks too.
+        assert!(bm.contains((1, 0)));
+    }
+
+    #[test]
+    fn memory_only_victims_are_dropped() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 60, MO);
+        bm.put((1, 1), part(vec![2]), 60, MO);
+        assert!(
+            bm.get((1, 0)).is_none(),
+            "MemoryOnly victim must be dropped"
+        );
+        assert_eq!(bm.stats().spills, 0);
+    }
+
+    #[test]
+    fn reput_replaces_without_leak() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 60, MO);
+        bm.put((1, 0), part(vec![2]), 40, MO);
+        assert_eq!(bm.stats().used, 40);
+        let (data, _, _) = bm.get((1, 0)).unwrap();
+        assert_eq!(*data.downcast::<Vec<u64>>().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn unpersist_frees_one_rdd_including_disk() {
+        let bm = BlockManager::new(1000);
+        bm.put((1, 0), part(vec![]), 10, MO);
+        bm.put((1, 1), part(vec![]), 10, MO);
+        bm.put((2, 0), part(vec![]), 10, MO);
+        assert_eq!(bm.unpersist(1), 20);
+        assert!(bm.get((1, 0)).is_none());
+        assert!(bm.get((2, 0)).is_some());
+        // Disk blocks are freed too.
+        let bm = BlockManager::new(10);
+        bm.put((3, 0), part(vec![1]), 100, MD);
+        assert_eq!(bm.unpersist(3), 100);
+        assert_eq!(bm.stats().disk_used, 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let bm = BlockManager::new(1000);
+        bm.put((1, 0), part(vec![]), 10, MO);
+        bm.get((1, 0));
+        bm.clear();
+        assert_eq!(bm.stats(), CacheStats::default());
+        assert!(bm.get((1, 0)).is_none());
+    }
+}

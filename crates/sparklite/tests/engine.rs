@@ -1,0 +1,407 @@
+//! End-to-end engine tests: data-plane correctness and time-plane sanity.
+
+use memtier_memsim::TierId;
+use sparklite::{OpCost, SparkConf, SparkContext, StorageLevel};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConf::default()).unwrap()
+}
+
+fn ctx_on(tier: TierId) -> SparkContext {
+    SparkContext::new(SparkConf::bound_to_tier(tier)).unwrap()
+}
+
+#[test]
+fn parallelize_collect_roundtrip() {
+    let sc = ctx();
+    let data: Vec<u64> = (0..1000).collect();
+    let rdd = sc.parallelize(data.clone(), 8);
+    assert_eq!(rdd.num_partitions(), 8);
+    assert_eq!(rdd.collect().unwrap(), data);
+    assert_eq!(rdd.count().unwrap(), 1000);
+}
+
+#[test]
+fn parallelize_uneven_split_loses_nothing() {
+    let sc = ctx();
+    let data: Vec<u64> = (0..1003).collect();
+    let rdd = sc.parallelize(data.clone(), 7);
+    assert_eq!(rdd.collect().unwrap(), data);
+}
+
+#[test]
+fn map_filter_flat_map() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0u64..100).collect(), 4);
+    let out = rdd
+        .map(|x| x * 2)
+        .filter(|x| x % 4 == 0)
+        .flat_map(|x| vec![*x, *x + 1])
+        .collect()
+        .unwrap();
+    let expected: Vec<u64> = (0u64..100)
+        .map(|x| x * 2)
+        .filter(|x| x % 4 == 0)
+        .flat_map(|x| vec![x, x + 1])
+        .collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn reduce_and_fold() {
+    let sc = ctx();
+    let rdd = sc.parallelize((1u64..=100).collect(), 5);
+    assert_eq!(rdd.reduce(|a, b| a + b).unwrap(), 5050);
+    assert_eq!(rdd.fold(0, |a, b| a + b).unwrap(), 5050);
+    let empty = sc.parallelize(Vec::<u64>::new(), 3);
+    assert!(empty.reduce(|a, b| a + b).is_err());
+    assert_eq!(empty.count().unwrap(), 0);
+}
+
+#[test]
+fn reduce_by_key_aggregates() {
+    let sc = ctx();
+    let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+    let mut counts = sc
+        .parallelize(pairs, 8)
+        .reduce_by_key(|a, b| a + b)
+        .collect()
+        .unwrap();
+    counts.sort();
+    assert_eq!(counts.len(), 10);
+    assert!(counts.iter().all(|&(_, c)| c == 100));
+}
+
+#[test]
+fn group_by_key_collects_all_values() {
+    let sc = ctx();
+    let pairs: Vec<(u32, u32)> = vec![(1, 10), (2, 20), (1, 11), (2, 21), (1, 12)];
+    let grouped = sc.parallelize(pairs, 3).group_by_key().collect().unwrap();
+    let mut by_key: std::collections::HashMap<u32, Vec<u32>> = grouped.into_iter().collect();
+    let mut ones = by_key.remove(&1).unwrap();
+    ones.sort();
+    assert_eq!(ones, vec![10, 11, 12]);
+    let mut twos = by_key.remove(&2).unwrap();
+    twos.sort();
+    assert_eq!(twos, vec![20, 21]);
+    assert!(by_key.is_empty());
+}
+
+#[test]
+fn join_matches_keys() {
+    let sc = ctx();
+    let left = sc.parallelize(vec![(1u32, "a"), (2, "b"), (3, "c")], 2);
+    let right = sc.parallelize(vec![(1u32, 10u64), (3, 30), (3, 31), (4, 40)], 2);
+    let mut joined = left.join(&right, 4).collect().unwrap();
+    joined.sort();
+    assert_eq!(joined, vec![(1, ("a", 10)), (3, ("c", 30)), (3, ("c", 31))]);
+}
+
+#[test]
+fn cogroup_keeps_unmatched_keys() {
+    let sc = ctx();
+    let left = sc.parallelize(vec![(1u32, 1u32)], 1);
+    let right = sc.parallelize(vec![(2u32, 2u32)], 1);
+    let mut out = left.cogroup(&right, 2).collect().unwrap();
+    out.sort_by_key(|(k, _)| *k);
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0], (1, (vec![1], vec![])));
+    assert_eq!(out[1], (2, (vec![], vec![2])));
+}
+
+#[test]
+fn sort_by_key_is_totally_ordered() {
+    let sc = ctx();
+    // Deterministic pseudo-random keys.
+    let pairs: Vec<(u64, u64)> = (0..5000u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) % 10_000, i))
+        .collect();
+    let sorted = sc
+        .parallelize(pairs.clone(), 8)
+        .sort_by_key(6)
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(sorted.len(), pairs.len());
+    for w in sorted.windows(2) {
+        assert!(w[0].0 <= w[1].0, "output must be globally sorted");
+    }
+    // Same multiset of keys.
+    let mut expect: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+    expect.sort();
+    let got: Vec<u64> = sorted.iter().map(|&(k, _)| k).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let sc = ctx();
+    let rdd = sc.parallelize(vec![1u32, 2, 2, 3, 3, 3, 4], 3);
+    let mut out = rdd.distinct().collect().unwrap();
+    out.sort();
+    assert_eq!(out, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn union_concatenates() {
+    let sc = ctx();
+    let a = sc.parallelize(vec![1u32, 2], 2);
+    let b = sc.parallelize(vec![3u32, 4, 5], 2);
+    let u = a.union(&b);
+    assert_eq!(u.num_partitions(), 4);
+    assert_eq!(u.collect().unwrap(), vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn sample_is_deterministic_and_proportional() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0u64..10_000).collect(), 8);
+    let s1 = rdd.sample(0.1, 42).collect().unwrap();
+    let s2 = rdd.sample(0.1, 42).collect().unwrap();
+    assert_eq!(s1, s2, "same seed must give the same sample");
+    let s3 = rdd.sample(0.1, 43).collect().unwrap();
+    assert_ne!(s1, s3, "different seed should differ");
+    assert!((800..1200).contains(&s1.len()), "got {}", s1.len());
+}
+
+#[test]
+fn take_and_first() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0u64..100).collect(), 4);
+    assert_eq!(rdd.take(3).unwrap(), vec![0, 1, 2]);
+    assert_eq!(rdd.first().unwrap(), 0);
+    assert!(sc.parallelize(Vec::<u64>::new(), 1).first().is_err());
+}
+
+#[test]
+fn count_by_key() {
+    let sc = ctx();
+    let pairs: Vec<(String, u32)> = vec![
+        ("a".into(), 1),
+        ("b".into(), 1),
+        ("a".into(), 1),
+        ("a".into(), 1),
+    ];
+    let counts = sc.parallelize(pairs, 2).count_by_key().unwrap();
+    assert_eq!(counts["a"], 3);
+    assert_eq!(counts["b"], 1);
+}
+
+#[test]
+fn text_file_line_boundary_semantics() {
+    let sc = ctx();
+    let client = sc.dfs();
+    // Lines of varying length; 64-byte blocks cut lines mid-way.
+    let lines: Vec<String> = (0..200)
+        .map(|i| format!("line-{i}-{}", "x".repeat(i % 23)))
+        .collect();
+    let content = lines.join("\n") + "\n";
+    client
+        .write_file("/input/text", content.as_bytes(), 64, 1)
+        .unwrap();
+    let rdd = sc.text_file("/input/text").unwrap();
+    assert!(rdd.num_partitions() > 1);
+    let read = rdd.collect().unwrap();
+    assert_eq!(
+        read, lines,
+        "no line may be lost or duplicated at block cuts"
+    );
+}
+
+#[test]
+fn save_as_text_file_roundtrip() {
+    let sc = ctx();
+    let lines: Vec<String> = (0..100).map(|i| format!("row {i}")).collect();
+    let rdd = sc.parallelize(lines.clone(), 4);
+    rdd.save_as_text_file("/out/result").unwrap();
+    let client = sc.dfs();
+    let files = client.list("/out/result/");
+    assert_eq!(files.len(), 4);
+    let mut all = Vec::new();
+    for f in files {
+        let bytes = client.read_file(&f.path).unwrap();
+        all.extend(
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(str::to_string),
+        );
+    }
+    assert_eq!(all, lines);
+}
+
+#[test]
+fn generator_source_is_lazy_and_deterministic() {
+    let sc = ctx();
+    let rdd = sc.generate(
+        4,
+        |part| (0..10u64).map(|i| part as u64 * 100 + i).collect(),
+        OpCost::cpu(20.0),
+    );
+    let out = rdd.collect().unwrap();
+    assert_eq!(out.len(), 40);
+    assert_eq!(out[0], 0);
+    assert_eq!(out[39], 309);
+}
+
+#[test]
+fn caching_skips_recompute_and_hits_cache() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize((0u64..10_000).collect(), 8)
+        .map(|x| x * 2)
+        .cache();
+    rdd.count().unwrap();
+    let t1 = sc.elapsed();
+    rdd.count().unwrap();
+    let t2 = sc.elapsed();
+    let report_hits = sc.finish().cache.hits;
+    assert!(report_hits >= 8, "second pass must hit the cache");
+    // The cached pass must be cheaper than the computing pass.
+    let first = t1.as_secs_f64();
+    let second = t2.as_secs_f64() - first;
+    assert!(
+        second < first,
+        "cached count ({second}) should be faster than cold count ({first})"
+    );
+}
+
+#[test]
+fn unpersist_frees_blocks() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0u64..1000).collect(), 4).cache();
+    rdd.count().unwrap();
+    assert!(sc.finish().cache.used > 0);
+    rdd.unpersist();
+    assert_eq!(rdd.storage_level(), StorageLevel::None);
+    assert_eq!(sc.finish().cache.used, 0);
+}
+
+#[test]
+fn shuffle_stages_are_skipped_on_reuse() {
+    let sc = ctx();
+    let counts = sc
+        .parallelize((0u64..1000).map(|i| (i % 7, 1u64)).collect::<Vec<_>>(), 4)
+        .reduce_by_key(|a, b| a + b);
+    counts.count().unwrap();
+    let m1 = sc.metrics();
+    counts.count().unwrap();
+    let m2 = sc.metrics();
+    // Second job re-uses the shuffle: only the result stage runs.
+    assert_eq!(m2.jobs, m1.jobs + 1);
+    assert_eq!(m2.stages, m1.stages + 1, "map stage must be skipped");
+}
+
+#[test]
+fn elapsed_is_monotone_and_deterministic() {
+    let run = || {
+        let sc = ctx();
+        let rdd = sc.parallelize((0u64..20_000).collect(), 16);
+        rdd.map(|x| (x % 100, *x))
+            .reduce_by_key(|a, b| a + b)
+            .count()
+            .unwrap();
+        sc.elapsed()
+    };
+    let t1 = run();
+    let t2 = run();
+    assert!(t1.as_secs_f64() > 0.0);
+    assert_eq!(t1, t2, "identical runs must take identical virtual time");
+}
+
+#[test]
+fn nvm_tier_is_slower_than_dram() {
+    let elapsed_on = |tier| {
+        let sc = ctx_on(tier);
+        let rdd = sc.parallelize((0u64..50_000).collect(), 16);
+        rdd.map(|x| (x % 1000, *x))
+            .reduce_by_key(|a, b| a + b)
+            .count()
+            .unwrap();
+        sc.elapsed().as_secs_f64()
+    };
+    let t0 = elapsed_on(TierId::LOCAL_DRAM);
+    let t1 = elapsed_on(TierId::REMOTE_DRAM);
+    let t2 = elapsed_on(TierId::NVM_NEAR);
+    let t3 = elapsed_on(TierId::NVM_FAR);
+    assert!(t0 < t1, "local DRAM must beat remote DRAM ({t0} vs {t1})");
+    assert!(t1 < t2, "remote DRAM must beat NVM ({t1} vs {t2})");
+    assert!(t2 < t3, "near NVM must beat far NVM ({t2} vs {t3})");
+}
+
+#[test]
+fn access_counters_land_on_bound_tier() {
+    let sc = ctx_on(TierId::NVM_NEAR);
+    sc.parallelize((0u64..10_000).collect(), 8)
+        .map(|x| x + 1)
+        .count()
+        .unwrap();
+    let snap = sc.counters();
+    assert!(snap.tier(TierId::NVM_NEAR).total() > 0);
+    assert_eq!(snap.tier(TierId::LOCAL_DRAM).total(), 0);
+}
+
+#[test]
+fn energy_report_covers_active_tier() {
+    let sc = ctx_on(TierId::NVM_NEAR);
+    sc.parallelize((0u64..10_000).collect(), 8).count().unwrap();
+    let report = sc.finish();
+    let e = report.telemetry.energy.tier(TierId::NVM_NEAR);
+    assert!(e.dynamic_j > 0.0);
+    assert!(e.static_j > 0.0);
+}
+
+#[test]
+fn more_partitions_than_cores_still_completes() {
+    let sc = SparkContext::new(SparkConf::default().with_executors(1, 4)).unwrap();
+    let rdd = sc.parallelize((0u64..10_000).collect(), 64);
+    assert_eq!(rdd.count().unwrap(), 10_000);
+}
+
+#[test]
+fn multi_executor_grid_runs_correctly() {
+    let sc = SparkContext::new(SparkConf::default().with_executors(8, 5)).unwrap();
+    let out = sc
+        .parallelize((0u64..5000).map(|i| (i % 13, 1u64)).collect::<Vec<_>>(), 40)
+        .reduce_by_key(|a, b| a + b)
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 13);
+    assert_eq!(out.iter().map(|&(_, c)| c).sum::<u64>(), 5000);
+}
+
+#[test]
+fn context_mismatch_is_detected() {
+    let sc1 = ctx();
+    let sc2 = ctx();
+    let rdd1 = sc1.parallelize(vec![1u32], 1);
+    // Construct an action on rdd1 but drive it from sc2's context via a
+    // cloned handle: the public API prevents this by construction, so
+    // emulate by checking the error type through the map + count path on a
+    // foreign RDD. The handles embedded in RDDs keep this safe; this test
+    // pins the invariant that two contexts are independent.
+    assert_eq!(rdd1.count().unwrap(), 1);
+    assert_eq!(sc2.metrics().jobs, 0);
+    assert_eq!(sc1.metrics().jobs, 1);
+}
+
+#[test]
+fn mba_throttling_leaves_latency_bound_jobs_unchanged() {
+    let run = |mba: u8| {
+        let sc = ctx_on(TierId::NVM_NEAR);
+        sc.set_mba_all(mba);
+        sc.parallelize((0u64..30_000).collect(), 16)
+            .map(|x| (x % 100, *x))
+            .reduce_by_key(|a, b| a + b)
+            .count()
+            .unwrap();
+        sc.elapsed().as_secs_f64()
+    };
+    let full = run(100);
+    let throttled = run(10);
+    let rel = (throttled - full).abs() / full;
+    assert!(
+        rel < 0.05,
+        "Fig. 3 shape: latency-bound job must not feel MBA (rel diff {rel})"
+    );
+}

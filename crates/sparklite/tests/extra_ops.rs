@@ -1,0 +1,347 @@
+//! Tests for the extended operator set (`coalesce`, `glom`, `key_by`,
+//! `zip_with_index`, `aggregate`, `top`, numeric reductions, broadcast).
+
+use sparklite::{OpCost, SparkConf, SparkContext};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap()
+}
+
+#[test]
+fn coalesce_preserves_data_and_order() {
+    let sc = ctx();
+    let data: Vec<u64> = (0..1000).collect();
+    let rdd = sc.parallelize(data.clone(), 8).coalesce(3);
+    assert_eq!(rdd.num_partitions(), 3);
+    assert_eq!(rdd.collect().unwrap(), data);
+    // Clamped at both ends.
+    assert_eq!(
+        sc.parallelize(data.clone(), 8).coalesce(0).num_partitions(),
+        1
+    );
+    assert_eq!(
+        sc.parallelize(data.clone(), 4)
+            .coalesce(100)
+            .num_partitions(),
+        4
+    );
+}
+
+#[test]
+fn coalesce_runs_in_one_stage() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0u64..100).collect(), 8).coalesce(2);
+    let before = sc.metrics();
+    rdd.count().unwrap();
+    let after = sc.metrics();
+    assert_eq!(after.stages, before.stages + 1, "coalesce must not shuffle");
+    // And only 2 result tasks ran.
+    assert_eq!(after.tasks, before.tasks + 2);
+}
+
+#[test]
+fn glom_exposes_partitions() {
+    let sc = ctx();
+    let parts = sc
+        .parallelize((0u64..100).collect(), 4)
+        .glom()
+        .collect()
+        .unwrap();
+    assert_eq!(parts.len(), 4);
+    assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    assert_eq!(parts[0], (0..25).collect::<Vec<u64>>());
+}
+
+#[test]
+fn key_by_keys_records() {
+    let sc = ctx();
+    let mut out = sc
+        .parallelize(vec!["apple", "fig", "banana"], 2)
+        .key_by(|s| s.len() as u32)
+        .collect()
+        .unwrap();
+    out.sort();
+    assert_eq!(out, vec![(3, "fig"), (5, "apple"), (6, "banana")]);
+}
+
+#[test]
+fn zip_with_index_is_global_and_ordered() {
+    let sc = ctx();
+    let data: Vec<String> = (0..503).map(|i| format!("row{i}")).collect();
+    let indexed = sc
+        .parallelize(data.clone(), 7)
+        .zip_with_index()
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(indexed.len(), 503);
+    for (i, (record, idx)) in indexed.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert_eq!(*record, data[i]);
+    }
+}
+
+#[test]
+fn aggregate_computes_sum_and_count() {
+    let sc = ctx();
+    let (sum, count) = sc
+        .parallelize((1u64..=100).collect(), 5)
+        .aggregate(
+            (0u64, 0u64),
+            |(s, c), &x| (s + x, c + 1),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        )
+        .unwrap();
+    assert_eq!((sum, count), (5050, 100));
+}
+
+#[test]
+fn top_min_max() {
+    let sc = ctx();
+    let rdd = sc.parallelize(vec![5u64, 1, 9, 3, 7, 9, 2], 3);
+    assert_eq!(rdd.top(3).unwrap(), vec![9, 9, 7]);
+    assert_eq!(rdd.top(0).unwrap(), Vec::<u64>::new());
+    assert_eq!(rdd.min().unwrap(), 1);
+    assert_eq!(rdd.max().unwrap(), 9);
+    // top(n) with n larger than the data returns everything, sorted desc.
+    assert_eq!(rdd.top(100).unwrap(), vec![9, 9, 7, 5, 3, 2, 1]);
+}
+
+#[test]
+fn numeric_reductions() {
+    let sc = ctx();
+    let xs = sc.parallelize(vec![1.5f64, 2.5, 6.0], 2);
+    assert!((xs.sum().unwrap() - 10.0).abs() < 1e-12);
+    assert!((xs.mean().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+    assert!(sc.parallelize(Vec::<f64>::new(), 1).mean().is_err());
+    assert_eq!(sc.parallelize(vec![1u64, 2, 3], 2).sum().unwrap(), 6);
+}
+
+#[test]
+fn broadcast_reaches_tasks_and_charges_traffic() {
+    let sc = ctx();
+    let model = sc.broadcast((0..1000u64).collect::<Vec<u64>>());
+    let lookups = sc.generate(
+        4,
+        |p| vec![p as u64 * 100, p as u64 * 100 + 7],
+        OpCost::cpu(10.0),
+    );
+    let out = lookups
+        .map_partitions_with_env(move |_, keys, env| {
+            let table = model.value(env);
+            keys.iter().map(|&k| table[k as usize]).collect()
+        })
+        .collect()
+        .unwrap();
+    assert_eq!(out, vec![0, 7, 100, 107, 200, 207, 300, 307]);
+    let m = sc.metrics();
+    assert!(
+        m.totals.input_bytes > 0,
+        "broadcast fetches must appear in traffic"
+    );
+}
+
+#[test]
+fn memory_and_disk_persists_under_capacity_pressure() {
+    // A cache far smaller than the dataset: MemoryOnly drops blocks (and
+    // recomputes), MemoryAndDisk spills and rereads — slower per read but
+    // never recomputes lineage.
+    let mut conf = SparkConf::default().with_parallelism(8);
+    conf.executor_cache_bytes = 4 << 10; // 4 KB: holds well under one partition
+    let sc = SparkContext::new(conf).unwrap();
+    let rdd = sc
+        .parallelize((0u64..20_000).collect(), 8)
+        .map(|x| x * 3)
+        .persist(sparklite::StorageLevel::MemoryAndDisk);
+    let first = rdd.count().unwrap();
+    let again = rdd.count().unwrap();
+    assert_eq!(first, again);
+    assert_eq!(first, 20_000);
+    let stats = sc.finish().cache;
+    assert!(
+        stats.spills > 0,
+        "blocks must spill under pressure: {stats:?}"
+    );
+    assert!(
+        stats.disk_reads > 0,
+        "second pass must read from disk: {stats:?}"
+    );
+    // Correctness: data identical to an unpersisted run.
+    let sc2 = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+    let plain = sc2.parallelize((0u64..20_000).collect(), 8).map(|x| x * 3);
+    assert_eq!(rdd.collect().unwrap(), plain.collect().unwrap());
+}
+
+#[test]
+fn disk_reads_are_slower_than_memory_hits() {
+    let run = |capacity: u64| {
+        let mut conf = SparkConf::default().with_parallelism(4);
+        conf.executor_cache_bytes = capacity;
+        let sc = SparkContext::new(conf).unwrap();
+        let rdd = sc
+            .parallelize((0u64..200_000).collect(), 4)
+            .persist(sparklite::StorageLevel::MemoryAndDisk);
+        rdd.count().unwrap();
+        let warm_start = sc.elapsed();
+        rdd.count().unwrap();
+        (sc.elapsed() - warm_start).as_secs_f64()
+    };
+    let from_memory = run(512 << 20); // everything fits
+    let from_disk = run(1 << 10); // everything spills
+    assert!(
+        from_disk > from_memory * 1.5,
+        "disk rereads must cost visibly more ({from_disk} vs {from_memory})"
+    );
+}
+
+#[test]
+fn tracing_captures_task_timeline() {
+    let sc = ctx();
+    sc.enable_tracing();
+    sc.parallelize((0u64..1000).map(|i| (i % 5, i)).collect::<Vec<_>>(), 8)
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    let spans = sc.task_spans().unwrap();
+    // 8 map tasks + 8 reduce tasks.
+    assert_eq!(spans.len(), 16);
+    for s in &spans {
+        assert!(s.end > s.start, "span must have positive duration");
+        assert_eq!(s.executor, 0);
+        assert!(s.slot < 40);
+    }
+    // Map stage strictly precedes the reduce stage.
+    let map_max = spans
+        .iter()
+        .filter(|s| s.stage == 0)
+        .map(|s| s.end)
+        .max()
+        .unwrap();
+    let red_min = spans
+        .iter()
+        .filter(|s| s.stage == 1)
+        .map(|s| s.start)
+        .min()
+        .unwrap();
+    assert!(
+        red_min >= map_max,
+        "stage barrier must hold in the timeline"
+    );
+    // Chrome export is valid JSON with one event per span.
+    let json = sc.chrome_trace().unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["traceEvents"].as_array().unwrap().len(), 16);
+}
+
+#[test]
+fn tracing_off_by_default() {
+    let sc = ctx();
+    sc.parallelize(vec![1u32], 1).count().unwrap();
+    assert!(sc.task_spans().is_none());
+    assert!(sc.chrome_trace().is_none());
+}
+
+#[test]
+fn stats_matches_reference() {
+    let sc = ctx();
+    let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+    let s = sc.parallelize(xs.clone(), 7).stats().unwrap();
+    assert_eq!(s.count, 1000);
+    assert!((s.sum - 500_500.0).abs() < 1e-6);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 1000.0);
+    assert!((s.mean() - 500.5).abs() < 1e-9);
+    // Population variance of 1..=n is (n²−1)/12.
+    let expect_var = (1000.0f64 * 1000.0 - 1.0) / 12.0;
+    assert!((s.variance() - expect_var).abs() / expect_var < 1e-9);
+    // Empty stats are NaN/0.
+    let empty = sc.parallelize(Vec::<f64>::new(), 2).stats().unwrap();
+    assert_eq!(empty.count, 0);
+    assert!(empty.mean().is_nan());
+}
+
+#[test]
+fn histogram_covers_all_values() {
+    let sc = ctx();
+    let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    let (bounds, counts) = sc.parallelize(xs, 4).histogram(4).unwrap();
+    assert_eq!(bounds.len(), 5);
+    assert_eq!(counts, vec![25, 25, 25, 25]);
+    assert_eq!(bounds[0], 0.0);
+    assert_eq!(bounds[4], 99.0);
+    // Constant data: everything in one bucket, no div-by-zero.
+    let (b2, c2) = sc.parallelize(vec![5.0f64; 10], 2).histogram(3).unwrap();
+    assert_eq!(c2.iter().sum::<u64>(), 10);
+    assert_eq!(b2[0], 5.0);
+    // Empty errors.
+    assert!(sc.parallelize(Vec::<f64>::new(), 1).histogram(2).is_err());
+}
+
+#[test]
+fn subtract_and_intersection() {
+    let sc = ctx();
+    let a = sc.parallelize(vec![1u32, 2, 3, 4, 4, 5], 3);
+    let b = sc.parallelize(vec![3u32, 4, 9], 2);
+    let mut sub = a.subtract(&b).collect().unwrap();
+    sub.sort();
+    assert_eq!(sub, vec![1, 2, 5]);
+    let mut inter = a.intersection(&b).collect().unwrap();
+    inter.sort();
+    assert_eq!(inter, vec![3, 4]);
+    // Empty other: subtract is distinct(self), intersection empty.
+    let empty = sc.parallelize(Vec::<u32>::new(), 1);
+    let mut all = a.subtract(&empty).collect().unwrap();
+    all.sort();
+    assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    assert_eq!(a.intersection(&empty).count().unwrap(), 0);
+}
+
+#[test]
+fn disk_shuffle_mode_is_slower_and_off_by_default() {
+    let run = |through_disk: bool| {
+        let mut conf = SparkConf::default().with_parallelism(8);
+        conf.shuffle_through_disk = through_disk;
+        let sc = SparkContext::new(conf).unwrap();
+        let out = sc
+            .parallelize((0u64..20_000).map(|i| (i % 50, i)).collect::<Vec<_>>(), 8)
+            .reduce_by_key(|a, b| a + b)
+            .collect()
+            .unwrap();
+        (out.len(), sc.elapsed().as_secs_f64())
+    };
+    let (n_mem, t_mem) = run(false);
+    let (n_disk, t_disk) = run(true);
+    assert_eq!(
+        n_mem, n_disk,
+        "results must not depend on the shuffle medium"
+    );
+    assert!(
+        t_disk > t_mem * 1.1,
+        "disk-materialized shuffle must cost more ({t_disk} vs {t_mem})"
+    );
+    assert!(!SparkConf::default().shuffle_through_disk);
+}
+
+#[test]
+fn checkpoint_truncates_lineage() {
+    let sc = ctx();
+    let deep = sc
+        .parallelize((0u64..500).map(|i| (i % 7, i)).collect::<Vec<_>>(), 4)
+        .reduce_by_key(|a, b| a + b)
+        .map(|&(k, v)| (v % 5, k))
+        .reduce_by_key(|a, b| a + b);
+    let checkpointed = deep.checkpoint().unwrap();
+    // Same data…
+    let mut a = deep.collect().unwrap();
+    let mut b = checkpointed.collect().unwrap();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    // …but a single-stage plan (no shuffle ancestry).
+    let plan = checkpointed.explain();
+    assert_eq!(
+        plan.lines().filter(|l| !l.contains("[skipped]")).count(),
+        1,
+        "checkpoint must cut the lineage:\n{plan}"
+    );
+}

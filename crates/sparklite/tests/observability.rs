@@ -1,0 +1,106 @@
+//! Observability-surface tests: utilization sampling, MBA control through
+//! the context, metrics/event consistency.
+
+use memtier_des::SimTime;
+use memtier_memsim::TierId;
+use sparklite::{SparkConf, SparkContext};
+
+fn nvm_ctx() -> SparkContext {
+    SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_NEAR)).unwrap()
+}
+
+#[test]
+fn utilization_sampling_tracks_activity() {
+    let sc = nvm_ctx();
+    sc.enable_utilization_sampling(SimTime::from_us(100));
+    sc.parallelize((0u64..30_000).map(|i| (i % 50, i)).collect::<Vec<_>>(), 16)
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    let samples = sc.utilization_samples();
+    assert!(samples.len() > 10, "expected a timeline, got {}", samples.len());
+    // Samples are equally spaced and monotone.
+    for w in samples.windows(2) {
+        assert_eq!(w[1].at - w[0].at, SimTime::from_us(100));
+    }
+    let idx = TierId::NVM_NEAR.index();
+    // Some activity on the bound tier, none on the others.
+    assert!(samples.iter().any(|s| s.active[idx] > 0));
+    assert!(samples.iter().any(|s| s.utilization[idx] > 0.0));
+    for other in [TierId::LOCAL_DRAM, TierId::REMOTE_DRAM, TierId::NVM_FAR] {
+        assert!(samples.iter().all(|s| s.active[other.index()] == 0));
+    }
+    // Utilization is a fraction.
+    assert!(samples
+        .iter()
+        .all(|s| (0.0..=1.0).contains(&s.utilization[idx])));
+}
+
+#[test]
+fn sampling_disabled_returns_empty() {
+    let sc = nvm_ctx();
+    sc.parallelize(vec![1u32], 1).count().unwrap();
+    assert!(sc.utilization_samples().is_empty());
+}
+
+#[test]
+fn mba_through_context_throttles_streaming() {
+    // A deliberately bandwidth-hungry pattern: wide sequential collect of
+    // large partitions on the slowest tier.
+    let run = |pct: u8| {
+        let sc = SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_FAR)).unwrap();
+        sc.set_mba_level(TierId::NVM_FAR, pct);
+        sc.parallelize((0u64..400_000).collect::<Vec<_>>(), 40)
+            .collect()
+            .unwrap();
+        sc.elapsed().as_secs_f64()
+    };
+    let full = run(100);
+    let throttled = run(10);
+    assert!(
+        throttled >= full,
+        "throttling can only slow things down ({throttled} vs {full})"
+    );
+}
+
+#[test]
+fn events_are_internally_consistent() {
+    let sc = nvm_ctx();
+    sc.parallelize((0u64..5_000).map(|i| (i % 9, i)).collect::<Vec<_>>(), 8)
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    let report = sc.finish();
+    let ev = &report.events;
+    // The event vector mirrors the metrics struct.
+    assert_eq!(ev.get("tasks").unwrap() as u64, report.metrics.tasks);
+    assert_eq!(ev.get("jobs").unwrap() as u64, report.metrics.jobs);
+    assert_eq!(
+        ev.get("shuffle_write_bytes").unwrap() as u64,
+        report.metrics.totals.shuffle_write_bytes
+    );
+    // Counter-derived events match the telemetry snapshot.
+    let reads: u64 = TierId::all()
+        .iter()
+        .map(|&t| report.telemetry.counters.tier(t).reads)
+        .sum();
+    assert_eq!(ev.get("mem_reads").unwrap() as u64, reads);
+    // Shuffle read equals shuffle write for a completed exchange.
+    assert_eq!(
+        report.metrics.totals.shuffle_read_bytes,
+        report.metrics.totals.shuffle_write_bytes
+    );
+}
+
+#[test]
+fn driver_work_advances_clock_without_tasks() {
+    let sc = nvm_ctx();
+    let before = sc.elapsed();
+    sc.run_driver_work(5e6); // 5 ms
+    let after = sc.elapsed();
+    assert_eq!(after - before, SimTime::from_ms(5));
+    assert_eq!(sc.metrics().tasks, 0);
+    // Negative work is clamped in the metrics but must not panic.
+    sc.run_driver_work(-1.0);
+    assert_eq!(sc.elapsed(), after);
+}

@@ -1,0 +1,183 @@
+//! Property tests: the engine's distributed operators agree with their
+//! sequential reference implementations on arbitrary inputs.
+
+use proptest::prelude::*;
+use sparklite::shuffle::{HashPartitioner, Partitioner, RangePartitioner};
+use sparklite::{SparkConf, SparkContext};
+use std::collections::{HashMap, HashSet};
+
+fn ctx(partitions: usize) -> SparkContext {
+    SparkContext::new(SparkConf::default().with_parallelism(partitions)).unwrap()
+}
+
+proptest! {
+    // The engine cases run a full simulation each; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// reduce_by_key over arbitrary data equals a sequential hash fold.
+    #[test]
+    fn reduce_by_key_matches_reference(
+        data in prop::collection::vec((0u32..40, 0u64..1000), 0..300),
+        partitions in 1usize..7,
+    ) {
+        let sc = ctx(partitions);
+        let mut got = sc
+            .parallelize(data.clone(), partitions)
+            .reduce_by_key(|a, b| a + b)
+            .collect()
+            .unwrap();
+        got.sort();
+        let mut expect: HashMap<u32, u64> = HashMap::new();
+        for (k, v) in data {
+            *expect.entry(k).or_insert(0) += v;
+        }
+        let mut expect: Vec<(u32, u64)> = expect.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// sort_by_key yields a globally sorted permutation of the input.
+    #[test]
+    fn sort_by_key_is_sorted_permutation(
+        keys in prop::collection::vec(0u64..5_000, 1..400),
+        partitions in 1usize..6,
+    ) {
+        let sc = ctx(partitions);
+        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let sorted = sc
+            .parallelize(pairs, partitions)
+            .sort_by_key(partitions)
+            .unwrap()
+            .collect()
+            .unwrap();
+        prop_assert_eq!(sorted.len(), keys.len());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let mut got: Vec<u64> = sorted.iter().map(|&(k, _)| k).collect();
+        let mut expect = keys.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// distinct equals the sequential HashSet.
+    #[test]
+    fn distinct_matches_reference(data in prop::collection::vec(0u32..50, 0..200)) {
+        let sc = ctx(4);
+        let mut got = sc.parallelize(data.clone(), 4).distinct().collect().unwrap();
+        got.sort();
+        let mut expect: Vec<u32> = data.into_iter().collect::<HashSet<_>>().into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// join equals the sequential nested-loop join.
+    #[test]
+    fn join_matches_reference(
+        left in prop::collection::vec((0u32..10, 0u32..100), 0..60),
+        right in prop::collection::vec((0u32..10, 0u32..100), 0..60),
+    ) {
+        let sc = ctx(3);
+        let l = sc.parallelize(left.clone(), 3);
+        let r = sc.parallelize(right.clone(), 3);
+        let mut got = l.join(&r, 4).collect().unwrap();
+        got.sort();
+        let mut expect = Vec::new();
+        for &(k, v) in &left {
+            for &(k2, w) in &right {
+                if k == k2 {
+                    expect.push((k, (v, w)));
+                }
+            }
+        }
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Virtual time is identical across repeated identical runs and
+    /// strictly increases when more work is added.
+    #[test]
+    fn virtual_time_determinism_and_monotonicity(n in 100u64..3_000) {
+        let run = |count: u64| {
+            let sc = ctx(4);
+            sc.parallelize((0..count).collect::<Vec<u64>>(), 4)
+                .map(|x| (x % 17, *x))
+                .reduce_by_key(|a, b| a + b)
+                .count()
+                .unwrap();
+            sc.elapsed()
+        };
+        prop_assert_eq!(run(n), run(n));
+        prop_assert!(run(n * 2) > run(n));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hash partitioning is total, in-range, and deterministic.
+    #[test]
+    fn hash_partitioner_in_range(key in any::<u64>(), partitions in 1usize..64) {
+        let p = HashPartitioner::new(partitions);
+        let a = Partitioner::<u64>::partition(&p, &key);
+        prop_assert!(a < partitions);
+        prop_assert_eq!(a, Partitioner::<u64>::partition(&p, &key));
+    }
+
+    /// Range partitioning respects ordering: partition ids are monotone in
+    /// the key.
+    #[test]
+    fn range_partitioner_monotone(
+        mut sample in prop::collection::vec(0u64..10_000, 0..500),
+        partitions in 1usize..16,
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        sample.sort_unstable();
+        let p = RangePartitioner::from_sample(sample, partitions);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(p.partition(&lo) <= p.partition(&hi));
+        prop_assert!(Partitioner::<u64>::partition(&p, &a) < Partitioner::<u64>::num_partitions(&p));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any executor grid computes the same answer, and virtual time is
+    /// reproducible per grid.
+    #[test]
+    fn executor_grids_agree_on_results(
+        executors in 1usize..5,
+        cores in 1usize..12,
+        n in 100u64..2000,
+    ) {
+        let run = || {
+            let sc = SparkContext::new(
+                SparkConf::default().with_executors(executors, cores),
+            )
+            .unwrap();
+            let mut out = sc
+                .parallelize((0..n).map(|i| (i % 13, i)).collect::<Vec<_>>(), 8)
+                .reduce_by_key(|a, b| a + b)
+                .collect()
+                .unwrap();
+            out.sort();
+            (out, sc.elapsed())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(ta, tb);
+        // Reference answer is grid-independent.
+        let sc = SparkContext::new(SparkConf::default()).unwrap();
+        let mut reference = sc
+            .parallelize((0..n).map(|i| (i % 13, i)).collect::<Vec<_>>(), 8)
+            .reduce_by_key(|x, y| x + y)
+            .collect()
+            .unwrap();
+        reference.sort();
+        prop_assert_eq!(a, reference);
+    }
+}

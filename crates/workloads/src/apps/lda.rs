@@ -1,0 +1,243 @@
+//! `lda` — Latent Dirichlet Allocation by EM over a word×topic table.
+//!
+//! Table II: 2 000/5 000/10 000 docs, vocab 1 000/2 000/3 000, topics
+//! 10/20/30. Docs scaled ~1/10. Each EM iteration's M-step rebuilds the
+//! whole word×topic count table through a wide aggregation keyed by
+//! `(word, topic)` — for the large profile that is 90 000 hot counters
+//! being *written* every iteration, which is exactly the write-heavy access
+//! mix the paper blames for lda-large's blow-up on Optane (Takeaway 3: the
+//! DCPM write asymmetry bites hardest here).
+
+use crate::gen::{rng_for, zipf::Zipf};
+use crate::suite::{Category, DataSize, Workload, WorkloadOutput};
+use rand::Rng;
+use sparklite::error::Result;
+use sparklite::{OpCost, SparkContext};
+use std::collections::HashMap;
+
+/// (docs, vocabulary, topics, words per doc).
+fn profile(size: DataSize) -> (usize, usize, usize, usize) {
+    match size {
+        DataSize::Tiny => (200, 1_000, 10, 50),
+        DataSize::Small => (500, 2_000, 20, 60),
+        DataSize::Large => (1_000, 3_000, 30, 80),
+    }
+}
+
+/// EM iterations.
+const ITERATIONS: usize = 6;
+
+/// The LDA workload.
+pub struct Lda;
+
+impl Workload for Lda {
+    fn name(&self) -> &'static str {
+        "lda"
+    }
+
+    fn category(&self) -> Category {
+        Category::MachineLearning
+    }
+
+    fn data_description(&self, size: DataSize) -> String {
+        let (docs, vocab, topics, wpd) = profile(size);
+        format!("{docs} docs, vocab {vocab}, {topics} topics, {wpd} words/doc")
+    }
+
+    fn run(&self, sc: &SparkContext, size: DataSize, seed: u64) -> Result<WorkloadOutput> {
+        let (n_docs, vocab, topics, wpd) = profile(size);
+        let partitions = sc.conf().parallelism();
+        let per_part = n_docs.div_ceil(partitions);
+
+        // Documents with planted topic structure: each doc mixes two true
+        // topics whose vocabularies live in disjoint Zipf-shifted regions.
+        let docs = sc
+            .generate(
+                partitions,
+                move |part| {
+                    let mut rng = rng_for(seed, part);
+                    let zipf = Zipf::new(vocab / topics, 1.1);
+                    let lo = part * per_part;
+                    let hi = (lo + per_part).min(n_docs);
+                    (lo..hi)
+                        .map(|doc| {
+                            let t1 = doc % topics;
+                            let t2 = (doc * 7 + 3) % topics;
+                            let words: Vec<u32> = (0..wpd)
+                                .map(|_| {
+                                    let t = if rng.gen::<f64>() < 0.6 { t1 } else { t2 };
+                                    (t * (vocab / topics) + zipf.sample(&mut rng)) as u32
+                                })
+                                .collect();
+                            (doc as u32, words)
+                        })
+                        .collect::<Vec<(u32, Vec<u32>)>>()
+                },
+                OpCost::cpu(100.0),
+            )
+            .cache();
+        docs.count()?;
+
+        // word_topic[(word, topic)] -> weight. Initialized deterministically.
+        let mut word_topic: HashMap<(u32, u16), f64> = HashMap::new();
+        for w in 0..vocab as u32 {
+            for t in 0..topics as u16 {
+                let h = super::fnv_fold(seed, &[(w & 0xff) as u8, (w >> 8) as u8, t as u8]);
+                word_topic.insert((w, t), 0.5 + (h % 100) as f64 / 100.0);
+            }
+        }
+
+        let mut checksum = 0u64;
+        for _iter in 0..ITERATIONS {
+            // E-step + M-step fused: each doc soft-assigns its words to
+            // topics given the current table, emitting ((word, topic),
+            // responsibility); the wide aggregation rebuilds the table.
+            // Per-topic normalization: phi-hat(w, t) = phi(w, t) / total_t,
+            // otherwise heavy topics swallow every theta and EM collapses.
+            let mut topic_totals = vec![0.0f64; topics];
+            for ((_, t), v) in &word_topic {
+                topic_totals[*t as usize] += v;
+            }
+            let normalized: HashMap<(u32, u16), f64> = word_topic
+                .iter()
+                .map(|(&(w, t), &v)| ((w, t), v / topic_totals[t as usize].max(1e-12)))
+                .collect();
+            // The table ships to executors as a broadcast variable: each
+            // task pays an amortized fetch of the serialized table, exactly
+            // like Spark's TorrentBroadcast of the LDA model.
+            let table = sc.broadcast(normalized);
+            let t_topics = topics;
+            let contributions = docs
+                .map_partitions_with_env(move |_, items, env| {
+                    let table = table.value(env);
+                    // Traffic scales with emissions; the closure CPU is
+                    // charged separately per input record (flat_map
+                    // semantics).
+                    let per_emit = OpCost::cpu(0.0)
+                        .with_reads(2.2)
+                        .with_writes(0.08 * t_topics as f64);
+                    let mut out = Vec::new();
+                    for (_, words) in items {
+                        let phi =
+                            |w: u32, t: usize| table.get(&(w, t as u16)).copied().unwrap_or(1e-6);
+                        // Doc-level topic proportions: a short inner EM
+                        // (proper variational theta, not a one-shot guess).
+                        let mut theta = vec![1.0f64 / t_topics as f64; t_topics];
+                        for _ in 0..3 {
+                            let mut acc = vec![0.02f64; t_topics];
+                            for &w in words.iter() {
+                                let resp: Vec<f64> =
+                                    (0..t_topics).map(|t| theta[t] * phi(w, t)).collect();
+                                let rs: f64 = resp.iter().sum();
+                                if rs > 0.0 {
+                                    for (a, r) in acc.iter_mut().zip(&resp) {
+                                        *a += r / rs;
+                                    }
+                                }
+                            }
+                            let s: f64 = acc.iter().sum();
+                            theta = acc.into_iter().map(|a| a / s).collect();
+                        }
+                        // Word-level responsibilities.
+                        for &w in words.iter() {
+                            let mut resp: Vec<f64> =
+                                (0..t_topics).map(|t| theta[t] * phi(w, t)).collect();
+                            // Annealed sharpening (square-and-renormalize)
+                            // accelerates symmetry breaking in few-iteration
+                            // EM runs.
+                            for r in &mut resp {
+                                *r = *r * *r;
+                            }
+                            let rs: f64 = resp.iter().sum();
+                            for r in &mut resp {
+                                *r /= rs.max(1e-12);
+                            }
+                            // Emit only the two strongest responsibilities
+                            // (sparse EM), like practical LDA implementations.
+                            let mut idx: Vec<usize> = (0..t_topics).collect();
+                            idx.sort_by(|&a, &b| resp[b].partial_cmp(&resp[a]).unwrap());
+                            for &t in &idx[..2.min(t_topics)] {
+                                out.push(((w, t as u16), resp[t]));
+                            }
+                        }
+                    }
+                    // The E-step walks the big table per word (read-heavy);
+                    // the M-step update traffic scales with the topic count —
+                    // lda-large's 30 topics make it the suite's most
+                    // write-intensive workload, which is what blows it up on
+                    // DCPM (Takeaway 3). Charged per emission, like the
+                    // flat_map operator does.
+                    env.charge_op(out.len() as u64, &per_emit);
+                    env.charge_cpu_ns(
+                        items.len() as f64 * 60.0
+                            + out.len() as f64 * env.rt.cost.per_record_ns * 0.25,
+                    );
+                    out
+                })
+                .reduce_by_key(|a, b| a + b);
+            let new_table = contributions.collect()?;
+            word_topic = new_table
+                .iter()
+                .map(|&((w, t), v)| ((w, t), v + 0.01))
+                .collect();
+            // Driver-side M-step finalization: renormalizing the full
+            // word×topic table is serial work on the driver (as in MLlib's
+            // EM-LDA driver aggregation) and dominates LDA's runtime — which
+            // is why the paper finds lda insensitive to the executor grid.
+            sc.run_driver_work((vocab * topics) as f64 * 150.0);
+            checksum = new_table.iter().fold(checksum, |acc, ((w, t), v)| {
+                super::fnv_fold(acc, &[*w as u8, *t as u8, (v * 10.0) as u8])
+            });
+        }
+
+        // Quality: permutation-invariant topic coherence — EM recovers
+        // topics up to relabeling, so for each learned topic we take the
+        // *dominant* planted region's share of its top-10 words and average.
+        // Chance level is 1/topics.
+        let region = vocab / topics;
+        let mut coherence_sum = 0.0;
+        for t in 0..topics as u16 {
+            let mut words: Vec<(u32, f64)> = word_topic
+                .iter()
+                .filter(|((_, wt), _)| *wt == t)
+                .map(|((w, _), &v)| (*w, v))
+                .collect();
+            words.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            let top: Vec<u32> = words.iter().take(10).map(|&(w, _)| w).collect();
+            if top.is_empty() {
+                continue;
+            }
+            let mut region_counts = vec![0usize; topics];
+            for &w in &top {
+                region_counts[((w as usize) / region).min(topics - 1)] += 1;
+            }
+            coherence_sum += *region_counts.iter().max().unwrap() as f64 / top.len() as f64;
+        }
+        let coherence = coherence_sum / topics as f64;
+
+        Ok(WorkloadOutput {
+            output_records: word_topic.len() as u64,
+            checksum,
+            quality: coherence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::SparkConf;
+
+    #[test]
+    fn topics_align_with_planted_regions() {
+        let sc = SparkContext::new(SparkConf::default().with_parallelism(4)).unwrap();
+        let out = Lda.run(&sc, DataSize::Tiny, 13).unwrap();
+        assert!(out.output_records > 0);
+        // Chance coherence is 1/topics = 0.1; EM should beat it clearly.
+        assert!(
+            out.quality > 0.4,
+            "topic coherence too low: {}",
+            out.quality
+        );
+    }
+}

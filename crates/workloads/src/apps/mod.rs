@@ -1,0 +1,35 @@
+//! The seven applications.
+
+pub mod als;
+pub mod bayes;
+pub mod lda;
+pub mod pagerank;
+pub mod repartition;
+pub mod rf;
+pub mod sort;
+
+/// FNV-1a checksum folding, used by every workload to produce a stable
+/// output digest.
+pub(crate) fn fnv_fold(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = if acc == 0 { 0xcbf29ce484222325 } else { acc };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive_and_stable() {
+        let a = fnv_fold(0, b"hello");
+        let b = fnv_fold(0, b"hello");
+        assert_eq!(a, b);
+        assert_ne!(fnv_fold(0, b"ab"), fnv_fold(0, b"ba"));
+        // Folding continues a digest.
+        assert_ne!(fnv_fold(a, b"x"), a);
+    }
+}

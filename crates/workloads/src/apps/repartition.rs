@@ -1,0 +1,105 @@
+//! `repartition` — HiBench's pure-shuffle micro benchmark.
+//!
+//! Table II: 3.2 KB / 3.2 MB / 32 MB of records. Scaled ~1/10 for the two
+//! larger profiles. The dataflow is a single wide dependency with no
+//! aggregation: every byte generated crosses the shuffle.
+
+use crate::gen::rng_for;
+use crate::suite::{Category, DataSize, Workload, WorkloadOutput};
+use rand::Rng;
+use sparklite::error::Result;
+use sparklite::{OpCost, SparkContext};
+
+/// 32-byte payload records per profile.
+fn records(size: DataSize) -> usize {
+    match size {
+        DataSize::Tiny => 100,      // ≈ 3.2 KB
+        DataSize::Small => 10_000,  // ≈ 320 KB
+        DataSize::Large => 100_000, // ≈ 3.2 MB
+    }
+}
+
+/// The repartition workload.
+pub struct Repartition;
+
+impl Workload for Repartition {
+    fn name(&self) -> &'static str {
+        "repartition"
+    }
+
+    fn category(&self) -> Category {
+        Category::Micro
+    }
+
+    fn data_description(&self, size: DataSize) -> String {
+        format!(
+            "{} × 32-byte records (≈{} KB)",
+            records(size),
+            records(size) * 32 / 1024
+        )
+    }
+
+    fn run(&self, sc: &SparkContext, size: DataSize, seed: u64) -> Result<WorkloadOutput> {
+        let n = records(size);
+        let partitions = sc.conf().parallelism();
+        let per_part = n.div_ceil(partitions);
+
+        let input = sc.generate(
+            partitions,
+            move |part| {
+                let mut rng = rng_for(seed, part);
+                let lo = part * per_part;
+                let hi = (lo + per_part).min(n);
+                (lo..hi)
+                    .map(|i| {
+                        (
+                            rng.gen::<u64>(),
+                            [i as u64, rng.gen::<u64>(), rng.gen::<u64>()],
+                        )
+                    })
+                    .collect::<Vec<(u64, [u64; 3])>>()
+            },
+            OpCost::cpu(60.0),
+        );
+
+        let shuffled = input.partition_by(partitions);
+        let out_count = shuffled.count()?;
+
+        // Quality: per-partition balance (max/mean record ratio) via a
+        // partition-size job.
+        let sizes: Vec<(u64, u64)> = shuffled
+            .map_partitions(
+                |part, items| vec![(part as u64, items.len() as u64)],
+                OpCost::cpu(5.0),
+            )
+            .collect()?;
+        let mean = out_count as f64 / sizes.len().max(1) as f64;
+        let max = sizes.iter().map(|&(_, c)| c).max().unwrap_or(0) as f64;
+        let checksum = sizes.iter().fold(0u64, |acc, &(p, c)| {
+            super::fnv_fold(acc, &[p as u8, c as u8])
+        });
+        Ok(WorkloadOutput {
+            output_records: out_count,
+            checksum,
+            quality: if mean > 0.0 { max / mean } else { 0.0 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::SparkConf;
+
+    #[test]
+    fn preserves_every_record_and_balances() {
+        let sc = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+        let out = Repartition.run(&sc, DataSize::Small, 3).unwrap();
+        assert_eq!(out.output_records, 10_000);
+        assert!(
+            out.quality < 1.5,
+            "hash partitioning should balance within 50 % (got {})",
+            out.quality
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! `rf` — random-forest training via distributed histogram splits.
+//!
+//! Table II: 10/100/1 000 examples with 100/500/1 000 features. We scale
+//! examples *up* (200/1 000/4 000) and features down (20/50/100) so the
+//! distributed split-finding actually has work per task while the total
+//! volume stays laptop-scale. The algorithm is the classic
+//! histogram-based level-wise tree growth (Spark MLlib's strategy):
+//! for every tree level, each task bins its examples per (tree, node,
+//! feature, bin) and a `reduce_by_key` aggregates the class histograms from
+//! which the driver picks the best Gini splits.
+
+use crate::gen::rng_for;
+use crate::suite::{Category, DataSize, Workload, WorkloadOutput};
+use rand::Rng;
+use sparklite::error::Result;
+use sparklite::{OpCost, SparkContext};
+use std::collections::{BTreeMap, HashMap};
+
+/// Class histogram per (feature, bin): (negatives, positives).
+type FeatureBins = BTreeMap<(u16, u8), (u64, u64)>;
+/// Per-feature list of (bin, (negatives, positives)).
+type BinList = Vec<(u8, (u64, u64))>;
+
+/// (examples, features) per profile.
+fn profile(size: DataSize) -> (usize, usize) {
+    match size {
+        DataSize::Tiny => (200, 20),
+        DataSize::Small => (1_000, 50),
+        DataSize::Large => (4_000, 100),
+    }
+}
+
+/// Trees in the forest.
+const TREES: usize = 8;
+/// Tree depth (levels of split finding).
+const DEPTH: usize = 3;
+/// Histogram bins per feature.
+const BINS: usize = 8;
+
+/// The random-forest workload.
+pub struct RandomForest;
+
+/// A labelled example: binary class + binned feature vector.
+type Example = (u8, Vec<u8>);
+
+/// Generate one partition of examples. The label is a noisy function of
+/// two planted features, so trees have real signal to find.
+fn generate_examples(
+    seed: u64,
+    part: usize,
+    lo: usize,
+    hi: usize,
+    features: usize,
+) -> Vec<Example> {
+    let mut rng = rng_for(seed, part);
+    (lo..hi)
+        .map(|_| {
+            let fv: Vec<u8> = (0..features)
+                .map(|_| rng.gen_range(0..BINS as u8))
+                .collect();
+            // Signal spans features 0..4 so every sqrt-feature subsample
+            // group contains one informative feature.
+            let k = features.min(4);
+            let signal: usize = fv[..k].iter().map(|&b| b as usize).sum();
+            let noisy = rng.gen::<f64>() < 0.1;
+            let label = u8::from((signal >= k * BINS / 2) ^ noisy);
+            (label, fv)
+        })
+        .collect()
+}
+
+/// Gini impurity of a (neg, pos) count pair.
+fn gini(neg: f64, pos: f64) -> f64 {
+    let n = neg + pos;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl Workload for RandomForest {
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+
+    fn category(&self) -> Category {
+        Category::MachineLearning
+    }
+
+    fn data_description(&self, size: DataSize) -> String {
+        let (examples, features) = profile(size);
+        format!("{examples} examples × {features} features, {TREES} trees depth {DEPTH}")
+    }
+
+    #[allow(clippy::needless_range_loop)] // `tree` indexes parallel structures
+    fn run(&self, sc: &SparkContext, size: DataSize, seed: u64) -> Result<WorkloadOutput> {
+        let (examples, features) = profile(size);
+        let partitions = sc.conf().parallelism();
+        let per_part = examples.div_ceil(partitions);
+
+        let data = sc
+            .generate(
+                partitions,
+                move |part| {
+                    let lo = part * per_part;
+                    let hi = (lo + per_part).min(examples);
+                    generate_examples(seed, part, lo, hi, features)
+                },
+                OpCost::cpu(100.0),
+            )
+            .cache();
+        data.count()?;
+
+        // splits[tree][level] = map node -> (feature, threshold_bin).
+        let mut splits: Vec<HashMap<u32, (u16, u8, u8, u8)>> = vec![HashMap::new(); TREES];
+        let mut checksum = 0u64;
+
+        for level in 0..DEPTH {
+            let splits_snapshot = splits.clone();
+            let tree_seed = seed ^ 0xF0;
+            // Histogram: ((tree, node, feature, bin), (neg, pos)).
+            let hists = data
+                .flat_map_with_cost(
+                    move |(label, fv)| {
+                        let mut out = Vec::with_capacity(TREES * fv.len());
+                        for tree in 0..TREES {
+                            // Bootstrap: each tree sees ~63% of examples,
+                            // selected deterministically per (tree, row).
+                            let row_hash =
+                                super::fnv_fold(tree_seed ^ tree as u64, &fv[..fv.len().min(4)]);
+                            if row_hash % 100 >= 63 {
+                                continue;
+                            }
+                            // Route the example to its current leaf node.
+                            let mut node = 1u32;
+                            for lvl in 0..level {
+                                match splits_snapshot[tree].get(&node) {
+                                    Some(&(f, t, _, _)) => {
+                                        node = node * 2 + u32::from(fv[f as usize] > t);
+                                    }
+                                    None => break,
+                                }
+                                let _ = lvl;
+                            }
+                            // Feature subsampling: sqrt(features) per node.
+                            let stride = (fv.len() as f64).sqrt().max(1.0) as usize;
+                            for f in (tree % stride..fv.len()).step_by(stride) {
+                                let bin = fv[f];
+                                let key = (tree as u16, node, f as u16, bin);
+                                let counts = if *label == 0 {
+                                    (1u64, 0u64)
+                                } else {
+                                    (0u64, 1u64)
+                                };
+                                out.push((key, counts));
+                            }
+                        }
+                        out
+                    },
+                    OpCost::cpu(25.0).with_reads(1.0),
+                )
+                .reduce_by_key(|a, b| (a.0 + b.0, a.1 + b.1))
+                .collect()?;
+
+            // Driver-side: pick best Gini split per (tree, node). BTreeMaps
+            // keep iteration (and thus the checksum fold and split
+            // tie-breaking) deterministic.
+            let mut by_node: BTreeMap<(u16, u32), FeatureBins> = BTreeMap::new();
+            for ((tree, node, f, bin), counts) in hists {
+                let slot = by_node
+                    .entry((tree, node))
+                    .or_default()
+                    .entry((f, bin))
+                    .or_insert((0, 0));
+                slot.0 += counts.0;
+                slot.1 += counts.1;
+            }
+            for ((tree, node), feature_bins) in by_node {
+                // For each feature, evaluate every bin threshold.
+                let mut per_feature: BTreeMap<u16, BinList> = BTreeMap::new();
+                for ((f, bin), c) in feature_bins {
+                    per_feature.entry(f).or_default().push((bin, c));
+                }
+                let mut best: Option<(f64, u16, u8, u8, u8)> = None;
+                for (f, mut bins) in per_feature {
+                    bins.sort_by_key(|&(b, _)| b);
+                    let total: (u64, u64) = bins
+                        .iter()
+                        .fold((0, 0), |a, &(_, c)| (a.0 + c.0, a.1 + c.1));
+                    let mut left = (0u64, 0u64);
+                    for &(bin, c) in &bins[..bins.len().saturating_sub(1)] {
+                        left = (left.0 + c.0, left.1 + c.1);
+                        let right = (total.0 - left.0, total.1 - left.1);
+                        let nl = (left.0 + left.1) as f64;
+                        let nr = (right.0 + right.1) as f64;
+                        let n = nl + nr;
+                        if nl == 0.0 || nr == 0.0 {
+                            continue;
+                        }
+                        let g = (nl / n) * gini(left.0 as f64, left.1 as f64)
+                            + (nr / n) * gini(right.0 as f64, right.1 as f64);
+                        if best.is_none_or(|(bg, _, _, _, _)| g < bg) {
+                            let l_label = u8::from(left.1 > left.0);
+                            let r_label = u8::from(right.1 > right.0);
+                            best = Some((g, f, bin, l_label, r_label));
+                        }
+                    }
+                }
+                if let Some((g, f, bin, l_label, r_label)) = best {
+                    splits[tree as usize].insert(node, (f, bin, l_label, r_label));
+                    checksum = super::fnv_fold(
+                        checksum,
+                        &[tree as u8, node as u8, f as u8, bin, (g * 100.0) as u8],
+                    );
+                }
+            }
+        }
+
+        // Quality: forest training accuracy on a held-out sample.
+        let test = generate_examples(seed ^ 0xE5A, 999, 0, 300, features);
+        let mut correct = 0usize;
+        for (label, fv) in &test {
+            let mut votes = 0usize;
+            for tree in 0..TREES {
+                let mut node = 1u32;
+                let mut prediction = 0u8;
+                for _ in 0..DEPTH {
+                    match splits[tree].get(&node) {
+                        Some(&(f, t, l_label, r_label)) => {
+                            let right = fv[f as usize] > t;
+                            node = node * 2 + u32::from(right);
+                            prediction = if right { r_label } else { l_label };
+                        }
+                        None => break,
+                    }
+                }
+                votes += prediction as usize;
+            }
+            let forest_says = u8::from(votes * 2 > TREES);
+            if forest_says == *label {
+                correct += 1;
+            }
+        }
+
+        let nodes: u64 = splits.iter().map(|t| t.len() as u64).sum();
+        Ok(WorkloadOutput {
+            output_records: nodes,
+            checksum,
+            quality: correct as f64 / test.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::SparkConf;
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini(0.0, 0.0), 0.0);
+        assert_eq!(gini(10.0, 0.0), 0.0);
+        assert!((gini(5.0, 5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_learns_planted_signal() {
+        let sc = SparkContext::new(SparkConf::default().with_parallelism(4)).unwrap();
+        let out = RandomForest.run(&sc, DataSize::Tiny, 21).unwrap();
+        assert!(out.output_records > 0, "no splits were found");
+        assert!(
+            out.quality > 0.6,
+            "forest accuracy barely above chance: {}",
+            out.quality
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! `sort` — HiBench's micro benchmark: totally order a text dataset.
+//!
+//! Table II: 32 KB / 320 MB / 3.2 GB of text. Scaled ~1/800 for `large`
+//! (tiny stays as-is: it is already tiny).
+
+use crate::gen::{random_line, rng_for};
+use crate::suite::{Category, DataSize, Workload, WorkloadOutput};
+use sparklite::error::Result;
+use sparklite::{OpCost, SparkContext};
+
+/// Lines per size profile and words per line.
+fn profile(size: DataSize) -> (usize, usize) {
+    match size {
+        DataSize::Tiny => (500, 8),     // ≈ 32 KB
+        DataSize::Small => (12_000, 8), // ≈ 0.8 MB
+        DataSize::Large => (40_000, 8), // ≈ 2.6 MB
+    }
+}
+
+/// The sort workload.
+pub struct Sort;
+
+impl Workload for Sort {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn category(&self) -> Category {
+        Category::Micro
+    }
+
+    fn data_description(&self, size: DataSize) -> String {
+        let (lines, words) = profile(size);
+        format!(
+            "{lines} text lines × {words} words (≈{} KB)",
+            lines * words * 6 / 1024
+        )
+    }
+
+    fn run(&self, sc: &SparkContext, size: DataSize, seed: u64) -> Result<WorkloadOutput> {
+        let (lines, words) = profile(size);
+        let partitions = sc.conf().parallelism();
+        let per_part = lines.div_ceil(partitions);
+        let vocab = 50_000;
+
+        let input = sc.generate(
+            partitions,
+            move |part| {
+                let mut rng = rng_for(seed, part);
+                let lo = part * per_part;
+                let hi = (lo + per_part).min(lines);
+                (lo..hi)
+                    .map(|_| random_line(&mut rng, words, vocab))
+                    .collect::<Vec<String>>()
+            },
+            OpCost::cpu(200.0),
+        );
+
+        let sorted = input
+            .map(|line| (line.clone(), ()))
+            .sort_by_key(partitions)?
+            .keys();
+        sorted.save_as_text_file(&format!("/out/sort-{}-{seed}", size.label()))?;
+        let out = sorted.collect()?;
+
+        // Quality: number of adjacent inversions (must be 0).
+        let inversions = out.windows(2).filter(|w| w[0] > w[1]).count();
+        let checksum = out
+            .iter()
+            .fold(0u64, |acc, l| super::fnv_fold(acc, l.as_bytes()));
+        Ok(WorkloadOutput {
+            output_records: out.len() as u64,
+            checksum,
+            quality: inversions as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::SparkConf;
+
+    #[test]
+    fn sorts_correctly_and_deterministically() {
+        let run = || {
+            let sc = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+            Sort.run(&sc, DataSize::Tiny, 7).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.quality, 0.0, "output must be totally ordered");
+        assert_eq!(a.output_records, 500);
+    }
+}

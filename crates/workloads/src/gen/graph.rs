@@ -1,0 +1,86 @@
+//! Web-graph generation for `pagerank`.
+
+use crate::gen::rng_for;
+use crate::gen::zipf::Zipf;
+
+/// Generate the outgoing links of pages `[lo, hi)` for a graph of `pages`
+/// pages: out-degrees follow Zipf over `[1, max_degree]` and targets are
+/// preferentially attached (Zipf over page ids), giving the skewed in-degree
+/// distribution real web graphs (and HiBench's pagerank generator) have.
+pub fn generate_links(
+    seed: u64,
+    partition: usize,
+    lo: u64,
+    hi: u64,
+    pages: u64,
+    max_degree: usize,
+) -> Vec<(u64, u64)> {
+    assert!(pages > 0 && lo <= hi && hi <= pages);
+    let mut rng = rng_for(seed, partition);
+    let degree_dist = Zipf::new(max_degree.max(1), 0.8);
+    let target_dist = Zipf::new(pages as usize, 0.6);
+    let mut links = Vec::new();
+    for page in lo..hi {
+        let degree = degree_dist.sample(&mut rng) + 1;
+        for _ in 0..degree {
+            let mut target = target_dist.sample(&mut rng) as u64;
+            if target == page {
+                target = (target + 1) % pages;
+            }
+            links.push((page, target));
+        }
+    }
+    // Ensure every source page has at least one link (dangling sources
+    // would leak rank mass in the simple power iteration).
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_in_range_and_self_loop_free() {
+        let links = generate_links(1, 0, 0, 100, 100, 10);
+        assert!(!links.is_empty());
+        for &(src, dst) in &links {
+            assert!(src < 100);
+            assert!(dst < 100);
+            assert_ne!(src, dst);
+        }
+    }
+
+    #[test]
+    fn every_source_in_range_has_links() {
+        let links = generate_links(5, 0, 10, 20, 100, 6);
+        let sources: std::collections::HashSet<u64> = links.iter().map(|&(s, _)| s).collect();
+        for page in 10..20 {
+            assert!(sources.contains(&page), "page {page} has no out-links");
+        }
+        assert!(links.iter().all(|&(s, _)| (10..20).contains(&s)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            generate_links(9, 2, 0, 50, 200, 8),
+            generate_links(9, 2, 0, 50, 200, 8)
+        );
+    }
+
+    #[test]
+    fn in_degree_is_skewed() {
+        let links = generate_links(3, 0, 0, 2000, 2000, 10);
+        let mut indeg = vec![0usize; 2000];
+        for &(_, d) in &links {
+            indeg[d as usize] += 1;
+        }
+        let mut sorted = indeg.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = sorted[..20].iter().sum();
+        assert!(
+            top_share as f64 / links.len() as f64 > 0.05,
+            "expected a skewed in-degree head"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Rating-matrix generation for `als`.
+
+use crate::gen::rng_for;
+use rand::Rng;
+
+/// Generate `count` ratings `(user, product, rating)` with a planted
+/// low-rank structure: each user/product has a latent 4-vector and the
+/// rating is their (noised, clamped) inner product — so ALS has signal to
+/// recover and the test suite can check reconstruction error drops.
+pub fn generate_ratings(
+    seed: u64,
+    partition: usize,
+    count: usize,
+    users: u64,
+    products: u64,
+) -> Vec<(u64, u64, f32)> {
+    assert!(users > 0 && products > 0);
+    let mut rng = rng_for(seed, partition);
+    let latent = |id: u64, salt: u64| -> [f32; 4] {
+        let mut r = rng_for(seed ^ salt, id as usize);
+        [0; 4].map(|_| r.gen_range(0.2f32..1.2))
+    };
+    (0..count)
+        .map(|_| {
+            let u = rng.gen_range(0..users);
+            let p = rng.gen_range(0..products);
+            let fu = latent(u, 0xA11CE);
+            let fp = latent(p, 0xB0B);
+            let dot: f32 = fu.iter().zip(&fp).map(|(a, b)| a * b).sum();
+            let noise: f32 = rng.gen_range(-0.1..0.1);
+            (u, p, (dot + noise).clamp(0.1, 5.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let ratings = generate_ratings(1, 0, 500, 20, 30);
+        assert_eq!(ratings.len(), 500);
+        for &(u, p, r) in &ratings {
+            assert!(u < 20);
+            assert!(p < 30);
+            assert!((0.1..=5.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate_ratings(7, 3, 100, 10, 10),
+            generate_ratings(7, 3, 100, 10, 10)
+        );
+    }
+
+    #[test]
+    fn same_pair_gets_consistent_signal() {
+        // Two draws of the same (user, product) should differ only by noise.
+        let ratings = generate_ratings(2, 0, 50_000, 5, 5);
+        let mut by_pair: std::collections::HashMap<(u64, u64), Vec<f32>> = Default::default();
+        for (u, p, r) in ratings {
+            by_pair.entry((u, p)).or_default().push(r);
+        }
+        for (_, rs) in by_pair {
+            if rs.len() > 1 {
+                let min = rs.iter().cloned().fold(f32::MAX, f32::min);
+                let max = rs.iter().cloned().fold(f32::MIN, f32::max);
+                assert!(max - min <= 0.2 + 1e-5, "noise band exceeded: {rs:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Synthetic text generation (the `sort` / `bayes` input corpus).
+
+use rand::Rng;
+
+const SYLLABLES: [&str; 16] = [
+    "ka", "to", "mi", "ra", "zu", "be", "no", "li", "sa", "du", "we", "po", "chi", "va", "ne",
+    "gor",
+];
+
+/// A pronounceable pseudo-word for vocabulary index `idx` (bijective, so a
+/// vocabulary of any size has distinct words).
+pub fn random_word(idx: usize) -> String {
+    let mut s = String::new();
+    let mut v = idx + 1;
+    while v > 0 {
+        s.push_str(SYLLABLES[v % SYLLABLES.len()]);
+        v /= SYLLABLES.len();
+    }
+    s
+}
+
+/// A random text line of `words` words drawn uniformly from a vocabulary of
+/// `vocab` words.
+pub fn random_line<R: Rng>(rng: &mut R, words: usize, vocab: usize) -> String {
+    let mut line = String::with_capacity(words * 6);
+    for i in 0..words {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&random_word(rng.gen_range(0..vocab.max(1))));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rng_for;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct() {
+        let words: HashSet<String> = (0..10_000).map(random_word).collect();
+        assert_eq!(words.len(), 10_000);
+    }
+
+    #[test]
+    fn line_has_requested_word_count() {
+        let mut rng = rng_for(3, 0);
+        let line = random_line(&mut rng, 12, 100);
+        assert_eq!(line.split(' ').count(), 12);
+        assert!(!line.contains("  "));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_line(&mut rng_for(9, 4), 8, 50);
+        let b = random_line(&mut rng_for(9, 4), 8, 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Zipf-distributed sampling (word frequencies, graph degrees).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` using precomputed cumulative
+/// weights (exact inverse-CDF sampling; O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite/non-negative.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 is the most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rng_for;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rng_for(7, 0);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = rng_for(42, 0);
+        let mut head = 0;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With alpha=1.2 over 1000 ranks, the top-10 mass is > 40 %.
+        assert!(head as f64 / N as f64 > 0.4, "head mass {head}/{N}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rng_for(1, 0);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

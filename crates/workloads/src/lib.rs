@@ -1,0 +1,35 @@
+//! # memtier-workloads — the HiBench-equivalent suite
+//!
+//! The paper evaluates seven Spark applications from the HiBench benchmark
+//! suite across three workload categories (§III-C, Table II). This crate
+//! implements all seven against the `sparklite` public API, each with
+//! `tiny` / `small` / `large` input profiles and a deterministic, seeded
+//! data generator:
+//!
+//! | App          | Category          | Dataflow |
+//! |--------------|-------------------|----------|
+//! | `sort`       | micro             | text gen → `sort_by_key` → DFS write |
+//! | `repartition`| micro             | record gen → `partition_by` (pure shuffle) |
+//! | `als`        | machine learning  | alternating least squares, 8-dim factors |
+//! | `bayes`      | machine learning  | multinomial naive Bayes training over a large vocabulary |
+//! | `rf`         | machine learning  | random-forest training via distributed histogram splits |
+//! | `lda`        | machine learning  | EM-style LDA with a word×topic count table |
+//! | `pagerank`   | websearch         | classic cached-links power iteration |
+//!
+//! Dataset sizes are scaled down from Table II (~1/100–1/800, documented per
+//! app) so the whole characterization campaign runs in seconds; relative
+//! tiny/small/large proportions and the per-app access *mixes* (read- vs
+//! write-heavy, cache-resident vs table-thrashing) are preserved, which is
+//! what the paper's shapes depend on.
+//!
+//! Every workload returns a [`WorkloadOutput`] with verification values so
+//! the test suite can check algorithmic correctness, not just completion.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod gen;
+pub mod linalg;
+pub mod suite;
+
+pub use suite::{all_workloads, workload_by_name, Category, DataSize, Workload, WorkloadOutput};

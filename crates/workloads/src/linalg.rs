@@ -1,0 +1,89 @@
+//! Tiny dense linear algebra for the ML workloads (ALS normal equations).
+
+/// Solve the symmetric positive-definite system `a·x = b` in place via
+/// Cholesky-free Gaussian elimination with partial pivoting. `a` is a
+/// row-major `n×n` matrix. Returns `None` on a (numerically) singular
+/// system.
+#[allow(clippy::needless_range_loop)] // index arithmetic is the algorithm
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "shape");
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("NaN in system")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Rank-1 update `a += x·xᵀ` on a row-major square matrix.
+pub fn add_outer(a: &mut [Vec<f64>], x: &[f64]) {
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell += x[i] * x[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn outer_and_dot() {
+        let mut a = vec![vec![0.0; 2]; 2];
+        add_outer(&mut a, &[1.0, 2.0]);
+        assert_eq!(a, vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

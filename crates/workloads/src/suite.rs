@@ -1,0 +1,155 @@
+//! The suite registry: workload trait, size profiles, Table II metadata.
+
+use serde::{Deserialize, Serialize};
+use sparklite::error::Result;
+use sparklite::SparkContext;
+
+/// Input scale, matching the paper's tiny/small/large profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataSize {
+    /// Smallest profile.
+    Tiny,
+    /// Middle profile.
+    Small,
+    /// Largest profile.
+    Large,
+}
+
+impl DataSize {
+    /// All sizes in ascending order.
+    pub fn all() -> [DataSize; 3] {
+        [DataSize::Tiny, DataSize::Small, DataSize::Large]
+    }
+
+    /// Lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataSize::Tiny => "tiny",
+            DataSize::Small => "small",
+            DataSize::Large => "large",
+        }
+    }
+}
+
+impl std::fmt::Display for DataSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Workload category (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Micro-operations (sort, repartition).
+    Micro,
+    /// Machine learning (als, bayes, rf, lda).
+    MachineLearning,
+    /// Web search (pagerank).
+    WebSearch,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Category::Micro => "micro",
+            Category::MachineLearning => "ml",
+            Category::WebSearch => "websearch",
+        })
+    }
+}
+
+/// What a workload hands back for verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutput {
+    /// Records in the job's principal output.
+    pub output_records: u64,
+    /// A deterministic checksum over the output (implementation-defined but
+    /// stable for a given seed), used by the determinism tests.
+    pub checksum: u64,
+    /// An algorithm-specific quality figure (sortedness violations, rank
+    /// mass, reconstruction error, ...); its meaning is documented per app.
+    pub quality: f64,
+}
+
+/// One benchmark application.
+pub trait Workload: Send + Sync {
+    /// Short HiBench-style name (`sort`, `pagerank`, ...).
+    fn name(&self) -> &'static str;
+    /// Category.
+    fn category(&self) -> Category;
+    /// Human-readable description of the input at `size` (our scaled
+    /// Table II row).
+    fn data_description(&self, size: DataSize) -> String;
+    /// Run against a context. Deterministic in `(size, seed)`.
+    fn run(&self, sc: &SparkContext, size: DataSize, seed: u64) -> Result<WorkloadOutput>;
+}
+
+/// All seven workloads in the paper's Table II order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::apps::sort::Sort),
+        Box::new(crate::apps::repartition::Repartition),
+        Box::new(crate::apps::als::Als),
+        Box::new(crate::apps::bayes::Bayes),
+        Box::new(crate::apps::rf::RandomForest),
+        Box::new(crate::apps::lda::Lda),
+        Box::new(crate::apps::pagerank::PageRank),
+    ]
+}
+
+/// Look a workload up by name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table2() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sort",
+                "repartition",
+                "als",
+                "bayes",
+                "rf",
+                "lda",
+                "pagerank"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("pagerank").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn categories_match_paper() {
+        let cat = |n: &str| workload_by_name(n).unwrap().category();
+        assert_eq!(cat("sort"), Category::Micro);
+        assert_eq!(cat("repartition"), Category::Micro);
+        assert_eq!(cat("als"), Category::MachineLearning);
+        assert_eq!(cat("bayes"), Category::MachineLearning);
+        assert_eq!(cat("rf"), Category::MachineLearning);
+        assert_eq!(cat("lda"), Category::MachineLearning);
+        assert_eq!(cat("pagerank"), Category::WebSearch);
+    }
+
+    #[test]
+    fn descriptions_are_size_specific() {
+        for w in all_workloads() {
+            let d: Vec<String> = DataSize::all()
+                .iter()
+                .map(|&s| w.data_description(s))
+                .collect();
+            assert_ne!(d[0], d[1]);
+            assert_ne!(d[1], d[2]);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the data generators: structural invariants that must
+//! hold for any seed, partition or size the suite might use.
+
+use memtier_workloads::gen::{generate_links, generate_ratings, random_line, rng_for, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf sampling stays in range and is deterministic per RNG state.
+    #[test]
+    fn zipf_in_range_and_deterministic(
+        n in 1usize..5_000,
+        alpha in 0.0f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipf::new(n, alpha);
+        let a: Vec<usize> = {
+            let mut rng = rng_for(seed, 0);
+            (0..200).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = rng_for(seed, 0);
+            (0..200).map(|_| z.sample(&mut rng)).collect()
+        };
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&x| x < n));
+    }
+
+    /// Graph generation: every edge in range, no self loops, every source
+    /// in `[lo, hi)` has at least one out-edge, deterministic.
+    #[test]
+    fn graph_structure(
+        seed in any::<u64>(),
+        pages in 2u64..2_000,
+        degree in 1usize..20,
+        split in 0.0f64..1.0,
+    ) {
+        let lo = (pages as f64 * split * 0.5) as u64;
+        let hi = (lo + pages / 2).min(pages);
+        prop_assume!(lo < hi);
+        let links = generate_links(seed, 3, lo, hi, pages, degree);
+        prop_assert_eq!(&links, &generate_links(seed, 3, lo, hi, pages, degree));
+        let mut sources = std::collections::HashSet::new();
+        for &(s, d) in &links {
+            prop_assert!((lo..hi).contains(&s));
+            prop_assert!(d < pages);
+            prop_assert_ne!(s, d);
+            sources.insert(s);
+        }
+        prop_assert_eq!(sources.len() as u64, hi - lo, "every page needs out-links");
+    }
+
+    /// Ratings: ids in range, values clamped, count exact.
+    #[test]
+    fn ratings_structure(
+        seed in any::<u64>(),
+        count in 0usize..2_000,
+        users in 1u64..500,
+        products in 1u64..500,
+    ) {
+        let ratings = generate_ratings(seed, 1, count, users, products);
+        prop_assert_eq!(ratings.len(), count);
+        for &(u, p, r) in &ratings {
+            prop_assert!(u < users);
+            prop_assert!(p < products);
+            prop_assert!((0.1..=5.0).contains(&r));
+        }
+    }
+
+    /// Text lines: exact word count, words drawn from the vocabulary, no
+    /// double spaces, deterministic.
+    #[test]
+    fn text_structure(seed in any::<u64>(), words in 1usize..40, vocab in 1usize..10_000) {
+        let mut rng = rng_for(seed, 9);
+        let line = random_line(&mut rng, words, vocab);
+        prop_assert_eq!(line.split(' ').count(), words);
+        prop_assert!(!line.contains("  "));
+        prop_assert!(!line.is_empty());
+        let mut rng2 = rng_for(seed, 9);
+        prop_assert_eq!(line, random_line(&mut rng2, words, vocab));
+    }
+}

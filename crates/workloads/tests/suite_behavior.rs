@@ -1,0 +1,165 @@
+//! Suite-level behavioural invariants: the properties of the seven
+//! workloads that the paper's characterization depends on.
+
+use memtier_memsim::TierId;
+use memtier_workloads::{all_workloads, workload_by_name, DataSize, Workload};
+use sparklite::{SparkConf, SparkContext};
+
+fn run_on(w: &dyn Workload, size: DataSize, tier: TierId) -> (f64, u64, u64, f64) {
+    let sc = SparkContext::new(SparkConf::bound_to_tier(tier)).unwrap();
+    w.run(&sc, size, 42).unwrap();
+    let report = sc.finish();
+    let c = report.telemetry.counters.tier(tier);
+    (
+        report.elapsed.as_secs_f64(),
+        c.reads,
+        c.writes,
+        c.writes as f64 / (c.reads + c.writes).max(1) as f64,
+    )
+}
+
+#[test]
+fn every_workload_slows_down_monotonically_across_tiers() {
+    for w in all_workloads() {
+        let mut prev = 0.0;
+        for tier in TierId::all() {
+            let (t, _, _, _) = run_on(w.as_ref(), DataSize::Tiny, tier);
+            assert!(
+                t > prev,
+                "{} tiny: tier ordering violated at {tier} ({t} <= {prev})",
+                w.name()
+            );
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn access_counts_grow_with_input_size() {
+    for w in all_workloads() {
+        let (_, r1, w1, _) = run_on(w.as_ref(), DataSize::Tiny, TierId::NVM_NEAR);
+        let (_, r2, w2, _) = run_on(w.as_ref(), DataSize::Large, TierId::NVM_NEAR);
+        assert!(
+            r2 + w2 > r1 + w1,
+            "{}: large must touch more memory than tiny ({} vs {})",
+            w.name(),
+            r2 + w2,
+            r1 + w1
+        );
+    }
+}
+
+#[test]
+fn heavy_workloads_access_an_order_of_magnitude_more() {
+    // Fig. 2 middle's observation: bayes/lda/pagerank vs the micro apps.
+    let total = |name: &str| {
+        let (_, r, w, _) = run_on(
+            workload_by_name(name).unwrap().as_ref(),
+            DataSize::Large,
+            TierId::NVM_NEAR,
+        );
+        r + w
+    };
+    let repartition = total("repartition");
+    for heavy in ["lda", "pagerank"] {
+        assert!(
+            total(heavy) > 4 * repartition,
+            "{heavy} must be access-heavy vs repartition"
+        );
+    }
+}
+
+#[test]
+fn lda_is_the_most_write_intensive_workload() {
+    let mut ratios: Vec<(String, f64)> = all_workloads()
+        .iter()
+        .map(|w| {
+            let (_, _, _, ratio) = run_on(w.as_ref(), DataSize::Large, TierId::NVM_NEAR);
+            (w.name().to_string(), ratio)
+        })
+        .collect();
+    ratios.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    assert_eq!(
+        ratios[0].0, "lda",
+        "lda must lead the write-ratio ranking: {ratios:?}"
+    );
+}
+
+#[test]
+fn als_runtime_is_flattest_across_sizes() {
+    // Takeaway of Fig. 2 top: als is near-constant while others grow.
+    let growth = |name: &str| {
+        let w = workload_by_name(name).unwrap();
+        let (tiny, _, _, _) = run_on(w.as_ref(), DataSize::Tiny, TierId::LOCAL_DRAM);
+        let (large, _, _, _) = run_on(w.as_ref(), DataSize::Large, TierId::LOCAL_DRAM);
+        large / tiny
+    };
+    let als = growth("als");
+    assert!(als < 2.5, "als growth must stay small ({als})");
+    assert!(
+        growth("sort") > als * 0.5,
+        "sanity: sort grows comparably or more"
+    );
+    assert!(growth("lda") > als, "lda must grow faster than als");
+}
+
+#[test]
+fn seed_changes_output_but_structure_remains() {
+    let w = workload_by_name("pagerank").unwrap();
+    let sc1 = SparkContext::new(SparkConf::default()).unwrap();
+    let out1 = w.run(&sc1, DataSize::Tiny, 1).unwrap();
+    let sc2 = SparkContext::new(SparkConf::default()).unwrap();
+    let out2 = w.run(&sc2, DataSize::Tiny, 2).unwrap();
+    assert_ne!(
+        out1.checksum, out2.checksum,
+        "different seeds, different graphs"
+    );
+    // Output covers pages that receive links; both graphs have 50 pages,
+    // so the counts are close but not necessarily identical.
+    for out in [&out1, &out2] {
+        assert!(
+            (25..=50).contains(&out.output_records),
+            "tiny pagerank output {} out of structural range",
+            out.output_records
+        );
+    }
+}
+
+#[test]
+fn table2_descriptions_match_scaled_profiles() {
+    let sort = workload_by_name("sort").unwrap();
+    assert!(sort.data_description(DataSize::Tiny).contains("500"));
+    let als = workload_by_name("als").unwrap();
+    // als keeps Table II verbatim.
+    assert!(als
+        .data_description(DataSize::Large)
+        .contains("10000 users"));
+    assert!(als
+        .data_description(DataSize::Large)
+        .contains("20000 ratings"));
+    let pagerank = workload_by_name("pagerank").unwrap();
+    assert!(pagerank
+        .data_description(DataSize::Tiny)
+        .contains("50 pages"));
+}
+
+#[test]
+fn quality_figures_are_meaningful_at_small_scale() {
+    // Every app's quality metric must clear its documented bar at `small`.
+    let check = |name: &str, f: &dyn Fn(f64) -> bool| {
+        let sc = SparkContext::new(SparkConf::default()).unwrap();
+        let out = workload_by_name(name)
+            .unwrap()
+            .run(&sc, DataSize::Small, 42)
+            .unwrap();
+        assert!(
+            f(out.quality),
+            "{name} quality {} out of range",
+            out.quality
+        );
+    };
+    check("sort", &|q| q == 0.0); // zero inversions
+    check("repartition", &|q| q > 0.0 && q < 2.0); // balance factor
+    check("bayes", &|q| q > 0.3); // accuracy over 20 classes (chance 0.05)
+    check("pagerank", &|q| q > 0.5 && q <= 1.01); // rank mass
+}

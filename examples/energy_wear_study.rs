@@ -1,0 +1,66 @@
+//! Energy & endurance study: run the suite's most write-intensive workload
+//! (lda-large) on the Optane tier and break down where the joules go and
+//! how fast the DIMMs wear — the quantitative side of Takeaways 3 and 5.
+//!
+//! ```text
+//! cargo run --release --example energy_wear_study
+//! ```
+
+use spark_memtier::engine::SparkConf;
+use spark_memtier::engine::SparkContext;
+use spark_memtier::memsim::TierId;
+use spark_memtier::metrics::table::fmt_f64;
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::{workload_by_name, DataSize};
+
+fn main() {
+    let workload = workload_by_name("lda").expect("lda registered");
+
+    let mut table = AsciiTable::new(vec![
+        "tier",
+        "time (s)",
+        "static J",
+        "dynamic J",
+        "J/DIMM",
+        "media writes",
+        "write ratio",
+    ])
+    .title("lda-large: energy and write traffic per tier");
+
+    let mut wear_lines = Vec::new();
+    for tier in [TierId::LOCAL_DRAM, TierId::NVM_NEAR, TierId::NVM_FAR] {
+        let sc = SparkContext::new(SparkConf::bound_to_tier(tier)).expect("context");
+        workload.run(&sc, DataSize::Large, 42).expect("lda run");
+        let report = sc.finish();
+        let e = report.telemetry.energy.tier(tier);
+        let c = report.telemetry.counters.tier(tier);
+        table.row(vec![
+            tier.to_string(),
+            fmt_f64(report.elapsed.as_secs_f64(), 4),
+            fmt_f64(e.static_j, 2),
+            fmt_f64(e.dynamic_j, 3),
+            fmt_f64(e.per_dimm_j(), 2),
+            c.writes.to_string(),
+            fmt_f64(c.writes as f64 / (c.reads + c.writes).max(1) as f64, 3),
+        ]);
+        for w in &report.telemetry.wear {
+            if w.tier == tier && w.media_writes > 0 {
+                // Project endurance if this workload looped forever.
+                let life = w
+                    .projected_lifetime
+                    .map(|t| format!("{:.1} simulated years", t.as_secs_f64() / 3.15e7))
+                    .unwrap_or_else(|| "n/a".into());
+                wear_lines.push(format!(
+                    "{tier}: {} media writes consumed {:.3e} of the endurance budget \
+                     -> projected lifetime at this rate: {life}",
+                    w.media_writes, w.consumed_fraction
+                ));
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("## endurance projection (Takeaway 3's long-term concern)");
+    for line in wear_lines {
+        println!("  {line}");
+    }
+}

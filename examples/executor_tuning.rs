@@ -1,0 +1,65 @@
+//! Executor tuning: sweep the executor × cores grid for one workload on the
+//! Optane tier (the paper's Fig. 4 experiment) and report the best
+//! deployment — the "fat vs skinny executors" question answered per
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example executor_tuning -- [workload] [size]
+//! ```
+//! (defaults: `pagerank large`)
+
+use spark_memtier::characterization::campaign::{fig4_grid, FIG4_CORES, FIG4_EXECUTORS};
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::DataSize;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "pagerank".into());
+    let size = match std::env::args().nth(2).as_deref() {
+        Some("tiny") => DataSize::Tiny,
+        Some("small") => DataSize::Small,
+        _ => DataSize::Large,
+    };
+    println!("sweeping executor grid for {app}-{size} on the Optane tier…\n");
+    let cells = fig4_grid(&app, size, 8).expect("grid");
+
+    let mut headers = vec!["executors \\ cores".to_string()];
+    headers.extend(FIG4_CORES.iter().map(|c| c.to_string()));
+    let mut table = AsciiTable::new(headers).title(format!(
+        "{app}-{size}: speedup over the default 1x40 deployment"
+    ));
+    for &e in FIG4_EXECUTORS.iter() {
+        let mut row = vec![e.to_string()];
+        for &c in FIG4_CORES.iter() {
+            row.push(
+                cells
+                    .iter()
+                    .find(|x| x.executors == e && x.cores == c)
+                    .map(|x| format!("{:.2}x", x.speedup))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let best = cells
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .expect("non-empty grid");
+    let worst = cells
+        .iter()
+        .min_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .expect("non-empty grid");
+    println!(
+        "best deployment: {} executors x {} cores ({:.2}x, {:.4}s)",
+        best.executors, best.cores, best.speedup, best.elapsed_s
+    );
+    println!(
+        "worst deployment: {} executors x {} cores ({:.2}x slower, {:.4}s) — \
+         NVM contention + coordination overhead (Takeaway 6)",
+        worst.executors,
+        worst.cores,
+        1.0 / worst.speedup,
+        worst.elapsed_s
+    );
+}

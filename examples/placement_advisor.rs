@@ -1,0 +1,69 @@
+//! Placement advisor: characterize the whole suite, then recommend the
+//! cheapest memory tier each workload can live on under a slowdown budget —
+//! the paper's deployment guidelines turned into a tool.
+//!
+//! ```text
+//! cargo run --release --example placement_advisor -- [tolerance_pct] [write_cap]
+//! ```
+//! (defaults: 15 % slowdown tolerance, 0.35 write-ratio cap)
+
+use spark_memtier::characterization::advisor::{default_cost_per_gb, recommend};
+use spark_memtier::characterization::campaign::{by_workload_size, fig2_campaign};
+use spark_memtier::metrics::AsciiTable;
+
+fn main() {
+    let tolerance = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(15.0)
+        / 100.0;
+    let write_cap = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.35);
+
+    eprintln!(
+        "characterizing all workloads (84 runs), then placing with tolerance {:.0}% and \
+         write-ratio cap {write_cap}…\n",
+        tolerance * 100.0
+    );
+    let results = fig2_campaign(8).expect("campaign");
+    let series: Vec<_> = by_workload_size(&results)
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_by_key(|r| r.scenario.tier);
+            (k, v)
+        })
+        .collect();
+    let placements = recommend(&series, tolerance, write_cap);
+
+    let mut table = AsciiTable::new(vec![
+        "workload",
+        "size",
+        "placed on",
+        "slowdown",
+        "capacity-cost saving",
+        "why",
+    ])
+    .title("Recommended placements");
+    let mut total_saving = 0.0;
+    for p in &placements {
+        table.row(vec![
+            p.workload.clone(),
+            p.size.label().to_string(),
+            p.tier.to_string(),
+            format!("{:+.1}%", p.slowdown * 100.0),
+            format!("{:.0}%", p.cost_saving * 100.0),
+            p.rationale.clone(),
+        ]);
+        total_saving += p.cost_saving;
+    }
+    println!("{}", table.render());
+    println!(
+        "average capacity-cost saving across the suite: {:.0}% (all-DRAM baseline; \
+         Tier-2/3 capacity priced at {:.0}/{:.0}% of DRAM)",
+        total_saving / placements.len().max(1) as f64 * 100.0,
+        default_cost_per_gb(spark_memtier::memsim::TierId::NVM_NEAR) * 100.0,
+        default_cost_per_gb(spark_memtier::memsim::TierId::NVM_FAR) * 100.0,
+    );
+}

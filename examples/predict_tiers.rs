@@ -1,0 +1,57 @@
+//! Cross-tier prediction (Takeaway 8 in action): fit a linear model of
+//! execution time against tier latency/bandwidth on three tiers and predict
+//! the fourth, for every workload.
+//!
+//! ```text
+//! cargo run --release --example predict_tiers -- [size]
+//! ```
+//! (default size: `small`)
+
+use spark_memtier::characterization::predict::{correlation_with_specs, leave_one_tier_out};
+use spark_memtier::characterization::{run_scenarios, Scenario};
+use spark_memtier::memsim::TierId;
+use spark_memtier::metrics::table::fmt_f64;
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::{all_workloads, DataSize};
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => DataSize::Tiny,
+        Some("large") => DataSize::Large,
+        _ => DataSize::Small,
+    };
+    println!("fitting time ~ (idle latency, bandwidth) per workload at size {size}…\n");
+
+    let mut table = AsciiTable::new(vec![
+        "workload",
+        "corr(time, latency)",
+        "corr(time, bandwidth)",
+        "leave-one-tier-out MAPE",
+    ])
+    .title("Takeaway 8: linear cross-tier prediction");
+
+    for w in all_workloads() {
+        let scenarios: Vec<Scenario> = TierId::all()
+            .into_iter()
+            .map(|t| Scenario::default_conf(w.name(), size, t))
+            .collect();
+        let results = run_scenarios(&scenarios, 4).expect("runs");
+        let refs: Vec<_> = results.iter().collect();
+        let corr = correlation_with_specs(&refs);
+        let mape = leave_one_tier_out(&refs);
+        table.row(vec![
+            w.name().to_string(),
+            corr.latency_r.map(|r| fmt_f64(r, 3)).unwrap_or("-".into()),
+            corr.bandwidth_r
+                .map(|r| fmt_f64(r, 3))
+                .unwrap_or("-".into()),
+            mape.map(|m| format!("{:.1}%", m * 100.0))
+                .unwrap_or("-".into()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(positive latency correlation + negative bandwidth correlation, as in the paper's \
+         Fig. 6; the MAPE column is what a provider would see deploying on an unmeasured tier)"
+    );
+}

@@ -1,0 +1,63 @@
+//! Spark vs MapReduce shuffle study — the paper's introduction motivates
+//! Spark by its in-memory RDDs "avoiding expensive intermediate disk writes
+//! found in prior big data frameworks, such as Hadoop". This example
+//! quantifies that on the simulated testbed: the same workloads with the
+//! shuffle kept in memory vs round-tripped through disk, across tiers.
+//!
+//! ```text
+//! cargo run --release --example spark_vs_mapreduce
+//! ```
+
+use spark_memtier::engine::{SparkConf, SparkContext};
+use spark_memtier::memsim::TierId;
+use spark_memtier::metrics::table::fmt_f64;
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::{all_workloads, DataSize, Workload};
+
+fn run(w: &dyn Workload, tier: TierId, through_disk: bool) -> f64 {
+    let mut conf = SparkConf::bound_to_tier(tier);
+    conf.shuffle_through_disk = through_disk;
+    let sc = SparkContext::new(conf).expect("context");
+    w.run(&sc, DataSize::Large, 42).expect("run");
+    sc.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("in-memory shuffle (Spark) vs disk-materialized shuffle (MapReduce mode):\n");
+    let mut table = AsciiTable::new(vec![
+        "workload",
+        "in-mem, Tier0 (s)",
+        "disk, Tier0 (s)",
+        "Spark advantage T0",
+        "in-mem, Tier2 (s)",
+        "disk, Tier2 (s)",
+        "Spark advantage T2",
+    ])
+    .title("Large inputs; 'Spark advantage' = disk-shuffle time / in-memory time");
+
+    let mut advantages = Vec::new();
+    for w in all_workloads() {
+        let mem0 = run(w.as_ref(), TierId::LOCAL_DRAM, false);
+        let disk0 = run(w.as_ref(), TierId::LOCAL_DRAM, true);
+        let mem2 = run(w.as_ref(), TierId::NVM_NEAR, false);
+        let disk2 = run(w.as_ref(), TierId::NVM_NEAR, true);
+        advantages.push(disk0 / mem0);
+        table.row(vec![
+            w.name().to_string(),
+            fmt_f64(mem0, 4),
+            fmt_f64(disk0, 4),
+            format!("{:.2}x", disk0 / mem0),
+            fmt_f64(mem2, 4),
+            fmt_f64(disk2, 4),
+            format!("{:.2}x", disk2 / mem2),
+        ]);
+    }
+    println!("{}", table.render());
+    let avg: f64 = advantages.iter().sum::<f64>() / advantages.len() as f64;
+    println!(
+        "average in-memory advantage on Tier 0: {avg:.2}x — and note the advantage \
+         *shrinks* on the Optane tier: when memory itself is slow, materializing the \
+         shuffle costs relatively less, which is exactly why persistent memory blurs \
+         the memory/storage boundary the paper's architecture targets."
+    );
+}

@@ -1,0 +1,81 @@
+//! Tier explorer: characterize one workload across every memory tier and
+//! input size — a single-app slice of the paper's Fig. 2 — and print a
+//! placement recommendation.
+//!
+//! ```text
+//! cargo run --release --example tier_explorer -- [workload]
+//! ```
+//! (default workload: `bayes`)
+
+use spark_memtier::characterization::{run_scenarios, Scenario};
+use spark_memtier::memsim::TierId;
+use spark_memtier::metrics::table::fmt_f64;
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::{workload_by_name, DataSize};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "bayes".into());
+    let workload = workload_by_name(&app).unwrap_or_else(|| {
+        panic!("unknown workload {app:?}; try sort/repartition/als/bayes/rf/lda/pagerank")
+    });
+    println!(
+        "characterizing `{}` ({})…\n",
+        workload.name(),
+        workload.category()
+    );
+
+    let scenarios: Vec<Scenario> = DataSize::all()
+        .into_iter()
+        .flat_map(|size| {
+            let app = app.clone();
+            TierId::all()
+                .into_iter()
+                .map(move |tier| Scenario::default_conf(&app, size, tier))
+        })
+        .collect();
+    let results = run_scenarios(&scenarios, 8).expect("runs");
+
+    let mut table = AsciiTable::new(vec![
+        "size",
+        "Tier0 (s)",
+        "Tier1 (s)",
+        "Tier2 (s)",
+        "Tier3 (s)",
+        "NVM slowdown",
+        "NVM accesses",
+    ])
+    .title(format!("{app}: execution time per tier"));
+    for (i, size) in DataSize::all().iter().enumerate() {
+        let row = &results[i * 4..(i + 1) * 4];
+        let slowdown = row[2].elapsed_s / row[0].elapsed_s;
+        table.row(vec![
+            size.label().to_string(),
+            fmt_f64(row[0].elapsed_s, 4),
+            fmt_f64(row[1].elapsed_s, 4),
+            fmt_f64(row[2].elapsed_s, 4),
+            fmt_f64(row[3].elapsed_s, 4),
+            format!("{slowdown:.2}x"),
+            row[2].bound_tier_accesses().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Placement recommendation in the spirit of Takeaway 1.
+    for (i, size) in DataSize::all().iter().enumerate() {
+        let row = &results[i * 4..(i + 1) * 4];
+        let m1 = (row[1].elapsed_s - row[0].elapsed_s) / row[1].elapsed_s;
+        let m2 = (row[2].elapsed_s - row[0].elapsed_s) / row[2].elapsed_s;
+        let advice = if m2 < 0.10 {
+            "tier-tolerant: even the Optane tier costs <10% — a remote-placement candidate"
+        } else if m1 < 0.10 {
+            "remote-DRAM tolerant: keep off Optane, but remote DRAM is nearly free"
+        } else {
+            "tier-sensitive: keep on local DRAM"
+        };
+        println!(
+            "{app}-{size}: {advice} (T1 margin {:.1}%, T2 margin {:.1}%)",
+            m1 * 100.0,
+            m2 * 100.0
+        );
+    }
+}

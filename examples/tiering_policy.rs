@@ -1,0 +1,64 @@
+//! Tiering-policy sweep: approximate a perfect page migrator by keeping a
+//! `hot` fraction of traffic in local DRAM and the rest on Optane, and
+//! sweep the fraction — the capacity/performance curve that page-migration
+//! systems (HeMem, Nimble, AutoNUMA) navigate and that the paper's
+//! discussion section motivates ("determining the optimal memory tier per
+//! access type").
+//!
+//! ```text
+//! cargo run --release --example tiering_policy -- [workload]
+//! ```
+
+use spark_memtier::engine::{ExecutorPlacement, SparkConf, SparkContext};
+use spark_memtier::memsim::{CpuBindPolicy, MemBindPolicy};
+use spark_memtier::metrics::table::{fmt_f64, sparkline};
+use spark_memtier::metrics::AsciiTable;
+use spark_memtier::workloads::{workload_by_name, DataSize};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "bayes".into());
+    let workload = workload_by_name(&app).expect("known workload");
+    println!("{app}-large with a hot-fraction tiering policy (DRAM hot / Optane cold):\n");
+
+    let mut table = AsciiTable::new(vec![
+        "DRAM share",
+        "time (s)",
+        "slowdown vs all-DRAM",
+        "DRAM capacity used",
+    ])
+    .title(format!("{app}-large tiering curve"));
+
+    let mut times = Vec::new();
+    let fractions = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0];
+    let mut all_dram = None;
+    for &hot in &fractions {
+        let conf = SparkConf {
+            placement: ExecutorPlacement {
+                cpu: CpuBindPolicy::Socket(0),
+                mem: MemBindPolicy::hot_cold(hot),
+            },
+            ..SparkConf::default()
+        };
+        let sc = SparkContext::new(conf).expect("context");
+        workload.run(&sc, DataSize::Large, 42).expect("run");
+        let t = sc.elapsed().as_secs_f64();
+        let base = *all_dram.get_or_insert(t);
+        times.push(t);
+        table.row(vec![
+            format!("{:.0}%", hot * 100.0),
+            fmt_f64(t, 4),
+            format!("{:.2}x", t / base),
+            format!("{:.0}%", hot * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("tiering curve: {}", sparkline(&times));
+    println!(
+        "\nShape: a step as soon as any traffic lands on Optane (the task wave now \
+         queues on the DCPM controller — Takeaway 6's contention), then a shallow \
+         linear slope in the cold fraction. For capacity-hungry tenants the slope is \
+         the interesting part: pushing 80% of traffic cold costs only ~{:.0}% more than \
+         pushing 20% cold, while freeing 4x the DRAM.",
+        (times[4] / times[1] - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Utilization timeline: sample the Optane channel while pagerank runs and
+//! render per-tier utilization and concurrency as sparklines — a quick way
+//! to *see* why MBA throttling doesn't bite (utilization stays low) while
+//! executor contention does (concurrency spikes at stage waves).
+//!
+//! ```text
+//! cargo run --release --example utilization_timeline -- [workload]
+//! ```
+
+use spark_memtier::des::SimTime;
+use spark_memtier::engine::{SparkConf, SparkContext};
+use spark_memtier::memsim::TierId;
+use spark_memtier::metrics::table::sparkline;
+use spark_memtier::workloads::{workload_by_name, DataSize};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "pagerank".into());
+    let workload = workload_by_name(&app).expect("known workload");
+
+    let sc = SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_NEAR)).expect("context");
+    sc.enable_utilization_sampling(SimTime::from_us(250));
+    sc.enable_tracing();
+    workload.run(&sc, DataSize::Large, 42).expect("run");
+
+    let samples = sc.utilization_samples();
+    let idx = TierId::NVM_NEAR.index();
+    let util: Vec<f64> = samples.iter().map(|s| s.utilization[idx]).collect();
+    let flows: Vec<f64> = samples.iter().map(|s| s.active[idx] as f64).collect();
+    let peak_util = util.iter().cloned().fold(0.0, f64::max);
+    let peak_flows = flows.iter().cloned().fold(0.0, f64::max);
+
+    println!(
+        "{app}-large on Tier 2 ({} samples over {}):\n",
+        samples.len(),
+        sc.elapsed()
+    );
+    println!("channel utilization (peak {:.0}%):", peak_util * 100.0);
+    println!("  {}", sparkline(&util));
+    println!("concurrent flows (peak {peak_flows:.0}):");
+    println!("  {}", sparkline(&flows));
+    println!(
+        "\nutilization peaks at {:.0}% of the 10.7 GB/s channel — the Fig. 3 result \
+         (MBA caps down to 10% leave headroom) while the flow count shows the stage \
+         waves that drive Takeaway 6's contention.",
+        peak_util * 100.0
+    );
+    let spans = sc.task_spans().unwrap();
+    println!(
+        "({} tasks executed; timeline also available as sc.chrome_trace())",
+        spans.len()
+    );
+}

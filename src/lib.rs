@@ -1,0 +1,81 @@
+//! # spark-memtier
+//!
+//! A from-scratch Rust reproduction of *"On the Implications of
+//! Heterogeneous Memory Tiering on Spark In-Memory Analytics"*
+//! (Katsaragakis et al., IPDPSW 2023): a multi-tier DRAM/Optane-DCPM
+//! memory-system simulator, an RDD-based in-memory analytics engine that
+//! runs on it, the seven HiBench-equivalent workloads the paper evaluates,
+//! and the full characterization campaign (Tables I–II, Figs. 2–6, the
+//! eight takeaways).
+//!
+//! This crate is the umbrella: it re-exports the workspace members under
+//! stable paths and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |--------|---------------|----------|
+//! | [`des`] | `memtier-des` | virtual time, event queue, fair-share resources |
+//! | [`memsim`] | `memtier-memsim` | tiers, topology, energy, wear, MBA, counters |
+//! | [`dfs`] | `memtier-dfs` | HDFS-like block store |
+//! | [`engine`] | `sparklite` | RDDs, DAG scheduler, shuffle, executors |
+//! | [`workloads`] | `memtier-workloads` | the seven benchmark applications |
+//! | [`metrics`] | `memtier-metrics` | stats, Pearson, OLS, tables |
+//! | [`characterization`] | `memtier-core` | scenarios, campaigns, takeaways, prediction |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spark_memtier::engine::{SparkConf, SparkContext};
+//! use spark_memtier::memsim::TierId;
+//!
+//! // A context whose executors allocate from the Optane tier.
+//! let sc = SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_NEAR)).unwrap();
+//! let words = sc.parallelize(vec!["a", "b", "a", "c", "a"], 2);
+//! let counts = words.map(|w| (w.to_string(), 1u64)).reduce_by_key(|x, y| x + y);
+//! let mut out = counts.collect().unwrap();
+//! out.sort();
+//! assert_eq!(out[0], ("a".to_string(), 3));
+//! // Virtual execution time and NVM traffic were measured along the way:
+//! assert!(sc.elapsed().as_secs_f64() > 0.0);
+//! assert!(sc.counters().tier(TierId::NVM_NEAR).total() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Discrete-event simulation kernel (re-export of `memtier-des`).
+pub mod des {
+    pub use memtier_des::*;
+}
+
+/// Multi-tier memory-system simulator (re-export of `memtier-memsim`).
+pub mod memsim {
+    pub use memtier_memsim::*;
+}
+
+/// HDFS-like block store (re-export of `memtier-dfs`).
+pub mod dfs {
+    pub use memtier_dfs::*;
+}
+
+/// The RDD analytics engine (re-export of `sparklite`).
+pub mod engine {
+    pub use sparklite::*;
+}
+
+/// The HiBench-equivalent workload suite (re-export of `memtier-workloads`).
+pub mod workloads {
+    pub use memtier_workloads::*;
+}
+
+/// Statistics toolkit (re-export of `memtier-metrics`).
+pub mod metrics {
+    pub use memtier_metrics::*;
+}
+
+/// Characterization campaigns, takeaways and prediction (re-export of
+/// `memtier-core`).
+pub mod characterization {
+    pub use memtier_core::*;
+}

@@ -1,0 +1,73 @@
+//! Full-campaign calibration assertions against the paper's headline
+//! numbers. Heavier than `tests/guidelines.rs` (runs all 84 Fig. 2
+//! scenarios), so it is `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test calibration -- --ignored
+//! ```
+//! CI runs the equivalent through `--bin takeaways`.
+
+use spark_memtier::characterization::campaign::{by_workload_size, fig2_campaign};
+use spark_memtier::memsim::TierId;
+
+#[test]
+#[ignore = "runs the full 84-scenario campaign (~15 s release); CI covers it via --bin takeaways"]
+fn fig2_headlines_within_tolerance() {
+    let results = fig2_campaign(8).unwrap();
+    let groups: Vec<_> = by_workload_size(&results)
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_by_key(|r| r.scenario.tier);
+            (k, v)
+        })
+        .collect();
+    let n = groups.len() as f64;
+
+    // Headline 1: DCPM-bound runs ~+76.7% execution time vs DRAM-bound.
+    let dcpm_overhead: f64 = groups
+        .iter()
+        .map(|(_, v)| (v[2].elapsed_s + v[3].elapsed_s) / (v[0].elapsed_s + v[1].elapsed_s) - 1.0)
+        .sum::<f64>()
+        / n;
+    assert!(
+        (0.55..=1.15).contains(&dcpm_overhead),
+        "DCPM overhead {dcpm_overhead:.3} drifted out of the paper band (+76.7% ±)"
+    );
+
+    // Headline 2: DRAM per-DIMM energy ~63.9% below DCPM.
+    let saving: f64 = groups
+        .iter()
+        .map(|(_, v)| {
+            1.0 - v[0].energy_per_dimm_j[TierId::LOCAL_DRAM.index()]
+                / v[2].energy_per_dimm_j[TierId::NVM_NEAR.index()]
+        })
+        .sum::<f64>()
+        / n;
+    assert!(
+        (0.45..=0.75).contains(&saving),
+        "energy saving {saving:.3} drifted out of the paper band (63.9% ±)"
+    );
+
+    // Headline 3: margins strictly ordered Tier1 < Tier2 < Tier3.
+    let margin = |k: usize| -> f64 {
+        groups
+            .iter()
+            .map(|(_, v)| (v[k].elapsed_s - v[0].elapsed_s) / v[k].elapsed_s)
+            .sum::<f64>()
+            / n
+    };
+    let (m1, m2, m3) = (margin(1), margin(2), margin(3));
+    assert!(m1 > 0.0 && m1 < m2 && m2 < m3, "margins disordered: {m1} {m2} {m3}");
+
+    // Headline 4: every (workload, size) is strictly slower on every
+    // farther tier.
+    for ((w, s), v) in &groups {
+        for k in 1..4 {
+            assert!(
+                v[k].elapsed_s > v[k - 1].elapsed_s,
+                "{w}-{s}: tier {k} not slower than tier {}",
+                k - 1
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's takeaways, asserted against a reduced (fast) campaign.
+//!
+//! The full campaign lives in `cargo run -p memtier-bench --bin takeaways
+//! --release` (all 7 workloads, 84 + 210 + grid scenarios). This test keeps
+//! CI fast by sweeping a 4-workload subset while still asserting every
+//! shape that defines the reproduction.
+
+use spark_memtier::characterization::campaign::fig4_grid;
+use spark_memtier::characterization::guidelines::{
+    check_t1, check_t2, check_t4, check_t5, check_t8,
+};
+use spark_memtier::characterization::{run_scenarios, Scenario, ScenarioResult};
+use spark_memtier::memsim::TierId;
+use spark_memtier::workloads::DataSize;
+
+const APPS: [&str; 4] = ["sort", "repartition", "bayes", "pagerank"];
+
+fn mini_fig2() -> Vec<ScenarioResult> {
+    let mut scenarios = Vec::new();
+    for app in APPS {
+        for size in DataSize::all() {
+            for tier in TierId::all() {
+                scenarios.push(Scenario::default_conf(app, size, tier));
+            }
+        }
+    }
+    run_scenarios(&scenarios, 8).unwrap()
+}
+
+#[test]
+fn takeaway_1_2_5_8_hold_on_reduced_campaign() {
+    let fig2 = mini_fig2();
+    for check in [check_t1, check_t2, check_t5, check_t8] {
+        let r = check(&fig2);
+        assert!(r.holds, "Takeaway {} failed: {}", r.id, r.evidence);
+    }
+}
+
+#[test]
+fn takeaway_4_mba_insensitivity() {
+    let mut scenarios = Vec::new();
+    for app in ["sort", "bayes"] {
+        for size in [DataSize::Small, DataSize::Large] {
+            for pct in [10u8, 50, 100] {
+                scenarios.push(Scenario::default_conf(app, size, TierId::NVM_NEAR).with_mba(pct));
+            }
+        }
+    }
+    let fig3 = run_scenarios(&scenarios, 8).unwrap();
+    let r = check_t4(&fig3);
+    assert!(r.holds, "Takeaway 4 failed: {}", r.evidence);
+}
+
+#[test]
+fn takeaway_6_7_executor_grid_shapes() {
+    // Reduced grids: pagerank small (degrades with executors) vs large
+    // (benefits from executors) — the Fig. 4d/4h inversion.
+    let small = fig4_grid("pagerank", DataSize::Small, 8).unwrap();
+    let large = fig4_grid("pagerank", DataSize::Large, 8).unwrap();
+
+    let worst_small = small
+        .iter()
+        .filter(|c| c.executors > 1)
+        .map(|c| c.speedup)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        worst_small < 0.7,
+        "pagerank-small must degrade hard somewhere in the multi-executor grid \
+         (worst speedup {worst_small})"
+    );
+
+    let best_large = large
+        .iter()
+        .filter(|c| c.executors > 1)
+        .map(|c| c.speedup)
+        .fold(0.0, f64::max);
+    assert!(
+        best_large > 1.02,
+        "pagerank-large must benefit from more executors (best {best_large})"
+    );
+
+    // The inversion itself: at (4, 5), large must do better relative to its
+    // baseline than small does at high executor counts.
+    let cell = |cells: &[spark_memtier::characterization::Fig4Cell], e: usize, c: usize| {
+        cells
+            .iter()
+            .find(|x| x.executors == e && x.cores == c)
+            .map(|x| x.speedup)
+            .unwrap()
+    };
+    assert!(cell(&large, 4, 5) > cell(&small, 8, 10));
+}
+
+#[test]
+fn takeaway_3_write_heavy_lda_blows_up_on_nvm() {
+    let scenarios = [
+        Scenario::default_conf("lda", DataSize::Large, TierId::LOCAL_DRAM),
+        Scenario::default_conf("lda", DataSize::Large, TierId::NVM_NEAR),
+        Scenario::default_conf("repartition", DataSize::Large, TierId::LOCAL_DRAM),
+        Scenario::default_conf("repartition", DataSize::Large, TierId::NVM_NEAR),
+    ];
+    let r = run_scenarios(&scenarios, 4).unwrap();
+    let lda_ratio = r[1].elapsed_s / r[0].elapsed_s;
+    // lda is the suite's most write-intensive workload.
+    assert!(
+        r[1].write_ratio() > r[3].write_ratio(),
+        "lda must be more write-heavy than repartition ({} vs {})",
+        r[1].write_ratio(),
+        r[3].write_ratio()
+    );
+    assert!(
+        lda_ratio > 1.3,
+        "write-heavy lda-large must degrade visibly on DCPM (got {lda_ratio:.2}x)"
+    );
+}
+
+#[test]
+fn tier_ordering_is_seed_robust() {
+    // The paper's conclusions must not hinge on one dataset instance: the
+    // tier ordering and the DCPM gap direction hold for every seed.
+    for seed in [7u64, 1234, 987654321] {
+        for app in ["repartition", "bayes"] {
+            let scenarios: Vec<Scenario> = TierId::all()
+                .into_iter()
+                .map(|t| Scenario::default_conf(app, DataSize::Small, t).with_seed(seed))
+                .collect();
+            let r = run_scenarios(&scenarios, 4).unwrap();
+            for k in 1..4 {
+                assert!(
+                    r[k].elapsed_s > r[k - 1].elapsed_s,
+                    "{app} seed {seed}: tier ordering broke at tier {k}"
+                );
+            }
+            let gap = r[2].elapsed_s / r[0].elapsed_s;
+            assert!(
+                gap > 1.2,
+                "{app} seed {seed}: DCPM gap collapsed to {gap:.2}"
+            );
+        }
+    }
+}

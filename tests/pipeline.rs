@@ -1,0 +1,135 @@
+//! Cross-crate integration: DFS ↔ engine ↔ memory simulator consistency.
+
+use spark_memtier::engine::{OpCost, SparkConf, SparkContext};
+use spark_memtier::memsim::TierId;
+use spark_memtier::workloads::{all_workloads, DataSize};
+
+#[test]
+fn dfs_to_engine_to_dfs_pipeline() {
+    // Stage input in the DFS, process it with the engine, write results
+    // back, and verify byte-for-byte through a second context read.
+    let sc = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+    let client = sc.dfs();
+    let input: String = (0..5_000)
+        .map(|i| format!("user{} action{}\n", i % 97, i % 13))
+        .collect();
+    client
+        .write_file("/in/events.txt", input.as_bytes(), 2048, 2)
+        .unwrap();
+
+    let lines = sc.text_file("/in/events.txt").unwrap();
+    assert_eq!(lines.count().unwrap(), 5_000);
+    let per_user = lines
+        .map(|l| (l.split(' ').next().unwrap().to_string(), 1u64))
+        .reduce_by_key(|a, b| a + b);
+    let report = per_user
+        .map(|(u, c)| format!("{u}\t{c}"))
+        .persist(spark_memtier::engine::StorageLevel::MemoryOnly);
+    report.save_as_text_file("/out/per_user").unwrap();
+
+    // Read back and verify the aggregate.
+    let mut total = 0u64;
+    for f in client.list("/out/per_user/") {
+        let bytes = client.read_file(&f.path).unwrap();
+        for line in String::from_utf8(bytes).unwrap().lines() {
+            total += line.split('\t').nth(1).unwrap().parse::<u64>().unwrap();
+        }
+    }
+    assert_eq!(total, 5_000, "every input record must be accounted for");
+}
+
+#[test]
+fn engine_metrics_and_memsim_counters_agree() {
+    // The bytes the engine says it moved must match what the memory
+    // simulator's ipmctl-style counters recorded (same-tier binding).
+    let sc = SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_NEAR)).unwrap();
+    sc.generate(
+        8,
+        |p| {
+            (0..2_000u64)
+                .map(|i| (i % 50, p as u64 + i))
+                .collect::<Vec<_>>()
+        },
+        OpCost::cpu(50.0),
+    )
+    .reduce_by_key(|a, b| a + b)
+    .count()
+    .unwrap();
+    let report = sc.finish();
+    let counted = report.telemetry.counters.tier(TierId::NVM_NEAR);
+    let totals = report.metrics.totals;
+    assert_eq!(
+        counted.bytes_read + counted.bytes_written,
+        totals.traffic.total_bytes(),
+        "simulator counters must equal engine-side traffic accounting"
+    );
+    assert_eq!(counted.reads, totals.traffic.reads);
+    assert_eq!(counted.writes, totals.traffic.writes);
+    // Busy time can never exceed elapsed time.
+    assert!(report.telemetry.busy[TierId::NVM_NEAR.index()] <= report.elapsed);
+}
+
+#[test]
+fn every_workload_is_correct_and_deterministic_end_to_end() {
+    for w in all_workloads() {
+        let run = || {
+            let sc = SparkContext::new(SparkConf::default().with_parallelism(8)).unwrap();
+            let out = w.run(&sc, DataSize::Tiny, 7).unwrap();
+            (out, sc.elapsed())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a, b, "{}: output must be deterministic", w.name());
+        assert_eq!(ta, tb, "{}: virtual time must be deterministic", w.name());
+        assert!(a.output_records > 0, "{}: empty output", w.name());
+    }
+}
+
+#[test]
+fn wear_accumulates_only_on_nvm() {
+    let sc = SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_FAR)).unwrap();
+    spark_memtier::workloads::workload_by_name("lda")
+        .unwrap()
+        .run(&sc, DataSize::Tiny, 1)
+        .unwrap();
+    let report = sc.finish();
+    let far = report
+        .telemetry
+        .wear
+        .iter()
+        .find(|w| w.tier == TierId::NVM_FAR)
+        .unwrap();
+    assert!(far.media_writes > 0);
+    assert!(far.consumed_fraction > 0.0);
+    assert!(far.projected_lifetime.is_some());
+    let near = report
+        .telemetry
+        .wear
+        .iter()
+        .find(|w| w.tier == TierId::NVM_NEAR)
+        .unwrap();
+    assert_eq!(near.media_writes, 0, "unbound tier must not wear");
+}
+
+#[test]
+fn dfs_replication_survives_datanode_skew() {
+    // Heavier integration: many small files with replication 2 across 4
+    // datanodes; killing one replica of every block must not lose data.
+    let sc = SparkContext::new(SparkConf::default()).unwrap();
+    let client = sc.dfs();
+    for i in 0..20 {
+        client
+            .write_file(&format!("/r/{i}"), format!("payload-{i}").as_bytes(), 4, 2)
+            .unwrap();
+    }
+    for i in 0..20 {
+        let status = client.stat(&format!("/r/{i}")).unwrap();
+        for b in &status.blocks {
+            assert_eq!(b.replicas.len(), 2);
+        }
+        assert_eq!(
+            client.read_file(&format!("/r/{i}")).unwrap(),
+            format!("payload-{i}").as_bytes()
+        );
+    }
+}
