@@ -15,6 +15,7 @@ fn main() {
     print_time(&results);
     print_accesses(&results);
     print_energy(&results);
+    print_stage_shape(&results);
     print_summary(&results);
 }
 
@@ -96,6 +97,45 @@ fn print_energy(results: &[ScenarioResult]) {
             fmt_f64(dram, 2),
             fmt_f64(dcpm, 2),
             pct(1.0 - dram / dcpm),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_stage_shape(results: &[ScenarioResult]) {
+    // The time-resolved view behind Fig. 2's middle row: how concentrated
+    // each workload's memory traffic is in its hottest stage on the DCPM
+    // tier (stage rollups; the full series is in the trace_demo binary).
+    let mut t = AsciiTable::new(vec![
+        "benchmark",
+        "size",
+        "stages (T2 run)",
+        "peak-stage traffic share",
+        "peak stage time (s)",
+    ])
+    .title("Fig 2 (stage shape) — traffic concentration per stage, Tier 2 run");
+    for ((w, s), v) in groups(results) {
+        let rollups = &v[2].stage_rollups;
+        let total: u64 = rollups
+            .iter()
+            .map(|r| r.metrics.traffic.total_bytes())
+            .sum();
+        let peak = rollups
+            .iter()
+            .max_by_key(|r| r.metrics.traffic.total_bytes());
+        let (share, peak_s) = match peak {
+            Some(p) if total > 0 => (
+                p.metrics.traffic.total_bytes() as f64 / total as f64,
+                p.duration().as_secs_f64(),
+            ),
+            _ => (0.0, 0.0),
+        };
+        t.row(vec![
+            w,
+            s,
+            rollups.len().to_string(),
+            fmt_f64(share, 3),
+            fmt_f64(peak_s, 3),
         ]);
     }
     println!("{}", t.render());

@@ -61,15 +61,29 @@ fn main() {
     writeln!(md, "\n## Fig. 2 — time / NVM accesses / energy\n").unwrap();
     writeln!(
         md,
-        "| benchmark | size | T0 (s) | T1 (s) | T2 (s) | T3 (s) | T2 accesses | write ratio | DRAM J/DIMM | DCPM J/DIMM |"
+        "| benchmark | size | T0 (s) | T1 (s) | T2 (s) | T3 (s) | T2 accesses | write ratio | DRAM J/DIMM | DCPM J/DIMM | stages | peak-stage share |"
     )
     .unwrap();
-    writeln!(md, "|---|---|---|---|---|---|---|---|---|---|").unwrap();
+    writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
     for ((w, s), mut v) in by_workload_size(&fig2) {
         v.sort_by_key(|r| r.scenario.tier);
+        // Per-stage rollups of the Tier-2 run: how concentrated the NVM
+        // traffic is in the hottest stage.
+        let rollups = &v[2].stage_rollups;
+        let traffic_total: u64 = rollups
+            .iter()
+            .map(|r| r.metrics.traffic.total_bytes())
+            .sum();
+        let peak_share = rollups
+            .iter()
+            .map(|r| r.metrics.traffic.total_bytes())
+            .max()
+            .filter(|_| traffic_total > 0)
+            .map(|peak| peak as f64 / traffic_total as f64)
+            .unwrap_or(0.0);
         writeln!(
             md,
-            "| {w} | {s} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {:.2} | {:.2} | {:.2} |",
+            "| {w} | {s} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {:.2} | {:.2} | {:.2} | {} | {:.2} |",
             v[0].elapsed_s,
             v[1].elapsed_s,
             v[2].elapsed_s,
@@ -78,6 +92,8 @@ fn main() {
             v[2].write_ratio(),
             v[0].energy_per_dimm_j[TierId::LOCAL_DRAM.index()],
             v[2].energy_per_dimm_j[TierId::NVM_NEAR.index()],
+            rollups.len(),
+            peak_share,
         )
         .unwrap();
     }

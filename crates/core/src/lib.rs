@@ -37,5 +37,8 @@ pub use predict::{
     combined_model, correlation_with_specs, event_correlations, leave_one_tier_out,
     CombinedModelReport, EventCorrelation, SpecCorrelation,
 };
-pub use runner::{conf_for, run_scenario, run_scenario_with_conf, run_scenarios};
+pub use runner::{
+    conf_for, run_scenario, run_scenario_instrumented, run_scenario_with_conf, run_scenarios,
+    ScenarioTelemetry, TelemetryOptions,
+};
 pub use scenario::{Scenario, ScenarioResult};

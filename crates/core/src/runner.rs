@@ -1,10 +1,11 @@
 //! Scenario execution.
 
 use crate::scenario::{Scenario, ScenarioResult};
-use memtier_memsim::TierId;
+use memtier_des::SimTime;
+use memtier_memsim::{CounterSample, TierId};
 use memtier_workloads::workload_by_name;
 use sparklite::error::{Result, SparkError};
-use sparklite::{SparkConf, SparkContext};
+use sparklite::{SparkConf, SparkContext, TimedEvent};
 
 /// Build the engine configuration for a scenario. Multi-executor
 /// deployments round-robin across the two sockets, like the paper's
@@ -40,19 +41,85 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult> {
 /// Like [`run_scenario`] but with an explicit engine configuration — the
 /// ablation benches use this to switch model features on and off.
 pub fn run_scenario_with_conf(scenario: &Scenario, conf: SparkConf) -> Result<ScenarioResult> {
+    run_on_context(scenario, SparkContext::new(conf)?).map(|(result, _)| result)
+}
+
+/// What to record during an instrumented run.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Counter-sampling interval of virtual time.
+    pub sample_interval: SimTime,
+    /// Record lifecycle events into an in-memory log.
+    pub collect_events: bool,
+    /// Record task spans for Chrome-trace export.
+    pub trace: bool,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            sample_interval: SimTime::from_us(500),
+            collect_events: true,
+            trace: true,
+        }
+    }
+}
+
+/// The telemetry streams an instrumented run produces alongside its
+/// [`ScenarioResult`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioTelemetry {
+    /// The sampled counter time series (last sample equals the run totals).
+    pub counter_series: Vec<CounterSample>,
+    /// The lifecycle event log, in emission order.
+    pub events: Vec<TimedEvent>,
+    /// Enriched Chrome-tracing JSON (`None` unless tracing was requested).
+    pub trace_json: Option<String>,
+}
+
+/// Run one scenario with the full telemetry subsystem on: counter sampling,
+/// the structured event log, and (optionally) Chrome-trace capture.
+/// Deterministic in (scenario, options) like every other run.
+pub fn run_scenario_instrumented(
+    scenario: &Scenario,
+    options: &TelemetryOptions,
+) -> Result<(ScenarioResult, ScenarioTelemetry)> {
+    let sc = SparkContext::new(conf_for(scenario))?;
+    sc.enable_counter_sampling(options.sample_interval);
+    if options.collect_events {
+        sc.enable_event_log();
+    }
+    if options.trace {
+        sc.enable_tracing();
+    }
+    run_on_context(scenario, sc)
+}
+
+/// Shared body of the plain and instrumented runners: workload execution,
+/// teardown and result assembly on an already-configured context.
+fn run_on_context(
+    scenario: &Scenario,
+    sc: SparkContext,
+) -> Result<(ScenarioResult, ScenarioTelemetry)> {
     let workload = workload_by_name(&scenario.workload).ok_or_else(|| {
         SparkError::InvalidConfig(format!("unknown workload {:?}", scenario.workload))
     })?;
-    let sc = SparkContext::new(conf)?;
     if let Some(pct) = scenario.mba_percent {
         sc.set_mba_all(pct);
     }
     let output = workload.run(&sc, scenario.size, scenario.seed)?;
     let report = sc.finish();
+    // The trace must be rendered *after* finish(): teardown takes the final
+    // conservation sample the counter tracks end on.
+    let telemetry = ScenarioTelemetry {
+        counter_series: report.telemetry.counter_series.clone(),
+        events: sc.logged_events(),
+        trace_json: sc.chrome_trace(),
+    };
 
     let energy_j = TierId::all().map(|t| report.telemetry.energy.tier(t).total_j());
     let energy_per_dimm_j = TierId::all().map(|t| report.telemetry.energy.tier(t).per_dimm_j());
-    Ok(ScenarioResult {
+    let result = ScenarioResult {
         scenario: scenario.clone(),
         elapsed_s: report.elapsed.as_secs_f64(),
         counters: report.telemetry.counters,
@@ -65,7 +132,9 @@ pub fn run_scenario_with_conf(scenario: &Scenario, conf: SparkConf) -> Result<Sc
         output_records: output.output_records,
         checksum: output.checksum,
         quality: output.quality,
-    })
+        stage_rollups: report.stage_rollups,
+    };
+    Ok((result, telemetry))
 }
 
 /// Run many scenarios, `threads`-wide in parallel. Results come back in the
@@ -114,6 +183,37 @@ mod tests {
         assert!(r.energy_j[TierId::NVM_NEAR.index()] > 0.0);
         assert!(r.jobs > 0 && r.tasks > 0);
         assert!(r.event("cpu_ns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_is_consistent_and_conserves() {
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+        let (r, t) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+        // Rollups cover every stage, and their task counts sum to the total.
+        assert_eq!(r.stage_rollups.len() as u64, r.stages);
+        let rollup_tasks: u64 = r.stage_rollups.iter().map(|x| x.tasks).sum();
+        assert_eq!(rollup_tasks, r.tasks);
+        // The counter series ends exactly on the run's cumulative totals.
+        let last = t.counter_series.last().expect("series must be non-empty");
+        assert_eq!(last.counters, r.counters);
+        // And the trace is valid JSON with task spans and counter tracks.
+        let trace: serde_json::Value =
+            serde_json::from_str(t.trace_json.as_deref().unwrap()).unwrap();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["ph"] == "X"));
+        assert!(events.iter().any(|e| e["ph"] == "C"));
+        assert!(!t.events.is_empty());
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_result() {
+        // Telemetry must observe, not perturb: the measured result of an
+        // instrumented run equals the plain run bit-for-bit (rollups are
+        // collected either way, so compare the full structs directly).
+        let s = Scenario::default_conf("wordcount", DataSize::Tiny, TierId::NVM_FAR);
+        let plain = run_scenario(&s).unwrap();
+        let (instr, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+        assert_eq!(plain, instr);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use memtier_memsim::{CounterSnapshot, TierId, NUM_TIERS};
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
+use sparklite::StageRollup;
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,6 +94,10 @@ pub struct ScenarioResult {
     pub checksum: u64,
     /// Workload quality figure (meaning is per-app).
     pub quality: f64,
+    /// Per-stage metric rollups in completion order (`#[serde(default)]`
+    /// so result JSON written before this field existed still loads).
+    #[serde(default)]
+    pub stage_rollups: Vec<StageRollup>,
 }
 
 impl ScenarioResult {

@@ -116,6 +116,13 @@ impl SimTime {
         self.0 as f64 / PS_PER_NS as f64
     }
 
+    /// This instant expressed in fractional microseconds (the unit of
+    /// Chrome-tracing timestamps).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
     /// This instant expressed in fractional milliseconds.
     #[inline]
     pub fn as_ms_f64(self) -> f64 {
@@ -235,6 +242,13 @@ mod tests {
         let t = SimTime::from_ns_f64(77.8);
         assert_eq!(t.as_ps(), 77_800);
         assert!((t.as_ns_f64() - 77.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn as_us_matches_other_units() {
+        let t = SimTime::from_ms(10);
+        assert!((t.as_us_f64() - 10_000.0).abs() < 1e-9);
+        assert!((SimTime::from_ns(500).as_us_f64() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -127,9 +127,21 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// The all-zero snapshot (the state of a machine before any traffic).
+    pub fn zero() -> CounterSnapshot {
+        CounterSnapshot {
+            tiers: [DimmSnapshot::default(); NUM_TIERS],
+        }
+    }
+
     /// Totals for a tier.
     pub fn tier(&self, tier: TierId) -> DimmSnapshot {
         self.tiers[tier.index()]
+    }
+
+    /// Machine-wide total accesses (reads + writes across all tiers).
+    pub fn total(&self) -> u64 {
+        self.tiers.iter().map(|t| t.total()).sum()
     }
 
     /// Difference of two snapshots (`self - earlier`), for interval reads.
@@ -196,6 +208,15 @@ mod tests {
         let d = s2.delta_since(&s1);
         assert_eq!(d.tier(TierId::NVM_FAR).writes, 6);
         assert_eq!(s2.tier(TierId::NVM_FAR).writes, 10);
+    }
+
+    #[test]
+    fn zero_snapshot_and_machine_total() {
+        assert_eq!(CounterSnapshot::zero().total(), 0);
+        let c = counters();
+        c.record(TierId::LOCAL_DRAM, &AccessBatch::random_reads(3));
+        c.record(TierId::NVM_FAR, &AccessBatch::random_writes(2));
+        assert_eq!(c.snapshot().total(), 5);
     }
 
     #[test]

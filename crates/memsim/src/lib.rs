@@ -26,6 +26,9 @@
 //!   `sparklite` engine talks to: per-tier fair-share bandwidth resources,
 //!   access counters, energy meter, wear tracker, MBA controller.
 //! * [`counters`] — `ipmctl`-equivalent per-DIMM media read/write counters.
+//! * [`telemetry`] — virtual-time counter sampling (`ipmctl -watch`
+//!   equivalent): periodic snapshots of media counters, delivered bandwidth,
+//!   queue occupancy and dynamic energy, driven by the DES clock.
 //! * [`energy`] — static + dynamic (read/write-asymmetric) energy model.
 //! * [`wear`] — NVM endurance accounting.
 //! * [`mba`] — Intel-MBA-equivalent per-tier bandwidth throttling.
@@ -44,6 +47,7 @@ pub mod mba;
 pub mod policy;
 pub mod probe;
 pub mod system;
+pub mod telemetry;
 pub mod tier;
 pub mod topology;
 pub mod wear;
@@ -55,6 +59,7 @@ pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use mba::{MbaController, MBA_LEVELS};
 pub use policy::{CpuBindPolicy, MemBindPolicy};
 pub use system::{MemorySystem, RunTelemetry, UtilizationSample};
+pub use telemetry::CounterSample;
 pub use tier::{TierId, TierKind, TierParams, NUM_TIERS};
 pub use topology::{NodeId, Topology};
 pub use wear::WearTracker;

@@ -5,6 +5,7 @@ use crate::config::MemSimConfig;
 use crate::counters::{CounterSnapshot, TierCounters};
 use crate::energy::{EnergyBreakdown, EnergyMeter};
 use crate::mba::MbaController;
+use crate::telemetry::{CounterSample, CounterSampler};
 use crate::tier::{TierId, TierParams, NUM_TIERS};
 use crate::topology::Topology;
 use crate::wear::{WearReport, WearTracker};
@@ -41,6 +42,7 @@ pub struct MemorySystem {
     wear: WearTracker,
     mba: MbaController,
     sampler: Option<Sampler>,
+    counter_sampler: Option<CounterSampler>,
 }
 
 /// One utilization sample (see
@@ -76,6 +78,12 @@ pub struct RunTelemetry {
     pub busy: [SimTime; NUM_TIERS],
     /// Per-tier bytes served by the bandwidth resource.
     pub bytes_served: [f64; NUM_TIERS],
+    /// The sampled counter time series (empty unless
+    /// [`enable_counter_sampling`](MemorySystem::enable_counter_sampling)
+    /// was called). Its last sample always equals the cumulative totals:
+    /// the run teardown re-samples the final instant after every in-flight
+    /// batch has been charged.
+    pub counter_series: Vec<CounterSample>,
 }
 
 impl MemorySystem {
@@ -100,6 +108,7 @@ impl MemorySystem {
             wear,
             mba: MbaController::new(),
             sampler: None,
+            counter_sampler: None,
         }
     }
 
@@ -271,9 +280,64 @@ impl MemorySystem {
                 sampler.next += sampler.interval;
             }
         }
+        while self
+            .counter_sampler
+            .as_ref()
+            .is_some_and(|s| s.next_due() <= now)
+        {
+            let at = self.counter_sampler.as_ref().unwrap().next_due();
+            // Bring served-byte integrals exactly to the sample instant;
+            // rates are piecewise-constant between events, so this is exact.
+            for r in &mut self.resources {
+                r.advance(at);
+            }
+            let (counters, served, flows, energy) = self.telemetry_readings();
+            let sampler = self.counter_sampler.as_mut().unwrap();
+            sampler.push(at, counters, served, flows, energy);
+            sampler.arm_next();
+        }
         for r in &mut self.resources {
             r.advance(now);
         }
+    }
+
+    /// Raw instrument readings for one counter sample. Callers must have
+    /// advanced the resources to the sample instant first.
+    fn telemetry_readings(
+        &self,
+    ) -> (
+        CounterSnapshot,
+        [f64; NUM_TIERS],
+        [usize; NUM_TIERS],
+        [f64; NUM_TIERS],
+    ) {
+        (
+            self.counters.snapshot(),
+            TierId::all().map(|t| self.resources[t.index()].total_served()),
+            TierId::all().map(|t| self.resources[t.index()].active_flows()),
+            TierId::all().map(|t| self.energy.dynamic_joules(t)),
+        )
+    }
+
+    /// Start recording the full counter time series (media counters,
+    /// delivered bandwidth, queue occupancy, dynamic energy) every
+    /// `interval` of virtual time — the `ipmctl -watch` equivalent.
+    /// Idempotent; the first interval wins.
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub fn enable_counter_sampling(&mut self, interval: SimTime) {
+        if self.counter_sampler.is_none() {
+            self.counter_sampler = Some(CounterSampler::new(interval));
+        }
+    }
+
+    /// The recorded counter samples (empty if counter sampling is disabled).
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        self.counter_sampler
+            .as_ref()
+            .map(|s| s.samples())
+            .unwrap_or(&[])
     }
 
     /// Start recording per-tier channel utilization every `interval` of
@@ -333,12 +397,25 @@ impl MemorySystem {
     /// Close out a run at `elapsed`, producing the full telemetry record.
     pub fn finish_run(&mut self, elapsed: SimTime) -> RunTelemetry {
         self.advance(elapsed);
+        if self.counter_sampler.is_some() {
+            // Take (or re-take) a final sample at the end instant, *after*
+            // every in-flight batch has been charged, so the series' last
+            // point equals the cumulative totals (conservation).
+            let (counters, served, flows, energy) = self.telemetry_readings();
+            let sampler = self.counter_sampler.as_mut().unwrap();
+            sampler.push(elapsed, counters, served, flows, energy);
+        }
         RunTelemetry {
             counters: self.counters.snapshot(),
             energy: self.energy.finish(elapsed),
             wear: self.wear.report(elapsed),
             busy: TierId::all().map(|t| self.resources[t.index()].busy_time()),
             bytes_served: TierId::all().map(|t| self.resources[t.index()].total_served()),
+            counter_series: self
+                .counter_sampler
+                .as_ref()
+                .map(|s| s.samples().to_vec())
+                .unwrap_or_default(),
         }
     }
 }
@@ -476,6 +553,47 @@ mod tests {
             .any(|w| w.tier == TierId::NVM_NEAR && w.media_writes > 0));
         assert!(telemetry.busy[TierId::NVM_NEAR.index()] > SimTime::ZERO);
         assert!(telemetry.bytes_served[TierId::NVM_NEAR.index()] > 0.0);
+    }
+
+    #[test]
+    fn counter_sampling_conserves_totals() {
+        let mut s = sys();
+        s.enable_counter_sampling(SimTime::from_us(50));
+        let batch = AccessBatch::sequential(1 << 20, 1 << 19);
+        s.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let (t, _, _) = s.next_completion().unwrap();
+        s.advance(t);
+        s.finish_access(t, TierId::NVM_NEAR, 1, &batch);
+        let telemetry = s.finish_run(t);
+        let series = &telemetry.counter_series;
+        assert!(!series.is_empty());
+        // Conservation: the last sample equals the cumulative totals.
+        assert_eq!(series.last().unwrap().counters, telemetry.counters);
+        for (i, tier_served) in telemetry.bytes_served.iter().enumerate() {
+            let sampled = series.last().unwrap().bytes_served[i];
+            assert!((sampled - tier_served).abs() <= 1e-6 * tier_served.max(1.0));
+        }
+        // Monotonicity of the cumulative signals, and telescoping deltas.
+        for w in series.windows(2) {
+            assert!(w[0].at < w[1].at);
+            for tier in TierId::all() {
+                assert!(w[1].counters.tier(tier).total() >= w[0].counters.tier(tier).total());
+            }
+        }
+        let delta_total: u64 = series.iter().map(|s| s.delta.total()).sum();
+        assert_eq!(delta_total, telemetry.counters.total());
+    }
+
+    #[test]
+    fn counter_sampling_disabled_is_empty() {
+        let mut s = sys();
+        let batch = AccessBatch::sequential_read(4096);
+        s.begin_access(SimTime::ZERO, TierId::LOCAL_DRAM, 1, &batch);
+        let (t, _, _) = s.next_completion().unwrap();
+        s.advance(t);
+        s.finish_access(t, TierId::LOCAL_DRAM, 1, &batch);
+        assert!(s.counter_samples().is_empty());
+        assert!(s.finish_run(t).counter_series.is_empty());
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Virtual-time counter sampling — the `ipmctl -watch` / `pcm-memory`
+//! equivalent for the simulated machine.
+//!
+//! The paper's methodology is built on *time-resolved* hardware telemetry:
+//! NVDIMM media traffic watched with `ipmctl`, DRAM/DCPM bandwidth and
+//! energy with `pcm`-class tools, all correlated against execution time
+//! (Figs. 2, 5, 6). The cumulative totals in [`TierCounters`] only give the
+//! end-of-run integral of those signals; this module recovers their *shape*
+//! over a run.
+//!
+//! A [`CounterSampler`] is driven by the DES clock through
+//! [`MemorySystem::advance`](crate::system::MemorySystem::advance): every
+//! configurable interval of virtual time it snapshots the per-tier media
+//! counters, the channel bytes actually delivered, the resource-queue
+//! occupancy and the accumulated dynamic energy. Sampling at event
+//! boundaries is exact because every signal is piecewise-linear (or
+//! step-wise) between DES events, and the whole series is deterministic in
+//! (workload, configuration, seed).
+//!
+//! [`TierCounters`]: crate::counters::TierCounters
+
+use crate::counters::CounterSnapshot;
+use crate::tier::NUM_TIERS;
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One telemetry sample: everything the instrumentation can read at a
+/// single instant of virtual time.
+///
+/// `counters`, `bytes_served` and `dynamic_energy_j` are cumulative since
+/// the start of the run (so any series of samples is monotone in them);
+/// `delta` and `bandwidth_bytes_per_s` describe the interval since the
+/// previous sample — the quantity an `ipmctl -watch` poll would print.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Cumulative `ipmctl`-style media counters at `at`.
+    pub counters: CounterSnapshot,
+    /// Media counters accumulated since the previous sample.
+    pub delta: CounterSnapshot,
+    /// Cumulative channel bytes served per tier by the bandwidth resource.
+    pub bytes_served: [f64; NUM_TIERS],
+    /// Delivered channel bandwidth per tier over the interval since the
+    /// previous sample (bytes/s; zero for the first sample).
+    pub bandwidth_bytes_per_s: [f64; NUM_TIERS],
+    /// Per-tier concurrent flows at `at` (resource-queue occupancy).
+    pub active_flows: [usize; NUM_TIERS],
+    /// Cumulative dynamic (access-proportional) energy per tier, joules.
+    pub dynamic_energy_j: [f64; NUM_TIERS],
+}
+
+/// Periodic sampler state. Owned by
+/// [`MemorySystem`](crate::system::MemorySystem); not constructed directly.
+#[derive(Debug, Clone)]
+pub(crate) struct CounterSampler {
+    interval: SimTime,
+    next: SimTime,
+    samples: Vec<CounterSample>,
+}
+
+impl CounterSampler {
+    /// A sampler firing every `interval` of virtual time, starting at zero.
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub(crate) fn new(interval: SimTime) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        CounterSampler {
+            interval,
+            next: SimTime::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Next instant a periodic sample is due.
+    pub(crate) fn next_due(&self) -> SimTime {
+        self.next
+    }
+
+    /// Mark the currently due sample taken and arm the next one.
+    pub(crate) fn arm_next(&mut self) {
+        self.next += self.interval;
+    }
+
+    /// The samples recorded so far.
+    pub(crate) fn samples(&self) -> &[CounterSample] {
+        &self.samples
+    }
+
+    /// Append a sample from raw instrument readings, deriving the
+    /// interval-relative fields from the previous sample. A sample taken at
+    /// the same instant as the last one *replaces* it: the run teardown
+    /// re-samples the final instant after all in-flight traffic has been
+    /// charged, which keeps the series' last point equal to the cumulative
+    /// totals (the conservation property tests assert).
+    pub(crate) fn push(
+        &mut self,
+        at: SimTime,
+        counters: CounterSnapshot,
+        bytes_served: [f64; NUM_TIERS],
+        active_flows: [usize; NUM_TIERS],
+        dynamic_energy_j: [f64; NUM_TIERS],
+    ) {
+        if self.samples.last().is_some_and(|s| s.at == at) {
+            self.samples.pop();
+        }
+        let (prev_at, prev_counters, prev_served) = match self.samples.last() {
+            Some(p) => (p.at, p.counters, p.bytes_served),
+            None => (SimTime::ZERO, CounterSnapshot::zero(), [0.0; NUM_TIERS]),
+        };
+        let dt = at.saturating_sub(prev_at).as_secs_f64();
+        let mut bandwidth_bytes_per_s = [0.0; NUM_TIERS];
+        if dt > 0.0 {
+            for i in 0..NUM_TIERS {
+                bandwidth_bytes_per_s[i] = (bytes_served[i] - prev_served[i]).max(0.0) / dt;
+            }
+        }
+        self.samples.push(CounterSample {
+            at,
+            counters,
+            delta: counters.delta_since(&prev_counters),
+            bytes_served,
+            bandwidth_bytes_per_s,
+            active_flows,
+            dynamic_energy_j,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBatch;
+    use crate::counters::TierCounters;
+    use crate::tier::TierId;
+
+    fn snap_after(reads: u64) -> CounterSnapshot {
+        let c = TierCounters::new([1, 1, 1, 1]);
+        c.record(TierId::NVM_NEAR, &AccessBatch::random_reads(reads));
+        c.snapshot()
+    }
+
+    #[test]
+    fn deltas_and_bandwidth_are_interval_relative() {
+        let mut s = CounterSampler::new(SimTime::from_ms(1));
+        s.push(SimTime::ZERO, snap_after(0), [0.0; 4], [0; 4], [0.0; 4]);
+        s.push(
+            SimTime::from_ms(1),
+            snap_after(10),
+            [1000.0, 0.0, 0.0, 0.0],
+            [2; 4],
+            [0.0; 4],
+        );
+        s.push(
+            SimTime::from_ms(2),
+            snap_after(25),
+            [4000.0, 0.0, 0.0, 0.0],
+            [0; 4],
+            [0.0; 4],
+        );
+        let v = s.samples();
+        assert_eq!(v.len(), 3);
+        // First sample: no previous interval.
+        assert_eq!(v[0].bandwidth_bytes_per_s, [0.0; 4]);
+        // Deltas are per-interval, cumulative counters are monotone.
+        assert_eq!(v[1].delta.tier(TierId::NVM_NEAR).reads, 10);
+        assert_eq!(v[2].delta.tier(TierId::NVM_NEAR).reads, 15);
+        assert_eq!(v[2].counters.tier(TierId::NVM_NEAR).reads, 25);
+        // 3000 bytes over 1 ms = 3 MB/s.
+        assert!((v[2].bandwidth_bytes_per_s[0] - 3.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_instant_sample_replaces_last() {
+        let mut s = CounterSampler::new(SimTime::from_ms(1));
+        s.push(SimTime::ZERO, snap_after(0), [0.0; 4], [0; 4], [0.0; 4]);
+        s.push(
+            SimTime::from_ms(1),
+            snap_after(3),
+            [0.0; 4],
+            [1; 4],
+            [0.0; 4],
+        );
+        // Run teardown re-samples the same instant with the final totals.
+        s.push(
+            SimTime::from_ms(1),
+            snap_after(9),
+            [0.0; 4],
+            [0; 4],
+            [0.0; 4],
+        );
+        let v = s.samples();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].counters.tier(TierId::NVM_NEAR).reads, 9);
+        // The replacement's delta is computed against the *surviving*
+        // previous sample, so deltas still telescope to the cumulative.
+        assert_eq!(v[1].delta.tier(TierId::NVM_NEAR).reads, 9);
+    }
+
+    #[test]
+    fn schedule_advances_by_interval() {
+        let mut s = CounterSampler::new(SimTime::from_us(250));
+        assert_eq!(s.next_due(), SimTime::ZERO);
+        s.arm_next();
+        s.arm_next();
+        assert_eq!(s.next_due(), SimTime::from_us(500));
+    }
+
+    #[test]
+    fn sample_serde_round_trips() {
+        let mut s = CounterSampler::new(SimTime::from_ms(1));
+        s.push(
+            SimTime::from_ms(1),
+            snap_after(7),
+            [64.0, 0.0, 0.0, 0.0],
+            [1, 0, 3, 0],
+            [0.5, 0.0, 0.0, 0.0],
+        );
+        let sample = s.samples()[0];
+        let json = serde_json::to_string(&sample).unwrap();
+        let back: CounterSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(sample, back);
+    }
+}

@@ -3,7 +3,10 @@
 use crate::config::SparkConf;
 use crate::cost::OpCost;
 use crate::error::{Result, SparkError};
-use crate::metrics::{AppMetrics, SystemEvents};
+use crate::events::{
+    Event, EventBus, EventSink, MemoryRing, MemoryRingHandle, TimedEvent, DEFAULT_RING_CAPACITY,
+};
+use crate::metrics::{AppMetrics, StageRollup, SystemEvents};
 use crate::rdd::source::{GeneratorRdd, ParallelizeRdd, TextFileRdd};
 use crate::rdd::{Data, Rdd, RddId, RddVitals, TaskEnv};
 use crate::runtime::Runtime;
@@ -12,7 +15,7 @@ use crate::scheduler::{build_plan, JobRunner};
 use crate::storage::CacheStats;
 use memtier_des::SimTime;
 use memtier_dfs::DfsClient;
-use memtier_memsim::{CounterSnapshot, MemorySystem, RunTelemetry, TierId};
+use memtier_memsim::{CounterSample, CounterSnapshot, MemorySystem, RunTelemetry, TierId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -29,6 +32,8 @@ pub struct RunReport {
     pub events: SystemEvents,
     /// Block-cache statistics.
     pub cache: CacheStats,
+    /// Per-stage metric rollups, in completion order across all jobs.
+    pub stage_rollups: Vec<StageRollup>,
 }
 
 struct Inner {
@@ -40,6 +45,9 @@ struct Inner {
     app: Mutex<AppMetrics>,
     executors: Vec<ExecutorSpec>,
     trace: Mutex<Option<Vec<crate::trace::TaskSpan>>>,
+    events: Mutex<EventBus>,
+    rollups: Mutex<Vec<StageRollup>>,
+    event_log: Mutex<Option<MemoryRingHandle>>,
 }
 
 /// A handle to one application. Cloning shares the application (like
@@ -78,6 +86,9 @@ impl SparkContext {
                 app: Mutex::new(AppMetrics::default()),
                 executors,
                 trace: Mutex::new(None),
+                events: Mutex::new(EventBus::new()),
+                rollups: Mutex::new(Vec::new()),
+                event_log: Mutex::new(None),
             }),
         })
     }
@@ -177,6 +188,8 @@ impl SparkContext {
         let mut clock = inner.clock.lock();
         let mut app = inner.app.lock();
         let mut trace = inner.trace.lock();
+        let mut events = inner.events.lock();
+        let mut rollups = inner.rollups.lock();
         let job_seq = app.jobs;
         let runner = JobRunner::new(
             &inner.runtime,
@@ -188,8 +201,10 @@ impl SparkContext {
             *clock,
             job_seq,
             trace.as_mut(),
+            &mut events,
+            &mut rollups,
         );
-        let outcome = runner.run();
+        let outcome = runner.run()?;
         *clock = outcome.finished_at;
         app.jobs += 1;
         app.stages += outcome.stages_run;
@@ -227,6 +242,58 @@ impl SparkContext {
         self.inner.mem.lock().utilization_samples().to_vec()
     }
 
+    /// Start sampling the full counter time series (media counters,
+    /// delivered bandwidth, queue occupancy, dynamic energy) every
+    /// `interval` of virtual time (see
+    /// [`MemorySystem::enable_counter_sampling`]).
+    pub fn enable_counter_sampling(&self, interval: SimTime) {
+        self.inner.mem.lock().enable_counter_sampling(interval);
+    }
+
+    /// The recorded counter samples so far.
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.inner.mem.lock().counter_samples().to_vec()
+    }
+
+    /// Attach a lifecycle-event sink. All jobs run after this call emit
+    /// typed events (job/stage/task edges, cache and shuffle activity, MBA
+    /// changes) to it. With no sink attached, emission is disabled and
+    /// costs nothing measurable.
+    pub fn add_event_sink(&self, sink: Box<dyn EventSink>) {
+        self.inner.events.lock().attach(sink);
+    }
+
+    /// Attach (once) a bounded in-memory event log and return a read
+    /// handle to it. Idempotent: repeated calls return handles onto the
+    /// same ring.
+    pub fn enable_event_log(&self) -> MemoryRingHandle {
+        let mut log = self.inner.event_log.lock();
+        if let Some(handle) = log.as_ref() {
+            return handle.clone();
+        }
+        let ring = MemoryRing::new(DEFAULT_RING_CAPACITY);
+        let handle = ring.handle();
+        self.inner.events.lock().attach(Box::new(ring));
+        *log = Some(handle.clone());
+        handle
+    }
+
+    /// The events retained by the in-memory log (empty if
+    /// [`enable_event_log`](Self::enable_event_log) was never called).
+    pub fn logged_events(&self) -> Vec<TimedEvent> {
+        self.inner
+            .event_log
+            .lock()
+            .as_ref()
+            .map(|h| h.events())
+            .unwrap_or_default()
+    }
+
+    /// Per-stage metric rollups for every stage completed so far.
+    pub fn stage_rollups(&self) -> Vec<StageRollup> {
+        self.inner.rollups.lock().clone()
+    }
+
     /// Start recording per-task spans for Chrome-tracing export. Only jobs
     /// run after this call are captured.
     pub fn enable_tracing(&self) {
@@ -243,12 +310,19 @@ impl SparkContext {
 
     /// The recorded timeline as Chrome-tracing JSON (`chrome://tracing`,
     /// Perfetto). `None` if tracing was never enabled.
+    ///
+    /// Task spans are enriched with whatever other telemetry is on: counter
+    /// samples become per-tier counter tracks, and logged job/stage events
+    /// become driver-lane spans with flow arrows. Call after
+    /// [`finish`](Self::finish) to include the final conservation sample.
     pub fn chrome_trace(&self) -> Option<String> {
+        let samples = self.inner.mem.lock().counter_samples().to_vec();
+        let events = self.logged_events();
         self.inner
             .trace
             .lock()
             .as_ref()
-            .map(|spans| crate::trace::chrome_trace_json(spans))
+            .map(|spans| crate::trace::chrome_trace_json_full(spans, &samples, &events))
     }
 
     /// Engine-level metrics so far.
@@ -266,6 +340,10 @@ impl SparkContext {
         let mut mem = self.inner.mem.lock();
         let now = *self.inner.clock.lock();
         mem.set_mba_level(now, tier, percent);
+        let mut events = self.inner.events.lock();
+        if events.is_active() {
+            events.emit(now, Event::MbaThrottle { tier, percent });
+        }
     }
 
     /// Apply an MBA throttle level to every tier.
@@ -273,6 +351,12 @@ impl SparkContext {
         let mut mem = self.inner.mem.lock();
         let now = *self.inner.clock.lock();
         mem.set_mba_all(now, percent);
+        let mut events = self.inner.events.lock();
+        if events.is_active() {
+            for tier in TierId::all() {
+                events.emit(now, Event::MbaThrottle { tier, percent });
+            }
+        }
     }
 
     /// Close out the application: returns the full run report (virtual
@@ -282,6 +366,7 @@ impl SparkContext {
         let mut mem = self.inner.mem.lock();
         let elapsed = *self.inner.clock.lock();
         let telemetry = mem.finish_run(elapsed);
+        self.inner.events.lock().flush();
         let metrics = *self.inner.app.lock();
         let snap = telemetry.counters;
         let (reads, writes) = TierId::all().iter().fold((0, 0), |(r, w), &t| {
@@ -294,6 +379,7 @@ impl SparkContext {
             metrics,
             events,
             cache: self.inner.runtime.cache.stats(),
+            stage_rollups: self.inner.rollups.lock().clone(),
         }
     }
 }

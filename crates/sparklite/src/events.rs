@@ -1,0 +1,508 @@
+//! Structured lifecycle event log — the Spark listener-bus equivalent.
+//!
+//! Spark exposes job/stage/task lifecycle through its `SparkListener` bus and
+//! persists it as the JSON event log the History Server replays. The paper's
+//! per-stage analysis (Fig. 2's time-resolved traffic, the stage-level
+//! slowdowns of Table III) needs the same observable here: *when* did each
+//! stage run, what did each task do, when did the cache evict, when did an
+//! MBA throttle change.
+//!
+//! [`SparkContext`](crate::context::SparkContext) owns an [`EventBus`];
+//! the scheduler emits a [`Event`] at each lifecycle edge, stamped with the
+//! current virtual time. Sinks are pluggable:
+//!
+//! * [`MemoryRing`] — bounded in-memory ring, queryable after the run;
+//! * [`JsonlSink`] — one JSON object per line, the persistent event log;
+//! * [`ProgressSink`] — live ASCII job/stage progress for long campaigns.
+//!
+//! With no sinks attached the bus is inert: emission sites check
+//! [`EventBus::is_active`] (one `Vec::is_empty` test) before building an
+//! event, so disabled telemetry costs nothing measurable.
+
+use crate::metrics::TaskMetrics;
+use memtier_des::SimTime;
+use memtier_memsim::TierId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Default capacity of the in-memory event ring (events, not bytes).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// One lifecycle event. Serialized with an adjacent `type` tag so a JSONL
+/// log is self-describing (`{"type":"task_started",...}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    /// A job (one action) entered the scheduler.
+    JobSubmitted {
+        /// Job sequence number within the context.
+        job: u64,
+        /// Stages in the job's plan.
+        stages: u64,
+    },
+    /// A job's result stage completed.
+    JobCompleted {
+        /// Job sequence number within the context.
+        job: u64,
+        /// Stages actually executed.
+        stages_run: u64,
+        /// Tasks actually executed.
+        tasks_run: u64,
+    },
+    /// A stage's dependencies were met and its tasks became runnable.
+    StageSubmitted {
+        /// Owning job.
+        job: u64,
+        /// Stage id within the job's plan.
+        stage: u32,
+        /// Tasks in the stage.
+        tasks: u64,
+    },
+    /// A stage's last task finished.
+    StageCompleted {
+        /// Owning job.
+        job: u64,
+        /// Stage id within the job's plan.
+        stage: u32,
+        /// Tasks the stage ran.
+        tasks: u64,
+    },
+    /// A task was dispatched to an executor slot.
+    TaskStarted {
+        /// Context-unique task id.
+        task_id: u64,
+        /// Owning job.
+        job: u64,
+        /// Owning stage.
+        stage: u32,
+        /// Partition the task computes.
+        partition: usize,
+        /// Executor the task landed on.
+        executor: usize,
+        /// Core slot within the executor.
+        slot: usize,
+    },
+    /// A task drained its memory traffic and completed.
+    TaskFinished {
+        /// Context-unique task id.
+        task_id: u64,
+        /// Owning job.
+        job: u64,
+        /// Owning stage.
+        stage: u32,
+        /// Partition the task computed.
+        partition: usize,
+        /// Everything the task did on the data plane.
+        metrics: TaskMetrics,
+    },
+    /// A task looked up cached partitions.
+    CacheAccess {
+        /// The task that performed the lookups.
+        task_id: u64,
+        /// Lookups served from the block manager.
+        hits: u64,
+        /// Lookups that fell through to recomputation.
+        misses: u64,
+    },
+    /// The block manager evicted (and possibly spilled) blocks while a task
+    /// was materializing output.
+    CacheEviction {
+        /// Blocks evicted since the last report.
+        evictions: u64,
+        /// Blocks spilled to disk since the last report.
+        spills: u64,
+    },
+    /// A task wrote shuffle output.
+    ShuffleWrite {
+        /// The writing task.
+        task_id: u64,
+        /// Shuffle bytes written.
+        bytes: u64,
+    },
+    /// A task fetched shuffle input.
+    ShuffleFetch {
+        /// The fetching task.
+        task_id: u64,
+        /// Shuffle bytes fetched.
+        bytes: u64,
+        /// Map-output buckets fetched.
+        buckets: u64,
+    },
+    /// The MBA throttle level of a tier changed.
+    MbaThrottle {
+        /// Throttled tier.
+        tier: TierId,
+        /// New MBA level, percent.
+        percent: u8,
+    },
+}
+
+/// An [`Event`] stamped with the virtual time it occurred at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Virtual instant of the event.
+    pub at: SimTime,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A consumer of lifecycle events.
+pub trait EventSink: Send {
+    /// Observe one event at virtual time `at`.
+    fn on_event(&mut self, at: SimTime, event: &Event);
+    /// Flush any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// The event bus: fans each emitted event out to every attached sink.
+#[derive(Default)]
+pub struct EventBus {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl EventBus {
+    /// An empty (inert) bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Attach a sink. All future events go to it as well.
+    pub fn attach(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// True if any sink is attached. Emission sites gate on this so an
+    /// inactive bus costs one branch, not an event construction.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Deliver an event to every sink.
+    pub fn emit(&mut self, at: SimTime, event: Event) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        for sink in &mut self.sinks {
+            sink.on_event(at, &event);
+        }
+    }
+
+    /// Flush every sink.
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+struct RingInner {
+    capacity: usize,
+    events: VecDeque<TimedEvent>,
+    dropped: u64,
+}
+
+/// Bounded in-memory event store. Attach the [`MemoryRing`] to the bus and
+/// keep the cheap [`MemoryRingHandle`] to read the log back afterwards.
+/// When full, the *oldest* events are dropped (and counted).
+pub struct MemoryRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+/// Shared read handle onto a [`MemoryRing`].
+#[derive(Clone)]
+pub struct MemoryRingHandle {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl MemoryRing {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> MemoryRing {
+        assert!(capacity > 0, "ring capacity must be positive");
+        MemoryRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                capacity,
+                events: VecDeque::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A read handle sharing this ring's storage.
+    pub fn handle(&self) -> MemoryRingHandle {
+        MemoryRingHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl EventSink for MemoryRing {
+    fn on_event(&mut self, at: SimTime, event: &Event) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TimedEvent {
+            at,
+            event: event.clone(),
+        });
+    }
+}
+
+impl MemoryRingHandle {
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+/// Borrowing mirror of [`TimedEvent`] so the JSONL writer serializes without
+/// cloning each event.
+#[derive(Serialize)]
+struct LineRef<'a> {
+    at: SimTime,
+    event: &'a Event,
+}
+
+/// Sink writing one JSON object per event per line — the persistent event
+/// log, replayable with [`parse_jsonl`].
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A JSONL sink writing to `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { writer }
+    }
+
+    /// Recover the underlying writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, at: SimTime, event: &Event) {
+        let line = LineRef { at, event };
+        // Serialization of these types cannot fail; IO errors on a log sink
+        // must not kill the simulation.
+        if serde_json::to_writer(&mut self.writer, &line).is_ok() {
+            let _ = self.writer.write_all(b"\n");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Serialize events to JSONL text (one object per line).
+pub fn to_jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serialization cannot fail"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse JSONL text (as produced by [`to_jsonl`] or a [`JsonlSink`]) back
+/// into events. Blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> serde_json::Result<Vec<TimedEvent>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Live ASCII progress reporter: one line per job/stage edge, virtual
+/// timestamps included. Attach `ProgressSink::stderr()` to watch a long
+/// campaign without drowning in per-task noise.
+pub struct ProgressSink<W: Write + Send> {
+    writer: W,
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// A progress reporter on standard error.
+    pub fn stderr() -> ProgressSink<std::io::Stderr> {
+        ProgressSink {
+            writer: std::io::stderr(),
+        }
+    }
+}
+
+impl<W: Write + Send> ProgressSink<W> {
+    /// A progress reporter writing to `writer`.
+    pub fn new(writer: W) -> ProgressSink<W> {
+        ProgressSink { writer }
+    }
+
+    /// Recover the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> EventSink for ProgressSink<W> {
+    fn on_event(&mut self, at: SimTime, event: &Event) {
+        let line = match event {
+            Event::JobSubmitted { job, stages } => {
+                format!("[{at}] job {job} submitted ({stages} stages)")
+            }
+            Event::JobCompleted {
+                job,
+                stages_run,
+                tasks_run,
+            } => {
+                format!("[{at}] job {job} done ({stages_run} stages, {tasks_run} tasks)")
+            }
+            Event::StageSubmitted { job, stage, tasks } => {
+                format!("[{at}]   job {job} stage {stage} -> running ({tasks} tasks)")
+            }
+            Event::StageCompleted { job, stage, tasks } => {
+                format!("[{at}]   job {job} stage {stage} done ({tasks} tasks)")
+            }
+            Event::MbaThrottle { tier, percent } => {
+                format!("[{at}] MBA tier{} -> {percent}%", tier.index())
+            }
+            _ => return,
+        };
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(task_id: u64) -> Event {
+        Event::TaskStarted {
+            task_id,
+            job: 0,
+            stage: 1,
+            partition: task_id as usize,
+            executor: 0,
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn inactive_bus_is_inert() {
+        let mut bus = EventBus::new();
+        assert!(!bus.is_active());
+        bus.emit(SimTime::ZERO, ev(0)); // no sinks: no-op
+        bus.flush();
+    }
+
+    #[test]
+    fn ring_retains_in_order_and_drops_oldest() {
+        let ring = MemoryRing::new(3);
+        let handle = ring.handle();
+        let mut bus = EventBus::new();
+        bus.attach(Box::new(ring));
+        assert!(bus.is_active());
+        for i in 0..5 {
+            bus.emit(SimTime::from_us(i), ev(i));
+        }
+        assert_eq!(handle.len(), 3);
+        assert_eq!(handle.dropped(), 2);
+        let events = handle.events();
+        assert_eq!(events[0].at, SimTime::from_us(2));
+        assert_eq!(events[2].at, SimTime::from_us(4));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = vec![
+            TimedEvent {
+                at: SimTime::from_us(5),
+                event: Event::JobSubmitted { job: 0, stages: 2 },
+            },
+            TimedEvent {
+                at: SimTime::from_us(9),
+                event: Event::MbaThrottle {
+                    tier: TierId::NVM_NEAR,
+                    percent: 30,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(1),
+                event: Event::TaskFinished {
+                    task_id: 7,
+                    job: 0,
+                    stage: 1,
+                    partition: 3,
+                    metrics: TaskMetrics {
+                        records_in: 100,
+                        ..Default::default()
+                    },
+                },
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().next().unwrap().contains("\"job_submitted\""));
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn jsonl_sink_matches_to_jsonl() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let e = TimedEvent {
+            at: SimTime::from_us(1),
+            event: ev(42),
+        };
+        sink.on_event(e.at, &e.event);
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text, to_jsonl(std::slice::from_ref(&e)));
+        assert_eq!(parse_jsonl(&text).unwrap(), vec![e]);
+    }
+
+    #[test]
+    fn progress_sink_reports_stage_edges_only() {
+        let mut sink = ProgressSink::new(Vec::new());
+        sink.on_event(SimTime::ZERO, &Event::JobSubmitted { job: 1, stages: 2 });
+        sink.on_event(SimTime::from_us(3), &ev(0)); // task noise: suppressed
+        sink.on_event(
+            SimTime::from_ms(2),
+            &Event::StageCompleted {
+                job: 1,
+                stage: 0,
+                tasks: 8,
+            },
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("job 1 submitted (2 stages)"));
+        assert!(text.contains("stage 0 done (8 tasks)"));
+    }
+}

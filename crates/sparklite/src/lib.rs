@@ -33,6 +33,14 @@
 //!
 //! Wall-clock time never enters a measurement; a run is a pure function of
 //! (workload, configuration, seed).
+//!
+//! ## Observability
+//!
+//! The engine carries a Spark-listener-equivalent [`events`] bus: typed
+//! job/stage/task lifecycle events with pluggable sinks (in-memory ring,
+//! JSONL log, live progress), per-stage metric rollups, and a Chrome-trace
+//! export ([`trace`]) that interleaves task spans with memory counter
+//! tracks. All of it reads virtual time and is off (and free) by default.
 
 #![warn(missing_docs)]
 // Closure-heavy engine code trips this lint pervasively; the aliases the
@@ -45,6 +53,7 @@ pub mod config;
 pub mod context;
 pub mod cost;
 pub mod error;
+pub mod events;
 pub mod memsize;
 pub mod metrics;
 pub mod rdd;
@@ -60,9 +69,13 @@ pub use config::{ExecutorPlacement, SparkConf};
 pub use context::SparkContext;
 pub use cost::{CostModel, OpCost};
 pub use error::SparkError;
+pub use events::{
+    parse_jsonl, to_jsonl, Event, EventBus, EventSink, JsonlSink, MemoryRing, MemoryRingHandle,
+    ProgressSink, TimedEvent,
+};
 pub use memsize::MemSize;
-pub use metrics::{AppMetrics, SystemEvents};
+pub use metrics::{AppMetrics, StageRollup, SystemEvents};
 pub use rdd::{Data, Key, Rdd};
 pub use shuffle::{HashPartitioner, RangePartitioner};
 pub use storage::StorageLevel;
-pub use trace::{chrome_trace_json, TaskSpan};
+pub use trace::{chrome_trace_json, chrome_trace_json_full, TaskSpan};

@@ -1,6 +1,7 @@
 //! Task- and application-level metrics, and the system-level event vector
 //! the paper's Fig. 5 correlates with execution time.
 
+use memtier_des::SimTime;
 use memtier_memsim::AccessBatch;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,34 @@ impl AppMetrics {
     pub fn record_task(&mut self, m: &TaskMetrics) {
         self.tasks += 1;
         self.totals.merge(m);
+    }
+}
+
+/// Per-stage metric rollup: everything one stage's tasks did, plus the
+/// stage's virtual submit/complete window. The scheduler produces one per
+/// executed stage (always — the cost is one [`TaskMetrics::merge`] per
+/// task), giving the per-stage traffic decomposition the paper's Fig. 2
+/// reads off `ipmctl` between stage boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageRollup {
+    /// Owning job (context-wide sequence number).
+    pub job: u64,
+    /// Stage id within the job's plan.
+    pub stage: u32,
+    /// Tasks the stage ran.
+    pub tasks: u64,
+    /// Virtual instant the stage became runnable.
+    pub submitted: SimTime,
+    /// Virtual instant the stage's last task finished.
+    pub completed: SimTime,
+    /// Sum of the stage's task metrics.
+    pub metrics: TaskMetrics,
+}
+
+impl StageRollup {
+    /// The stage's wall span of virtual time.
+    pub fn duration(&self) -> SimTime {
+        self.completed.saturating_sub(self.submitted)
     }
 }
 
@@ -155,6 +184,19 @@ mod tests {
         });
         assert_eq!(app.tasks, 2);
         assert_eq!(app.totals.records_in, 7);
+    }
+
+    #[test]
+    fn stage_rollup_duration() {
+        let r = StageRollup {
+            job: 0,
+            stage: 2,
+            tasks: 8,
+            submitted: SimTime::from_ms(3),
+            completed: SimTime::from_ms(10),
+            metrics: TaskMetrics::default(),
+        };
+        assert_eq!(r.duration(), SimTime::from_ms(7));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! Everything is deterministic: ties in the event queue resolve FIFO, the
 //! executor choice rotates round-robin, and no wall-clock value is read.
 
-use crate::metrics::{AppMetrics, TaskMetrics};
+use crate::error::{Result, SparkError};
+use crate::events::{Event, EventBus};
+use crate::metrics::{AppMetrics, StageRollup, TaskMetrics};
 use crate::rdd::TaskEnv;
 use crate::runtime::Runtime;
 use crate::scheduler::dag::{StageId, StageKind, StagePlan};
@@ -47,6 +49,12 @@ struct StageState {
     unmet: usize,
     children: Vec<StageId>,
     done: bool,
+    /// Virtual instant the stage became runnable.
+    submitted: SimTime,
+    /// Tasks the stage will run (rollup bookkeeping).
+    tasks_total: u64,
+    /// Running sum of the stage's task metrics.
+    agg: TaskMetrics,
 }
 
 struct RunningTask<U> {
@@ -89,6 +97,8 @@ pub struct JobRunner<'a, U> {
     stages_run: u64,
     job_seq: u64,
     trace: Option<&'a mut Vec<TaskSpan>>,
+    events: &'a mut EventBus,
+    rollups: &'a mut Vec<StageRollup>,
 }
 
 impl<'a, U> JobRunner<'a, U> {
@@ -104,6 +114,8 @@ impl<'a, U> JobRunner<'a, U> {
         start: SimTime,
         job_seq: u64,
         trace: Option<&'a mut Vec<TaskSpan>>,
+        events: &'a mut EventBus,
+        rollups: &'a mut Vec<StageRollup>,
     ) -> Self {
         let n = plan.stages.len();
         let result_tasks = plan.stages[n - 1].num_tasks;
@@ -132,7 +144,18 @@ impl<'a, U> JobRunner<'a, U> {
             stages_run: 0,
             job_seq,
             trace,
+            events,
+            rollups,
         };
+        if runner.events.is_active() {
+            runner.events.emit(
+                runner.now,
+                Event::JobSubmitted {
+                    job: runner.job_seq,
+                    stages: runner.plan.stages.len() as u64,
+                },
+            );
+        }
         runner.init_stages();
         runner
     }
@@ -161,6 +184,9 @@ impl<'a, U> JobRunner<'a, U> {
                 unmet: 0,
                 children: Vec::new(),
                 done: self.plan.stages[i].skippable || !needed[i],
+                submitted: SimTime::ZERO,
+                tasks_total: self.plan.stages[i].num_tasks as u64,
+                agg: TaskMetrics::default(),
             })
             .collect();
         for i in 0..n {
@@ -186,8 +212,20 @@ impl<'a, U> JobRunner<'a, U> {
     fn activate_stage(&mut self, id: StageId) {
         let stage = &self.plan.stages[id.0 as usize];
         self.stages_run += 1;
-        for part in 0..stage.num_tasks {
+        let num_tasks = stage.num_tasks;
+        for part in 0..num_tasks {
             self.ready.push_back((id, part));
+        }
+        self.stage_state[id.0 as usize].submitted = self.now;
+        if self.events.is_active() {
+            self.events.emit(
+                self.now,
+                Event::StageSubmitted {
+                    job: self.job_seq,
+                    stage: id.0,
+                    tasks: num_tasks as u64,
+                },
+            );
         }
     }
 
@@ -243,6 +281,11 @@ impl<'a, U> JobRunner<'a, U> {
             let (stage_id, part) = self.ready.pop_front().expect("checked non-empty");
 
             // Data plane: really compute the partition.
+            let cache_before = self
+                .events
+                .is_active()
+                .then(|| self.rt.cache.stats())
+                .unwrap_or_default();
             let mut env = TaskEnv::new(self.rt);
             let mut result = None;
             match &self.plan.stages[stage_id.0 as usize].kind {
@@ -328,6 +371,26 @@ impl<'a, U> JobRunner<'a, U> {
                     result,
                 },
             );
+            if self.events.is_active() {
+                self.events.emit(
+                    self.now,
+                    Event::TaskStarted {
+                        task_id,
+                        job: self.job_seq,
+                        stage: stage_id.0,
+                        partition: part,
+                        executor: exec_idx,
+                        slot: co_running,
+                    },
+                );
+                let cache_after = self.rt.cache.stats();
+                let evictions = cache_after.evictions - cache_before.evictions;
+                let spills = cache_after.spills - cache_before.spills;
+                if evictions > 0 || spills > 0 {
+                    self.events
+                        .emit(self.now, Event::CacheEviction { evictions, spills });
+                }
+            }
             if outstanding == 0 {
                 self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
             }
@@ -350,13 +413,75 @@ impl<'a, U> JobRunner<'a, U> {
                 end: self.now,
             });
         }
+        if self.events.is_active() {
+            let m = &task.metrics;
+            if m.shuffle_write_bytes > 0 {
+                self.events.emit(
+                    self.now,
+                    Event::ShuffleWrite {
+                        task_id,
+                        bytes: m.shuffle_write_bytes,
+                    },
+                );
+            }
+            if m.shuffle_read_bytes > 0 {
+                self.events.emit(
+                    self.now,
+                    Event::ShuffleFetch {
+                        task_id,
+                        bytes: m.shuffle_read_bytes,
+                        buckets: m.shuffle_buckets_read,
+                    },
+                );
+            }
+            if m.cache_hits + m.cache_misses > 0 {
+                self.events.emit(
+                    self.now,
+                    Event::CacheAccess {
+                        task_id,
+                        hits: m.cache_hits,
+                        misses: m.cache_misses,
+                    },
+                );
+            }
+            self.events.emit(
+                self.now,
+                Event::TaskFinished {
+                    task_id,
+                    job: self.job_seq,
+                    stage: task.stage.0,
+                    partition: task.partition,
+                    metrics: task.metrics,
+                },
+            );
+        }
         if let Some((part, out)) = task.result {
             self.results[part] = Some((part, out));
         }
         let si = task.stage.0 as usize;
+        self.stage_state[si].agg.merge(&task.metrics);
         self.stage_state[si].remaining -= 1;
         if self.stage_state[si].remaining == 0 {
             self.stage_state[si].done = true;
+            let state = &self.stage_state[si];
+            self.rollups.push(StageRollup {
+                job: self.job_seq,
+                stage: task.stage.0,
+                tasks: state.tasks_total,
+                submitted: state.submitted,
+                completed: self.now,
+                metrics: state.agg,
+            });
+            if self.events.is_active() {
+                self.events.emit(
+                    self.now,
+                    Event::StageCompleted {
+                        job: self.job_seq,
+                        stage: task.stage.0,
+                        tasks: self.stage_state[si].tasks_total,
+                    },
+                );
+            }
             let children = self.stage_state[si].children.clone();
             for child in children {
                 let ci = child.0 as usize;
@@ -369,7 +494,11 @@ impl<'a, U> JobRunner<'a, U> {
     }
 
     /// Run the job to completion; returns results in partition order.
-    pub fn run(mut self) -> JobOutcome<U> {
+    ///
+    /// Fails with [`SparkError::Internal`] if the scheduler invariant breaks
+    /// and a result partition never completes — a scheduler bug must surface
+    /// as an error on the action, not a panic inside the engine.
+    pub fn run(mut self) -> Result<JobOutcome<U>> {
         loop {
             self.dispatch();
             let queue_next = self.queue.peek_time();
@@ -385,16 +514,33 @@ impl<'a, U> JobRunner<'a, U> {
             self.stage_state.iter().all(|s| s.done),
             "job ended with unfinished stages"
         );
-        let results = self
-            .results
-            .into_iter()
-            .map(|r| r.expect("missing result partition").1)
-            .collect();
-        JobOutcome {
+        let mut results = Vec::with_capacity(self.results.len());
+        for (part, r) in self.results.into_iter().enumerate() {
+            match r {
+                Some((_, out)) => results.push(out),
+                None => {
+                    return Err(SparkError::Internal(format!(
+                        "job {}: result partition {part} never completed",
+                        self.job_seq
+                    )))
+                }
+            }
+        }
+        if self.events.is_active() {
+            self.events.emit(
+                self.now,
+                Event::JobCompleted {
+                    job: self.job_seq,
+                    stages_run: self.stages_run,
+                    tasks_run: self.next_task,
+                },
+            );
+        }
+        Ok(JobOutcome {
             results,
             finished_at: self.now,
             stages_run: self.stages_run,
-        }
+        })
     }
 
     fn handle_cpu_event(&mut self) {
@@ -459,7 +605,7 @@ mod tests {
         let near = parts
             .iter()
             .find(|&&(t, _)| t == TierId::NVM_NEAR)
-            .unwrap()
+            .expect("NVM_NEAR share missing from split")
             .1;
         let frac = near.total_bytes() as f64 / b.total_bytes() as f64;
         assert!((frac - 0.3).abs() < 0.01, "share off: {frac}");

@@ -6,9 +6,26 @@
 //! tracing / Perfetto format (`chrome://tracing`, ui.perfetto.dev), giving
 //! the same at-a-glance view of stage waves, stragglers and executor
 //! utilization that the Spark UI's timeline provides.
+//!
+//! [`chrome_trace_json_full`] additionally interleaves the other telemetry
+//! streams into the same timeline: counter samples become per-tier counter
+//! tracks (`"ph":"C"` — media traffic, delivered bandwidth, queue
+//! occupancy), and logged lifecycle events become a driver lane of job and
+//! stage spans connected to their instants by flow arrows — so Perfetto
+//! shows the paper's Fig. 2 correlation (stage boundaries against NVM media
+//! traffic) in one view.
 
+use crate::events::{Event, TimedEvent};
 use memtier_des::SimTime;
+use memtier_memsim::{CounterSample, TierId};
 use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// Synthetic `pid` for the driver lane (job/stage spans). Large enough to
+/// never collide with an executor index.
+const DRIVER_PID: u64 = 1_000_000;
+/// Synthetic `pid` for counter tracks.
+const COUNTER_PID: u64 = 1_000_001;
 
 /// One executed task's span in virtual time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,9 +60,49 @@ impl TaskSpan {
 /// `pid` = executor, `tid` = slot, timestamps in microseconds of virtual
 /// time. Loadable in `chrome://tracing` or Perfetto as-is.
 pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
-    let mut events = Vec::with_capacity(spans.len());
+    chrome_trace_json_full(spans, &[], &[])
+}
+
+/// Render the full telemetry picture as one Chrome-tracing JSON document:
+/// task spans plus per-tier counter tracks (from `samples`) plus a driver
+/// lane of job/stage spans with flow arrows (from `events`).
+///
+/// Counter tracks are only emitted for tiers that saw traffic (judged from
+/// the last sample's cumulative counters), so an all-DRAM run doesn't drag
+/// three flat-zero tracks into the view. Pass empty slices to degrade
+/// gracefully — `chrome_trace_json` is exactly that.
+pub fn chrome_trace_json_full(
+    spans: &[TaskSpan],
+    samples: &[CounterSample],
+    events: &[TimedEvent],
+) -> String {
+    let mut out = Vec::with_capacity(spans.len() + 4 * samples.len() + events.len());
+
+    // Process-name metadata so Perfetto labels the lanes.
+    let mut execs: Vec<usize> = spans.iter().map(|s| s.executor).collect();
+    execs.sort_unstable();
+    execs.dedup();
+    for e in execs {
+        out.push(json!({
+            "name": "process_name", "ph": "M", "pid": e, "tid": 0,
+            "args": { "name": format!("executor {e}") }
+        }));
+    }
+    if !events.is_empty() {
+        out.push(json!({
+            "name": "process_name", "ph": "M", "pid": DRIVER_PID, "tid": 0,
+            "args": { "name": "driver" }
+        }));
+    }
+    if !samples.is_empty() {
+        out.push(json!({
+            "name": "process_name", "ph": "M", "pid": COUNTER_PID, "tid": 0,
+            "args": { "name": "memory telemetry" }
+        }));
+    }
+
     for s in spans {
-        events.push(serde_json::json!({
+        out.push(json!({
             "name": format!("job{} stage{} p{}", s.job, s.stage, s.partition),
             "cat": "task",
             "ph": "X",
@@ -56,8 +113,133 @@ pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
             "args": { "task_id": s.task_id }
         }));
     }
-    serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
-        .expect("trace serialization")
+
+    push_lifecycle_events(&mut out, events);
+    push_counter_tracks(&mut out, samples);
+
+    serde_json::to_string_pretty(&json!({ "traceEvents": out })).expect("trace serialization")
+}
+
+/// Driver-lane job (tid 0) and stage (tid 1) spans, with `s`/`f` flow
+/// arrows linking each stage's submit and complete instants, plus instant
+/// markers for MBA throttle changes.
+fn push_lifecycle_events(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]) {
+    // Pair submit/complete edges by (job, stage). Stages never run twice,
+    // jobs are sequential, so a plain scan for the matching completion
+    // after each submission is correct.
+    for (i, e) in events.iter().enumerate() {
+        match &e.event {
+            Event::JobSubmitted { job, stages } => {
+                let end = events[i..].iter().find_map(|later| match &later.event {
+                    Event::JobCompleted { job: j, .. } if j == job => Some(later.at),
+                    _ => None,
+                });
+                let end = end.unwrap_or(e.at);
+                out.push(json!({
+                    "name": format!("job {job}"),
+                    "cat": "job",
+                    "ph": "X",
+                    "ts": e.at.as_us_f64(),
+                    "dur": end.saturating_sub(e.at).as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0,
+                    "args": { "stages": stages }
+                }));
+            }
+            Event::StageSubmitted { job, stage, tasks } => {
+                let end = events[i..].iter().find_map(|later| match &later.event {
+                    Event::StageCompleted {
+                        job: j, stage: s, ..
+                    } if j == job && s == stage => Some(later.at),
+                    _ => None,
+                });
+                let end = end.unwrap_or(e.at);
+                let flow_id = (*job << 32) | u64::from(*stage);
+                out.push(json!({
+                    "name": format!("job {job} stage {stage}"),
+                    "cat": "stage",
+                    "ph": "X",
+                    "ts": e.at.as_us_f64(),
+                    "dur": end.saturating_sub(e.at).as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 1,
+                    "args": { "tasks": tasks }
+                }));
+                out.push(json!({
+                    "name": format!("stage {stage} flow"),
+                    "cat": "stage-flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 1
+                }));
+                out.push(json!({
+                    "name": format!("stage {stage} flow"),
+                    "cat": "stage-flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": end.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 1
+                }));
+            }
+            Event::MbaThrottle { tier, percent } => {
+                out.push(json!({
+                    "name": format!("MBA tier{} -> {percent}%", tier.index()),
+                    "cat": "mba",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0
+                }));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-tier `"ph":"C"` counter tracks: interval media traffic, delivered
+/// bandwidth, and queue occupancy, one point per sample.
+fn push_counter_tracks(out: &mut Vec<serde_json::Value>, samples: &[CounterSample]) {
+    let Some(last) = samples.last() else { return };
+    let active: Vec<TierId> = TierId::all()
+        .into_iter()
+        .filter(|&t| last.counters.tier(t).total() > 0)
+        .collect();
+    for s in samples {
+        let ts = s.at.as_us_f64();
+        for &tier in &active {
+            let i = tier.index();
+            let d = s.delta.tier(tier);
+            out.push(json!({
+                "name": format!("tier{i} media traffic"),
+                "cat": "counters",
+                "ph": "C",
+                "ts": ts,
+                "pid": COUNTER_PID,
+                "args": { "reads": d.reads, "writes": d.writes }
+            }));
+            out.push(json!({
+                "name": format!("tier{i} delivered MB/s"),
+                "cat": "counters",
+                "ph": "C",
+                "ts": ts,
+                "pid": COUNTER_PID,
+                "args": { "mb_per_s": s.bandwidth_bytes_per_s[i] / 1e6 }
+            }));
+            out.push(json!({
+                "name": format!("tier{i} queue"),
+                "cat": "counters",
+                "ph": "C",
+                "ts": ts,
+                "pid": COUNTER_PID,
+                "args": { "flows": s.active_flows[i] }
+            }));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,12 +271,90 @@ mod tests {
         assert!(json.contains("10000.0"));
         // Valid JSON.
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 1);
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 2);
     }
 
     #[test]
     fn empty_trace_is_valid() {
         let v: serde_json::Value = serde_json::from_str(&chrome_trace_json(&[])).unwrap();
         assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    fn sample(at_ms: u64, nvm_reads: u64) -> CounterSample {
+        use memtier_memsim::{AccessBatch, TierCounters, NUM_TIERS};
+        let c = TierCounters::new([1; NUM_TIERS]);
+        c.record(TierId::NVM_NEAR, &AccessBatch::random_reads(nvm_reads));
+        let snap = c.snapshot();
+        CounterSample {
+            at: SimTime::from_ms(at_ms),
+            counters: snap,
+            delta: snap,
+            bytes_served: [0.0; NUM_TIERS],
+            bandwidth_bytes_per_s: [0.0; NUM_TIERS],
+            active_flows: [0; NUM_TIERS],
+            dynamic_energy_j: [0.0; NUM_TIERS],
+        }
+    }
+
+    #[test]
+    fn counter_tracks_only_for_active_tiers() {
+        let json = chrome_trace_json_full(&[span(0, 0, 5)], &[sample(1, 100)], &[]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let counters: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "C").collect();
+        // Only NVM_NEAR saw traffic: 3 tracks for it, none for other tiers.
+        assert_eq!(counters.len(), 3);
+        assert!(counters
+            .iter()
+            .all(|e| e["name"].as_str().unwrap().starts_with("tier2")));
+        assert!(events.iter().any(|e| e["ph"] == "X"));
+    }
+
+    #[test]
+    fn lifecycle_events_become_driver_spans_and_flows() {
+        let events = vec![
+            TimedEvent {
+                at: SimTime::from_ms(0),
+                event: Event::JobSubmitted { job: 0, stages: 1 },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(0),
+                event: Event::StageSubmitted {
+                    job: 0,
+                    stage: 0,
+                    tasks: 4,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(7),
+                event: Event::StageCompleted {
+                    job: 0,
+                    stage: 0,
+                    tasks: 4,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(7),
+                event: Event::JobCompleted {
+                    job: 0,
+                    stages_run: 1,
+                    tasks_run: 4,
+                },
+            },
+        ];
+        let json = chrome_trace_json_full(&[], &[], &events);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        let job = out
+            .iter()
+            .find(|e| e["name"] == "job 0")
+            .expect("job span missing");
+        assert_eq!(job["ph"], "X");
+        assert!((job["dur"].as_f64().unwrap() - 7000.0).abs() < 1e-6);
+        assert!(out.iter().any(|e| e["ph"] == "s"));
+        assert!(out.iter().any(|e| e["ph"] == "f"));
+        assert!(out
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "driver"));
     }
 }

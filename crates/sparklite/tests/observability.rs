@@ -1,12 +1,21 @@
-//! Observability-surface tests: utilization sampling, MBA control through
-//! the context, metrics/event consistency.
+//! Observability-surface tests: utilization and counter sampling, the
+//! lifecycle event log, stage rollups, trace export, and MBA control
+//! through the context.
 
 use memtier_des::SimTime;
 use memtier_memsim::TierId;
-use sparklite::{SparkConf, SparkContext};
+use sparklite::{parse_jsonl, to_jsonl, Event, JsonlSink, SparkConf, SparkContext};
 
 fn nvm_ctx() -> SparkContext {
     SparkContext::new(SparkConf::bound_to_tier(TierId::NVM_NEAR)).unwrap()
+}
+
+/// A two-stage shuffle workload on the context.
+fn run_shuffle_job(sc: &SparkContext) {
+    sc.parallelize((0u64..30_000).map(|i| (i % 50, i)).collect::<Vec<_>>(), 16)
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
 }
 
 #[test]
@@ -18,7 +27,11 @@ fn utilization_sampling_tracks_activity() {
         .count()
         .unwrap();
     let samples = sc.utilization_samples();
-    assert!(samples.len() > 10, "expected a timeline, got {}", samples.len());
+    assert!(
+        samples.len() > 10,
+        "expected a timeline, got {}",
+        samples.len()
+    );
     // Samples are equally spaced and monotone.
     for w in samples.windows(2) {
         assert_eq!(w[1].at - w[0].at, SimTime::from_us(100));
@@ -90,6 +103,164 @@ fn events_are_internally_consistent() {
         report.metrics.totals.shuffle_read_bytes,
         report.metrics.totals.shuffle_write_bytes
     );
+}
+
+#[test]
+fn counter_sampling_conserves_and_is_monotone() {
+    let sc = nvm_ctx();
+    sc.enable_counter_sampling(SimTime::from_us(100));
+    run_shuffle_job(&sc);
+    let report = sc.finish();
+    let series = &report.telemetry.counter_series;
+    assert!(
+        series.len() > 10,
+        "expected a timeline, got {}",
+        series.len()
+    );
+    // Conservation: the series ends exactly on the cumulative totals.
+    let last = series.last().unwrap();
+    assert_eq!(last.counters, report.telemetry.counters);
+    // Monotone in time and in every cumulative signal.
+    let idx = TierId::NVM_NEAR.index();
+    for w in series.windows(2) {
+        assert!(w[0].at < w[1].at);
+        for t in TierId::all() {
+            let (a, b) = (w[0].counters.tier(t), w[1].counters.tier(t));
+            assert!(b.reads >= a.reads && b.writes >= a.writes);
+        }
+        assert!(w[1].bytes_served[idx] >= w[0].bytes_served[idx]);
+        assert!(w[1].dynamic_energy_j[idx] >= w[0].dynamic_energy_j[idx]);
+    }
+    // The bound tier actually moved; per-interval deltas telescope.
+    assert!(last.counters.tier(TierId::NVM_NEAR).total() > 0);
+    let delta_sum: u64 = series.iter().map(|s| s.delta.total()).sum();
+    assert_eq!(delta_sum, last.counters.total());
+}
+
+#[test]
+fn counter_sampling_is_deterministic() {
+    let run = || {
+        let sc = nvm_ctx();
+        sc.enable_counter_sampling(SimTime::from_us(250));
+        run_shuffle_job(&sc);
+        sc.finish().telemetry.counter_series
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same scenario+seed must give an identical series");
+}
+
+#[test]
+fn event_log_captures_lifecycle() {
+    let sc = nvm_ctx();
+    let log = sc.enable_event_log();
+    run_shuffle_job(&sc);
+    let report = sc.finish();
+    let events = log.events();
+    assert!(!events.is_empty());
+    assert_eq!(log.dropped(), 0);
+    // Timestamps never go backwards.
+    for w in events.windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+    // First and last events bracket the job.
+    assert!(matches!(
+        events.first().unwrap().event,
+        Event::JobSubmitted { .. }
+    ));
+    assert!(matches!(
+        events.last().unwrap().event,
+        Event::JobCompleted { .. }
+    ));
+    // Lifecycle counts match the metrics exactly.
+    let count = |f: fn(&Event) -> bool| events.iter().filter(|e| f(&e.event)).count() as u64;
+    assert_eq!(
+        count(|e| matches!(e, Event::TaskStarted { .. })),
+        report.metrics.tasks
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::TaskFinished { .. })),
+        report.metrics.tasks
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::StageSubmitted { .. })),
+        report.metrics.stages
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::StageCompleted { .. })),
+        report.metrics.stages
+    );
+    // The shuffle produced write and fetch events, and their byte totals
+    // agree with the aggregated task metrics.
+    let shuffle_written: u64 = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::ShuffleWrite { bytes, .. } => Some(bytes),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(shuffle_written, report.metrics.totals.shuffle_write_bytes);
+    assert!(shuffle_written > 0);
+}
+
+#[test]
+fn event_log_round_trips_through_jsonl() {
+    let sc = nvm_ctx();
+    let log = sc.enable_event_log();
+    sc.add_event_sink(Box::new(JsonlSink::new(Vec::new())));
+    sc.set_mba_level(TierId::NVM_NEAR, 70);
+    run_shuffle_job(&sc);
+    sc.finish();
+    let events = log.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, Event::MbaThrottle { percent: 70, .. })));
+    let back = parse_jsonl(&to_jsonl(&events)).unwrap();
+    assert_eq!(back, events);
+}
+
+#[test]
+fn stage_rollups_sum_to_app_totals() {
+    let sc = nvm_ctx();
+    run_shuffle_job(&sc);
+    let report = sc.finish();
+    let rollups = &report.stage_rollups;
+    assert_eq!(rollups.len() as u64, report.metrics.stages);
+    let tasks: u64 = rollups.iter().map(|r| r.tasks).sum();
+    assert_eq!(tasks, report.metrics.tasks);
+    let mut agg = sparklite::metrics::TaskMetrics::default();
+    for r in rollups {
+        assert!(r.completed >= r.submitted);
+        agg.merge(&r.metrics);
+    }
+    assert_eq!(agg, report.metrics.totals);
+}
+
+#[test]
+fn trace_includes_counter_tracks_and_stage_flows() {
+    let sc = nvm_ctx();
+    sc.enable_tracing();
+    sc.enable_counter_sampling(SimTime::from_us(100));
+    sc.enable_event_log();
+    run_shuffle_job(&sc);
+    sc.finish();
+    // Rendered after finish() so the final conservation sample is present.
+    let json = sc.chrome_trace().unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(events.iter().any(|e| e["ph"] == "X" && e["cat"] == "task"));
+    assert!(events.iter().any(|e| e["ph"] == "X" && e["cat"] == "stage"));
+    assert!(events.iter().any(|e| e["ph"] == "s"));
+    let idx = TierId::NVM_NEAR.index();
+    let track = format!("tier{idx} media traffic");
+    assert!(events
+        .iter()
+        .any(|e| e["ph"] == "C" && e["name"] == track.as_str()));
+    // Only the bound tier saw traffic, so no other tier has a track.
+    assert!(!events
+        .iter()
+        .any(|e| e["ph"] == "C" && e["name"] == "tier0 media traffic"));
 }
 
 #[test]
