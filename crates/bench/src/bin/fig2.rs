@@ -1,8 +1,10 @@
 //! Fig. 2 regeneration: execution time (top), NVM access counts (middle)
 //! and DRAM-vs-DCPM energy per DIMM (bottom) for all 7 workloads ×
 //! {tiny, small, large} × Tier 0–3 under the default 1×40 deployment.
+//! Also emits the consolidated machine-readable perf baseline
+//! (`BENCH_profile.json`, override with `--profile-out <path>`).
 
-use memtier_bench::{campaign_threads, maybe_dump_json, pct};
+use memtier_bench::{campaign_threads, maybe_dump_json, pct, write_bench_profile};
 use memtier_core::campaign::{by_workload_size, fig2_campaign};
 use memtier_core::ScenarioResult;
 use memtier_memsim::TierId;
@@ -10,12 +12,20 @@ use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile_path = args
+        .iter()
+        .position(|a| a == "--profile-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
     let results = fig2_campaign(campaign_threads()).expect("fig2 campaign");
     maybe_dump_json(&results);
+    write_bench_profile(&profile_path, &results);
     print_time(&results);
     print_accesses(&results);
     print_energy(&results);
     print_stage_shape(&results);
+    print_attribution(&results);
     print_summary(&results);
 }
 
@@ -136,6 +146,43 @@ fn print_stage_shape(results: &[ScenarioResult]) {
             rollups.len().to_string(),
             fmt_f64(share, 3),
             fmt_f64(peak_s, 3),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_attribution(results: &[ScenarioResult]) {
+    // The profiler's view of Fig. 2's slowdowns: where the Tier-2 run's
+    // critical path spends its time, as shares of the virtual runtime. The
+    // shares sum to 1 (conservation) — the mem-write column is exactly the
+    // part the paper's DCPM write-asymmetry discussion predicts grows.
+    let mut t = AsciiTable::new(vec![
+        "benchmark",
+        "size",
+        "compute",
+        "shuffle fetch",
+        "queue",
+        "driver",
+        "mem read",
+        "mem write",
+    ])
+    .title("Fig 2 (attribution) — critical-path time shares, Tier 2 run");
+    for ((w, s), v) in groups(results) {
+        let r = v[2];
+        assert!(r.profile.conserves(), "attribution must conserve");
+        let a = &r.profile.attribution;
+        let share = |x: memtier_des::SimTime| fmt_f64(x.as_secs_f64() / r.elapsed_s.max(1e-12), 3);
+        let read: memtier_des::SimTime = a.mem_read.iter().copied().sum();
+        let write: memtier_des::SimTime = a.mem_write.iter().copied().sum();
+        t.row(vec![
+            w,
+            s,
+            share(a.compute),
+            share(a.shuffle_fetch),
+            share(a.sched_queue),
+            share(a.driver),
+            share(read),
+            share(write),
         ]);
     }
     println!("{}", t.render());

@@ -1,11 +1,13 @@
 //! One-shot reproduction: run every campaign and write a self-contained
-//! markdown report (default `REPORT.md`, override with `--out <path>`).
+//! markdown report (default `REPORT.md`, override with `--out <path>`)
+//! plus the machine-readable perf baseline (`BENCH_profile.json`, override
+//! with `--profile-out <path>`) CI archives.
 //!
 //! ```text
 //! cargo run --release -p memtier-bench --bin repro [-- --out REPORT.md]
 //! ```
 
-use memtier_bench::campaign_threads;
+use memtier_bench::{campaign_threads, write_bench_profile};
 use memtier_core::campaign::{
     by_workload_size, fig2_campaign, fig3_campaign, fig4_grid, FIG4_APPS, FIG4_CORES,
     FIG4_EXECUTORS,
@@ -25,6 +27,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "REPORT.md".to_string());
+    let profile_path = args
+        .iter()
+        .position(|a| a == "--profile-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
     let threads = campaign_threads();
     let mut md = String::new();
 
@@ -212,6 +219,49 @@ fn main() {
         pass += usize::from(r.holds);
     }
     writeln!(md, "\n**{pass}/8 takeaways reproduced.**").unwrap();
+
+    // --- Critical-path attribution (perf baseline) -------------------------
+    write_bench_profile(&profile_path, &fig2);
+    writeln!(md, "\n## Critical-path attribution (perf baseline)\n").unwrap();
+    writeln!(
+        md,
+        "Per-run virtual-time attribution over the critical path (conserved: the \
+         components sum to the runtime exactly). Dominant component of each \
+         large-size Tier-2 run below; the full per-run vector is in \
+         `{profile_path}`.\n"
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "| benchmark | runtime (s) | compute | shuffle fetch | queue | mem stall | dominant |"
+    )
+    .unwrap();
+    writeln!(md, "|---|---|---|---|---|---|---|").unwrap();
+    for ((w, s), mut v) in by_workload_size(&fig2) {
+        if s != DataSize::Large {
+            continue;
+        }
+        v.sort_by_key(|r| r.scenario.tier);
+        let r = v[2];
+        assert!(r.profile.conserves(), "attribution must conserve for {w}-{s}");
+        let a = &r.profile.attribution;
+        let named = a.named_seconds();
+        let dominant = named
+            .iter()
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        writeln!(
+            md,
+            "| {w} | {:.3} | {:.2} | {:.2} | {:.2} | {:.2} | {dominant} |",
+            r.elapsed_s,
+            a.compute.as_secs_f64() / r.elapsed_s,
+            a.shuffle_fetch.as_secs_f64() / r.elapsed_s,
+            a.sched_queue.as_secs_f64() / r.elapsed_s,
+            a.mem_total().as_secs_f64() / r.elapsed_s,
+        )
+        .unwrap();
+    }
 
     // Suite inventory footer.
     writeln!(md, "\n## Suite\n").unwrap();

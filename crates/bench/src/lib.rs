@@ -8,7 +8,9 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use memtier_core::ScenarioResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
 /// deterministic simulations; parallelism never changes a measurement).
@@ -41,6 +43,54 @@ pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
+/// One row of the machine-readable perf baseline (`BENCH_profile.json`): a
+/// scenario's end-to-end virtual runtime and its conserved critical-path
+/// attribution (component name → seconds; the components sum to
+/// `virtual_runtime_s` exactly, see `sparklite::RunProfile::conserves`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfileEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, executor grid).
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// Critical-path attribution: component name → seconds on the path.
+    pub attribution: BTreeMap<String, f64>,
+}
+
+impl BenchProfileEntry {
+    /// Absolute gap between the attribution sum and the runtime, seconds.
+    /// Zero up to float rounding when the profile conserved.
+    pub fn conservation_gap_s(&self) -> f64 {
+        let total: f64 = self.attribution.values().sum();
+        (total - self.virtual_runtime_s).abs()
+    }
+}
+
+/// Build the perf-baseline rows for a result set, in input order.
+pub fn bench_profile_entries(results: &[ScenarioResult]) -> Vec<BenchProfileEntry> {
+    results
+        .iter()
+        .map(|r| BenchProfileEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            virtual_runtime_s: r.elapsed_s,
+            attribution: r.profile.attribution.named_seconds().into_iter().collect(),
+        })
+        .collect()
+}
+
+/// Write the consolidated machine-readable perf baseline to `path` — the
+/// artifact CI archives so perf regressions show up as an attribution diff,
+/// not just a runtime delta.
+pub fn write_bench_profile(path: &str, results: &[ScenarioResult]) {
+    let entries = bench_profile_entries(results);
+    let json = serde_json::to_string_pretty(&entries).expect("serialize perf baseline");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path} ({} entries)", entries.len());
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -52,5 +102,26 @@ mod tests {
     fn pct_formats() {
         assert_eq!(super::pct(0.25), "+25.0%");
         assert_eq!(super::pct(-0.051), "-5.1%");
+    }
+
+    #[test]
+    fn profile_entries_conserve_and_round_trip() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        let entries = super::bench_profile_entries(std::slice::from_ref(&r));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].app, "repartition");
+        assert!(entries[0].virtual_runtime_s > 0.0);
+        assert!(
+            entries[0].conservation_gap_s() < 1e-9,
+            "gap {}",
+            entries[0].conservation_gap_s()
+        );
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<super::BenchProfileEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
     }
 }

@@ -35,7 +35,7 @@ pub use guidelines::CampaignData;
 pub use guidelines::{check_all, GuidelineReport};
 pub use predict::{
     combined_model, correlation_with_specs, event_correlations, leave_one_tier_out,
-    CombinedModelReport, EventCorrelation, SpecCorrelation,
+    profile_correlations, CombinedModelReport, EventCorrelation, SpecCorrelation,
 };
 pub use runner::{
     conf_for, run_scenario, run_scenario_instrumented, run_scenario_with_conf, run_scenarios,

@@ -149,6 +149,43 @@ pub struct EventCorrelation {
     pub correlations: Vec<(String, Option<f64>)>,
 }
 
+/// Fig. 5's methodology applied to the critical-path profiler: Pearson
+/// correlation of each attribution component (seconds on the critical
+/// path, [`sparklite::Attribution::named_seconds`] order) with execution
+/// time across one workload's runs. Because the attribution *conserves*
+/// (components sum to the runtime), the dominant component's correlation
+/// identifies the resource the workload is bound by — the profiler's
+/// answer to the paper's "which event explains the slowdown" question.
+pub fn profile_correlations(workload: &str, runs: &[&ScenarioResult]) -> EventCorrelation {
+    let times: Vec<f64> = runs.iter().map(|r| r.elapsed_s).collect();
+    let names: Vec<String> = runs
+        .first()
+        .map(|r| {
+            r.profile
+                .attribution
+                .named_seconds()
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        })
+        .unwrap_or_default();
+    let correlations = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let xs: Vec<f64> = runs
+                .iter()
+                .map(|r| r.profile.attribution.named_seconds()[i].1)
+                .collect();
+            (name, pearson(&xs, &times))
+        })
+        .collect();
+    EventCorrelation {
+        workload: workload.to_string(),
+        correlations,
+    }
+}
+
 /// Compute Fig. 5's event correlations for one workload's result set.
 pub fn event_correlations(workload: &str, runs: &[&ScenarioResult]) -> EventCorrelation {
     let times: Vec<f64> = runs.iter().map(|r| r.elapsed_s).collect();
@@ -238,6 +275,26 @@ mod tests {
             report.r_squared
         );
         assert!(report.mape < 0.4, "combined MAPE {}", report.mape);
+    }
+
+    #[test]
+    fn profile_correlations_cover_all_components() {
+        let results = tier_series();
+        let refs: Vec<&ScenarioResult> = results.iter().collect();
+        let pc = profile_correlations("bayes", &refs);
+        let named = results[0].profile.attribution.named_seconds();
+        assert_eq!(pc.correlations.len(), named.len());
+        // Conservation makes the component vector a full decomposition of
+        // the runtime, so compute (identical work, slower tiers only add
+        // stall) cannot anticorrelate with time.
+        let compute_r = pc
+            .correlations
+            .iter()
+            .find(|(n, _)| n == "compute")
+            .and_then(|(_, r)| *r);
+        if let Some(r) = compute_r {
+            assert!(r > -0.5, "compute correlation {r}");
+        }
     }
 
     #[test]

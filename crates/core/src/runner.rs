@@ -133,6 +133,7 @@ fn run_on_context(
         checksum: output.checksum,
         quality: output.quality,
         stage_rollups: report.stage_rollups,
+        profile: report.profile,
     };
     Ok((result, telemetry))
 }
@@ -189,6 +190,9 @@ mod tests {
     fn instrumented_run_is_consistent_and_conserves() {
         let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
         let (r, t) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+        // The critical-path profile conserves the end-to-end runtime.
+        assert!(r.profile.conserves());
+        assert!((r.profile.elapsed.as_secs_f64() - r.elapsed_s).abs() < 1e-12);
         // Rollups cover every stage, and their task counts sum to the total.
         assert_eq!(r.stage_rollups.len() as u64, r.stages);
         let rollup_tasks: u64 = r.stage_rollups.iter().map(|x| x.tasks).sum();

@@ -3,7 +3,7 @@
 use memtier_memsim::{CounterSnapshot, TierId, NUM_TIERS};
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
-use sparklite::StageRollup;
+use sparklite::{RunProfile, StageRollup};
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,6 +98,11 @@ pub struct ScenarioResult {
     /// so result JSON written before this field existed still loads).
     #[serde(default)]
     pub stage_rollups: Vec<StageRollup>,
+    /// Critical-path profile: conserved attribution of `elapsed_s` over
+    /// named components plus the path itself (`#[serde(default)]` for the
+    /// same backward-compatibility reason as `stage_rollups`).
+    #[serde(default)]
+    pub profile: RunProfile,
 }
 
 impl ScenarioResult {

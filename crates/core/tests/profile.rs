@@ -1,0 +1,121 @@
+//! Workspace acceptance tests for the critical-path profiler: conservation
+//! for every workload in the suite, what-if predictions validated against
+//! actual perturbed re-runs, and byte-identical profiles across runs.
+
+use memtier_core::{
+    conf_for, run_scenario, run_scenario_instrumented, run_scenario_with_conf, Scenario,
+    TelemetryOptions,
+};
+use memtier_des::SimTime;
+use memtier_memsim::{MemSimConfig, TierId};
+use memtier_workloads::{all_workloads, DataSize};
+use sparklite::{reprice, WhatIf};
+
+/// The tentpole invariant: for every workload in the suite, the critical
+/// path's component attribution sums to the end-to-end virtual runtime in
+/// exact integer picoseconds, and the path segments tile `[0, elapsed]`.
+#[test]
+fn attribution_conserves_for_every_workload() {
+    for w in all_workloads() {
+        for tier in [TierId::LOCAL_DRAM, TierId::NVM_NEAR] {
+            let s = Scenario::default_conf(w.name(), DataSize::Tiny, tier);
+            let r = run_scenario(&s).unwrap();
+            assert!(
+                r.profile.conserves(),
+                "{}: attribution {:?} != elapsed {:?}",
+                s.label(),
+                r.profile.attribution.total(),
+                r.profile.elapsed
+            );
+            assert!(
+                (r.profile.elapsed.as_secs_f64() - r.elapsed_s).abs() < 1e-12,
+                "{}: profile elapsed disagrees with the result",
+                s.label()
+            );
+            let mut cursor = SimTime::ZERO;
+            for seg in &r.profile.segments {
+                assert_eq!(seg.start, cursor, "{}: segments must abut", s.label());
+                assert!(seg.end >= seg.start, "{}: segment runs backwards", s.label());
+                cursor = seg.end;
+            }
+            assert_eq!(cursor, r.profile.elapsed, "{}: path must reach the end", s.label());
+            assert!(
+                !r.profile.critical_tasks().is_empty(),
+                "{}: a real run has tasks on its critical path",
+                s.label()
+            );
+        }
+    }
+}
+
+/// The what-if engine against reality: halve the DCPM (Tier 2) idle write
+/// latency, re-price the baseline's critical path analytically, and compare
+/// with an actual re-run under the perturbed configuration. The acceptance
+/// bound is 10 %.
+#[test]
+fn whatif_prediction_matches_actual_rerun() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+    let baseline = run_scenario(&s).unwrap();
+
+    let base_mem = MemSimConfig::paper_default();
+    let mut fast_mem = base_mem.clone();
+    fast_mem.tiers[TierId::NVM_NEAR.index()].idle_write_latency_ns /= 2.0;
+    let whatif = WhatIf::from_configs(&base_mem, &fast_mem);
+    let predicted = reprice(&baseline.profile, &whatif);
+    assert!((predicted.baseline_s - baseline.elapsed_s).abs() < 1e-12);
+    assert!(
+        predicted.predicted_s < predicted.baseline_s,
+        "repartition writes through Tier 2, so faster writes must predict a speedup"
+    );
+
+    let mut conf = conf_for(&s);
+    conf.memsim.tiers[TierId::NVM_NEAR.index()].idle_write_latency_ns /= 2.0;
+    let actual = run_scenario_with_conf(&s, conf).unwrap();
+    assert!(
+        actual.elapsed_s < baseline.elapsed_s,
+        "the perturbed re-run must actually be faster"
+    );
+
+    let err = (predicted.predicted_s - actual.elapsed_s).abs() / actual.elapsed_s;
+    assert!(
+        err < 0.10,
+        "what-if predicted {:.6}s, actual {:.6}s ({:.2}% error)",
+        predicted.predicted_s,
+        actual.elapsed_s,
+        err * 100.0
+    );
+}
+
+/// The analytic form of Takeaway 4: an MBA throttle changes no access
+/// latency, so the what-if engine predicts the baseline unchanged — and the
+/// actual throttled run agrees within the same 10 % bound.
+#[test]
+fn whatif_identity_matches_mba_throttled_rerun() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+    let baseline = run_scenario(&s).unwrap();
+    let predicted = reprice(&baseline.profile, &WhatIf::identity());
+    assert_eq!(predicted.baseline_s, predicted.predicted_s);
+
+    let throttled = run_scenario(&s.with_mba(50)).unwrap();
+    let err = (predicted.predicted_s - throttled.elapsed_s).abs() / throttled.elapsed_s;
+    assert!(
+        err < 0.10,
+        "MBA 50%: predicted {:.6}s, actual {:.6}s ({:.2}% error)",
+        predicted.predicted_s,
+        throttled.elapsed_s,
+        err * 100.0
+    );
+}
+
+/// Determinism (satellite f): two instrumented runs of the same scenario
+/// produce byte-identical `RunProfile` JSON.
+#[test]
+fn profile_json_is_deterministic_across_runs() {
+    let s = Scenario::default_conf("wordcount", DataSize::Tiny, TierId::NVM_FAR);
+    let (a, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+    let (b, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+    let ja = serde_json::to_string(&a.profile).unwrap();
+    let jb = serde_json::to_string(&b.profile).unwrap();
+    assert_eq!(ja, jb, "profiles must be byte-identical across runs");
+    assert!(!a.profile.segments.is_empty());
+}

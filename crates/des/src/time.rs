@@ -189,6 +189,13 @@ impl AddAssign for SimTime {
     }
 }
 
+impl std::iter::Sum for SimTime {
+    /// Sum spans: `ZERO` identity, panicking on overflow like [`Add`].
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
 impl Sub for SimTime {
     type Output = SimTime;
     #[inline]
@@ -292,6 +299,16 @@ mod tests {
         assert_eq!(format!("{}", SimTime::from_us(5)), "5.000us");
         assert_eq!(format!("{}", SimTime::from_ms(5)), "5.000ms");
         assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimTime = [SimTime::from_ns(1), SimTime::from_us(1), SimTime::from_ms(1)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimTime::from_ps(1_001_001_000));
+        let empty: SimTime = std::iter::empty().sum();
+        assert_eq!(empty, SimTime::ZERO);
     }
 
     #[test]

@@ -138,10 +138,21 @@ impl MemorySystem {
     /// This is the latency-limited service time; bandwidth contention and MBA
     /// throttling stretch it via the tier's [`SharedResource`].
     pub fn nominal_mem_time(&self, tier: TierId, batch: &AccessBatch) -> SimTime {
+        let (r, w) = self.nominal_mem_time_rw(tier, batch);
+        r + w
+    }
+
+    /// [`nominal_mem_time`](Self::nominal_mem_time) split into its read and
+    /// write halves — the per-tier stall decomposition the critical-path
+    /// profiler attributes task time with. The two halves sum to exactly the
+    /// combined nominal time (each is rounded to ps independently of a
+    /// single product, so the identity holds by construction).
+    pub fn nominal_mem_time_rw(&self, tier: TierId, batch: &AccessBatch) -> (SimTime, SimTime) {
         let p = self.tier_params(tier);
-        let ns = batch.reads as f64 * p.effective_read_ns()
-            + batch.writes as f64 * p.effective_write_ns();
-        SimTime::from_ns_f64(ns)
+        (
+            SimTime::from_ns_f64(batch.reads as f64 * p.effective_read_ns()),
+            SimTime::from_ns_f64(batch.writes as f64 * p.effective_write_ns()),
+        )
     }
 
     /// The single-stream service rate (bytes/s) implied by
@@ -439,6 +450,22 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[0] < w[1], "higher tiers must be slower: {times:?}");
         }
+    }
+
+    #[test]
+    fn rw_split_sums_to_nominal_time() {
+        let s = sys();
+        let batch = AccessBatch::sequential(1_000_003, 499_999) + AccessBatch::random_reads(777);
+        for t in TierId::all() {
+            let (r, w) = s.nominal_mem_time_rw(t, &batch);
+            assert_eq!(r + w, s.nominal_mem_time(t, &batch));
+            assert!(r > SimTime::ZERO && w > SimTime::ZERO);
+        }
+        // Read-only batches put everything in the read half.
+        let ro = AccessBatch::sequential_read(4096);
+        let (r, w) = s.nominal_mem_time_rw(TierId::NVM_NEAR, &ro);
+        assert_eq!(w, SimTime::ZERO);
+        assert_eq!(r, s.nominal_mem_time(TierId::NVM_NEAR, &ro));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::events::{
     Event, EventBus, EventSink, MemoryRing, MemoryRingHandle, TimedEvent, DEFAULT_RING_CAPACITY,
 };
 use crate::metrics::{AppMetrics, StageRollup, SystemEvents};
+use crate::profile::{build_profile, ProfileLog, RunProfile};
 use crate::rdd::source::{GeneratorRdd, ParallelizeRdd, TextFileRdd};
 use crate::rdd::{Data, Rdd, RddId, RddVitals, TaskEnv};
 use crate::runtime::Runtime;
@@ -34,6 +35,13 @@ pub struct RunReport {
     pub cache: CacheStats,
     /// Per-stage metric rollups, in completion order across all jobs.
     pub stage_rollups: Vec<StageRollup>,
+    /// Critical-path profile: where the virtual runtime went
+    /// (conserves: attribution components sum to `elapsed`).
+    pub profile: RunProfile,
+    /// I/O errors event sinks hit during the run, surfaced at flush time
+    /// (empty on a clean run). Sinks never kill a simulation mid-run, but
+    /// a truncated event log must not pass silently either.
+    pub sink_errors: Vec<String>,
 }
 
 struct Inner {
@@ -48,6 +56,7 @@ struct Inner {
     events: Mutex<EventBus>,
     rollups: Mutex<Vec<StageRollup>>,
     event_log: Mutex<Option<MemoryRingHandle>>,
+    profile_log: Mutex<ProfileLog>,
 }
 
 /// A handle to one application. Cloning shares the application (like
@@ -89,6 +98,7 @@ impl SparkContext {
                 events: Mutex::new(EventBus::new()),
                 rollups: Mutex::new(Vec::new()),
                 event_log: Mutex::new(None),
+                profile_log: Mutex::new(ProfileLog::default()),
             }),
         })
     }
@@ -190,6 +200,7 @@ impl SparkContext {
         let mut trace = inner.trace.lock();
         let mut events = inner.events.lock();
         let mut rollups = inner.rollups.lock();
+        let mut profile_log = inner.profile_log.lock();
         let job_seq = app.jobs;
         let runner = JobRunner::new(
             &inner.runtime,
@@ -203,6 +214,7 @@ impl SparkContext {
             trace.as_mut(),
             &mut events,
             &mut rollups,
+            &mut profile_log,
         );
         let outcome = runner.run()?;
         *clock = outcome.finished_at;
@@ -294,6 +306,20 @@ impl SparkContext {
         self.inner.rollups.lock().clone()
     }
 
+    /// The raw profiler log (per-task breakdowns, stage activation edges,
+    /// job windows) recorded so far. Always collected, like rollups.
+    pub fn profile_log(&self) -> ProfileLog {
+        self.inner.profile_log.lock().clone()
+    }
+
+    /// The critical-path profile of everything run so far: walks the
+    /// recorded DAG, extracts the critical path, and rolls its components
+    /// into a conserved attribution of the current virtual time.
+    pub fn run_profile(&self) -> RunProfile {
+        let elapsed = *self.inner.clock.lock();
+        build_profile(&self.inner.profile_log.lock(), elapsed)
+    }
+
     /// Start recording per-task spans for Chrome-tracing export. Only jobs
     /// run after this call are captured.
     pub fn enable_tracing(&self) {
@@ -312,17 +338,18 @@ impl SparkContext {
     /// Perfetto). `None` if tracing was never enabled.
     ///
     /// Task spans are enriched with whatever other telemetry is on: counter
-    /// samples become per-tier counter tracks, and logged job/stage events
-    /// become driver-lane spans with flow arrows. Call after
-    /// [`finish`](Self::finish) to include the final conservation sample.
+    /// samples become per-tier counter tracks, logged job/stage events
+    /// become driver-lane spans with flow arrows, and the critical path is
+    /// highlighted (marked spans plus flow arrows chaining the path's
+    /// tasks). Call after [`finish`](Self::finish) to include the final
+    /// conservation sample.
     pub fn chrome_trace(&self) -> Option<String> {
         let samples = self.inner.mem.lock().counter_samples().to_vec();
         let events = self.logged_events();
-        self.inner
-            .trace
-            .lock()
-            .as_ref()
-            .map(|spans| crate::trace::chrome_trace_json_full(spans, &samples, &events))
+        let profile = self.run_profile();
+        self.inner.trace.lock().as_ref().map(|spans| {
+            crate::trace::chrome_trace_json_full(spans, &samples, &events, Some(&profile))
+        })
     }
 
     /// Engine-level metrics so far.
@@ -366,7 +393,14 @@ impl SparkContext {
         let mut mem = self.inner.mem.lock();
         let elapsed = *self.inner.clock.lock();
         let telemetry = mem.finish_run(elapsed);
-        self.inner.events.lock().flush();
+        let sink_errors: Vec<String> = self
+            .inner
+            .events
+            .lock()
+            .flush()
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
         let metrics = *self.inner.app.lock();
         let snap = telemetry.counters;
         let (reads, writes) = TierId::all().iter().fold((0, 0), |(r, w), &t| {
@@ -380,6 +414,8 @@ impl SparkContext {
             events,
             cache: self.inner.runtime.cache.stats(),
             stage_rollups: self.inner.rollups.lock().clone(),
+            profile: build_profile(&self.inner.profile_log.lock(), elapsed),
+            sink_errors,
         }
     }
 }

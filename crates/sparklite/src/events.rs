@@ -20,12 +20,13 @@
 //! event, so disabled telemetry costs nothing measurable.
 
 use crate::metrics::TaskMetrics;
+use crate::profile::TaskBreakdown;
 use memtier_des::SimTime;
 use memtier_memsim::TierId;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::io::Write;
+use std::io::{self, Write};
 use std::sync::Arc;
 
 /// Default capacity of the in-memory event ring (events, not bytes).
@@ -97,6 +98,10 @@ pub enum Event {
         partition: usize,
         /// Everything the task did on the data plane.
         metrics: TaskMetrics,
+        /// The task's virtual-time span decomposed into named components
+        /// (conserves: components sum to the span exactly).
+        #[serde(default)]
+        breakdown: TaskBreakdown,
     },
     /// A task looked up cached partitions.
     CacheAccess {
@@ -153,8 +158,13 @@ pub struct TimedEvent {
 pub trait EventSink: Send {
     /// Observe one event at virtual time `at`.
     fn on_event(&mut self, at: SimTime, event: &Event);
-    /// Flush any buffered output (end of run).
-    fn flush(&mut self) {}
+    /// Flush any buffered output (end of run) and surface the first I/O
+    /// error the sink hit — including errors on earlier `on_event` writes,
+    /// which must not kill the simulation mid-run but must not vanish
+    /// either.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// The event bus: fans each emitted event out to every attached sink.
@@ -191,11 +201,14 @@ impl EventBus {
         }
     }
 
-    /// Flush every sink.
-    pub fn flush(&mut self) {
-        for sink in &mut self.sinks {
-            sink.flush();
-        }
+    /// Flush every sink, collecting the errors instead of stopping at the
+    /// first: one broken log file must not prevent the others from
+    /// flushing. An empty vector means every sink flushed cleanly.
+    pub fn flush(&mut self) -> Vec<io::Error> {
+        self.sinks
+            .iter_mut()
+            .filter_map(|sink| sink.flush().err())
+            .collect()
     }
 }
 
@@ -288,34 +301,69 @@ struct LineRef<'a> {
 
 /// Sink writing one JSON object per event per line — the persistent event
 /// log, replayable with [`parse_jsonl`].
+///
+/// Write errors do not kill the simulation: the first one is remembered,
+/// subsequent events are dropped (the log is truncated, not corrupted
+/// mid-line), and [`EventSink::flush`] surfaces the error. The sink also
+/// flushes on drop, so a log handed to a `JsonlSink` is durable even when
+/// nobody calls `flush` explicitly.
 pub struct JsonlSink<W: Write + Send> {
-    writer: W,
+    /// `None` only after [`JsonlSink::into_inner`] disarmed the drop flush.
+    writer: Option<W>,
+    error: Option<io::Error>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// A JSONL sink writing to `writer`.
     pub fn new(writer: W) -> JsonlSink<W> {
-        JsonlSink { writer }
+        JsonlSink {
+            writer: Some(writer),
+            error: None,
+        }
     }
 
-    /// Recover the underlying writer (flushing is the caller's business).
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Recover the underlying writer (flushing is the caller's business;
+    /// the drop flush is disarmed).
+    pub fn into_inner(mut self) -> W {
+        self.writer.take().expect("writer taken only here")
     }
+}
+
+/// Re-raise a sticky I/O error without consuming it (`io::Error` is not
+/// `Clone`): repeated flushes of a failed sink keep failing.
+fn sticky(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
 }
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn on_event(&mut self, at: SimTime, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let writer = self.writer.as_mut().expect("writer present until drop");
         let line = LineRef { at, event };
-        // Serialization of these types cannot fail; IO errors on a log sink
-        // must not kill the simulation.
-        if serde_json::to_writer(&mut self.writer, &line).is_ok() {
-            let _ = self.writer.write_all(b"\n");
+        // Serialization of these types cannot fail, so any error here is I/O.
+        let res = serde_json::to_writer(&mut *writer, &line)
+            .map_err(io::Error::from)
+            .and_then(|()| writer.write_all(b"\n"));
+        if let Err(e) = res {
+            self.error = Some(e);
         }
     }
 
-    fn flush(&mut self) {
-        let _ = self.writer.flush();
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(sticky(e));
+        }
+        self.writer.as_mut().expect("writer present").flush()
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -341,33 +389,43 @@ pub fn parse_jsonl(text: &str) -> serde_json::Result<Vec<TimedEvent>> {
 /// Live ASCII progress reporter: one line per job/stage edge, virtual
 /// timestamps included. Attach `ProgressSink::stderr()` to watch a long
 /// campaign without drowning in per-task noise.
+///
+/// Like [`JsonlSink`], write errors are sticky and surfaced on flush, and
+/// the sink flushes on drop.
 pub struct ProgressSink<W: Write + Send> {
-    writer: W,
+    /// `None` only after [`ProgressSink::into_inner`] disarmed the drop
+    /// flush.
+    writer: Option<W>,
+    error: Option<io::Error>,
 }
 
 impl ProgressSink<std::io::Stderr> {
     /// A progress reporter on standard error.
     pub fn stderr() -> ProgressSink<std::io::Stderr> {
-        ProgressSink {
-            writer: std::io::stderr(),
-        }
+        ProgressSink::new(std::io::stderr())
     }
 }
 
 impl<W: Write + Send> ProgressSink<W> {
     /// A progress reporter writing to `writer`.
     pub fn new(writer: W) -> ProgressSink<W> {
-        ProgressSink { writer }
+        ProgressSink {
+            writer: Some(writer),
+            error: None,
+        }
     }
 
-    /// Recover the underlying writer.
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Recover the underlying writer (the drop flush is disarmed).
+    pub fn into_inner(mut self) -> W {
+        self.writer.take().expect("writer taken only here")
     }
 }
 
 impl<W: Write + Send> EventSink for ProgressSink<W> {
     fn on_event(&mut self, at: SimTime, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
         let line = match event {
             Event::JobSubmitted { job, stages } => {
                 format!("[{at}] job {job} submitted ({stages} stages)")
@@ -390,11 +448,25 @@ impl<W: Write + Send> EventSink for ProgressSink<W> {
             }
             _ => return,
         };
-        let _ = writeln!(self.writer, "{line}");
+        let writer = self.writer.as_mut().expect("writer present until drop");
+        if let Err(e) = writeln!(writer, "{line}") {
+            self.error = Some(e);
+        }
     }
 
-    fn flush(&mut self) {
-        let _ = self.writer.flush();
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(sticky(e));
+        }
+        self.writer.as_mut().expect("writer present").flush()
+    }
+}
+
+impl<W: Write + Send> Drop for ProgressSink<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -418,7 +490,7 @@ mod tests {
         let mut bus = EventBus::new();
         assert!(!bus.is_active());
         bus.emit(SimTime::ZERO, ev(0)); // no sinks: no-op
-        bus.flush();
+        assert!(bus.flush().is_empty());
     }
 
     #[test]
@@ -463,6 +535,10 @@ mod tests {
                         records_in: 100,
                         ..Default::default()
                     },
+                    breakdown: TaskBreakdown {
+                        compute: SimTime::from_us(2),
+                        ..Default::default()
+                    },
                 },
             },
         ];
@@ -481,7 +557,7 @@ mod tests {
             event: ev(42),
         };
         sink.on_event(e.at, &e.event);
-        sink.flush();
+        sink.flush().unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text, to_jsonl(std::slice::from_ref(&e)));
         assert_eq!(parse_jsonl(&text).unwrap(), vec![e]);
@@ -504,5 +580,64 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("job 1 submitted (2 stages)"));
         assert!(text.contains("stage 0 done (8 tasks)"));
+    }
+
+    /// A writer that accepts `budget` bytes then fails every operation.
+    struct FailingWriter {
+        budget: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget < buf.len() {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full (simulated)"));
+            }
+            self.budget -= buf.len();
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        let mut sink = JsonlSink::new(FailingWriter {
+            budget: 0,
+            written: Vec::new(),
+        });
+        sink.on_event(SimTime::ZERO, &ev(0));
+        let err = sink.flush().expect_err("write error must surface");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // Sticky: later flushes keep failing, later events are dropped.
+        assert!(sink.flush().is_err());
+        sink.on_event(SimTime::from_us(1), &ev(1));
+        assert!(sink.into_inner().written.is_empty());
+    }
+
+    #[test]
+    fn bus_flush_collects_sink_errors() {
+        let mut bus = EventBus::new();
+        bus.attach(Box::new(JsonlSink::new(FailingWriter {
+            budget: 0,
+            written: Vec::new(),
+        })));
+        bus.attach(Box::new(JsonlSink::new(Vec::new())));
+        bus.emit(SimTime::ZERO, ev(0));
+        let errors = bus.flush();
+        assert_eq!(errors.len(), 1, "only the broken sink reports");
+        assert_eq!(errors[0].kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn progress_sink_surfaces_write_errors() {
+        let mut sink = ProgressSink::new(FailingWriter {
+            budget: 0,
+            written: Vec::new(),
+        });
+        sink.on_event(SimTime::ZERO, &Event::JobSubmitted { job: 0, stages: 1 });
+        assert!(sink.flush().is_err());
     }
 }

@@ -41,6 +41,12 @@
 //! JSONL log, live progress), per-stage metric rollups, and a Chrome-trace
 //! export ([`trace`]) that interleaves task spans with memory counter
 //! tracks. All of it reads virtual time and is off (and free) by default.
+//! On top of the telemetry sits a critical-path profiler ([`profile`]):
+//! every task span is decomposed into named virtual-time components
+//! (compute, shuffle fetch, per-tier read/write stall), the job DAG's
+//! critical path is extracted, and the resulting attribution conserves —
+//! components sum exactly to the end-to-end virtual runtime — which makes
+//! analytical what-if repricing under perturbed tier parameters possible.
 
 #![warn(missing_docs)]
 // Closure-heavy engine code trips this lint pervasively; the aliases the
@@ -56,6 +62,7 @@ pub mod error;
 pub mod events;
 pub mod memsize;
 pub mod metrics;
+pub mod profile;
 pub mod rdd;
 pub mod runtime;
 pub mod scheduler;
@@ -75,6 +82,10 @@ pub use events::{
 };
 pub use memsize::MemSize;
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
+pub use profile::{
+    build_profile, reprice, Attribution, PathSegment, ProfileLog, RunProfile, SegmentKind,
+    TaskBreakdown, WhatIf, WhatIfReport,
+};
 pub use rdd::{Data, Key, Rdd};
 pub use shuffle::{HashPartitioner, RangePartitioner};
 pub use storage::StorageLevel;

@@ -29,6 +29,11 @@ pub struct TaskMetrics {
     pub cache_misses: u64,
     /// Modeled CPU nanoseconds.
     pub cpu_ns: f64,
+    /// The subset of `cpu_ns` charged to fetching/deserializing shuffle
+    /// input (scan, per-bucket overheads, MapReduce-mode disk terms) — the
+    /// profiler splits it out of the compute component.
+    #[serde(default)]
+    pub shuffle_fetch_ns: f64,
     /// Memory traffic to charge against the executor's bound tier(s).
     pub traffic: AccessBatch,
 }
@@ -46,6 +51,7 @@ impl TaskMetrics {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cpu_ns += other.cpu_ns;
+        self.shuffle_fetch_ns += other.shuffle_fetch_ns;
         self.traffic += other.traffic;
     }
 }

@@ -270,14 +270,18 @@ impl<'a> TaskEnv<'a> {
         self.metrics.input_bytes += bytes;
         self.metrics.shuffle_buckets_read += buckets;
         self.metrics.traffic += memtier_memsim::AccessBatch::sequential_read(bytes);
-        self.metrics.cpu_ns += bytes as f64 * self.rt.cost.scan_ns_per_byte
+        let mut fetch_ns = bytes as f64 * self.rt.cost.scan_ns_per_byte
             + buckets as f64 * self.rt.cost.bucket_overhead_ns;
         if self.rt.shuffle_through_disk {
             // MapReduce mode: reducers re-read materialized map output from
             // disk, one seek per bucket.
-            self.metrics.cpu_ns += bytes as f64 * self.rt.cost.disk_read_ns_per_byte
+            fetch_ns += bytes as f64 * self.rt.cost.disk_read_ns_per_byte
                 + buckets as f64 * self.rt.cost.disk_seek_ns;
         }
+        self.metrics.cpu_ns += fetch_ns;
+        // Mirror into the profiler's shuffle-fetch bucket so the breakdown
+        // can split fetch processing out of the compute component.
+        self.metrics.shuffle_fetch_ns += fetch_ns;
         self.charge_random(buckets * self.rt.cost.bucket_random_reads, 0);
     }
 

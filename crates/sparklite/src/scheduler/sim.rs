@@ -19,6 +19,7 @@
 use crate::error::{Result, SparkError};
 use crate::events::{Event, EventBus};
 use crate::metrics::{AppMetrics, StageRollup, TaskMetrics};
+use crate::profile::{JobRecord, ProfileLog, StageRecord, TaskBreakdown, TaskRecord};
 use crate::rdd::TaskEnv;
 use crate::runtime::Runtime;
 use crate::scheduler::dag::{StageId, StageKind, StagePlan};
@@ -63,6 +64,12 @@ struct RunningTask<U> {
     partition: usize,
     slot: usize,
     started: SimTime,
+    /// Modeled CPU span (dispatch overhead + data-plane CPU, inflated by
+    /// JVM contention) — the compute part of the task's breakdown.
+    cpu: SimTime,
+    /// The contention inflation factor applied to `cpu`, kept so the
+    /// shuffle-fetch share of the CPU phase inflates consistently.
+    cpu_factor: f64,
     outstanding: usize,
     metrics: TaskMetrics,
     /// (tier, flow id, batch) for each in-flight memory flow.
@@ -96,9 +103,13 @@ pub struct JobRunner<'a, U> {
     rr_exec: usize,
     stages_run: u64,
     job_seq: u64,
+    /// Virtual instant the job entered the scheduler (for the profiler's
+    /// job record).
+    submitted_at: SimTime,
     trace: Option<&'a mut Vec<TaskSpan>>,
     events: &'a mut EventBus,
     rollups: &'a mut Vec<StageRollup>,
+    profile: &'a mut ProfileLog,
 }
 
 impl<'a, U> JobRunner<'a, U> {
@@ -116,6 +127,7 @@ impl<'a, U> JobRunner<'a, U> {
         trace: Option<&'a mut Vec<TaskSpan>>,
         events: &'a mut EventBus,
         rollups: &'a mut Vec<StageRollup>,
+        profile: &'a mut ProfileLog,
     ) -> Self {
         let n = plan.stages.len();
         let result_tasks = plan.stages[n - 1].num_tasks;
@@ -143,9 +155,11 @@ impl<'a, U> JobRunner<'a, U> {
             rr_exec: 0,
             stages_run: 0,
             job_seq,
+            submitted_at: start,
             trace,
             events,
             rollups,
+            profile,
         };
         if runner.events.is_active() {
             runner.events.emit(
@@ -204,12 +218,16 @@ impl<'a, U> JobRunner<'a, U> {
         }
         for i in 0..n {
             if !self.stage_state[i].done && self.stage_state[i].unmet == 0 {
-                self.activate_stage(StageId(i as u32));
+                self.activate_stage(StageId(i as u32), None);
             }
         }
     }
 
-    fn activate_stage(&mut self, id: StageId) {
+    /// Make a stage's tasks runnable. `activated_by` is the task whose
+    /// completion met the stage's last dependency (`None` when the stage was
+    /// runnable at job submission) — the DAG edge the critical-path walk in
+    /// [`crate::profile`] follows backwards.
+    fn activate_stage(&mut self, id: StageId, activated_by: Option<u64>) {
         let stage = &self.plan.stages[id.0 as usize];
         self.stages_run += 1;
         let num_tasks = stage.num_tasks;
@@ -217,6 +235,12 @@ impl<'a, U> JobRunner<'a, U> {
             self.ready.push_back((id, part));
         }
         self.stage_state[id.0 as usize].submitted = self.now;
+        self.profile.stages.push(StageRecord {
+            job: self.job_seq,
+            stage: id.0,
+            submitted: self.now,
+            activated_by,
+        });
         if self.events.is_active() {
             self.events.emit(
                 self.now,
@@ -365,6 +389,8 @@ impl<'a, U> JobRunner<'a, U> {
                     partition: part,
                     slot: co_running,
                     started: self.now,
+                    cpu,
+                    cpu_factor: factor,
                     outstanding,
                     metrics,
                     flows,
@@ -397,9 +423,89 @@ impl<'a, U> JobRunner<'a, U> {
         }
     }
 
+    /// Decompose a finished task's span into named components, conserving
+    /// it exactly (integer picoseconds).
+    ///
+    /// The CPU phase splits into shuffle-fetch processing (the fetch/scan
+    /// costs [`TaskEnv`](crate::rdd::TaskEnv) charged, inflated by the same
+    /// contention factor) and the compute remainder. The memory phase —
+    /// everything past the CPU span, i.e. nominal stall time plus the
+    /// task's share of bandwidth-contention stretch — is apportioned over
+    /// the per-(tier, read/write) nominal stall times, with the integer
+    /// rounding remainder absorbed by the largest component.
+    fn breakdown_for(&self, task: &RunningTask<U>, end: SimTime) -> TaskBreakdown {
+        let span = end - task.started;
+        let cpu = task.cpu.min(span);
+        let shuffle_fetch =
+            SimTime::from_ns_f64(task.metrics.shuffle_fetch_ns * task.cpu_factor).min(cpu);
+        let mut b = TaskBreakdown {
+            compute: cpu - shuffle_fetch,
+            shuffle_fetch,
+            ..TaskBreakdown::default()
+        };
+        let mem_actual = span - cpu;
+        if mem_actual.is_zero() {
+            return b;
+        }
+        // (tier index, is_write, nominal ps) for every non-zero component.
+        let mut parts: Vec<(usize, bool, u64)> = Vec::with_capacity(task.flows.len() * 2);
+        for (tier, _, batch) in &task.flows {
+            let (r, w) = self.mem.nominal_mem_time_rw(*tier, batch);
+            if !r.is_zero() {
+                parts.push((tier.index(), false, r.as_ps()));
+            }
+            if !w.is_zero() {
+                parts.push((tier.index(), true, w.as_ps()));
+            }
+        }
+        let nominal_total: u64 = parts.iter().map(|&(_, _, ps)| ps).sum();
+        if nominal_total == 0 {
+            // No nominal stall to apportion against (flows were dropped or
+            // rounding erased them): keep conservation by folding the
+            // residual into compute.
+            b.compute += mem_actual;
+            return b;
+        }
+        let mut assigned = 0u64;
+        let mut largest = 0usize;
+        for (i, &(tier, is_write, ps)) in parts.iter().enumerate() {
+            // Widen to u128: ps values × mem_actual can exceed u64.
+            let share = (ps as u128 * mem_actual.as_ps() as u128 / nominal_total as u128) as u64;
+            assigned += share;
+            let slot = if is_write {
+                &mut b.mem_write[tier]
+            } else {
+                &mut b.mem_read[tier]
+            };
+            *slot += SimTime::from_ps(share);
+            if ps > parts[largest].2 {
+                largest = i;
+            }
+        }
+        let (tier, is_write, _) = parts[largest];
+        let remainder = SimTime::from_ps(mem_actual.as_ps() - assigned);
+        if is_write {
+            b.mem_write[tier] += remainder;
+        } else {
+            b.mem_read[tier] += remainder;
+        }
+        debug_assert_eq!(b.total(), span, "task breakdown must conserve its span");
+        b
+    }
+
     fn complete_task(&mut self, task_id: u64) {
         let task = self.running.remove(&task_id).expect("unknown task");
         self.executors[task.exec].running -= 1;
+        let breakdown = self.breakdown_for(&task, self.now);
+        self.profile.tasks.push(TaskRecord {
+            task_id,
+            job: self.job_seq,
+            stage: task.stage.0,
+            partition: task.partition,
+            started: task.started,
+            end: self.now,
+            breakdown,
+        });
         self.app.record_task(&task.metrics);
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.push(TaskSpan {
@@ -452,6 +558,7 @@ impl<'a, U> JobRunner<'a, U> {
                     stage: task.stage.0,
                     partition: task.partition,
                     metrics: task.metrics,
+                    breakdown,
                 },
             );
         }
@@ -487,7 +594,7 @@ impl<'a, U> JobRunner<'a, U> {
                 let ci = child.0 as usize;
                 self.stage_state[ci].unmet -= 1;
                 if self.stage_state[ci].unmet == 0 {
-                    self.activate_stage(child);
+                    self.activate_stage(child, Some(task_id));
                 }
             }
         }
@@ -526,6 +633,11 @@ impl<'a, U> JobRunner<'a, U> {
                 }
             }
         }
+        self.profile.jobs.push(JobRecord {
+            job: self.job_seq,
+            submitted: self.submitted_at,
+            completed: self.now,
+        });
         if self.events.is_active() {
             self.events.emit(
                 self.now,

@@ -14,8 +14,15 @@
 //! stage spans connected to their instants by flow arrows — so Perfetto
 //! shows the paper's Fig. 2 correlation (stage boundaries against NVM media
 //! traffic) in one view.
+//!
+//! When a [`RunProfile`](crate::profile::RunProfile) is supplied, the
+//! critical path is highlighted on top: every task span on the path gets
+//! `"args":{"critical":true}` and consecutive path tasks are chained with
+//! `critical-path` flow arrows, so the one chain of spans that determines
+//! the end-to-end runtime reads directly off the timeline.
 
 use crate::events::{Event, TimedEvent};
+use crate::profile::RunProfile;
 use memtier_des::SimTime;
 use memtier_memsim::{CounterSample, TierId};
 use serde::{Deserialize, Serialize};
@@ -60,7 +67,7 @@ impl TaskSpan {
 /// `pid` = executor, `tid` = slot, timestamps in microseconds of virtual
 /// time. Loadable in `chrome://tracing` or Perfetto as-is.
 pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
-    chrome_trace_json_full(spans, &[], &[])
+    chrome_trace_json_full(spans, &[], &[], None)
 }
 
 /// Render the full telemetry picture as one Chrome-tracing JSON document:
@@ -69,14 +76,17 @@ pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
 ///
 /// Counter tracks are only emitted for tiers that saw traffic (judged from
 /// the last sample's cumulative counters), so an all-DRAM run doesn't drag
-/// three flat-zero tracks into the view. Pass empty slices to degrade
-/// gracefully — `chrome_trace_json` is exactly that.
+/// three flat-zero tracks into the view. Pass empty slices (and `None` for
+/// the profile) to degrade gracefully — `chrome_trace_json` is exactly
+/// that.
 pub fn chrome_trace_json_full(
     spans: &[TaskSpan],
     samples: &[CounterSample],
     events: &[TimedEvent],
+    profile: Option<&RunProfile>,
 ) -> String {
     let mut out = Vec::with_capacity(spans.len() + 4 * samples.len() + events.len());
+    let critical: Vec<(u64, u64)> = profile.map(|p| p.critical_tasks()).unwrap_or_default();
 
     // Process-name metadata so Perfetto labels the lanes.
     let mut execs: Vec<usize> = spans.iter().map(|s| s.executor).collect();
@@ -102,6 +112,7 @@ pub fn chrome_trace_json_full(
     }
 
     for s in spans {
+        let is_critical = critical.contains(&(s.job, s.task_id));
         out.push(json!({
             "name": format!("job{} stage{} p{}", s.job, s.stage, s.partition),
             "cat": "task",
@@ -110,14 +121,58 @@ pub fn chrome_trace_json_full(
             "dur": s.duration().as_secs_f64() * 1e6,
             "pid": s.executor,
             "tid": s.slot,
-            "args": { "task_id": s.task_id }
+            "args": { "task_id": s.task_id, "critical": is_critical }
         }));
     }
 
+    push_critical_path(&mut out, spans, &critical);
     push_lifecycle_events(&mut out, events);
     push_counter_tracks(&mut out, samples);
 
     serde_json::to_string_pretty(&json!({ "traceEvents": out })).expect("trace serialization")
+}
+
+/// Flow arrows chaining consecutive critical-path tasks across executor
+/// lanes: an `s` at each path task's end, an `f` at the next path task's
+/// start. Ids live above bit 63 so they can never collide with the
+/// stage-flow ids (`job << 32 | stage`).
+fn push_critical_path(
+    out: &mut Vec<serde_json::Value>,
+    spans: &[TaskSpan],
+    critical: &[(u64, u64)],
+) {
+    let lane = |job: u64, task: u64| {
+        spans
+            .iter()
+            .find(|s| s.job == job && s.task_id == task)
+            .map(|s| (s.executor, s.slot, s.start, s.end))
+    };
+    for (i, pair) in critical.windows(2).enumerate() {
+        let (Some(from), Some(to)) = (lane(pair[0].0, pair[0].1), lane(pair[1].0, pair[1].1))
+        else {
+            continue;
+        };
+        let flow_id = (1u64 << 63) | i as u64;
+        out.push(json!({
+            "name": "critical path",
+            "cat": "critical-path",
+            "ph": "s",
+            "id": flow_id,
+            "ts": from.3.as_us_f64(),
+            "pid": from.0,
+            "tid": from.1
+        }));
+        out.push(json!({
+            "name": "critical path",
+            "cat": "critical-path",
+            "ph": "f",
+            "bp": "e",
+            "id": flow_id,
+            "ts": to.2.as_us_f64(),
+            "pid": to.0,
+            "tid": to.1
+        }));
+    }
 }
 
 /// Driver-lane job (tid 0) and stage (tid 1) spans, with `s`/`f` flow
@@ -298,7 +353,7 @@ mod tests {
 
     #[test]
     fn counter_tracks_only_for_active_tiers() {
-        let json = chrome_trace_json_full(&[span(0, 0, 5)], &[sample(1, 100)], &[]);
+        let json = chrome_trace_json_full(&[span(0, 0, 5)], &[sample(1, 100)], &[], None);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let events = v["traceEvents"].as_array().unwrap();
         let counters: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "C").collect();
@@ -342,7 +397,7 @@ mod tests {
                 },
             },
         ];
-        let json = chrome_trace_json_full(&[], &[], &events);
+        let json = chrome_trace_json_full(&[], &[], &events, None);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let out = v["traceEvents"].as_array().unwrap();
         let job = out
@@ -356,5 +411,42 @@ mod tests {
         assert!(out
             .iter()
             .any(|e| e["ph"] == "M" && e["args"]["name"] == "driver"));
+    }
+
+    #[test]
+    fn critical_path_is_highlighted_with_flow_arrows() {
+        use crate::profile::{PathSegment, RunProfile, SegmentKind};
+        let spans = vec![span(0, 0, 10), span(1, 0, 25), span(2, 25, 40)];
+        let seg = |task_id: u64, start_ms: u64, end_ms: u64| PathSegment {
+            kind: SegmentKind::Task,
+            start: SimTime::from_ms(start_ms),
+            end: SimTime::from_ms(end_ms),
+            job: Some(0),
+            task_id: Some(task_id),
+        };
+        let profile = RunProfile {
+            elapsed: SimTime::from_ms(40),
+            attribution: Default::default(),
+            segments: vec![seg(1, 0, 25), seg(2, 25, 40)],
+        };
+        let json = chrome_trace_json_full(&spans, &[], &[], Some(&profile));
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        // Tasks 1 and 2 are on the path, task 0 is not.
+        let marked: Vec<u64> = out
+            .iter()
+            .filter(|e| e["cat"] == "task" && e["args"]["critical"] == true)
+            .map(|e| e["args"]["task_id"].as_u64().unwrap())
+            .collect();
+        assert_eq!(marked, vec![1, 2]);
+        // One arrow chains the two path tasks.
+        let arrows: Vec<&serde_json::Value> = out
+            .iter()
+            .filter(|e| e["cat"] == "critical-path")
+            .collect();
+        assert_eq!(arrows.len(), 2);
+        assert_eq!(arrows[0]["ph"], "s");
+        assert_eq!(arrows[1]["ph"], "f");
+        assert_eq!(arrows[0]["id"], arrows[1]["id"]);
     }
 }

@@ -238,6 +238,102 @@ fn stage_rollups_sum_to_app_totals() {
 }
 
 #[test]
+fn rollups_and_profile_conserve_with_cached_rdd_skipped_stages() {
+    // Cached-RDD lineage pruning must not break either rollup accounting or
+    // critical-path conservation: the second action's job skips the shuffle
+    // map stage (the cache already holds the shuffle output), so its result
+    // stage is runnable at job submission and the path walk terminates on
+    // an `activated_by: None` record.
+    let sc = nvm_ctx();
+    let counts = sc
+        .parallelize((0u64..20_000).map(|i| (i % 40, i)).collect::<Vec<_>>(), 8)
+        .reduce_by_key(|a, b| a + b)
+        .cache();
+    counts.count().unwrap(); // materialize cache (job 0: two stages)
+    counts.count().unwrap(); // job 1: map stage skipped
+    let report = sc.finish();
+
+    // Rollups still cover exactly the executed stages and all tasks.
+    assert_eq!(report.stage_rollups.len() as u64, report.metrics.stages);
+    let rollup_tasks: u64 = report.stage_rollups.iter().map(|r| r.tasks).sum();
+    assert_eq!(rollup_tasks, report.metrics.tasks);
+    // Job 1 executed fewer stages than job 0.
+    let stages_in = |job: u64| report.stage_rollups.iter().filter(|r| r.job == job).count();
+    assert!(
+        stages_in(1) < stages_in(0),
+        "job 1 must skip the cached shuffle stage ({} vs {})",
+        stages_in(1),
+        stages_in(0)
+    );
+
+    // The profile still conserves across both jobs, and its log has no
+    // record for the skipped stage.
+    assert!(report.profile.conserves());
+    let log = sc.profile_log();
+    assert_eq!(log.stages.len() as u64, report.metrics.stages);
+    assert_eq!(log.jobs.len(), 2);
+    let job1: Vec<_> = log.stages.iter().filter(|s| s.job == 1).collect();
+    assert_eq!(job1.len(), 1, "job 1 must run only the result stage");
+    assert!(
+        job1[0].activated_by.is_none(),
+        "a skipped-parent stage is runnable at job submission"
+    );
+}
+
+#[test]
+fn run_profile_conserves_and_walks_real_tasks() {
+    let sc = nvm_ctx();
+    run_shuffle_job(&sc);
+    let report = sc.finish();
+    let profile = &report.profile;
+    assert!(profile.conserves());
+    assert_eq!(profile.elapsed, report.elapsed);
+    // Every critical task is a real recorded task with the stated span.
+    let log = sc.profile_log();
+    let critical = profile.critical_tasks();
+    assert!(!critical.is_empty());
+    for (job, task_id) in critical {
+        assert!(
+            log.tasks
+                .iter()
+                .any(|t| t.job == job && t.task_id == task_id),
+            "critical task ({job},{task_id}) not in the log"
+        );
+    }
+    // Memory stall lands only on the bound tier.
+    let idx = TierId::NVM_NEAR.index();
+    for (i, r) in profile.attribution.mem_read.iter().enumerate() {
+        if i != idx {
+            assert!(r.is_zero() && profile.attribution.mem_write[i].is_zero());
+        }
+    }
+    assert!(profile.attribution.mem_read[idx] + profile.attribution.mem_write[idx] > SimTime::ZERO);
+}
+
+#[test]
+fn task_finished_events_carry_conserving_breakdowns() {
+    let sc = nvm_ctx();
+    let log = sc.enable_event_log();
+    run_shuffle_job(&sc);
+    sc.finish();
+    let mut finished = 0;
+    for e in log.events() {
+        if let Event::TaskFinished { breakdown, .. } = e.event {
+            finished += 1;
+            assert!(breakdown.total() > SimTime::ZERO);
+            // Traffic is bound to Tier 2; no stall elsewhere.
+            for i in 0..4 {
+                if i != TierId::NVM_NEAR.index() {
+                    assert!(breakdown.mem_read[i].is_zero());
+                    assert!(breakdown.mem_write[i].is_zero());
+                }
+            }
+        }
+    }
+    assert!(finished > 0);
+}
+
+#[test]
 fn trace_includes_counter_tracks_and_stage_flows() {
     let sc = nvm_ctx();
     sc.enable_tracing();
