@@ -1,0 +1,112 @@
+//! Perf-regression gate: diff two machine-readable baselines
+//! (`BENCH_profile.json` or `BENCH_hotness.json`) and fail when any
+//! scenario's virtual runtime drifted beyond tolerance.
+//!
+//! ```text
+//! cargo run --release -p memtier-bench --bin compare -- \
+//!     --baseline results/BENCH_profile.json \
+//!     --candidate fresh/BENCH_profile.json \
+//!     --tolerance-pct 2
+//! ```
+//!
+//! The two files are joined on the scenario label. Scenarios present in
+//! only one file also fail the gate — a silently changed scenario set is a
+//! regression of the baseline itself. The simulator is deterministic, so
+//! two runs of the same code must agree to the last bit; the tolerance
+//! exists for intentional model changes that also update the baseline.
+
+use memtier_bench::{compare_runtimes, pct, RuntimeRow};
+use memtier_metrics::table::fmt_f64;
+use memtier_metrics::AsciiTable;
+use std::process::exit;
+
+fn arg(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Vec<RuntimeRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("compare: read {path}: {e}");
+        exit(2);
+    });
+    let rows: Vec<RuntimeRow> = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("compare: {path} is not a baseline (array of rows with scenario + virtual_runtime_s): {e}");
+        exit(2);
+    });
+    if rows.is_empty() {
+        eprintln!("compare: {path} is empty");
+        exit(2);
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("usage: compare --baseline <json> --candidate <json> [--tolerance-pct <pct>]");
+        exit(2);
+    });
+    let candidate_path = arg(&args, "--candidate").unwrap_or_else(|| {
+        eprintln!("usage: compare --baseline <json> --candidate <json> [--tolerance-pct <pct>]");
+        exit(2);
+    });
+    let tolerance_pct: f64 = arg(&args, "--tolerance-pct")
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("compare: bad --tolerance-pct {s:?}: {e}");
+                exit(2);
+            })
+        })
+        .unwrap_or(2.0);
+
+    let baseline = load(&baseline_path);
+    let candidate = load(&candidate_path);
+    let (deltas, unmatched) = compare_runtimes(&baseline, &candidate);
+
+    let mut t =
+        AsciiTable::new(vec!["scenario", "baseline (s)", "candidate (s)", "delta"]).title(format!(
+            "Virtual-runtime comparison ({} scenarios, tolerance {:.2}%)",
+            deltas.len(),
+            tolerance_pct
+        ));
+    let mut worst = 0.0f64;
+    let mut failures = 0usize;
+    for d in &deltas {
+        let flag = if d.out_of_tolerance(tolerance_pct) {
+            failures += 1;
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        worst = worst.max(d.delta_pct.abs());
+        t.row(vec![
+            d.scenario.clone(),
+            fmt_f64(d.baseline_s, 6),
+            fmt_f64(d.candidate_s, 6),
+            format!("{}{}", pct(d.delta_pct / 100.0), flag),
+        ]);
+    }
+    println!("{}", t.render());
+    for u in &unmatched {
+        eprintln!("compare: scenario set drifted — {u}");
+    }
+    println!(
+        "worst |delta| {:.4}% over {} scenarios ({} beyond tolerance, {} unmatched)",
+        worst,
+        deltas.len(),
+        failures,
+        unmatched.len()
+    );
+
+    if failures > 0 || !unmatched.is_empty() {
+        eprintln!(
+            "compare: FAILED — {failures} scenario(s) beyond ±{tolerance_pct}% and {} unmatched label(s)",
+            unmatched.len()
+        );
+        exit(1);
+    }
+    println!("compare: OK — all scenarios within ±{tolerance_pct}%");
+}

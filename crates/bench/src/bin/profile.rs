@@ -52,7 +52,10 @@ fn main() {
     let dir = arg(&args, "--dir").unwrap_or_else(|| "results".to_string());
     let check = args.iter().any(|a| a == "--check");
 
-    let apps: Vec<String> = all_workloads().iter().map(|w| w.name().to_string()).collect();
+    let apps: Vec<String> = all_workloads()
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
     let scenarios: Vec<Scenario> = apps
         .iter()
         .flat_map(|app| {
@@ -166,8 +169,8 @@ fn verify(dir: &str, apps: &[String], results: &[ScenarioResult], size: DataSize
         .map(|app| format!("{dir}/profile_{app}.json"))
         .chain(std::iter::once(format!("{dir}/BENCH_profile.json")))
     {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("read {path}: {e}")));
         let entries: Vec<memtier_bench::BenchProfileEntry> = serde_json::from_str(&text)
             .unwrap_or_else(|e| fail(format!("{path} is not a valid baseline: {e}")));
         if entries.is_empty() {

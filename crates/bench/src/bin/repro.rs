@@ -243,7 +243,10 @@ fn main() {
         }
         v.sort_by_key(|r| r.scenario.tier);
         let r = v[2];
-        assert!(r.profile.conserves(), "attribution must conserve for {w}-{s}");
+        assert!(
+            r.profile.conserves(),
+            "attribution must conserve for {w}-{s}"
+        );
         let a = &r.profile.attribution;
         let named = a.named_seconds();
         let dominant = named

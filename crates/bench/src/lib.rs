@@ -91,8 +91,146 @@ pub fn write_bench_profile(path: &str, results: &[ScenarioResult]) {
     eprintln!("wrote {path} ({} entries)", entries.len());
 }
 
+/// One row of the object-hotness baseline (`BENCH_hotness.json`): a
+/// scenario's virtual runtime, its total nominal memory stall, and the
+/// hottest objects ranked by the bytes they moved. The full per-tier ledger
+/// conserves against the machine counters in-process before this summary is
+/// written; the file keeps the top objects only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchHotnessEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, executor grid).
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// Total nominal memory stall across all objects and tiers, seconds.
+    pub total_stall_s: f64,
+    /// Hottest objects by bytes moved, descending.
+    pub objects: Vec<HotObjectRow>,
+}
+
+/// One hot object inside a [`BenchHotnessEntry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotObjectRow {
+    /// Object label (`rdd3:cache`, `shuffle1:write`, `scratch`, ...).
+    pub object: String,
+    /// Total bytes moved for this object across all tiers.
+    pub total_bytes: u64,
+    /// Nominal stall this object's accesses cost, seconds.
+    pub stall_s: f64,
+    /// Stall seconds saved if the object's traffic had run on Tier 0.
+    pub promotion_gain_s: f64,
+}
+
+/// How many hot objects each [`BenchHotnessEntry`] keeps.
+pub const HOTNESS_TOP_K: usize = 10;
+
+/// Build the hotness-baseline rows for a result set, in input order.
+pub fn bench_hotness_entries(results: &[ScenarioResult]) -> Vec<BenchHotnessEntry> {
+    results
+        .iter()
+        .map(|r| BenchHotnessEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            virtual_runtime_s: r.elapsed_s,
+            total_stall_s: r.hotness.total_stall().as_secs_f64(),
+            objects: r
+                .hotness
+                .top_by_bytes(HOTNESS_TOP_K)
+                .into_iter()
+                .map(|o| HotObjectRow {
+                    object: o.label.clone(),
+                    total_bytes: o.total_bytes,
+                    stall_s: o.stall.as_secs_f64(),
+                    promotion_gain_s: o.promotion_gain().as_secs_f64(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The fields `compare` needs from a baseline row — deserializes from both
+/// `BENCH_profile.json` and `BENCH_hotness.json` entries (unknown fields are
+/// ignored).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeRow {
+    /// Full scenario label; the join key between two baselines.
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+}
+
+/// One scenario's baseline-vs-candidate runtime comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RuntimeDelta {
+    /// Full scenario label.
+    pub scenario: String,
+    /// Baseline virtual runtime, seconds.
+    pub baseline_s: f64,
+    /// Candidate virtual runtime, seconds.
+    pub candidate_s: f64,
+    /// Signed relative change, percent (`+` means the candidate is slower).
+    pub delta_pct: f64,
+}
+
+impl RuntimeDelta {
+    /// Whether the delta exceeds `tolerance_pct` in either direction.
+    pub fn out_of_tolerance(&self, tolerance_pct: f64) -> bool {
+        self.delta_pct.abs() > tolerance_pct
+    }
+}
+
+/// Join two baselines on the scenario label and compute per-scenario
+/// runtime deltas. Returns the deltas (baseline order) plus the labels
+/// present in only one side — a changed scenario set is itself a
+/// comparison failure, so `compare` reports those too.
+pub fn compare_runtimes(
+    baseline: &[RuntimeRow],
+    candidate: &[RuntimeRow],
+) -> (Vec<RuntimeDelta>, Vec<String>) {
+    let cand: BTreeMap<&str, f64> = candidate
+        .iter()
+        .map(|r| (r.scenario.as_str(), r.virtual_runtime_s))
+        .collect();
+    let base_labels: std::collections::BTreeSet<&str> =
+        baseline.iter().map(|r| r.scenario.as_str()).collect();
+    let mut deltas = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for r in baseline {
+        match cand.get(r.scenario.as_str()) {
+            Some(&c) => deltas.push(RuntimeDelta {
+                scenario: r.scenario.clone(),
+                baseline_s: r.virtual_runtime_s,
+                candidate_s: c,
+                delta_pct: if r.virtual_runtime_s > 0.0 {
+                    (c - r.virtual_runtime_s) / r.virtual_runtime_s * 100.0
+                } else {
+                    0.0
+                },
+            }),
+            None => unmatched.push(format!("baseline-only: {}", r.scenario)),
+        }
+    }
+    for r in candidate {
+        if !base_labels.contains(r.scenario.as_str()) {
+            unmatched.push(format!("candidate-only: {}", r.scenario));
+        }
+    }
+    (deltas, unmatched)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::{compare_runtimes, RuntimeRow};
+
+    fn row(scenario: &str, s: f64) -> RuntimeRow {
+        RuntimeRow {
+            scenario: scenario.to_string(),
+            virtual_runtime_s: s,
+        }
+    }
+
     #[test]
     fn thread_count_is_positive() {
         assert!(super::campaign_threads() >= 1);
@@ -123,5 +261,60 @@ mod tests {
         let json = serde_json::to_string(&entries).unwrap();
         let back: Vec<super::BenchProfileEntry> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn hotness_entries_summarize_the_report() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        assert!(r.hotness.conserves(&r.counters));
+        let entries = super::bench_hotness_entries(std::slice::from_ref(&r));
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.app, "sort");
+        assert!(e.total_stall_s > 0.0);
+        assert!(!e.objects.is_empty() && e.objects.len() <= super::HOTNESS_TOP_K);
+        for pair in e.objects.windows(2) {
+            assert!(pair[0].total_bytes >= pair[1].total_bytes);
+        }
+        // Everything ran on an NVM tier, so promoting the traffic to local
+        // DRAM saves stall on every object that moved bytes.
+        assert!(e.objects[0].promotion_gain_s > 0.0);
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<super::BenchHotnessEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn runtime_rows_load_from_profile_entries() {
+        // `compare` must accept both baseline formats; a profile entry's
+        // extra fields deserialize away silently.
+        let json = r#"[{"app":"sort","scenario":"sort-tiny@Tier 2, 1x40",
+                        "virtual_runtime_s":1.5,"attribution":{"compute":1.5}}]"#;
+        let rows: Vec<RuntimeRow> = serde_json::from_str(json).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].virtual_runtime_s, 1.5);
+    }
+
+    #[test]
+    fn compare_joins_on_label_and_flags_drift() {
+        let base = vec![row("a", 1.0), row("b", 2.0), row("gone", 3.0)];
+        let cand = vec![row("a", 1.01), row("b", 2.0), row("new", 4.0)];
+        let (deltas, unmatched) = compare_runtimes(&base, &cand);
+        assert_eq!(deltas.len(), 2);
+        assert!((deltas[0].delta_pct - 1.0).abs() < 1e-9);
+        assert!(deltas[0].out_of_tolerance(0.5));
+        assert!(!deltas[0].out_of_tolerance(2.0));
+        assert_eq!(deltas[1].delta_pct, 0.0);
+        assert_eq!(
+            unmatched,
+            vec![
+                "baseline-only: gone".to_string(),
+                "candidate-only: new".to_string()
+            ]
+        );
     }
 }

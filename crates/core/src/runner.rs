@@ -134,6 +134,7 @@ fn run_on_context(
         quality: output.quality,
         stage_rollups: report.stage_rollups,
         profile: report.profile,
+        hotness: report.hotness,
     };
     Ok((result, telemetry))
 }
@@ -200,6 +201,9 @@ mod tests {
         // The counter series ends exactly on the run's cumulative totals.
         let last = t.counter_series.last().expect("series must be non-empty");
         assert_eq!(last.counters, r.counters);
+        // The per-object attribution conserves against the same counters.
+        assert!(r.hotness.conserves(&r.counters));
+        assert!(!r.hotness.objects.is_empty());
         // And the trace is valid JSON with task spans and counter tracks.
         let trace: serde_json::Value =
             serde_json::from_str(t.trace_json.as_deref().unwrap()).unwrap();

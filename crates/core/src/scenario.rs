@@ -1,6 +1,6 @@
 //! Experimental points and their measurements.
 
-use memtier_memsim::{CounterSnapshot, TierId, NUM_TIERS};
+use memtier_memsim::{CounterSnapshot, HotnessReport, TierId, NUM_TIERS};
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
 use sparklite::{RunProfile, StageRollup};
@@ -103,6 +103,12 @@ pub struct ScenarioResult {
     /// same backward-compatibility reason as `stage_rollups`).
     #[serde(default)]
     pub profile: RunProfile,
+    /// Per-object memory attribution: objects ranked by the traffic they
+    /// drove, with per-tier residency, stall, energy and NVM-wear
+    /// breakdowns. Conserves against `counters` in exact integers
+    /// (`#[serde(default)]` for backward compatibility).
+    #[serde(default)]
+    pub hotness: HotnessReport,
 }
 
 impl ScenarioResult {

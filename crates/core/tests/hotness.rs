@@ -1,0 +1,109 @@
+//! Workspace acceptance tests for object-level memory attribution:
+//! exact-integer conservation against the machine counters for every
+//! workload in the suite, and byte-identical hotness reports across runs.
+
+use memtier_core::{run_scenario, run_scenario_instrumented, Scenario, TelemetryOptions};
+use memtier_memsim::{ObjectId, TierId};
+use memtier_workloads::{all_workloads, DataSize};
+
+/// The tentpole invariant: for every workload in the suite, the per-object
+/// ledger partitions the machine counters — summed over objects, per-tier
+/// reads, writes and bytes match the `CounterSnapshot` in exact integers.
+#[test]
+fn hotness_conserves_for_every_workload() {
+    for w in all_workloads() {
+        for tier in [TierId::LOCAL_DRAM, TierId::NVM_NEAR] {
+            let s = Scenario::default_conf(w.name(), DataSize::Tiny, tier);
+            let r = run_scenario(&s).unwrap();
+            assert!(
+                r.hotness.conserves(&r.counters),
+                "{}: per-object attribution does not partition the counters",
+                s.label()
+            );
+            assert!(
+                !r.hotness.objects.is_empty(),
+                "{}: a real run must attribute traffic to at least one object",
+                s.label()
+            );
+            // Every run does coordination work, so the scratch object exists
+            // and all traffic landed on the bound tier.
+            assert!(
+                r.hotness
+                    .objects
+                    .iter()
+                    .any(|o| o.object == ObjectId::Scratch),
+                "{}: coordination traffic must be attributed",
+                s.label()
+            );
+            for o in &r.hotness.objects {
+                for t in TierId::all() {
+                    if t != tier {
+                        assert!(
+                            o.tiers[t.index()].traffic.is_empty(),
+                            "{}: object {} has traffic on unbound {}",
+                            s.label(),
+                            o.label,
+                            t
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterative cached workloads must attribute traffic to their cache blocks,
+/// and shuffling workloads to their shuffle segments — the taxonomy is
+/// populated, not just `Scratch`.
+#[test]
+fn taxonomy_covers_cache_and_shuffle_objects() {
+    let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR);
+    let r = run_scenario(&s).unwrap();
+    let has = |pred: &dyn Fn(&ObjectId) -> bool| r.hotness.objects.iter().any(|o| pred(&o.object));
+    assert!(
+        has(&|o| matches!(o, ObjectId::CacheBlock { .. })),
+        "pagerank caches its rank RDD, so cache-block traffic must appear"
+    );
+    assert!(
+        has(&|o| matches!(o, ObjectId::ShuffleWrite { .. })),
+        "pagerank shuffles contributions, so shuffle-write traffic must appear"
+    );
+    assert!(
+        has(&|o| matches!(o, ObjectId::ShuffleFetch { .. })),
+        "shuffle reads must appear too"
+    );
+}
+
+/// Determinism: two instrumented runs of the same scenario produce
+/// byte-identical `HotnessReport` JSON.
+#[test]
+fn hotness_json_is_deterministic_across_runs() {
+    let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_FAR);
+    let (a, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+    let (b, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
+    let ja = serde_json::to_string(&a.hotness).unwrap();
+    let jb = serde_json::to_string(&b.hotness).unwrap();
+    assert_eq!(ja, jb, "hotness reports must be byte-identical across runs");
+    assert!(!a.hotness.objects.is_empty());
+}
+
+/// The ranking surface: `top_by_bytes` is sorted by total bytes descending
+/// and bounded by `k`, and the top object really is the heaviest.
+#[test]
+fn top_k_is_ordered_and_bounded() {
+    let s = Scenario::default_conf("als", DataSize::Tiny, TierId::REMOTE_DRAM);
+    let r = run_scenario(&s).unwrap();
+    let top = r.hotness.top_by_bytes(3);
+    assert!(top.len() <= 3);
+    for pair in top.windows(2) {
+        assert!(pair[0].total_bytes >= pair[1].total_bytes);
+    }
+    let max = r
+        .hotness
+        .objects
+        .iter()
+        .map(|o| o.total_bytes)
+        .max()
+        .unwrap();
+    assert_eq!(top[0].total_bytes, max);
+}

@@ -35,10 +35,19 @@ fn attribution_conserves_for_every_workload() {
             let mut cursor = SimTime::ZERO;
             for seg in &r.profile.segments {
                 assert_eq!(seg.start, cursor, "{}: segments must abut", s.label());
-                assert!(seg.end >= seg.start, "{}: segment runs backwards", s.label());
+                assert!(
+                    seg.end >= seg.start,
+                    "{}: segment runs backwards",
+                    s.label()
+                );
                 cursor = seg.end;
             }
-            assert_eq!(cursor, r.profile.elapsed, "{}: path must reach the end", s.label());
+            assert_eq!(
+                cursor,
+                r.profile.elapsed,
+                "{}: path must reach the end",
+                s.label()
+            );
             assert!(
                 !r.profile.critical_tasks().is_empty(),
                 "{}: a real run has tasks on its critical path",

@@ -303,9 +303,13 @@ mod tests {
 
     #[test]
     fn sum_of_spans() {
-        let total: SimTime = [SimTime::from_ns(1), SimTime::from_us(1), SimTime::from_ms(1)]
-            .into_iter()
-            .sum();
+        let total: SimTime = [
+            SimTime::from_ns(1),
+            SimTime::from_us(1),
+            SimTime::from_ms(1),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, SimTime::from_ps(1_001_001_000));
         let empty: SimTime = std::iter::empty().sum();
         assert_eq!(empty, SimTime::ZERO);

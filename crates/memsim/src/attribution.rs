@@ -1,0 +1,522 @@
+//! Object-level memory attribution.
+//!
+//! `TierCounters` answers *how much* traffic hit each tier; this module
+//! answers *which object* generated it. Every access batch the scheduler
+//! retires is tagged with an [`ObjectId`] — the Spark-level entity the
+//! bytes belong to (a cached RDD block, a shuffle segment, an input scan,
+//! a broadcast variable, or operator scratch) — and an [`AttributionLedger`]
+//! accumulates per-object × per-tier traffic, nominal stall time, dynamic
+//! energy and media writes.
+//!
+//! The central invariant is **conservation**: summed over objects, the
+//! ledger's per-tier traffic equals the machine's [`CounterSnapshot`]
+//! totals in exact integers ([`AttributionLedger::conserves`]). The ledger
+//! is charged from the same batches as the counters, so nothing can leak —
+//! tests in `memtier-core` assert this for every suite workload.
+//!
+//! [`AttributionLedger::report`] distills the ledger into a
+//! [`HotnessReport`]: objects ranked by traffic, with per-tier residency
+//! breakdowns, stall contributions, and a "what if this lived on Tier 0"
+//! repricing per object — the observable the paper's placement question
+//! needs at object granularity.
+
+use crate::access::AccessBatch;
+use crate::counters::CounterSnapshot;
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The Spark-level entity an access batch belongs to.
+///
+/// The taxonomy follows where bytes live in a Spark executor: persisted
+/// RDD cache blocks, shuffle write/fetch segments, input (source) blocks,
+/// broadcast variables, and operator scratch (hash tables, sort buffers,
+/// per-record state). `Ord` gives the ledger a deterministic iteration
+/// order, which keeps reports byte-identical across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ObjectId {
+    /// A persisted RDD's cache blocks (reads on hit, writes on put).
+    CacheBlock {
+        /// The persisted RDD's id.
+        rdd: u32,
+    },
+    /// A source RDD's input blocks (parallelize/generator/text scans).
+    Input {
+        /// The source RDD's id.
+        rdd: u32,
+    },
+    /// A shuffle's map-output segments on the write side.
+    ShuffleWrite {
+        /// The shuffle's id.
+        shuffle: u32,
+    },
+    /// A shuffle's fetched segments on the reduce side.
+    ShuffleFetch {
+        /// The shuffle's id.
+        shuffle: u32,
+    },
+    /// Broadcast variable fetches.
+    Broadcast,
+    /// Operator scratch: hash tables, sort buffers, per-record working set.
+    Scratch,
+}
+
+impl ObjectId {
+    /// Short human-readable label, e.g. `rdd3:cache` or `shuffle1:fetch`.
+    pub fn label(&self) -> String {
+        match self {
+            ObjectId::CacheBlock { rdd } => format!("rdd{rdd}:cache"),
+            ObjectId::Input { rdd } => format!("rdd{rdd}:input"),
+            ObjectId::ShuffleWrite { shuffle } => format!("shuffle{shuffle}:write"),
+            ObjectId::ShuffleFetch { shuffle } => format!("shuffle{shuffle}:fetch"),
+            ObjectId::Broadcast => "broadcast".to_string(),
+            ObjectId::Scratch => "scratch".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One object's accumulated footprint on one tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObjectTierStats {
+    /// Accumulated traffic the object caused on this tier.
+    pub traffic: AccessBatch,
+    /// Nominal read-stall time: reads × the tier's effective read cost.
+    pub stall_read: SimTime,
+    /// Nominal write-stall time: writes × the tier's effective write cost.
+    pub stall_write: SimTime,
+    /// Dynamic energy of the object's traffic on this tier, joules.
+    pub energy_j: f64,
+    /// Media write accesses (the quantity NVM endurance budgets charge).
+    pub media_writes: u64,
+}
+
+impl ObjectTierStats {
+    /// Total stall time (read + write).
+    pub fn stall(&self) -> SimTime {
+        self.stall_read + self.stall_write
+    }
+
+    /// Total bytes moved (read + written).
+    pub fn bytes(&self) -> u64 {
+        self.traffic.total_bytes()
+    }
+}
+
+/// One point of an object's cumulative-bytes timeline, recorded each time
+/// a batch retires. Feeds the per-hot-object counter tracks in the
+/// Perfetto trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectSample {
+    /// Virtual instant the batch retired.
+    pub at: SimTime,
+    /// The object charged.
+    pub object: ObjectId,
+    /// Bytes this batch moved (read + written).
+    pub delta_bytes: u64,
+    /// The object's cumulative bytes across all tiers after this batch.
+    pub total_bytes: u64,
+}
+
+/// Accumulates per-object × per-tier attribution over a run.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionLedger {
+    objects: BTreeMap<ObjectId, [ObjectTierStats; NUM_TIERS]>,
+    series: Vec<ObjectSample>,
+}
+
+impl AttributionLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> AttributionLedger {
+        AttributionLedger::default()
+    }
+
+    /// Charge a batch to an object on a tier, pricing stall time and energy
+    /// with the tier's parameters (the same formulas the memory system uses
+    /// for nominal access time and the energy meter uses for dynamic
+    /// joules, so per-object stats line up with machine totals).
+    pub fn record(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        object: ObjectId,
+        batch: &AccessBatch,
+        params: &TierParams,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let per_tier = self
+            .objects
+            .entry(object)
+            .or_insert_with(|| [ObjectTierStats::default(); NUM_TIERS]);
+        let s = &mut per_tier[tier.index()];
+        s.traffic += *batch;
+        s.stall_read += SimTime::from_ns_f64(batch.reads as f64 * params.effective_read_ns());
+        s.stall_write += SimTime::from_ns_f64(batch.writes as f64 * params.effective_write_ns());
+        s.energy_j += (params.read_energy_pj_per_byte * batch.bytes_read as f64
+            + params.write_energy_pj_per_byte * batch.bytes_written as f64)
+            * 1e-12;
+        s.media_writes += batch.writes;
+        let total_bytes = per_tier.iter().map(ObjectTierStats::bytes).sum();
+        self.series.push(ObjectSample {
+            at: now,
+            object,
+            delta_bytes: batch.total_bytes(),
+            total_bytes,
+        });
+    }
+
+    /// Distinct objects charged so far.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The per-batch cumulative-bytes timeline, in charge order.
+    pub fn series(&self) -> &[ObjectSample] {
+        &self.series
+    }
+
+    /// Summed per-object traffic for one tier — must equal the machine's
+    /// counter totals for that tier.
+    pub fn tier_total(&self, tier: TierId) -> AccessBatch {
+        self.objects
+            .values()
+            .map(|per_tier| per_tier[tier.index()].traffic)
+            .sum()
+    }
+
+    /// True iff the ledger conserves against a machine counter snapshot:
+    /// for every tier, summed per-object reads/writes/bytes equal the
+    /// snapshot totals in exact integers.
+    pub fn conserves(&self, snapshot: &CounterSnapshot) -> bool {
+        TierId::all().into_iter().all(|t| {
+            let mine = self.tier_total(t);
+            let theirs = snapshot.tier(t);
+            mine.reads == theirs.reads
+                && mine.writes == theirs.writes
+                && mine.bytes_read == theirs.bytes_read
+                && mine.bytes_written == theirs.bytes_written
+        })
+    }
+
+    /// Distill the ledger into a [`HotnessReport`], pricing the
+    /// "what if it lived on Tier 0" stall with `params[0]`.
+    pub fn report(&self, params: &[TierParams; NUM_TIERS]) -> HotnessReport {
+        let local = &params[TierId::LOCAL_DRAM.index()];
+        let mut objects: Vec<ObjectReport> = self
+            .objects
+            .iter()
+            .map(|(&object, per_tier)| {
+                let total_bytes = per_tier.iter().map(ObjectTierStats::bytes).sum();
+                let total_accesses = per_tier.iter().map(|s| s.traffic.total_accesses()).sum();
+                let stall = per_tier.iter().map(ObjectTierStats::stall).sum();
+                let stall_if_local = per_tier
+                    .iter()
+                    .map(|s| {
+                        SimTime::from_ns_f64(s.traffic.reads as f64 * local.effective_read_ns())
+                            + SimTime::from_ns_f64(
+                                s.traffic.writes as f64 * local.effective_write_ns(),
+                            )
+                    })
+                    .sum();
+                let energy_j = per_tier.iter().map(|s| s.energy_j).sum();
+                let nvm_media_writes = [TierId::NVM_NEAR, TierId::NVM_FAR]
+                    .into_iter()
+                    .map(|t| per_tier[t.index()].media_writes)
+                    .sum();
+                ObjectReport {
+                    object,
+                    label: object.label(),
+                    tiers: *per_tier,
+                    total_bytes,
+                    total_accesses,
+                    stall,
+                    stall_if_local,
+                    energy_j,
+                    nvm_media_writes,
+                }
+            })
+            .collect();
+        objects.sort_by(|a, b| {
+            b.total_bytes
+                .cmp(&a.total_bytes)
+                .then_with(|| a.object.cmp(&b.object))
+        });
+        HotnessReport { objects }
+    }
+}
+
+/// One object's row in the [`HotnessReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectReport {
+    /// The object.
+    pub object: ObjectId,
+    /// `object.label()`, denormalized for JSON consumers.
+    pub label: String,
+    /// Per-tier residency breakdown, indexed by `TierId::index()`.
+    pub tiers: [ObjectTierStats; NUM_TIERS],
+    /// Total bytes moved across all tiers.
+    pub total_bytes: u64,
+    /// Total accesses (reads + writes) across all tiers.
+    pub total_accesses: u64,
+    /// Total nominal stall time the object's traffic cost.
+    pub stall: SimTime,
+    /// Nominal stall if every access had been served by Tier 0 — the
+    /// per-object promotion upside (`stall − stall_if_local` is the
+    /// first-order gain of moving the object to local DRAM).
+    pub stall_if_local: SimTime,
+    /// Total dynamic energy of the object's traffic, joules.
+    pub energy_j: f64,
+    /// Media writes on the NVM tiers (wear charged to this object).
+    pub nvm_media_writes: u64,
+}
+
+impl ObjectReport {
+    /// First-order stall reduction from promoting the object to Tier 0.
+    pub fn promotion_gain(&self) -> SimTime {
+        self.stall.saturating_sub(self.stall_if_local)
+    }
+}
+
+/// Objects ranked by traffic, with per-tier residency, stall contribution
+/// and promotion upside. Attached to every run's telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HotnessReport {
+    /// Per-object rows, sorted by `total_bytes` descending (object id
+    /// breaks ties, so the order is deterministic).
+    pub objects: Vec<ObjectReport>,
+}
+
+impl HotnessReport {
+    /// The top `k` objects by traffic (the report's native order).
+    pub fn top_by_bytes(&self, k: usize) -> Vec<&ObjectReport> {
+        self.objects.iter().take(k).collect()
+    }
+
+    /// The top `k` objects by total stall contribution.
+    pub fn top_by_stall(&self, k: usize) -> Vec<&ObjectReport> {
+        let mut refs: Vec<&ObjectReport> = self.objects.iter().collect();
+        refs.sort_by(|a, b| b.stall.cmp(&a.stall).then_with(|| a.object.cmp(&b.object)));
+        refs.truncate(k);
+        refs
+    }
+
+    /// Summed per-object traffic for one tier.
+    pub fn tier_total(&self, tier: TierId) -> AccessBatch {
+        self.objects
+            .iter()
+            .map(|o| o.tiers[tier.index()].traffic)
+            .sum()
+    }
+
+    /// True iff the report conserves against a machine counter snapshot
+    /// (same exact-integer check as [`AttributionLedger::conserves`]).
+    pub fn conserves(&self, snapshot: &CounterSnapshot) -> bool {
+        TierId::all().into_iter().all(|t| {
+            let mine = self.tier_total(t);
+            let theirs = snapshot.tier(t);
+            mine.reads == theirs.reads
+                && mine.writes == theirs.writes
+                && mine.bytes_read == theirs.bytes_read
+                && mine.bytes_written == theirs.bytes_written
+        })
+    }
+
+    /// Total stall across all objects.
+    pub fn total_stall(&self) -> SimTime {
+        self.objects.iter().map(|o| o.stall).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> [TierParams; NUM_TIERS] {
+        TierId::all().map(TierParams::paper_default)
+    }
+
+    #[test]
+    fn object_labels_are_stable() {
+        assert_eq!(ObjectId::CacheBlock { rdd: 3 }.label(), "rdd3:cache");
+        assert_eq!(ObjectId::Input { rdd: 0 }.label(), "rdd0:input");
+        assert_eq!(
+            ObjectId::ShuffleWrite { shuffle: 1 }.label(),
+            "shuffle1:write"
+        );
+        assert_eq!(
+            ObjectId::ShuffleFetch { shuffle: 1 }.label(),
+            "shuffle1:fetch"
+        );
+        assert_eq!(ObjectId::Broadcast.label(), "broadcast");
+        assert_eq!(ObjectId::Scratch.to_string(), "scratch");
+    }
+
+    #[test]
+    fn ledger_accumulates_and_conserves() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        let counters = crate::counters::TierCounters::new([2, 2, 4, 2]);
+        let a = AccessBatch::sequential(4096, 1024);
+        let b = AccessBatch::random_reads(37);
+        ledger.record(
+            SimTime::from_us(1),
+            TierId::NVM_NEAR,
+            ObjectId::Scratch,
+            &a,
+            &p[2],
+        );
+        counters.record(TierId::NVM_NEAR, &a);
+        ledger.record(
+            SimTime::from_us(2),
+            TierId::LOCAL_DRAM,
+            ObjectId::CacheBlock { rdd: 7 },
+            &b,
+            &p[0],
+        );
+        counters.record(TierId::LOCAL_DRAM, &b);
+        assert_eq!(ledger.object_count(), 2);
+        assert!(ledger.conserves(&counters.snapshot()));
+        // A missing batch breaks conservation.
+        counters.record(TierId::NVM_FAR, &AccessBatch::random_writes(1));
+        assert!(!ledger.conserves(&counters.snapshot()));
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        ledger.record(
+            SimTime::ZERO,
+            TierId::LOCAL_DRAM,
+            ObjectId::Scratch,
+            &AccessBatch::EMPTY,
+            &p[0],
+        );
+        assert_eq!(ledger.object_count(), 0);
+        assert!(ledger.series().is_empty());
+    }
+
+    #[test]
+    fn stall_matches_effective_latency() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        let batch = AccessBatch::random_reads(100);
+        ledger.record(
+            SimTime::ZERO,
+            TierId::NVM_NEAR,
+            ObjectId::Broadcast,
+            &batch,
+            &p[2],
+        );
+        let report = ledger.report(&p);
+        let row = &report.objects[0];
+        let want = SimTime::from_ns_f64(100.0 * p[2].effective_read_ns());
+        assert_eq!(row.stall, want);
+        // Promotion to local DRAM is strictly cheaper for NVM-resident reads.
+        assert!(row.stall_if_local < row.stall);
+        assert!(row.promotion_gain() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn report_ranks_by_bytes_then_stall() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        // `big` moves more bytes; `hot` stalls more (random NVM reads).
+        ledger.record(
+            SimTime::ZERO,
+            TierId::LOCAL_DRAM,
+            ObjectId::Input { rdd: 1 },
+            &AccessBatch::sequential(1 << 20, 0),
+            &p[0],
+        );
+        ledger.record(
+            SimTime::ZERO,
+            TierId::NVM_FAR,
+            ObjectId::CacheBlock { rdd: 2 },
+            &AccessBatch::random_reads(5000),
+            &p[3],
+        );
+        let report = ledger.report(&p);
+        assert_eq!(report.objects[0].object, ObjectId::Input { rdd: 1 });
+        let by_stall = report.top_by_stall(2);
+        assert_eq!(by_stall[0].object, ObjectId::CacheBlock { rdd: 2 });
+        assert_eq!(report.top_by_bytes(1).len(), 1);
+    }
+
+    #[test]
+    fn series_tracks_cumulative_bytes() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        let obj = ObjectId::ShuffleWrite { shuffle: 0 };
+        ledger.record(
+            SimTime::from_us(1),
+            TierId::LOCAL_DRAM,
+            obj,
+            &AccessBatch::sequential(0, 100),
+            &p[0],
+        );
+        ledger.record(
+            SimTime::from_us(2),
+            TierId::REMOTE_DRAM,
+            obj,
+            &AccessBatch::sequential(50, 0),
+            &p[1],
+        );
+        let s = ledger.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].total_bytes, 100);
+        assert_eq!(s[1].total_bytes, 150);
+        assert_eq!(s[1].delta_bytes, 50);
+        assert!(s[0].at < s[1].at);
+    }
+
+    #[test]
+    fn energy_and_wear_split_per_object() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        let batch = AccessBatch::sequential(0, 1 << 20);
+        ledger.record(
+            SimTime::ZERO,
+            TierId::NVM_NEAR,
+            ObjectId::Scratch,
+            &batch,
+            &p[2],
+        );
+        let report = ledger.report(&p);
+        let row = &report.objects[0];
+        // 180 pJ/B × 2^20 B.
+        let want_j = 180.0 * (1u64 << 20) as f64 * 1e-12;
+        assert!((row.energy_j - want_j).abs() < 1e-15);
+        assert_eq!(row.nvm_media_writes, batch.writes);
+        assert_eq!(row.total_accesses, batch.writes);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        ledger.record(
+            SimTime::from_us(3),
+            TierId::NVM_NEAR,
+            ObjectId::ShuffleFetch { shuffle: 2 },
+            &AccessBatch::sequential(1024, 2048),
+            &p[2],
+        );
+        let report = ledger.report(&p);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: HotnessReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // ObjectId's tagged representation is stable for JSON consumers.
+        let id_json = serde_json::to_string(&ObjectId::CacheBlock { rdd: 9 }).unwrap();
+        assert_eq!(id_json, r#"{"kind":"cache_block","rdd":9}"#);
+    }
+}

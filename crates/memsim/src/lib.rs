@@ -26,6 +26,9 @@
 //!   `sparklite` engine talks to: per-tier fair-share bandwidth resources,
 //!   access counters, energy meter, wear tracker, MBA controller.
 //! * [`counters`] — `ipmctl`-equivalent per-DIMM media read/write counters.
+//! * [`attribution`] — object-level attribution: which Spark-level entity
+//!   (cached RDD, shuffle segment, input block, broadcast, scratch) caused
+//!   each tier's traffic, stall time, energy and wear.
 //! * [`telemetry`] — virtual-time counter sampling (`ipmctl -watch`
 //!   equivalent): periodic snapshots of media counters, delivered bandwidth,
 //!   queue occupancy and dynamic energy, driven by the DES clock.
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod attribution;
 pub mod config;
 pub mod counters;
 pub mod energy;
@@ -53,6 +57,9 @@ pub mod topology;
 pub mod wear;
 
 pub use access::{AccessBatch, AccessKind, CACHE_LINE_BYTES};
+pub use attribution::{
+    AttributionLedger, HotnessReport, ObjectId, ObjectReport, ObjectSample, ObjectTierStats,
+};
 pub use config::MemSimConfig;
 pub use counters::{CounterSnapshot, TierCounters};
 pub use energy::{EnergyBreakdown, EnergyMeter};

@@ -1,6 +1,7 @@
 //! The memory-system facade the analytics engine talks to.
 
 use crate::access::AccessBatch;
+use crate::attribution::{AttributionLedger, HotnessReport, ObjectId, ObjectSample};
 use crate::config::MemSimConfig;
 use crate::counters::{CounterSnapshot, TierCounters};
 use crate::energy::{EnergyBreakdown, EnergyMeter};
@@ -41,6 +42,7 @@ pub struct MemorySystem {
     energy: EnergyMeter,
     wear: WearTracker,
     mba: MbaController,
+    ledger: AttributionLedger,
     sampler: Option<Sampler>,
     counter_sampler: Option<CounterSampler>,
 }
@@ -84,6 +86,11 @@ pub struct RunTelemetry {
     /// the run teardown re-samples the final instant after every in-flight
     /// batch has been charged.
     pub counter_series: Vec<CounterSample>,
+    /// Object-level attribution: which Spark-level entity caused the
+    /// traffic, ranked by bytes. Conserves against `counters` whenever all
+    /// traffic was retired through
+    /// [`finish_access_attributed`](MemorySystem::finish_access_attributed).
+    pub hotness: HotnessReport,
 }
 
 impl MemorySystem {
@@ -107,6 +114,7 @@ impl MemorySystem {
             energy,
             wear,
             mba: MbaController::new(),
+            ledger: AttributionLedger::new(),
             sampler: None,
             counter_sampler: None,
         }
@@ -224,6 +232,48 @@ impl MemorySystem {
         self.energy
             .record(tier, &self.params[tier.index()].clone(), batch);
         self.wear.record(tier, batch);
+    }
+
+    /// Like [`finish_access`](Self::finish_access), but additionally charges
+    /// the batch to the attribution ledger as per-object parts. The machine
+    /// instruments (counters, energy, wear) are charged once from the whole
+    /// batch; the parts only partition it across objects, so the ledger
+    /// conserves against the counters by construction. In debug builds the
+    /// parts are asserted to sum to the batch exactly.
+    pub fn finish_access_attributed(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        flow: FlowId,
+        batch: &AccessBatch,
+        parts: &[(ObjectId, AccessBatch)],
+    ) {
+        debug_assert_eq!(
+            parts.iter().map(|&(_, b)| b).sum::<AccessBatch>(),
+            *batch,
+            "attributed parts must partition the batch exactly"
+        );
+        self.finish_access(now, tier, flow, batch);
+        let params = self.params[tier.index()].clone();
+        for &(object, part) in parts {
+            self.ledger.record(now, tier, object, &part, &params);
+        }
+    }
+
+    /// The object-level attribution ledger accumulated so far.
+    pub fn ledger(&self) -> &AttributionLedger {
+        &self.ledger
+    }
+
+    /// The per-batch object traffic timeline (for trace export).
+    pub fn object_series(&self) -> &[ObjectSample] {
+        self.ledger.series()
+    }
+
+    /// Distill the attribution ledger into a ranked [`HotnessReport`],
+    /// priced with this system's effective tier parameters.
+    pub fn hotness_report(&self) -> HotnessReport {
+        self.ledger.report(&self.params)
     }
 
     /// Abort a batch mid-flight (e.g. task failure), charging only the
@@ -427,6 +477,7 @@ impl MemorySystem {
                 .as_ref()
                 .map(|s| s.samples().to_vec())
                 .unwrap_or_default(),
+            hotness: self.hotness_report(),
         }
     }
 }
@@ -609,6 +660,32 @@ mod tests {
         }
         let delta_total: u64 = series.iter().map(|s| s.delta.total()).sum();
         assert_eq!(delta_total, telemetry.counters.total());
+    }
+
+    #[test]
+    fn attributed_finish_conserves_against_counters() {
+        let mut s = sys();
+        let part_a = AccessBatch::sequential(4096, 0);
+        let part_b = AccessBatch::sequential(0, 8192) + AccessBatch::random_reads(13);
+        let batch = part_a + part_b;
+        s.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let (t, _, _) = s.next_completion().unwrap();
+        s.advance(t);
+        s.finish_access_attributed(
+            t,
+            TierId::NVM_NEAR,
+            1,
+            &batch,
+            &[
+                (ObjectId::Input { rdd: 0 }, part_a),
+                (ObjectId::Scratch, part_b),
+            ],
+        );
+        assert!(s.ledger().conserves(&s.counters()));
+        let telemetry = s.finish_run(t);
+        assert!(telemetry.hotness.conserves(&telemetry.counters));
+        assert_eq!(telemetry.hotness.objects.len(), 2);
+        assert!(!s.object_series().is_empty());
     }
 
     #[test]

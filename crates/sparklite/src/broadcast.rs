@@ -47,7 +47,7 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         // Amortized executor-level fetch: a 40-core executor fetches the
         // broadcast once and its ~40 concurrent tasks share it.
         let share = (self.bytes / 32).max(64);
-        env.charge_input_scan(share);
+        env.charge_input_scan(memtier_memsim::ObjectId::Broadcast, share);
         &self.value
     }
 

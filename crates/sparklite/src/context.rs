@@ -16,7 +16,9 @@ use crate::scheduler::{build_plan, JobRunner};
 use crate::storage::CacheStats;
 use memtier_des::SimTime;
 use memtier_dfs::DfsClient;
-use memtier_memsim::{CounterSample, CounterSnapshot, MemorySystem, RunTelemetry, TierId};
+use memtier_memsim::{
+    CounterSample, CounterSnapshot, HotnessReport, MemorySystem, ObjectSample, RunTelemetry, TierId,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -38,6 +40,11 @@ pub struct RunReport {
     /// Critical-path profile: where the virtual runtime went
     /// (conserves: attribution components sum to `elapsed`).
     pub profile: RunProfile,
+    /// Per-object memory attribution: every Spark-level object (cached RDD,
+    /// shuffle segment, input, broadcast, scratch) ranked by the media
+    /// traffic it drove, with per-tier residency, stall, energy and NVM
+    /// wear. Conserves against `telemetry.counters` in exact integers.
+    pub hotness: HotnessReport,
     /// I/O errors event sinks hit during the run, surfaced at flush time
     /// (empty on a clean run). Sinks never kill a simulation mid-run, but
     /// a truncated event log must not pass silently either.
@@ -347,9 +354,42 @@ impl SparkContext {
         let samples = self.inner.mem.lock().counter_samples().to_vec();
         let events = self.logged_events();
         let profile = self.run_profile();
+        let objects = self.object_series();
         self.inner.trace.lock().as_ref().map(|spans| {
-            crate::trace::chrome_trace_json_full(spans, &samples, &events, Some(&profile))
+            crate::trace::chrome_trace_json_objects(
+                spans,
+                &samples,
+                &events,
+                Some(&profile),
+                &objects,
+            )
         })
+    }
+
+    /// The per-object memory-attribution report so far: every Spark-level
+    /// object ranked by the media traffic it drove, with per-tier
+    /// residency, stall, energy and NVM-wear breakdowns. Always collected
+    /// (like the profiler log); conserves against [`counters`](Self::counters)
+    /// in exact integers.
+    pub fn hotness_report(&self) -> HotnessReport {
+        self.inner.mem.lock().hotness_report()
+    }
+
+    /// The per-object traffic time series recorded so far (one sample per
+    /// attributed access batch, cumulative bytes per object).
+    pub fn object_series(&self) -> Vec<ObjectSample> {
+        self.inner.mem.lock().object_series().to_vec()
+    }
+
+    /// Emit the structured unpersist event (called by
+    /// [`Rdd::unpersist`](crate::rdd::Rdd::unpersist) after the block
+    /// manager dropped the RDD's blocks).
+    pub(crate) fn emit_unpersist(&self, rdd: u32, bytes_freed: u64) {
+        let now = *self.inner.clock.lock();
+        let mut events = self.inner.events.lock();
+        if events.is_active() {
+            events.emit(now, Event::RddUnpersisted { rdd, bytes_freed });
+        }
     }
 
     /// Engine-level metrics so far.
@@ -407,6 +447,7 @@ impl SparkContext {
             (r + snap.tier(t).reads, w + snap.tier(t).writes)
         });
         let events = SystemEvents::collect(&metrics, reads, writes);
+        let hotness = telemetry.hotness.clone();
         RunReport {
             elapsed,
             telemetry,
@@ -415,6 +456,7 @@ impl SparkContext {
             cache: self.inner.runtime.cache.stats(),
             stage_rollups: self.inner.rollups.lock().clone(),
             profile: build_profile(&self.inner.profile_log.lock(), elapsed),
+            hotness,
             sink_errors,
         }
     }

@@ -120,6 +120,30 @@ pub enum Event {
         /// Blocks spilled to disk since the last report.
         spills: u64,
     },
+    /// The block manager evicted one specific cached block under capacity
+    /// pressure — the per-object companion of the aggregate
+    /// [`CacheEviction`](Event::CacheEviction) report.
+    BlockEvicted {
+        /// RDD owning the evicted block.
+        rdd: u32,
+        /// Partition index of the block.
+        partition: usize,
+        /// Size of the block in bytes.
+        bytes: u64,
+        /// True if the block spilled to disk instead of being dropped.
+        spilled: bool,
+        /// Primary tier of the executor whose task triggered the eviction
+        /// (where the freed bytes lived).
+        tier: TierId,
+    },
+    /// An RDD was explicitly unpersisted and all its cached blocks
+    /// (memory and disk) dropped.
+    RddUnpersisted {
+        /// The unpersisted RDD.
+        rdd: u32,
+        /// Bytes freed across the memory and disk stores.
+        bytes_freed: u64,
+    },
     /// A task wrote shuffle output.
     ShuffleWrite {
         /// The writing task.
@@ -591,7 +615,10 @@ mod tests {
     impl Write for FailingWriter {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
             if self.budget < buf.len() {
-                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full (simulated)"));
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "disk full (simulated)",
+                ));
             }
             self.budget -= buf.len();
             self.written.extend_from_slice(buf);

@@ -47,6 +47,12 @@
 //! critical path is extracted, and the resulting attribution conserves —
 //! components sum exactly to the end-to-end virtual runtime — which makes
 //! analytical what-if repricing under perturbed tier parameters possible.
+//! Orthogonally, every access batch is tagged with the Spark-level object
+//! it belongs to ([`memtier_memsim::ObjectId`]: cached RDD block, shuffle
+//! segment, input scan, broadcast, scratch), and the run's
+//! [`memtier_memsim::HotnessReport`] ranks objects by the traffic and
+//! stall they drove per tier — conserving against the machine counters in
+//! exact integers.
 
 #![warn(missing_docs)]
 // Closure-heavy engine code trips this lint pervasively; the aliases the
@@ -83,10 +89,10 @@ pub use events::{
 pub use memsize::MemSize;
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
 pub use profile::{
-    build_profile, reprice, Attribution, PathSegment, ProfileLog, RunProfile, SegmentKind,
-    TaskBreakdown, WhatIf, WhatIfReport,
+    build_profile, hotness_promotion_whatif, reprice, Attribution, PathSegment, ProfileLog,
+    RunProfile, SegmentKind, TaskBreakdown, WhatIf, WhatIfReport,
 };
 pub use rdd::{Data, Key, Rdd};
 pub use shuffle::{HashPartitioner, RangePartitioner};
 pub use storage::StorageLevel;
-pub use trace::{chrome_trace_json, chrome_trace_json_full, TaskSpan};
+pub use trace::{chrome_trace_json, chrome_trace_json_full, chrome_trace_json_objects, TaskSpan};

@@ -30,7 +30,7 @@
 //! first-order slowdown for latency-bound workloads (Takeaway 4).
 
 use memtier_des::SimTime;
-use memtier_memsim::{MemSimConfig, TierId, NUM_TIERS};
+use memtier_memsim::{HotnessReport, MemSimConfig, TierId, NUM_TIERS};
 use serde::{Deserialize, Serialize};
 
 /// One task's virtual-time span decomposed into named components. All
@@ -203,7 +203,10 @@ impl Attribution {
     pub fn named_seconds(&self) -> Vec<(String, f64)> {
         let mut out = vec![
             ("compute".to_string(), self.compute.as_secs_f64()),
-            ("shuffle_fetch".to_string(), self.shuffle_fetch.as_secs_f64()),
+            (
+                "shuffle_fetch".to_string(),
+                self.shuffle_fetch.as_secs_f64(),
+            ),
             ("sched_queue".to_string(), self.sched_queue.as_secs_f64()),
             ("driver".to_string(), self.driver.as_secs_f64()),
         ];
@@ -296,11 +299,9 @@ pub fn build_profile(log: &ProfileLog, elapsed: SimTime) -> RunProfile {
                 .iter()
                 .find(|s| s.job == t.job && s.stage == t.stage)
                 .expect("executed task without a stage activation record");
-            cur = stage.activated_by.and_then(|id| {
-                log.tasks
-                    .iter()
-                    .find(|p| p.job == t.job && p.task_id == id)
-            });
+            cur = stage
+                .activated_by
+                .and_then(|id| log.tasks.iter().find(|p| p.job == t.job && p.task_id == id));
         }
         chain.reverse();
         for t in chain {
@@ -386,6 +387,68 @@ impl WhatIf {
         }
         w
     }
+}
+
+/// Build the [`WhatIf`] corresponding to promoting a hotness report's `k`
+/// stall-hottest objects into Tier 0 (local DRAM) — the analytic form of
+/// "what would pinning the hot working set in local DRAM buy", feeding the
+/// object-level attribution back into the critical-path repricing engine.
+///
+/// Each victim tier's read/write stall scale drops by the promoted
+/// objects' share of that tier's nominal stall; Tier 0's scales grow by
+/// the stall the promoted traffic adds there, repriced at Tier-0 latency
+/// (each object's `stall_if_local`, scaled to the share of its stall that
+/// actually moves). Components with zero baseline stall keep scale 1 —
+/// there is nothing for [`reprice`] to scale, so in particular the added
+/// Tier-0 stall is unrepresentable when the baseline had none, making the
+/// prediction slightly optimistic for pure-NVM runs.
+pub fn hotness_promotion_whatif(report: &HotnessReport, k: usize) -> WhatIf {
+    let local = TierId::LOCAL_DRAM.index();
+    let mut orig_read = [0.0f64; NUM_TIERS];
+    let mut orig_write = [0.0f64; NUM_TIERS];
+    for o in &report.objects {
+        for i in 0..NUM_TIERS {
+            orig_read[i] += o.tiers[i].stall_read.as_secs_f64();
+            orig_write[i] += o.tiers[i].stall_write.as_secs_f64();
+        }
+    }
+    let mut removed_read = [0.0f64; NUM_TIERS];
+    let mut removed_write = [0.0f64; NUM_TIERS];
+    // Tier-0 stall the promoted objects bring with them.
+    let mut gained = 0.0f64;
+    for o in report.top_by_stall(k) {
+        let mut moved = 0.0f64;
+        for i in 0..NUM_TIERS {
+            if i == local {
+                continue; // already-local traffic stays put
+            }
+            removed_read[i] += o.tiers[i].stall_read.as_secs_f64();
+            removed_write[i] += o.tiers[i].stall_write.as_secs_f64();
+            moved += o.tiers[i].stall().as_secs_f64();
+        }
+        let total = o.stall.as_secs_f64();
+        if total > 0.0 {
+            gained += o.stall_if_local.as_secs_f64() * (moved / total);
+        }
+    }
+    let mut w = WhatIf::identity();
+    for i in 0..NUM_TIERS {
+        if orig_read[i] > 0.0 {
+            w.read_scale[i] = (orig_read[i] - removed_read[i]).max(0.0) / orig_read[i];
+        }
+        if orig_write[i] > 0.0 {
+            w.write_scale[i] = (orig_write[i] - removed_write[i]).max(0.0) / orig_write[i];
+        }
+    }
+    // Tier 0 absorbs the repriced stall, spread proportionally over its own
+    // read/write split so both scales grow by the same factor.
+    let base0 = orig_read[local] + orig_write[local];
+    if base0 > 0.0 {
+        let grow = (base0 + gained) / base0;
+        w.read_scale[local] *= grow;
+        w.write_scale[local] *= grow;
+    }
+    w
 }
 
 /// An analytical what-if prediction over a run's critical path.
@@ -534,6 +597,39 @@ mod tests {
         // The identity what-if predicts no change (the MBA statement).
         let same = reprice(&profile, &WhatIf::identity());
         assert_eq!(same.baseline_s, same.predicted_s);
+    }
+
+    #[test]
+    fn promotion_whatif_moves_stall_toward_tier0() {
+        use memtier_memsim::{AccessBatch, AttributionLedger, ObjectId, TierParams};
+        let params = TierId::all().map(TierParams::paper_default);
+        let mut ledger = AttributionLedger::new();
+        // Hot object on NVM_NEAR; cold scratch already on LOCAL_DRAM.
+        ledger.record(
+            SimTime::ZERO,
+            TierId::NVM_NEAR,
+            ObjectId::CacheBlock { rdd: 1 },
+            &AccessBatch::random_reads(10_000),
+            &params[TierId::NVM_NEAR.index()],
+        );
+        ledger.record(
+            SimTime::ZERO,
+            TierId::LOCAL_DRAM,
+            ObjectId::Scratch,
+            &AccessBatch::random_reads(1_000),
+            &params[TierId::LOCAL_DRAM.index()],
+        );
+        let report = ledger.report(&params);
+        let w = hotness_promotion_whatif(&report, 1);
+        // The hot object's NVM stall disappears entirely (it was the only
+        // object on that tier)...
+        assert!(w.read_scale[TierId::NVM_NEAR.index()].abs() < 1e-12);
+        // ...and tier 0 absorbs its repriced cost.
+        assert!(w.read_scale[TierId::LOCAL_DRAM.index()] > 1.0);
+        // Untouched tiers keep the identity scale.
+        assert!((w.read_scale[TierId::REMOTE_DRAM.index()] - 1.0).abs() < 1e-12);
+        // Promoting nothing is the identity perturbation.
+        assert_eq!(hotness_promotion_whatif(&report, 0), WhatIf::identity());
     }
 
     #[test]

@@ -15,7 +15,10 @@ impl<T: Data> Rdd<T> {
             Arc::new(move |part, env: &mut TaskEnv<'_>| {
                 let data = env.narrow_input::<T>(&node, part);
                 // Serializing results back to the driver is a stage output.
-                env.charge_materialize(slice_mem_size(&data) as u64);
+                env.charge_materialize(
+                    memtier_memsim::ObjectId::Scratch,
+                    slice_mem_size(&data) as u64,
+                );
                 (*data).clone()
             }),
         )?;
@@ -144,7 +147,7 @@ impl Rdd<String> {
                     bytes.extend_from_slice(line.as_bytes());
                     bytes.push(b'\n');
                 }
-                env.charge_materialize(bytes.len() as u64);
+                env.charge_materialize(memtier_memsim::ObjectId::Scratch, bytes.len() as u64);
                 let client = env.rt.dfs();
                 client
                     .write_file(

@@ -51,7 +51,7 @@ fn plain_writer<K: Key, V: Data>(
             }
             let bytes = slice_mem_size(&bucket) as u64;
             let records = bucket.len() as u64;
-            env.charge_shuffle_write(bytes);
+            env.charge_shuffle_write(shuffle_id, bytes);
             env.rt.shuffle.put_bucket(
                 shuffle_id,
                 map_part,
@@ -107,7 +107,11 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
             let mut groups: HashMap<K, (Vec<V>, Vec<W>), DetHasher> = HashMap::default();
             let mut n_in = 0u64;
             let left = env.rt.shuffle.fetch_reduce(left_id, part);
-            env.charge_shuffle_read(left.iter().map(|b| b.bytes).sum(), left.len() as u64);
+            env.charge_shuffle_read(
+                left_id,
+                left.iter().map(|b| b.bytes).sum(),
+                left.len() as u64,
+            );
             for bucket in left {
                 let items = bucket.data.downcast::<Vec<(K, V)>>().expect("left bucket");
                 n_in += items.len() as u64;
@@ -116,7 +120,11 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
                 }
             }
             let right = env.rt.shuffle.fetch_reduce(right_id, part);
-            env.charge_shuffle_read(right.iter().map(|b| b.bytes).sum(), right.len() as u64);
+            env.charge_shuffle_read(
+                right_id,
+                right.iter().map(|b| b.bytes).sum(),
+                right.len() as u64,
+            );
             for bucket in right {
                 let items = bucket.data.downcast::<Vec<(K, W)>>().expect("right bucket");
                 n_in += items.len() as u64;

@@ -357,7 +357,7 @@ impl<T: Data> Rdd<T> {
             Arc::new(move |part, env: &mut TaskEnv<'_>| {
                 let data = env.narrow_input::<T>(&node, part);
                 let bytes = crate::memsize::slice_mem_size(&data) as u64;
-                env.charge_materialize(bytes);
+                env.charge_materialize(memtier_memsim::ObjectId::Scratch, bytes);
                 // Replicated DFS write: disk cost per replica.
                 env.charge_cpu_ns(
                     bytes as f64 * env.rt.cost.disk_write_ns_per_byte * 2.0

@@ -30,8 +30,9 @@ use crate::metrics::TaskMetrics;
 use crate::runtime::Runtime;
 use crate::shuffle::{AnyPart, ShuffleId};
 use crate::storage::StorageLevel;
+use memtier_memsim::{AccessBatch, ObjectId};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -154,6 +155,12 @@ pub struct TaskEnv<'a> {
     pub rt: &'a Runtime,
     /// Metrics accumulated by this task.
     pub metrics: TaskMetrics,
+    /// Per-object decomposition of `metrics.traffic`: which Spark-level
+    /// entity each access batch belongs to. The map's values sum to
+    /// `metrics.traffic` exactly (every charge path goes through
+    /// [`add_traffic`](Self::add_traffic)), which is what lets the
+    /// scheduler's attribution conserve against the machine counters.
+    pub object_traffic: BTreeMap<ObjectId, AccessBatch>,
     memo: HashMap<(RddId, usize), AnyPart>,
 }
 
@@ -163,6 +170,7 @@ impl<'a> TaskEnv<'a> {
         TaskEnv {
             rt,
             metrics: TaskMetrics::default(),
+            object_traffic: BTreeMap::new(),
             memo: HashMap::new(),
         }
     }
@@ -185,7 +193,7 @@ impl<'a> TaskEnv<'a> {
         if level.is_cached() {
             if let Some((data, bytes, location)) = self.rt.cache.get((parent.id().0, part)) {
                 self.metrics.cache_hits += 1;
-                self.charge_input_scan(bytes);
+                self.charge_input_scan(ObjectId::CacheBlock { rdd: parent.id().0 }, bytes);
                 if location == crate::storage::BlockLocation::Disk {
                     // Spilled block: pay the disk read on top of the scan.
                     self.charge_cpu_ns(
@@ -207,7 +215,7 @@ impl<'a> TaskEnv<'a> {
                 level,
             )
         {
-            self.charge_materialize(computed.bytes);
+            self.charge_materialize(ObjectId::CacheBlock { rdd: parent.id().0 }, computed.bytes);
         }
         self.memo.insert(key, computed.data.clone());
         downcast::<T>(computed.data, parent)
@@ -218,26 +226,37 @@ impl<'a> TaskEnv<'a> {
         self.metrics.cpu_ns += ns.max(0.0);
     }
 
-    /// Charge a sequential stage-input scan: read traffic plus
+    /// Charge memory traffic to an object: accumulates both the task's
+    /// aggregate traffic and the per-object decomposition. Every traffic
+    /// charge funnels through here so the two always agree.
+    pub fn add_traffic(&mut self, object: ObjectId, batch: AccessBatch) {
+        self.metrics.traffic += batch;
+        *self.object_traffic.entry(object).or_default() += batch;
+    }
+
+    /// Charge a sequential stage-input scan of `object`: read traffic plus
     /// deserialization CPU.
-    pub fn charge_input_scan(&mut self, bytes: u64) {
+    pub fn charge_input_scan(&mut self, object: ObjectId, bytes: u64) {
         self.metrics.input_bytes += bytes;
-        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_read(bytes);
+        self.add_traffic(object, AccessBatch::sequential_read(bytes));
         self.metrics.cpu_ns += bytes as f64 * self.rt.cost.scan_ns_per_byte;
     }
 
-    /// Charge a sequential stage-output materialization: write traffic plus
-    /// serialization CPU.
-    pub fn charge_materialize(&mut self, bytes: u64) {
+    /// Charge a sequential stage-output materialization of `object`: write
+    /// traffic plus serialization CPU.
+    pub fn charge_materialize(&mut self, object: ObjectId, bytes: u64) {
         self.metrics.output_bytes += bytes;
-        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_write(bytes);
+        self.add_traffic(object, AccessBatch::sequential_write(bytes));
         self.metrics.cpu_ns += bytes as f64 * self.rt.cost.write_ns_per_byte;
     }
 
     /// Charge random working-set accesses (hash probes, index walks).
+    /// Attributed to operator scratch.
     pub fn charge_random(&mut self, reads: u64, writes: u64) {
-        self.metrics.traffic += memtier_memsim::AccessBatch::random_reads(reads)
-            + memtier_memsim::AccessBatch::random_writes(writes);
+        self.add_traffic(
+            ObjectId::Scratch,
+            AccessBatch::random_reads(reads) + AccessBatch::random_writes(writes),
+        );
     }
 
     /// Charge an operator pass over `records` records with the given hint.
@@ -250,10 +269,13 @@ impl<'a> TaskEnv<'a> {
 
     /// Charge writing `bytes` of shuffle output: write traffic plus
     /// serialization CPU.
-    pub fn charge_shuffle_write(&mut self, bytes: u64) {
+    pub fn charge_shuffle_write(&mut self, shuffle: ShuffleId, bytes: u64) {
         self.metrics.shuffle_write_bytes += bytes;
         self.metrics.output_bytes += bytes;
-        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_write(bytes);
+        self.add_traffic(
+            ObjectId::ShuffleWrite { shuffle: shuffle.0 },
+            AccessBatch::sequential_write(bytes),
+        );
         self.metrics.cpu_ns += bytes as f64 * self.rt.cost.write_ns_per_byte;
         if self.rt.shuffle_through_disk {
             // MapReduce mode: the map output is materialized on disk.
@@ -265,11 +287,12 @@ impl<'a> TaskEnv<'a> {
     /// Charge fetching `bytes` of shuffle input spread over `buckets`
     /// buckets: read traffic, deserialization CPU, plus the per-bucket fetch
     /// overhead (connection setup CPU and index-walk random reads).
-    pub fn charge_shuffle_read(&mut self, bytes: u64, buckets: u64) {
+    pub fn charge_shuffle_read(&mut self, shuffle: ShuffleId, bytes: u64, buckets: u64) {
         self.metrics.shuffle_read_bytes += bytes;
         self.metrics.input_bytes += bytes;
         self.metrics.shuffle_buckets_read += buckets;
-        self.metrics.traffic += memtier_memsim::AccessBatch::sequential_read(bytes);
+        let object = ObjectId::ShuffleFetch { shuffle: shuffle.0 };
+        self.add_traffic(object, AccessBatch::sequential_read(bytes));
         let mut fetch_ns = bytes as f64 * self.rt.cost.scan_ns_per_byte
             + buckets as f64 * self.rt.cost.bucket_overhead_ns;
         if self.rt.shuffle_through_disk {
@@ -282,7 +305,11 @@ impl<'a> TaskEnv<'a> {
         // Mirror into the profiler's shuffle-fetch bucket so the breakdown
         // can split fetch processing out of the compute component.
         self.metrics.shuffle_fetch_ns += fetch_ns;
-        self.charge_random(buckets * self.rt.cost.bucket_random_reads, 0);
+        // Bucket index walks belong to the fetch segment, not to scratch.
+        self.add_traffic(
+            object,
+            AccessBatch::random_reads(buckets * self.rt.cost.bucket_random_reads),
+        );
     }
 
     /// Charge a hash-aggregation pass over `records` records against a
@@ -400,10 +427,13 @@ impl<T: Data> Rdd<T> {
         self.persist(StorageLevel::MemoryOnly)
     }
 
-    /// Drop persistence and free cached blocks.
+    /// Drop persistence and free cached blocks. Emits a structured
+    /// [`RddUnpersisted`](crate::events::Event::RddUnpersisted) event with
+    /// the bytes freed when an event sink is attached.
     pub fn unpersist(&self) {
         self.node.set_storage_level(StorageLevel::None);
-        self.ctx.runtime().cache.unpersist(self.id().0);
+        let freed = self.ctx.runtime().cache.unpersist(self.id().0);
+        self.ctx.emit_unpersist(self.id().0, freed);
     }
 
     /// Current storage level.

@@ -112,7 +112,7 @@ fn put_typed_bucket<K: Key, C: Data>(
     }
     let bytes = slice_mem_size(&items) as u64;
     let records = items.len() as u64;
-    env.charge_shuffle_write(bytes);
+    env.charge_shuffle_write(shuffle_id, bytes);
     env.rt.shuffle.put_bucket(
         shuffle_id,
         map_part,
@@ -188,7 +188,7 @@ pub(crate) fn shuffled_aggregate<K: Key, V: Data, C: Data>(
     let reduce = move |part: usize, env: &mut TaskEnv<'_>| -> Computed {
         let buckets = env.rt.shuffle.fetch_reduce(shuffle_id, part);
         let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
-        env.charge_shuffle_read(total_bytes, buckets.len() as u64);
+        env.charge_shuffle_read(shuffle_id, total_bytes, buckets.len() as u64);
         let mut map: HashMap<K, C, DetHasher> = HashMap::default();
         let mut n_in = 0u64;
         for bucket in buckets {
@@ -278,7 +278,7 @@ pub(crate) fn shuffled_plain<K: Key, V: Data>(
     let reduce = move |part: usize, env: &mut TaskEnv<'_>| -> Computed {
         let buckets = env.rt.shuffle.fetch_reduce(shuffle_id, part);
         let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
-        env.charge_shuffle_read(total_bytes, buckets.len() as u64);
+        env.charge_shuffle_read(shuffle_id, total_bytes, buckets.len() as u64);
         let mut out: Vec<(K, V)> = Vec::new();
         for bucket in buckets {
             let items = bucket

@@ -5,6 +5,7 @@ use crate::memsize::slice_mem_size;
 use crate::rdd::{Computed, Data, Dep, RddBase, RddVitals, TaskEnv};
 use crate::storage::StorageLevel;
 use memtier_dfs::FileStatus;
+use memtier_memsim::ObjectId;
 
 /// A driver-side collection split into partitions (`sc.parallelize`).
 pub struct ParallelizeRdd<T: Data> {
@@ -55,7 +56,12 @@ impl<T: Data> RddBase for ParallelizeRdd<T> {
         let items = self.parts[part].clone();
         let computed = Computed::from_vec(items);
         // Driver → executor transfer is a stage-input scan.
-        env.charge_input_scan(computed.bytes);
+        env.charge_input_scan(
+            ObjectId::Input {
+                rdd: self.vitals.id.0,
+            },
+            computed.bytes,
+        );
         env.charge_records(computed.records, computed.records);
         computed
     }
@@ -103,7 +109,12 @@ impl<T: Data> RddBase for GeneratorRdd<T> {
     fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
         let items = (self.gen)(part);
         let computed = Computed::from_vec(items);
-        env.charge_input_scan(computed.bytes);
+        env.charge_input_scan(
+            ObjectId::Input {
+                rdd: self.vitals.id.0,
+            },
+            computed.bytes,
+        );
         env.charge_op(computed.records, &self.cost);
         env.charge_records(computed.records, computed.records);
         computed
@@ -200,7 +211,12 @@ impl RddBase for TextFileRdd {
             .map(|l| String::from_utf8_lossy(l).into_owned())
             .collect();
 
-        env.charge_input_scan(block.len as u64 + extra_read);
+        env.charge_input_scan(
+            ObjectId::Input {
+                rdd: self.vitals.id.0,
+            },
+            block.len as u64 + extra_read,
+        );
         let records = lines.len() as u64;
         env.charge_op(records, &OpCost::default());
         env.charge_records(records, records);

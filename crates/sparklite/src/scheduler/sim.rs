@@ -26,7 +26,7 @@ use crate::scheduler::dag::{StageId, StageKind, StagePlan};
 use crate::scheduler::executor::ExecutorSpec;
 use crate::trace::TaskSpan;
 use memtier_des::{EventQueue, SimTime};
-use memtier_memsim::{AccessBatch, MemorySystem, TierId};
+use memtier_memsim::{AccessBatch, MemorySystem, ObjectId, TierId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -72,8 +72,10 @@ struct RunningTask<U> {
     cpu_factor: f64,
     outstanding: usize,
     metrics: TaskMetrics,
-    /// (tier, flow id, batch) for each in-flight memory flow.
-    flows: Vec<(TierId, u64, AccessBatch)>,
+    /// (tier, flow id, batch, per-object parts of the batch) for each
+    /// in-flight memory flow. The parts partition the batch exactly, so the
+    /// attribution ledger conserves against the machine counters.
+    flows: Vec<(TierId, u64, AccessBatch, Vec<(ObjectId, AccessBatch)>)>,
     /// Result-stage output parked until completion (already computed on the
     /// data plane; stored at completion purely for bookkeeping symmetry).
     result: Option<(usize, U)>,
@@ -323,6 +325,8 @@ impl<'a, U> JobRunner<'a, U> {
                 }
             }
             let mut metrics = env.metrics;
+            let mut object_traffic = env.object_traffic;
+            let evicted_blocks = self.rt.cache.take_evictions();
 
             // Time plane: dispatch overhead, coordination traffic, JVM
             // contention.
@@ -330,8 +334,10 @@ impl<'a, U> JobRunner<'a, U> {
             let n_exec = self.executors.len() as u64;
             if n_exec > 1 {
                 let coord = self.rt.cost.coord_bytes_per_task * (n_exec - 1);
-                metrics.traffic += AccessBatch::sequential_write(coord);
+                let coord_batch = AccessBatch::sequential_write(coord);
+                metrics.traffic += coord_batch;
                 metrics.output_bytes += coord;
+                *object_traffic.entry(ObjectId::Scratch).or_default() += coord_batch;
             }
             let co_running = self.executors[exec_idx].running;
             let factor = 1.0 + self.rt.cost.jvm_contention_alpha * co_running as f64;
@@ -342,13 +348,39 @@ impl<'a, U> JobRunner<'a, U> {
             self.next_task += 1;
 
             let placement = self.executors[exec_idx].spec.placement.clone();
-            let flows: Vec<(TierId, u64, AccessBatch)> =
-                Self::split_traffic(&metrics.traffic, &placement)
+            // Split each object's traffic across the placement separately,
+            // accumulating the per-tier aggregate alongside its per-object
+            // parts. The parts partition each flow's batch exactly, which is
+            // what lets the attribution ledger conserve against the machine
+            // counters. With a single-tier placement every per-object split
+            // is the identity, so the aggregate flow — and therefore all
+            // timing — is byte-identical to splitting the task total.
+            let mut per_tier: Vec<(TierId, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = placement
+                .iter()
+                .map(|&(tier, _)| (tier, AccessBatch::EMPTY, Vec::new()))
+                .collect();
+            for (&object, obj_batch) in &object_traffic {
+                for (i, (_, part)) in Self::split_traffic(obj_batch, &placement)
                     .into_iter()
                     .enumerate()
-                    .filter(|(_, (_, b))| !b.is_empty())
-                    .map(|(i, (tier, b))| (tier, task_id * 8 + i as u64, b))
-                    .collect();
+                {
+                    if !part.is_empty() {
+                        per_tier[i].1 += part;
+                        per_tier[i].2.push((object, part));
+                    }
+                }
+            }
+            debug_assert_eq!(
+                per_tier.iter().map(|(_, b, _)| *b).sum::<AccessBatch>(),
+                metrics.traffic,
+                "per-object splits must partition the task's traffic"
+            );
+            let flows: Vec<(TierId, u64, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = per_tier
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (_, b, _))| !b.is_empty())
+                .map(|(i, (tier, b, parts))| (tier, task_id * 8 + i as u64, b, parts))
+                .collect();
 
             // The task's memory demand is presented at its CPU-interleaved
             // *average* rate: each tier's flow drains over (its share of the
@@ -363,11 +395,11 @@ impl<'a, U> JobRunner<'a, U> {
             // strictly between the pure tiers.
             let total_mem: SimTime = flows
                 .iter()
-                .map(|(tier, _, batch)| self.mem.nominal_mem_time(*tier, batch))
+                .map(|(tier, _, batch, _)| self.mem.nominal_mem_time(*tier, batch))
                 .fold(SimTime::ZERO, |acc, t| acc + t);
             let duration = cpu + total_mem;
             let mut outstanding = 0;
-            for (tier, flow, batch) in &flows {
+            for (tier, flow, batch, _) in &flows {
                 // Demand is in channel bytes: random accesses mostly leave
                 // the channel idle while they wait on latency.
                 let rate =
@@ -416,6 +448,18 @@ impl<'a, U> JobRunner<'a, U> {
                     self.events
                         .emit(self.now, Event::CacheEviction { evictions, spills });
                 }
+                for ev in &evicted_blocks {
+                    self.events.emit(
+                        self.now,
+                        Event::BlockEvicted {
+                            rdd: ev.key.0,
+                            partition: ev.key.1,
+                            bytes: ev.bytes,
+                            spilled: ev.spilled,
+                            tier: placement[0].0,
+                        },
+                    );
+                }
             }
             if outstanding == 0 {
                 self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
@@ -449,7 +493,7 @@ impl<'a, U> JobRunner<'a, U> {
         }
         // (tier index, is_write, nominal ps) for every non-zero component.
         let mut parts: Vec<(usize, bool, u64)> = Vec::with_capacity(task.flows.len() * 2);
-        for (tier, _, batch) in &task.flows {
+        for (tier, _, batch, _) in &task.flows {
             let (r, w) = self.mem.nominal_mem_time_rw(*tier, batch);
             if !r.is_zero() {
                 parts.push((tier.index(), false, r.as_ps()));
@@ -673,16 +717,17 @@ impl<'a, U> JobRunner<'a, U> {
             .flow_owner
             .remove(&flow)
             .expect("completion for unowned flow");
-        let batch = {
+        let (batch, parts) = {
             let task = self.running.get_mut(&task_id).expect("unknown task");
             task.outstanding -= 1;
             task.flows
                 .iter()
-                .find(|&&(ft, f, _)| ft == tier && f == flow)
-                .map(|&(_, _, b)| b)
+                .find(|fl| fl.0 == tier && fl.1 == flow)
+                .map(|fl| (fl.2, fl.3.clone()))
                 .expect("flow not registered on task")
         };
-        self.mem.finish_access(t, tier, flow, &batch);
+        self.mem
+            .finish_access_attributed(t, tier, flow, &batch, &parts);
         if self.running[&task_id].outstanding == 0 {
             self.complete_task(task_id);
         }

@@ -49,6 +49,20 @@ pub enum BlockLocation {
 /// Key of a cached block: (RDD id, partition index).
 pub type BlockKey = (u32, usize);
 
+/// One block the manager evicted under capacity pressure, for the
+/// structured event log. The scheduler drains these with
+/// [`BlockManager::take_evictions`] and emits a
+/// [`BlockEvicted`](crate::events::Event::BlockEvicted) event per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedBlock {
+    /// The evicted block.
+    pub key: BlockKey,
+    /// Size of the block in bytes.
+    pub bytes: u64,
+    /// True if the block spilled to disk instead of being dropped.
+    pub spilled: bool,
+}
+
 struct Entry {
     data: AnyPart,
     bytes: u64,
@@ -68,6 +82,7 @@ struct Inner {
     evictions: u64,
     spills: u64,
     disk_reads: u64,
+    eviction_log: Vec<EvictedBlock>,
 }
 
 /// An LRU block cache shared by all executors of an application.
@@ -110,6 +125,7 @@ impl BlockManager {
                 evictions: 0,
                 spills: 0,
                 disk_reads: 0,
+                eviction_log: Vec::new(),
             }),
         }
     }
@@ -165,6 +181,11 @@ impl BlockManager {
             let evicted = inner.map.remove(&victim).unwrap();
             inner.used -= evicted.bytes;
             inner.evictions += 1;
+            inner.eviction_log.push(EvictedBlock {
+                key: victim,
+                bytes: evicted.bytes,
+                spilled: evicted.spills,
+            });
             if evicted.spills {
                 inner.disk_used += evicted.bytes;
                 inner.spills += 1;
@@ -222,6 +243,14 @@ impl BlockManager {
         freed
     }
 
+    /// Drain the log of blocks evicted since the last call, in eviction
+    /// order. The scheduler calls this after each task's data plane and
+    /// turns the entries into structured
+    /// [`BlockEvicted`](crate::events::Event::BlockEvicted) events.
+    pub fn take_evictions(&self) -> Vec<EvictedBlock> {
+        std::mem::take(&mut self.inner.lock().eviction_log)
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
@@ -248,6 +277,7 @@ impl BlockManager {
         inner.evictions = 0;
         inner.spills = 0;
         inner.disk_reads = 0;
+        inner.eviction_log.clear();
     }
 }
 
@@ -360,6 +390,32 @@ mod tests {
         bm.put((3, 0), part(vec![1]), 100, MD);
         assert_eq!(bm.unpersist(3), 100);
         assert_eq!(bm.stats().disk_used, 0);
+    }
+
+    #[test]
+    fn eviction_log_records_victims_and_drains() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 60, MO);
+        bm.put((1, 1), part(vec![2]), 60, MD); // evicts (1,0), dropped
+        bm.put((1, 2), part(vec![3]), 60, MO); // evicts (1,1), spilled
+        let log = bm.take_evictions();
+        assert_eq!(
+            log,
+            vec![
+                EvictedBlock {
+                    key: (1, 0),
+                    bytes: 60,
+                    spilled: false,
+                },
+                EvictedBlock {
+                    key: (1, 1),
+                    bytes: 60,
+                    spilled: true,
+                },
+            ]
+        );
+        // Draining empties the log.
+        assert!(bm.take_evictions().is_empty());
     }
 
     #[test]

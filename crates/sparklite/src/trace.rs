@@ -24,9 +24,10 @@
 use crate::events::{Event, TimedEvent};
 use crate::profile::RunProfile;
 use memtier_des::SimTime;
-use memtier_memsim::{CounterSample, TierId};
+use memtier_memsim::{CounterSample, ObjectId, ObjectSample, TierId};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
+use std::collections::BTreeMap;
 
 /// Synthetic `pid` for the driver lane (job/stage spans). Large enough to
 /// never collide with an executor index.
@@ -85,6 +86,21 @@ pub fn chrome_trace_json_full(
     events: &[TimedEvent],
     profile: Option<&RunProfile>,
 ) -> String {
+    chrome_trace_json_objects(spans, samples, events, profile, &[])
+}
+
+/// [`chrome_trace_json_full`] plus per-object attribution tracks: the
+/// hottest objects' cumulative traffic (from the attribution ledger's
+/// [`ObjectSample`] series) becomes one `"ph":"C"` counter track each, so
+/// Perfetto shows *which cached RDD or shuffle* drove each burst of media
+/// traffic next to the per-tier counter tracks.
+pub fn chrome_trace_json_objects(
+    spans: &[TaskSpan],
+    samples: &[CounterSample],
+    events: &[TimedEvent],
+    profile: Option<&RunProfile>,
+    objects: &[ObjectSample],
+) -> String {
     let mut out = Vec::with_capacity(spans.len() + 4 * samples.len() + events.len());
     let critical: Vec<(u64, u64)> = profile.map(|p| p.critical_tasks()).unwrap_or_default();
 
@@ -104,7 +120,7 @@ pub fn chrome_trace_json_full(
             "args": { "name": "driver" }
         }));
     }
-    if !samples.is_empty() {
+    if !samples.is_empty() || !objects.is_empty() {
         out.push(json!({
             "name": "process_name", "ph": "M", "pid": COUNTER_PID, "tid": 0,
             "args": { "name": "memory telemetry" }
@@ -128,8 +144,42 @@ pub fn chrome_trace_json_full(
     push_critical_path(&mut out, spans, &critical);
     push_lifecycle_events(&mut out, events);
     push_counter_tracks(&mut out, samples);
+    push_object_tracks(&mut out, objects);
 
     serde_json::to_string_pretty(&json!({ "traceEvents": out })).expect("trace serialization")
+}
+
+/// Number of hot objects given their own counter track in the trace.
+const HOT_OBJECT_TRACKS: usize = 5;
+
+/// Cumulative-traffic `"ph":"C"` tracks for the hottest objects (top
+/// [`HOT_OBJECT_TRACKS`] by final cumulative bytes, object-id tie-break):
+/// one counter track per object, one point per attributed access batch.
+fn push_object_tracks(out: &mut Vec<serde_json::Value>, objects: &[ObjectSample]) {
+    if objects.is_empty() {
+        return;
+    }
+    // Final cumulative bytes per object: samples carry running totals, so
+    // the maximum seen is the last.
+    let mut totals: BTreeMap<ObjectId, u64> = BTreeMap::new();
+    for s in objects {
+        let t = totals.entry(s.object).or_insert(0);
+        *t = (*t).max(s.total_bytes);
+    }
+    let mut ranked: Vec<(ObjectId, u64)> = totals.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(HOT_OBJECT_TRACKS);
+    let hot: Vec<ObjectId> = ranked.into_iter().map(|(o, _)| o).collect();
+    for s in objects.iter().filter(|s| hot.contains(&s.object)) {
+        out.push(json!({
+            "name": format!("hot object {}", s.object.label()),
+            "cat": "attribution",
+            "ph": "C",
+            "ts": s.at.as_us_f64(),
+            "pid": COUNTER_PID,
+            "args": { "mb": s.total_bytes as f64 / 1e6 }
+        }));
+    }
 }
 
 /// Flow arrows chaining consecutive critical-path tasks across executor
@@ -366,6 +416,37 @@ mod tests {
     }
 
     #[test]
+    fn hot_object_tracks_cover_only_the_top_objects() {
+        let samples: Vec<ObjectSample> = (0..7u32)
+            .map(|rdd| ObjectSample {
+                at: SimTime::from_ms(u64::from(rdd)),
+                object: ObjectId::CacheBlock { rdd },
+                delta_bytes: (u64::from(rdd) + 1) * 100,
+                total_bytes: (u64::from(rdd) + 1) * 100,
+            })
+            .collect();
+        let json = chrome_trace_json_objects(&[], &[], &[], None, &samples);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        let tracks: Vec<&str> = out
+            .iter()
+            .filter(|e| e["cat"] == "attribution")
+            .map(|e| e["name"].as_str().unwrap())
+            .collect();
+        // Only the 5 hottest objects (rdd2..rdd6) get tracks.
+        assert_eq!(tracks.len(), HOT_OBJECT_TRACKS);
+        assert!(tracks.contains(&"hot object rdd6:cache"));
+        assert!(!tracks.contains(&"hot object rdd0:cache"));
+        // The telemetry process lane is labeled even without counter samples.
+        assert!(out
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "memory telemetry"));
+        // The 4-argument form still degrades to no object tracks.
+        let plain = chrome_trace_json_full(&[], &[], &[], None);
+        assert!(!plain.contains("attribution"));
+    }
+
+    #[test]
     fn lifecycle_events_become_driver_spans_and_flows() {
         let events = vec![
             TimedEvent {
@@ -440,10 +521,8 @@ mod tests {
             .collect();
         assert_eq!(marked, vec![1, 2]);
         // One arrow chains the two path tasks.
-        let arrows: Vec<&serde_json::Value> = out
-            .iter()
-            .filter(|e| e["cat"] == "critical-path")
-            .collect();
+        let arrows: Vec<&serde_json::Value> =
+            out.iter().filter(|e| e["cat"] == "critical-path").collect();
         assert_eq!(arrows.len(), 2);
         assert_eq!(arrows[0]["ph"], "s");
         assert_eq!(arrows[1]["ph"], "f");

@@ -66,4 +66,38 @@ fn main() {
         default_cost_per_gb(spark_memtier::memsim::TierId::NVM_NEAR) * 100.0,
         default_cost_per_gb(spark_memtier::memsim::TierId::NVM_FAR) * 100.0,
     );
+
+    // The object-level view behind the placements: the ten hottest objects
+    // across the suite's Tier-2 runs, and what promoting each to local DRAM
+    // would save in nominal stall.
+    let mut hot: Vec<(String, &spark_memtier::memsim::ObjectReport)> = results
+        .iter()
+        .filter(|r| r.scenario.tier == spark_memtier::memsim::TierId::NVM_NEAR)
+        .flat_map(|r| {
+            r.hotness
+                .objects
+                .iter()
+                .map(move |o| (r.scenario.label(), o))
+        })
+        .collect();
+    hot.sort_by(|a, b| b.1.total_bytes.cmp(&a.1.total_bytes).then(a.0.cmp(&b.0)));
+    hot.truncate(10);
+    let mut hot_table = AsciiTable::new(vec![
+        "scenario",
+        "object",
+        "bytes (MB)",
+        "stall (s)",
+        "gain if Tier 0 (s)",
+    ])
+    .title("Top-10 hot objects on Tier 2 (promotion candidates)");
+    for (scenario, o) in &hot {
+        hot_table.row(vec![
+            scenario.clone(),
+            o.label.clone(),
+            format!("{:.1}", o.total_bytes as f64 / 1e6),
+            format!("{:.4}", o.stall.as_secs_f64()),
+            format!("{:.4}", o.promotion_gain().as_secs_f64()),
+        ]);
+    }
+    println!("{}", hot_table.render());
 }

@@ -49,4 +49,26 @@ fn main() {
         "({} tasks executed; timeline also available as sc.chrome_trace())",
         spans.len()
     );
+
+    // Who drove that channel: the ten hottest objects by nominal stall,
+    // straight from the per-object attribution ledger.
+    let hotness = sc.hotness_report();
+    let mut table = spark_memtier::metrics::AsciiTable::new(vec![
+        "object",
+        "bytes (MB)",
+        "accesses",
+        "stall (s)",
+        "gain if Tier 0 (s)",
+    ])
+    .title("Top-10 hot objects by stall");
+    for o in hotness.top_by_stall(10) {
+        table.row(vec![
+            o.label.clone(),
+            format!("{:.1}", o.total_bytes as f64 / 1e6),
+            o.total_accesses.to_string(),
+            format!("{:.4}", o.stall.as_secs_f64()),
+            format!("{:.4}", o.promotion_gain().as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
 }

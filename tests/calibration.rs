@@ -57,7 +57,10 @@ fn fig2_headlines_within_tolerance() {
             / n
     };
     let (m1, m2, m3) = (margin(1), margin(2), margin(3));
-    assert!(m1 > 0.0 && m1 < m2 && m2 < m3, "margins disordered: {m1} {m2} {m3}");
+    assert!(
+        m1 > 0.0 && m1 < m2 && m2 < m3,
+        "margins disordered: {m1} {m2} {m3}"
+    );
 
     // Headline 4: every (workload, size) is strictly slower on every
     // farther tier.
