@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 use memtier_core::ScenarioResult;
+use memtier_memsim::MigrationStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -150,6 +151,45 @@ pub fn bench_hotness_entries(results: &[ScenarioResult]) -> Vec<BenchHotnessEntr
         .collect()
 }
 
+/// One row of the placement-policy baseline (`BENCH_policy.json`): a
+/// scenario's virtual runtime under one placement policy (static membind or
+/// a dynamic engine configuration) plus what the engine did. The `scenario`
+/// label embeds the policy for dynamic runs, so rows join uniquely and the
+/// file feeds `compare` like every other baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchPolicyEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, grid, `[policy]` suffix
+    /// for dynamic runs).
+    pub scenario: String,
+    /// Policy label (`static`, `hotcold(256MiB,5ms)`, ...).
+    pub policy: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// Migration activity (all zeros for static runs).
+    pub migrations: MigrationStats,
+}
+
+/// Build the policy-baseline rows for a result set, in input order.
+pub fn bench_policy_entries(results: &[ScenarioResult]) -> Vec<BenchPolicyEntry> {
+    results
+        .iter()
+        .map(|r| BenchPolicyEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            policy: r
+                .scenario
+                .placement
+                .as_ref()
+                .map(|spec| spec.label())
+                .unwrap_or_else(|| "static".to_string()),
+            virtual_runtime_s: r.elapsed_s,
+            migrations: r.migrations,
+        })
+        .collect()
+}
+
 /// The fields `compare` needs from a baseline row — deserializes from both
 /// `BENCH_profile.json` and `BENCH_hotness.json` entries (unknown fields are
 /// ignored).
@@ -286,6 +326,30 @@ mod tests {
         let json = serde_json::to_string(&entries).unwrap();
         let back: Vec<super::BenchHotnessEntry> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn policy_entries_label_static_and_dynamic_runs() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_des::SimTime;
+        use memtier_memsim::{PlacementSpec, TierId};
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR);
+        let d = s
+            .clone()
+            .with_placement(PlacementSpec::hot_cold(256 << 20, SimTime::from_ms(1)));
+        let results = vec![run_scenario(&s).unwrap(), run_scenario(&d).unwrap()];
+        let entries = super::bench_policy_entries(&results);
+        assert_eq!(entries[0].policy, "static");
+        assert_eq!(entries[0].migrations, Default::default());
+        assert!(entries[1].policy.contains("hotcold"));
+        assert!(entries[1].scenario.contains(&entries[1].policy));
+        assert!(entries[1].migrations.epochs > 0);
+        // A policy baseline feeds `compare` like the others.
+        let json = serde_json::to_string(&entries).unwrap();
+        let rows: Vec<RuntimeRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_ne!(rows[0].scenario, rows[1].scenario);
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! expensive per GB; Optane is plentiful and cheap) that motivates tiering
 //! in the first place.
 
-use crate::scenario::ScenarioResult;
-use memtier_memsim::{TierId, TierKind, TierParams};
+use crate::runner::run_scenario;
+use crate::scenario::{Scenario, ScenarioResult};
+use memtier_des::SimTime;
+use memtier_memsim::{MigrationStats, PlacementSpec, TierId, TierKind, TierParams};
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
+use sparklite::error::Result;
+use sparklite::{hotness_promotion_whatif, reprice};
 
 /// Relative cost per GB of capacity for each tier (DRAM normalized to 1.0;
 /// Optane at the ~1/3 price point that motivated DCPM deployments, with
@@ -116,6 +120,79 @@ pub fn recommend(
     out
 }
 
+/// An analytic hot-set promotion prediction checked against a real re-run
+/// under the dynamic placement engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromotionValidation {
+    /// The baseline scenario (static placement on its bound tier).
+    pub scenario: Scenario,
+    /// Objects the analytic what-if promoted (stall-hottest first).
+    pub promoted_objects: usize,
+    /// The `HotCold` policy the validation run used, for the record.
+    pub policy: String,
+    /// Measured baseline runtime, seconds.
+    pub baseline_s: f64,
+    /// Runtime `hotness_promotion_whatif` + `reprice` predicted, seconds.
+    pub predicted_s: f64,
+    /// Runtime actually measured under `PlacementSpec::HotCold`, seconds.
+    pub actual_s: f64,
+    /// What the engine did during the validation run.
+    pub migrations: MigrationStats,
+}
+
+impl PromotionValidation {
+    /// Predicted speedup over the baseline (above 1 is faster).
+    pub fn predicted_speedup(&self) -> f64 {
+        self.baseline_s / self.predicted_s.max(1e-12)
+    }
+
+    /// Measured speedup over the baseline.
+    pub fn actual_speedup(&self) -> f64 {
+        self.baseline_s / self.actual_s.max(1e-12)
+    }
+
+    /// Relative prediction error, `(predicted - actual) / actual`.
+    /// Positive means the analytic model was pessimistic (predicted slower
+    /// than the engine delivered).
+    pub fn error(&self) -> f64 {
+        (self.predicted_s - self.actual_s) / self.actual_s.max(1e-12)
+    }
+}
+
+/// Validate the analytic promotion what-if against the placement engine:
+/// run `scenario` once statically, predict the runtime of promoting its `k`
+/// stall-hottest objects into local DRAM via [`hotness_promotion_whatif`] +
+/// [`reprice`], then run the *same* scenario again under
+/// `PlacementSpec::HotCold { dram_capacity, epoch }` — sized so the engine
+/// can actually hold those `k` objects — and report predicted vs measured.
+///
+/// The prediction is first-order (path shape and contention regime assumed
+/// stable, migrations free); the validation run charges real migration
+/// traffic, so `actual_s` includes costs the analytic model ignores. The
+/// gap between the two is exactly what this function exists to expose.
+pub fn validate_promotion(
+    scenario: &Scenario,
+    k: usize,
+    dram_capacity: u64,
+    epoch: SimTime,
+) -> Result<PromotionValidation> {
+    let baseline = run_scenario(scenario)?;
+    let whatif = hotness_promotion_whatif(&baseline.hotness, k);
+    let predicted = reprice(&baseline.profile, &whatif);
+    let spec = PlacementSpec::hot_cold(dram_capacity, epoch);
+    let policy = spec.label();
+    let validated = run_scenario(&scenario.clone().with_placement(spec))?;
+    Ok(PromotionValidation {
+        scenario: scenario.clone(),
+        promoted_objects: k,
+        policy,
+        baseline_s: baseline.elapsed_s,
+        predicted_s: predicted.predicted_s,
+        actual_s: validated.elapsed_s,
+        migrations: validated.migrations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +266,31 @@ mod tests {
             "write-heavy lda must not land on NVM under a strict cap: {:?}",
             guarded[0]
         );
+    }
+
+    #[test]
+    fn promotion_validation_compares_prediction_to_a_real_rerun() {
+        // An iterative, cache-heavy workload bound to NVM: the analytic
+        // what-if predicts a speedup from promoting the hot set, and the
+        // engine must deliver a real (non-baseline) measurement to compare
+        // against, including the migration bill the prediction ignores.
+        let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR);
+        let v = validate_promotion(&s, 4, 256 << 20, SimTime::from_ms(1)).unwrap();
+        assert!(v.baseline_s > 0.0 && v.predicted_s > 0.0 && v.actual_s > 0.0);
+        assert!(
+            v.predicted_s <= v.baseline_s,
+            "promotion must not predict a slowdown"
+        );
+        assert!(
+            v.actual_s < v.baseline_s,
+            "a roomy hot-cold policy must beat static NVM"
+        );
+        assert!(
+            v.migrations.migrations > 0,
+            "the validation run must actually migrate"
+        );
+        assert!(v.error().is_finite());
+        assert!(v.policy.contains("hotcold"));
     }
 
     #[test]

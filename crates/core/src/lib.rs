@@ -29,7 +29,7 @@ pub mod predict;
 pub mod runner;
 pub mod scenario;
 
-pub use advisor::{recommend, Placement};
+pub use advisor::{recommend, validate_promotion, Placement, PromotionValidation};
 pub use campaign::{fig2_campaign, fig3_campaign, fig4_grid, Fig4Cell};
 pub use guidelines::CampaignData;
 pub use guidelines::{check_all, GuidelineReport};

@@ -16,6 +16,9 @@ pub fn conf_for(scenario: &Scenario) -> SparkConf {
     if scenario.executors > 1 {
         conf.placement.cpu = memtier_memsim::CpuBindPolicy::RoundRobin;
     }
+    if let Some(spec) = &scenario.placement {
+        conf = conf.with_placement(spec.clone());
+    }
     conf
 }
 
@@ -135,6 +138,7 @@ fn run_on_context(
         stage_rollups: report.stage_rollups,
         profile: report.profile,
         hotness: report.hotness,
+        migrations: report.migrations,
     };
     Ok((result, telemetry))
 }

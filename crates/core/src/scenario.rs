@@ -1,6 +1,8 @@
 //! Experimental points and their measurements.
 
-use memtier_memsim::{CounterSnapshot, HotnessReport, TierId, NUM_TIERS};
+use memtier_memsim::{
+    CounterSnapshot, HotnessReport, MigrationStats, PlacementSpec, TierId, NUM_TIERS,
+};
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
 use sparklite::{RunProfile, StageRollup};
@@ -22,6 +24,11 @@ pub struct Scenario {
     pub mba_percent: Option<u8>,
     /// Workload seed.
     pub seed: u64,
+    /// Dynamic placement policy, if any. `None` (the default, and what
+    /// every scenario serialized before the placement engine existed
+    /// deserializes to) keeps the static per-executor `membind` split.
+    #[serde(default)]
+    pub placement: Option<PlacementSpec>,
 }
 
 impl Scenario {
@@ -36,6 +43,7 @@ impl Scenario {
             cores: 40,
             mba_percent: None,
             seed: 42,
+            placement: None,
         }
     }
 
@@ -58,12 +66,24 @@ impl Scenario {
         self
     }
 
-    /// A short display label (`pagerank-large@Tier 2, 1x40`).
+    /// Route object traffic through a dynamic placement policy.
+    pub fn with_placement(mut self, spec: PlacementSpec) -> Scenario {
+        self.placement = Some(spec);
+        self
+    }
+
+    /// A short display label (`pagerank-large@Tier 2, 1x40`); dynamic
+    /// placement appends the policy (`…, 1x40 [hotcold(256MiB,5ms)]`) so
+    /// static labels — and everything keyed on them — are unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}-{}@{}, {}x{}",
             self.workload, self.size, self.tier, self.executors, self.cores
-        )
+        );
+        match &self.placement {
+            None => base,
+            Some(spec) => format!("{base} [{}]", spec.label()),
+        }
     }
 }
 
@@ -109,6 +129,10 @@ pub struct ScenarioResult {
     /// (`#[serde(default)]` for backward compatibility).
     #[serde(default)]
     pub hotness: HotnessReport,
+    /// What the placement engine did (all zeros under static placement;
+    /// `#[serde(default)]` for backward compatibility).
+    #[serde(default)]
+    pub migrations: MigrationStats,
 }
 
 impl ScenarioResult {
@@ -162,5 +186,28 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn placement_is_optional_and_labeled() {
+        use memtier_des::SimTime;
+        // Scenarios serialized before the placement engine carry no
+        // `placement` key; they must load as static.
+        let mut json = serde_json::to_value(Scenario::default_conf(
+            "sort",
+            DataSize::Tiny,
+            TierId::NVM_NEAR,
+        ))
+        .unwrap();
+        json.as_object_mut().unwrap().remove("placement");
+        let back: Scenario = serde_json::from_value(json).unwrap();
+        assert_eq!(back.placement, None);
+        assert_eq!(back.label(), "sort-tiny@Tier 2, 1x40");
+        // Dynamic placement shows up only as a label suffix.
+        let dynamic = back
+            .clone()
+            .with_placement(PlacementSpec::hot_cold(256 << 20, SimTime::from_ms(5)));
+        assert!(dynamic.label().starts_with("sort-tiny@Tier 2, 1x40 ["));
+        assert!(dynamic.label().contains("hotcold(256MiB"));
     }
 }

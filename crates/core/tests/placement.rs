@@ -1,0 +1,125 @@
+//! Workspace acceptance tests for the dynamic placement engine: a pinned
+//! dynamic engine is measurement-equivalent to the static membind path it
+//! replaced (byte-identical results), and when the engine really migrates,
+//! the copy traffic stays visible and conserved in exact integers.
+
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
+use memtier_des::SimTime;
+use memtier_memsim::{MemBindPolicy, ObjectId, PlacementSpec, TierId};
+use memtier_workloads::{all_workloads, DataSize};
+
+/// Serialize a result with the scenario descriptor blanked out: the static
+/// and pinned-dynamic runs of the same workload differ *only* in their
+/// scenario (the placement field and its label suffix), so everything
+/// measured must match byte-for-byte.
+fn measured_json(r: &ScenarioResult, desc: &Scenario) -> String {
+    let mut r = r.clone();
+    r.scenario = desc.clone();
+    serde_json::to_string(&r).unwrap()
+}
+
+/// The refactor's ground rule: routing every access through the engine with
+/// a policy pinned to "everything stays on tier X" reproduces the static
+/// `MemBindPolicy::Tier(X)` run byte-identically — same virtual runtime,
+/// counters, energy, events, profile, hotness — for every suite workload.
+#[test]
+fn pinned_dynamic_engine_matches_static_run_byte_identically() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let pinned = s.clone().with_placement(PlacementSpec::Static {
+            bind: MemBindPolicy::Tier(TierId::NVM_NEAR),
+        });
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&pinned).unwrap();
+        assert_eq!(
+            measured_json(&a, &s),
+            measured_json(&b, &s),
+            "{}: pinned dynamic placement must be bit-for-bit static",
+            s.label()
+        );
+        assert_eq!(
+            b.migrations,
+            Default::default(),
+            "{}: a pinned engine must never migrate",
+            s.label()
+        );
+    }
+}
+
+/// Same equivalence across every tier for one workload: the pin is to the
+/// run's own bound tier each time.
+#[test]
+fn pinned_equivalence_holds_on_every_tier() {
+    for tier in TierId::all() {
+        let s = Scenario::default_conf("pagerank", DataSize::Tiny, tier);
+        let pinned = s.clone().with_placement(PlacementSpec::Static {
+            bind: MemBindPolicy::Tier(tier),
+        });
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&pinned).unwrap();
+        assert_eq!(
+            measured_json(&a, &s),
+            measured_json(&b, &s),
+            "{}",
+            s.label()
+        );
+    }
+}
+
+/// When the engine does migrate, the copy traffic is a first-class object in
+/// the hotness report and the whole ledger still partitions the machine
+/// counters in exact integers: the `migration` object's bytes equal
+/// `2 × bytes_moved` (each migration reads its footprint at the source tier
+/// and writes it at the destination).
+#[test]
+fn migration_traffic_is_attributed_and_conserves() {
+    let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR)
+        .with_placement(PlacementSpec::hot_cold(256 << 20, SimTime::from_ms(1)));
+    let r = run_scenario(&s).unwrap();
+    assert!(
+        r.migrations.migrations > 0,
+        "a roomy hot-cold policy on an iterative workload must migrate: {:?}",
+        r.migrations
+    );
+    assert_eq!(
+        r.migrations.migrations,
+        r.migrations.promotions + r.migrations.demotions
+    );
+    assert!(r.migrations.epochs > 0);
+    assert!(
+        r.hotness.conserves(&r.counters),
+        "attribution including migrations must partition the counters"
+    );
+    let migration_bytes: u64 = r
+        .hotness
+        .objects
+        .iter()
+        .filter(|o| o.object == ObjectId::Migration)
+        .map(|o| o.total_bytes)
+        .sum();
+    assert_eq!(
+        migration_bytes,
+        2 * r.migrations.bytes_moved,
+        "migration ledger traffic must equal source reads + destination writes"
+    );
+    // The engine moved real traffic off the cold tier.
+    assert!(
+        r.counters.tier(TierId::LOCAL_DRAM).total() > 0,
+        "promotions must land traffic on local DRAM"
+    );
+}
+
+/// Determinism through the engine: two dynamic runs of the same scenario
+/// serialize byte-identically, migrations included.
+#[test]
+fn dynamic_runs_are_deterministic() {
+    let s = Scenario::default_conf("als", DataSize::Tiny, TierId::NVM_NEAR)
+        .with_placement(PlacementSpec::hot_cold(64 << 20, SimTime::from_ms(1)));
+    let a = run_scenario(&s).unwrap();
+    let b = run_scenario(&s).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "dynamic placement must not introduce nondeterminism"
+    );
+}

@@ -61,6 +61,11 @@ pub enum ObjectId {
     Broadcast,
     /// Operator scratch: hash tables, sort buffers, per-record working set.
     Scratch,
+    /// Placement-engine migration copies (the read+write traffic of moving
+    /// an object between tiers). Keeping migrations as their own kind lets
+    /// the conservation invariant hold exactly while making migration cost
+    /// visible in the [`HotnessReport`].
+    Migration,
 }
 
 impl ObjectId {
@@ -73,6 +78,7 @@ impl ObjectId {
             ObjectId::ShuffleFetch { shuffle } => format!("shuffle{shuffle}:fetch"),
             ObjectId::Broadcast => "broadcast".to_string(),
             ObjectId::Scratch => "scratch".to_string(),
+            ObjectId::Migration => "migration".to_string(),
         }
     }
 }
@@ -182,6 +188,14 @@ impl AttributionLedger {
     /// The per-batch cumulative-bytes timeline, in charge order.
     pub fn series(&self) -> &[ObjectSample] {
         &self.series
+    }
+
+    /// The raw per-object × per-tier accumulators, keyed in deterministic
+    /// `ObjectId` order. Placement policies snapshot this at epoch
+    /// boundaries and diff consecutive snapshots to recover per-epoch
+    /// traffic.
+    pub fn object_stats(&self) -> &BTreeMap<ObjectId, [ObjectTierStats; NUM_TIERS]> {
+        &self.objects
     }
 
     /// Summed per-object traffic for one tier — must equal the machine's

@@ -36,6 +36,11 @@
 //! * [`wear`] — NVM endurance accounting.
 //! * [`mba`] — Intel-MBA-equivalent per-tier bandwidth throttling.
 //! * [`policy`] — `numactl`-style binding policies.
+//! * [`placement`] — the dynamic tiering layer on top of them: a
+//!   [`PlacementPolicy`](placement::PlacementPolicy) decides per-object
+//!   tier residency at epoch boundaries from the attribution ledger, and a
+//!   [`PlacementEngine`](placement::PlacementEngine) turns decisions into
+//!   costed migrations.
 //! * [`probe`] — idle latency / peak bandwidth microbenchmarks that
 //!   regenerate Table I *from the model* (a self-consistency check).
 //! * [`config`] — tunable model constants and ablation switches.
@@ -48,6 +53,7 @@ pub mod config;
 pub mod counters;
 pub mod energy;
 pub mod mba;
+pub mod placement;
 pub mod policy;
 pub mod probe;
 pub mod system;
@@ -64,6 +70,10 @@ pub use config::MemSimConfig;
 pub use counters::{CounterSnapshot, TierCounters};
 pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use mba::{MbaController, MBA_LEVELS};
+pub use placement::{
+    EpochObservation, Migration, MigrationStats, PlacementEngine, PlacementPolicy, PlacementSpec,
+    MIGRATION_FLOW_BASE,
+};
 pub use policy::{CpuBindPolicy, MemBindPolicy};
 pub use system::{MemorySystem, RunTelemetry, UtilizationSample};
 pub use telemetry::CounterSample;

@@ -1,0 +1,838 @@
+//! Pluggable per-object tiering policies ("the placement engine").
+//!
+//! The paper's experiments pin each executor's memory with static
+//! `numactl --membind` splits ([`MemBindPolicy`]); its discussion section
+//! asks the obvious next question — *which tier should each object live
+//! on?* This module turns the observe-only [`AttributionLedger`] into a
+//! control loop: a [`PlacementPolicy`] decides per-[`ObjectId`] tier
+//! residency at **epoch boundaries** from the traffic the ledger observed,
+//! and a [`PlacementEngine`] executes those decisions, emitting
+//! [`Migration`]s whose copy traffic the engine's host charges through the
+//! [`MemorySystem`](crate::system::MemorySystem) (bandwidth, stall on the
+//! critical path, energy, NVM wear) under the dedicated
+//! [`ObjectId::Migration`] attribution kind — so the conservation
+//! invariants of the ledger keep holding in exact integers.
+//!
+//! Three built-in policies ship with the engine:
+//!
+//! * [`PlacementSpec::Static`] wraps any existing [`MemBindPolicy`]; every
+//!   object follows the executor's static split, no epochs, no
+//!   migrations — bit-for-bit compatible with the pre-engine behaviour.
+//! * [`PlacementSpec::HotCold`] promotes the hottest objects (by bytes
+//!   touched last epoch) into Tier 0 until a DRAM capacity budget is
+//!   spent and keeps everything else on a cold tier — the HeMem/Nimble
+//!   policy family at object granularity.
+//! * [`PlacementSpec::WearAware`] is `HotCold` with the hotness score
+//!   boosted by write traffic, so NVM-write-heavy objects are first in
+//!   line for DRAM and the device's endurance budget is spared.
+
+use crate::access::AccessBatch;
+use crate::attribution::{AttributionLedger, ObjectId};
+use crate::policy::MemBindPolicy;
+use crate::tier::TierId;
+use crate::topology::Topology;
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Flow-id namespace for migration copies. Task flows are `task_id * 8 +
+/// slot`; setting the top bit keeps the two spaces disjoint for any
+/// realistic task count.
+pub const MIGRATION_FLOW_BASE: u64 = 1 << 63;
+
+/// A promotion is worth doing when the object's last-epoch traffic covers
+/// at least this fraction's worth of its footprint (the bytes a migration
+/// must copy). `4` means "touched at least a quarter of itself per epoch":
+/// with DRAM roughly 2–4× cheaper per byte than Optane, the copy pays for
+/// itself within a handful of epochs.
+const PAYBACK_DIVISOR: u64 = 4;
+
+/// One object move decided at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The object being moved.
+    pub object: ObjectId,
+    /// Tier the object was resident on.
+    pub from: TierId,
+    /// Tier the object moves to.
+    pub to: TierId,
+    /// Bytes the copy must move (the object's footprint estimate).
+    pub bytes: u64,
+}
+
+impl Migration {
+    /// The copy's read half: `bytes` streamed off the source tier.
+    pub fn read_batch(&self) -> AccessBatch {
+        AccessBatch::sequential_read(self.bytes)
+    }
+
+    /// The copy's write half: `bytes` streamed onto the destination tier.
+    pub fn write_batch(&self) -> AccessBatch {
+        AccessBatch::sequential_write(self.bytes)
+    }
+
+    /// True when the move goes to a faster (lower-numbered) tier.
+    pub fn is_promotion(&self) -> bool {
+        self.to < self.from
+    }
+}
+
+/// Cumulative counts of what the engine did over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Migrations that moved bytes (and were charged to the memory system).
+    pub migrations: u64,
+    /// Of those, moves to a faster tier.
+    pub promotions: u64,
+    /// Of those, moves to a slower tier.
+    pub demotions: u64,
+    /// Total bytes copied by migrations.
+    pub bytes_moved: u64,
+    /// Residency flips of objects with no measurable footprint (nothing to
+    /// copy, so no traffic was charged).
+    pub silent_moves: u64,
+    /// Epoch boundaries at which the policy was consulted.
+    pub epochs: u64,
+}
+
+/// What a policy gets to see about one object at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochObservation {
+    /// The object.
+    pub object: ObjectId,
+    /// Tier the object is currently resident on.
+    pub residency: TierId,
+    /// Estimated bytes a migration of this object would have to copy
+    /// (real cached size when known, else the largest single-epoch traffic
+    /// observed so far).
+    pub footprint_bytes: u64,
+    /// Bytes the object moved during the last epoch (reads + writes).
+    pub epoch_bytes: u64,
+    /// Bytes the object wrote during the last epoch.
+    pub epoch_bytes_written: u64,
+    /// Bytes the object has moved over the whole run so far.
+    pub total_bytes: u64,
+}
+
+/// A tiering policy: where should each object's traffic go, and how should
+/// residency change at epoch boundaries?
+///
+/// The contract:
+/// * [`placement`](Self::placement) must be pure (same inputs → same
+///   split) and the returned weights must sum to 1 — the scheduler routes
+///   every access batch through it.
+/// * [`epoch`](Self::epoch) returning `None` means the policy never
+///   rebalances; [`desired_residency`](Self::desired_residency) is then
+///   never called.
+/// * [`desired_residency`](Self::desired_residency) returns the *complete*
+///   desired residency for the observed objects; the engine diffs it
+///   against current residency, turns changes into [`Migration`]s, and
+///   charges their copy traffic. Determinism is part of the contract —
+///   decisions may depend only on the observations passed in.
+pub trait PlacementPolicy: Send {
+    /// Short policy name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Rebalancing period, or `None` for purely static policies.
+    fn epoch(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Residency assumed for objects the policy has not placed yet.
+    fn default_tier(&self) -> TierId {
+        TierId::LOCAL_DRAM
+    }
+
+    /// The traffic split for one object given its current residency.
+    fn placement(
+        &self,
+        object: ObjectId,
+        residency: Option<TierId>,
+        topo: &Topology,
+        cpu_socket: u8,
+    ) -> Vec<(TierId, f64)> {
+        let _ = (object, topo, cpu_socket);
+        vec![(residency.unwrap_or_else(|| self.default_tier()), 1.0)]
+    }
+
+    /// Decide residency for the observed objects at an epoch boundary.
+    fn desired_residency(&mut self, observed: &[EpochObservation]) -> BTreeMap<ObjectId, TierId> {
+        let _ = observed;
+        BTreeMap::new()
+    }
+}
+
+/// Serializable policy selector — what configs and scenarios carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "policy", rename_all = "snake_case")]
+pub enum PlacementSpec {
+    /// Every object follows a static `numactl`-style split. Wrapping the
+    /// executor's own `MemBindPolicy` reproduces static-mode behaviour
+    /// bit for bit.
+    Static {
+        /// The wrapped binding policy.
+        bind: MemBindPolicy,
+    },
+    /// HeMem-style hot/cold tiering: promote the hottest objects into
+    /// local DRAM until `dram_capacity_bytes` is spent, keep the rest on
+    /// `cold_tier`.
+    HotCold {
+        /// DRAM bytes the policy may promote into.
+        dram_capacity_bytes: u64,
+        /// Rebalancing period (virtual time).
+        epoch: SimTime,
+        /// Where demoted / unpromoted objects live.
+        cold_tier: TierId,
+    },
+    /// [`HotCold`](PlacementSpec::HotCold) with the hotness score boosted
+    /// by write traffic: NVM-write-heavy objects are promoted first, so
+    /// endurance-burning writes land on DRAM.
+    WearAware {
+        /// DRAM bytes the policy may promote into.
+        dram_capacity_bytes: u64,
+        /// Rebalancing period (virtual time).
+        epoch: SimTime,
+        /// Where demoted / unpromoted objects live.
+        cold_tier: TierId,
+        /// Extra weight on written bytes when scoring hotness (`0.0` makes
+        /// this identical to `HotCold`).
+        write_weight: f64,
+    },
+}
+
+impl PlacementSpec {
+    /// A `HotCold` spec with the paper-natural cold tier (near Optane).
+    pub fn hot_cold(dram_capacity_bytes: u64, epoch: SimTime) -> PlacementSpec {
+        PlacementSpec::HotCold {
+            dram_capacity_bytes,
+            epoch,
+            cold_tier: TierId::NVM_NEAR,
+        }
+    }
+
+    /// A `WearAware` spec with the paper-natural cold tier and a 3× write
+    /// boost (Optane writes cost ~3× reads in both time and energy).
+    pub fn wear_aware(dram_capacity_bytes: u64, epoch: SimTime) -> PlacementSpec {
+        PlacementSpec::WearAware {
+            dram_capacity_bytes,
+            epoch,
+            cold_tier: TierId::NVM_NEAR,
+            write_weight: 3.0,
+        }
+    }
+
+    /// Short label for sweep tables and scenario names.
+    pub fn label(&self) -> String {
+        match self {
+            PlacementSpec::Static { bind } => format!("static({bind:?})"),
+            PlacementSpec::HotCold {
+                dram_capacity_bytes,
+                epoch,
+                ..
+            } => format!(
+                "hotcold({}MiB,{:.0}ms)",
+                dram_capacity_bytes >> 20,
+                epoch.as_secs_f64() * 1e3
+            ),
+            PlacementSpec::WearAware {
+                dram_capacity_bytes,
+                epoch,
+                ..
+            } => format!(
+                "wearaware({}MiB,{:.0}ms)",
+                dram_capacity_bytes >> 20,
+                epoch.as_secs_f64() * 1e3
+            ),
+        }
+    }
+
+    /// Instantiate the policy this spec describes.
+    pub fn build(&self) -> Box<dyn PlacementPolicy> {
+        match *self {
+            PlacementSpec::Static { bind } => Box::new(StaticPolicy { bind }),
+            PlacementSpec::HotCold {
+                dram_capacity_bytes,
+                epoch,
+                cold_tier,
+            } => Box::new(HotColdPolicy {
+                dram_capacity_bytes,
+                epoch,
+                cold_tier,
+                write_weight: 0.0,
+                name: "hot_cold",
+            }),
+            PlacementSpec::WearAware {
+                dram_capacity_bytes,
+                epoch,
+                cold_tier,
+                write_weight,
+            } => Box::new(HotColdPolicy {
+                dram_capacity_bytes,
+                epoch,
+                cold_tier,
+                write_weight,
+                name: "wear_aware",
+            }),
+        }
+    }
+}
+
+/// Built-in: wrap a static [`MemBindPolicy`]. No epochs, no migrations.
+struct StaticPolicy {
+    bind: MemBindPolicy,
+}
+
+impl PlacementPolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn placement(
+        &self,
+        _object: ObjectId,
+        _residency: Option<TierId>,
+        topo: &Topology,
+        cpu_socket: u8,
+    ) -> Vec<(TierId, f64)> {
+        self.bind.placement(topo, cpu_socket)
+    }
+}
+
+/// Built-in: hot/cold promotion with a DRAM capacity budget. Also serves
+/// `WearAware` (a non-zero `write_weight` is the only difference).
+struct HotColdPolicy {
+    dram_capacity_bytes: u64,
+    epoch: SimTime,
+    cold_tier: TierId,
+    write_weight: f64,
+    name: &'static str,
+}
+
+impl HotColdPolicy {
+    fn score(&self, o: &EpochObservation) -> f64 {
+        o.epoch_bytes as f64 + self.write_weight * o.epoch_bytes_written as f64
+    }
+}
+
+impl PlacementPolicy for HotColdPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn epoch(&self) -> Option<SimTime> {
+        Some(self.epoch)
+    }
+
+    fn default_tier(&self) -> TierId {
+        self.cold_tier
+    }
+
+    fn desired_residency(&mut self, observed: &[EpochObservation]) -> BTreeMap<ObjectId, TierId> {
+        // Rank by hotness; object id breaks ties so the outcome is
+        // deterministic for equal scores.
+        let mut ranked: Vec<&EpochObservation> = observed.iter().collect();
+        ranked.sort_by(|a, b| {
+            self.score(b)
+                .partial_cmp(&self.score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.object.cmp(&b.object))
+        });
+        let mut desired = BTreeMap::new();
+        let mut dram_used = 0u64;
+        for o in ranked {
+            let already_resident = o.residency == TierId::LOCAL_DRAM;
+            // Hysteresis: residents keep their slot while it fits (even if
+            // idle this epoch); newcomers must be hot enough to pay the
+            // copy back — touched at least footprint/PAYBACK_DIVISOR bytes
+            // last epoch.
+            let worth_promoting = self.score(o) > 0.0
+                && o.epoch_bytes >= o.footprint_bytes / PAYBACK_DIVISOR
+                && o.footprint_bytes <= self.dram_capacity_bytes;
+            if (already_resident || worth_promoting)
+                && dram_used.saturating_add(o.footprint_bytes) <= self.dram_capacity_bytes
+            {
+                dram_used += o.footprint_bytes;
+                desired.insert(o.object, TierId::LOCAL_DRAM);
+            } else {
+                desired.insert(o.object, self.cold_tier);
+            }
+        }
+        desired
+    }
+}
+
+/// Per-run placement state: current residency, footprint estimates,
+/// epoch snapshots of the attribution ledger, and the migration log.
+///
+/// The engine is mode-aware: a *static* engine (the default) routes every
+/// object along the executor's static split and never migrates — the
+/// scheduler's pre-engine behaviour, preserved exactly. A *dynamic* engine
+/// routes per-object and is consulted at every epoch boundary.
+pub struct PlacementEngine {
+    policy: Option<Box<dyn PlacementPolicy>>,
+    residency: BTreeMap<ObjectId, TierId>,
+    /// Real footprints reported by the host (cached block bytes).
+    reported_footprint: BTreeMap<ObjectId, u64>,
+    /// Fallback footprint: largest single-epoch traffic seen per object.
+    est_footprint: BTreeMap<ObjectId, u64>,
+    /// Cumulative (total bytes, written bytes) per object at the last
+    /// epoch boundary — diffed against the live ledger to get per-epoch
+    /// deltas.
+    prev_totals: BTreeMap<ObjectId, (u64, u64)>,
+    next_epoch: Option<SimTime>,
+    stats: MigrationStats,
+}
+
+impl Default for PlacementEngine {
+    fn default() -> Self {
+        PlacementEngine::new_static()
+    }
+}
+
+impl PlacementEngine {
+    /// An engine that reproduces static `membind` behaviour exactly.
+    pub fn new_static() -> PlacementEngine {
+        PlacementEngine {
+            policy: None,
+            residency: BTreeMap::new(),
+            reported_footprint: BTreeMap::new(),
+            est_footprint: BTreeMap::new(),
+            prev_totals: BTreeMap::new(),
+            next_epoch: None,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// An engine driven by the given policy spec.
+    pub fn new_dynamic(spec: &PlacementSpec) -> PlacementEngine {
+        let policy = spec.build();
+        let next_epoch = policy.epoch();
+        PlacementEngine {
+            policy: Some(policy),
+            residency: BTreeMap::new(),
+            reported_footprint: BTreeMap::new(),
+            est_footprint: BTreeMap::new(),
+            prev_totals: BTreeMap::new(),
+            next_epoch,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// True when a policy routes objects (an epoch loop may be live).
+    pub fn is_dynamic(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The driving policy's name (`"membind"` for static engines).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.as_ref().map(|p| p.name()).unwrap_or("membind")
+    }
+
+    /// The traffic split for `object`. `static_placement` is the
+    /// executor's resolved `membind` split — static engines return it
+    /// unchanged (bit-for-bit the pre-engine path), dynamic engines route
+    /// by the policy's residency decision.
+    pub fn placement_for(
+        &self,
+        object: ObjectId,
+        topo: &Topology,
+        cpu_socket: u8,
+        static_placement: &[(TierId, f64)],
+    ) -> Vec<(TierId, f64)> {
+        match &self.policy {
+            None => static_placement.to_vec(),
+            Some(p) => p.placement(
+                object,
+                self.residency.get(&object).copied(),
+                topo,
+                cpu_socket,
+            ),
+        }
+    }
+
+    /// When the next epoch boundary is due (`None`: never).
+    pub fn next_epoch(&self) -> Option<SimTime> {
+        self.next_epoch
+    }
+
+    /// Report an object's real footprint (e.g. bytes of its cached
+    /// blocks); overrides the traffic-based estimate.
+    pub fn set_footprint(&mut self, object: ObjectId, bytes: u64) {
+        self.reported_footprint.insert(object, bytes);
+    }
+
+    /// The engine's best footprint estimate for an object.
+    pub fn footprint(&self, object: ObjectId) -> u64 {
+        self.reported_footprint
+            .get(&object)
+            .or_else(|| self.est_footprint.get(&object))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current residency of an object, if the policy ever placed it.
+    pub fn residency(&self, object: ObjectId) -> Option<TierId> {
+        self.residency.get(&object).copied()
+    }
+
+    /// What the engine has done so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Cross an epoch boundary: snapshot the ledger, let the policy decide
+    /// residency, and return the migrations to charge. The caller is
+    /// responsible for actually pushing each migration's
+    /// [`read_batch`](Migration::read_batch) /
+    /// [`write_batch`](Migration::write_batch) through the memory system
+    /// under [`ObjectId::Migration`] — residency is updated here, cost is
+    /// charged there, and conservation holds because both sides see the
+    /// same batches.
+    pub fn rebalance(&mut self, now: SimTime, ledger: &AttributionLedger) -> Vec<Migration> {
+        let Some(policy) = &mut self.policy else {
+            return Vec::new();
+        };
+        let Some(epoch) = policy.epoch() else {
+            return Vec::new();
+        };
+        self.stats.epochs += 1;
+
+        // Diff the ledger's cumulative per-object totals against the last
+        // epoch snapshot.
+        let mut observed = Vec::new();
+        for (&object, per_tier) in ledger.object_stats() {
+            let total: u64 = per_tier.iter().map(|s| s.traffic.total_bytes()).sum();
+            let written: u64 = per_tier.iter().map(|s| s.traffic.bytes_written).sum();
+            let (prev_total, prev_written) =
+                self.prev_totals.get(&object).copied().unwrap_or((0, 0));
+            self.prev_totals.insert(object, (total, written));
+            if object == ObjectId::Migration {
+                // The engine's own copies are never placement candidates.
+                continue;
+            }
+            let epoch_bytes = total.saturating_sub(prev_total);
+            let est = self.est_footprint.entry(object).or_insert(0);
+            *est = (*est).max(epoch_bytes);
+            let footprint_bytes = self
+                .reported_footprint
+                .get(&object)
+                .copied()
+                .unwrap_or(*est);
+            observed.push(EpochObservation {
+                object,
+                residency: self
+                    .residency
+                    .get(&object)
+                    .copied()
+                    .unwrap_or_else(|| policy.default_tier()),
+                footprint_bytes,
+                epoch_bytes,
+                epoch_bytes_written: written.saturating_sub(prev_written),
+                total_bytes: total,
+            });
+        }
+
+        let desired = policy.desired_residency(&observed);
+        let default_tier = policy.default_tier();
+        let mut migrations = Vec::new();
+        for (object, want) in desired {
+            let have = self.residency.get(&object).copied().unwrap_or(default_tier);
+            self.residency.insert(object, want);
+            if want == have {
+                continue;
+            }
+            let bytes = self.footprint(object);
+            if bytes == 0 {
+                // Nothing to copy: the flip is free and charges nothing.
+                self.stats.silent_moves += 1;
+                continue;
+            }
+            self.stats.migrations += 1;
+            self.stats.bytes_moved += bytes;
+            let m = Migration {
+                object,
+                from: have,
+                to: want,
+                bytes,
+            };
+            if m.is_promotion() {
+                self.stats.promotions += 1;
+            } else {
+                self.stats.demotions += 1;
+            }
+            migrations.push(m);
+        }
+        self.next_epoch = Some(now + epoch);
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::{TierParams, NUM_TIERS};
+
+    fn params() -> [TierParams; NUM_TIERS] {
+        TierId::all().map(TierParams::paper_default)
+    }
+
+    fn charge(
+        ledger: &mut AttributionLedger,
+        at: SimTime,
+        obj: ObjectId,
+        bytes: u64,
+        tier: TierId,
+    ) {
+        let p = params();
+        ledger.record(
+            at,
+            tier,
+            obj,
+            &AccessBatch::sequential_read(bytes),
+            &p[tier.index()],
+        );
+    }
+
+    #[test]
+    fn static_engine_passes_split_through() {
+        let engine = PlacementEngine::new_static();
+        assert!(!engine.is_dynamic());
+        assert_eq!(engine.next_epoch(), None);
+        let topo = Topology::paper_testbed();
+        let split = vec![(TierId::NVM_NEAR, 0.75), (TierId::LOCAL_DRAM, 0.25)];
+        assert_eq!(
+            engine.placement_for(ObjectId::Scratch, &topo, 0, &split),
+            split
+        );
+        assert_eq!(engine.policy_name(), "membind");
+    }
+
+    #[test]
+    fn dynamic_static_spec_matches_membind() {
+        let topo = Topology::paper_testbed();
+        for bind in [
+            MemBindPolicy::Tier(TierId::NVM_FAR),
+            MemBindPolicy::Interleave([TierId::LOCAL_DRAM, TierId::NVM_NEAR]),
+            MemBindPolicy::hot_cold(0.6),
+        ] {
+            let engine = PlacementEngine::new_dynamic(&PlacementSpec::Static { bind });
+            assert!(engine.is_dynamic());
+            assert_eq!(engine.next_epoch(), None, "static policies never epoch");
+            assert_eq!(
+                engine.placement_for(ObjectId::Scratch, &topo, 0, &[(TierId::LOCAL_DRAM, 1.0)]),
+                bind.placement(&topo, 0),
+            );
+        }
+    }
+
+    #[test]
+    fn hot_cold_promotes_hottest_within_capacity() {
+        let spec = PlacementSpec::hot_cold(1 << 20, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        assert_eq!(engine.next_epoch(), Some(SimTime::from_ms(1)));
+        let topo = Topology::paper_testbed();
+        // Unknown objects start on the cold tier.
+        assert_eq!(
+            engine.placement_for(ObjectId::Scratch, &topo, 0, &[(TierId::LOCAL_DRAM, 1.0)]),
+            vec![(TierId::NVM_NEAR, 1.0)]
+        );
+
+        let hot = ObjectId::CacheBlock { rdd: 1 };
+        let cold = ObjectId::Input { rdd: 0 };
+        let mut ledger = AttributionLedger::new();
+        // Hot object: 512 KiB of traffic; cold object: 1 KiB.
+        charge(
+            &mut ledger,
+            SimTime::from_us(10),
+            hot,
+            512 << 10,
+            TierId::NVM_NEAR,
+        );
+        charge(
+            &mut ledger,
+            SimTime::from_us(20),
+            cold,
+            1 << 10,
+            TierId::NVM_NEAR,
+        );
+
+        let migrations = engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert_eq!(engine.next_epoch(), Some(SimTime::from_ms(2)));
+        // Both objects fit the 1 MiB budget and were touched ≥ footprint/4.
+        assert!(migrations
+            .iter()
+            .any(|m| m.object == hot && m.is_promotion()));
+        assert_eq!(engine.residency(hot), Some(TierId::LOCAL_DRAM));
+        assert_eq!(
+            engine.placement_for(hot, &topo, 0, &[(TierId::NVM_FAR, 1.0)]),
+            vec![(TierId::LOCAL_DRAM, 1.0)]
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.promotions, stats.migrations);
+        assert!(stats.bytes_moved > 0);
+    }
+
+    #[test]
+    fn hot_cold_respects_capacity_budget() {
+        // Budget fits only the hotter object.
+        let spec = PlacementSpec::hot_cold(600 << 10, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        let hot = ObjectId::CacheBlock { rdd: 1 };
+        let warm = ObjectId::CacheBlock { rdd: 2 };
+        let mut ledger = AttributionLedger::new();
+        charge(
+            &mut ledger,
+            SimTime::from_us(10),
+            hot,
+            512 << 10,
+            TierId::NVM_NEAR,
+        );
+        charge(
+            &mut ledger,
+            SimTime::from_us(20),
+            warm,
+            500 << 10,
+            TierId::NVM_NEAR,
+        );
+        let migrations = engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].object, hot);
+        assert_eq!(engine.residency(warm), Some(TierId::NVM_NEAR));
+    }
+
+    #[test]
+    fn idle_residents_keep_their_slot_until_evicted() {
+        let spec = PlacementSpec::hot_cold(1 << 20, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        let a = ObjectId::CacheBlock { rdd: 1 };
+        let mut ledger = AttributionLedger::new();
+        charge(
+            &mut ledger,
+            SimTime::from_us(10),
+            a,
+            512 << 10,
+            TierId::NVM_NEAR,
+        );
+        engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert_eq!(engine.residency(a), Some(TierId::LOCAL_DRAM));
+        // Next epoch: `a` is idle but nothing contends — it stays.
+        let migrations = engine.rebalance(SimTime::from_ms(2), &ledger);
+        assert!(migrations.is_empty());
+        assert_eq!(engine.residency(a), Some(TierId::LOCAL_DRAM));
+        // A hotter newcomer that fills the budget evicts the idle resident.
+        let b = ObjectId::CacheBlock { rdd: 2 };
+        charge(
+            &mut ledger,
+            SimTime::from_us(2100),
+            b,
+            1 << 20,
+            TierId::NVM_NEAR,
+        );
+        let migrations = engine.rebalance(SimTime::from_ms(3), &ledger);
+        assert_eq!(engine.residency(b), Some(TierId::LOCAL_DRAM));
+        assert_eq!(engine.residency(a), Some(TierId::NVM_NEAR));
+        assert!(migrations
+            .iter()
+            .any(|m| m.object == a && !m.is_promotion()));
+    }
+
+    #[test]
+    fn wear_aware_prefers_write_heavy_objects() {
+        // Two objects with equal total traffic; one is write-heavy. Budget
+        // fits only one.
+        let spec = PlacementSpec::wear_aware(600 << 10, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        let p = params();
+        let reader = ObjectId::CacheBlock { rdd: 1 };
+        let writer = ObjectId::CacheBlock { rdd: 2 };
+        let mut ledger = AttributionLedger::new();
+        ledger.record(
+            SimTime::from_us(10),
+            TierId::NVM_NEAR,
+            reader,
+            &AccessBatch::sequential_read(512 << 10),
+            &p[2],
+        );
+        ledger.record(
+            SimTime::from_us(20),
+            TierId::NVM_NEAR,
+            writer,
+            &AccessBatch::sequential_write(512 << 10),
+            &p[2],
+        );
+        let migrations = engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].object, writer, "writes must win the budget");
+        assert_eq!(engine.residency(reader), Some(TierId::NVM_NEAR));
+    }
+
+    #[test]
+    fn reported_footprint_overrides_estimate() {
+        let spec = PlacementSpec::hot_cold(1 << 20, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        let obj = ObjectId::CacheBlock { rdd: 7 };
+        let mut ledger = AttributionLedger::new();
+        charge(
+            &mut ledger,
+            SimTime::from_us(10),
+            obj,
+            256 << 10,
+            TierId::NVM_NEAR,
+        );
+        engine.set_footprint(obj, 64 << 10);
+        let migrations = engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].bytes, 64 << 10, "reported footprint wins");
+    }
+
+    #[test]
+    fn migration_object_is_never_a_candidate() {
+        let spec = PlacementSpec::hot_cold(1 << 30, SimTime::from_ms(1));
+        let mut engine = PlacementEngine::new_dynamic(&spec);
+        let mut ledger = AttributionLedger::new();
+        charge(
+            &mut ledger,
+            SimTime::from_us(10),
+            ObjectId::Migration,
+            1 << 20,
+            TierId::NVM_NEAR,
+        );
+        let migrations = engine.rebalance(SimTime::from_ms(1), &ledger);
+        assert!(migrations.is_empty());
+        assert_eq!(engine.residency(ObjectId::Migration), None);
+    }
+
+    #[test]
+    fn migration_batches_partition_the_copy() {
+        let m = Migration {
+            object: ObjectId::Scratch,
+            from: TierId::NVM_NEAR,
+            to: TierId::LOCAL_DRAM,
+            bytes: 4096,
+        };
+        assert!(m.is_promotion());
+        assert_eq!(m.read_batch().bytes_read, 4096);
+        assert_eq!(m.read_batch().bytes_written, 0);
+        assert_eq!(m.write_batch().bytes_written, 4096);
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let specs = [
+            PlacementSpec::Static {
+                bind: MemBindPolicy::Tier(TierId::NVM_NEAR),
+            },
+            PlacementSpec::hot_cold(1 << 30, SimTime::from_ms(5)),
+            PlacementSpec::wear_aware(1 << 28, SimTime::from_ms(2)),
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: PlacementSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(PlacementSpec::hot_cold(1 << 30, SimTime::from_ms(5))
+            .label()
+            .starts_with("hotcold("));
+    }
+}

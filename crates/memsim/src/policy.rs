@@ -23,13 +23,22 @@ pub enum CpuBindPolicy {
 impl CpuBindPolicy {
     /// Resolve the socket for the `idx`-th executor under this policy on a
     /// machine with `sockets` sockets.
+    ///
+    /// # Panics
+    /// Panics if a pinned socket is out of range; callers that want a
+    /// recoverable error validate with
+    /// [`checked_socket_for`](Self::checked_socket_for) first.
     pub fn socket_for(&self, idx: usize, sockets: usize) -> u8 {
+        self.checked_socket_for(idx, sockets)
+            .unwrap_or_else(|| panic!("socket out of range (machine has {sockets} sockets)"))
+    }
+
+    /// Like [`socket_for`](Self::socket_for), but returns `None` instead of
+    /// panicking when a pinned socket does not exist on the machine.
+    pub fn checked_socket_for(&self, idx: usize, sockets: usize) -> Option<u8> {
         match *self {
-            CpuBindPolicy::Socket(s) => {
-                assert!((s as usize) < sockets, "socket {s} out of range");
-                s
-            }
-            CpuBindPolicy::RoundRobin => (idx % sockets) as u8,
+            CpuBindPolicy::Socket(s) => ((s as usize) < sockets).then_some(s),
+            CpuBindPolicy::RoundRobin => Some((idx % sockets) as u8),
         }
     }
 }
@@ -67,15 +76,17 @@ impl MemBindPolicy {
                 }
             }
             MemBindPolicy::Weighted(weights) => {
-                let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
-                assert!(
-                    total > 0.0 && total.is_finite(),
-                    "weighted placement needs positive weights"
-                );
+                let total: f64 = weights.iter().filter(|w| **w > 0.0 && w.is_finite()).sum();
+                if !(total > 0.0 && total.is_finite()) {
+                    // Degenerate weights (all zero, negative, NaN or ±inf):
+                    // fall back to local DRAM, mirroring how `hot_cold`
+                    // clamps out-of-range fractions instead of panicking.
+                    return vec![(TierId::LOCAL_DRAM, 1.0)];
+                }
                 crate::tier::TierId::all()
                     .iter()
                     .zip(weights.iter())
-                    .filter(|(_, &w)| w > 0.0)
+                    .filter(|(_, &w)| w > 0.0 && w.is_finite())
                     .map(|(&t, &w)| (t, w / total))
                     .collect()
             }
@@ -158,9 +169,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive weights")]
-    fn weighted_rejects_all_zero() {
-        MemBindPolicy::Weighted([0.0; 4]).placement(&Topology::paper_testbed(), 0);
+    fn weighted_degenerate_falls_back_to_local_dram() {
+        let topo = Topology::paper_testbed();
+        // All-zero, all-negative and non-finite weight vectors must all
+        // resolve to the same deterministic fallback instead of panicking.
+        for weights in [
+            [0.0; 4],
+            [-1.0, -2.0, 0.0, -0.5],
+            [f64::NAN; 4],
+            [f64::INFINITY, 0.0, 0.0, 0.0],
+        ] {
+            let p = MemBindPolicy::Weighted(weights);
+            assert_eq!(
+                p.placement(&topo, 0),
+                vec![(TierId::LOCAL_DRAM, 1.0)],
+                "weights {weights:?} must fall back deterministically"
+            );
+            assert_eq!(p.primary_tier(&topo, 0), TierId::LOCAL_DRAM);
+        }
+        // A NaN mixed into otherwise-valid weights is ignored, not fatal.
+        let mixed = MemBindPolicy::Weighted([1.0, f64::NAN, 1.0, 0.0]);
+        let placement = mixed.placement(&topo, 0);
+        assert_eq!(placement.len(), 2);
+        assert!((placement[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_socket_for_reports_range() {
+        assert_eq!(CpuBindPolicy::Socket(3).checked_socket_for(0, 2), None);
+        assert_eq!(CpuBindPolicy::Socket(1).checked_socket_for(0, 2), Some(1));
+        assert_eq!(CpuBindPolicy::RoundRobin.checked_socket_for(5, 2), Some(1));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{Result, SparkError};
-use memtier_memsim::{CpuBindPolicy, MemBindPolicy, MemSimConfig, TierId};
+use memtier_memsim::{CpuBindPolicy, MemBindPolicy, MemSimConfig, PlacementSpec, TierId};
 use serde::{Deserialize, Serialize};
 
 /// Placement of one executor: which socket its threads are pinned to and
@@ -25,6 +25,23 @@ impl Default for ExecutorPlacement {
     }
 }
 
+/// How object traffic is routed across memory tiers.
+///
+/// `Static` preserves the pre-engine behaviour exactly: every access
+/// follows the executor's `numactl`-style [`ExecutorPlacement`] split.
+/// `Dynamic` activates the [`PlacementEngine`](memtier_memsim::PlacementEngine)
+/// inside the virtual-time loop: the carried [`PlacementSpec`] decides
+/// per-object tier residency at epoch boundaries, and migrations are
+/// charged as real memory traffic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum PlacementMode {
+    /// Static per-executor split (the paper's `numactl` deployments).
+    #[default]
+    Static,
+    /// Per-object dynamic placement driven by the given policy.
+    Dynamic(PlacementSpec),
+}
+
 /// Engine configuration.
 ///
 /// The defaults mirror the paper's default deployment: standalone mode, one
@@ -38,6 +55,12 @@ pub struct SparkConf {
     pub cores_per_executor: usize,
     /// Where executors run and allocate.
     pub placement: ExecutorPlacement,
+    /// How object traffic is routed across tiers (static `membind` split
+    /// vs. dynamic per-object placement). Defaults to `Static`, which is
+    /// bit-for-bit the pre-engine behaviour; absent in serialized configs
+    /// from before the placement engine existed.
+    #[serde(default)]
+    pub placement_mode: PlacementMode,
     /// Partitions for source RDDs when the caller doesn't specify
     /// (`spark.default.parallelism`); defaults to the total core count.
     pub default_parallelism: Option<usize>,
@@ -64,6 +87,7 @@ impl Default for SparkConf {
             num_executors: 1,
             cores_per_executor: 40,
             placement: ExecutorPlacement::default(),
+            placement_mode: PlacementMode::default(),
             default_parallelism: None,
             executor_cache_bytes: 512 << 20,
             memsim: MemSimConfig::paper_default(),
@@ -97,6 +121,13 @@ impl SparkConf {
     /// Override default parallelism.
     pub fn with_parallelism(mut self, partitions: usize) -> SparkConf {
         self.default_parallelism = Some(partitions);
+        self
+    }
+
+    /// Route object traffic through a dynamic placement policy instead of
+    /// the static `membind` split.
+    pub fn with_placement(mut self, spec: PlacementSpec) -> SparkConf {
+        self.placement_mode = PlacementMode::Dynamic(spec);
         self
     }
 
@@ -140,10 +171,45 @@ impl SparkConf {
         }
         self.cost.validate().map_err(SparkError::InvalidConfig)?;
         self.memsim.validate().map_err(SparkError::InvalidConfig)?;
-        // Executors must fit on their socket.
+        if let PlacementMode::Dynamic(spec) = &self.placement_mode {
+            match *spec {
+                PlacementSpec::HotCold { epoch, .. } => {
+                    if epoch.is_zero() {
+                        return Err(SparkError::InvalidConfig(
+                            "hot/cold placement epoch must be positive".into(),
+                        ));
+                    }
+                }
+                PlacementSpec::WearAware {
+                    epoch,
+                    write_weight,
+                    ..
+                } => {
+                    if epoch.is_zero() {
+                        return Err(SparkError::InvalidConfig(
+                            "wear-aware placement epoch must be positive".into(),
+                        ));
+                    }
+                    if !(write_weight.is_finite() && write_weight >= 0.0) {
+                        return Err(SparkError::InvalidConfig(format!(
+                            "wear-aware write weight must be finite and non-negative, got {write_weight}"
+                        )));
+                    }
+                }
+                PlacementSpec::Static { .. } => {}
+            }
+        }
+        // Executors must fit on their socket, and a pinned socket must
+        // exist on the machine (surfaced here as a config error instead of
+        // a panic mid-run).
         let sockets = self.memsim.topology.sockets.len();
         for i in 0..self.num_executors {
-            let socket = self.placement.cpu.socket_for(i, sockets);
+            let Some(socket) = self.placement.cpu.checked_socket_for(i, sockets) else {
+                return Err(SparkError::InvalidConfig(format!(
+                    "executor {i}: cpu bind {:?} targets a socket outside the machine's {sockets} sockets",
+                    self.placement.cpu
+                )));
+            };
             let capacity = self.memsim.topology.hyperthreads_on(socket) as usize;
             if self.cores_per_executor > capacity {
                 return Err(SparkError::InvalidConfig(format!(
@@ -203,5 +269,54 @@ mod tests {
             ..SparkConf::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_socket_is_a_config_error_not_a_panic() {
+        let c = SparkConf {
+            placement: ExecutorPlacement {
+                cpu: CpuBindPolicy::Socket(7),
+                mem: MemBindPolicy::Tier(TierId::LOCAL_DRAM),
+            },
+            ..SparkConf::default()
+        };
+        match c.validate() {
+            Err(SparkError::InvalidConfig(msg)) => {
+                assert!(msg.contains("socket"), "unhelpful message: {msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_placement_specs_are_validated() {
+        use memtier_des::SimTime;
+        SparkConf::default()
+            .with_placement(PlacementSpec::hot_cold(1 << 30, SimTime::from_ms(5)))
+            .validate()
+            .unwrap();
+        let zero_epoch = SparkConf::default().with_placement(PlacementSpec::HotCold {
+            dram_capacity_bytes: 1 << 30,
+            epoch: SimTime::ZERO,
+            cold_tier: TierId::NVM_NEAR,
+        });
+        assert!(zero_epoch.validate().is_err());
+        let bad_weight = SparkConf::default().with_placement(PlacementSpec::WearAware {
+            dram_capacity_bytes: 1 << 30,
+            epoch: SimTime::from_ms(5),
+            cold_tier: TierId::NVM_NEAR,
+            write_weight: f64::NAN,
+        });
+        assert!(bad_weight.validate().is_err());
+    }
+
+    #[test]
+    fn placement_mode_is_optional_in_serialized_configs() {
+        // Configs serialized before the placement engine existed carry no
+        // `placement_mode` key; deserialization must default it to Static.
+        let mut json = serde_json::to_value(SparkConf::default()).unwrap();
+        json.as_object_mut().unwrap().remove("placement_mode");
+        let back: SparkConf = serde_json::from_value(json).unwrap();
+        assert_eq!(back.placement_mode, PlacementMode::Static);
     }
 }

@@ -1,6 +1,6 @@
 //! The `SparkContext`: application entry point and job driver.
 
-use crate::config::SparkConf;
+use crate::config::{PlacementMode, SparkConf};
 use crate::cost::OpCost;
 use crate::error::{Result, SparkError};
 use crate::events::{
@@ -17,7 +17,8 @@ use crate::storage::CacheStats;
 use memtier_des::SimTime;
 use memtier_dfs::DfsClient;
 use memtier_memsim::{
-    CounterSample, CounterSnapshot, HotnessReport, MemorySystem, ObjectSample, RunTelemetry, TierId,
+    CounterSample, CounterSnapshot, HotnessReport, MemorySystem, MigrationStats, ObjectSample,
+    PlacementEngine, RunTelemetry, TierId,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -45,6 +46,9 @@ pub struct RunReport {
     /// traffic it drove, with per-tier residency, stall, energy and NVM
     /// wear. Conserves against `telemetry.counters` in exact integers.
     pub hotness: HotnessReport,
+    /// What the placement engine did: migrations, promotions/demotions,
+    /// bytes copied, epochs crossed. All zeros under static placement.
+    pub migrations: MigrationStats,
     /// I/O errors event sinks hit during the run, surfaced at flush time
     /// (empty on a clean run). Sinks never kill a simulation mid-run, but
     /// a truncated event log must not pass silently either.
@@ -55,6 +59,7 @@ struct Inner {
     conf: SparkConf,
     runtime: Runtime,
     mem: Mutex<MemorySystem>,
+    placement: Mutex<PlacementEngine>,
     clock: Mutex<SimTime>,
     next_rdd: AtomicU32,
     app: Mutex<AppMetrics>,
@@ -92,11 +97,16 @@ impl SparkContext {
         let runtime = Runtime::new(&conf);
         let mem = MemorySystem::new(conf.memsim.clone());
         let executors = build_executors(&conf, mem.topology());
+        let placement = match &conf.placement_mode {
+            PlacementMode::Static => PlacementEngine::new_static(),
+            PlacementMode::Dynamic(spec) => PlacementEngine::new_dynamic(spec),
+        };
         Ok(SparkContext {
             inner: Arc::new(Inner {
                 conf,
                 runtime,
                 mem: Mutex::new(mem),
+                placement: Mutex::new(placement),
                 clock: Mutex::new(SimTime::ZERO),
                 next_rdd: AtomicU32::new(0),
                 app: Mutex::new(AppMetrics::default()),
@@ -202,6 +212,7 @@ impl SparkContext {
         let inner = &self.inner;
         let plan = build_plan(rdd.node(), &inner.runtime);
         let mut mem = inner.mem.lock();
+        let mut placement = inner.placement.lock();
         let mut clock = inner.clock.lock();
         let mut app = inner.app.lock();
         let mut trace = inner.trace.lock();
@@ -212,6 +223,7 @@ impl SparkContext {
         let runner = JobRunner::new(
             &inner.runtime,
             &mut mem,
+            &mut placement,
             &mut app,
             &inner.executors,
             plan,
@@ -392,6 +404,17 @@ impl SparkContext {
         }
     }
 
+    /// What the placement engine has done so far (all zeros under static
+    /// placement).
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.inner.placement.lock().stats()
+    }
+
+    /// The active placement policy's name (`"membind"` in static mode).
+    pub fn placement_policy_name(&self) -> &'static str {
+        self.inner.placement.lock().policy_name()
+    }
+
     /// Engine-level metrics so far.
     pub fn metrics(&self) -> AppMetrics {
         *self.inner.app.lock()
@@ -457,6 +480,7 @@ impl SparkContext {
             stage_rollups: self.inner.rollups.lock().clone(),
             profile: build_profile(&self.inner.profile_log.lock(), elapsed),
             hotness,
+            migrations: self.inner.placement.lock().stats(),
             sink_errors,
         }
     }

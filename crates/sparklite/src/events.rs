@@ -22,7 +22,7 @@
 use crate::metrics::TaskMetrics;
 use crate::profile::TaskBreakdown;
 use memtier_des::SimTime;
-use memtier_memsim::TierId;
+use memtier_memsim::{ObjectId, TierId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -159,6 +159,20 @@ pub enum Event {
         bytes: u64,
         /// Map-output buckets fetched.
         buckets: u64,
+    },
+    /// The placement engine moved an object between tiers at an epoch
+    /// boundary. The copy traffic is charged to the memory system under
+    /// [`ObjectId::Migration`], so it shows up in the hotness report and
+    /// conserves against the machine counters.
+    ObjectMigrated {
+        /// The object that moved.
+        object: ObjectId,
+        /// Tier the object was resident on.
+        from: TierId,
+        /// Tier the object moved to.
+        to: TierId,
+        /// Bytes the copy moved.
+        bytes: u64,
     },
     /// The MBA throttle level of a tier changed.
     MbaThrottle {
@@ -469,6 +483,19 @@ impl<W: Write + Send> EventSink for ProgressSink<W> {
             }
             Event::MbaThrottle { tier, percent } => {
                 format!("[{at}] MBA tier{} -> {percent}%", tier.index())
+            }
+            Event::ObjectMigrated {
+                object,
+                from,
+                to,
+                bytes,
+            } => {
+                format!(
+                    "[{at}] migrate {} tier{} -> tier{} ({bytes} B)",
+                    object.label(),
+                    from.index(),
+                    to.index()
+                )
             }
             _ => return,
         };

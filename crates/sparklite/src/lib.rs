@@ -78,7 +78,7 @@ pub mod trace;
 
 pub use accumulator::Accumulator;
 pub use broadcast::Broadcast;
-pub use config::{ExecutorPlacement, SparkConf};
+pub use config::{ExecutorPlacement, PlacementMode, SparkConf};
 pub use context::SparkContext;
 pub use cost::{CostModel, OpCost};
 pub use error::SparkError;

@@ -26,7 +26,9 @@ use crate::scheduler::dag::{StageId, StageKind, StagePlan};
 use crate::scheduler::executor::ExecutorSpec;
 use crate::trace::TaskSpan;
 use memtier_des::{EventQueue, SimTime};
-use memtier_memsim::{AccessBatch, MemorySystem, ObjectId, TierId};
+use memtier_memsim::{
+    AccessBatch, MemorySystem, Migration, ObjectId, PlacementEngine, TierId, MIGRATION_FLOW_BASE,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -90,6 +92,10 @@ enum Ev {
 pub struct JobRunner<'a, U> {
     rt: &'a Runtime,
     mem: &'a mut MemorySystem,
+    /// The placement engine: routes each object's traffic (static engines
+    /// pass the executor split through untouched) and decides migrations
+    /// at epoch boundaries.
+    engine: &'a mut PlacementEngine,
     app: &'a mut AppMetrics,
     plan: StagePlan,
     result_fn: Arc<dyn Fn(usize, &mut TaskEnv<'_>) -> U + Send + Sync>,
@@ -100,6 +106,11 @@ pub struct JobRunner<'a, U> {
     now: SimTime,
     running: HashMap<u64, RunningTask<U>>,
     flow_owner: HashMap<u64, u64>,
+    /// In-flight migration copies: flow id → (tier, batch). Migration
+    /// flows live in the [`MIGRATION_FLOW_BASE`] namespace, disjoint from
+    /// task flows, and are attributed to [`ObjectId::Migration`].
+    migration_flows: HashMap<u64, (TierId, AccessBatch)>,
+    migration_seq: u64,
     results: Vec<Option<(usize, U)>>,
     next_task: u64,
     rr_exec: usize,
@@ -120,6 +131,7 @@ impl<'a, U> JobRunner<'a, U> {
     pub fn new(
         rt: &'a Runtime,
         mem: &'a mut MemorySystem,
+        engine: &'a mut PlacementEngine,
         app: &'a mut AppMetrics,
         executors: &[ExecutorSpec],
         plan: StagePlan,
@@ -136,6 +148,7 @@ impl<'a, U> JobRunner<'a, U> {
         let mut runner = JobRunner {
             rt,
             mem,
+            engine,
             app,
             plan,
             result_fn,
@@ -152,6 +165,8 @@ impl<'a, U> JobRunner<'a, U> {
             now: start,
             running: HashMap::new(),
             flow_owner: HashMap::new(),
+            migration_flows: HashMap::new(),
+            migration_seq: 0,
             results: (0..result_tasks).map(|_| None).collect(),
             next_task: 0,
             rr_exec: 0,
@@ -348,26 +363,48 @@ impl<'a, U> JobRunner<'a, U> {
             self.next_task += 1;
 
             let placement = self.executors[exec_idx].spec.placement.clone();
-            // Split each object's traffic across the placement separately,
-            // accumulating the per-tier aggregate alongside its per-object
-            // parts. The parts partition each flow's batch exactly, which is
-            // what lets the attribution ledger conserve against the machine
-            // counters. With a single-tier placement every per-object split
-            // is the identity, so the aggregate flow — and therefore all
-            // timing — is byte-identical to splitting the task total.
+            let socket = self.executors[exec_idx].spec.socket;
+            // Route each object's traffic through the placement engine and
+            // split it across the returned tiers, accumulating per-tier
+            // aggregates alongside their per-object parts. The parts
+            // partition each flow's batch exactly, which is what lets the
+            // attribution ledger conserve against the machine counters.
+            //
+            // Slots are seeded from the executor's static split and grown
+            // by first appearance for tiers only the engine routes to. A
+            // static engine returns the executor split for every object, so
+            // every per-object split lands on the seeded slots in order and
+            // the aggregate flows — and therefore all timing — are
+            // byte-identical to the pre-engine behaviour of splitting the
+            // task total.
+            let dynamic = self.engine.is_dynamic();
             let mut per_tier: Vec<(TierId, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = placement
                 .iter()
                 .map(|&(tier, _)| (tier, AccessBatch::EMPTY, Vec::new()))
                 .collect();
             for (&object, obj_batch) in &object_traffic {
-                for (i, (_, part)) in Self::split_traffic(obj_batch, &placement)
-                    .into_iter()
-                    .enumerate()
-                {
-                    if !part.is_empty() {
-                        per_tier[i].1 += part;
-                        per_tier[i].2.push((object, part));
+                let routed: Vec<(TierId, f64)>;
+                let split = if dynamic {
+                    routed =
+                        self.engine
+                            .placement_for(object, self.mem.topology(), socket, &placement);
+                    &routed[..]
+                } else {
+                    &placement[..]
+                };
+                for (tier, part) in Self::split_traffic(obj_batch, split) {
+                    if part.is_empty() {
+                        continue;
                     }
+                    let slot = match per_tier.iter().position(|(t, _, _)| *t == tier) {
+                        Some(i) => i,
+                        None => {
+                            per_tier.push((tier, AccessBatch::EMPTY, Vec::new()));
+                            per_tier.len() - 1
+                        }
+                    };
+                    per_tier[slot].1 += part;
+                    per_tier[slot].2.push((object, part));
                 }
             }
             debug_assert_eq!(
@@ -449,6 +486,13 @@ impl<'a, U> JobRunner<'a, U> {
                         .emit(self.now, Event::CacheEviction { evictions, spills });
                 }
                 for ev in &evicted_blocks {
+                    // Under dynamic placement the freed bytes lived where
+                    // the engine last placed the RDD's blocks, not on the
+                    // executor's primary tier.
+                    let tier = self
+                        .engine
+                        .residency(ObjectId::CacheBlock { rdd: ev.key.0 })
+                        .unwrap_or(placement[0].0);
                     self.events.emit(
                         self.now,
                         Event::BlockEvicted {
@@ -456,7 +500,7 @@ impl<'a, U> JobRunner<'a, U> {
                             partition: ev.key.1,
                             bytes: ev.bytes,
                             spilled: ev.spilled,
-                            tier: placement[0].0,
+                            tier,
                         },
                     );
                 }
@@ -654,11 +698,27 @@ impl<'a, U> JobRunner<'a, U> {
             self.dispatch();
             let queue_next = self.queue.peek_time();
             let mem_next = self.mem.next_completion();
-            match (queue_next, mem_next) {
+            let next_due = match (queue_next, mem_next) {
                 (None, None) => break,
+                (Some(qt), Some((mt, _, _))) => qt.min(mt),
+                (Some(qt), None) => qt,
+                (None, Some((mt, _, _))) => mt,
+            };
+            // A placement-epoch boundary preempts only when strictly
+            // earlier than every pending event (ties defer to the work),
+            // and never outlives the job: with nothing left to run the
+            // loop exits above instead of idling through empty epochs.
+            if let Some(et) = self.engine.next_epoch() {
+                if et < next_due {
+                    self.cross_epoch(et);
+                    continue;
+                }
+            }
+            match (queue_next, mem_next) {
                 (Some(qt), Some((mt, _, _))) if qt <= mt => self.handle_cpu_event(),
                 (Some(_), None) => self.handle_cpu_event(),
                 (None, Some(_)) | (Some(_), Some(_)) => self.handle_mem_event(),
+                (None, None) => unreachable!("loop breaks before the epoch check"),
             }
         }
         debug_assert!(
@@ -709,10 +769,84 @@ impl<'a, U> JobRunner<'a, U> {
         }
     }
 
+    /// Cross one placement-epoch boundary: feed the engine fresh cache
+    /// footprints, let the policy rebalance off the live attribution
+    /// ledger, and start charging the resulting migration copies.
+    fn cross_epoch(&mut self, at: SimTime) {
+        // A boundary scheduled before idle driver time advanced the clock
+        // fires "now" — virtual time never runs backwards.
+        let t = at.max(self.now);
+        self.now = t;
+        self.mem.advance(t);
+        // Cached RDDs have a real footprint (their blocks' bytes); report
+        // it so migrations copy what is actually resident instead of the
+        // traffic-derived estimate.
+        let cached: Vec<(ObjectId, u64)> = self
+            .mem
+            .ledger()
+            .object_stats()
+            .keys()
+            .filter_map(|&o| match o {
+                ObjectId::CacheBlock { rdd } => Some((o, self.rt.cache.rdd_bytes(rdd))),
+                _ => None,
+            })
+            .collect();
+        for (object, bytes) in cached {
+            self.engine.set_footprint(object, bytes);
+        }
+        let migrations = self.engine.rebalance(t, self.mem.ledger());
+        for m in migrations {
+            self.start_migration(m);
+        }
+    }
+
+    /// Charge one migration: a read flow on the source tier plus a write
+    /// flow on the destination, both attributed to [`ObjectId::Migration`]
+    /// when they complete. The copy contends with task flows for channel
+    /// bandwidth, so its cost lands on the critical path like any other
+    /// traffic. Cached-RDD residency in the block manager follows the move.
+    fn start_migration(&mut self, m: Migration) {
+        if let ObjectId::CacheBlock { rdd } = m.object {
+            self.rt.cache.set_rdd_tier(rdd, m.to);
+        }
+        if self.events.is_active() {
+            self.events.emit(
+                self.now,
+                Event::ObjectMigrated {
+                    object: m.object,
+                    from: m.from,
+                    to: m.to,
+                    bytes: m.bytes,
+                },
+            );
+        }
+        for (tier, batch) in [(m.from, m.read_batch()), (m.to, m.write_batch())] {
+            let flow = MIGRATION_FLOW_BASE | self.migration_seq;
+            self.migration_seq += 1;
+            if self.mem.begin_access(self.now, tier, flow, &batch) {
+                self.migration_flows.insert(flow, (tier, batch));
+            }
+        }
+    }
+
     fn handle_mem_event(&mut self) {
         let (t, tier, flow) = self.mem.next_completion().expect("peeked flow vanished");
         self.now = t;
         self.mem.advance(t);
+        if let Some((migration_tier, batch)) = self.migration_flows.remove(&flow) {
+            debug_assert_eq!(migration_tier, tier, "migration flow completed off-tier");
+            // The whole batch is the migration's: a one-part partition, so
+            // the ledger's conservation against the machine counters stays
+            // exact.
+            self.mem.finish_access_attributed(
+                t,
+                tier,
+                flow,
+                &batch,
+                &[(ObjectId::Migration, batch)],
+            );
+            return;
+        }
         let task_id = self
             .flow_owner
             .remove(&flow)

@@ -6,6 +6,7 @@
 //! *memory-access-bound* and therefore tier-sensitive in the paper.
 
 use crate::shuffle::AnyPart;
+use memtier_memsim::TierId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -83,6 +84,12 @@ struct Inner {
     spills: u64,
     disk_reads: u64,
     eviction_log: Vec<EvictedBlock>,
+    /// Tier residency of in-memory blocks, maintained by the placement
+    /// engine: new blocks inherit their RDD's residency, migrations move
+    /// every block of the RDD at once.
+    tiers: HashMap<BlockKey, TierId>,
+    /// Per-RDD residency defaults (set by [`BlockManager::set_rdd_tier`]).
+    rdd_tiers: HashMap<u32, TierId>,
 }
 
 /// An LRU block cache shared by all executors of an application.
@@ -126,6 +133,8 @@ impl BlockManager {
                 spills: 0,
                 disk_reads: 0,
                 eviction_log: Vec::new(),
+                tiers: HashMap::new(),
+                rdd_tiers: HashMap::new(),
             }),
         }
     }
@@ -178,8 +187,12 @@ impl BlockManager {
                 .min_by_key(|(k, e)| (e.last_use, **k))
                 .map(|(k, _)| *k)
                 .expect("used > 0 implies a victim exists");
-            let evicted = inner.map.remove(&victim).unwrap();
+            let evicted = inner
+                .map
+                .remove(&victim)
+                .unwrap_or_else(|| panic!("eviction victim block {victim:?} missing from store"));
             inner.used -= evicted.bytes;
+            inner.tiers.remove(&victim);
             inner.evictions += 1;
             inner.eviction_log.push(EvictedBlock {
                 key: victim,
@@ -204,6 +217,10 @@ impl BlockManager {
                 spills,
             },
         );
+        // New blocks inherit their RDD's residency decision, if any.
+        if let Some(tier) = inner.rdd_tiers.get(&key.0).copied() {
+            inner.tiers.insert(key, tier);
+        }
         true
     }
 
@@ -225,8 +242,12 @@ impl BlockManager {
             .collect();
         let mut freed = 0;
         for k in victims {
-            let e = inner.map.remove(&k).unwrap();
+            let e = inner
+                .map
+                .remove(&k)
+                .unwrap_or_else(|| panic!("unpersist: memory block {k:?} vanished mid-drop"));
             inner.used -= e.bytes;
+            inner.tiers.remove(&k);
             freed += e.bytes;
         }
         let disk_victims: Vec<BlockKey> = inner
@@ -236,11 +257,55 @@ impl BlockManager {
             .copied()
             .collect();
         for k in disk_victims {
-            let (_, bytes) = inner.disk.remove(&k).unwrap();
+            let (_, bytes) = inner
+                .disk
+                .remove(&k)
+                .unwrap_or_else(|| panic!("unpersist: disk block {k:?} vanished mid-drop"));
             inner.disk_used -= bytes;
             freed += bytes;
         }
+        inner.rdd_tiers.remove(&rdd_id);
         freed
+    }
+
+    /// Record the placement engine's residency decision for one RDD: every
+    /// current and future in-memory block of `rdd_id` is considered
+    /// resident on `tier`.
+    pub fn set_rdd_tier(&self, rdd_id: u32, tier: TierId) {
+        let mut inner = self.inner.lock();
+        inner.rdd_tiers.insert(rdd_id, tier);
+        let keys: Vec<BlockKey> = inner
+            .map
+            .keys()
+            .filter(|(r, _)| *r == rdd_id)
+            .copied()
+            .collect();
+        for k in keys {
+            inner.tiers.insert(k, tier);
+        }
+    }
+
+    /// Tier residency of one in-memory block, if the placement engine ever
+    /// placed its RDD (`None` under static placement).
+    pub fn tier_of(&self, key: BlockKey) -> Option<TierId> {
+        let inner = self.inner.lock();
+        inner
+            .tiers
+            .get(&key)
+            .or_else(|| inner.rdd_tiers.get(&key.0))
+            .copied()
+    }
+
+    /// Bytes of one RDD currently resident in executor memory — the
+    /// footprint a migration of its cache object would have to copy.
+    pub fn rdd_bytes(&self, rdd_id: u32) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .iter()
+            .filter(|((r, _), _)| *r == rdd_id)
+            .map(|(_, e)| e.bytes)
+            .sum()
     }
 
     /// Drain the log of blocks evicted since the last call, in eviction
@@ -278,6 +343,8 @@ impl BlockManager {
         inner.spills = 0;
         inner.disk_reads = 0;
         inner.eviction_log.clear();
+        inner.tiers.clear();
+        inner.rdd_tiers.clear();
     }
 }
 
@@ -416,6 +483,27 @@ mod tests {
         );
         // Draining empties the log.
         assert!(bm.take_evictions().is_empty());
+    }
+
+    #[test]
+    fn tier_residency_follows_rdd_decisions() {
+        let bm = BlockManager::new(1000);
+        bm.put((1, 0), part(vec![1]), 30, MO);
+        assert_eq!(bm.tier_of((1, 0)), None, "no decision yet");
+        bm.set_rdd_tier(1, TierId::LOCAL_DRAM);
+        assert_eq!(bm.tier_of((1, 0)), Some(TierId::LOCAL_DRAM));
+        // Future blocks of the RDD inherit the decision.
+        bm.put((1, 1), part(vec![2]), 20, MO);
+        assert_eq!(bm.tier_of((1, 1)), Some(TierId::LOCAL_DRAM));
+        assert_eq!(bm.rdd_bytes(1), 50);
+        // A demotion moves every block of the RDD.
+        bm.set_rdd_tier(1, TierId::NVM_NEAR);
+        assert_eq!(bm.tier_of((1, 0)), Some(TierId::NVM_NEAR));
+        assert_eq!(bm.tier_of((1, 1)), Some(TierId::NVM_NEAR));
+        // Unpersist forgets residency.
+        bm.unpersist(1);
+        assert_eq!(bm.tier_of((1, 0)), None);
+        assert_eq!(bm.rdd_bytes(1), 0);
     }
 
     #[test]

@@ -301,8 +301,69 @@ fn push_lifecycle_events(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]
                     "tid": 0
                 }));
             }
+            Event::ObjectMigrated {
+                object,
+                from,
+                to,
+                bytes,
+            } => {
+                out.push(json!({
+                    "name": format!(
+                        "migrate {} tier{} -> tier{}",
+                        object.label(),
+                        from.index(),
+                        to.index()
+                    ),
+                    "cat": "placement",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0,
+                    "args": { "bytes": bytes }
+                }));
+            }
             _ => {}
         }
+    }
+    push_residency_tracks(out, events);
+}
+
+/// Per-object tier-residency `"ph":"C"` tracks built from the
+/// [`Event::ObjectMigrated`] stream: one counter track per migrated
+/// object whose value is the tier index it lives on, stepping at each
+/// move — Perfetto renders the object's promotion/demotion history as a
+/// staircase next to the traffic tracks.
+fn push_residency_tracks(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]) {
+    let mut seen: Vec<ObjectId> = Vec::new();
+    for e in events {
+        let Event::ObjectMigrated {
+            object, from, to, ..
+        } = &e.event
+        else {
+            continue;
+        };
+        // The first move opens the track at the starting tier so the
+        // staircase has a left edge.
+        if !seen.contains(object) {
+            seen.push(*object);
+            out.push(json!({
+                "name": format!("residency {}", object.label()),
+                "cat": "placement",
+                "ph": "C",
+                "ts": 0.0,
+                "pid": COUNTER_PID,
+                "args": { "tier": from.index() }
+            }));
+        }
+        out.push(json!({
+            "name": format!("residency {}", object.label()),
+            "cat": "placement",
+            "ph": "C",
+            "ts": e.at.as_us_f64(),
+            "pid": COUNTER_PID,
+            "args": { "tier": to.index() }
+        }));
     }
 }
 
@@ -492,6 +553,43 @@ mod tests {
         assert!(out
             .iter()
             .any(|e| e["ph"] == "M" && e["args"]["name"] == "driver"));
+    }
+
+    #[test]
+    fn migrations_get_markers_and_residency_tracks() {
+        let obj = ObjectId::CacheBlock { rdd: 3 };
+        let hop = |at_ms: u64, from: TierId, to: TierId| TimedEvent {
+            at: SimTime::from_ms(at_ms),
+            event: Event::ObjectMigrated {
+                object: obj,
+                from,
+                to,
+                bytes: 4096,
+            },
+        };
+        let events = vec![
+            hop(5, TierId::NVM_NEAR, TierId::LOCAL_DRAM),
+            hop(9, TierId::LOCAL_DRAM, TierId::NVM_NEAR),
+        ];
+        let json = chrome_trace_json_full(&[], &[], &events, None);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        let markers: Vec<&serde_json::Value> = out
+            .iter()
+            .filter(|e| e["cat"] == "placement" && e["ph"] == "i")
+            .collect();
+        assert_eq!(markers.len(), 2);
+        assert!(markers[0]["name"].as_str().unwrap().contains("rdd3:cache"));
+        // Residency staircase: an opening point at the starting tier plus
+        // one step per move.
+        let track: Vec<&serde_json::Value> = out
+            .iter()
+            .filter(|e| e["cat"] == "placement" && e["ph"] == "C")
+            .collect();
+        assert_eq!(track.len(), 3);
+        assert_eq!(track[0]["args"]["tier"], 2);
+        assert_eq!(track[1]["args"]["tier"], 0);
+        assert_eq!(track[2]["args"]["tier"], 2);
     }
 
     #[test]

@@ -1,64 +1,87 @@
-//! Tiering-policy sweep: approximate a perfect page migrator by keeping a
-//! `hot` fraction of traffic in local DRAM and the rest on Optane, and
-//! sweep the fraction — the capacity/performance curve that page-migration
-//! systems (HeMem, Nimble, AutoNUMA) navigate and that the paper's
-//! discussion section motivates ("determining the optimal memory tier per
-//! access type").
+//! Tiering-policy sweep, on the real placement engine: executors allocate
+//! from Optane, and a HeMem-style `HotCold` policy promotes the hottest
+//! objects into a DRAM budget at every epoch — migrations charged through
+//! the memory system like any other traffic. Sweeping the budget traces the
+//! capacity/performance curve that page-migration systems (HeMem, Nimble,
+//! AutoNUMA) navigate and that the paper's discussion section motivates
+//! ("determining the optimal memory tier per access type").
 //!
 //! ```text
 //! cargo run --release --example tiering_policy -- [workload]
 //! ```
 
-use spark_memtier::engine::{ExecutorPlacement, SparkConf, SparkContext};
-use spark_memtier::memsim::{CpuBindPolicy, MemBindPolicy};
+use spark_memtier::des::SimTime;
+use spark_memtier::engine::{SparkConf, SparkContext};
+use spark_memtier::memsim::{PlacementSpec, TierId};
 use spark_memtier::metrics::table::{fmt_f64, sparkline};
 use spark_memtier::metrics::AsciiTable;
-use spark_memtier::workloads::{workload_by_name, DataSize};
+use spark_memtier::workloads::{workload_by_name, DataSize, Workload};
+
+/// One epoch of virtual time between policy decisions.
+const EPOCH: SimTime = SimTime::from_us(200);
+
+fn run(workload: &dyn Workload, conf: SparkConf) -> (f64, u64, u64) {
+    let sc = SparkContext::new(conf).expect("context");
+    workload.run(&sc, DataSize::Large, 42).expect("run");
+    let m = sc.migration_stats();
+    (sc.elapsed().as_secs_f64(), m.migrations, m.bytes_moved)
+}
 
 fn main() {
     let app = std::env::args().nth(1).unwrap_or_else(|| "bayes".into());
     let workload = workload_by_name(&app).expect("known workload");
-    println!("{app}-large with a hot-fraction tiering policy (DRAM hot / Optane cold):\n");
+    println!("{app}-large under the dynamic placement engine (DRAM hot / Optane cold):\n");
+
+    // The endpoints the engine has to live between.
+    let (all_dram, _, _) = run(&*workload, SparkConf::bound_to_tier(TierId::LOCAL_DRAM));
+    let (all_nvm, _, _) = run(&*workload, SparkConf::bound_to_tier(TierId::NVM_NEAR));
 
     let mut table = AsciiTable::new(vec![
-        "DRAM share",
+        "DRAM budget",
         "time (s)",
         "slowdown vs all-DRAM",
-        "DRAM capacity used",
+        "migrations",
+        "moved (MB)",
     ])
-    .title(format!("{app}-large tiering curve"));
+    .title(format!("{app}-large tiering curve, epoch {EPOCH}"));
 
-    let mut times = Vec::new();
-    let fractions = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0];
-    let mut all_dram = None;
-    for &hot in &fractions {
-        let conf = SparkConf {
-            placement: ExecutorPlacement {
-                cpu: CpuBindPolicy::Socket(0),
-                mem: MemBindPolicy::hot_cold(hot),
-            },
-            ..SparkConf::default()
-        };
-        let sc = SparkContext::new(conf).expect("context");
-        workload.run(&sc, DataSize::Large, 42).expect("run");
-        let t = sc.elapsed().as_secs_f64();
-        let base = *all_dram.get_or_insert(t);
+    let mut times = vec![all_dram];
+    table.row(vec![
+        "static DRAM".into(),
+        fmt_f64(all_dram, 4),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for budget_mib in [1024u64, 256, 64, 16, 4] {
+        let conf = SparkConf::bound_to_tier(TierId::NVM_NEAR)
+            .with_placement(PlacementSpec::hot_cold(budget_mib << 20, EPOCH));
+        let (t, migrations, moved) = run(&*workload, conf);
         times.push(t);
         table.row(vec![
-            format!("{:.0}%", hot * 100.0),
+            format!("{budget_mib} MiB"),
             fmt_f64(t, 4),
-            format!("{:.2}x", t / base),
-            format!("{:.0}%", hot * 100.0),
+            format!("{:.2}x", t / all_dram),
+            migrations.to_string(),
+            fmt_f64(moved as f64 / 1e6, 1),
         ]);
     }
+    times.push(all_nvm);
+    table.row(vec![
+        "static Optane".into(),
+        fmt_f64(all_nvm, 4),
+        format!("{:.2}x", all_nvm / all_dram),
+        "-".into(),
+        "-".into(),
+    ]);
     println!("{}", table.render());
     println!("tiering curve: {}", sparkline(&times));
     println!(
-        "\nShape: a step as soon as any traffic lands on Optane (the task wave now \
-         queues on the DCPM controller — Takeaway 6's contention), then a shallow \
-         linear slope in the cold fraction. For capacity-hungry tenants the slope is \
-         the interesting part: pushing 80% of traffic cold costs only ~{:.0}% more than \
-         pushing 20% cold, while freeing 4x the DRAM.",
-        (times[4] / times[1] - 1.0) * 100.0
+        "\nShape: with a roomy budget the engine pays one migration wave and then \
+         runs near DRAM speed; as the budget shrinks, more of the working set stays \
+         cold and the curve bends toward the static Optane endpoint — the same \
+         knee a real page migrator shows when the hot set stops fitting. The \
+         migration column is the price the static sweep never showed: every \
+         promotion is charged through the Optane controller before it pays off."
     );
 }
