@@ -11,6 +11,7 @@
 use memtier_core::ScenarioResult;
 use memtier_memsim::MigrationStats;
 use serde::{Deserialize, Serialize};
+use sparklite::RecoveryStats;
 use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
@@ -190,6 +191,45 @@ pub fn bench_policy_entries(results: &[ScenarioResult]) -> Vec<BenchPolicyEntry>
         .collect()
 }
 
+/// One row of the fault-tolerance baseline (`BENCH_faults.json`): a
+/// scenario's virtual runtime under one fault plan plus the scheduler's
+/// recovery rollup. The `scenario` label embeds the plan for faulty runs,
+/// so rows join uniquely and the file feeds `compare` like every other
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFaultsEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, grid, `[faults(...)]`
+    /// suffix for runs carrying a plan).
+    pub scenario: String,
+    /// Fault-plan label (`none` for plan-free runs).
+    pub plan: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// What recovery did (all zeros for plan-free and zero-fault runs).
+    pub recovery: RecoveryStats,
+}
+
+/// Build the fault-baseline rows for a result set, in input order.
+pub fn bench_faults_entries(results: &[ScenarioResult]) -> Vec<BenchFaultsEntry> {
+    results
+        .iter()
+        .map(|r| BenchFaultsEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            plan: r
+                .scenario
+                .faults
+                .as_ref()
+                .map(|p| p.label())
+                .unwrap_or_else(|| "none".to_string()),
+            virtual_runtime_s: r.elapsed_s,
+            recovery: r.recovery,
+        })
+        .collect()
+}
+
 /// The fields `compare` needs from a baseline row — deserializes from both
 /// `BENCH_profile.json` and `BENCH_hotness.json` entries (unknown fields are
 /// ignored).
@@ -350,6 +390,32 @@ mod tests {
         let rows: Vec<RuntimeRow> = serde_json::from_str(&json).unwrap();
         assert_eq!(rows.len(), 2);
         assert_ne!(rows[0].scenario, rows[1].scenario);
+    }
+
+    #[test]
+    fn faults_entries_label_plans_and_roll_up_recovery() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        use sparklite::FaultPlan;
+        let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR);
+        let f = s
+            .clone()
+            .with_faults(FaultPlan::seeded(11).with_task_failures(0.15));
+        let results = vec![run_scenario(&s).unwrap(), run_scenario(&f).unwrap()];
+        let entries = super::bench_faults_entries(&results);
+        assert_eq!(entries[0].plan, "none");
+        assert!(entries[0].recovery.is_quiet());
+        assert!(entries[1].plan.starts_with("faults(seed11"));
+        assert!(entries[1].scenario.contains(&entries[1].plan));
+        assert!(entries[1].recovery.task_failures > 0);
+        // A faults baseline feeds `compare` like the others.
+        let json = serde_json::to_string(&entries).unwrap();
+        let rows: Vec<RuntimeRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_ne!(rows[0].scenario, rows[1].scenario);
+        let back: Vec<super::BenchFaultsEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
     }
 
     #[test]

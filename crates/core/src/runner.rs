@@ -19,6 +19,9 @@ pub fn conf_for(scenario: &Scenario) -> SparkConf {
     if let Some(spec) = &scenario.placement {
         conf = conf.with_placement(spec.clone());
     }
+    if let Some(plan) = &scenario.faults {
+        conf = conf.with_faults(plan.clone());
+    }
     conf
 }
 
@@ -139,6 +142,7 @@ fn run_on_context(
         profile: report.profile,
         hotness: report.hotness,
         migrations: report.migrations,
+        recovery: report.recovery,
     };
     Ok((result, telemetry))
 }

@@ -5,7 +5,7 @@ use memtier_memsim::{
 };
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
-use sparklite::{RunProfile, StageRollup};
+use sparklite::{FaultPlan, RecoveryStats, RunProfile, StageRollup};
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +29,11 @@ pub struct Scenario {
     /// deserializes to) keeps the static per-executor `membind` split.
     #[serde(default)]
     pub placement: Option<PlacementSpec>,
+    /// Deterministic fault-injection plan, if any. `None` (the default,
+    /// and what every scenario serialized before the fault engine existed
+    /// deserializes to) runs failure-free.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -44,6 +49,7 @@ impl Scenario {
             mba_percent: None,
             seed: 42,
             placement: None,
+            faults: None,
         }
     }
 
@@ -72,18 +78,29 @@ impl Scenario {
         self
     }
 
+    /// Inject deterministic faults from `plan` and exercise recovery.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Scenario {
+        self.faults = Some(plan);
+        self
+    }
+
     /// A short display label (`pagerank-large@Tier 2, 1x40`); dynamic
-    /// placement appends the policy (`…, 1x40 [hotcold(256MiB,5ms)]`) so
-    /// static labels — and everything keyed on them — are unchanged.
+    /// placement appends the policy (`…, 1x40 [hotcold(256MiB,5ms)]`) and
+    /// a fault plan appends its own summary (`…, 1x40 [faults(seed3,…)]`),
+    /// so fault-free static labels — and everything keyed on them — are
+    /// unchanged.
     pub fn label(&self) -> String {
-        let base = format!(
+        let mut label = format!(
             "{}-{}@{}, {}x{}",
             self.workload, self.size, self.tier, self.executors, self.cores
         );
-        match &self.placement {
-            None => base,
-            Some(spec) => format!("{base} [{}]", spec.label()),
+        if let Some(spec) = &self.placement {
+            label = format!("{label} [{}]", spec.label());
         }
+        if let Some(plan) = &self.faults {
+            label = format!("{label} [{}]", plan.label());
+        }
+        label
     }
 }
 
@@ -133,6 +150,12 @@ pub struct ScenarioResult {
     /// `#[serde(default)]` for backward compatibility).
     #[serde(default)]
     pub migrations: MigrationStats,
+    /// Fault-injection and recovery rollup: failures, retries,
+    /// resubmissions, speculation outcomes, useful vs. wasted virtual
+    /// time, recompute bytes per tier. All zeros without a fault plan
+    /// (`#[serde(default)]` for backward compatibility).
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 impl ScenarioResult {
@@ -209,5 +232,30 @@ mod tests {
             .with_placement(PlacementSpec::hot_cold(256 << 20, SimTime::from_ms(5)));
         assert!(dynamic.label().starts_with("sort-tiny@Tier 2, 1x40 ["));
         assert!(dynamic.label().contains("hotcold(256MiB"));
+    }
+
+    #[test]
+    fn fault_plan_is_optional_and_labeled() {
+        // Scenarios serialized before the fault engine carry no `faults`
+        // key; they must load as failure-free.
+        let mut json = serde_json::to_value(Scenario::default_conf(
+            "sort",
+            DataSize::Tiny,
+            TierId::NVM_NEAR,
+        ))
+        .unwrap();
+        json.as_object_mut().unwrap().remove("faults");
+        let back: Scenario = serde_json::from_value(json).unwrap();
+        assert_eq!(back.faults, None);
+        assert_eq!(back.label(), "sort-tiny@Tier 2, 1x40");
+        // A fault plan shows up only as a label suffix.
+        let faulty = back
+            .clone()
+            .with_faults(FaultPlan::seeded(3).with_task_failures(0.05));
+        assert!(faulty
+            .label()
+            .starts_with("sort-tiny@Tier 2, 1x40 [faults("));
+        // And the recovery rollup defaults to quiet for old result JSON.
+        assert!(RecoveryStats::default().is_quiet());
     }
 }

@@ -185,6 +185,30 @@ mod tests {
     }
 
     #[test]
+    fn reads_fall_back_around_failed_datanodes() {
+        let dfs = deployment();
+        let c = dfs.client();
+        let st = c.write_file("/f", &[5u8; 100], 100, 2).unwrap();
+        let block = &st.blocks[0];
+        // First replica's node goes down: the read silently falls back to
+        // the survivor, even when the hint points at the dead node.
+        dfs.fail_datanode(block.replicas[0]);
+        assert_eq!(
+            c.read_block(block, Some(block.replicas[0])).unwrap().len(),
+            100
+        );
+        // Both down: a typed error, not a panic.
+        dfs.fail_datanode(block.replicas[1]);
+        assert_eq!(
+            c.read_block(block, None).unwrap_err(),
+            DfsError::AllReplicasUnavailable(block.id)
+        );
+        // A restore brings the data back without re-replication.
+        dfs.restore_datanode(block.replicas[0]);
+        assert_eq!(c.read_file("/f").unwrap(), vec![5u8; 100]);
+    }
+
+    #[test]
     fn delete_frees_space() {
         let dfs = deployment();
         let c = dfs.client();

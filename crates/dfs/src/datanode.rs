@@ -22,6 +22,7 @@ pub struct DataNode {
 struct Store {
     blocks: HashMap<BlockId, Arc<Vec<u8>>>,
     used: u64,
+    failed: bool,
 }
 
 impl DataNode {
@@ -54,12 +55,32 @@ impl DataNode {
         self.state.read().blocks.len()
     }
 
+    /// Take the node down (simulated transient failure). Replicas stay on
+    /// "disk" but are unreachable — reads fall back to surviving replicas
+    /// and writes fail — until [`restore`](Self::restore).
+    pub fn fail(&self) {
+        self.state.write().failed = true;
+    }
+
+    /// Bring a failed node back; its replicas become readable again.
+    pub fn restore(&self) {
+        self.state.write().failed = false;
+    }
+
+    /// True while the node is down.
+    pub fn is_failed(&self) -> bool {
+        self.state.read().failed
+    }
+
     /// Store a replica. Data is shared (`Arc`) so replicas of the same block
     /// on different nodes don't duplicate heap memory in-process, while
     /// capacity accounting still charges each replica fully (as real
     /// replication would).
     pub fn put(&self, id: BlockId, data: Arc<Vec<u8>>) -> Result<(), DfsError> {
         let mut s = self.state.write();
+        if s.failed {
+            return Err(DfsError::DataNodeDown(self.id));
+        }
         let len = data.len() as u64;
         if s.blocks.contains_key(&id) {
             return Ok(()); // idempotent re-replication
@@ -72,9 +93,13 @@ impl DataNode {
         Ok(())
     }
 
-    /// Fetch a replica, if present.
+    /// Fetch a replica, if present and the node is up.
     pub fn get(&self, id: BlockId) -> Option<Arc<Vec<u8>>> {
-        self.state.read().blocks.get(&id).cloned()
+        let s = self.state.read();
+        if s.failed {
+            return None;
+        }
+        s.blocks.get(&id).cloned()
     }
 
     /// Drop a replica (no-op if absent). Returns whether it was present.
@@ -113,6 +138,24 @@ mod tests {
         dn.put(BlockId(1), Arc::new(vec![0; 100])).unwrap();
         let err = dn.put(BlockId(2), Arc::new(vec![0; 100])).unwrap_err();
         assert_eq!(err, DfsError::OutOfCapacity(DataNodeId(3)));
+    }
+
+    #[test]
+    fn failed_node_rejects_io_until_restored() {
+        let dn = DataNode::new(DataNodeId(1), 1000);
+        dn.put(BlockId(1), Arc::new(vec![9u8; 50])).unwrap();
+        dn.fail();
+        assert!(dn.is_failed());
+        // Reads see nothing, writes bounce, but the bytes stay on "disk".
+        assert!(dn.get(BlockId(1)).is_none());
+        assert_eq!(
+            dn.put(BlockId(2), Arc::new(vec![0; 10])).unwrap_err(),
+            DfsError::DataNodeDown(DataNodeId(1))
+        );
+        assert_eq!(dn.used(), 50);
+        dn.restore();
+        assert!(!dn.is_failed());
+        assert_eq!(dn.get(BlockId(1)).unwrap().len(), 50);
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub enum DfsError {
     AllReplicasUnavailable(BlockId),
     /// A datanode ran out of capacity during placement.
     OutOfCapacity(DataNodeId),
+    /// A write targeted a datanode that is currently down.
+    DataNodeDown(DataNodeId),
     /// Requested replication exceeds the number of datanodes.
     InsufficientDataNodes {
         /// Replicas requested.
@@ -38,6 +40,7 @@ impl fmt::Display for DfsError {
                 write!(f, "all replicas unavailable for block {b:?}")
             }
             DfsError::OutOfCapacity(d) => write!(f, "datanode {d:?} out of capacity"),
+            DfsError::DataNodeDown(d) => write!(f, "datanode {d:?} is down"),
             DfsError::InsufficientDataNodes { wanted, available } => write!(
                 f,
                 "replication {wanted} exceeds available datanodes {available}"

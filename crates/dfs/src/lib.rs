@@ -73,6 +73,18 @@ impl Dfs {
         self.datanodes.iter().map(|d| d.used()).sum()
     }
 
+    /// Take a datanode down without losing its bytes (transient failure):
+    /// reads fall back to surviving replicas, writes to it fail, and
+    /// [`restore_datanode`](Self::restore_datanode) brings it back intact.
+    pub fn fail_datanode(&self, id: DataNodeId) {
+        self.datanodes[id.0 as usize].fail();
+    }
+
+    /// Bring a failed datanode back online with its replicas intact.
+    pub fn restore_datanode(&self, id: DataNodeId) {
+        self.datanodes[id.0 as usize].restore();
+    }
+
     /// Simulate losing a datanode: every replica it held is dropped.
     /// Files with replication ≥ 2 stay readable; run
     /// [`rereplicate`](Self::rereplicate) to restore redundancy.
@@ -110,11 +122,11 @@ impl Dfs {
                     .first()
                     .ok_or(DfsError::AllReplicasUnavailable(block.id))?;
                 let payload = source.get(block.id).expect("just checked");
-                // Candidates: nodes without the block, least-used first.
+                // Candidates: live nodes without the block, least-used first.
                 let mut candidates: Vec<&std::sync::Arc<DataNode>> = self
                     .datanodes
                     .iter()
-                    .filter(|d| d.get(block.id).is_none())
+                    .filter(|d| !d.is_failed() && d.get(block.id).is_none())
                     .collect();
                 candidates.sort_by_key(|d| (d.used(), d.id().0));
                 for target in candidates.into_iter().take(file.replication - live.len()) {

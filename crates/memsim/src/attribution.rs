@@ -66,6 +66,13 @@ pub enum ObjectId {
     /// the conservation invariant hold exactly while making migration cost
     /// visible in the [`HotnessReport`].
     Migration,
+    /// Fault-recovery traffic: the partial accesses of tasks killed
+    /// mid-flight (executor crash, speculative loser) plus any other
+    /// traffic the scheduler charges to recovery rather than to the
+    /// object that originally owned it. Its own kind for the same reason
+    /// as [`Migration`]: the conservation invariant keeps holding exactly
+    /// while recovery cost stays visible.
+    Recovery,
 }
 
 impl ObjectId {
@@ -79,6 +86,7 @@ impl ObjectId {
             ObjectId::Broadcast => "broadcast".to_string(),
             ObjectId::Scratch => "scratch".to_string(),
             ObjectId::Migration => "migration".to_string(),
+            ObjectId::Recovery => "recovery".to_string(),
         }
     }
 }
@@ -372,6 +380,8 @@ mod tests {
         );
         assert_eq!(ObjectId::Broadcast.label(), "broadcast");
         assert_eq!(ObjectId::Scratch.to_string(), "scratch");
+        assert_eq!(ObjectId::Migration.label(), "migration");
+        assert_eq!(ObjectId::Recovery.label(), "recovery");
     }
 
     #[test]

@@ -282,6 +282,46 @@ impl MemorySystem {
         if batch.is_empty() {
             return;
         }
+        let partial = self.remove_partial(now, tier, flow, batch);
+        self.counters.record(tier, &partial);
+        self.energy
+            .record(tier, &self.params[tier.index()].clone(), &partial);
+        self.wear.record(tier, &partial);
+    }
+
+    /// Like [`cancel_access`](Self::cancel_access), but the served fraction
+    /// is also charged to the attribution ledger under `object`, so killed
+    /// flows keep the ledger conserving against the counters in exact
+    /// integers. Returns the partial batch that was charged (empty when
+    /// nothing had been served, or the batch itself was empty).
+    pub fn cancel_access_attributed(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        flow: FlowId,
+        batch: &AccessBatch,
+        object: ObjectId,
+    ) -> AccessBatch {
+        if batch.is_empty() {
+            return AccessBatch::default();
+        }
+        let partial = self.remove_partial(now, tier, flow, batch);
+        self.counters.record(tier, &partial);
+        let params = self.params[tier.index()].clone();
+        self.energy.record(tier, &params, &partial);
+        self.wear.record(tier, &partial);
+        self.ledger.record(now, tier, object, &partial, &params);
+        partial
+    }
+
+    /// Remove a flow and scale its batch down to the fraction already served.
+    fn remove_partial(
+        &mut self,
+        now: SimTime,
+        tier: TierId,
+        flow: FlowId,
+        batch: &AccessBatch,
+    ) -> AccessBatch {
         let residual = self.resources[tier.index()].remove_flow(now, flow);
         let total = self.channel_demand(batch);
         let served_frac = if total > 0.0 {
@@ -289,18 +329,14 @@ impl MemorySystem {
         } else {
             1.0
         };
-        let partial = AccessBatch {
+        AccessBatch {
             reads: (batch.reads as f64 * served_frac) as u64,
             writes: (batch.writes as f64 * served_frac) as u64,
             bytes_read: (batch.bytes_read as f64 * served_frac) as u64,
             bytes_written: (batch.bytes_written as f64 * served_frac) as u64,
             random_reads: (batch.random_reads as f64 * served_frac) as u64,
             random_writes: (batch.random_writes as f64 * served_frac) as u64,
-        };
-        self.counters.record(tier, &partial);
-        self.energy
-            .record(tier, &self.params[tier.index()].clone(), &partial);
-        self.wear.record(tier, &partial);
+        }
     }
 
     /// Earliest completion across all tiers: `(time, tier, flow)`.

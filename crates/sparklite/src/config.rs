@@ -2,6 +2,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{Result, SparkError};
+use crate::faultsim::FaultPlan;
 use memtier_memsim::{CpuBindPolicy, MemBindPolicy, MemSimConfig, PlacementSpec, TierId};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,12 @@ pub struct SparkConf {
     /// (MapReduce materializes intermediate data; Spark's in-memory shuffle
     /// is the paper-intro motivation). Off by default.
     pub shuffle_through_disk: bool,
+    /// Deterministic fault-injection plan. `None` (the default, and what
+    /// every config serialized before `faultsim` existed deserializes to)
+    /// runs a zero-failure cluster; a zero-probability plan is guaranteed
+    /// byte-identical to `None`.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SparkConf {
@@ -95,6 +102,7 @@ impl Default for SparkConf {
             dfs_datanodes: 4,
             dfs_block_size: 4 << 20,
             shuffle_through_disk: false,
+            fault_plan: None,
         }
     }
 }
@@ -128,6 +136,12 @@ impl SparkConf {
     /// the static `membind` split.
     pub fn with_placement(mut self, spec: PlacementSpec) -> SparkConf {
         self.placement_mode = PlacementMode::Dynamic(spec);
+        self
+    }
+
+    /// Inject faults from a deterministic plan during every run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> SparkConf {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -197,6 +211,45 @@ impl SparkConf {
                     }
                 }
                 PlacementSpec::Static { .. } => {}
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            let prob_ok = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+            if !(prob_ok(plan.task_failure_prob)
+                && prob_ok(plan.fetch_failure_prob)
+                && prob_ok(plan.straggler_prob))
+            {
+                return Err(SparkError::InvalidConfig(
+                    "fault probabilities must be finite and within [0, 1]".into(),
+                ));
+            }
+            if !(plan.straggler_factor.is_finite() && plan.straggler_factor >= 1.0) {
+                return Err(SparkError::InvalidConfig(format!(
+                    "straggler factor must be finite and >= 1, got {}",
+                    plan.straggler_factor
+                )));
+            }
+            for c in &plan.executor_crashes {
+                if c.executor >= self.num_executors {
+                    return Err(SparkError::InvalidConfig(format!(
+                        "crash targets executor {} but the cluster has {}",
+                        c.executor, self.num_executors
+                    )));
+                }
+            }
+            if let Some(spec) = &plan.speculation {
+                if !(spec.quantile.is_finite() && spec.quantile > 0.0 && spec.quantile <= 1.0) {
+                    return Err(SparkError::InvalidConfig(format!(
+                        "speculation quantile must be in (0, 1], got {}",
+                        spec.quantile
+                    )));
+                }
+                if !(spec.multiplier.is_finite() && spec.multiplier >= 1.0) {
+                    return Err(SparkError::InvalidConfig(format!(
+                        "speculation multiplier must be finite and >= 1, got {}",
+                        spec.multiplier
+                    )));
+                }
             }
         }
         // Executors must fit on their socket, and a pinned socket must
@@ -308,6 +361,48 @@ mod tests {
             write_weight: f64::NAN,
         });
         assert!(bad_weight.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_validated() {
+        use crate::faultsim::{FaultPlan, SpeculationConf};
+        use memtier_des::SimTime;
+        SparkConf::default()
+            .with_faults(
+                FaultPlan::seeded(1)
+                    .with_task_failures(0.1)
+                    .with_crash(SimTime::from_ms(1), 0)
+                    .with_speculation(SpeculationConf::default()),
+            )
+            .validate()
+            .unwrap();
+        let bad_prob =
+            SparkConf::default().with_faults(FaultPlan::seeded(1).with_task_failures(1.5));
+        assert!(bad_prob.validate().is_err());
+        let bad_factor =
+            SparkConf::default().with_faults(FaultPlan::seeded(1).with_stragglers(0.1, 0.5));
+        assert!(bad_factor.validate().is_err());
+        // A crash aimed at an executor the cluster doesn't have.
+        let bad_crash = SparkConf::default()
+            .with_faults(FaultPlan::seeded(1).with_crash(SimTime::from_ms(1), 9));
+        assert!(bad_crash.validate().is_err());
+        let bad_spec = SparkConf::default().with_faults(FaultPlan::seeded(1).with_speculation(
+            SpeculationConf {
+                quantile: 0.0,
+                multiplier: 1.5,
+            },
+        ));
+        assert!(bad_spec.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_optional_in_serialized_configs() {
+        // Configs serialized before faultsim existed carry no `fault_plan`
+        // key; deserialization must default it to None.
+        let mut json = serde_json::to_value(SparkConf::default()).unwrap();
+        json.as_object_mut().unwrap().remove("fault_plan");
+        let back: SparkConf = serde_json::from_value(json).unwrap();
+        assert_eq!(back.fault_plan, None);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::error::{Result, SparkError};
 use crate::events::{
     Event, EventBus, EventSink, MemoryRing, MemoryRingHandle, TimedEvent, DEFAULT_RING_CAPACITY,
 };
+use crate::faultsim::{FaultState, RecoveryStats};
 use crate::metrics::{AppMetrics, StageRollup, SystemEvents};
 use crate::profile::{build_profile, ProfileLog, RunProfile};
 use crate::rdd::source::{GeneratorRdd, ParallelizeRdd, TextFileRdd};
@@ -53,6 +54,11 @@ pub struct RunReport {
     /// (empty on a clean run). Sinks never kill a simulation mid-run, but
     /// a truncated event log must not pass silently either.
     pub sink_errors: Vec<String>,
+    /// Fault-injection and recovery rollup: failures seen, retries and
+    /// resubmissions issued, speculation outcomes, and useful vs. wasted
+    /// virtual time. All zeros when no [`FaultPlan`](crate::FaultPlan) is
+    /// configured.
+    pub recovery: RecoveryStats,
 }
 
 struct Inner {
@@ -69,6 +75,7 @@ struct Inner {
     rollups: Mutex<Vec<StageRollup>>,
     event_log: Mutex<Option<MemoryRingHandle>>,
     profile_log: Mutex<ProfileLog>,
+    faults: Mutex<FaultState>,
 }
 
 /// A handle to one application. Cloning shares the application (like
@@ -101,6 +108,7 @@ impl SparkContext {
             PlacementMode::Static => PlacementEngine::new_static(),
             PlacementMode::Dynamic(spec) => PlacementEngine::new_dynamic(spec),
         };
+        let faults = FaultState::new(conf.fault_plan.clone(), executors.len());
         Ok(SparkContext {
             inner: Arc::new(Inner {
                 conf,
@@ -116,6 +124,7 @@ impl SparkContext {
                 rollups: Mutex::new(Vec::new()),
                 event_log: Mutex::new(None),
                 profile_log: Mutex::new(ProfileLog::default()),
+                faults: Mutex::new(faults),
             }),
         })
     }
@@ -219,6 +228,7 @@ impl SparkContext {
         let mut events = inner.events.lock();
         let mut rollups = inner.rollups.lock();
         let mut profile_log = inner.profile_log.lock();
+        let mut faults = inner.faults.lock();
         let job_seq = app.jobs;
         let runner = JobRunner::new(
             &inner.runtime,
@@ -234,6 +244,7 @@ impl SparkContext {
             &mut events,
             &mut rollups,
             &mut profile_log,
+            &mut faults,
         );
         let outcome = runner.run()?;
         *clock = outcome.finished_at;
@@ -482,6 +493,13 @@ impl SparkContext {
             hotness,
             migrations: self.inner.placement.lock().stats(),
             sink_errors,
+            recovery: self.inner.faults.lock().stats,
         }
+    }
+
+    /// Fault-injection and recovery statistics so far (all zeros with no
+    /// fault plan configured).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.faults.lock().stats
     }
 }

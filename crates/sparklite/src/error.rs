@@ -16,6 +16,25 @@ pub enum SparkError {
     EmptyCollection,
     /// Internal invariant violation (a bug in the engine).
     Internal(String),
+    /// A task exhausted its retry budget under an injected fault plan.
+    TaskRetriesExhausted {
+        /// Job the task belonged to.
+        job: u64,
+        /// Stage the task belonged to.
+        stage: u32,
+        /// Partition that kept failing.
+        partition: usize,
+        /// Attempts made (first run + retries).
+        attempts: u32,
+    },
+    /// Recovery became impossible: every executor crashed with work still
+    /// outstanding, so no lineage recompute can make progress.
+    AllExecutorsLost {
+        /// Job that could not finish.
+        job: u64,
+        /// Stages still incomplete when the cluster died.
+        stages_pending: u64,
+    },
 }
 
 impl fmt::Display for SparkError {
@@ -26,6 +45,22 @@ impl fmt::Display for SparkError {
             SparkError::ContextMismatch => write!(f, "RDD belongs to a different SparkContext"),
             SparkError::EmptyCollection => write!(f, "empty collection"),
             SparkError::Internal(m) => write!(f, "internal error: {m}"),
+            SparkError::TaskRetriesExhausted {
+                job,
+                stage,
+                partition,
+                attempts,
+            } => write!(
+                f,
+                "job {job} stage {stage} partition {partition} failed after {attempts} attempts"
+            ),
+            SparkError::AllExecutorsLost {
+                job,
+                stages_pending,
+            } => write!(
+                f,
+                "job {job}: all executors lost with {stages_pending} stages incomplete"
+            ),
         }
     }
 }
@@ -51,5 +86,23 @@ mod tests {
         assert!(matches!(e, SparkError::Dfs(_)));
         assert!(e.to_string().contains("/x"));
         assert!(SparkError::EmptyCollection.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn recovery_errors_carry_their_coordinates() {
+        let e = SparkError::TaskRetriesExhausted {
+            job: 2,
+            stage: 1,
+            partition: 7,
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("job 2") && s.contains("stage 1"));
+        assert!(s.contains("partition 7") && s.contains("4 attempts"));
+        let e = SparkError::AllExecutorsLost {
+            job: 0,
+            stages_pending: 3,
+        };
+        assert!(e.to_string().contains("all executors lost"));
     }
 }

@@ -181,6 +181,68 @@ pub enum Event {
         /// New MBA level, percent.
         percent: u8,
     },
+    /// A task attempt failed (injected task failure or shuffle-fetch
+    /// failure) and its slot was freed for a retry.
+    TaskFailed {
+        /// Context-unique task id of the failed attempt.
+        task_id: u64,
+        /// Owning job.
+        job: u64,
+        /// Owning stage.
+        stage: u32,
+        /// Partition the attempt was computing.
+        partition: usize,
+        /// Zero-based attempt number that failed.
+        attempt: u32,
+        /// Human-readable failure cause (`"task"`, `"fetch"`, `"crash"`).
+        reason: String,
+    },
+    /// An executor crashed: its running tasks were killed and its cached
+    /// blocks dropped (to be recomputed through lineage on next use).
+    ExecutorLost {
+        /// The crashed executor.
+        executor: usize,
+        /// Running tasks killed with it.
+        killed_tasks: u64,
+        /// Cache blocks dropped with it.
+        lost_blocks: u64,
+        /// Bytes of cache dropped with it.
+        lost_bytes: u64,
+    },
+    /// A fetch failure blamed one parent map output and the scheduler
+    /// resubmitted that map partition.
+    StageResubmitted {
+        /// Owning job.
+        job: u64,
+        /// The parent (map) stage being partially re-run.
+        stage: u32,
+        /// The map partition being recomputed.
+        partition: usize,
+    },
+    /// Speculative execution cloned a straggling task.
+    SpeculativeLaunched {
+        /// Task id of the speculative copy.
+        task_id: u64,
+        /// Task id of the straggling original.
+        original: u64,
+        /// Owning job.
+        job: u64,
+        /// Owning stage.
+        stage: u32,
+        /// Partition both attempts compute.
+        partition: usize,
+    },
+    /// A speculative copy finished before its original (which was killed).
+    SpeculativeWon {
+        /// Task id of the winning copy.
+        task_id: u64,
+        /// Owning job.
+        job: u64,
+        /// Owning stage.
+        stage: u32,
+        /// Partition the copy computed.
+        partition: usize,
+    },
 }
 
 /// An [`Event`] stamped with the virtual time it occurred at.
@@ -483,6 +545,24 @@ impl<W: Write + Send> EventSink for ProgressSink<W> {
             }
             Event::MbaThrottle { tier, percent } => {
                 format!("[{at}] MBA tier{} -> {percent}%", tier.index())
+            }
+            Event::ExecutorLost {
+                executor,
+                killed_tasks,
+                lost_blocks,
+                lost_bytes,
+            } => {
+                format!(
+                    "[{at}] executor {executor} lost ({killed_tasks} tasks killed, \
+                     {lost_blocks} blocks / {lost_bytes} B dropped)"
+                )
+            }
+            Event::StageResubmitted {
+                job,
+                stage,
+                partition,
+            } => {
+                format!("[{at}]   job {job} stage {stage} resubmitted (map partition {partition})")
             }
             Event::ObjectMigrated {
                 object,

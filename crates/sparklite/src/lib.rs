@@ -66,6 +66,7 @@ pub mod context;
 pub mod cost;
 pub mod error;
 pub mod events;
+pub mod faultsim;
 pub mod memsize;
 pub mod metrics;
 pub mod profile;
@@ -86,6 +87,7 @@ pub use events::{
     parse_jsonl, to_jsonl, Event, EventBus, EventSink, JsonlSink, MemoryRing, MemoryRingHandle,
     ProgressSink, TimedEvent,
 };
+pub use faultsim::{CrashEvent, FaultPlan, FaultState, RecoveryStats, SpeculationConf};
 pub use memsize::MemSize;
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
 pub use profile::{
@@ -95,4 +97,6 @@ pub use profile::{
 pub use rdd::{Data, Key, Rdd};
 pub use shuffle::{HashPartitioner, RangePartitioner};
 pub use storage::StorageLevel;
-pub use trace::{chrome_trace_json, chrome_trace_json_full, chrome_trace_json_objects, TaskSpan};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_full, chrome_trace_json_objects, SpanKind, TaskSpan,
+};

@@ -18,18 +18,22 @@
 
 use crate::error::{Result, SparkError};
 use crate::events::{Event, EventBus};
+use crate::faultsim::{
+    FaultState, SALT_FETCH_FAIL, SALT_FETCH_VICTIM, SALT_STRAGGLER, SALT_TASK_FAIL,
+};
 use crate::metrics::{AppMetrics, StageRollup, TaskMetrics};
 use crate::profile::{JobRecord, ProfileLog, StageRecord, TaskBreakdown, TaskRecord};
 use crate::rdd::TaskEnv;
 use crate::runtime::Runtime;
 use crate::scheduler::dag::{StageId, StageKind, StagePlan};
 use crate::scheduler::executor::ExecutorSpec;
-use crate::trace::TaskSpan;
+use crate::storage::BlockKey;
+use crate::trace::{SpanKind, TaskSpan};
 use memtier_des::{EventQueue, SimTime};
 use memtier_memsim::{
     AccessBatch, MemorySystem, Migration, ObjectId, PlacementEngine, TierId, MIGRATION_FLOW_BASE,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// The outcome of one job.
@@ -58,6 +62,27 @@ struct StageState {
     tasks_total: u64,
     /// Running sum of the stage's task metrics.
     agg: TaskMetrics,
+    /// Per-partition completion (guards speculation races and lets a
+    /// resubmitted map partition run again without re-completing others).
+    completed: Vec<bool>,
+    /// True once the stage completed for the first time — re-completions
+    /// after a fetch-failure resubmission must not re-activate children or
+    /// push a second rollup.
+    first_completed: bool,
+    /// Durations of successfully finished tasks (speculation's median).
+    finished_durations: Vec<SimTime>,
+}
+
+/// The fate fault injection decided for one attempt at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    /// The attempt succeeds.
+    None,
+    /// The attempt fails at its completion instant.
+    Task,
+    /// The attempt hits a fetch failure blaming `victim` of map stage
+    /// `parent` at its completion instant.
+    Fetch { parent: StageId, victim: usize },
 }
 
 struct RunningTask<U> {
@@ -81,10 +106,21 @@ struct RunningTask<U> {
     /// Result-stage output parked until completion (already computed on the
     /// data plane; stored at completion purely for bookkeeping symmetry).
     result: Option<(usize, U)>,
+    /// Zero-based attempt number of this dispatch.
+    attempt: u32,
+    /// The fate fault injection rolled for this attempt at dispatch.
+    fail: FailKind,
+    /// True for speculative clones of stragglers.
+    speculative: bool,
 }
 
 enum Ev {
     CpuDone(u64),
+    /// A failed attempt's backoff expired: re-queue (stage, partition).
+    Retry(StageId, usize),
+    /// Re-evaluate speculation for a stage (scheduled for the instant a
+    /// running task's age crosses the straggler threshold).
+    SpecCheck(StageId),
 }
 
 /// Runs one job's stage plan through the DES. `U` is the per-partition
@@ -123,6 +159,26 @@ pub struct JobRunner<'a, U> {
     events: &'a mut EventBus,
     rollups: &'a mut Vec<StageRollup>,
     profile: &'a mut ProfileLog,
+    /// Fault-injection state shared across the context's jobs: executor
+    /// liveness, the crash schedule, cache-block ownership, recovery stats.
+    faults: &'a mut FaultState,
+    /// Failed attempts per (stage, partition) — the retry budget's counter
+    /// and the coordinate that de-correlates each retry's fault rolls.
+    attempts: HashMap<(u32, usize), u32>,
+    /// Reduce tasks parked on a fetch failure, each awaiting a parent map
+    /// stage to become whole again.
+    parked: Vec<(StageId, usize, StageId)>,
+    /// Map partitions already queued for fetch-failure recompute (avoid
+    /// resubmitting the same victim twice).
+    resubmit_pending: HashSet<(u32, usize)>,
+    /// Speculative clones awaiting a slot: (stage, partition, original).
+    spec_ready: VecDeque<(StageId, usize, u64)>,
+    /// Partitions already cloned once (Spark speculates each task at most
+    /// once at a time; we keep it to once per run for determinism).
+    speculated: HashSet<(u32, usize)>,
+    /// A structured error that must abort the job (retry exhaustion,
+    /// cluster death): checked at the top of the run loop.
+    fatal: Option<SparkError>,
 }
 
 impl<'a, U> JobRunner<'a, U> {
@@ -142,6 +198,7 @@ impl<'a, U> JobRunner<'a, U> {
         events: &'a mut EventBus,
         rollups: &'a mut Vec<StageRollup>,
         profile: &'a mut ProfileLog,
+        faults: &'a mut FaultState,
     ) -> Self {
         let n = plan.stages.len();
         let result_tasks = plan.stages[n - 1].num_tasks;
@@ -177,6 +234,13 @@ impl<'a, U> JobRunner<'a, U> {
             events,
             rollups,
             profile,
+            faults,
+            attempts: HashMap::new(),
+            parked: Vec::new(),
+            resubmit_pending: HashSet::new(),
+            spec_ready: VecDeque::new(),
+            speculated: HashSet::new(),
+            fatal: None,
         };
         if runner.events.is_active() {
             runner.events.emit(
@@ -218,6 +282,9 @@ impl<'a, U> JobRunner<'a, U> {
                 submitted: SimTime::ZERO,
                 tasks_total: self.plan.stages[i].num_tasks as u64,
                 agg: TaskMetrics::default(),
+                completed: vec![false; self.plan.stages[i].num_tasks],
+                first_completed: false,
+                finished_durations: Vec::new(),
             })
             .collect();
         for i in 0..n {
@@ -306,208 +373,338 @@ impl<'a, U> JobRunner<'a, U> {
     }
 
     fn dispatch(&mut self) {
-        while !self.ready.is_empty() {
-            // Rotate over executors looking for a free slot.
+        loop {
+            if self.fatal.is_some() {
+                return;
+            }
+            // Drop work whose partition already completed: speculative
+            // clones queued behind an original that finished first, retries
+            // obsoleted by a rival attempt.
+            while let Some(&(s, p)) = self.ready.front() {
+                if self.stage_state[s.0 as usize].completed[p] {
+                    self.ready.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(&(s, p, _)) = self.spec_ready.front() {
+                if self.stage_state[s.0 as usize].completed[p] {
+                    self.spec_ready.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let from_spec = self.ready.is_empty();
+            if from_spec && self.spec_ready.is_empty() {
+                return;
+            }
+            // Rotate over live executors looking for a free slot.
             let n = self.executors.len();
             let mut chosen = None;
             for off in 0..n {
                 let i = (self.rr_exec + off) % n;
-                if self.executors[i].running < self.executors[i].spec.cores {
+                if self.faults.alive[i] && self.executors[i].running < self.executors[i].spec.cores
+                {
                     chosen = Some(i);
                     break;
                 }
             }
-            let Some(exec_idx) = chosen else { break };
+            let Some(exec_idx) = chosen else { return };
             self.rr_exec = (exec_idx + 1) % n;
-            let (stage_id, part) = self.ready.pop_front().expect("checked non-empty");
-
-            // Data plane: really compute the partition.
-            let cache_before = self
-                .events
-                .is_active()
-                .then(|| self.rt.cache.stats())
-                .unwrap_or_default();
-            let mut env = TaskEnv::new(self.rt);
-            let mut result = None;
-            match &self.plan.stages[stage_id.0 as usize].kind {
-                StageKind::ShuffleMap(dep) => {
-                    dep.writer.write_partition(part, &mut env);
-                    self.rt.shuffle.mark_map_done(dep.shuffle_id, part);
-                }
-                StageKind::Result => {
-                    let out = (self.result_fn)(part, &mut env);
-                    result = Some((part, out));
-                }
+            if from_spec {
+                let (stage_id, part, original) =
+                    self.spec_ready.pop_front().expect("checked non-empty");
+                self.launch_task(stage_id, part, exec_idx, Some(original));
+            } else {
+                let (stage_id, part) = self.ready.pop_front().expect("checked non-empty");
+                self.launch_task(stage_id, part, exec_idx, None);
             }
-            let mut metrics = env.metrics;
-            let mut object_traffic = env.object_traffic;
-            let evicted_blocks = self.rt.cache.take_evictions();
+        }
+    }
 
-            // Time plane: dispatch overhead, coordination traffic, JVM
-            // contention.
-            metrics.cpu_ns += self.rt.cost.task_dispatch_ns;
-            let n_exec = self.executors.len() as u64;
-            if n_exec > 1 {
-                let coord = self.rt.cost.coord_bytes_per_task * (n_exec - 1);
-                let coord_batch = AccessBatch::sequential_write(coord);
-                metrics.traffic += coord_batch;
-                metrics.output_bytes += coord;
-                *object_traffic.entry(ObjectId::Scratch).or_default() += coord_batch;
+    /// Dispatch one attempt of (stage, partition) onto a free slot of
+    /// `exec_idx`. `spec_of` marks a speculative clone of the given
+    /// original task: clones re-run the data plane (idempotently — shuffle
+    /// bucket writes overwrite with identical bytes, cache puts replace)
+    /// but never roll fault injection, since re-rolling the straggling
+    /// original's coordinates would just straggle identically.
+    fn launch_task(
+        &mut self,
+        stage_id: StageId,
+        part: usize,
+        exec_idx: usize,
+        spec_of: Option<u64>,
+    ) {
+        // Data plane: really compute the partition.
+        let cache_before = self
+            .events
+            .is_active()
+            .then(|| self.rt.cache.stats())
+            .unwrap_or_default();
+        let mut env = TaskEnv::new(self.rt);
+        let mut result = None;
+        match &self.plan.stages[stage_id.0 as usize].kind {
+            StageKind::ShuffleMap(dep) => {
+                dep.writer.write_partition(part, &mut env);
+                self.rt.shuffle.mark_map_done(dep.shuffle_id, part);
             }
-            let co_running = self.executors[exec_idx].running;
-            let factor = 1.0 + self.rt.cost.jvm_contention_alpha * co_running as f64;
-            let cpu = SimTime::from_ns_f64(metrics.cpu_ns * factor);
-
-            self.executors[exec_idx].running += 1;
-            let task_id = self.next_task;
-            self.next_task += 1;
-
-            let placement = self.executors[exec_idx].spec.placement.clone();
-            let socket = self.executors[exec_idx].spec.socket;
-            // Route each object's traffic through the placement engine and
-            // split it across the returned tiers, accumulating per-tier
-            // aggregates alongside their per-object parts. The parts
-            // partition each flow's batch exactly, which is what lets the
-            // attribution ledger conserve against the machine counters.
-            //
-            // Slots are seeded from the executor's static split and grown
-            // by first appearance for tiers only the engine routes to. A
-            // static engine returns the executor split for every object, so
-            // every per-object split lands on the seeded slots in order and
-            // the aggregate flows — and therefore all timing — are
-            // byte-identical to the pre-engine behaviour of splitting the
-            // task total.
-            let dynamic = self.engine.is_dynamic();
-            let mut per_tier: Vec<(TierId, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = placement
-                .iter()
-                .map(|&(tier, _)| (tier, AccessBatch::EMPTY, Vec::new()))
-                .collect();
-            for (&object, obj_batch) in &object_traffic {
-                let routed: Vec<(TierId, f64)>;
-                let split = if dynamic {
-                    routed =
-                        self.engine
-                            .placement_for(object, self.mem.topology(), socket, &placement);
-                    &routed[..]
-                } else {
-                    &placement[..]
-                };
-                for (tier, part) in Self::split_traffic(obj_batch, split) {
-                    if part.is_empty() {
-                        continue;
-                    }
-                    let slot = match per_tier.iter().position(|(t, _, _)| *t == tier) {
-                        Some(i) => i,
-                        None => {
-                            per_tier.push((tier, AccessBatch::EMPTY, Vec::new()));
-                            per_tier.len() - 1
-                        }
-                    };
-                    per_tier[slot].1 += part;
-                    per_tier[slot].2.push((object, part));
-                }
+            StageKind::Result => {
+                let out = (self.result_fn)(part, &mut env);
+                result = Some((part, out));
             }
-            debug_assert_eq!(
-                per_tier.iter().map(|(_, b, _)| *b).sum::<AccessBatch>(),
-                metrics.traffic,
-                "per-object splits must partition the task's traffic"
-            );
-            let flows: Vec<(TierId, u64, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = per_tier
-                .into_iter()
-                .enumerate()
-                .filter(|(_, (_, b, _))| !b.is_empty())
-                .map(|(i, (tier, b, parts))| (tier, task_id * 8 + i as u64, b, parts))
-                .collect();
+        }
+        let mut metrics = env.metrics;
+        let mut object_traffic = env.object_traffic;
+        let evicted_blocks = self.rt.cache.take_evictions();
+        // Lineage bookkeeping: remember which executor produced each
+        // newly cached block, so a crash can drop exactly its blocks.
+        let inserted = self.rt.cache.take_insertions();
+        if self.faults.plan.is_some() {
+            for (key, _) in &inserted {
+                self.faults.block_owner.insert(*key, exec_idx);
+            }
+        }
 
-            // The task's memory demand is presented at its CPU-interleaved
-            // *average* rate: each tier's flow drains over (its share of the
-            // CPU time) + (its nominal memory time), so a compute-heavy task
-            // asks for few bytes/s even on a fast device. Tasks without
-            // traffic are pure timers.
-            // A task's stalls are serial: misses to different tiers
-            // interleave in one instruction stream, so the task's nominal
-            // duration is CPU plus the SUM of its per-tier memory times.
-            // Every flow spans that full duration (they all belong to the
-            // same task and drain together), which keeps mixed placements
-            // strictly between the pure tiers.
-            let total_mem: SimTime = flows
-                .iter()
-                .map(|(tier, _, batch, _)| self.mem.nominal_mem_time(*tier, batch))
-                .fold(SimTime::ZERO, |acc, t| acc + t);
-            let duration = cpu + total_mem;
-            let mut outstanding = 0;
-            for (tier, flow, batch, _) in &flows {
-                // Demand is in channel bytes: random accesses mostly leave
-                // the channel idle while they wait on latency.
-                let rate =
-                    self.mem.channel_demand(batch).max(1.0) / duration.as_secs_f64().max(1e-12);
-                if self
-                    .mem
-                    .begin_access_with_rate(self.now, *tier, *flow, batch, rate)
+        // Time plane: dispatch overhead, coordination traffic, JVM
+        // contention.
+        metrics.cpu_ns += self.rt.cost.task_dispatch_ns;
+        let n_exec = self.executors.len() as u64;
+        if n_exec > 1 {
+            let coord = self.rt.cost.coord_bytes_per_task * (n_exec - 1);
+            let coord_batch = AccessBatch::sequential_write(coord);
+            metrics.traffic += coord_batch;
+            metrics.output_bytes += coord;
+            *object_traffic.entry(ObjectId::Scratch).or_default() += coord_batch;
+        }
+        let co_running = self.executors[exec_idx].running;
+        let factor = 1.0 + self.rt.cost.jvm_contention_alpha * co_running as f64;
+        let cpu = SimTime::from_ns_f64(metrics.cpu_ns * factor);
+
+        // Fault injection: decide this attempt's fate up front with
+        // counter-based rolls, so the outcome depends only on the plan
+        // seed and the task's coordinates — never on event-queue order.
+        // Speculative clones skip the rolls: re-rolling the straggling
+        // original's coordinates would just straggle identically.
+        let attempt = self.attempts.get(&(stage_id.0, part)).copied().unwrap_or(0);
+        let mut cpu = cpu;
+        let mut fail = FailKind::None;
+        if spec_of.is_none() {
+            if let Some(plan) = self.faults.plan.clone() {
+                let job = self.job_seq;
+                let sid = stage_id.0;
+                if plan.straggler_prob > 0.0
+                    && plan.roll(SALT_STRAGGLER, job, sid, part, attempt) < plan.straggler_prob
                 {
-                    outstanding += 1;
-                    self.flow_owner.insert(*flow, task_id);
+                    cpu = cpu.mul_f64(plan.straggler_factor);
+                }
+                if plan.task_failure_prob > 0.0
+                    && plan.roll(SALT_TASK_FAIL, job, sid, part, attempt) < plan.task_failure_prob
+                {
+                    fail = FailKind::Task;
+                } else if plan.fetch_failure_prob > 0.0
+                    && metrics.shuffle_read_bytes > 0
+                    && plan.roll(SALT_FETCH_FAIL, job, sid, part, attempt) < plan.fetch_failure_prob
+                {
+                    // A fetch failure implicates one map output of a
+                    // shuffle parent that actually ran in this plan
+                    // (cached/complete parents were cut at plan time and
+                    // cannot be resubmitted).
+                    let parent = self.plan.stages[stage_id.0 as usize]
+                        .parents
+                        .iter()
+                        .copied()
+                        .find(|p| {
+                            matches!(
+                                self.plan.stages[p.0 as usize].kind,
+                                StageKind::ShuffleMap(_)
+                            )
+                        });
+                    if let Some(parent) = parent {
+                        let maps = self.plan.stages[parent.0 as usize].num_tasks;
+                        let victim = ((plan.roll(SALT_FETCH_VICTIM, job, sid, part, attempt)
+                            * maps as f64) as usize)
+                            .min(maps.saturating_sub(1));
+                        fail = FailKind::Fetch { parent, victim };
+                    }
                 }
             }
+        }
 
-            self.running.insert(
-                task_id,
-                RunningTask {
-                    exec: exec_idx,
-                    stage: stage_id,
-                    partition: part,
-                    slot: co_running,
-                    started: self.now,
-                    cpu,
-                    cpu_factor: factor,
-                    outstanding,
-                    metrics,
-                    flows,
-                    result,
-                },
-            );
-            if self.events.is_active() {
+        self.executors[exec_idx].running += 1;
+        let task_id = self.next_task;
+        self.next_task += 1;
+
+        let placement = self.executors[exec_idx].spec.placement.clone();
+        let socket = self.executors[exec_idx].spec.socket;
+        // Route each object's traffic through the placement engine and
+        // split it across the returned tiers, accumulating per-tier
+        // aggregates alongside their per-object parts. The parts
+        // partition each flow's batch exactly, which is what lets the
+        // attribution ledger conserve against the machine counters.
+        //
+        // Slots are seeded from the executor's static split and grown
+        // by first appearance for tiers only the engine routes to. A
+        // static engine returns the executor split for every object, so
+        // every per-object split lands on the seeded slots in order and
+        // the aggregate flows — and therefore all timing — are
+        // byte-identical to the pre-engine behaviour of splitting the
+        // task total.
+        let dynamic = self.engine.is_dynamic();
+        let mut per_tier: Vec<(TierId, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = placement
+            .iter()
+            .map(|&(tier, _)| (tier, AccessBatch::EMPTY, Vec::new()))
+            .collect();
+        for (&object, obj_batch) in &object_traffic {
+            let routed: Vec<(TierId, f64)>;
+            let split = if dynamic {
+                routed = self
+                    .engine
+                    .placement_for(object, self.mem.topology(), socket, &placement);
+                &routed[..]
+            } else {
+                &placement[..]
+            };
+            for (tier, part) in Self::split_traffic(obj_batch, split) {
+                if part.is_empty() {
+                    continue;
+                }
+                let slot = match per_tier.iter().position(|(t, _, _)| *t == tier) {
+                    Some(i) => i,
+                    None => {
+                        per_tier.push((tier, AccessBatch::EMPTY, Vec::new()));
+                        per_tier.len() - 1
+                    }
+                };
+                per_tier[slot].1 += part;
+                per_tier[slot].2.push((object, part));
+            }
+        }
+        debug_assert_eq!(
+            per_tier.iter().map(|(_, b, _)| *b).sum::<AccessBatch>(),
+            metrics.traffic,
+            "per-object splits must partition the task's traffic"
+        );
+        let flows: Vec<(TierId, u64, AccessBatch, Vec<(ObjectId, AccessBatch)>)> = per_tier
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, b, _))| !b.is_empty())
+            .map(|(i, (tier, b, parts))| (tier, task_id * 8 + i as u64, b, parts))
+            .collect();
+
+        // Any attempt after the first is recovery work: its memory
+        // traffic is lineage recompute, tallied per tier so reports can
+        // price recovery by where the recomputed bytes landed.
+        if attempt > 0 {
+            for (tier, _, batch, _) in &flows {
+                self.faults.stats.recompute_bytes[tier.index()] += batch.total_bytes();
+            }
+        }
+
+        // The task's memory demand is presented at its CPU-interleaved
+        // *average* rate: each tier's flow drains over (its share of the
+        // CPU time) + (its nominal memory time), so a compute-heavy task
+        // asks for few bytes/s even on a fast device. Tasks without
+        // traffic are pure timers.
+        // A task's stalls are serial: misses to different tiers
+        // interleave in one instruction stream, so the task's nominal
+        // duration is CPU plus the SUM of its per-tier memory times.
+        // Every flow spans that full duration (they all belong to the
+        // same task and drain together), which keeps mixed placements
+        // strictly between the pure tiers.
+        let total_mem: SimTime = flows
+            .iter()
+            .map(|(tier, _, batch, _)| self.mem.nominal_mem_time(*tier, batch))
+            .fold(SimTime::ZERO, |acc, t| acc + t);
+        let duration = cpu + total_mem;
+        let mut outstanding = 0;
+        for (tier, flow, batch, _) in &flows {
+            // Demand is in channel bytes: random accesses mostly leave
+            // the channel idle while they wait on latency.
+            let rate = self.mem.channel_demand(batch).max(1.0) / duration.as_secs_f64().max(1e-12);
+            if self
+                .mem
+                .begin_access_with_rate(self.now, *tier, *flow, batch, rate)
+            {
+                outstanding += 1;
+                self.flow_owner.insert(*flow, task_id);
+            }
+        }
+
+        self.running.insert(
+            task_id,
+            RunningTask {
+                exec: exec_idx,
+                stage: stage_id,
+                partition: part,
+                slot: co_running,
+                started: self.now,
+                cpu,
+                cpu_factor: factor,
+                outstanding,
+                metrics,
+                flows,
+                result,
+                attempt,
+                fail,
+                speculative: spec_of.is_some(),
+            },
+        );
+        if spec_of.is_some() {
+            self.faults.stats.speculative_launched += 1;
+        }
+        if self.events.is_active() {
+            if let Some(original) = spec_of {
                 self.events.emit(
                     self.now,
-                    Event::TaskStarted {
+                    Event::SpeculativeLaunched {
                         task_id,
+                        original,
                         job: self.job_seq,
                         stage: stage_id.0,
                         partition: part,
-                        executor: exec_idx,
-                        slot: co_running,
                     },
                 );
-                let cache_after = self.rt.cache.stats();
-                let evictions = cache_after.evictions - cache_before.evictions;
-                let spills = cache_after.spills - cache_before.spills;
-                if evictions > 0 || spills > 0 {
-                    self.events
-                        .emit(self.now, Event::CacheEviction { evictions, spills });
-                }
-                for ev in &evicted_blocks {
-                    // Under dynamic placement the freed bytes lived where
-                    // the engine last placed the RDD's blocks, not on the
-                    // executor's primary tier.
-                    let tier = self
-                        .engine
-                        .residency(ObjectId::CacheBlock { rdd: ev.key.0 })
-                        .unwrap_or(placement[0].0);
-                    self.events.emit(
-                        self.now,
-                        Event::BlockEvicted {
-                            rdd: ev.key.0,
-                            partition: ev.key.1,
-                            bytes: ev.bytes,
-                            spilled: ev.spilled,
-                            tier,
-                        },
-                    );
-                }
             }
-            if outstanding == 0 {
-                self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
+            self.events.emit(
+                self.now,
+                Event::TaskStarted {
+                    task_id,
+                    job: self.job_seq,
+                    stage: stage_id.0,
+                    partition: part,
+                    executor: exec_idx,
+                    slot: co_running,
+                },
+            );
+            let cache_after = self.rt.cache.stats();
+            let evictions = cache_after.evictions - cache_before.evictions;
+            let spills = cache_after.spills - cache_before.spills;
+            if evictions > 0 || spills > 0 {
+                self.events
+                    .emit(self.now, Event::CacheEviction { evictions, spills });
             }
+            for ev in &evicted_blocks {
+                // Under dynamic placement the freed bytes lived where
+                // the engine last placed the RDD's blocks, not on the
+                // executor's primary tier.
+                let tier = self
+                    .engine
+                    .residency(ObjectId::CacheBlock { rdd: ev.key.0 })
+                    .unwrap_or(placement[0].0);
+                self.events.emit(
+                    self.now,
+                    Event::BlockEvicted {
+                        rdd: ev.key.0,
+                        partition: ev.key.1,
+                        bytes: ev.bytes,
+                        spilled: ev.spilled,
+                        tier,
+                    },
+                );
+            }
+        }
+        if outstanding == 0 {
+            self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
         }
     }
 
@@ -581,9 +778,55 @@ impl<'a, U> JobRunner<'a, U> {
         b
     }
 
+    /// A task's timer (or last memory flow) fired: route it to success or
+    /// to the failure it rolled at launch.
     fn complete_task(&mut self, task_id: u64) {
         let task = self.running.remove(&task_id).expect("unknown task");
         self.executors[task.exec].running -= 1;
+        match task.fail {
+            FailKind::None => self.finish_task(task_id, task),
+            _ => self.fail_task(task_id, task),
+        }
+    }
+
+    fn finish_task(&mut self, task_id: u64, task: RunningTask<U>) {
+        let si = task.stage.0 as usize;
+        let span = self.now - task.started;
+        self.faults.stats.useful_time += span;
+        self.resubmit_pending
+            .remove(&(task.stage.0, task.partition));
+        debug_assert!(
+            !self.stage_state[si].completed[task.partition],
+            "partition completed twice"
+        );
+        self.stage_state[si].completed[task.partition] = true;
+        self.stage_state[si].finished_durations.push(span);
+        // First finisher wins: tear down rival attempts of this partition
+        // (speculation losers), in task-id order for determinism.
+        let mut rivals: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, t)| t.stage == task.stage && t.partition == task.partition)
+            .map(|(&id, _)| id)
+            .collect();
+        rivals.sort_unstable();
+        for id in rivals {
+            self.kill_task(id, true);
+        }
+        if task.speculative {
+            self.faults.stats.speculative_won += 1;
+            if self.events.is_active() {
+                self.events.emit(
+                    self.now,
+                    Event::SpeculativeWon {
+                        task_id,
+                        job: self.job_seq,
+                        stage: task.stage.0,
+                        partition: task.partition,
+                    },
+                );
+            }
+        }
         let breakdown = self.breakdown_for(&task, self.now);
         self.profile.tasks.push(TaskRecord {
             task_id,
@@ -605,6 +848,11 @@ impl<'a, U> JobRunner<'a, U> {
                 slot: task.slot,
                 start: task.started,
                 end: self.now,
+                kind: if task.speculative {
+                    SpanKind::Speculative
+                } else {
+                    SpanKind::Normal
+                },
             });
         }
         if self.events.is_active() {
@@ -653,38 +901,378 @@ impl<'a, U> JobRunner<'a, U> {
         if let Some((part, out)) = task.result {
             self.results[part] = Some((part, out));
         }
-        let si = task.stage.0 as usize;
         self.stage_state[si].agg.merge(&task.metrics);
         self.stage_state[si].remaining -= 1;
         if self.stage_state[si].remaining == 0 {
             self.stage_state[si].done = true;
-            let state = &self.stage_state[si];
-            self.rollups.push(StageRollup {
+            if !self.stage_state[si].first_completed {
+                self.stage_state[si].first_completed = true;
+                let state = &self.stage_state[si];
+                self.rollups.push(StageRollup {
+                    job: self.job_seq,
+                    stage: task.stage.0,
+                    tasks: state.tasks_total,
+                    submitted: state.submitted,
+                    completed: self.now,
+                    metrics: state.agg,
+                });
+                if self.events.is_active() {
+                    self.events.emit(
+                        self.now,
+                        Event::StageCompleted {
+                            job: self.job_seq,
+                            stage: task.stage.0,
+                            tasks: self.stage_state[si].tasks_total,
+                        },
+                    );
+                }
+                let children = self.stage_state[si].children.clone();
+                for child in children {
+                    let ci = child.0 as usize;
+                    self.stage_state[ci].unmet -= 1;
+                    if self.stage_state[ci].unmet == 0 {
+                        self.activate_stage(child, Some(task_id));
+                    }
+                }
+            } else {
+                // Re-completion after a fetch-failure resubmission: the
+                // children were already activated the first time round, so
+                // only the reduce tasks parked on this map output wake up.
+                let mut unparked = Vec::new();
+                self.parked.retain(|&(s, p, awaiting)| {
+                    if awaiting == task.stage {
+                        unparked.push((s, p));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (s, p) in unparked {
+                    self.ready.push_back((s, p));
+                }
+            }
+        }
+        self.maybe_speculate(task.stage);
+    }
+
+    /// A task reached its completion instant but was fated to fail: charge
+    /// its whole span (its memory flows drained for real) as waste, then
+    /// retry it — or, on a fetch failure, park it and resubmit the map task
+    /// whose output it lost.
+    fn fail_task(&mut self, task_id: u64, task: RunningTask<U>) {
+        let plan = self
+            .faults
+            .plan
+            .clone()
+            .expect("failure injected without a plan");
+        let span = self.now - task.started;
+        self.faults.stats.wasted_time += span;
+        let reason = match task.fail {
+            FailKind::Task => {
+                self.faults.stats.task_failures += 1;
+                "task"
+            }
+            FailKind::Fetch { .. } => {
+                self.faults.stats.fetch_failures += 1;
+                "fetch"
+            }
+            FailKind::None => unreachable!("finish_task handles successes"),
+        };
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push(TaskSpan {
+                task_id,
                 job: self.job_seq,
                 stage: task.stage.0,
-                tasks: state.tasks_total,
-                submitted: state.submitted,
-                completed: self.now,
-                metrics: state.agg,
+                partition: task.partition,
+                executor: task.exec,
+                slot: task.slot,
+                start: task.started,
+                end: self.now,
+                kind: SpanKind::Failed,
             });
+        }
+        if self.events.is_active() {
+            self.events.emit(
+                self.now,
+                Event::TaskFailed {
+                    task_id,
+                    job: self.job_seq,
+                    stage: task.stage.0,
+                    partition: task.partition,
+                    attempt: task.attempt,
+                    reason: reason.into(),
+                },
+            );
+        }
+        let attempts = {
+            let e = self
+                .attempts
+                .entry((task.stage.0, task.partition))
+                .or_insert(0);
+            *e += 1;
+            *e
+        };
+        if attempts > plan.max_task_retries {
+            if self.fatal.is_none() {
+                self.fatal = Some(SparkError::TaskRetriesExhausted {
+                    job: self.job_seq,
+                    stage: task.stage.0,
+                    partition: task.partition,
+                    attempts,
+                });
+            }
+            return;
+        }
+        self.faults.stats.retries += 1;
+        match task.fail {
+            FailKind::Task => {
+                self.queue.schedule(
+                    self.now + plan.retry_backoff,
+                    Ev::Retry(task.stage, task.partition),
+                );
+            }
+            FailKind::Fetch { parent, victim } => {
+                // The lost map output must be regenerated before this reduce
+                // task can retry: park the reduce on its parent and resubmit
+                // the victim map task. Concurrent fetch failures against the
+                // same map share one resubmission.
+                if let StageKind::ShuffleMap(dep) = &self.plan.stages[parent.0 as usize].kind {
+                    self.rt.shuffle.mark_map_lost(dep.shuffle_id, victim);
+                }
+                self.parked.push((task.stage, task.partition, parent));
+                if self.resubmit_pending.insert((parent.0, victim)) {
+                    self.faults.stats.stage_resubmissions += 1;
+                    let pi = parent.0 as usize;
+                    self.stage_state[pi].done = false;
+                    self.stage_state[pi].remaining += 1;
+                    self.stage_state[pi].completed[victim] = false;
+                    self.ready.push_back((parent, victim));
+                    if self.events.is_active() {
+                        self.events.emit(
+                            self.now,
+                            Event::StageResubmitted {
+                                job: self.job_seq,
+                                stage: parent.0,
+                                partition: victim,
+                            },
+                        );
+                    }
+                }
+            }
+            FailKind::None => unreachable!("finish_task handles successes"),
+        }
+    }
+
+    /// Tear down a running attempt without letting it complete: cancel its
+    /// in-flight memory flows — the partial traffic served so far is
+    /// charged to [`ObjectId::Recovery`] so the attribution ledger keeps
+    /// conserving against the machine counters — free the executor slot,
+    /// and account the elapsed span as waste. `spec_loser` marks an attempt
+    /// killed because a rival copy of the same partition finished first;
+    /// otherwise the kill is an executor crash and the attempt reschedules
+    /// unless a rival is still running or the partition already completed.
+    fn kill_task(&mut self, task_id: u64, spec_loser: bool) {
+        let Some(task) = self.running.remove(&task_id) else {
+            return;
+        };
+        self.executors[task.exec].running -= 1;
+        for (tier, flow, batch, _) in &task.flows {
+            // Flows that already drained were fully charged on completion;
+            // cancelling them again would double-count.
+            if self.flow_owner.remove(flow).is_none() {
+                continue;
+            }
+            let partial = self.mem.cancel_access_attributed(
+                self.now,
+                *tier,
+                *flow,
+                batch,
+                ObjectId::Recovery,
+            );
+            self.faults.stats.cancelled_bytes += partial.total_bytes();
+        }
+        let span = self.now - task.started;
+        self.faults.stats.wasted_time += span;
+        if spec_loser {
+            self.faults.stats.speculative_killed += 1;
+        } else {
+            self.faults.stats.tasks_killed += 1;
+        }
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push(TaskSpan {
+                task_id,
+                job: self.job_seq,
+                stage: task.stage.0,
+                partition: task.partition,
+                executor: task.exec,
+                slot: task.slot,
+                start: task.started,
+                end: self.now,
+                kind: if spec_loser {
+                    SpanKind::SpeculativeKilled
+                } else {
+                    SpanKind::Failed
+                },
+            });
+        }
+        if spec_loser {
+            return;
+        }
+        if self.events.is_active() {
+            self.events.emit(
+                self.now,
+                Event::TaskFailed {
+                    task_id,
+                    job: self.job_seq,
+                    stage: task.stage.0,
+                    partition: task.partition,
+                    attempt: task.attempt,
+                    reason: "crash".into(),
+                },
+            );
+        }
+        // Reschedule the partition unless someone else is still on it.
+        let si = task.stage.0 as usize;
+        let rival_running = self
+            .running
+            .values()
+            .any(|t| t.stage == task.stage && t.partition == task.partition);
+        if rival_running || self.stage_state[si].completed[task.partition] || self.fatal.is_some() {
+            return;
+        }
+        let Some(plan) = self.faults.plan.clone() else {
+            return;
+        };
+        let attempts = {
+            let e = self
+                .attempts
+                .entry((task.stage.0, task.partition))
+                .or_insert(0);
+            *e += 1;
+            *e
+        };
+        if attempts > plan.max_task_retries {
+            self.fatal = Some(SparkError::TaskRetriesExhausted {
+                job: self.job_seq,
+                stage: task.stage.0,
+                partition: task.partition,
+                attempts,
+            });
+        } else {
+            self.faults.stats.retries += 1;
+            self.queue.schedule(
+                self.now + plan.retry_backoff,
+                Ev::Retry(task.stage, task.partition),
+            );
+        }
+    }
+
+    /// Fire every executor crash due at or before `at`: mark the executor
+    /// dead, kill its running attempts, and drop the cached blocks it
+    /// produced — their next read misses and recomputes through lineage.
+    fn apply_crashes(&mut self, at: SimTime) {
+        let t = at.max(self.now);
+        self.now = t;
+        self.mem.advance(t);
+        for crash in self.faults.pop_crashes_due(t) {
+            if !self.faults.alive[crash.executor] {
+                continue;
+            }
+            self.faults.alive[crash.executor] = false;
+            self.faults.stats.executor_crashes += 1;
+            let mut victims: Vec<u64> = self
+                .running
+                .iter()
+                .filter(|(_, task)| task.exec == crash.executor)
+                .map(|(&id, _)| id)
+                .collect();
+            victims.sort_unstable();
+            let killed = victims.len() as u64;
+            for id in victims {
+                self.kill_task(id, false);
+            }
+            let mut lost: Vec<BlockKey> = self
+                .faults
+                .block_owner
+                .iter()
+                .filter(|&(_, &owner)| owner == crash.executor)
+                .map(|(&k, _)| k)
+                .collect();
+            lost.sort_unstable();
+            for k in &lost {
+                self.faults.block_owner.remove(k);
+            }
+            let (lost_blocks, lost_bytes) = self.rt.cache.drop_blocks(&lost);
+            self.faults.stats.lost_blocks += lost_blocks;
+            self.faults.stats.lost_bytes += lost_bytes;
             if self.events.is_active() {
                 self.events.emit(
                     self.now,
-                    Event::StageCompleted {
-                        job: self.job_seq,
-                        stage: task.stage.0,
-                        tasks: self.stage_state[si].tasks_total,
+                    Event::ExecutorLost {
+                        executor: crash.executor,
+                        killed_tasks: killed,
+                        lost_blocks,
+                        lost_bytes,
                     },
                 );
             }
-            let children = self.stage_state[si].children.clone();
-            for child in children {
-                let ci = child.0 as usize;
-                self.stage_state[ci].unmet -= 1;
-                if self.stage_state[ci].unmet == 0 {
-                    self.activate_stage(child, Some(task_id));
-                }
+        }
+        if self.faults.live_executors() == 0 && self.fatal.is_none() {
+            let pending = self.stage_state.iter().filter(|s| !s.done).count() as u64;
+            if pending > 0 {
+                self.fatal = Some(SparkError::AllExecutorsLost {
+                    job: self.job_seq,
+                    stages_pending: pending,
+                });
             }
+        }
+    }
+
+    /// Launch speculative copies of stragglers: once `quantile` of a
+    /// stage's tasks have finished, any non-speculated attempt running
+    /// longer than `multiplier` × the median finished duration gets a
+    /// clone; tasks still under the threshold schedule a re-check for the
+    /// instant they would cross it.
+    fn maybe_speculate(&mut self, stage: StageId) {
+        let Some(spec) = self.faults.plan.as_ref().and_then(|p| p.speculation) else {
+            return;
+        };
+        let si = stage.0 as usize;
+        if self.stage_state[si].remaining == 0 {
+            return;
+        }
+        let total = self.stage_state[si].tasks_total as usize;
+        let finished = self.stage_state[si].finished_durations.len();
+        if (finished as f64) < spec.quantile * total as f64 {
+            return;
+        }
+        let mut durations = self.stage_state[si].finished_durations.clone();
+        durations.sort_unstable();
+        let median = durations[durations.len() / 2];
+        let threshold = median.mul_f64(spec.multiplier);
+        let mut clones: Vec<(u64, usize)> = Vec::new();
+        let mut recheck: Vec<SimTime> = Vec::new();
+        for (&id, t) in &self.running {
+            if t.stage != stage
+                || t.speculative
+                || self.speculated.contains(&(stage.0, t.partition))
+            {
+                continue;
+            }
+            if self.now - t.started >= threshold {
+                clones.push((id, t.partition));
+            } else {
+                recheck.push(t.started + threshold);
+            }
+        }
+        clones.sort_unstable();
+        recheck.sort_unstable();
+        for at in recheck {
+            self.queue.schedule(at, Ev::SpecCheck(stage));
+        }
+        for (orig, part) in clones {
+            self.speculated.insert((stage.0, part));
+            self.spec_ready.push_back((stage, part, orig));
         }
     }
 
@@ -696,6 +1284,10 @@ impl<'a, U> JobRunner<'a, U> {
     pub fn run(mut self) -> Result<JobOutcome<U>> {
         loop {
             self.dispatch();
+            if let Some(e) = self.fatal.take() {
+                self.abort();
+                return Err(e);
+            }
             let queue_next = self.queue.peek_time();
             let mem_next = self.mem.next_completion();
             let next_due = match (queue_next, mem_next) {
@@ -704,6 +1296,15 @@ impl<'a, U> JobRunner<'a, U> {
                 (Some(qt), None) => qt,
                 (None, Some((mt, _, _))) => mt,
             };
+            // A scheduled executor crash preempts any event strictly after
+            // it; ties go to the crash so work due at the same instant sees
+            // the post-crash world deterministically.
+            if let Some(ct) = self.faults.next_crash_at() {
+                if ct <= next_due {
+                    self.apply_crashes(ct);
+                    continue;
+                }
+            }
             // A placement-epoch boundary preempts only when strictly
             // earlier than every pending event (ties defer to the work),
             // and never outlives the job: with nothing left to run the
@@ -720,11 +1321,26 @@ impl<'a, U> JobRunner<'a, U> {
                 (None, Some(_)) | (Some(_), Some(_)) => self.handle_mem_event(),
                 (None, None) => unreachable!("loop breaks before the epoch check"),
             }
+            if let Some(e) = self.fatal.take() {
+                self.abort();
+                return Err(e);
+            }
         }
-        debug_assert!(
-            self.stage_state.iter().all(|s| s.done),
-            "job ended with unfinished stages"
-        );
+        if self.stage_state.iter().any(|s| !s.done) {
+            let pending = self.stage_state.iter().filter(|s| !s.done).count() as u64;
+            self.abort();
+            return Err(if self.faults.live_executors() == 0 {
+                SparkError::AllExecutorsLost {
+                    job: self.job_seq,
+                    stages_pending: pending,
+                }
+            } else {
+                SparkError::Internal(format!(
+                    "job {}: event queue drained with {pending} stages incomplete",
+                    self.job_seq
+                ))
+            });
+        }
         let mut results = Vec::with_capacity(self.results.len());
         for (part, r) in self.results.into_iter().enumerate() {
             match r {
@@ -761,11 +1377,62 @@ impl<'a, U> JobRunner<'a, U> {
 
     fn handle_cpu_event(&mut self) {
         let (t, ev) = self.queue.pop().expect("peeked event vanished");
-        self.now = t;
-        self.mem.advance(t);
+        // Stale events return WITHOUT advancing the clock: a dropped timer
+        // must not stretch the job's elapsed time.
         match ev {
             // Pure-compute task (no memory traffic) finished its timer.
-            Ev::CpuDone(task) => self.complete_task(task),
+            Ev::CpuDone(task) => {
+                if !self.running.contains_key(&task) {
+                    return; // task was killed; its timer is moot
+                }
+                self.now = t;
+                self.mem.advance(t);
+                self.complete_task(task);
+            }
+            Ev::Retry(stage, part) => {
+                if self.stage_state[stage.0 as usize].completed[part] {
+                    return; // a rival attempt finished first
+                }
+                self.now = t;
+                self.mem.advance(t);
+                self.ready.push_back((stage, part));
+            }
+            Ev::SpecCheck(stage) => {
+                if self.stage_state[stage.0 as usize].remaining == 0 {
+                    return; // stage finished before the re-check fired
+                }
+                self.now = t;
+                self.mem.advance(t);
+                self.maybe_speculate(stage);
+            }
+        }
+    }
+
+    /// Tear down every in-flight attempt after a fatal recovery error so
+    /// the shared memory system carries no orphan flows into later jobs.
+    /// Partial traffic is charged to [`ObjectId::Recovery`], like any
+    /// other killed attempt, so the ledger still conserves.
+    fn abort(&mut self) {
+        let mut ids: Vec<u64> = self.running.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let task = self.running.remove(&id).expect("listed task vanished");
+            self.executors[task.exec].running -= 1;
+            for (tier, flow, batch, _) in &task.flows {
+                if self.flow_owner.remove(flow).is_none() {
+                    continue;
+                }
+                let partial = self.mem.cancel_access_attributed(
+                    self.now,
+                    *tier,
+                    *flow,
+                    batch,
+                    ObjectId::Recovery,
+                );
+                self.faults.stats.cancelled_bytes += partial.total_bytes();
+            }
+            self.faults.stats.wasted_time += self.now - task.started;
+            self.faults.stats.tasks_killed += 1;
         }
     }
 

@@ -173,6 +173,18 @@ impl ShuffleManager {
         data.done_maps.insert(map);
     }
 
+    /// Un-register one map task's output (a fetch failure blamed it). Only
+    /// the *registration* is dropped — the bucket data stays, because in
+    /// this simulator failures are a time-plane fiction: the re-run map
+    /// task recomputes byte-identical buckets, so keeping them preserves
+    /// data-plane correctness while the scheduler still pays the recompute.
+    pub fn mark_map_lost(&self, id: ShuffleId, map: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(data) = inner.shuffles.get_mut(&id) {
+            data.done_maps.remove(&map);
+        }
+    }
+
     /// True once every map task's output is registered — the stage-skipping
     /// predicate the DAG scheduler uses.
     pub fn is_complete(&self, id: ShuffleId) -> bool {
@@ -357,9 +369,15 @@ mod tests {
         // Idempotent.
         mgr.mark_map_done(id, 1);
         assert!(mgr.is_complete(id));
+        // A lost map output de-completes the shuffle until re-registered.
+        mgr.mark_map_lost(id, 0);
+        assert!(!mgr.is_complete(id));
+        mgr.mark_map_done(id, 0);
+        assert!(mgr.is_complete(id));
         // Unknown shuffle is never complete.
         mgr.unregister(id);
         assert!(!mgr.is_complete(id));
+        mgr.mark_map_lost(id, 0); // no-op on unknown shuffle
     }
 
     #[test]

@@ -84,6 +84,10 @@ struct Inner {
     spills: u64,
     disk_reads: u64,
     eviction_log: Vec<EvictedBlock>,
+    /// Blocks inserted since the last [`BlockManager::take_insertions`]
+    /// drain, with their sizes — the fault-injection layer uses this to
+    /// learn which executor computed (and therefore co-locates) each block.
+    insertion_log: Vec<(BlockKey, u64)>,
     /// Tier residency of in-memory blocks, maintained by the placement
     /// engine: new blocks inherit their RDD's residency, migrations move
     /// every block of the RDD at once.
@@ -133,6 +137,7 @@ impl BlockManager {
                 spills: 0,
                 disk_reads: 0,
                 eviction_log: Vec::new(),
+                insertion_log: Vec::new(),
                 tiers: HashMap::new(),
                 rdd_tiers: HashMap::new(),
             }),
@@ -173,6 +178,7 @@ impl BlockManager {
                 inner.disk_used += bytes;
                 inner.spills += 1;
                 inner.disk.insert(key, (data, bytes));
+                inner.insertion_log.push((key, bytes));
                 return true;
             }
             return false;
@@ -221,6 +227,7 @@ impl BlockManager {
         if let Some(tier) = inner.rdd_tiers.get(&key.0).copied() {
             inner.tiers.insert(key, tier);
         }
+        inner.insertion_log.push((key, bytes));
         true
     }
 
@@ -316,6 +323,36 @@ impl BlockManager {
         std::mem::take(&mut self.inner.lock().eviction_log)
     }
 
+    /// Drain the log of blocks inserted since the last call, with sizes.
+    /// The scheduler drains this after each task's data plane to attribute
+    /// new cache blocks to the executor that computed them.
+    pub fn take_insertions(&self) -> Vec<(BlockKey, u64)> {
+        std::mem::take(&mut self.inner.lock().insertion_log)
+    }
+
+    /// Forcibly drop a set of blocks (an executor crash taking its storage
+    /// — memory *and* local disk — with it). Returns `(blocks, bytes)`
+    /// actually dropped. Not counted as evictions: nothing spills, and the
+    /// blocks reappear only if lineage recomputes them.
+    pub fn drop_blocks(&self, keys: &[BlockKey]) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        let (mut blocks, mut bytes) = (0u64, 0u64);
+        for k in keys {
+            if let Some(e) = inner.map.remove(k) {
+                inner.used -= e.bytes;
+                inner.tiers.remove(k);
+                blocks += 1;
+                bytes += e.bytes;
+            }
+            if let Some((_, b)) = inner.disk.remove(k) {
+                inner.disk_used -= b;
+                blocks += 1;
+                bytes += b;
+            }
+        }
+        (blocks, bytes)
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
@@ -343,6 +380,7 @@ impl BlockManager {
         inner.spills = 0;
         inner.disk_reads = 0;
         inner.eviction_log.clear();
+        inner.insertion_log.clear();
         inner.tiers.clear();
         inner.rdd_tiers.clear();
     }
@@ -504,6 +542,37 @@ mod tests {
         bm.unpersist(1);
         assert_eq!(bm.tier_of((1, 0)), None);
         assert_eq!(bm.rdd_bytes(1), 0);
+    }
+
+    #[test]
+    fn insertion_log_records_puts_and_drains() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 30, MO);
+        bm.put((2, 0), part(vec![2]), 100, MD); // oversized -> straight to disk
+        assert_eq!(bm.take_insertions(), vec![((1, 0), 30), ((2, 0), 100)]);
+        assert!(bm.take_insertions().is_empty());
+        // A rejected put records nothing.
+        assert!(!bm.put((3, 0), part(vec![]), 500, MO));
+        assert!(bm.take_insertions().is_empty());
+    }
+
+    #[test]
+    fn drop_blocks_loses_memory_and_disk_without_evictions() {
+        let bm = BlockManager::new(100);
+        bm.put((1, 0), part(vec![1]), 40, MO);
+        bm.put((1, 1), part(vec![2]), 200, MD); // on disk
+        bm.set_rdd_tier(1, TierId::LOCAL_DRAM);
+        let (blocks, bytes) = bm.drop_blocks(&[(1, 0), (1, 1), (9, 9)]);
+        assert_eq!((blocks, bytes), (2, 240));
+        assert!(bm.get((1, 0)).is_none());
+        assert!(bm.get((1, 1)).is_none());
+        assert_eq!(
+            bm.tier_of((1, 0)),
+            Some(TierId::LOCAL_DRAM),
+            "rdd default survives"
+        );
+        let s = bm.stats();
+        assert_eq!((s.used, s.disk_used, s.evictions), (0, 0, 0));
     }
 
     #[test]

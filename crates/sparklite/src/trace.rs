@@ -35,6 +35,42 @@ const DRIVER_PID: u64 = 1_000_000;
 /// Synthetic `pid` for counter tracks.
 const COUNTER_PID: u64 = 1_000_001;
 
+/// How a task attempt ended, for distinct rendering in the executor lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A plain successful attempt.
+    #[default]
+    Normal,
+    /// An attempt that failed (injected fault or executor crash).
+    Failed,
+    /// A speculative clone that finished first (won the race).
+    Speculative,
+    /// An attempt killed because a rival copy finished first.
+    SpeculativeKilled,
+}
+
+impl SpanKind {
+    /// Trace category for the span (`"task"` keeps old traces' shape).
+    fn category(self) -> &'static str {
+        match self {
+            SpanKind::Normal => "task",
+            SpanKind::Failed => "task-failed",
+            SpanKind::Speculative => "task-speculative",
+            SpanKind::SpeculativeKilled => "task-spec-killed",
+        }
+    }
+
+    /// Name prefix so outcome reads directly off the timeline.
+    fn prefix(self) -> &'static str {
+        match self {
+            SpanKind::Normal => "",
+            SpanKind::Failed => "FAILED ",
+            SpanKind::Speculative => "spec ",
+            SpanKind::SpeculativeKilled => "killed ",
+        }
+    }
+}
+
 /// One executed task's span in virtual time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskSpan {
@@ -54,6 +90,9 @@ pub struct TaskSpan {
     pub start: SimTime,
     /// End instant.
     pub end: SimTime,
+    /// How the attempt ended (normal, failed, speculative, killed).
+    #[serde(default)]
+    pub kind: SpanKind,
 }
 
 impl TaskSpan {
@@ -130,8 +169,11 @@ pub fn chrome_trace_json_objects(
     for s in spans {
         let is_critical = critical.contains(&(s.job, s.task_id));
         out.push(json!({
-            "name": format!("job{} stage{} p{}", s.job, s.stage, s.partition),
-            "cat": "task",
+            "name": format!(
+                "{}job{} stage{} p{}",
+                s.kind.prefix(), s.job, s.stage, s.partition
+            ),
+            "cat": s.kind.category(),
             "ph": "X",
             "ts": s.start.as_secs_f64() * 1e6,
             "dur": s.duration().as_secs_f64() * 1e6,
@@ -229,9 +271,10 @@ fn push_critical_path(
 /// arrows linking each stage's submit and complete instants, plus instant
 /// markers for MBA throttle changes.
 fn push_lifecycle_events(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]) {
-    // Pair submit/complete edges by (job, stage). Stages never run twice,
-    // jobs are sequential, so a plain scan for the matching completion
-    // after each submission is correct.
+    // Pair submit/complete edges by (job, stage). A stage emits one
+    // StageCompleted even if fetch failures resubmit tasks later, and jobs
+    // are sequential, so a plain scan for the matching completion after
+    // each submission is correct.
     for (i, e) in events.iter().enumerate() {
         match &e.event {
             Event::JobSubmitted { job, stages } => {
@@ -321,6 +364,85 @@ fn push_lifecycle_events(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]
                     "pid": DRIVER_PID,
                     "tid": 0,
                     "args": { "bytes": bytes }
+                }));
+            }
+            Event::TaskFailed {
+                task_id,
+                stage,
+                partition,
+                attempt,
+                reason,
+                ..
+            } => {
+                out.push(json!({
+                    "name": format!("task {task_id} failed ({reason})"),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0,
+                    "args": { "stage": stage, "partition": partition, "attempt": attempt }
+                }));
+            }
+            Event::ExecutorLost {
+                executor,
+                killed_tasks,
+                lost_blocks,
+                lost_bytes,
+            } => {
+                out.push(json!({
+                    "name": format!("executor {executor} lost"),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0,
+                    "args": {
+                        "killed_tasks": killed_tasks,
+                        "lost_blocks": lost_blocks,
+                        "lost_bytes": lost_bytes
+                    }
+                }));
+            }
+            Event::StageResubmitted {
+                job,
+                stage,
+                partition,
+            } => {
+                out.push(json!({
+                    "name": format!("resubmit job {job} stage {stage} p{partition}"),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0
+                }));
+            }
+            Event::SpeculativeLaunched {
+                task_id, original, ..
+            } => {
+                out.push(json!({
+                    "name": format!("speculate task {original} -> clone {task_id}"),
+                    "cat": "speculation",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0
+                }));
+            }
+            Event::SpeculativeWon { task_id, .. } => {
+                out.push(json!({
+                    "name": format!("speculative clone {task_id} won"),
+                    "cat": "speculation",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.at.as_us_f64(),
+                    "pid": DRIVER_PID,
+                    "tid": 0
                 }));
             }
             _ => {}
@@ -422,6 +544,7 @@ mod tests {
             slot: task_id as usize % 4,
             start: SimTime::from_ms(start_ms),
             end: SimTime::from_ms(end_ms),
+            kind: SpanKind::Normal,
         }
     }
 
@@ -590,6 +713,83 @@ mod tests {
         assert_eq!(track[0]["args"]["tier"], 2);
         assert_eq!(track[1]["args"]["tier"], 0);
         assert_eq!(track[2]["args"]["tier"], 2);
+    }
+
+    #[test]
+    fn span_kinds_render_distinctly_and_faults_get_markers() {
+        let mut failed = span(0, 0, 5);
+        failed.kind = SpanKind::Failed;
+        let mut spec = span(1, 5, 9);
+        spec.kind = SpanKind::Speculative;
+        let mut loser = span(2, 5, 9);
+        loser.kind = SpanKind::SpeculativeKilled;
+        let events = vec![
+            TimedEvent {
+                at: SimTime::from_ms(5),
+                event: Event::TaskFailed {
+                    task_id: 0,
+                    job: 0,
+                    stage: 1,
+                    partition: 0,
+                    attempt: 0,
+                    reason: "task".into(),
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(6),
+                event: Event::ExecutorLost {
+                    executor: 1,
+                    killed_tasks: 2,
+                    lost_blocks: 3,
+                    lost_bytes: 4096,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(7),
+                event: Event::StageResubmitted {
+                    job: 0,
+                    stage: 0,
+                    partition: 2,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(8),
+                event: Event::SpeculativeLaunched {
+                    task_id: 1,
+                    original: 0,
+                    job: 0,
+                    stage: 1,
+                    partition: 1,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_ms(9),
+                event: Event::SpeculativeWon {
+                    task_id: 1,
+                    job: 0,
+                    stage: 1,
+                    partition: 1,
+                },
+            },
+        ];
+        let json = chrome_trace_json_full(&[failed, spec, loser], &[], &events, None);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        let cat = |c: &str| out.iter().filter(|e| e["cat"] == c).count();
+        assert_eq!(cat("task-failed"), 1);
+        assert_eq!(cat("task-speculative"), 1);
+        assert_eq!(cat("task-spec-killed"), 1);
+        assert!(out
+            .iter()
+            .any(|e| e["name"].as_str().unwrap().starts_with("FAILED ")));
+        // One instant marker per fault/speculation event.
+        assert_eq!(cat("fault"), 3);
+        assert_eq!(cat("speculation"), 2);
+        // A span without a kind deserializes as Normal (old traces load).
+        let legacy = r#"{"task_id":1,"job":0,"stage":0,"partition":0,
+            "executor":0,"slot":0,"start":0,"end":1000}"#;
+        let s: TaskSpan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.kind, SpanKind::Normal);
     }
 
     #[test]
