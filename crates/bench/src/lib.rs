@@ -207,7 +207,8 @@ pub struct BenchFaultsEntry {
     pub plan: String,
     /// End-to-end virtual runtime, seconds.
     pub virtual_runtime_s: f64,
-    /// What recovery did (all zeros for plan-free and zero-fault runs).
+    /// What recovery did (quiet — fault and waste counters all zero — for
+    /// plan-free and zero-fault runs; `useful_time` accrues regardless).
     pub recovery: RecoveryStats,
 }
 

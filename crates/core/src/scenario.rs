@@ -152,7 +152,8 @@ pub struct ScenarioResult {
     pub migrations: MigrationStats,
     /// Fault-injection and recovery rollup: failures, retries,
     /// resubmissions, speculation outcomes, useful vs. wasted virtual
-    /// time, recompute bytes per tier. All zeros without a fault plan
+    /// time, recompute bytes per tier. Fault and waste counters are all
+    /// zeros without a fault plan; `useful_time` accrues on every run
     /// (`#[serde(default)]` for backward compatibility).
     #[serde(default)]
     pub recovery: RecoveryStats,

@@ -56,8 +56,9 @@ pub struct RunReport {
     pub sink_errors: Vec<String>,
     /// Fault-injection and recovery rollup: failures seen, retries and
     /// resubmissions issued, speculation outcomes, and useful vs. wasted
-    /// virtual time. All zeros when no [`FaultPlan`](crate::FaultPlan) is
-    /// configured.
+    /// virtual time. Fault and waste counters are all zeros when no
+    /// [`FaultPlan`](crate::FaultPlan) is configured (`useful_time` always
+    /// accrues — it is the waste fraction's denominator).
     pub recovery: RecoveryStats,
 }
 
@@ -497,8 +498,9 @@ impl SparkContext {
         }
     }
 
-    /// Fault-injection and recovery statistics so far (all zeros with no
-    /// fault plan configured).
+    /// Fault-injection and recovery statistics so far. Fault and waste
+    /// counters are all zeros with no fault plan configured; `useful_time`
+    /// accrues regardless.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.inner.faults.lock().stats
     }

@@ -247,6 +247,12 @@ fn splitmix(mut z: u64) -> u64 {
 /// `useful_time` is executor-occupancy spent on attempts whose results were
 /// kept, `wasted_time` on attempts that failed, were killed with a crashed
 /// executor, or lost a speculation race.
+///
+/// `useful_time` accrues on every run — it is the waste fraction's
+/// denominator and must match between a no-plan run and a zero-fault-plan
+/// run for the byte-identity contract to hold. Every *other* field is zero
+/// unless fault machinery actually fired; [`Self::is_quiet`] checks exactly
+/// those.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryStats {
     /// Injected task failures (completion-time).

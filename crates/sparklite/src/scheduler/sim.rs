@@ -506,18 +506,18 @@ impl<'a, U> JobRunner<'a, U> {
                     && plan.roll(SALT_FETCH_FAIL, job, sid, part, attempt) < plan.fetch_failure_prob
                 {
                     // A fetch failure implicates one map output of a
-                    // shuffle parent that actually ran in this plan
-                    // (cached/complete parents were cut at plan time and
-                    // cannot be resubmitted).
+                    // shuffle parent that actually ran in this plan.
+                    // Skippable parents stay in the plan (their stage
+                    // entries carry the cached shuffle's metadata) but
+                    // never launch tasks, so resubmitting one could never
+                    // complete; their outputs are treated as durable.
                     let parent = self.plan.stages[stage_id.0 as usize]
                         .parents
                         .iter()
                         .copied()
                         .find(|p| {
-                            matches!(
-                                self.plan.stages[p.0 as usize].kind,
-                                StageKind::ShuffleMap(_)
-                            )
+                            let s = &self.plan.stages[p.0 as usize];
+                            matches!(s.kind, StageKind::ShuffleMap(_)) && !s.skippable
                         });
                     if let Some(parent) = parent {
                         let maps = self.plan.stages[parent.0 as usize].num_tasks;
@@ -1390,8 +1390,17 @@ impl<'a, U> JobRunner<'a, U> {
                 self.complete_task(task);
             }
             Ev::Retry(stage, part) => {
-                if self.stage_state[stage.0 as usize].completed[part] {
-                    return; // a rival attempt finished first
+                // Stale if a rival attempt already finished — or is still
+                // in flight (a speculative clone of the failed original):
+                // launching anyway would duplicate the partition, and the
+                // first finisher's rival sweep covers the survivor.
+                if self.stage_state[stage.0 as usize].completed[part]
+                    || self
+                        .running
+                        .values()
+                        .any(|t| t.stage == stage && t.partition == part)
+                {
+                    return;
                 }
                 self.now = t;
                 self.mem.advance(t);
@@ -1433,6 +1442,20 @@ impl<'a, U> JobRunner<'a, U> {
             }
             self.faults.stats.wasted_time += self.now - task.started;
             self.faults.stats.tasks_killed += 1;
+        }
+        // Migration copies share the same MemorySystem: an in-flight one
+        // left behind would surface from next_completion() in a later job
+        // that knows nothing about it. Cancel them like task flows, with
+        // the partial traffic kept on the migration object.
+        let mut flows: Vec<u64> = self.migration_flows.keys().copied().collect();
+        flows.sort_unstable();
+        for flow in flows {
+            let (tier, batch) = self
+                .migration_flows
+                .remove(&flow)
+                .expect("listed migration flow vanished");
+            self.mem
+                .cancel_access_attributed(self.now, tier, flow, &batch, ObjectId::Migration);
         }
     }
 

@@ -293,6 +293,32 @@ fn shuffle_stages_are_skipped_on_reuse() {
 }
 
 #[test]
+fn fetch_failures_survive_cached_shuffle_reuse() {
+    // A fetch failure may only blame a map output that actually ran. Once
+    // job 1 completes the shuffle, job 2 plans the map stage as skipped —
+    // its tasks never run, so resubmitting one could never complete and
+    // would park the failing reduce task forever. Rolls against a cached
+    // shuffle must therefore inject nothing, and both jobs must agree.
+    use memtier_des::SimTime;
+    use sparklite::FaultPlan;
+    let plan = FaultPlan::seeded(13)
+        .with_fetch_failures(0.9)
+        .with_retries(100, SimTime::from_us(10));
+    let sc = SparkContext::new(SparkConf::default().with_faults(plan)).unwrap();
+    let counts = sc
+        .parallelize((0u64..1000).map(|i| (i % 7, 1u64)).collect::<Vec<_>>(), 4)
+        .reduce_by_key(|a, b| a + b);
+    let first = counts.count().unwrap();
+    assert!(
+        sc.recovery_stats().fetch_failures > 0,
+        "a 90% fetch-failure plan must fire in job 1: {:?}",
+        sc.recovery_stats()
+    );
+    let second = counts.count().unwrap();
+    assert_eq!(first, second, "the cached-shuffle job must still complete");
+}
+
+#[test]
 fn elapsed_is_monotone_and_deterministic() {
     let run = || {
         let sc = ctx();
