@@ -1,6 +1,8 @@
-//! Perf-regression gate: diff two machine-readable baselines
-//! (`BENCH_profile.json` or `BENCH_hotness.json`) and fail when any
-//! scenario's virtual runtime drifted beyond tolerance.
+//! Perf-regression gate: diff two machine-readable baselines (any
+//! `BENCH_*.json` whose rows carry `scenario` + `virtual_runtime_s`; extra
+//! fields — including `BENCH_simspeed.json`'s wall-clock sidecar columns —
+//! are ignored by construction) and fail when any scenario's virtual
+//! runtime drifted beyond tolerance.
 //!
 //! ```text
 //! cargo run --release -p memtier-bench --bin compare -- \
@@ -15,17 +17,10 @@
 //! two runs of the same code must agree to the last bit; the tolerance
 //! exists for intentional model changes that also update the baseline.
 
-use memtier_bench::{compare_runtimes, pct, RuntimeRow};
+use memtier_bench::{arg_value as arg, compare_runtimes, pct, RuntimeRow};
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
 use std::process::exit;
-
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn load(path: &str) -> Vec<RuntimeRow> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -16,14 +16,15 @@
 //! verify it parses, stays internally consistent, and regenerates
 //! byte-identically from a fresh run.
 
-use memtier_bench::{bench_faults_entries, campaign_threads, pct, BenchFaultsEntry};
+use memtier_bench::{
+    bench_faults_entries, campaign_threads, check_fail as fail, pct, write_json_artifact,
+    BenchArgs, BenchFaultsEntry,
+};
 use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
 use memtier_memsim::{ObjectId, TierId};
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
-use memtier_workloads::{all_workloads, DataSize};
 use sparklite::{FaultPlan, SpeculationConf};
-use std::process::exit;
 
 /// The failure-rate axis of the sweep (`0.0` is the plan-free endpoint).
 const FAILURE_RATES: [f64; 3] = [0.0, 0.05, 0.15];
@@ -38,43 +39,10 @@ const SEED: u64 = 2024;
 const STRAGGLER_PROB: f64 = 0.35;
 const STRAGGLER_FACTOR: f64 = 8.0;
 
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn fail(msg: String) -> ! {
-    eprintln!("check FAILED: {msg}");
-    exit(1);
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = match arg(&args, "--size").as_deref() {
-        None | Some("tiny") => DataSize::Tiny,
-        Some("small") => DataSize::Small,
-        Some("large") => DataSize::Large,
-        Some(other) => {
-            eprintln!("unknown --size {other:?} (want tiny|small|large)");
-            exit(2);
-        }
-    };
-    let dir = arg(&args, "--dir").unwrap_or_else(|| "results".to_string());
-    let check = args.iter().any(|a| a == "--check");
-
-    let mut apps: Vec<String> = all_workloads()
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect();
-    if let Some(app) = arg(&args, "--app") {
-        if !apps.contains(&app) {
-            eprintln!("unknown --app {app:?} (want one of {apps:?})");
-            exit(2);
-        }
-        apps = vec![app];
-    }
+    let args = BenchArgs::parse();
+    let apps = args.apps();
+    let (size, dir, check) = (args.size, args.dir, args.check);
 
     // Per app: the failure-rate axis on each tier (rate 0 is the plan-free
     // endpoint), one zero-fault plan for the byte-identity check, and one
@@ -116,12 +84,8 @@ fn main() {
     check_monotone_overhead(&apps, &results);
     print_sweep(&apps, &results);
 
-    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
     let path = format!("{dir}/BENCH_faults.json");
-    let entries = bench_faults_entries(&results);
-    let json = serde_json::to_string_pretty(&entries).expect("serialize faults baseline");
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path} ({} entries)", entries.len());
+    write_json_artifact(&path, &bench_faults_entries(&results));
 
     if check {
         verify(&path, &results);

@@ -14,48 +14,24 @@
 //! parses, stays internally consistent, and regenerates byte-identically
 //! from a fresh run (the CI hotness-smoke step).
 
-use memtier_bench::{bench_hotness_entries, campaign_threads, BenchHotnessEntry, HOTNESS_TOP_K};
+use memtier_bench::{
+    bench_hotness_entries, campaign_threads, check_fail as fail, suite_apps, write_json_artifact,
+    BenchArgs, BenchHotnessEntry, HOTNESS_TOP_K,
+};
 use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
 use memtier_memsim::TierId;
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
-use memtier_workloads::{all_workloads, DataSize};
 use sparklite::{hotness_promotion_whatif, reprice};
-use std::process::exit;
 
 /// How many objects the promotion what-if moves to Tier 0.
 const PROMOTE_K: usize = 3;
 
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn fail(msg: String) -> ! {
-    eprintln!("check FAILED: {msg}");
-    exit(1);
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = match arg(&args, "--size").as_deref() {
-        None | Some("tiny") => DataSize::Tiny,
-        Some("small") => DataSize::Small,
-        Some("large") => DataSize::Large,
-        Some(other) => {
-            eprintln!("unknown --size {other:?} (want tiny|small|large)");
-            exit(2);
-        }
-    };
-    let dir = arg(&args, "--dir").unwrap_or_else(|| "results".to_string());
-    let check = args.iter().any(|a| a == "--check");
+    let args = BenchArgs::parse();
+    let (size, dir, check) = (args.size, args.dir, args.check);
 
-    let apps: Vec<String> = all_workloads()
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect();
+    let apps = suite_apps();
     let scenarios: Vec<Scenario> = apps
         .iter()
         .flat_map(|app| {
@@ -81,12 +57,8 @@ fn main() {
 
     print_hot_objects(&results);
 
-    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
     let path = format!("{dir}/BENCH_hotness.json");
-    let entries = bench_hotness_entries(&results);
-    let json = serde_json::to_string_pretty(&entries).expect("serialize hotness baseline");
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path} ({} entries)", entries.len());
+    write_json_artifact(&path, &bench_hotness_entries(&results));
 
     // Promotion what-if on the Tier-2 run of every app: re-price the
     // critical path as if the top-PROMOTE_K hot objects lived on Tier 0.

@@ -16,14 +16,15 @@
 //! verify it parses, stays internally consistent, and regenerates
 //! byte-identically from a fresh run.
 
-use memtier_bench::{bench_policy_entries, campaign_threads, pct, BenchPolicyEntry};
+use memtier_bench::{
+    bench_policy_entries, campaign_threads, check_fail as fail, pct, write_json_artifact,
+    BenchArgs, BenchPolicyEntry,
+};
 use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
 use memtier_des::SimTime;
 use memtier_memsim::{PlacementSpec, TierId};
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
-use memtier_workloads::{all_workloads, DataSize};
-use std::process::exit;
 
 /// The DRAM-capacity axis of the sweep (bytes).
 const CAPACITIES: [u64; 3] = [1 << 20, 16 << 20, 256 << 20];
@@ -35,43 +36,10 @@ const EPOCHS_US: [u64; 2] = [100, 1_000];
 /// to show the write-penalty's effect in isolation.
 const WEAR_CAPACITY: u64 = 256 << 20;
 
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn fail(msg: String) -> ! {
-    eprintln!("check FAILED: {msg}");
-    exit(1);
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = match arg(&args, "--size").as_deref() {
-        None | Some("tiny") => DataSize::Tiny,
-        Some("small") => DataSize::Small,
-        Some("large") => DataSize::Large,
-        Some(other) => {
-            eprintln!("unknown --size {other:?} (want tiny|small|large)");
-            exit(2);
-        }
-    };
-    let dir = arg(&args, "--dir").unwrap_or_else(|| "results".to_string());
-    let check = args.iter().any(|a| a == "--check");
-
-    let mut apps: Vec<String> = all_workloads()
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect();
-    if let Some(app) = arg(&args, "--app") {
-        if !apps.contains(&app) {
-            eprintln!("unknown --app {app:?} (want one of {apps:?})");
-            exit(2);
-        }
-        apps = vec![app];
-    }
+    let args = BenchArgs::parse();
+    let apps = args.apps();
+    let (size, dir, check) = (args.size, args.dir, args.check);
 
     // Per app: the two static endpoints, the HotCold grid, one WearAware
     // point. Dynamic runs bind to NVM_NEAR — the tier the engine promotes
@@ -106,12 +74,8 @@ fn main() {
     check_ordering(&apps, &results);
     print_sweep(&apps, &results);
 
-    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
     let path = format!("{dir}/BENCH_policy.json");
-    let entries = bench_policy_entries(&results);
-    let json = serde_json::to_string_pretty(&entries).expect("serialize policy baseline");
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path} ({} entries)", entries.len());
+    write_json_artifact(&path, &bench_policy_entries(&results));
 
     if check {
         verify(&path, &results);

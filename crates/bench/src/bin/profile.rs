@@ -13,49 +13,26 @@
 //! it parses, conserves, and that the what-if prediction stays within 10 %
 //! of an actual perturbed re-run (the CI profile-smoke step).
 
-use memtier_bench::{bench_profile_entries, campaign_threads, write_bench_profile};
+use memtier_bench::{
+    bench_profile_entries, campaign_threads, check_fail as fail, suite_apps, write_bench_profile,
+    write_json_artifact, BenchArgs,
+};
 use memtier_core::{conf_for, run_scenario_with_conf, run_scenarios, Scenario, ScenarioResult};
 use memtier_memsim::TierId;
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
-use memtier_workloads::{all_workloads, DataSize};
+use memtier_workloads::DataSize;
 use sparklite::{reprice, WhatIf};
-use std::process::exit;
 
 /// The what-if scenario the harness demonstrates and validates: double the
 /// DCPM (Tier 2) write-drain rate, i.e. halve its idle write latency.
 const WHATIF_LABEL: &str = "2x Tier-2 write bandwidth (idle write latency / 2)";
 
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn fail(msg: String) -> ! {
-    eprintln!("check FAILED: {msg}");
-    exit(1);
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = match arg(&args, "--size").as_deref() {
-        None | Some("tiny") => DataSize::Tiny,
-        Some("small") => DataSize::Small,
-        Some("large") => DataSize::Large,
-        Some(other) => {
-            eprintln!("unknown --size {other:?} (want tiny|small|large)");
-            exit(2);
-        }
-    };
-    let dir = arg(&args, "--dir").unwrap_or_else(|| "results".to_string());
-    let check = args.iter().any(|a| a == "--check");
+    let args = BenchArgs::parse();
+    let (size, dir, check) = (args.size, args.dir, args.check);
 
-    let apps: Vec<String> = all_workloads()
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect();
+    let apps = suite_apps();
     let scenarios: Vec<Scenario> = apps
         .iter()
         .flat_map(|app| {
@@ -81,7 +58,6 @@ fn main() {
 
     print_attribution(&results);
 
-    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
     for app in &apps {
         let app_results: Vec<ScenarioResult> = results
             .iter()
@@ -89,11 +65,8 @@ fn main() {
             .cloned()
             .collect();
         let path = format!("{dir}/profile_{app}.json");
-        let json = serde_json::to_string_pretty(&bench_profile_entries(&app_results))
-            .expect("serialize app profile");
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        write_json_artifact(&path, &bench_profile_entries(&app_results));
     }
-    eprintln!("wrote {dir}/profile_<app>.json for {} apps", apps.len());
     let baseline_path = format!("{dir}/BENCH_profile.json");
     write_bench_profile(&baseline_path, &results);
 

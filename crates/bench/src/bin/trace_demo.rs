@@ -12,19 +12,13 @@
 //! <path>`, `--events <path>`, and `--check` to re-read both artifacts and
 //! verify they parse and conserve counters (the CI trace-smoke step).
 
+use memtier_bench::arg_value as arg;
 use memtier_core::{run_scenario_instrumented, Scenario, TelemetryOptions};
 use memtier_memsim::TierId;
 use memtier_workloads::DataSize;
 use sparklite::parse_jsonl;
 use std::path::Path;
 use std::process::exit;
-
-fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -10,8 +10,9 @@
 
 use memtier_core::ScenarioResult;
 use memtier_memsim::MigrationStats;
+use memtier_workloads::{all_workloads, DataSize};
 use serde::{Deserialize, Serialize};
-use sparklite::RecoveryStats;
+use sparklite::{EngineStats, RecoveryStats};
 use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
@@ -20,6 +21,103 @@ pub fn campaign_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Parse `--flag <value>` from an argv slice.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Abort a `--check` run: print the failure and exit with status 1 (the CI
+/// smoke steps key off the exit status).
+pub fn check_fail(msg: String) -> ! {
+    eprintln!("check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The workload names of the full suite, in suite order.
+pub fn suite_apps() -> Vec<String> {
+    all_workloads()
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+/// The common CLI surface of the bench harnesses: `--size tiny|small|large`
+/// (default `tiny`), `--dir <path>` (default `results`), `--check`, and —
+/// for the harnesses that support it — `--app <name>`.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Data-size profile of every scenario the harness runs.
+    pub size: DataSize,
+    /// Output directory for artifacts (created on demand).
+    pub dir: String,
+    /// Run the harness's self-checks after writing artifacts.
+    pub check: bool,
+    /// Restrict the sweep to one workload (`--app`), when given.
+    pub app: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parse from an argv slice; `Err` carries the usage message.
+    pub fn try_parse(args: &[String]) -> Result<BenchArgs, String> {
+        let size = match arg_value(args, "--size").as_deref() {
+            None | Some("tiny") => DataSize::Tiny,
+            Some("small") => DataSize::Small,
+            Some("large") => DataSize::Large,
+            Some(other) => {
+                return Err(format!("unknown --size {other:?} (want tiny|small|large)"));
+            }
+        };
+        Ok(BenchArgs {
+            size,
+            dir: arg_value(args, "--dir").unwrap_or_else(|| "results".to_string()),
+            check: args.iter().any(|a| a == "--check"),
+            app: arg_value(args, "--app"),
+        })
+    }
+
+    /// Parse from the process argv, exiting with status 2 on a bad flag —
+    /// the shared front door of every harness `main`.
+    pub fn parse() -> BenchArgs {
+        let args: Vec<String> = std::env::args().collect();
+        BenchArgs::try_parse(&args).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The workloads the sweep covers: the whole suite, or just `--app`.
+    /// Exits with status 2 when `--app` names an unknown workload.
+    pub fn apps(&self) -> Vec<String> {
+        let apps = suite_apps();
+        match &self.app {
+            None => apps,
+            Some(app) if apps.contains(app) => vec![app.clone()],
+            Some(app) => {
+                eprintln!("unknown --app {app:?} (want one of {apps:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Write a JSON artifact: create the parent directory on demand, pretty-
+/// print `entries`, and log the path. Harnesses own their output tree — CI
+/// never has to `mkdir` for them.
+pub fn write_json_artifact<T: Serialize>(path: &str, entries: &[T]) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("mkdir {}: {e}", parent.display()));
+        }
+    }
+    let json = serde_json::to_string_pretty(entries).expect("serialize artifact");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path} ({} entries)", entries.len());
 }
 
 /// Parse `--json <path>` from argv, if present.
@@ -87,10 +185,7 @@ pub fn bench_profile_entries(results: &[ScenarioResult]) -> Vec<BenchProfileEntr
 /// artifact CI archives so perf regressions show up as an attribution diff,
 /// not just a runtime delta.
 pub fn write_bench_profile(path: &str, results: &[ScenarioResult]) {
-    let entries = bench_profile_entries(results);
-    let json = serde_json::to_string_pretty(&entries).expect("serialize perf baseline");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path} ({} entries)", entries.len());
+    write_json_artifact(path, &bench_profile_entries(results));
 }
 
 /// One row of the object-hotness baseline (`BENCH_hotness.json`): a
@@ -231,6 +326,101 @@ pub fn bench_faults_entries(results: &[ScenarioResult]) -> Vec<BenchFaultsEntry>
         .collect()
 }
 
+/// One row of the simulator-throughput baseline (`BENCH_simspeed.json`).
+///
+/// The leading fields are deterministic — pure functions of (workload,
+/// config, seed), identical across hosts and runs, and the ones the
+/// zero-tolerance `compare` gate joins on via [`RuntimeRow`]. The trailing
+/// fields (`wall_ms`, `events_per_sec`, `tasks_per_sec`, `virtual_to_wall`)
+/// are the wall-clock sidecar: they vary run to run and host to host, and
+/// `compare` ignores them by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSimspeedEntry {
+    /// Workload name (`dag-stress` for the synthetic stressor row).
+    pub app: String,
+    /// Full scenario label; the join key between two baselines.
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds (deterministic).
+    pub virtual_runtime_s: f64,
+    /// Discrete events the engine processed (deterministic).
+    pub events_total: u64,
+    /// Tasks the scheduler ran (deterministic).
+    pub tasks: u64,
+    /// Wall-clock time of the run, milliseconds (sidecar).
+    pub wall_ms: f64,
+    /// Engine throughput: events per wall-clock second (sidecar).
+    pub events_per_sec: f64,
+    /// Scheduler throughput: tasks per wall-clock second (sidecar).
+    pub tasks_per_sec: f64,
+    /// Virtual seconds simulated per wall-clock second (sidecar).
+    pub virtual_to_wall: f64,
+}
+
+impl BenchSimspeedEntry {
+    /// The deterministic projection of this row, as canonical JSON — what
+    /// the determinism checks compare. Two generations of the same scenario
+    /// agree here byte-for-byte even though their wall-clock fields differ.
+    pub fn deterministic_json(&self) -> String {
+        serde_json::json!({
+            "app": self.app,
+            "scenario": self.scenario,
+            "virtual_runtime_s": self.virtual_runtime_s,
+            "events_total": self.events_total,
+            "tasks": self.tasks,
+        })
+        .to_string()
+    }
+}
+
+/// Assemble one throughput row from a run's virtual facts and its engine
+/// sidecar — shared by the suite rows and the synthetic DAG stressor.
+pub fn simspeed_row(
+    app: String,
+    scenario: String,
+    virtual_runtime_s: f64,
+    tasks: u64,
+    engine: &EngineStats,
+) -> BenchSimspeedEntry {
+    let wall_s = engine.wall_ms / 1e3;
+    BenchSimspeedEntry {
+        app,
+        scenario,
+        virtual_runtime_s,
+        events_total: engine.events_total,
+        tasks,
+        wall_ms: engine.wall_ms,
+        events_per_sec: engine.events_per_sec,
+        tasks_per_sec: if wall_s > 0.0 {
+            tasks as f64 / wall_s
+        } else {
+            0.0
+        },
+        virtual_to_wall: engine.speedup,
+    }
+}
+
+/// Build the throughput-baseline rows for a set of *profiled* results, in
+/// input order. Panics on a result without an engine sidecar — simspeed
+/// rows are meaningless for unprofiled runs.
+pub fn bench_simspeed_entries(results: &[ScenarioResult]) -> Vec<BenchSimspeedEntry> {
+    results
+        .iter()
+        .map(|r| {
+            let e = r
+                .engine
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: simspeed needs profiled runs", r.scenario.label()));
+            simspeed_row(
+                r.scenario.workload.clone(),
+                r.scenario.label(),
+                r.elapsed_s,
+                r.tasks,
+                e,
+            )
+        })
+        .collect()
+}
+
 /// The fields `compare` needs from a baseline row — deserializes from both
 /// `BENCH_profile.json` and `BENCH_hotness.json` entries (unknown fields are
 /// ignored).
@@ -315,6 +505,120 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::campaign_threads() >= 1);
+    }
+
+    #[test]
+    fn bench_args_parse_defaults_flags_and_errors() {
+        use memtier_workloads::DataSize;
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+        let a = super::BenchArgs::try_parse(&argv(&["bin"])).unwrap();
+        assert_eq!(a.size, DataSize::Tiny);
+        assert_eq!(a.dir, "results");
+        assert!(!a.check && a.app.is_none());
+        let a = super::BenchArgs::try_parse(&argv(&[
+            "bin", "--size", "small", "--dir", "out", "--check", "--app", "sort",
+        ]))
+        .unwrap();
+        assert_eq!(a.size, DataSize::Small);
+        assert_eq!(a.dir, "out");
+        assert!(a.check);
+        assert_eq!(a.app.as_deref(), Some("sort"));
+        assert!(super::BenchArgs::try_parse(&argv(&["bin", "--size", "huge"])).is_err());
+        assert_eq!(super::arg_value(&argv(&["bin", "--dir"]), "--dir"), None);
+    }
+
+    #[test]
+    fn suite_apps_match_the_workload_registry() {
+        let apps = super::suite_apps();
+        assert!(!apps.is_empty());
+        assert!(apps.contains(&"sort".to_string()));
+        for app in &apps {
+            assert!(memtier_workloads::workload_by_name(app).is_some());
+        }
+    }
+
+    #[test]
+    fn write_json_artifact_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("memtier_bench_{}", std::process::id()));
+        let path = dir.join("nested").join("artifact.json");
+        let path = path.to_str().unwrap().to_string();
+        super::write_json_artifact(&path, &[row("a", 1.0)]);
+        let rows: Vec<RuntimeRow> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(rows, vec![row("a", 1.0)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simspeed_rows_feed_compare_and_wall_fields_are_invisible_to_it() {
+        use super::BenchSimspeedEntry;
+        // Two generations of the same scenarios: identical deterministic
+        // fields, wildly different wall-clock sidecars.
+        let gen = |wall: f64| -> Vec<BenchSimspeedEntry> {
+            vec![
+                BenchSimspeedEntry {
+                    app: "sort".into(),
+                    scenario: "sort-tiny@Tier 2, 1x40".into(),
+                    virtual_runtime_s: 1.5,
+                    events_total: 1000,
+                    tasks: 40,
+                    wall_ms: wall,
+                    events_per_sec: 1000.0 / wall * 1e3,
+                    tasks_per_sec: 40.0 / wall * 1e3,
+                    virtual_to_wall: 1.5 / wall * 1e3,
+                },
+                BenchSimspeedEntry {
+                    app: "dag-stress".into(),
+                    scenario: "dag-stress-tiny@Tier 2".into(),
+                    virtual_runtime_s: 2.25,
+                    events_total: 5000,
+                    tasks: 128,
+                    wall_ms: wall * 3.0,
+                    events_per_sec: 5000.0 / (wall * 3.0) * 1e3,
+                    tasks_per_sec: 128.0 / (wall * 3.0) * 1e3,
+                    virtual_to_wall: 2.25 / (wall * 3.0) * 1e3,
+                },
+            ]
+        };
+        let (a, b) = (gen(12.0), gen(97.0));
+        assert_ne!(a, b, "wall-clock sidecars should differ");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.deterministic_json(), y.deterministic_json());
+            assert!(!x.deterministic_json().contains("wall_ms"));
+        }
+        // `compare` sees only the deterministic projection: the two
+        // generations join cleanly and every delta is exactly zero.
+        let load = |e: &[BenchSimspeedEntry]| -> Vec<RuntimeRow> {
+            serde_json::from_str(&serde_json::to_string(e).unwrap()).unwrap()
+        };
+        let (deltas, unmatched) = compare_runtimes(&load(&a), &load(&b));
+        assert_eq!(deltas.len(), 2);
+        assert!(unmatched.is_empty());
+        for d in &deltas {
+            assert_eq!(d.delta_pct, 0.0);
+            assert!(!d.out_of_tolerance(0.0));
+        }
+    }
+
+    #[test]
+    fn simspeed_entries_require_and_summarize_profiled_runs() {
+        use memtier_core::{run_scenario_profiled, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario_profiled(&s).unwrap();
+        let entries = super::bench_simspeed_entries(std::slice::from_ref(&r));
+        let e = &entries[0];
+        assert_eq!(e.app, "repartition");
+        assert_eq!(e.scenario, s.label());
+        assert_eq!(e.virtual_runtime_s, r.elapsed_s);
+        assert_eq!(e.tasks, r.tasks);
+        assert!(e.events_total > 0);
+        assert!(e.wall_ms > 0.0 && e.events_per_sec > 0.0 && e.tasks_per_sec > 0.0);
+        assert!(e.virtual_to_wall.is_finite());
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<super::BenchSimspeedEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult> {
     run_scenario_with_conf(scenario, conf_for(scenario))
 }
 
+/// Like [`run_scenario`] but with the wall-clock engine self-profiler on:
+/// the result carries an `engine` sidecar ([`EngineStats`]) with events/sec,
+/// queue and re-share statistics, and phase hotspots. Virtual results are
+/// byte-identical to an unprofiled run — profiling is observation only, and
+/// the sidecar lives outside the byte-identity domain.
+///
+/// [`EngineStats`]: sparklite::EngineStats
+pub fn run_scenario_profiled(scenario: &Scenario) -> Result<ScenarioResult> {
+    run_scenario_with_conf(scenario, conf_for(scenario).with_engine_profiling())
+}
+
 /// Like [`run_scenario`] but with an explicit engine configuration — the
 /// ablation benches use this to switch model features on and off.
 pub fn run_scenario_with_conf(scenario: &Scenario, conf: SparkConf) -> Result<ScenarioResult> {
@@ -143,6 +154,7 @@ fn run_on_context(
         hotness: report.hotness,
         migrations: report.migrations,
         recovery: report.recovery,
+        engine: report.engine,
     };
     Ok((result, telemetry))
 }
@@ -226,7 +238,7 @@ mod tests {
         // Telemetry must observe, not perturb: the measured result of an
         // instrumented run equals the plain run bit-for-bit (rollups are
         // collected either way, so compare the full structs directly).
-        let s = Scenario::default_conf("wordcount", DataSize::Tiny, TierId::NVM_FAR);
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_FAR);
         let plain = run_scenario(&s).unwrap();
         let (instr, _) = run_scenario_instrumented(&s, &TelemetryOptions::default()).unwrap();
         assert_eq!(plain, instr);

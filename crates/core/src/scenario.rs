@@ -5,7 +5,7 @@ use memtier_memsim::{
 };
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
-use sparklite::{FaultPlan, RecoveryStats, RunProfile, StageRollup};
+use sparklite::{EngineStats, FaultPlan, RecoveryStats, RunProfile, StageRollup};
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -157,6 +157,15 @@ pub struct ScenarioResult {
     /// (`#[serde(default)]` for backward compatibility).
     #[serde(default)]
     pub recovery: RecoveryStats,
+    /// Wall-clock engine self-profiling sidecar, present only when the run
+    /// enabled `profile_engine`. **Strictly outside the byte-identity
+    /// domain**: every other field is a pure function of (workload, config,
+    /// seed), while this block carries host-dependent wall-clock numbers.
+    /// Skipped entirely when absent so profiling-off artifacts are unchanged
+    /// byte for byte, and ignored by the `compare` bin by construction (its
+    /// row type deserializes only scenario + virtual runtime).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub engine: Option<EngineStats>,
 }
 
 impl ScenarioResult {
@@ -184,6 +193,19 @@ impl ScenarioResult {
     /// Value of a named system event.
     pub fn event(&self, name: &str) -> Option<f64> {
         self.events.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The virtual-identity serialization: this result as canonical JSON
+    /// with the wall-clock `engine` sidecar removed. Two runs of the same
+    /// scenario must produce *equal strings* here regardless of whether
+    /// engine profiling was enabled — this is the firewall the observability
+    /// tests assert byte-for-byte.
+    pub fn virtual_identity_json(&self) -> String {
+        let mut v = serde_json::to_value(self).expect("serialize ScenarioResult");
+        if let Some(map) = v.as_object_mut() {
+            map.remove("engine");
+        }
+        serde_json::to_string(&v).expect("render ScenarioResult json")
     }
 }
 
@@ -233,6 +255,57 @@ mod tests {
             .with_placement(PlacementSpec::hot_cold(256 << 20, SimTime::from_ms(5)));
         assert!(dynamic.label().starts_with("sort-tiny@Tier 2, 1x40 ["));
         assert!(dynamic.label().contains("hotcold(256MiB"));
+    }
+
+    #[test]
+    fn engine_sidecar_is_optional_and_skipped_when_absent() {
+        // A result with no engine block serializes without the key at all
+        // (so profiling-off artifacts are unchanged byte for byte), and old
+        // JSON without the key loads as None.
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR);
+        let result = ScenarioResult {
+            scenario: s,
+            elapsed_s: 1.5,
+            counters: CounterSnapshot::zero(),
+            energy_j: [0.0; NUM_TIERS],
+            energy_per_dimm_j: [0.0; NUM_TIERS],
+            events: Vec::new(),
+            jobs: 1,
+            stages: 1,
+            tasks: 1,
+            output_records: 1,
+            checksum: 1,
+            quality: 0.0,
+            stage_rollups: Vec::new(),
+            profile: RunProfile::default(),
+            hotness: HotnessReport::default(),
+            migrations: MigrationStats::default(),
+            recovery: RecoveryStats::default(),
+            engine: None,
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(
+            !json.contains("\"engine\""),
+            "absent sidecar must not serialize"
+        );
+        let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine, None);
+        // The virtual-identity view is insensitive to the sidecar.
+        let mut profiled = result.clone();
+        profiled.engine = Some(EngineStats {
+            wall_ms: 12.5,
+            events_total: 100,
+            ..EngineStats::default()
+        });
+        assert_eq!(
+            result.virtual_identity_json(),
+            profiled.virtual_identity_json(),
+            "engine sidecar must be invisible to the byte-identity view"
+        );
+        // But the sidecar itself round-trips when present.
+        let j2 = serde_json::to_string(&profiled).unwrap();
+        let b2: ScenarioResult = serde_json::from_str(&j2).unwrap();
+        assert_eq!(b2.engine.as_ref().unwrap().events_total, 100);
     }
 
     #[test]

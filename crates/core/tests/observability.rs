@@ -1,0 +1,116 @@
+//! Engine self-observability: the wall-clock profiler must observe, never
+//! perturb.
+//!
+//! The contract under test (ISSUE 6 / DESIGN.md §13): enabling
+//! `profile_engine` yields virtual results **byte-identical** to a
+//! profiling-off run — the only difference is the `engine` sidecar, which
+//! lives outside the byte-identity domain and is stripped by
+//! `ScenarioResult::virtual_identity_json`.
+
+use memtier_core::{run_scenario, run_scenario_profiled, Scenario};
+use memtier_memsim::TierId;
+use memtier_workloads::{all_workloads, DataSize};
+
+/// Profiling on vs. off is byte-identical (minus the sidecar) for every
+/// suite workload. This is the test-side half of the zero-tolerance gate;
+/// CI's `compare` bin enforces the same invariant on the artifacts.
+#[test]
+fn profiling_is_byte_invisible_for_every_suite_workload() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let plain = run_scenario(&s).unwrap();
+        let profiled = run_scenario_profiled(&s).unwrap();
+        assert!(
+            plain.engine.is_none(),
+            "{}: plain run grew a sidecar",
+            w.name()
+        );
+        assert!(
+            profiled.engine.is_some(),
+            "{}: profiled run lost its sidecar",
+            w.name()
+        );
+        assert_eq!(
+            plain.virtual_identity_json(),
+            profiled.virtual_identity_json(),
+            "{}: profiling changed virtual results",
+            w.name()
+        );
+    }
+}
+
+/// The sidecar's contents are sane: the engine saw events, the queue and
+/// resources were exercised, wall time accrued, and the deterministic count
+/// fields reproduce across runs.
+#[test]
+fn engine_stats_are_populated_and_counts_are_deterministic() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+    let a = run_scenario_profiled(&s).unwrap();
+    let b = run_scenario_profiled(&s).unwrap();
+    let ea = a.engine.as_ref().unwrap();
+    let eb = b.engine.as_ref().unwrap();
+
+    assert!(ea.events_total > 0, "no events counted");
+    assert!(ea.wall_ms > 0.0, "no wall time measured");
+    assert!(ea.events_per_sec > 0.0);
+    assert!(ea.speedup > 0.0);
+    assert!((ea.virtual_s - a.elapsed_s).abs() < 1e-12);
+    // A repartition run dispatches tasks and retires memory completions.
+    assert!(ea.event_counts.get("task_dispatch").copied().unwrap_or(0) > 0);
+    assert!(ea.event_counts.get("mem_completion").copied().unwrap_or(0) > 0);
+    // The event queue and the shared resources were exercised.
+    assert!(ea.queue.schedules > 0 || ea.queue.pops > 0);
+    assert!(ea.resource.reshares > 0);
+    assert!(ea.resource.peak_active_flows > 0);
+    // Phase attribution found the scheduler loop.
+    assert!(ea.phase_ms.contains_key("event_dispatch"));
+    assert!(!ea.hotspots.is_empty());
+
+    // Counters (unlike timings) are pure functions of the simulation and
+    // must reproduce exactly run to run.
+    assert_eq!(ea.events_total, eb.events_total);
+    assert_eq!(ea.event_counts, eb.event_counts);
+    assert_eq!(ea.queue.schedules, eb.queue.schedules);
+    assert_eq!(ea.queue.pops, eb.queue.pops);
+    assert_eq!(ea.queue.peak_depth, eb.queue.peak_depth);
+    assert_eq!(ea.resource.reshares, eb.resource.reshares);
+    assert_eq!(ea.resource.peak_active_flows, eb.resource.peak_active_flows);
+    // And the virtual domain is untouched by back-to-back profiled runs.
+    assert_eq!(a.virtual_identity_json(), b.virtual_identity_json());
+}
+
+/// Profiling composes with the other observability layers (MBA throttling
+/// and telemetry sampling paths) without perturbing them.
+#[test]
+fn profiling_is_invisible_under_mba_and_faults() {
+    use sparklite::FaultPlan;
+    let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_FAR)
+        .with_mba(50)
+        .with_faults(FaultPlan::seeded(3).with_task_failures(0.05));
+    let plain = run_scenario(&s).unwrap();
+    let profiled = run_scenario_profiled(&s).unwrap();
+    assert_eq!(
+        plain.virtual_identity_json(),
+        profiled.virtual_identity_json(),
+        "profiling changed results under MBA + faults"
+    );
+    let e = profiled.engine.unwrap();
+    assert!(e.events_total > 0);
+}
+
+/// The serialized artifact of a profiling-off run carries no `engine` key,
+/// so profiling-off baselines are byte-for-byte what they were before the
+/// profiler existed.
+#[test]
+fn plain_artifacts_carry_no_engine_key() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::LOCAL_DRAM);
+    let r = run_scenario(&s).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(!json.contains("\"engine\""));
+    // While a profiled artifact does — and still loads cleanly.
+    let p = run_scenario_profiled(&s).unwrap();
+    let pjson = serde_json::to_string(&p).unwrap();
+    assert!(pjson.contains("\"engine\""));
+    let back: memtier_core::ScenarioResult = serde_json::from_str(&pjson).unwrap();
+    assert_eq!(back, p);
+}

@@ -28,11 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod prof;
 pub mod queue;
 pub mod resource;
 pub mod time;
 
+/// Engine self-profiling (`des::prof`) under its conventional short name.
+pub use prof as simprof;
+
 pub use contention::ContentionModel;
+pub use prof::{EngineProf, EngineStats, EventClass, PhaseGuard, ProfPhase};
 pub use queue::EventQueue;
 pub use resource::{FlowId, SharedResource};
 pub use time::SimTime;

@@ -1,5 +1,6 @@
 //! Pending-event set with deterministic tie-breaking.
 
+use crate::prof::EngineProf;
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,6 +27,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    prof: EngineProf,
 }
 
 #[derive(Debug)]
@@ -64,7 +66,15 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            prof: EngineProf::default(),
         }
+    }
+
+    /// Attach an engine profiler; schedule/pop counts and queue-depth samples
+    /// are recorded through it. The default (disabled) profiler records
+    /// nothing.
+    pub fn set_prof(&mut self, prof: EngineProf) {
+        self.prof = prof;
     }
 
     /// The current virtual time: the timestamp of the last popped event.
@@ -88,6 +98,7 @@ impl<E> EventQueue<E> {
             key: Reverse((at, seq)),
             event,
         });
+        self.prof.record_schedule(self.heap.len());
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
@@ -97,6 +108,9 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.heap.is_empty() {
+            self.prof.record_pop(self.heap.len());
+        }
         let entry = self.heap.pop()?;
         let Reverse((at, _)) = entry.key;
         debug_assert!(at >= self.now);

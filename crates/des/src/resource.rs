@@ -14,6 +14,7 @@
 //! caller advances to that instant, removes the finished flow, and re-queries.
 
 use crate::contention::ContentionModel;
+use crate::prof::{EngineProf, ProfPhase};
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -61,6 +62,8 @@ pub struct SharedResource {
     served: f64,
     /// Integral of busy time (at least one active flow), for utilization.
     busy: SimTime,
+    /// Engine self-profiler handle (disabled by default; never affects rates).
+    prof: EngineProf,
 }
 
 impl SharedResource {
@@ -81,7 +84,15 @@ impl SharedResource {
             last_update: SimTime::ZERO,
             served: 0.0,
             busy: SimTime::ZERO,
+            prof: EngineProf::default(),
         }
+    }
+
+    /// Attach an engine profiler; re-share counts, active-flow histograms and
+    /// wall time in `advance`/`add_flow`/`remove_flow` are recorded through
+    /// it. The default (disabled) profiler records nothing.
+    pub fn set_prof(&mut self, prof: EngineProf) {
+        self.prof = prof;
     }
 
     /// Full (unthrottled) capacity in units/second.
@@ -132,6 +143,7 @@ impl SharedResource {
     ///
     /// Idempotent for equal `now`; panics if `now` precedes the last update.
     pub fn advance(&mut self, now: SimTime) {
+        let _t = self.prof.phase(ProfPhase::ResourceAdvance);
         assert!(
             now >= self.last_update,
             "resource time went backwards: {now:?} < {:?}",
@@ -156,6 +168,7 @@ impl SharedResource {
     /// # Panics
     /// Panics on duplicate ids, negative demand, or non-positive nominal rate.
     pub fn add_flow(&mut self, now: SimTime, id: FlowId, demand: f64, nominal_rate: f64) {
+        let _t = self.prof.phase(ProfPhase::ResourceAddFlow);
         assert!(demand >= 0.0 && demand.is_finite(), "bad demand {demand}");
         assert!(
             nominal_rate > 0.0 && nominal_rate.is_finite(),
@@ -177,6 +190,7 @@ impl SharedResource {
     /// # Panics
     /// Panics if the flow is unknown.
     pub fn remove_flow(&mut self, now: SimTime, id: FlowId) -> f64 {
+        let _t = self.prof.phase(ProfPhase::ResourceRemoveFlow);
         self.advance(now);
         let flow = self.flows.remove(&id).expect("removing unknown flow");
         if flow.remaining <= DRAIN_EPS {
@@ -235,6 +249,10 @@ impl SharedResource {
         if n == 0 {
             return Vec::new();
         }
+        // This is the known O(active flows) hot spot (ROADMAP item 3): count
+        // every re-share and the flow population it had to water-fill over.
+        self.prof.record_reshare(n);
+        let _t = self.prof.phase(ProfPhase::RateRecompute);
         let cfactor = self.contention.factor(n);
         let cap_total = self.effective_capacity();
 

@@ -1,0 +1,92 @@
+//! Property tests for `EventQueue`: the ordering invariants every
+//! byte-identity gate in the workspace silently depends on.
+//!
+//! Two properties:
+//! 1. Pop order is non-decreasing in `SimTime`, whatever the schedule order.
+//! 2. Events scheduled for the same instant pop in FIFO insertion order —
+//!    the deterministic tie-break that makes heap layout unobservable.
+
+use memtier_des::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scheduling arbitrary timestamps in arbitrary order always drains in
+    /// non-decreasing time order, and the clock follows the popped times.
+    #[test]
+    fn pop_order_is_nondecreasing(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "pop went backwards: {at:?} < {last:?}");
+            prop_assert_eq!(q.now(), at, "clock must track the popped event");
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Same-instant events preserve insertion order (FIFO tie-break), even
+    /// when interleaved with events at other instants.
+    #[test]
+    fn same_instant_events_pop_fifo(
+        times in prop::collection::vec(0u64..64, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        // Payload = insertion index; small time domain forces many ties.
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((pat, pidx)) = prev {
+                if at == pat {
+                    prop_assert!(
+                        idx > pidx,
+                        "tie at {at:?} broke FIFO: {idx} popped after {pidx}"
+                    );
+                }
+            }
+            prev = Some((at, idx));
+        }
+    }
+
+    /// Interleaving pops with later schedules keeps both invariants: time
+    /// never rewinds and ties stay FIFO relative to insertion sequence.
+    #[test]
+    fn interleaved_schedule_pop_keeps_order(
+        ops in prop::collection::vec((0u64..1000, prop::bool::weighted(0.4)), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        let mut last = SimTime::ZERO;
+        let mut last_popped: Option<(SimTime, usize)> = None;
+        for &(dt, do_pop) in &ops {
+            if do_pop {
+                if let Some((at, idx)) = q.pop() {
+                    prop_assert!(at >= last);
+                    if let Some((pat, pidx)) = last_popped {
+                        if at == pat {
+                            prop_assert!(idx > pidx);
+                        }
+                    }
+                    last = at;
+                    last_popped = Some((at, idx));
+                }
+            } else {
+                // schedule_after keeps `at >= now` by construction.
+                q.schedule_after(SimTime::from_ns(dt), seq);
+                seq += 1;
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+}

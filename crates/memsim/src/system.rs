@@ -10,7 +10,7 @@ use crate::telemetry::{CounterSample, CounterSampler};
 use crate::tier::{TierId, TierParams, NUM_TIERS};
 use crate::topology::Topology;
 use crate::wear::{WearReport, WearTracker};
-use memtier_des::{FlowId, SharedResource, SimTime};
+use memtier_des::{EngineProf, EventClass, FlowId, ProfPhase, SharedResource, SimTime};
 
 /// The simulated memory system: four tiers, each a fair-share bandwidth
 /// resource, plus counters / energy / wear instrumentation.
@@ -45,6 +45,11 @@ pub struct MemorySystem {
     ledger: AttributionLedger,
     sampler: Option<Sampler>,
     counter_sampler: Option<CounterSampler>,
+    /// Engine self-profiler (wall-clock only; disabled by default). The
+    /// canonical handle for a run: enabling it here fans clones out to every
+    /// tier resource, and the scheduler picks it up via
+    /// [`engine_prof`](Self::engine_prof).
+    prof: EngineProf,
 }
 
 /// One utilization sample (see
@@ -117,7 +122,30 @@ impl MemorySystem {
             ledger: AttributionLedger::new(),
             sampler: None,
             counter_sampler: None,
+            prof: EngineProf::default(),
         }
+    }
+
+    /// Turn on engine self-profiling for this run: creates a live collector
+    /// and attaches it to every tier's bandwidth resource. Wall-clock only —
+    /// virtual-time results are unaffected. Idempotent (a second call keeps
+    /// the existing collector).
+    pub fn enable_engine_prof(&mut self) {
+        if self.prof.is_enabled() {
+            return;
+        }
+        self.prof = EngineProf::enabled();
+        for r in &mut self.resources {
+            r.set_prof(self.prof.clone());
+        }
+    }
+
+    /// The engine self-profiler handle (disabled unless
+    /// [`enable_engine_prof`](Self::enable_engine_prof) was called). Clones
+    /// share the collector, so the scheduler attaches this same handle to its
+    /// event queue and loop.
+    pub fn engine_prof(&self) -> &EngineProf {
+        &self.prof
     }
 
     /// The paper-default memory system.
@@ -359,39 +387,44 @@ impl MemorySystem {
     /// every crossed sampling instant (rates are piecewise-constant between
     /// events, so sampling at the boundary is exact).
     pub fn advance(&mut self, now: SimTime) {
-        if let Some(sampler) = &mut self.sampler {
-            while sampler.next <= now {
-                let at = sampler.next;
-                let mut utilization = [0.0; NUM_TIERS];
-                let mut active = [0; NUM_TIERS];
-                for (i, r) in self.resources.iter().enumerate() {
-                    let agg: f64 = r.current_rates().iter().map(|&(_, x)| x).sum();
-                    utilization[i] = (agg / r.effective_capacity()).clamp(0.0, 1.0);
-                    active[i] = r.active_flows();
+        if self.sampler.is_some() || self.counter_sampler.is_some() {
+            let _t = self.prof.phase(ProfPhase::TelemetrySampling);
+            if let Some(sampler) = &mut self.sampler {
+                while sampler.next <= now {
+                    let at = sampler.next;
+                    let mut utilization = [0.0; NUM_TIERS];
+                    let mut active = [0; NUM_TIERS];
+                    for (i, r) in self.resources.iter().enumerate() {
+                        let agg: f64 = r.current_rates().iter().map(|&(_, x)| x).sum();
+                        utilization[i] = (agg / r.effective_capacity()).clamp(0.0, 1.0);
+                        active[i] = r.active_flows();
+                    }
+                    sampler.samples.push(UtilizationSample {
+                        at,
+                        utilization,
+                        active,
+                    });
+                    sampler.next += sampler.interval;
+                    self.prof.count_event(EventClass::TelemetrySample);
                 }
-                sampler.samples.push(UtilizationSample {
-                    at,
-                    utilization,
-                    active,
-                });
-                sampler.next += sampler.interval;
             }
-        }
-        while self
-            .counter_sampler
-            .as_ref()
-            .is_some_and(|s| s.next_due() <= now)
-        {
-            let at = self.counter_sampler.as_ref().unwrap().next_due();
-            // Bring served-byte integrals exactly to the sample instant;
-            // rates are piecewise-constant between events, so this is exact.
-            for r in &mut self.resources {
-                r.advance(at);
+            while self
+                .counter_sampler
+                .as_ref()
+                .is_some_and(|s| s.next_due() <= now)
+            {
+                let at = self.counter_sampler.as_ref().unwrap().next_due();
+                // Bring served-byte integrals exactly to the sample instant;
+                // rates are piecewise-constant between events, so this is exact.
+                for r in &mut self.resources {
+                    r.advance(at);
+                }
+                let (counters, served, flows, energy) = self.telemetry_readings();
+                let sampler = self.counter_sampler.as_mut().unwrap();
+                sampler.push(at, counters, served, flows, energy);
+                sampler.arm_next();
+                self.prof.count_event(EventClass::TelemetrySample);
             }
-            let (counters, served, flows, energy) = self.telemetry_readings();
-            let sampler = self.counter_sampler.as_mut().unwrap();
-            sampler.push(at, counters, served, flows, energy);
-            sampler.arm_next();
         }
         for r in &mut self.resources {
             r.advance(now);
@@ -501,6 +534,7 @@ impl MemorySystem {
             let (counters, served, flows, energy) = self.telemetry_readings();
             let sampler = self.counter_sampler.as_mut().unwrap();
             sampler.push(elapsed, counters, served, flows, energy);
+            self.prof.count_event(EventClass::TelemetrySample);
         }
         RunTelemetry {
             counters: self.counters.snapshot(),

@@ -86,6 +86,14 @@ pub struct SparkConf {
     /// byte-identical to `None`.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
+    /// Enable the wall-clock engine self-profiler (`des::prof`). Off by
+    /// default, and absent in configs serialized before it existed. Purely
+    /// observational: enabling it attaches counters and coarse timers to the
+    /// DES kernel and surfaces an `EngineStats` sidecar on the run report,
+    /// but never changes virtual-time results — runs are byte-identical
+    /// (minus the sidecar) with it on or off.
+    #[serde(default)]
+    pub profile_engine: bool,
 }
 
 impl Default for SparkConf {
@@ -103,6 +111,7 @@ impl Default for SparkConf {
             dfs_block_size: 4 << 20,
             shuffle_through_disk: false,
             fault_plan: None,
+            profile_engine: false,
         }
     }
 }
@@ -142,6 +151,13 @@ impl SparkConf {
     /// Inject faults from a deterministic plan during every run.
     pub fn with_faults(mut self, plan: FaultPlan) -> SparkConf {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Turn on the wall-clock engine self-profiler for runs under this
+    /// config (see [`profile_engine`](Self::profile_engine)).
+    pub fn with_engine_profiling(mut self) -> SparkConf {
+        self.profile_engine = true;
         self
     }
 
@@ -403,6 +419,17 @@ mod tests {
         json.as_object_mut().unwrap().remove("fault_plan");
         let back: SparkConf = serde_json::from_value(json).unwrap();
         assert_eq!(back.fault_plan, None);
+    }
+
+    #[test]
+    fn profile_engine_is_optional_in_serialized_configs() {
+        // Configs serialized before the engine profiler existed carry no
+        // `profile_engine` key; deserialization must default it to off.
+        let mut json = serde_json::to_value(SparkConf::default()).unwrap();
+        json.as_object_mut().unwrap().remove("profile_engine");
+        let back: SparkConf = serde_json::from_value(json).unwrap();
+        assert!(!back.profile_engine);
+        assert!(SparkConf::default().with_engine_profiling().profile_engine);
     }
 
     #[test]

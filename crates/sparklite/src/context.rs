@@ -15,7 +15,7 @@ use crate::runtime::Runtime;
 use crate::scheduler::executor::{build_executors, ExecutorSpec};
 use crate::scheduler::{build_plan, JobRunner};
 use crate::storage::CacheStats;
-use memtier_des::SimTime;
+use memtier_des::{EngineStats, ProfPhase, SimTime};
 use memtier_dfs::DfsClient;
 use memtier_memsim::{
     CounterSample, CounterSnapshot, HotnessReport, MemorySystem, MigrationStats, ObjectSample,
@@ -60,6 +60,12 @@ pub struct RunReport {
     /// [`FaultPlan`](crate::FaultPlan) is configured (`useful_time` always
     /// accrues — it is the waste fraction's denominator).
     pub recovery: RecoveryStats,
+    /// Wall-clock engine self-profiling sidecar: present only when
+    /// [`SparkConf::profile_engine`] was set. Strictly outside the
+    /// byte-identity domain — everything else on this report is a pure
+    /// function of (workload, config, seed), while this block contains
+    /// host-dependent wall-clock measurements.
+    pub engine: Option<EngineStats>,
 }
 
 struct Inner {
@@ -103,7 +109,10 @@ impl SparkContext {
     pub fn new(conf: SparkConf) -> Result<SparkContext> {
         conf.validate()?;
         let runtime = Runtime::new(&conf);
-        let mem = MemorySystem::new(conf.memsim.clone());
+        let mut mem = MemorySystem::new(conf.memsim.clone());
+        if conf.profile_engine {
+            mem.enable_engine_prof();
+        }
         let executors = build_executors(&conf, mem.topology());
         let placement = match &conf.placement_mode {
             PlacementMode::Static => PlacementEngine::new_static(),
@@ -467,35 +476,44 @@ impl SparkContext {
     pub fn finish(&self) -> RunReport {
         let mut mem = self.inner.mem.lock();
         let elapsed = *self.inner.clock.lock();
-        let telemetry = mem.finish_run(elapsed);
-        let sink_errors: Vec<String> = self
-            .inner
-            .events
-            .lock()
-            .flush()
-            .iter()
-            .map(|e| e.to_string())
-            .collect();
-        let metrics = *self.inner.app.lock();
-        let snap = telemetry.counters;
-        let (reads, writes) = TierId::all().iter().fold((0, 0), |(r, w), &t| {
-            (r + snap.tier(t).reads, w + snap.tier(t).writes)
-        });
-        let events = SystemEvents::collect(&metrics, reads, writes);
-        let hotness = telemetry.hotness.clone();
-        RunReport {
-            elapsed,
-            telemetry,
-            metrics,
-            events,
-            cache: self.inner.runtime.cache.stats(),
-            stage_rollups: self.inner.rollups.lock().clone(),
-            profile: build_profile(&self.inner.profile_log.lock(), elapsed),
-            hotness,
-            migrations: self.inner.placement.lock().stats(),
-            sink_errors,
-            recovery: self.inner.faults.lock().stats,
-        }
+        let prof = mem.engine_prof().clone();
+        let mut report = {
+            let _t = prof.phase(ProfPhase::Serialization);
+            let telemetry = mem.finish_run(elapsed);
+            let sink_errors: Vec<String> = self
+                .inner
+                .events
+                .lock()
+                .flush()
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            let metrics = *self.inner.app.lock();
+            let snap = telemetry.counters;
+            let (reads, writes) = TierId::all().iter().fold((0, 0), |(r, w), &t| {
+                (r + snap.tier(t).reads, w + snap.tier(t).writes)
+            });
+            let events = SystemEvents::collect(&metrics, reads, writes);
+            let hotness = telemetry.hotness.clone();
+            RunReport {
+                elapsed,
+                telemetry,
+                metrics,
+                events,
+                cache: self.inner.runtime.cache.stats(),
+                stage_rollups: self.inner.rollups.lock().clone(),
+                profile: build_profile(&self.inner.profile_log.lock(), elapsed),
+                hotness,
+                migrations: self.inner.placement.lock().stats(),
+                sink_errors,
+                recovery: self.inner.faults.lock().stats,
+                engine: None,
+            }
+        };
+        // Snapshot after the Serialization scope closes so report assembly
+        // is included in the phase attribution.
+        report.engine = prof.snapshot(elapsed.as_secs_f64());
+        report
     }
 
     /// Fault-injection and recovery statistics so far. Fault and waste

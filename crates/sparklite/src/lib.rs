@@ -89,6 +89,7 @@ pub use events::{
 };
 pub use faultsim::{CrashEvent, FaultPlan, FaultState, RecoveryStats, SpeculationConf};
 pub use memsize::MemSize;
+pub use memtier_des::{EngineProf, EngineStats};
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
 pub use profile::{
     build_profile, hotness_promotion_whatif, reprice, Attribution, PathSegment, ProfileLog,

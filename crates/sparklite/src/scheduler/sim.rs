@@ -29,7 +29,7 @@ use crate::scheduler::dag::{StageId, StageKind, StagePlan};
 use crate::scheduler::executor::ExecutorSpec;
 use crate::storage::BlockKey;
 use crate::trace::{SpanKind, TaskSpan};
-use memtier_des::{EventQueue, SimTime};
+use memtier_des::{EngineProf, EventClass, EventQueue, ProfPhase, SimTime};
 use memtier_memsim::{
     AccessBatch, MemorySystem, Migration, ObjectId, PlacementEngine, TierId, MIGRATION_FLOW_BASE,
 };
@@ -179,6 +179,10 @@ pub struct JobRunner<'a, U> {
     /// A structured error that must abort the job (retry exhaustion,
     /// cluster death): checked at the top of the run loop.
     fatal: Option<SparkError>,
+    /// Engine self-profiler, cloned from the memory system's handle (shared
+    /// collector). Disabled unless the run enabled profiling; wall-clock
+    /// only, never consulted by simulation logic.
+    prof: EngineProf,
 }
 
 impl<'a, U> JobRunner<'a, U> {
@@ -202,6 +206,9 @@ impl<'a, U> JobRunner<'a, U> {
     ) -> Self {
         let n = plan.stages.len();
         let result_tasks = plan.stages[n - 1].num_tasks;
+        let prof = mem.engine_prof().clone();
+        let mut queue = EventQueue::new();
+        queue.set_prof(prof.clone());
         let mut runner = JobRunner {
             rt,
             mem,
@@ -218,7 +225,7 @@ impl<'a, U> JobRunner<'a, U> {
                 .collect(),
             stage_state: Vec::new(),
             ready: VecDeque::new(),
-            queue: EventQueue::new(),
+            queue,
             now: start,
             running: HashMap::new(),
             flow_owner: HashMap::new(),
@@ -241,6 +248,7 @@ impl<'a, U> JobRunner<'a, U> {
             spec_ready: VecDeque::new(),
             speculated: HashSet::new(),
             fatal: None,
+            prof,
         };
         if runner.events.is_active() {
             runner.events.emit(
@@ -435,6 +443,7 @@ impl<'a, U> JobRunner<'a, U> {
         exec_idx: usize,
         spec_of: Option<u64>,
     ) {
+        self.prof.count_event(EventClass::TaskDispatch);
         // Data plane: really compute the partition.
         let cache_before = self
             .events
@@ -1180,6 +1189,7 @@ impl<'a, U> JobRunner<'a, U> {
             }
             self.faults.alive[crash.executor] = false;
             self.faults.stats.executor_crashes += 1;
+            self.prof.count_event(EventClass::FaultCrash);
             let mut victims: Vec<u64> = self
                 .running
                 .iter()
@@ -1283,6 +1293,10 @@ impl<'a, U> JobRunner<'a, U> {
     /// as an error on the action, not a panic inside the engine.
     pub fn run(mut self) -> Result<JobOutcome<U>> {
         loop {
+            // One guard per iteration: dispatch + preemption checks + the
+            // event handler all land in the EventDispatch phase (which
+            // therefore contains the nested resource phases).
+            let _dispatch = self.prof.phase(ProfPhase::EventDispatch);
             self.dispatch();
             if let Some(e) = self.fatal.take() {
                 self.abort();
@@ -1377,6 +1391,11 @@ impl<'a, U> JobRunner<'a, U> {
 
     fn handle_cpu_event(&mut self) {
         let (t, ev) = self.queue.pop().expect("peeked event vanished");
+        self.prof.count_event(match &ev {
+            Ev::CpuDone(_) => EventClass::CpuTimer,
+            Ev::Retry(..) => EventClass::Retry,
+            Ev::SpecCheck(_) => EventClass::SpecCheck,
+        });
         // Stale events return WITHOUT advancing the clock: a dropped timer
         // must not stretch the job's elapsed time.
         match ev {
@@ -1463,6 +1482,7 @@ impl<'a, U> JobRunner<'a, U> {
     /// footprints, let the policy rebalance off the live attribution
     /// ledger, and start charging the resulting migration copies.
     fn cross_epoch(&mut self, at: SimTime) {
+        self.prof.count_event(EventClass::PlacementEpoch);
         // A boundary scheduled before idle driver time advanced the clock
         // fires "now" — virtual time never runs backwards.
         let t = at.max(self.now);
@@ -1524,6 +1544,7 @@ impl<'a, U> JobRunner<'a, U> {
         self.now = t;
         self.mem.advance(t);
         if let Some((migration_tier, batch)) = self.migration_flows.remove(&flow) {
+            self.prof.count_event(EventClass::Migration);
             debug_assert_eq!(migration_tier, tier, "migration flow completed off-tier");
             // The whole batch is the migration's: a one-part partition, so
             // the ledger's conservation against the machine counters stays
@@ -1537,6 +1558,7 @@ impl<'a, U> JobRunner<'a, U> {
             );
             return;
         }
+        self.prof.count_event(EventClass::MemCompletion);
         let task_id = self
             .flow_owner
             .remove(&flow)
