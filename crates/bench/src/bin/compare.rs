@@ -8,7 +8,9 @@
 //! cargo run --release -p memtier-bench --bin compare -- \
 //!     --baseline results/BENCH_profile.json \
 //!     --candidate fresh/BENCH_profile.json \
-//!     --tolerance-pct 2
+//!     --tolerance-pct 2 \
+//!     [--json-out results/COMPARE.json] \
+//!     [--explain] [--explain-out results/EXPLAIN_compare.json] [--top 8]
 //! ```
 //!
 //! The two files are joined on the scenario label. Scenarios present in
@@ -16,8 +18,29 @@
 //! regression of the baseline itself. The simulator is deterministic, so
 //! two runs of the same code must agree to the last bit; the tolerance
 //! exists for intentional model changes that also update the baseline.
+//!
+//! With `--explain`, a breached gate additionally attributes each
+//! out-of-tolerance scenario's virtual-runtime delta down the conserved
+//! hierarchy — stages, task phases, per-object tier stalls, migration
+//! traffic, and fault waste — from the [`RunDigest`]s embedded in
+//! `BENCH_profile.json` rows. It prints the top contributors per scenario
+//! and writes the machine-readable reports (plus a rendered `.txt`
+//! sibling) to `--explain-out`. Digest-less baselines degrade to a note,
+//! not an error.
+//!
+//! # Exit codes
+//!
+//! * `0` — every scenario within tolerance, scenario sets identical.
+//! * `1` — regression: a scenario drifted beyond tolerance or the
+//!   scenario sets differ.
+//! * `2` — usage or I/O error (bad flags, unreadable or unparsable
+//!   baseline, unwritable output).
+//!
+//! [`RunDigest`]: sparklite::RunDigest
 
-use memtier_bench::{arg_value as arg, compare_runtimes, pct, RuntimeRow};
+use memtier_bench::{
+    arg_value as arg, compare_runtimes, explain_baselines, pct, DigestRow, RuntimeDelta, RuntimeRow,
+};
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
 use std::process::exit;
@@ -38,16 +61,101 @@ fn load(path: &str) -> Vec<RuntimeRow> {
     rows
 }
 
+/// Re-read a baseline keeping the embedded digests (rows without one load
+/// as `digest: None` and surface as explain notes downstream).
+fn load_digests(path: &str) -> Vec<DigestRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("compare: read {path}: {e}");
+        exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("compare: {path}: {e}");
+        exit(2);
+    })
+}
+
+/// Write `contents` to `path`, creating parent directories; exits 2 on
+/// failure like every other I/O error in this binary.
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("compare: mkdir {}: {e}", dir.display());
+                exit(2);
+            });
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("compare: write {path}: {e}");
+        exit(2);
+    });
+}
+
+/// The `--explain` path: attribute every breached scenario's delta from
+/// the digests and persist the reports for the CI artifact upload.
+fn explain_breach(
+    args: &[String],
+    baseline_path: &str,
+    candidate_path: &str,
+    deltas: &[RuntimeDelta],
+    tolerance_pct: f64,
+) {
+    let top: usize = arg(args, "--top")
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("compare: bad --top {s:?}: {e}");
+                exit(2);
+            })
+        })
+        .unwrap_or(8);
+    let breached: Vec<String> = deltas
+        .iter()
+        .filter(|d| d.out_of_tolerance(tolerance_pct))
+        .map(|d| d.scenario.clone())
+        .collect();
+    if breached.is_empty() {
+        eprintln!(
+            "compare: nothing to explain — the breach is scenario-set drift, \
+             and a scenario present on only one side has no run pair to diff"
+        );
+        return;
+    }
+    let baseline = load_digests(baseline_path);
+    let candidate = load_digests(candidate_path);
+    let (explained, notes) = explain_baselines(&baseline, &candidate, &breached);
+    let mut rendered = String::new();
+    for e in &explained {
+        rendered.push_str(&format!(
+            "=== {} ===\n{}\n",
+            e.scenario,
+            e.report.render(top)
+        ));
+    }
+    print!("{rendered}");
+    for n in &notes {
+        eprintln!("compare: explain — {n}");
+    }
+    let out = arg(args, "--explain-out").unwrap_or_else(|| "results/EXPLAIN_compare.json".into());
+    write_file(
+        &out,
+        &serde_json::to_string_pretty(&explained).expect("reports serialize"),
+    );
+    let txt = std::path::Path::new(&out).with_extension("txt");
+    write_file(&txt.to_string_lossy(), &rendered);
+    println!("compare: wrote {out} and {}", txt.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let baseline_path = arg(&args, "--baseline").unwrap_or_else(|| {
-        eprintln!("usage: compare --baseline <json> --candidate <json> [--tolerance-pct <pct>]");
+    let usage = || -> ! {
+        eprintln!(
+            "usage: compare --baseline <json> --candidate <json> [--tolerance-pct <pct>] \
+             [--json-out <path>] [--explain] [--explain-out <path>] [--top <k>]"
+        );
         exit(2);
-    });
-    let candidate_path = arg(&args, "--candidate").unwrap_or_else(|| {
-        eprintln!("usage: compare --baseline <json> --candidate <json> [--tolerance-pct <pct>]");
-        exit(2);
-    });
+    };
+    let baseline_path = arg(&args, "--baseline").unwrap_or_else(|| usage());
+    let candidate_path = arg(&args, "--candidate").unwrap_or_else(|| usage());
     let tolerance_pct: f64 = arg(&args, "--tolerance-pct")
         .map(|s| {
             s.parse().unwrap_or_else(|e| {
@@ -96,7 +204,32 @@ fn main() {
         unmatched.len()
     );
 
+    // The machine-readable verdict goes out before the exit status so a
+    // failing gate still leaves an artifact behind.
+    if let Some(path) = arg(&args, "--json-out") {
+        let payload = serde_json::json!({
+            "tolerance_pct": tolerance_pct,
+            "failures": failures,
+            "deltas": deltas,
+            "unmatched": unmatched,
+        });
+        write_file(
+            &path,
+            &serde_json::to_string_pretty(&payload).expect("verdict serializes"),
+        );
+        println!("compare: wrote {path}");
+    }
+
     if failures > 0 || !unmatched.is_empty() {
+        if args.iter().any(|a| a == "--explain") {
+            explain_breach(
+                &args,
+                &baseline_path,
+                &candidate_path,
+                &deltas,
+                tolerance_pct,
+            );
+        }
         eprintln!(
             "compare: FAILED — {failures} scenario(s) beyond ±{tolerance_pct}% and {} unmatched label(s)",
             unmatched.len()

@@ -5,6 +5,18 @@
 //! and the ablations DESIGN.md calls out. Every binary prints the same rows
 //! or series the paper reports and, with `--json <path>`, also dumps the raw
 //! results for EXPERIMENTS.md regeneration.
+//!
+//! ## Exit codes
+//!
+//! Every harness binary follows the same contract:
+//!
+//! * `0` — success (for `compare`: every scenario within tolerance).
+//! * `1` — a substantive failure: a `--check` self-check failed
+//!   ([`check_fail`]) or the `compare` gate found a regression / drifted
+//!   scenario set.
+//! * `2` — usage or I/O errors: unknown flags or values, unreadable or
+//!   unparsable input artifacts, unwritable output paths
+//!   ([`write_json_artifact`]).
 
 #![warn(missing_docs)]
 
@@ -12,7 +24,7 @@ use memtier_core::ScenarioResult;
 use memtier_memsim::MigrationStats;
 use memtier_workloads::{all_workloads, DataSize};
 use serde::{Deserialize, Serialize};
-use sparklite::{EngineStats, RecoveryStats};
+use sparklite::{explain, EngineStats, ExplainReport, RecoveryStats, RunDigest};
 use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
@@ -107,16 +119,23 @@ impl BenchArgs {
 
 /// Write a JSON artifact: create the parent directory on demand, pretty-
 /// print `entries`, and log the path. Harnesses own their output tree — CI
-/// never has to `mkdir` for them.
+/// never has to `mkdir` for them. I/O failures exit with status 2 (the
+/// usage-or-I/O code of the shared exit contract), not a panic — an
+/// unwritable path is an environment problem, not a harness bug.
 pub fn write_json_artifact<T: Serialize>(path: &str, entries: &[T]) {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .unwrap_or_else(|e| panic!("mkdir {}: {e}", parent.display()));
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("mkdir {}: {e}", parent.display());
+                std::process::exit(2);
+            });
         }
     }
     let json = serde_json::to_string_pretty(entries).expect("serialize artifact");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("write {path}: {e}");
+        std::process::exit(2);
+    });
     eprintln!("wrote {path} ({} entries)", entries.len());
 }
 
@@ -157,6 +176,13 @@ pub struct BenchProfileEntry {
     pub virtual_runtime_s: f64,
     /// Critical-path attribution: component name → seconds on the path.
     pub attribution: BTreeMap<String, f64>,
+    /// The run's conserved digest for the regression explainer: the same
+    /// attribution in exact integer picoseconds, sliced per stage, plus
+    /// per-object footprints and migration/recovery rollups.
+    /// `#[serde(default)]` so baselines written before the explainer still
+    /// load (as `None`) — the explainer degrades to a note for those.
+    #[serde(default)]
+    pub digest: Option<RunDigest>,
 }
 
 impl BenchProfileEntry {
@@ -177,6 +203,7 @@ pub fn bench_profile_entries(results: &[ScenarioResult]) -> Vec<BenchProfileEntr
             scenario: r.scenario.label(),
             virtual_runtime_s: r.elapsed_s,
             attribution: r.profile.attribution.named_seconds().into_iter().collect(),
+            digest: Some(r.digest.clone()),
         })
         .collect()
 }
@@ -419,6 +446,80 @@ pub fn bench_simspeed_entries(results: &[ScenarioResult]) -> Vec<BenchSimspeedEn
             )
         })
         .collect()
+}
+
+/// The fields the regression explainer needs from a baseline row: the
+/// `compare` join key plus the run's conserved digest, when the baseline
+/// carries one. Deserializes from any `BENCH_*.json` — rows written before
+/// the explainer (or by digest-less harnesses) load with `digest: None`,
+/// and [`explain_baselines`] reports those as notes instead of failing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestRow {
+    /// Full scenario label; the join key between two baselines.
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// The run's conserved digest, when the row carries one.
+    #[serde(default)]
+    pub digest: Option<RunDigest>,
+}
+
+/// One explained scenario: the join label plus the hierarchical diff of its
+/// two runs. The array of these is what `EXPLAIN_*.json` holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioExplain {
+    /// Full scenario label (the `compare` join key).
+    pub scenario: String,
+    /// The conserved hierarchical diff (see `sparklite::explain`).
+    pub report: ExplainReport,
+}
+
+/// Join two digest-bearing baselines on the scenario label and explain
+/// every pair that has a digest on both sides. `only` restricts the join to
+/// the scenarios named (all pairs when empty). Returns the explanations (in
+/// baseline order) plus human-readable notes for every scenario that could
+/// not be explained: present on one side only, or missing a digest.
+pub fn explain_baselines(
+    baseline: &[DigestRow],
+    candidate: &[DigestRow],
+    only: &[String],
+) -> (Vec<ScenarioExplain>, Vec<String>) {
+    let cand: BTreeMap<&str, &DigestRow> =
+        candidate.iter().map(|r| (r.scenario.as_str(), r)).collect();
+    let mut explained = Vec::new();
+    let mut notes = Vec::new();
+    for b in baseline {
+        if !only.is_empty() && !only.contains(&b.scenario) {
+            continue;
+        }
+        match cand.get(b.scenario.as_str()) {
+            None => notes.push(format!("{}: candidate has no such scenario", b.scenario)),
+            Some(c) => match (&b.digest, &c.digest) {
+                (Some(bd), Some(cd)) => explained.push(ScenarioExplain {
+                    scenario: b.scenario.clone(),
+                    report: explain(bd, cd),
+                }),
+                (None, _) => notes.push(format!(
+                    "{}: baseline row carries no digest (regenerate it with this tree to explain)",
+                    b.scenario
+                )),
+                (_, None) => notes.push(format!(
+                    "{}: candidate row carries no digest (regenerate it with this tree to explain)",
+                    b.scenario
+                )),
+            },
+        }
+    }
+    if !only.is_empty() {
+        let base_labels: std::collections::BTreeSet<&str> =
+            baseline.iter().map(|r| r.scenario.as_str()).collect();
+        for label in only {
+            if !base_labels.contains(label.as_str()) {
+                notes.push(format!("{label}: baseline has no such scenario"));
+            }
+        }
+    }
+    (explained, notes)
 }
 
 /// The fields `compare` needs from a baseline row — deserializes from both
@@ -726,12 +827,47 @@ mod tests {
     #[test]
     fn runtime_rows_load_from_profile_entries() {
         // `compare` must accept both baseline formats; a profile entry's
-        // extra fields deserialize away silently.
+        // extra fields deserialize away silently. A pre-explainer row (no
+        // `digest` key) must also load as a DigestRow with `digest: None`.
         let json = r#"[{"app":"sort","scenario":"sort-tiny@Tier 2, 1x40",
                         "virtual_runtime_s":1.5,"attribution":{"compute":1.5}}]"#;
         let rows: Vec<RuntimeRow> = serde_json::from_str(json).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].virtual_runtime_s, 1.5);
+        let drows: Vec<super::DigestRow> = serde_json::from_str(json).unwrap();
+        assert_eq!(drows[0].digest, None);
+    }
+
+    #[test]
+    fn profile_entries_carry_conserving_digests_and_explain_joins() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        let entries = super::bench_profile_entries(std::slice::from_ref(&r));
+        let d = entries[0].digest.as_ref().unwrap();
+        assert!(d.conserves(), "baseline digest must conserve");
+        // DigestRow loads from the serialized baseline with the digest
+        // intact, and a self-join explains to an all-zero conserved report.
+        let json = serde_json::to_string(&entries).unwrap();
+        let rows: Vec<super::DigestRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows[0].digest.as_ref(), Some(d));
+        let (explained, notes) = super::explain_baselines(&rows, &rows, &[]);
+        assert_eq!(explained.len(), 1);
+        assert!(notes.is_empty());
+        assert!(explained[0].report.is_zero());
+        assert!(explained[0].report.conserves());
+        // Digest-less rows degrade to a note instead of failing the join.
+        let mut bare = rows.clone();
+        bare[0].digest = None;
+        let (none_explained, bare_notes) = super::explain_baselines(&bare, &rows, &[]);
+        assert!(none_explained.is_empty());
+        assert_eq!(bare_notes.len(), 1);
+        assert!(bare_notes[0].contains("no digest"));
+        // Filtering to an unknown scenario surfaces as a note too.
+        let (_, missing) = super::explain_baselines(&rows, &rows, &["nope".to_string()]);
+        assert!(missing.iter().any(|n| n.contains("no such scenario")));
     }
 
     #[test]

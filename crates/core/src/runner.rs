@@ -154,6 +154,7 @@ fn run_on_context(
         hotness: report.hotness,
         migrations: report.migrations,
         recovery: report.recovery,
+        digest: report.digest,
         engine: report.engine,
     };
     Ok((result, telemetry))

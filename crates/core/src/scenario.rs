@@ -5,7 +5,7 @@ use memtier_memsim::{
 };
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
-use sparklite::{EngineStats, FaultPlan, RecoveryStats, RunProfile, StageRollup};
+use sparklite::{EngineStats, FaultPlan, RecoveryStats, RunDigest, RunProfile, StageRollup};
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -157,6 +157,14 @@ pub struct ScenarioResult {
     /// (`#[serde(default)]` for backward compatibility).
     #[serde(default)]
     pub recovery: RecoveryStats,
+    /// Compact conserved decomposition of the run for the regression
+    /// explainer (`sparklite::explain`): critical-path phases sliced per
+    /// stage, per-object × per-tier footprints, and migration/recovery
+    /// rollups, all exact integers. A pure function of the run, inside the
+    /// byte-identity domain (`#[serde(default)]` for backward
+    /// compatibility — pre-explainer artifacts load with an empty digest).
+    #[serde(default)]
+    pub digest: RunDigest,
     /// Wall-clock engine self-profiling sidecar, present only when the run
     /// enabled `profile_engine`. **Strictly outside the byte-identity
     /// domain**: every other field is a pure function of (workload, config,
@@ -281,6 +289,7 @@ mod tests {
             hotness: HotnessReport::default(),
             migrations: MigrationStats::default(),
             recovery: RecoveryStats::default(),
+            digest: RunDigest::default(),
             engine: None,
         };
         let json = serde_json::to_string(&result).unwrap();

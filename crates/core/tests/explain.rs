@@ -1,0 +1,170 @@
+//! Workspace acceptance tests for the regression explainer: every suite
+//! workload's digest conserves its run, a self-explain is the all-zero
+//! report byte-identically across regenerations, and a diff against a
+//! perturbed-config re-run attributes the runtime delta exactly — down to
+//! stages, phases, objects and tiers, and fault waste — in integer
+//! picoseconds.
+
+use memtier_core::{conf_for, run_scenario, run_scenario_with_conf, Scenario};
+use memtier_memsim::TierId;
+use memtier_workloads::{all_workloads, DataSize};
+use sparklite::{explain, FaultPlan};
+
+/// The digest is a pure, conserving summary of its run: phase totals equal
+/// the elapsed runtime, stage slices re-sum to the phase rollup, object
+/// rows carry the full hotness stall, and two runs of the same scenario
+/// self-explain to the all-zero report with byte-identical JSON.
+#[test]
+fn digest_conserves_and_self_explains_to_zero_for_every_workload() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+
+        assert!(a.digest.conserves(), "{}: digest must conserve", s.label());
+        assert_eq!(
+            a.digest.phases,
+            a.profile.attribution,
+            "{}: digest phases must equal the critical-path attribution",
+            s.label()
+        );
+        assert_eq!(
+            a.digest.elapsed,
+            a.profile.elapsed,
+            "{}: digest elapsed must equal the profiled runtime",
+            s.label()
+        );
+        assert!(
+            !a.digest.stages.is_empty(),
+            "{}: a real run has stage slices",
+            s.label()
+        );
+        assert_eq!(
+            a.digest.objects.len(),
+            a.hotness.objects.len(),
+            "{}: every hotness object gets a digest row",
+            s.label()
+        );
+        assert_eq!(
+            a.digest.total_stall(),
+            a.hotness.total_stall(),
+            "{}: digest object stall must re-sum the hotness total",
+            s.label()
+        );
+        assert_eq!(a.digest.migration, a.migrations, "{}", s.label());
+        assert_eq!(a.digest.recovery, a.recovery, "{}", s.label());
+
+        // Self-explain: the diff of two identical runs is the zero report,
+        // conserves trivially, and regenerates byte-identically.
+        assert_eq!(
+            a.digest,
+            b.digest,
+            "{}: digests must be deterministic",
+            s.label()
+        );
+        let ra = explain(&a.digest, &b.digest);
+        let rb = explain(&b.digest, &a.digest);
+        assert!(ra.is_zero(), "{}: self-explain must be all-zero", s.label());
+        assert!(ra.conserves(), "{}", s.label());
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap(),
+            "{}: zero reports must serialize byte-identically either way around",
+            s.label()
+        );
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&explain(&a.digest, &b.digest)).unwrap(),
+            "{}: regenerating the report must be byte-identical",
+            s.label()
+        );
+    }
+}
+
+/// The tentpole conservation bound, against reality: halve the DCPM
+/// (Tier 2) idle write latency, re-run every suite workload, and the
+/// explain report must attribute the end-to-end delta exactly — phase
+/// rows, stage rows, and contributors each re-sum to the integer-picosecond
+/// runtime difference.
+#[test]
+fn explain_conserves_against_perturbed_rerun_for_every_workload() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let baseline = run_scenario(&s).unwrap();
+        let mut conf = conf_for(&s);
+        conf.memsim.tiers[TierId::NVM_NEAR.index()].idle_write_latency_ns /= 2.0;
+        let candidate = run_scenario_with_conf(&s, conf).unwrap();
+
+        let report = explain(&baseline.digest, &candidate.digest);
+        assert!(
+            report.conserves(),
+            "{}: attributed deltas must sum exactly to the runtime delta",
+            s.label()
+        );
+        let want_delta =
+            candidate.digest.elapsed.as_ps() as i64 - baseline.digest.elapsed.as_ps() as i64;
+        assert_eq!(
+            report.delta_ps,
+            want_delta,
+            "{}: headline delta must be the integer-ps elapsed difference",
+            s.label()
+        );
+
+        if w.name() == "repartition" {
+            // Repartition writes through Tier 2 on its critical path, so
+            // faster writes must explain as a speedup led by tier2_write.
+            assert!(report.delta_ps < 0, "halved write latency must speed it up");
+            let tier2_write = report
+                .phases
+                .iter()
+                .find(|r| r.name == "tier2_write")
+                .expect("phase rows always carry every component");
+            assert!(
+                tier2_write.delta_ps < 0,
+                "tier2_write stall must shrink: {tier2_write:?}"
+            );
+            assert!(!report.contributors.is_empty());
+            let rendered = report.render(8);
+            assert!(rendered.contains("runtime "));
+            assert!(rendered.contains("Top contributors"));
+        }
+    }
+}
+
+/// Fault waste is its own attributed lane: diffing a clean run against the
+/// same scenario under a task-failure plan surfaces the extra failures,
+/// retries, and wasted executor time in the report's recovery delta — while
+/// the runtime delta still conserves exactly.
+#[test]
+fn recovery_waste_surfaces_in_explain() {
+    let clean =
+        Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR).with_grid(2, 20);
+    let faulty = clean
+        .clone()
+        .with_faults(FaultPlan::seeded(3).with_task_failures(0.10));
+    let a = run_scenario(&clean).unwrap();
+    let b = run_scenario(&faulty).unwrap();
+
+    let report = explain(&a.digest, &b.digest);
+    assert!(report.conserves());
+    assert!(
+        report.recovery.delta_failures > 0,
+        "a 10% task-failure plan must add failures: {:?}",
+        report.recovery
+    );
+    assert!(report.recovery.delta_retries > 0);
+    assert!(
+        report.recovery.delta_wasted_ps > 0,
+        "failed attempts must show up as wasted time: {:?}",
+        report.recovery
+    );
+    assert!(report.render(5).contains("fault waste"));
+
+    // The reverse diff negates the recovery lane (it is a signed delta).
+    let reverse = explain(&b.digest, &a.digest);
+    assert_eq!(
+        reverse.recovery.delta_wasted_ps,
+        -report.recovery.delta_wasted_ps
+    );
+    assert_eq!(reverse.delta_ps, -report.delta_ps);
+}

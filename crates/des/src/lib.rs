@@ -37,7 +37,7 @@ pub mod time;
 pub use prof as simprof;
 
 pub use contention::ContentionModel;
-pub use prof::{EngineProf, EngineStats, EventClass, PhaseGuard, ProfPhase};
+pub use prof::{EngineProf, EngineStats, EventClass, Histogram, PhaseGuard, ProfPhase};
 pub use queue::EventQueue;
 pub use resource::{FlowId, SharedResource};
 pub use time::SimTime;

@@ -162,16 +162,16 @@ impl ProfPhase {
 }
 
 /// Number of power-of-two histogram buckets (covers the full `u64` range).
-const HIST_BUCKETS: usize = 65;
+pub const HIST_BUCKETS: usize = 65;
 
 /// Bucket index for a sample: 0 holds the value 0, bucket `i >= 1` holds
 /// values with bit length `i`, i.e. the range `[2^(i-1), 2^i - 1]`.
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
 /// Inclusive upper bound of bucket `i` (the value reported for percentiles).
-fn bucket_upper(i: usize) -> u64 {
+pub fn bucket_upper(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 64 {
@@ -182,30 +182,62 @@ fn bucket_upper(i: usize) -> u64 {
 }
 
 /// A fixed-size power-of-two histogram of relaxed atomic counters.
+///
+/// Recording is lock-free and `&self` (the profiler fans one instance out to
+/// several engine components), so every sample lands in the bucket of its bit
+/// length; percentiles read back the bucket's inclusive upper bound, capped
+/// at the true observed peak. The approximation error is therefore at most
+/// one power of two — plenty for queue-depth and flow-count distributions —
+/// while the counters stay exact: summed bucket counts always equal the
+/// number of `record` calls.
 #[derive(Debug)]
-struct Hist {
+pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     peak: AtomicU64,
 }
 
-impl Hist {
-    fn new() -> Self {
-        Hist {
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             peak: AtomicU64::new(0),
         }
     }
 
-    fn record(&self, v: u64) {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
         self.peak.fetch_max(v, Relaxed);
     }
 
+    /// The largest value recorded so far (0 when empty — indistinguishable
+    /// from a recorded 0, which percentile reporting does not care about).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Relaxed)
+    }
+
+    /// Total number of samples recorded (exact: bucket counts conserve).
+    pub fn total(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// A snapshot of the per-bucket counts, indexed by [`bucket_of`].
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+
     /// Approximate percentile: the upper bound of the first bucket at which
     /// the cumulative count reaches `q` (0..=1) of the total. Returns 0 for an
-    /// empty histogram.
-    fn percentile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+    /// empty histogram, and never exceeds [`peak`](Histogram::peak).
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -215,10 +247,10 @@ impl Hist {
         for (i, c) in counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return bucket_upper(i).min(self.peak.load(Relaxed));
+                return bucket_upper(i).min(self.peak());
             }
         }
-        self.peak.load(Relaxed)
+        self.peak()
     }
 }
 
@@ -230,9 +262,9 @@ struct ProfState {
     phase_ns: [AtomicU64; ProfPhase::COUNT],
     schedules: AtomicU64,
     pops: AtomicU64,
-    depth: Hist,
+    depth: Histogram,
     reshares: AtomicU64,
-    flows: Hist,
+    flows: Histogram,
 }
 
 impl ProfState {
@@ -243,9 +275,9 @@ impl ProfState {
             phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             schedules: AtomicU64::new(0),
             pops: AtomicU64::new(0),
-            depth: Hist::new(),
+            depth: Histogram::new(),
             reshares: AtomicU64::new(0),
-            flows: Hist::new(),
+            flows: Histogram::new(),
         }
     }
 }
@@ -391,14 +423,14 @@ impl EngineProf {
             queue: QueueStats {
                 schedules: s.schedules.load(Relaxed),
                 pops: s.pops.load(Relaxed),
-                peak_depth: s.depth.peak.load(Relaxed),
+                peak_depth: s.depth.peak(),
                 depth_p50: s.depth.percentile(0.50),
                 depth_p95: s.depth.percentile(0.95),
                 depth_p99: s.depth.percentile(0.99),
             },
             resource: ResourceStats {
                 reshares: s.reshares.load(Relaxed),
-                peak_active_flows: s.flows.peak.load(Relaxed),
+                peak_active_flows: s.flows.peak(),
                 flows_p50: s.flows.percentile(0.50),
                 flows_p95: s.flows.percentile(0.95),
                 flows_p99: s.flows.percentile(0.99),
@@ -557,7 +589,7 @@ mod tests {
 
     #[test]
     fn histogram_percentiles_are_monotone_and_capped_at_peak() {
-        let h = Hist::new();
+        let h = Histogram::new();
         for v in [0u64, 1, 1, 2, 3, 5, 9, 9, 9, 100] {
             h.record(v);
         }
@@ -566,7 +598,8 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!(p50 <= p95 && p95 <= p99);
         assert!(p99 <= 100, "percentile capped at observed peak");
-        assert_eq!(h.peak.load(Relaxed), 100);
+        assert_eq!(h.peak(), 100);
+        assert_eq!(h.total(), 10);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Property tests for `prof::Histogram` — the power-of-two percentile
+//! sketch behind the engine profiler's queue-depth and flow-count
+//! distributions.
+//!
+//! Four properties over arbitrary sample sets:
+//! 1. Percentiles are monotone in the quantile: `p50 <= p95 <= p99`.
+//! 2. Counts conserve: summed bucket counts equal the samples recorded,
+//!    and every sample lands in the bucket its bit length names.
+//! 3. Percentiles are bounded by the observed data: never above the true
+//!    peak, never below the true minimum, and within one power-of-two
+//!    bucket of an exact quantile.
+//! 4. Degenerate shapes are exact: an empty histogram reports 0 and a
+//!    single-bucket population reports that bucket for every quantile.
+
+use memtier_des::prof::{bucket_of, bucket_upper, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantile monotonicity: for any samples and any ordered pair of
+    /// quantiles, the lower quantile never reports a larger value.
+    #[test]
+    fn percentiles_are_monotone_in_q(
+        samples in prop::collection::vec(any::<u64>(), 1..300),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.percentile(lo) <= h.percentile(hi));
+        let (p50, p95, p99) = (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99));
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    /// Conservation: the sketch approximates values, never counts. Total
+    /// recorded samples equal the summed bucket counts, each sample sits in
+    /// the bucket of its bit length, and the peak is the true maximum.
+    #[test]
+    fn counts_conserve_and_buckets_match_bit_length(
+        samples in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let h = Histogram::new();
+        let mut want = [0u64; memtier_des::prof::HIST_BUCKETS];
+        for &v in &samples {
+            h.record(v);
+            want[bucket_of(v)] += 1;
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.bucket_counts(), want);
+        prop_assert_eq!(h.peak(), samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Resolution: the reported percentile is exactly the power-of-two
+    /// bucket upper bound of the true quantile sample (peak-capped) — i.e.
+    /// the sketch is a deterministic function of the sorted samples, never
+    /// above the observed peak and never below the observed minimum.
+    #[test]
+    fn percentile_matches_true_quantiles_bucket(
+        samples in prop::collection::vec(any::<u64>(), 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let p = h.percentile(q);
+        let peak = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        prop_assert!(p <= peak, "percentile {} above peak {}", p, peak);
+        prop_assert!(p >= min, "percentile {} below min {}", p, min);
+        // The true quantile sample under the sketch's own >=-ceil rank
+        // convention; sorting groups samples by bucket, so the first bucket
+        // whose cumulative count reaches the rank is the sample's bucket.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+        let exact = sorted[rank - 1];
+        prop_assert_eq!(p, bucket_upper(bucket_of(exact)).min(peak));
+    }
+
+    /// Degenerate shapes are exact, not approximate: empty reports 0 for
+    /// every quantile, and a population confined to one bucket reports that
+    /// bucket's capped upper bound for every quantile.
+    #[test]
+    fn empty_and_single_bucket_are_exact(
+        q in 0.0f64..=1.0,
+        v in any::<u64>(),
+        copies in 1usize..50,
+    ) {
+        let empty = Histogram::new();
+        prop_assert_eq!(empty.percentile(q), 0);
+        prop_assert_eq!(empty.total(), 0);
+        prop_assert_eq!(empty.peak(), 0);
+
+        let h = Histogram::new();
+        for _ in 0..copies {
+            h.record(v);
+        }
+        // All mass in one bucket: every quantile reports the bucket's upper
+        // bound capped at the peak — which here is exactly min(upper, v).
+        prop_assert_eq!(h.percentile(q), bucket_upper(bucket_of(v)).min(v));
+        prop_assert_eq!(h.total(), copies as u64);
+    }
+}

@@ -318,12 +318,17 @@ pub struct HotnessReport {
 }
 
 impl HotnessReport {
-    /// The top `k` objects by traffic (the report's native order).
+    /// The top `k` objects by traffic (the report's native order: bytes
+    /// descending, ties broken by `ObjectId` — so equal-traffic objects
+    /// come out in the same order every run and the rendered tables and
+    /// JSON artifacts stay byte-identical).
     pub fn top_by_bytes(&self, k: usize) -> Vec<&ObjectReport> {
         self.objects.iter().take(k).collect()
     }
 
-    /// The top `k` objects by total stall contribution.
+    /// The top `k` objects by total stall contribution (stall descending,
+    /// ties broken by `ObjectId` for the same byte-stability guarantee as
+    /// [`top_by_bytes`](HotnessReport::top_by_bytes)).
     pub fn top_by_stall(&self, k: usize) -> Vec<&ObjectReport> {
         let mut refs: Vec<&ObjectReport> = self.objects.iter().collect();
         refs.sort_by(|a, b| b.stall.cmp(&a.stall).then_with(|| a.object.cmp(&b.object)));
@@ -474,6 +479,47 @@ mod tests {
         let by_stall = report.top_by_stall(2);
         assert_eq!(by_stall[0].object, ObjectId::CacheBlock { rdd: 2 });
         assert_eq!(report.top_by_bytes(1).len(), 1);
+    }
+
+    #[test]
+    fn ranking_ties_break_by_object_id_byte_stably() {
+        // Many objects with *identical* traffic and stall: every ranking
+        // must fall back to `ObjectId` order, so an all-tied report (and
+        // its JSON) is byte-identical across regenerations instead of
+        // depending on sort internals.
+        let p = params();
+        let mut ledger = AttributionLedger::new();
+        let batch = AccessBatch::random_reads(64);
+        let ids: Vec<ObjectId> = (0..16u32)
+            .map(|rdd| ObjectId::CacheBlock { rdd })
+            .chain((0..16u32).map(|shuffle| ObjectId::ShuffleFetch { shuffle }))
+            .collect();
+        // Charge in reverse of id order — arrival order must not matter.
+        for id in ids.iter().rev() {
+            ledger.record(SimTime::ZERO, TierId::NVM_NEAR, *id, &batch, &p[2]);
+        }
+        let report = ledger.report(&p);
+        let mut want = ids.clone();
+        want.sort();
+        let native: Vec<ObjectId> = report.objects.iter().map(|o| o.object).collect();
+        assert_eq!(
+            native, want,
+            "all-tied rows must come out in ObjectId order"
+        );
+        let by_stall: Vec<ObjectId> = report
+            .top_by_stall(ids.len())
+            .iter()
+            .map(|o| o.object)
+            .collect();
+        assert_eq!(by_stall, want);
+        let by_bytes: Vec<ObjectId> = report.top_by_bytes(5).iter().map(|o| o.object).collect();
+        assert_eq!(by_bytes, &want[..5]);
+        let again = ledger.report(&p);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap(),
+            "tied report must serialize byte-identically across regenerations"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::error::{Result, SparkError};
 use crate::events::{
     Event, EventBus, EventSink, MemoryRing, MemoryRingHandle, TimedEvent, DEFAULT_RING_CAPACITY,
 };
+use crate::explain::RunDigest;
 use crate::faultsim::{FaultState, RecoveryStats};
 use crate::metrics::{AppMetrics, StageRollup, SystemEvents};
 use crate::profile::{build_profile, ProfileLog, RunProfile};
@@ -60,6 +61,12 @@ pub struct RunReport {
     /// [`FaultPlan`](crate::FaultPlan) is configured (`useful_time` always
     /// accrues — it is the waste fraction's denominator).
     pub recovery: RecoveryStats,
+    /// Compact conserved decomposition of this run for the regression
+    /// explainer ([`crate::explain`]): the critical-path phase rollup
+    /// sliced per stage, per-object × per-tier footprints, and the
+    /// migration/recovery rollups, all in exact integers. A pure function
+    /// of the run, so it lives inside the byte-identity domain.
+    pub digest: RunDigest,
     /// Wall-clock engine self-profiling sidecar: present only when
     /// [`SparkConf::profile_engine`] was set. Strictly outside the
     /// byte-identity domain — everything else on this report is a pure
@@ -495,6 +502,18 @@ impl SparkContext {
             });
             let events = SystemEvents::collect(&metrics, reads, writes);
             let hotness = telemetry.hotness.clone();
+            let migrations = self.inner.placement.lock().stats();
+            let recovery = self.inner.faults.lock().stats;
+            let profile_log = self.inner.profile_log.lock();
+            let profile = build_profile(&profile_log, elapsed);
+            let digest = crate::explain::build_digest(
+                &profile,
+                &profile_log,
+                &hotness,
+                migrations,
+                recovery,
+            );
+            drop(profile_log);
             RunReport {
                 elapsed,
                 telemetry,
@@ -502,11 +521,12 @@ impl SparkContext {
                 events,
                 cache: self.inner.runtime.cache.stats(),
                 stage_rollups: self.inner.rollups.lock().clone(),
-                profile: build_profile(&self.inner.profile_log.lock(), elapsed),
+                profile,
                 hotness,
-                migrations: self.inner.placement.lock().stats(),
+                migrations,
                 sink_errors,
-                recovery: self.inner.faults.lock().stats,
+                recovery,
+                digest,
                 engine: None,
             }
         };

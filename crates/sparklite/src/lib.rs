@@ -66,6 +66,7 @@ pub mod context;
 pub mod cost;
 pub mod error;
 pub mod events;
+pub mod explain;
 pub mod faultsim;
 pub mod memsize;
 pub mod metrics;
@@ -86,6 +87,10 @@ pub use error::SparkError;
 pub use events::{
     parse_jsonl, to_jsonl, Event, EventBus, EventSink, JsonlSink, MemoryRing, MemoryRingHandle,
     ProgressSink, TimedEvent,
+};
+pub use explain::{
+    build_digest, explain, Contributor, DeltaRow, ExplainReport, MigrationDelta, ObjectDelta,
+    ObjectDigest, RecoveryDelta, RunDigest, StageDelta, StageSlice,
 };
 pub use faultsim::{CrashEvent, FaultPlan, FaultState, RecoveryStats, SpeculationConf};
 pub use memsize::MemSize;

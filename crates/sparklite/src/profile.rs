@@ -217,7 +217,25 @@ impl Attribution {
         out
     }
 
-    fn add_breakdown(&mut self, b: &TaskBreakdown) {
+    /// The components as `(name, time)` pairs in the same fixed order as
+    /// [`named_seconds`](Self::named_seconds), but in exact integer
+    /// picoseconds — the explain subsystem diffs these without ever
+    /// touching floating point.
+    pub fn named_ps(&self) -> Vec<(String, SimTime)> {
+        let mut out = vec![
+            ("compute".to_string(), self.compute),
+            ("shuffle_fetch".to_string(), self.shuffle_fetch),
+            ("sched_queue".to_string(), self.sched_queue),
+            ("driver".to_string(), self.driver),
+        ];
+        for i in 0..NUM_TIERS {
+            out.push((format!("tier{i}_read"), self.mem_read[i]));
+            out.push((format!("tier{i}_write"), self.mem_write[i]));
+        }
+        out
+    }
+
+    pub(crate) fn add_breakdown(&mut self, b: &TaskBreakdown) {
         self.compute += b.compute;
         self.shuffle_fetch += b.shuffle_fetch;
         for i in 0..NUM_TIERS {
