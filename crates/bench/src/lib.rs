@@ -24,7 +24,7 @@ use memtier_core::ScenarioResult;
 use memtier_memsim::MigrationStats;
 use memtier_workloads::{all_workloads, DataSize};
 use serde::{Deserialize, Serialize};
-use sparklite::{explain, EngineStats, ExplainReport, RecoveryStats, RunDigest};
+use sparklite::{explain, EngineStats, ExplainReport, Finding, RecoveryStats, RunDigest};
 use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
@@ -270,6 +270,49 @@ pub fn bench_hotness_entries(results: &[ScenarioResult]) -> Vec<BenchHotnessEntr
                     promotion_gain_s: o.promotion_gain().as_secs_f64(),
                 })
                 .collect(),
+        })
+        .collect()
+}
+
+/// One row of the doctor baseline (`BENCH_doctor.json`): a scenario's
+/// virtual runtime plus the run doctor's verdict — the conservation flag of
+/// its windowed series, the grid shape, and the ranked findings with their
+/// evidence and recovery estimates. Rows carry `scenario` and
+/// `virtual_runtime_s`, so the file feeds the zero-tolerance `compare` gate
+/// like every other baseline; the full per-window series stays in-process
+/// (the doctor asserts its conservation before this summary is written).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDoctorEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, executor grid).
+    pub scenario: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// The doctor's conservation verdict: every windowed series re-summed
+    /// exactly to its run total.
+    pub conserved: bool,
+    /// The doctor grid's window width, seconds.
+    pub window_width_s: f64,
+    /// Number of windows on the grid.
+    pub windows: usize,
+    /// Ranked findings, highest score first (the doctor's full finding
+    /// records, evidence windows included).
+    pub findings: Vec<Finding>,
+}
+
+/// Build the doctor-baseline rows for a result set, in input order.
+pub fn bench_doctor_entries(results: &[ScenarioResult]) -> Vec<BenchDoctorEntry> {
+    results
+        .iter()
+        .map(|r| BenchDoctorEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            virtual_runtime_s: r.elapsed_s,
+            conserved: r.doctor.conserved,
+            window_width_s: r.doctor.window_width.as_secs_f64(),
+            windows: r.doctor.series.starts.len(),
+            findings: r.doctor.findings.clone(),
         })
         .collect()
 }
@@ -772,6 +815,32 @@ mod tests {
         let json = serde_json::to_string(&entries).unwrap();
         let back: Vec<super::BenchHotnessEntry> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn doctor_entries_carry_the_verdict_and_feed_compare() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        let entries = super::bench_doctor_entries(std::slice::from_ref(&r));
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.app, "sort");
+        assert!(e.conserved, "the doctor's windowed series must conserve");
+        assert!(e.window_width_s > 0.0 && e.windows > 0);
+        // Findings come ranked.
+        for pair in e.findings.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<super::BenchDoctorEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+        // A doctor baseline feeds `compare` like the others.
+        let rows: Vec<RuntimeRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].virtual_runtime_s - r.elapsed_s).abs() < 1e-15);
     }
 
     #[test]

@@ -155,6 +155,7 @@ fn run_on_context(
         migrations: report.migrations,
         recovery: report.recovery,
         digest: report.digest,
+        doctor: report.doctor,
         engine: report.engine,
     };
     Ok((result, telemetry))

@@ -5,7 +5,9 @@ use memtier_memsim::{
 };
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
-use sparklite::{EngineStats, FaultPlan, RecoveryStats, RunDigest, RunProfile, StageRollup};
+use sparklite::{
+    DoctorReport, EngineStats, FaultPlan, RecoveryStats, RunDigest, RunProfile, StageRollup,
+};
 
 /// One experimental configuration — a cell of the paper's sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -165,6 +167,15 @@ pub struct ScenarioResult {
     /// compatibility — pre-explainer artifacts load with an empty digest).
     #[serde(default)]
     pub digest: RunDigest,
+    /// The run doctor's diagnosis: conserved windowed series plus ranked,
+    /// evidence-backed findings (`sparklite::doctor`). Built from always-on
+    /// sources only, so it is a pure function of the run and stays inside
+    /// the byte-identity domain — two generations of the same scenario
+    /// carry byte-identical doctor reports (`#[serde(default)]` for
+    /// backward compatibility — pre-doctor artifacts load with an empty
+    /// report).
+    #[serde(default)]
+    pub doctor: DoctorReport,
     /// Wall-clock engine self-profiling sidecar, present only when the run
     /// enabled `profile_engine`. **Strictly outside the byte-identity
     /// domain**: every other field is a pure function of (workload, config,
@@ -290,6 +301,7 @@ mod tests {
             migrations: MigrationStats::default(),
             recovery: RecoveryStats::default(),
             digest: RunDigest::default(),
+            doctor: DoctorReport::default(),
             engine: None,
         };
         let json = serde_json::to_string(&result).unwrap();

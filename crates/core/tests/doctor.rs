@@ -1,0 +1,163 @@
+//! End-to-end tests of the run doctor: the conservation contract of its
+//! windowed series across the whole workload suite, byte-identity of the
+//! diagnosis across generations, and the accuracy of the saturation
+//! detector's repriced recovery estimate against an actual re-run whose
+//! bound tier performs like local DRAM.
+
+use memtier_core::{conf_for, run_scenario, run_scenario_with_conf, Scenario};
+use memtier_des::SimTime;
+use memtier_memsim::TierId;
+use memtier_workloads::{all_workloads, DataSize};
+use sparklite::{FaultPlan, FindingKind};
+
+/// The tentpole invariant: for every suite workload, every windowed series
+/// the doctor builds re-sums exactly — in integer picoseconds and exact
+/// bytes — to the corresponding run total. `conserved` is computed from
+/// exact integer comparisons inside `diagnose`, so one flag per run covers
+/// the per-tier traffic, stall, busy/waste occupancy, queue, eviction and
+/// migration series at once.
+#[test]
+fn windowed_series_conserve_for_every_suite_workload() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let r = run_scenario(&s).unwrap();
+        assert!(
+            r.doctor.conserved,
+            "{}: the doctor's windowed series must re-sum exactly",
+            s.label()
+        );
+        assert!(!r.doctor.series.starts.is_empty());
+        // Spot-check the headline partition from the outside too: windowed
+        // per-tier bytes against the machine counters.
+        let windowed: u64 = r
+            .doctor
+            .series
+            .tier_bytes
+            .iter()
+            .map(|w| w.iter().sum::<u64>())
+            .sum();
+        let counted: u64 = TierId::all()
+            .iter()
+            .map(|&t| {
+                let c = r.counters.tier(t);
+                c.bytes_read + c.bytes_written
+            })
+            .sum();
+        assert_eq!(windowed, counted, "{}", s.label());
+        // And busy occupancy against the recovery rollup.
+        let busy: SimTime = r.doctor.series.busy.iter().copied().sum();
+        assert_eq!(
+            busy,
+            r.recovery.useful_time + r.recovery.wasted_time,
+            "{}",
+            s.label()
+        );
+    }
+}
+
+/// The doctor reads only always-on sources, so its report is a pure
+/// function of the scenario: two generations serialize byte-identically
+/// (the property the CI doctor-smoke gate asserts on whole artifacts).
+#[test]
+fn doctor_report_is_byte_identical_across_generations() {
+    let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR);
+    let a = run_scenario(&s).unwrap();
+    let b = run_scenario(&s).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.doctor).unwrap(),
+        serde_json::to_string(&b.doctor).unwrap(),
+        "two generations must carry byte-identical doctor reports"
+    );
+    // And attaching the doctor kept the whole result inside the
+    // byte-identity domain.
+    assert_eq!(a.virtual_identity_json(), b.virtual_identity_json());
+}
+
+/// Fault-injected runs exercise the waste spans and mid-flight access
+/// cancellations; the conservation contract must keep holding, and the
+/// waste series must partition `wasted_time` exactly.
+#[test]
+fn faulted_runs_conserve_and_partition_the_waste() {
+    let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR)
+        .with_faults(FaultPlan::seeded(3).with_task_failures(0.05));
+    let r = run_scenario(&s).unwrap();
+    assert!(r.doctor.conserved, "faulted run must still conserve");
+    let waste: SimTime = r.doctor.series.waste.iter().copied().sum();
+    assert_eq!(waste, r.recovery.wasted_time);
+    if r.recovery.waste_fraction() >= sparklite::doctor::WASTE_MIN_FRAC {
+        let f = r
+            .doctor
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::FaultWasteConcentration)
+            .expect("visible waste must surface as a finding");
+        assert!(!f.evidence.is_empty());
+    }
+}
+
+/// The acceptance bound on the saturation detector: on an NVM-bound run it
+/// must fire, and its repriced recovery estimate must land within 10% of an
+/// actual re-run whose bound tier performs like local DRAM (the same bound
+/// the what-if engine's own accuracy test uses).
+#[test]
+fn saturation_recovery_matches_a_dram_equivalent_rerun() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR);
+    let baseline = run_scenario(&s).unwrap();
+    let f = baseline
+        .doctor
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::TierBandwidthSaturation)
+        .expect("an NVM-bound run must emit a tier-bandwidth-saturation finding");
+    assert!(f.estimated_recovery_s > 0.0);
+    assert!(
+        !f.evidence.is_empty(),
+        "the finding must carry evidence windows"
+    );
+    assert!(
+        !f.objects.is_empty(),
+        "the finding must name affected objects"
+    );
+    let predicted_s = baseline.elapsed_s - f.estimated_recovery_s;
+
+    // The actual counterfactual: same scenario, but the bound NVM tier's
+    // access latencies set to local DRAM's — exactly the repricing the
+    // finding promises.
+    let mut conf = conf_for(&s);
+    let dram = conf.memsim.tiers[TierId::LOCAL_DRAM.index()].clone();
+    let t = &mut conf.memsim.tiers[TierId::NVM_NEAR.index()];
+    t.idle_read_latency_ns = dram.idle_read_latency_ns;
+    t.read_mlp = dram.read_mlp;
+    t.idle_write_latency_ns = dram.idle_write_latency_ns;
+    t.write_mlp = dram.write_mlp;
+    let actual = run_scenario_with_conf(&s, conf).unwrap();
+    assert!(
+        actual.elapsed_s < baseline.elapsed_s,
+        "the DRAM-equivalent re-run must actually be faster"
+    );
+
+    let err = (predicted_s - actual.elapsed_s).abs() / actual.elapsed_s;
+    assert!(
+        err < 0.10,
+        "doctor predicted {predicted_s:.6}s after recovery, actual {:.6}s ({:.2}% error)",
+        actual.elapsed_s,
+        err * 100.0
+    );
+}
+
+/// The findings are ranked by score, and the rendered narrative carries the
+/// headline, the conservation verdict, and the findings table.
+#[test]
+fn findings_are_ranked_and_render() {
+    let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR);
+    let r = run_scenario(&s).unwrap();
+    for pair in r.doctor.findings.windows(2) {
+        assert!(pair[0].score >= pair[1].score, "findings must be ranked");
+    }
+    let text = r.doctor.render(5);
+    assert!(text.contains("run doctor"));
+    assert!(text.contains("conservation exact"));
+    if !r.doctor.findings.is_empty() {
+        assert!(text.contains("Findings (ranked)"));
+    }
+}

@@ -61,6 +61,7 @@ pub mod telemetry;
 pub mod tier;
 pub mod topology;
 pub mod wear;
+pub mod window;
 
 pub use access::{AccessBatch, AccessKind, CACHE_LINE_BYTES};
 pub use attribution::{
@@ -80,3 +81,4 @@ pub use telemetry::CounterSample;
 pub use tier::{TierId, TierKind, TierParams, NUM_TIERS};
 pub use topology::{NodeId, Topology};
 pub use wear::WearTracker;
+pub use window::{TierWindow, Window, WindowRollup, MAX_WINDOWS};

@@ -10,6 +10,7 @@ use crate::telemetry::{CounterSample, CounterSampler};
 use crate::tier::{TierId, TierParams, NUM_TIERS};
 use crate::topology::Topology;
 use crate::wear::{WearReport, WearTracker};
+use crate::window::WindowRollup;
 use memtier_des::{EngineProf, EventClass, FlowId, ProfPhase, SharedResource, SimTime};
 
 /// The simulated memory system: four tiers, each a fair-share bandwidth
@@ -43,6 +44,10 @@ pub struct MemorySystem {
     wear: WearTracker,
     mba: MbaController,
     ledger: AttributionLedger,
+    /// Always-on windowed rollup: every counter charge is simultaneously
+    /// folded into the virtual-time window containing its instant, so the
+    /// windowed series conserve against `counters` in exact integers.
+    windows: WindowRollup,
     sampler: Option<Sampler>,
     counter_sampler: Option<CounterSampler>,
     /// Engine self-profiler (wall-clock only; disabled by default). The
@@ -96,6 +101,10 @@ pub struct RunTelemetry {
     /// traffic was retired through
     /// [`finish_access_attributed`](MemorySystem::finish_access_attributed).
     pub hotness: HotnessReport,
+    /// Always-on windowed rollup of every counter charge: per-tier traffic
+    /// and priced stall per virtual-time window, conserving against
+    /// `counters` in exact integers (the run doctor's raw material).
+    pub windows: WindowRollup,
 }
 
 impl MemorySystem {
@@ -120,6 +129,7 @@ impl MemorySystem {
             wear,
             mba: MbaController::new(),
             ledger: AttributionLedger::new(),
+            windows: WindowRollup::default(),
             sampler: None,
             counter_sampler: None,
             prof: EngineProf::default(),
@@ -257,6 +267,8 @@ impl MemorySystem {
             self.resources[tier.index()].remove_flow(now, flow);
         }
         self.counters.record(tier, batch);
+        self.windows
+            .record(now, tier, batch, &self.params[tier.index()]);
         self.energy
             .record(tier, &self.params[tier.index()].clone(), batch);
         self.wear.record(tier, batch);
@@ -312,6 +324,8 @@ impl MemorySystem {
         }
         let partial = self.remove_partial(now, tier, flow, batch);
         self.counters.record(tier, &partial);
+        self.windows
+            .record(now, tier, &partial, &self.params[tier.index()]);
         self.energy
             .record(tier, &self.params[tier.index()].clone(), &partial);
         self.wear.record(tier, &partial);
@@ -336,6 +350,7 @@ impl MemorySystem {
         let partial = self.remove_partial(now, tier, flow, batch);
         self.counters.record(tier, &partial);
         let params = self.params[tier.index()].clone();
+        self.windows.record(now, tier, &partial, &params);
         self.energy.record(tier, &params, &partial);
         self.wear.record(tier, &partial);
         self.ledger.record(now, tier, object, &partial, &params);
@@ -519,6 +534,11 @@ impl MemorySystem {
         self.counters.snapshot()
     }
 
+    /// The always-on windowed rollup accumulated so far.
+    pub fn windows(&self) -> &WindowRollup {
+        &self.windows
+    }
+
     /// Number of in-flight flows on a tier.
     pub fn active_flows(&self, tier: TierId) -> usize {
         self.resources[tier.index()].active_flows()
@@ -548,6 +568,7 @@ impl MemorySystem {
                 .map(|s| s.samples().to_vec())
                 .unwrap_or_default(),
             hotness: self.hotness_report(),
+            windows: self.windows.clone(),
         }
     }
 }

@@ -1,0 +1,350 @@
+//! Always-on virtual-time windowed rollups of per-tier memory traffic.
+//!
+//! [`WindowRollup`] is the conservation-grade timeline underneath the run
+//! doctor (`sparklite::doctor`): every counter charge the
+//! [`MemorySystem`](crate::system::MemorySystem) makes — batch completions
+//! *and* the partial batches of cancelled flows — is simultaneously folded
+//! into the virtual-time window containing the charge instant. Because the
+//! mapping is one charge → one window, the windowed series re-sum to the
+//! run's [`CounterSnapshot`] totals in exact integers by construction: no
+//! sampling, no interpolation, no drift. This is what distinguishes the
+//! rollup from the optional utilization/counter samplers — those observe,
+//! this one *partitions*.
+//!
+//! Stall time is priced per charge with the attribution ledger's formula
+//! (`reads × effective_read_ns`, `writes × effective_write_ns`, each rounded
+//! to integer picoseconds), so windowed stall telescopes exactly to the
+//! rollup's own running total.
+//!
+//! Memory stays bounded through adaptive widening: the rollup starts at a
+//! fine base width and, whenever a run outgrows [`MAX_WINDOWS`], doubles the
+//! width and merges window pairs (index `i → i / 2`). Merging only adds
+//! integers, so conservation and determinism survive compaction; the final
+//! width is itself a pure function of the run.
+
+use crate::access::AccessBatch;
+use crate::counters::CounterSnapshot;
+use crate::tier::{TierId, TierParams, NUM_TIERS};
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hard cap on live windows; crossing it doubles the width (halving count).
+pub const MAX_WINDOWS: usize = 4096;
+
+/// Base window width: 100 µs of virtual time. Short runs keep this
+/// resolution; long runs widen in powers of two to stay under
+/// [`MAX_WINDOWS`].
+pub fn base_window_width() -> SimTime {
+    SimTime::from_us(100)
+}
+
+/// One tier's conserved totals inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierWindow {
+    /// Traffic charged on this tier inside the window (exact integers; the
+    /// per-window values telescope to the tier's [`CounterSnapshot`] totals).
+    pub traffic: AccessBatch,
+    /// Nominal read stall priced for this window's charges.
+    pub stall_read: SimTime,
+    /// Nominal write stall priced for this window's charges.
+    pub stall_write: SimTime,
+}
+
+impl TierWindow {
+    /// Combined read + write stall.
+    pub fn stall(&self) -> SimTime {
+        self.stall_read + self.stall_write
+    }
+
+    /// Bytes moved (read + written).
+    pub fn bytes(&self) -> u64 {
+        self.traffic.total_bytes()
+    }
+
+    fn absorb(&mut self, other: &TierWindow) {
+        self.traffic += other.traffic;
+        self.stall_read = self.stall_read + other.stall_read;
+        self.stall_write = self.stall_write + other.stall_write;
+    }
+}
+
+/// All tiers' conserved totals inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Window {
+    /// Per-tier totals, indexed by `TierId::index()`.
+    pub tiers: [TierWindow; NUM_TIERS],
+}
+
+impl Window {
+    /// One tier's slice of this window.
+    pub fn tier(&self, tier: TierId) -> &TierWindow {
+        &self.tiers[tier.index()]
+    }
+
+    /// Bytes moved across all tiers.
+    pub fn bytes(&self) -> u64 {
+        self.tiers.iter().map(|t| t.bytes()).sum()
+    }
+
+    /// Stall across all tiers.
+    pub fn stall(&self) -> SimTime {
+        self.tiers.iter().map(|t| t.stall()).sum()
+    }
+
+    fn absorb(&mut self, other: &Window) {
+        for (mine, theirs) in self.tiers.iter_mut().zip(other.tiers.iter()) {
+            mine.absorb(theirs);
+        }
+    }
+}
+
+/// The windowed rollup: a sparse map from window index to conserved
+/// per-tier totals, plus the running machine totals the windows must
+/// telescope to. Always on and cheap (one `BTreeMap` upsert per counter
+/// charge), deterministic, and serializable — safe inside the byte-identity
+/// domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowRollup {
+    width: SimTime,
+    windows: BTreeMap<u64, Window>,
+    total: Window,
+    charges: u64,
+}
+
+impl Default for WindowRollup {
+    fn default() -> Self {
+        WindowRollup::new(base_window_width())
+    }
+}
+
+impl WindowRollup {
+    /// A rollup with the given initial window width.
+    ///
+    /// # Panics
+    /// Panics on a zero width.
+    pub fn new(width: SimTime) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        WindowRollup {
+            width,
+            windows: BTreeMap::new(),
+            total: Window::default(),
+            charges: 0,
+        }
+    }
+
+    /// Fold one counter charge into the window containing `now`. Must be
+    /// called exactly once per charge (full batches on completion, partial
+    /// batches on cancellation) with the tier's effective parameters — the
+    /// 1:1 charge mapping is what makes the rollup conserve.
+    pub fn record(&mut self, now: SimTime, tier: TierId, batch: &AccessBatch, params: &TierParams) {
+        if batch.is_empty() {
+            return;
+        }
+        let stall_read = SimTime::from_ns_f64(batch.reads as f64 * params.effective_read_ns());
+        let stall_write = SimTime::from_ns_f64(batch.writes as f64 * params.effective_write_ns());
+        let idx = now.as_ps() / self.width.as_ps();
+        let slot = &mut self.windows.entry(idx).or_default().tiers[tier.index()];
+        slot.traffic += *batch;
+        slot.stall_read = slot.stall_read + stall_read;
+        slot.stall_write = slot.stall_write + stall_write;
+        let total = &mut self.total.tiers[tier.index()];
+        total.traffic += *batch;
+        total.stall_read = total.stall_read + stall_read;
+        total.stall_write = total.stall_write + stall_write;
+        self.charges += 1;
+        self.compact_if_needed();
+    }
+
+    /// Double the width (merging window pairs) until the live count fits
+    /// the cap again. Pure integer re-addition: totals are untouched.
+    fn compact_if_needed(&mut self) {
+        while self.windows.len() > MAX_WINDOWS {
+            self.width = SimTime::from_ps(self.width.as_ps() * 2);
+            let old = std::mem::take(&mut self.windows);
+            for (idx, w) in old {
+                self.windows.entry(idx / 2).or_default().absorb(&w);
+            }
+        }
+    }
+
+    /// The (possibly widened) window width.
+    pub fn width(&self) -> SimTime {
+        self.width
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of charges folded in.
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+
+    /// The running machine totals (what the windows telescope to).
+    pub fn total(&self) -> &Window {
+        &self.total
+    }
+
+    /// Iterate non-empty windows in time order as `(window start, window)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Window)> {
+        let width_ps = self.width.as_ps();
+        self.windows
+            .iter()
+            .map(move |(&i, w)| (SimTime::from_ps(i * width_ps), w))
+    }
+
+    /// The start instant of the window with the given index.
+    pub fn window_start(&self, index: u64) -> SimTime {
+        SimTime::from_ps(index * self.width.as_ps())
+    }
+
+    /// Iterate non-empty windows in time order as `(index, window)`.
+    pub fn indexed(&self) -> impl Iterator<Item = (u64, &Window)> {
+        self.windows.iter().map(|(&i, w)| (i, w))
+    }
+
+    /// Channel utilization of one window on one tier: bytes moved over the
+    /// window against the tier's capacity over the width. Unclamped — a
+    /// value at or above 1.0 means the charge pattern saturated the tier.
+    pub fn tier_utilization(
+        &self,
+        window: &Window,
+        tier: TierId,
+        bandwidth_bytes_per_s: f64,
+    ) -> f64 {
+        let capacity = self.width.as_secs_f64() * bandwidth_bytes_per_s;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        window.tier(tier).bytes() as f64 / capacity
+    }
+
+    /// The conservation check: the per-window series re-sums *exactly* (u64
+    /// traffic fields, integer-ps stall) to both the rollup's own running
+    /// totals and the machine's [`CounterSnapshot`]. This is the contract
+    /// `core/tests/doctor.rs` asserts for every suite workload.
+    pub fn conserves(&self, snapshot: &CounterSnapshot) -> bool {
+        let mut sum = Window::default();
+        for w in self.windows.values() {
+            sum.absorb(w);
+        }
+        if sum != self.total {
+            return false;
+        }
+        TierId::all().iter().all(|&t| {
+            let traffic = &sum.tiers[t.index()].traffic;
+            let c = snapshot.tier(t);
+            traffic.reads == c.reads
+                && traffic.writes == c.writes
+                && traffic.bytes_read == c.bytes_read
+                && traffic.bytes_written == c.bytes_written
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::TierCounters;
+
+    fn params() -> TierParams {
+        crate::config::MemSimConfig::paper_default().effective_tier_params(TierId::NVM_NEAR)
+    }
+
+    #[test]
+    fn records_conserve_against_counters() {
+        let mut roll = WindowRollup::new(SimTime::from_us(100));
+        let counters = TierCounters::new([1, 1, 1, 1]);
+        let p = params();
+        for i in 0..50u64 {
+            let batch = AccessBatch::sequential(1 << 12, 1 << 10) + AccessBatch::random_reads(i);
+            let at = SimTime::from_us(37 * i);
+            roll.record(at, TierId::NVM_NEAR, &batch, &p);
+            counters.record(TierId::NVM_NEAR, &batch);
+        }
+        assert!(roll.conserves(&counters.snapshot()));
+        assert!(roll.len() > 1);
+        assert_eq!(roll.charges(), 50);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let mut roll = WindowRollup::default();
+        roll.record(
+            SimTime::from_ms(1),
+            TierId::LOCAL_DRAM,
+            &AccessBatch::EMPTY,
+            &params(),
+        );
+        assert!(roll.is_empty());
+        assert!(roll.conserves(&CounterSnapshot::zero()));
+    }
+
+    #[test]
+    fn compaction_widens_and_preserves_totals() {
+        let mut roll = WindowRollup::new(SimTime::from_us(1));
+        let counters = TierCounters::new([1, 1, 1, 1]);
+        let p = params();
+        let batch = AccessBatch::sequential_read(4096);
+        // Far more distinct 1 µs windows than the cap: forces widening.
+        for i in 0..(2 * MAX_WINDOWS as u64) {
+            let at = SimTime::from_us(i);
+            roll.record(at, TierId::NVM_FAR, &batch, &p);
+            counters.record(TierId::NVM_FAR, &batch);
+        }
+        assert!(roll.len() <= MAX_WINDOWS);
+        assert!(roll.width() > SimTime::from_us(1));
+        assert!(roll.conserves(&counters.snapshot()));
+        // Width doubles, so it stays a power-of-two multiple of the base.
+        assert_eq!(roll.width().as_ps() % SimTime::from_us(1).as_ps(), 0);
+    }
+
+    #[test]
+    fn stall_pricing_matches_ledger_formula() {
+        let mut roll = WindowRollup::default();
+        let p = params();
+        let batch = AccessBatch::sequential(1 << 20, 1 << 19);
+        roll.record(SimTime::ZERO, TierId::NVM_NEAR, &batch, &p);
+        let expect_read = SimTime::from_ns_f64(batch.reads as f64 * p.effective_read_ns());
+        let expect_write = SimTime::from_ns_f64(batch.writes as f64 * p.effective_write_ns());
+        let (_, w) = roll.iter().next().unwrap();
+        assert_eq!(w.tier(TierId::NVM_NEAR).stall_read, expect_read);
+        assert_eq!(w.tier(TierId::NVM_NEAR).stall_write, expect_write);
+        assert_eq!(roll.total().stall(), expect_read + expect_write);
+    }
+
+    #[test]
+    fn utilization_is_bytes_over_capacity() {
+        let mut roll = WindowRollup::new(SimTime::from_ms(1));
+        let p = params();
+        let batch = AccessBatch::sequential_read(1 << 20);
+        roll.record(SimTime::ZERO, TierId::NVM_NEAR, &batch, &p);
+        let (_, w) = roll.iter().next().unwrap();
+        let util = roll.tier_utilization(w, TierId::NVM_NEAR, 1e9);
+        // 1 MiB in 1 ms against 1 GB/s = slightly above 1.0 (saturated).
+        assert!((util - (1 << 20) as f64 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_exact() {
+        let mut roll = WindowRollup::default();
+        let p = params();
+        roll.record(
+            SimTime::from_us(123),
+            TierId::NVM_NEAR,
+            &AccessBatch::sequential(7, 3),
+            &p,
+        );
+        let json = serde_json::to_string(&roll).unwrap();
+        let back: WindowRollup = serde_json::from_str(&json).unwrap();
+        assert_eq!(roll, back);
+    }
+}

@@ -1,7 +1,10 @@
 //! Property tests for the memory simulator's accounting invariants.
 
 use memtier_des::SimTime;
-use memtier_memsim::{AccessBatch, MemSimConfig, MemorySystem, TierCounters, TierId};
+use memtier_memsim::{
+    AccessBatch, MemSimConfig, MemorySystem, TierCounters, TierId, TierParams, WindowRollup,
+    MAX_WINDOWS, NUM_TIERS,
+};
 use proptest::prelude::*;
 
 fn arb_batch() -> impl Strategy<Value = AccessBatch> {
@@ -87,5 +90,109 @@ proptest! {
         prop_assert_eq!(snap.writes, batch.writes);
         prop_assert_eq!(snap.bytes_read, batch.bytes_read);
         prop_assert_eq!(snap.bytes_written, batch.bytes_written);
+    }
+
+    /// The windowed rollup re-sums exactly to the machine counters for
+    /// arbitrary charge streams on arbitrary tiers at arbitrary instants —
+    /// including charges landing exactly on window boundaries (jitter 0) —
+    /// under arbitrary window widths.
+    #[test]
+    fn window_rollup_conserves_for_arbitrary_widths(
+        charges in proptest::collection::vec(
+            (0u64..2_000, 0u64..1_000, 0usize..NUM_TIERS, arb_batch()),
+            0..64,
+        ),
+        width_us in 1u64..500,
+    ) {
+        let conf = MemSimConfig::paper_default();
+        let params: [TierParams; NUM_TIERS] =
+            TierId::all().map(|t| conf.effective_tier_params(t));
+        let width = SimTime::from_us(width_us);
+        let mut rollup = WindowRollup::new(width);
+        let counters = TierCounters::new([1, 1, 1, 1]);
+        for (k, jitter, tier_idx, batch) in &charges {
+            let tier = TierId::from_index(*tier_idx);
+            // Window-aligned when jitter is 0, straddling otherwise.
+            let at = SimTime::from_ps(k * width.as_ps() + jitter);
+            rollup.record(at, tier, batch, &params[tier.index()]);
+            counters.record(tier, batch);
+        }
+        prop_assert!(rollup.conserves(&counters.snapshot()));
+        // The per-window stall series telescopes to the running total too.
+        let stall: SimTime = rollup.iter().map(|(_, w)| w.stall()).sum();
+        prop_assert_eq!(stall, rollup.total().stall());
+        // And every windowed byte is accounted: per-tier window sums equal
+        // the counters per tier, exactly.
+        for t in TierId::all() {
+            let windowed: u64 = rollup.iter().map(|(_, w)| w.tier(t).bytes()).sum();
+            let c = counters.snapshot().tier(t);
+            prop_assert_eq!(windowed, c.bytes_read + c.bytes_written);
+        }
+    }
+
+    /// Mid-flight cancellation (the fault path) charges the partially
+    /// served slice of the batch — and the rollup window it lands in sees
+    /// exactly what the counters see, so conservation survives any cut
+    /// point.
+    #[test]
+    fn window_rollup_conserves_under_cancellation(
+        batch in arb_batch(),
+        cancel_frac in 0.0f64..=1.0,
+        followup in arb_batch(),
+    ) {
+        prop_assume!(!batch.is_empty());
+        let mut sys = MemorySystem::new(MemSimConfig::paper_default());
+        sys.begin_access(SimTime::ZERO, TierId::NVM_NEAR, 1, &batch);
+        let mut now = SimTime::ZERO;
+        if let Some((t, tier, flow)) = sys.next_completion() {
+            let cut = SimTime::from_ps((t.as_ps() as f64 * cancel_frac) as u64);
+            sys.advance(cut);
+            sys.cancel_access(cut, tier, flow, &batch);
+            now = cut;
+        }
+        // A later completed access on another tier must coexist with the
+        // cancelled slice in the same rollup.
+        if !followup.is_empty() {
+            sys.begin_access(now, TierId::LOCAL_DRAM, 2, &followup);
+            if let Some((t, tier, flow)) = sys.next_completion() {
+                sys.advance(t);
+                sys.finish_access(t, tier, flow, &followup);
+            }
+        }
+        prop_assert!(sys.windows().conserves(&sys.counters()));
+    }
+}
+
+proptest! {
+    // Compaction replays thousands of windows per case; keep the case count
+    // modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Driving the rollup past its window cap forces width-doubling
+    /// compaction; the halved grid must keep re-summing exactly to the
+    /// machine counters (windows straddling the old epoch boundaries are
+    /// absorbed pairwise, never split).
+    #[test]
+    fn window_rollup_compaction_preserves_conservation(
+        batches in proptest::collection::vec(arb_batch(), 1..8),
+    ) {
+        let conf = MemSimConfig::paper_default();
+        let params = conf.effective_tier_params(TierId::NVM_NEAR);
+        let base = SimTime::from_us(1);
+        let mut rollup = WindowRollup::new(base);
+        let counters = TierCounters::new([1, 1, 1, 1]);
+        // Every batch cycles through MAX_WINDOWS + 1000 distinct windows,
+        // so one non-empty batch suffices to overflow the cap.
+        let reps = ((MAX_WINDOWS as u64) + 1_000) * batches.len() as u64;
+        for rep in 0..reps {
+            let b = &batches[(rep % batches.len() as u64) as usize];
+            rollup.record(SimTime::from_us(rep), TierId::NVM_NEAR, b, &params);
+            counters.record(TierId::NVM_NEAR, b);
+        }
+        if batches.iter().any(|b| !b.is_empty()) {
+            prop_assert!(rollup.width() > base, "the cap must have forced compaction");
+        }
+        prop_assert!(rollup.len() <= MAX_WINDOWS);
+        prop_assert!(rollup.conserves(&counters.snapshot()));
     }
 }

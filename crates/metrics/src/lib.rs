@@ -17,4 +17,4 @@ pub mod table;
 pub use pearson::{correlation_matrix, pearson, spearman};
 pub use regression::LinearModel;
 pub use stats::{geometric_mean, mean, quantile, stddev, variance, ViolinSummary};
-pub use table::AsciiTable;
+pub use table::{fmt_f64, pct_of_ps, signed_seconds, sparkline, Align, AsciiTable};

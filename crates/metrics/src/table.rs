@@ -147,6 +147,27 @@ pub fn fmt_f64(v: f64, digits: usize) -> String {
     }
 }
 
+/// Format a signed integer-picosecond quantity as a signed seconds string
+/// (`+0.000020s`, `-1.500000s`) — the shared delta cell of the explain and
+/// doctor narratives.
+pub fn signed_seconds(ps: i64) -> String {
+    format!(
+        "{}{:.6}s",
+        if ps < 0 { "-" } else { "+" },
+        ps.unsigned_abs() as f64 / 1e12
+    )
+}
+
+/// Render a signed picosecond delta as a percentage of an unsigned
+/// picosecond base (`+1.2345%`); `"n/a"` when the base is zero.
+pub fn pct_of_ps(delta_ps: i64, base_ps: u64) -> String {
+    if base_ps == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:+.4}%", delta_ps as f64 / base_ps as f64 * 100.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +211,20 @@ mod tests {
     fn fmt_f64_handles_nan() {
         assert_eq!(fmt_f64(1.23456, 2), "1.23");
         assert_eq!(fmt_f64(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn signed_seconds_keeps_the_sign_and_scale() {
+        assert_eq!(signed_seconds(20_000_000), "+0.000020s");
+        assert_eq!(signed_seconds(-1_500_000_000_000), "-1.500000s");
+        assert_eq!(signed_seconds(0), "+0.000000s");
+    }
+
+    #[test]
+    fn pct_of_ps_handles_zero_base() {
+        assert_eq!(pct_of_ps(10, 0), "n/a");
+        assert_eq!(pct_of_ps(5, 1000), "+0.5000%");
+        assert_eq!(pct_of_ps(-5, 1000), "-0.5000%");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::{PlacementMode, SparkConf};
 use crate::cost::OpCost;
+use crate::doctor::{diagnose, DoctorInputs, DoctorReport};
 use crate::error::{Result, SparkError};
 use crate::events::{
     Event, EventBus, EventSink, MemoryRing, MemoryRingHandle, TimedEvent, DEFAULT_RING_CAPACITY,
@@ -20,7 +21,7 @@ use memtier_des::{EngineStats, ProfPhase, SimTime};
 use memtier_dfs::DfsClient;
 use memtier_memsim::{
     CounterSample, CounterSnapshot, HotnessReport, MemorySystem, MigrationStats, ObjectSample,
-    PlacementEngine, RunTelemetry, TierId,
+    PlacementEngine, RunTelemetry, TierId, WindowRollup,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -67,6 +68,12 @@ pub struct RunReport {
     /// migration/recovery rollups, all in exact integers. A pure function
     /// of the run, so it lives inside the byte-identity domain.
     pub digest: RunDigest,
+    /// The run doctor's diagnosis: conserved windowed series (per-tier
+    /// bandwidth and stall, executor busy/idle, queue depth, eviction and
+    /// migration churn, fault waste) plus ranked, evidence-backed findings.
+    /// Built from always-on sources only, so it is a pure function of the
+    /// run and lives inside the byte-identity domain.
+    pub doctor: DoctorReport,
     /// Wall-clock engine self-profiling sidecar: present only when
     /// [`SparkConf::profile_engine`] was set. Strictly outside the
     /// byte-identity domain — everything else on this report is a pure
@@ -421,6 +428,14 @@ impl SparkContext {
         self.inner.mem.lock().object_series().to_vec()
     }
 
+    /// The windowed rollup of every counter charge so far: per-tier traffic
+    /// and priced stall per virtual-time window. Always on (one map upsert
+    /// per charge) and conserving against [`counters`](Self::counters) in
+    /// exact integers — the run doctor's primary series source.
+    pub fn window_rollup(&self) -> WindowRollup {
+        self.inner.mem.lock().windows().clone()
+    }
+
     /// Emit the structured unpersist event (called by
     /// [`Rdd::unpersist`](crate::rdd::Rdd::unpersist) after the block
     /// manager dropped the RDD's blocks).
@@ -503,7 +518,10 @@ impl SparkContext {
             let events = SystemEvents::collect(&metrics, reads, writes);
             let hotness = telemetry.hotness.clone();
             let migrations = self.inner.placement.lock().stats();
-            let recovery = self.inner.faults.lock().stats;
+            let (recovery, waste_spans) = {
+                let faults = self.inner.faults.lock();
+                (faults.stats, faults.waste_spans.clone())
+            };
             let profile_log = self.inner.profile_log.lock();
             let profile = build_profile(&profile_log, elapsed);
             let digest = crate::explain::build_digest(
@@ -513,13 +531,31 @@ impl SparkContext {
                 migrations,
                 recovery,
             );
+            let cache = self.inner.runtime.cache.stats();
+            let params = TierId::all().map(|t| mem.tier_params(t).clone());
+            let total_cores: u64 = self.inner.executors.iter().map(|e| e.cores as u64).sum();
+            let doctor = diagnose(&DoctorInputs {
+                elapsed,
+                total_cores,
+                windows: &telemetry.windows,
+                counters: &snap,
+                params: &params,
+                profile: &profile,
+                log: &profile_log,
+                hotness: &hotness,
+                cache: &cache,
+                migrations,
+                recovery,
+                waste_spans: &waste_spans,
+                object_series: mem.object_series(),
+            });
             drop(profile_log);
             RunReport {
                 elapsed,
                 telemetry,
                 metrics,
                 events,
-                cache: self.inner.runtime.cache.stats(),
+                cache,
                 stage_rollups: self.inner.rollups.lock().clone(),
                 profile,
                 hotness,
@@ -527,6 +563,7 @@ impl SparkContext {
                 sink_errors,
                 recovery,
                 digest,
+                doctor,
                 engine: None,
             }
         };

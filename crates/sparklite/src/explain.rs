@@ -38,6 +38,7 @@ use crate::faultsim::RecoveryStats;
 use crate::profile::{Attribution, ProfileLog, RunProfile, SegmentKind};
 use memtier_des::SimTime;
 use memtier_memsim::{HotnessReport, MigrationStats, ObjectId, NUM_TIERS};
+use memtier_metrics::table::{pct_of_ps, signed_seconds};
 use memtier_metrics::AsciiTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -437,13 +438,13 @@ impl ExplainReport {
     /// when they moved. This is what `compare --explain` prints on a gate
     /// breach.
     pub fn render(&self, k: usize) -> String {
-        let sign_s = |ps: i64| format!("{}{:.6}s", if ps < 0 { "-" } else { "+" }, fmt_abs_s(ps));
+        let sign_s = signed_seconds;
         let mut out = format!(
             "runtime {:.6}s -> {:.6}s ({}, {})\n",
             self.baseline_elapsed.as_secs_f64(),
             self.candidate_elapsed.as_secs_f64(),
             sign_s(self.delta_ps),
-            pct_of(self.delta_ps, self.baseline_elapsed)
+            pct_of_ps(self.delta_ps, self.baseline_elapsed.0)
         );
         if self.contributors.is_empty() {
             out.push_str("no contributor moved: the critical paths are identical\n");
@@ -496,18 +497,6 @@ impl ExplainReport {
             ));
         }
         out
-    }
-}
-
-fn fmt_abs_s(ps: i64) -> f64 {
-    ps.unsigned_abs() as f64 / 1e12
-}
-
-fn pct_of(delta: i64, base: SimTime) -> String {
-    if base.is_zero() {
-        "n/a".to_string()
-    } else {
-        format!("{:+.4}%", delta as f64 / base.0 as f64 * 100.0)
     }
 }
 
@@ -736,6 +725,7 @@ mod tests {
                 submitted: SimTime::from_us(10),
                 completed: SimTime::from_us(45 + compute1_us + 25),
             }],
+            evictions: Vec::new(),
         }
     }
 

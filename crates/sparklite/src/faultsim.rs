@@ -329,6 +329,12 @@ pub struct FaultState {
     pub block_owner: HashMap<BlockKey, usize>,
     /// Accumulated recovery costs.
     pub stats: RecoveryStats,
+    /// Executor-occupancy spans of failed / killed / losing attempts, as
+    /// `(started, end)`. Recorded through [`Self::record_waste`] at every
+    /// point `stats.wasted_time` accrues, so the span durations re-sum to
+    /// `stats.wasted_time` in exact integer picoseconds — the always-on raw
+    /// series behind the doctor's windowed fault-waste rollup.
+    pub waste_spans: Vec<(SimTime, SimTime)>,
 }
 
 impl FaultState {
@@ -351,7 +357,16 @@ impl FaultState {
             pending_crashes: crashes.into(),
             block_owner: HashMap::new(),
             stats: RecoveryStats::default(),
+            waste_spans: Vec::new(),
         }
+    }
+
+    /// Charge one wasted attempt span `[started, end]`: accrues
+    /// `stats.wasted_time` and records the span, keeping the two views
+    /// conserving against each other by construction.
+    pub fn record_waste(&mut self, started: SimTime, end: SimTime) {
+        self.stats.wasted_time += end - started;
+        self.waste_spans.push((started, end));
     }
 
     /// Virtual time of the next unapplied crash, if any.

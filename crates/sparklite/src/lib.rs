@@ -52,7 +52,11 @@
 //! segment, input scan, broadcast, scratch), and the run's
 //! [`memtier_memsim::HotnessReport`] ranks objects by the traffic and
 //! stall they drove per tier — conserving against the machine counters in
-//! exact integers.
+//! exact integers. Finally, the run doctor ([`doctor`]) folds the always-on
+//! sources — the memory system's windowed rollup, the profiler log, the
+//! fault ledger — into conserved per-window series and runs a detector
+//! catalogue over them, attaching ranked, evidence-backed findings to every
+//! run report.
 
 #![warn(missing_docs)]
 // Closure-heavy engine code trips this lint pervasively; the aliases the
@@ -64,6 +68,7 @@ pub mod broadcast;
 pub mod config;
 pub mod context;
 pub mod cost;
+pub mod doctor;
 pub mod error;
 pub mod events;
 pub mod explain;
@@ -83,6 +88,10 @@ pub use broadcast::Broadcast;
 pub use config::{ExecutorPlacement, PlacementMode, SparkConf};
 pub use context::SparkContext;
 pub use cost::{CostModel, OpCost};
+pub use doctor::{
+    diagnose, DoctorInputs, DoctorReport, DoctorSeries, EvidenceWindow, Finding, FindingKind,
+    Severity,
+};
 pub use error::SparkError;
 pub use events::{
     parse_jsonl, to_jsonl, Event, EventBus, EventSink, JsonlSink, MemoryRing, MemoryRingHandle,
@@ -97,8 +106,8 @@ pub use memsize::MemSize;
 pub use memtier_des::{EngineProf, EngineStats};
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
 pub use profile::{
-    build_profile, hotness_promotion_whatif, reprice, Attribution, PathSegment, ProfileLog,
-    RunProfile, SegmentKind, TaskBreakdown, WhatIf, WhatIfReport,
+    build_profile, hotness_promotion_whatif, reprice, Attribution, EvictionRecord, PathSegment,
+    ProfileLog, RunProfile, SegmentKind, TaskBreakdown, WhatIf, WhatIfReport,
 };
 pub use rdd::{Data, Key, Rdd};
 pub use shuffle::{HashPartitioner, RangePartitioner};

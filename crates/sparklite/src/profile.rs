@@ -83,6 +83,26 @@ pub struct TaskRecord {
     pub breakdown: TaskBreakdown,
 }
 
+/// One cache-block eviction as the profiler saw it. Recorded
+/// unconditionally at the dispatch that displaced the block (like task and
+/// stage records), so the doctor's eviction-churn series exists inside the
+/// byte-identity domain — unlike the event bus's `BlockEvicted` mirror,
+/// which is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionRecord {
+    /// Eviction instant.
+    pub at: SimTime,
+    /// RDD id of the evicted block.
+    pub rdd: u32,
+    /// Partition index of the evicted block.
+    pub partition: usize,
+    /// Block size in bytes.
+    pub bytes: u64,
+    /// True when the block was spilled to simulated disk rather than
+    /// dropped outright.
+    pub spilled: bool,
+}
+
 /// One executed stage's activation edge. Skipped stages never activate and
 /// have no record — exactly why rollup/path conservation still holds when
 /// cached RDDs prune lineage.
@@ -123,6 +143,10 @@ pub struct ProfileLog {
     pub stages: Vec<StageRecord>,
     /// Every job, in submission order.
     pub jobs: Vec<JobRecord>,
+    /// Every cache-block eviction, in occurrence order (`#[serde(default)]`
+    /// so logs serialized before this field existed still load).
+    #[serde(default)]
+    pub evictions: Vec<EvictionRecord>,
 }
 
 /// What occupies one segment of the critical path.
@@ -560,6 +584,7 @@ mod tests {
                 submitted: SimTime::from_us(10),
                 completed: SimTime::from_us(100),
             }],
+            evictions: Vec::new(),
         }
     }
 

@@ -22,7 +22,9 @@ use crate::faultsim::{
     FaultState, SALT_FETCH_FAIL, SALT_FETCH_VICTIM, SALT_STRAGGLER, SALT_TASK_FAIL,
 };
 use crate::metrics::{AppMetrics, StageRollup, TaskMetrics};
-use crate::profile::{JobRecord, ProfileLog, StageRecord, TaskBreakdown, TaskRecord};
+use crate::profile::{
+    EvictionRecord, JobRecord, ProfileLog, StageRecord, TaskBreakdown, TaskRecord,
+};
 use crate::rdd::TaskEnv;
 use crate::runtime::Runtime;
 use crate::scheduler::dag::{StageId, StageKind, StagePlan};
@@ -465,6 +467,18 @@ impl<'a, U> JobRunner<'a, U> {
         let mut metrics = env.metrics;
         let mut object_traffic = env.object_traffic;
         let evicted_blocks = self.rt.cache.take_evictions();
+        // Always-on profiler records (like tasks/stages/jobs): the doctor's
+        // eviction-churn series must exist inside the byte-identity domain,
+        // unlike the opt-in event-bus mirror further down.
+        for ev in &evicted_blocks {
+            self.profile.evictions.push(EvictionRecord {
+                at: self.now,
+                rdd: ev.key.0,
+                partition: ev.key.1,
+                bytes: ev.bytes,
+                spilled: ev.spilled,
+            });
+        }
         // Lineage bookkeeping: remember which executor produced each
         // newly cached block, so a crash can drop exactly its blocks.
         let inserted = self.rt.cache.take_insertions();
@@ -974,8 +988,7 @@ impl<'a, U> JobRunner<'a, U> {
             .plan
             .clone()
             .expect("failure injected without a plan");
-        let span = self.now - task.started;
-        self.faults.stats.wasted_time += span;
+        self.faults.record_waste(task.started, self.now);
         let reason = match task.fail {
             FailKind::Task => {
                 self.faults.stats.task_failures += 1;
@@ -1100,8 +1113,7 @@ impl<'a, U> JobRunner<'a, U> {
             );
             self.faults.stats.cancelled_bytes += partial.total_bytes();
         }
-        let span = self.now - task.started;
-        self.faults.stats.wasted_time += span;
+        self.faults.record_waste(task.started, self.now);
         if spec_loser {
             self.faults.stats.speculative_killed += 1;
         } else {
@@ -1459,7 +1471,7 @@ impl<'a, U> JobRunner<'a, U> {
                 );
                 self.faults.stats.cancelled_bytes += partial.total_bytes();
             }
-            self.faults.stats.wasted_time += self.now - task.started;
+            self.faults.record_waste(task.started, self.now);
             self.faults.stats.tasks_killed += 1;
         }
         // Migration copies share the same MemorySystem: an in-flight one
