@@ -34,6 +34,45 @@ fn bench_des(c: &mut Criterion) {
             black_box(r.total_served())
         })
     });
+    // The rate cache's two regimes (DESIGN.md §16): a cold query re-runs
+    // the full water-fill; a cached query is a clone of the memoized
+    // allocation. The gap between these two is what the cache buys every
+    // event-loop iteration that reads rates without mutating the flow set.
+    g.bench_function("current_rates_cold_100_flows", |b| {
+        let mut r = SharedResource::new(1e9, ContentionModel::Linear { alpha: 0.01 });
+        for id in 0..100 {
+            r.add_flow(SimTime::ZERO, id, 1e6, 5e7);
+        }
+        b.iter(|| {
+            // A numerically-neutral mutation: invalidates without changing
+            // the allocation, so every query water-fills from scratch.
+            r.set_throttle(1.0);
+            black_box(r.current_rates())
+        })
+    });
+    g.bench_function("current_rates_cached_100_flows", |b| {
+        let mut r = SharedResource::new(1e9, ContentionModel::Linear { alpha: 0.01 });
+        for id in 0..100 {
+            r.add_flow(SimTime::ZERO, id, 1e6, 5e7);
+        }
+        let _ = r.current_rates(); // prime the cache
+        b.iter(|| black_box(r.current_rates()))
+    });
+    // Coalesced same-instant drain vs the repeated-pop loop it replaces:
+    // 10k events bunched onto 64 instants, drained batch by batch.
+    g.bench_function("pop_at_10k_64_instants", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.schedule_batch((0..10_000u64).map(|i| (SimTime::from_ns(i % 64), i)));
+            let mut batch = Vec::new();
+            let mut drained = 0usize;
+            while let Some(at) = q.peek_time() {
+                drained += q.pop_at(at, &mut batch);
+                black_box(&batch);
+            }
+            black_box(drained)
+        })
+    });
     g.finish();
 }
 

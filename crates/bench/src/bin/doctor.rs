@@ -9,15 +9,16 @@
 //! ```
 //!
 //! Flags: `--size tiny|small|large` (default `tiny`), `--dir <path>`
-//! (default `results`), and `--check` to re-read the artifact and verify it
-//! parses, stays internally consistent, and regenerates byte-identically
-//! from a fresh run (the CI doctor-smoke step).
+//! (default `results`), `--jobs <n>` sweep workers (default: all cores; any
+//! width is byte-identical), and `--check` to re-read the artifact and
+//! verify it parses, stays internally consistent, and regenerates
+//! byte-identically from a fresh run (the CI doctor-smoke step).
 
 use memtier_bench::{
-    bench_doctor_entries, campaign_threads, check_fail as fail, suite_apps, write_json_artifact,
-    BenchArgs, BenchDoctorEntry,
+    bench_doctor_entries, campaign_threads, check_fail as fail, parallel_sweep, suite_apps,
+    write_json_artifact, BenchArgs, BenchDoctorEntry,
 };
-use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
 use memtier_memsim::TierId;
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
@@ -27,6 +28,7 @@ const TOP_FINDINGS: usize = 3;
 
 fn main() {
     let args = BenchArgs::parse();
+    let jobs = args.jobs_or(campaign_threads());
     let (size, dir, check) = (args.size, args.dir, args.check);
 
     let apps = suite_apps();
@@ -44,7 +46,9 @@ fn main() {
         apps.len(),
         TierId::all().len()
     );
-    let results = run_scenarios(&scenarios, campaign_threads()).expect("doctor campaign");
+    let results = parallel_sweep(&scenarios, jobs, |s| {
+        run_scenario(s).expect("doctor campaign")
+    });
     for r in &results {
         assert!(
             r.doctor.conserved,

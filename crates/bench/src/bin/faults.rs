@@ -12,15 +12,16 @@
 //!
 //! Flags: `--size tiny|small|large` (default `tiny`), `--dir <path>`
 //! (default `results`), `--app <name>` to sweep a single workload (the CI
-//! faults-smoke step uses this), and `--check` to re-read the artifact and
-//! verify it parses, stays internally consistent, and regenerates
-//! byte-identically from a fresh run.
+//! faults-smoke step uses this), `--jobs <n>` sweep workers (default: all
+//! cores; any width is byte-identical), and `--check` to re-read the
+//! artifact and verify it parses, stays internally consistent, and
+//! regenerates byte-identically from a fresh run.
 
 use memtier_bench::{
-    bench_faults_entries, campaign_threads, check_fail as fail, pct, write_json_artifact,
-    BenchArgs, BenchFaultsEntry,
+    bench_faults_entries, campaign_threads, check_fail as fail, parallel_sweep, pct,
+    write_json_artifact, BenchArgs, BenchFaultsEntry,
 };
-use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
 use memtier_memsim::{ObjectId, TierId};
 use memtier_metrics::table::fmt_f64;
 use memtier_metrics::AsciiTable;
@@ -42,6 +43,7 @@ const STRAGGLER_FACTOR: f64 = 8.0;
 fn main() {
     let args = BenchArgs::parse();
     let apps = args.apps();
+    let jobs = args.jobs_or(campaign_threads());
     let (size, dir, check) = (args.size, args.dir, args.check);
 
     // Per app: the failure-rate axis on each tier (rate 0 is the plan-free
@@ -77,7 +79,7 @@ fn main() {
         apps.len(),
         scenarios.len() / apps.len()
     );
-    let results = run_scenarios(&scenarios, campaign_threads()).expect("faults sweep");
+    let results = parallel_sweep(&scenarios, jobs, |s| run_scenario(s).expect("faults sweep"));
 
     check_conservation(&results);
     check_zero_fault_identity(&apps, &results);

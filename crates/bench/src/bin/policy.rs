@@ -12,15 +12,16 @@
 //!
 //! Flags: `--size tiny|small|large` (default `tiny`), `--dir <path>`
 //! (default `results`), `--app <name>` to sweep a single workload (the CI
-//! policy-smoke step uses this), and `--check` to re-read the artifact and
-//! verify it parses, stays internally consistent, and regenerates
-//! byte-identically from a fresh run.
+//! policy-smoke step uses this), `--jobs <n>` sweep workers (default: all
+//! cores; any width is byte-identical), and `--check` to re-read the
+//! artifact and verify it parses, stays internally consistent, and
+//! regenerates byte-identically from a fresh run.
 
 use memtier_bench::{
-    bench_policy_entries, campaign_threads, check_fail as fail, pct, write_json_artifact,
-    BenchArgs, BenchPolicyEntry,
+    bench_policy_entries, campaign_threads, check_fail as fail, parallel_sweep, pct,
+    write_json_artifact, BenchArgs, BenchPolicyEntry,
 };
-use memtier_core::{run_scenario, run_scenarios, Scenario, ScenarioResult};
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
 use memtier_des::SimTime;
 use memtier_memsim::{PlacementSpec, TierId};
 use memtier_metrics::table::fmt_f64;
@@ -39,6 +40,7 @@ const WEAR_CAPACITY: u64 = 256 << 20;
 fn main() {
     let args = BenchArgs::parse();
     let apps = args.apps();
+    let jobs = args.jobs_or(campaign_threads());
     let (size, dir, check) = (args.size, args.dir, args.check);
 
     // Per app: the two static endpoints, the HotCold grid, one WearAware
@@ -68,7 +70,7 @@ fn main() {
         apps.len(),
         scenarios.len() / apps.len()
     );
-    let results = run_scenarios(&scenarios, campaign_threads()).expect("policy sweep");
+    let results = parallel_sweep(&scenarios, jobs, |s| run_scenario(s).expect("policy sweep"));
 
     check_conservation(&results);
     check_ordering(&apps, &results);

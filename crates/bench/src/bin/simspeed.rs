@@ -9,19 +9,21 @@
 //! # -> results/BENCH_simspeed.json
 //! ```
 //!
-//! Unlike every other harness, scenarios run **sequentially**: wall-clock
-//! throughput is the measurement here, and concurrent runs would share
-//! cores and depress each other's numbers.
+//! Unlike every other harness, scenarios run **sequentially by default**
+//! (`--jobs 1`): wall-clock throughput is the measurement here, and
+//! concurrent runs would share cores and depress each other's numbers. An
+//! explicit `--jobs N` still works — the deterministic fields are identical
+//! at any width; only the wall-clock sidecar columns degrade.
 //!
 //! Flags: `--size tiny|small|large` (default `tiny`), `--dir <path>`
 //! (default `results`), `--app <name>` to measure a single workload (the CI
-//! simspeed-smoke step uses this), and `--check` to re-read the artifact
-//! and verify it parses, its rows are sane, its deterministic fields
-//! regenerate byte-identically, and profiling stays byte-invisible to the
-//! virtual results.
+//! simspeed-smoke step uses this), `--jobs <n>` (default 1, see above), and
+//! `--check` to re-read the artifact and verify it parses, its rows are
+//! sane, its deterministic fields regenerate byte-identically, and
+//! profiling stays byte-invisible to the virtual results.
 
 use memtier_bench::{
-    bench_simspeed_entries, check_fail as fail, compare_runtimes, simspeed_row,
+    bench_simspeed_entries, check_fail as fail, compare_runtimes, parallel_sweep, simspeed_row,
     write_json_artifact, BenchArgs, BenchSimspeedEntry, RuntimeRow,
 };
 use memtier_core::{run_scenario, run_scenario_profiled, Scenario};
@@ -37,6 +39,8 @@ const STRESS_APP: &str = "dag-stress";
 fn main() {
     let args = BenchArgs::parse();
     let apps = args.apps();
+    // Sequential unless --jobs says otherwise: wall-clock is the measurement.
+    let jobs = args.jobs_or(1);
     let (size, dir, check) = (args.size, args.dir, args.check);
 
     let scenarios: Vec<Scenario> = apps
@@ -48,18 +52,21 @@ fn main() {
         })
         .collect();
     eprintln!(
-        "measuring {} suite scenarios + 1 synthetic stressor ({size}, \
-         sequential — wall-clock is the measurement)…",
-        scenarios.len()
+        "measuring {} suite scenarios + 1 synthetic stressor ({size}, {jobs} worker{})…",
+        scenarios.len(),
+        if jobs == 1 {
+            " — wall-clock is the measurement"
+        } else {
+            "s: wall-clock columns will share cores"
+        }
     );
 
-    let mut results = Vec::new();
-    for s in &scenarios {
+    let results = parallel_sweep(&scenarios, jobs, |s| {
         let r = run_scenario_profiled(s).expect("simspeed run");
         let e = r.engine.as_ref().expect("profiled run carries EngineStats");
         eprintln!("{}: {}", r.scenario.label(), e.summary());
-        results.push(r);
-    }
+        r
+    });
     let mut entries = bench_simspeed_entries(&results);
     entries.push(dag_stress_entry(size));
 

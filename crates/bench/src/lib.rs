@@ -35,6 +35,54 @@ pub fn campaign_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Run `f` over `items` on up to `jobs` worker threads, returning results
+/// in **input order** regardless of completion order.
+///
+/// This is the determinism contract behind the sweep bins' shared `--jobs`
+/// flag (DESIGN.md §16): each item is an independent, internally
+/// deterministic computation (a scenario simulation), workers pull items
+/// off a shared atomic cursor, and every result lands in the slot of its
+/// input index — so the output vector is byte-identical for any worker
+/// count. `jobs <= 1` runs inline on the caller thread, which *is* the
+/// sequential loop.
+///
+/// A panicking item panics the sweep (std `thread::scope` propagates it),
+/// matching the sequential behavior of `f` panicking mid-loop.
+pub fn parallel_sweep<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    {
+        let locked: Vec<std::sync::Mutex<&mut Option<R>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    **locked[i].lock().expect("sweep slot poisoned") = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("sweep worker left a hole"))
+        .collect()
+}
+
 /// Parse `--flag <value>` from an argv slice.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -59,7 +107,8 @@ pub fn suite_apps() -> Vec<String> {
 }
 
 /// The common CLI surface of the bench harnesses: `--size tiny|small|large`
-/// (default `tiny`), `--dir <path>` (default `results`), `--check`, and —
+/// (default `tiny`), `--dir <path>` (default `results`), `--check`,
+/// `--jobs <n>` (sweep worker threads; the default is per-harness), and —
 /// for the harnesses that support it — `--app <name>`.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
@@ -71,6 +120,10 @@ pub struct BenchArgs {
     pub check: bool,
     /// Restrict the sweep to one workload (`--app`), when given.
     pub app: Option<String>,
+    /// Sweep worker threads (`--jobs`), when given. Results are merged in
+    /// input order, so any worker count produces byte-identical artifacts
+    /// ([`parallel_sweep`]).
+    pub jobs: Option<usize>,
 }
 
 impl BenchArgs {
@@ -84,12 +137,25 @@ impl BenchArgs {
                 return Err(format!("unknown --size {other:?} (want tiny|small|large)"));
             }
         };
+        let jobs = match arg_value(args, "--jobs") {
+            None => None,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => return Err(format!("bad --jobs {v:?} (want an integer >= 1)")),
+            },
+        };
         Ok(BenchArgs {
             size,
             dir: arg_value(args, "--dir").unwrap_or_else(|| "results".to_string()),
             check: args.iter().any(|a| a == "--check"),
             app: arg_value(args, "--app"),
+            jobs,
         })
+    }
+
+    /// The sweep width: `--jobs` when given, else the harness's default.
+    pub fn jobs_or(&self, default: usize) -> usize {
+        self.jobs.unwrap_or(default)
     }
 
     /// Parse from the process argv, exiting with status 2 on a bad flag —
@@ -659,16 +725,35 @@ mod tests {
         assert_eq!(a.size, DataSize::Tiny);
         assert_eq!(a.dir, "results");
         assert!(!a.check && a.app.is_none());
+        assert!(a.jobs.is_none());
+        assert_eq!(a.jobs_or(7), 7);
         let a = super::BenchArgs::try_parse(&argv(&[
-            "bin", "--size", "small", "--dir", "out", "--check", "--app", "sort",
+            "bin", "--size", "small", "--dir", "out", "--check", "--app", "sort", "--jobs", "4",
         ]))
         .unwrap();
         assert_eq!(a.size, DataSize::Small);
         assert_eq!(a.dir, "out");
         assert!(a.check);
         assert_eq!(a.app.as_deref(), Some("sort"));
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.jobs_or(7), 4);
         assert!(super::BenchArgs::try_parse(&argv(&["bin", "--size", "huge"])).is_err());
+        assert!(super::BenchArgs::try_parse(&argv(&["bin", "--jobs", "0"])).is_err());
+        assert!(super::BenchArgs::try_parse(&argv(&["bin", "--jobs", "many"])).is_err());
         assert_eq!(super::arg_value(&argv(&["bin", "--dir"]), "--dir"), None);
+    }
+
+    /// The `parallel_sweep` determinism contract: results land in input
+    /// order for any worker count, including widths past the item count.
+    #[test]
+    fn parallel_sweep_merges_in_input_order() {
+        let items: Vec<u64> = (0..23).collect();
+        let f = |&x: &u64| x * x + 1;
+        let seq = super::parallel_sweep(&items, 1, f);
+        for jobs in [2, 4, 64] {
+            assert_eq!(super::parallel_sweep(&items, jobs, f), seq, "jobs={jobs}");
+        }
+        assert!(super::parallel_sweep(&Vec::<u64>::new(), 4, f).is_empty());
     }
 
     #[test]

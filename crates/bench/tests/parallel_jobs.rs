@@ -1,0 +1,101 @@
+//! Acceptance test for the parallel-sweep determinism contract
+//! (DESIGN.md §16): a `--jobs 4` sweep produces **byte-identical**
+//! deterministic artifact rows to a sequential (`--jobs 1`) sweep, for both
+//! the policy and faults harnesses. Runs a reduced single-app slice of each
+//! bin's scenario grid through the same `parallel_sweep` entry point the
+//! bins use, then compares the serialized artifact entries string-for-string.
+
+use memtier_bench::{bench_faults_entries, bench_policy_entries, parallel_sweep};
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
+use memtier_des::SimTime;
+use memtier_memsim::{PlacementSpec, TierId};
+use memtier_workloads::DataSize;
+use sparklite::{FaultPlan, SpeculationConf};
+
+const APP: &str = "pagerank";
+const SIZE: DataSize = DataSize::Tiny;
+
+/// A single-app slice of the policy bin's grid: both static endpoints plus
+/// two HotCold points and the WearAware point.
+fn policy_scenarios() -> Vec<Scenario> {
+    let epoch = SimTime::from_us(1_000);
+    vec![
+        Scenario::default_conf(APP, SIZE, TierId::LOCAL_DRAM),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR)
+            .with_placement(PlacementSpec::hot_cold(1 << 20, epoch)),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR)
+            .with_placement(PlacementSpec::hot_cold(256 << 20, epoch)),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR)
+            .with_placement(PlacementSpec::wear_aware(256 << 20, epoch)),
+    ]
+}
+
+/// A single-app slice of the faults bin's grid: the plan-free endpoint, two
+/// failure rates, the zero-fault plan, and the straggler+speculation point.
+fn faults_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR)
+            .with_faults(FaultPlan::seeded(2024).with_task_failures(0.05)),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR)
+            .with_faults(FaultPlan::seeded(2024).with_task_failures(0.15)),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR).with_faults(FaultPlan::seeded(2024)),
+        Scenario::default_conf(APP, SIZE, TierId::NVM_NEAR).with_faults(
+            FaultPlan::seeded(2024)
+                .with_stragglers(0.35, 8.0)
+                .with_speculation(SpeculationConf::default()),
+        ),
+    ]
+}
+
+fn sweep(scenarios: &[Scenario], jobs: usize) -> Vec<ScenarioResult> {
+    parallel_sweep(scenarios, jobs, |s| {
+        run_scenario(s).expect("sweep scenario")
+    })
+}
+
+#[test]
+fn policy_sweep_is_byte_identical_at_any_width() {
+    let scenarios = policy_scenarios();
+    let seq = sweep(&scenarios, 1);
+    let par = sweep(&scenarios, 4);
+    let a = serde_json::to_string(&bench_policy_entries(&seq)).expect("serialize sequential");
+    let b = serde_json::to_string(&bench_policy_entries(&par)).expect("serialize parallel");
+    assert_eq!(
+        a, b,
+        "--jobs 4 must reproduce the sequential policy artifact byte-for-byte"
+    );
+}
+
+#[test]
+fn faults_sweep_is_byte_identical_at_any_width() {
+    let scenarios = faults_scenarios();
+    let seq = sweep(&scenarios, 1);
+    let par = sweep(&scenarios, 4);
+    let a = serde_json::to_string(&bench_faults_entries(&seq)).expect("serialize sequential");
+    let b = serde_json::to_string(&bench_faults_entries(&par)).expect("serialize parallel");
+    assert_eq!(
+        a, b,
+        "--jobs 4 must reproduce the sequential faults artifact byte-for-byte"
+    );
+}
+
+#[test]
+fn oversubscribed_jobs_clamp_and_merge_in_input_order() {
+    // More workers than scenarios: the sweep clamps and stays input-ordered.
+    let scenarios = policy_scenarios();
+    let seq = sweep(&scenarios, 1);
+    let wide = sweep(&scenarios, 64);
+    for (s, w) in seq.iter().zip(wide.iter()) {
+        assert_eq!(
+            s.scenario.label(),
+            w.scenario.label(),
+            "merge order drifted"
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&bench_policy_entries(&seq)).unwrap(),
+        serde_json::to_string(&bench_policy_entries(&wide)).unwrap()
+    );
+}

@@ -348,7 +348,9 @@ impl EngineProf {
         }
     }
 
-    /// Record an `EventQueue::pop` along with the pre-pop queue depth.
+    /// Record an `EventQueue::pop` along with the post-pop queue depth
+    /// (symmetric with [`record_schedule`](Self::record_schedule): both
+    /// sample the heap depth *after* the operation).
     #[inline]
     pub fn record_pop(&self, depth: usize) {
         if let Some(s) = &self.inner {

@@ -106,16 +106,53 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Schedule every `(at, event)` pair, reserving heap capacity for the
+    /// whole batch up front.
+    ///
+    /// Semantically identical to calling [`schedule`](Self::schedule) once
+    /// per pair in iteration order — same FIFO sequence numbers, same panic
+    /// on past timestamps — but with a single capacity reservation instead
+    /// of per-push growth.
+    pub fn schedule_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        self.heap.reserve(events.size_hint().0);
+        for (at, event) in events {
+            self.schedule(at, event);
+        }
+    }
+
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if !self.heap.is_empty() {
-            self.prof.record_pop(self.heap.len());
-        }
         let entry = self.heap.pop()?;
+        self.prof.record_pop(self.heap.len());
         let Reverse((at, _)) = entry.key;
         debug_assert!(at >= self.now);
         self.now = at;
         Some((at, entry.event))
+    }
+
+    /// Drain every event due at exactly `at` into `out` (cleared first) in
+    /// FIFO order, advancing the clock to `at` if anything popped. Returns
+    /// the number of events drained.
+    ///
+    /// Byte-for-byte equivalent to calling [`pop`](Self::pop) while
+    /// [`peek_time`](Self::peek_time) equals `at`: same event order, same
+    /// clock, same depth samples — one peek per drained event instead of a
+    /// peek-compare-pop round trip in the caller. Reusing `out` across calls
+    /// keeps the steady-state drain allocation-free.
+    pub fn pop_at(&mut self, at: SimTime, out: &mut Vec<E>) -> usize {
+        out.clear();
+        while self.heap.peek().is_some_and(|e| e.key.0 .0 == at) {
+            let entry = self.heap.pop().expect("peeked entry vanished");
+            self.prof.record_pop(self.heap.len());
+            debug_assert!(at >= self.now);
+            self.now = at;
+            out.push(entry.event);
+        }
+        out.len()
     }
 
     /// Timestamp of the next pending event, if any.
@@ -199,5 +236,79 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_batch_preserves_fifo_and_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), 0);
+        let t = SimTime::from_ns(5);
+        q.schedule_batch((1..4).map(|i| (t, i)));
+        q.schedule_batch([(SimTime::from_ns(2), 100)]);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), 100)));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some((t, i)), "batch must keep FIFO order");
+        }
+    }
+
+    #[test]
+    fn pop_at_drains_exactly_the_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(3);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(SimTime::from_us(9), "later");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_at(t, &mut out), 2);
+        assert_eq!(out, vec!["a", "b"]);
+        assert_eq!(q.now(), t, "clock advances to the drained instant");
+        assert_eq!(q.len(), 1, "later events stay queued");
+        // Nothing due at an instant with no events: no-op, clock untouched.
+        assert_eq!(q.pop_at(SimTime::from_us(5), &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.now(), t);
+    }
+
+    /// Satellite contract: `schedule` and `pop` both record *post-operation*
+    /// heap depth, so a matched schedule/pop pair contributes symmetric
+    /// samples (1 after the push, 0 after the pop) to the depth histogram.
+    #[test]
+    fn depth_samples_are_post_operation_for_both_schedule_and_pop() {
+        let prof = crate::prof::EngineProf::enabled();
+        let mut q = EventQueue::new();
+        q.set_prof(prof.clone());
+        q.schedule(SimTime::from_ns(1), ()); // records depth 1
+        q.pop(); // records depth 0 (post-pop)
+        let stats = prof.snapshot(1.0).expect("profiler enabled");
+        assert_eq!(stats.queue.schedules, 1);
+        assert_eq!(stats.queue.pops, 1);
+        assert_eq!(stats.queue.peak_depth, 1);
+        assert_eq!(
+            stats.queue.depth_p50, 0,
+            "the pop sample must be the post-pop depth (0), not pre-pop (1)"
+        );
+    }
+
+    /// `pop_at` records the same post-pop depth samples as repeated `pop`.
+    #[test]
+    fn pop_at_depth_samples_match_repeated_pop() {
+        let t = SimTime::from_ns(7);
+        let run = |coalesced: bool| {
+            let prof = crate::prof::EngineProf::enabled();
+            let mut q = EventQueue::new();
+            q.set_prof(prof.clone());
+            for i in 0..5 {
+                q.schedule(t, i);
+            }
+            if coalesced {
+                let mut out = Vec::new();
+                q.pop_at(t, &mut out);
+            } else {
+                while q.pop().is_some() {}
+            }
+            let s = prof.snapshot(1.0).expect("profiler enabled");
+            (s.queue.pops, s.queue.peak_depth, s.queue.depth_p50)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -12,11 +12,16 @@
 //! [`next_completion`](SharedResource::next_completion) tells it when the
 //! earliest active flow will drain *under the current rate allocation*; the
 //! caller advances to that instant, removes the finished flow, and re-queries.
+//!
+//! Because the allocation depends only on the flow *set* and the throttle —
+//! never on residual demands or the clock — it is cached between mutations:
+//! `advance` and `next_completion` reuse the last water-fill until an
+//! `add_flow`/`remove_flow`/`set_throttle` invalidates it (DESIGN.md §16).
 
 use crate::contention::ContentionModel;
 use crate::prof::{EngineProf, ProfPhase};
 use crate::time::SimTime;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 
 /// Identifier for a flow within one resource. Uniqueness is the caller's
 /// responsibility (the `sparklite` scheduler uses task attempt ids).
@@ -32,6 +37,21 @@ struct Flow {
     remaining: f64,
     /// Single-stream rate in units/second, before contention degradation.
     nominal_rate: f64,
+}
+
+/// The memoized fair-share allocation plus the water-fill's scratch space.
+///
+/// Lives behind a `RefCell` so `&self` readers (`next_completion`,
+/// `current_rates`) can fill it lazily; both buffers keep their capacity
+/// across recomputations, making the steady-state hot path allocation-free.
+#[derive(Debug, Clone, Default)]
+struct RateCache {
+    /// Whether `rates` reflects the current flow set and throttle.
+    valid: bool,
+    /// Allocation in ascending flow-id order, index-aligned with `flows`.
+    rates: Vec<(FlowId, f64)>,
+    /// Scratch for the water-fill's `(cap, id)` ordering.
+    scratch: Vec<(FlowId, f64)>,
 }
 
 /// A capacity-limited resource shared max–min-fairly among active flows.
@@ -56,12 +76,17 @@ pub struct SharedResource {
     /// MBA-style throttle: fraction of `capacity` actually deliverable.
     throttle: f64,
     contention: ContentionModel,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows, dense and sorted by ascending id. Iteration order —
+    /// and therefore every fair-share and ETA tie-break — matches the
+    /// `BTreeMap` this replaced bit for bit; lookups are binary searches.
+    flows: Vec<(FlowId, Flow)>,
     last_update: SimTime,
     /// Total units served since construction (for utilization accounting).
     served: f64,
     /// Integral of busy time (at least one active flow), for utilization.
     busy: SimTime,
+    /// Memoized allocation; invalidated only by flow-set/throttle mutations.
+    cache: RefCell<RateCache>,
     /// Engine self-profiler handle (disabled by default; never affects rates).
     prof: EngineProf,
 }
@@ -80,10 +105,11 @@ impl SharedResource {
             capacity,
             throttle: 1.0,
             contention,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             last_update: SimTime::ZERO,
             served: 0.0,
             busy: SimTime::ZERO,
+            cache: RefCell::new(RateCache::default()),
             prof: EngineProf::default(),
         }
     }
@@ -117,6 +143,7 @@ impl SharedResource {
             "throttle fraction must be in (0,1], got {fraction}"
         );
         self.throttle = fraction;
+        self.cache.get_mut().valid = false;
     }
 
     /// Current throttle fraction.
@@ -139,6 +166,11 @@ impl SharedResource {
         self.busy
     }
 
+    /// Position of `id` in the dense flow vector.
+    fn flow_index(&self, id: FlowId) -> Result<usize, usize> {
+        self.flows.binary_search_by_key(&id, |&(fid, _)| fid)
+    }
+
     /// Advance internal state to `now`, draining flows at current rates.
     ///
     /// Idempotent for equal `now`; panics if `now` precedes the last update.
@@ -151,9 +183,9 @@ impl SharedResource {
         );
         let dt = (now - self.last_update).as_secs_f64();
         if dt > 0.0 && !self.flows.is_empty() {
-            let rates = self.current_rates();
-            for (id, rate) in rates {
-                let flow = self.flows.get_mut(&id).expect("rate for unknown flow");
+            self.ensure_rates();
+            let cache = self.cache.get_mut();
+            for (&(_, rate), (_, flow)) in cache.rates.iter().zip(self.flows.iter_mut()) {
                 let drained = (rate * dt).min(flow.remaining);
                 flow.remaining -= drained;
                 self.served += drained;
@@ -175,14 +207,21 @@ impl SharedResource {
             "bad nominal rate {nominal_rate}"
         );
         self.advance(now);
-        let prev = self.flows.insert(
-            id,
-            Flow {
-                remaining: demand,
-                nominal_rate,
-            },
+        let idx = match self.flow_index(id) {
+            Ok(_) => panic!("duplicate flow id {id}"),
+            Err(idx) => idx,
+        };
+        self.flows.insert(
+            idx,
+            (
+                id,
+                Flow {
+                    remaining: demand,
+                    nominal_rate,
+                },
+            ),
         );
-        assert!(prev.is_none(), "duplicate flow id {id}");
+        self.cache.get_mut().valid = false;
     }
 
     /// Remove a flow, returning its residual demand (0 if it had drained).
@@ -192,7 +231,11 @@ impl SharedResource {
     pub fn remove_flow(&mut self, now: SimTime, id: FlowId) -> f64 {
         let _t = self.prof.phase(ProfPhase::ResourceRemoveFlow);
         self.advance(now);
-        let flow = self.flows.remove(&id).expect("removing unknown flow");
+        let idx = self
+            .flow_index(id)
+            .unwrap_or_else(|_| panic!("removing unknown flow"));
+        let (_, flow) = self.flows.remove(idx);
+        self.cache.get_mut().valid = false;
         if flow.remaining <= DRAIN_EPS {
             0.0
         } else {
@@ -202,7 +245,7 @@ impl SharedResource {
 
     /// Residual demand of a flow, if it exists.
     pub fn remaining(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.remaining)
+        self.flow_index(id).ok().map(|i| self.flows[i].1.remaining)
     }
 
     /// The earliest `(instant, flow)` at which some active flow drains under
@@ -215,10 +258,10 @@ impl SharedResource {
         if self.flows.is_empty() {
             return None;
         }
-        let rates = self.current_rates();
+        self.ensure_rates();
+        let cache = self.cache.borrow();
         let mut best: Option<(SimTime, FlowId)> = None;
-        for (id, rate) in rates {
-            let flow = &self.flows[&id];
+        for ((id, flow), &(_, rate)) in self.flows.iter().zip(cache.rates.iter()) {
             let eta = if flow.remaining <= DRAIN_EPS {
                 self.last_update
             } else {
@@ -232,8 +275,8 @@ impl SharedResource {
                     + SimTime::from_ps(1)
             };
             match best {
-                None => best = Some((eta, id)),
-                Some((bt, _)) if eta < bt => best = Some((eta, id)),
+                None => best = Some((eta, *id)),
+                Some((bt, _)) if eta < bt => best = Some((eta, *id)),
                 _ => {}
             }
         }
@@ -243,45 +286,86 @@ impl SharedResource {
     /// Max–min-fair allocation of effective capacity among active flows,
     /// respecting each flow's contention-degraded nominal-rate cap.
     ///
-    /// Returned in ascending flow-id order (deterministic).
+    /// Returned in ascending flow-id order (deterministic). Served from the
+    /// rate cache: repeated queries between mutations cost one clone, not a
+    /// water-fill.
     pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
-        let n = self.flows.len();
-        if n == 0 {
+        if self.flows.is_empty() {
             return Vec::new();
         }
-        // This is the known O(active flows) hot spot (ROADMAP item 3): count
-        // every re-share and the flow population it had to water-fill over.
+        self.ensure_rates();
+        self.cache.borrow().rates.clone()
+    }
+
+    /// Sum of the current allocation across all flows, straight off the rate
+    /// cache — no clone, no water-fill between mutations. Summation order is
+    /// ascending flow id, exactly as summing [`current_rates`](Self::current_rates).
+    pub fn aggregate_rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.ensure_rates();
+        self.cache.borrow().rates.iter().map(|&(_, x)| x).sum()
+    }
+
+    /// Recompute the memoized allocation if a mutation invalidated it.
+    ///
+    /// The arithmetic — cap collection order, demand summation order, the
+    /// `(cap, id)` stable sort, the water-fill division sequence — is the
+    /// verbatim pre-cache algorithm, so cached results are bit-identical to
+    /// recomputing from scratch every call (the differential proptest in
+    /// `des/tests/proptest_fastpath.rs` pins this).
+    fn ensure_rates(&self) {
+        let mut guard = self.cache.borrow_mut();
+        if guard.valid {
+            return;
+        }
+        let n = self.flows.len();
+        // Every cache miss is one genuine re-share: count it and the flow
+        // population it water-filled over (this is what makes "one mutation
+        // ⇒ at most one re-share" observable through simprof).
         self.prof.record_reshare(n);
         let _t = self.prof.phase(ProfPhase::RateRecompute);
         let cfactor = self.contention.factor(n);
         let cap_total = self.effective_capacity();
 
-        // Per-flow caps after contention degradation.
-        let mut caps: Vec<(FlowId, f64)> = self
-            .flows
-            .iter()
-            .map(|(&id, f)| (id, f.nominal_rate * cfactor))
-            .collect();
+        let RateCache {
+            valid,
+            rates,
+            scratch,
+        } = &mut *guard;
 
-        let demand_sum: f64 = caps.iter().map(|&(_, c)| c).sum();
+        // Per-flow caps after contention degradation, ascending by id.
+        rates.clear();
+        rates.extend(
+            self.flows
+                .iter()
+                .map(|(id, f)| (*id, f.nominal_rate * cfactor)),
+        );
+
+        let demand_sum: f64 = rates.iter().map(|&(_, c)| c).sum();
         if demand_sum <= cap_total {
             // Uncongested: everyone runs at their cap.
-            return caps;
+            *valid = true;
+            return;
         }
 
         // Water-filling: ascending by cap, give each flow min(cap, fair share
         // of what's left). Sort is stable on (cap, id) for determinism.
-        caps.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scratch.clear();
+        scratch.extend_from_slice(rates);
+        scratch.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let mut remaining_cap = cap_total;
-        let mut out = Vec::with_capacity(n);
-        for (i, &(id, cap)) in caps.iter().enumerate() {
+        for (i, &(id, cap)) in scratch.iter().enumerate() {
             let share = remaining_cap / (n - i) as f64;
             let rate = cap.min(share);
             remaining_cap -= rate;
-            out.push((id, rate));
+            let slot = rates
+                .binary_search_by_key(&id, |&(fid, _)| fid)
+                .expect("water-fill id missing from rates");
+            rates[slot].1 = rate;
         }
-        out.sort_by_key(|&(id, _)| id);
-        out
+        *valid = true;
     }
 
     /// Current time of the resource's internal clock.
@@ -291,9 +375,9 @@ impl SharedResource {
 
     /// True if the given flow has (within tolerance) drained its demand.
     pub fn is_drained(&self, id: FlowId) -> bool {
-        self.flows
-            .get(&id)
-            .map(|f| f.remaining <= DRAIN_EPS)
+        self.flow_index(id)
+            .ok()
+            .map(|i| self.flows[i].1.remaining <= DRAIN_EPS)
             .unwrap_or(false)
     }
 }
@@ -427,6 +511,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "removing unknown flow")]
+    fn removing_unknown_flow_panics() {
+        let mut r = res(10.0);
+        r.add_flow(SimTime::ZERO, 1, 1.0, 1.0);
+        r.remove_flow(SimTime::ZERO, 2);
+    }
+
+    #[test]
     #[should_panic(expected = "throttle fraction")]
     fn zero_throttle_rejected() {
         res(10.0).set_throttle(0.0);
@@ -442,5 +534,74 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+    }
+
+    /// The satellite contract for the rate cache: one flow-set/throttle
+    /// mutation costs at most one re-share, no matter how many reads
+    /// (`next_completion`, `current_rates`, `aggregate_rate`, `advance`)
+    /// land in between. Observed through the simprof reshare counter.
+    #[test]
+    fn rate_cache_reshares_at_most_once_per_mutation() {
+        let prof = EngineProf::enabled();
+        let mut r = res(10.0);
+        r.set_prof(prof.clone());
+
+        r.add_flow(SimTime::ZERO, 1, 10.0, 10.0);
+        r.add_flow(SimTime::ZERO, 2, 30.0, 10.0);
+        // A storm of reads over an unchanged flow set: one water-fill total.
+        for _ in 0..16 {
+            let _ = r.next_completion();
+            let _ = r.current_rates();
+            let _ = r.aggregate_rate();
+        }
+        r.advance(SimTime::from_secs(1));
+        let stats = prof.snapshot(1.0).expect("profiler enabled");
+        assert_eq!(
+            stats.resource.reshares, 1,
+            "reads between mutations must reuse the cached allocation"
+        );
+
+        // One mutation (remove) followed by more reads: exactly one more.
+        r.remove_flow(SimTime::from_secs(1), 1);
+        let _ = r.next_completion();
+        let _ = r.current_rates();
+        r.advance(SimTime::from_secs(2));
+        let stats = prof.snapshot(2.0).expect("profiler enabled");
+        assert_eq!(stats.resource.reshares, 2, "one mutation ⇒ one re-share");
+
+        // A throttle change is a mutation too.
+        r.set_throttle(0.5);
+        let _ = r.next_completion();
+        let _ = r.next_completion();
+        let stats = prof.snapshot(2.0).expect("profiler enabled");
+        assert_eq!(stats.resource.reshares, 3, "throttle invalidates the cache");
+    }
+
+    /// The cached allocation is bit-identical to an uncached recompute: a
+    /// clone of the resource (whose cache state travels with it) and a
+    /// freshly-invalidated twin agree exactly.
+    #[test]
+    fn cached_rates_match_cold_recompute_exactly() {
+        let mut r = SharedResource::new(25.0, ContentionModel::Linear { alpha: 0.3 });
+        for id in 0..17 {
+            r.add_flow(SimTime::ZERO, id, 40.0 + id as f64, 3.0 + (id % 5) as f64);
+        }
+        let cached = r.current_rates(); // fills the cache
+        let warm = r.current_rates(); // served from it
+        assert_eq!(cached, warm);
+        r.set_throttle(1.0); // no numeric change, but invalidates
+        let cold = r.current_rates(); // full water-fill again
+        assert_eq!(cached, cold, "cache must be bit-identical to recompute");
+    }
+
+    #[test]
+    fn aggregate_rate_matches_current_rates_sum() {
+        let mut r = res(12.5);
+        for id in 0..9 {
+            r.add_flow(SimTime::ZERO, id * 3, 10.0, 2.0 + id as f64);
+        }
+        let sum: f64 = r.current_rates().iter().map(|&(_, x)| x).sum();
+        assert_eq!(sum, r.aggregate_rate());
+        assert_eq!(res(1.0).aggregate_rate(), 0.0);
     }
 }

@@ -1,0 +1,258 @@
+//! Differential property tests for the kernel fast path (DESIGN.md §16).
+//!
+//! The rate cache and the dense sorted flow vector are pure *mechanical*
+//! optimizations: every virtual-time observable must stay bit-identical to
+//! the pre-cache implementation. This file pins that claim by replaying
+//! random operation interleavings (add / remove / advance / throttle)
+//! against `NaiveResource` — a deliberately slow reference that stores flows
+//! in a `BTreeMap` and re-runs the full water-fill on every query, i.e. the
+//! verbatim algorithm the cache replaced — and requiring exact `==` (not
+//! approximate) agreement on rates, completion ETAs, and served totals.
+
+use memtier_des::{ContentionModel, SharedResource, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Same drain tolerance as `des::resource` (a flow below this has finished).
+const DRAIN_EPS: f64 = 1e-6;
+
+/// The reference implementation: `BTreeMap` flow storage, no memoization —
+/// every query recomputes the allocation from scratch, exactly as the
+/// original `SharedResource` did. Arithmetic order (cap collection, demand
+/// summation, the `(cap, id)` stable sort, the water-fill division sequence,
+/// the final re-sort by id) mirrors the original line for line.
+struct NaiveResource {
+    capacity: f64,
+    throttle: f64,
+    contention: ContentionModel,
+    /// id -> (remaining demand, nominal rate); BTreeMap iteration is the
+    /// ascending-id order every tie-break inherits.
+    flows: BTreeMap<u64, (f64, f64)>,
+    last_update: SimTime,
+    served: f64,
+}
+
+impl NaiveResource {
+    fn new(capacity: f64, contention: ContentionModel) -> Self {
+        NaiveResource {
+            capacity,
+            throttle: 1.0,
+            contention,
+            flows: BTreeMap::new(),
+            last_update: SimTime::ZERO,
+            served: 0.0,
+        }
+    }
+
+    /// The full water-fill, recomputed on every call (no cache).
+    fn current_rates(&self) -> Vec<(u64, f64)> {
+        let n = self.flows.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let cfactor = self.contention.factor(n);
+        let cap_total = self.capacity * self.throttle;
+        let mut caps: Vec<(u64, f64)> = self
+            .flows
+            .iter()
+            .map(|(id, &(_, nominal))| (*id, nominal * cfactor))
+            .collect();
+        let demand_sum: f64 = caps.iter().map(|&(_, c)| c).sum();
+        if demand_sum <= cap_total {
+            return caps;
+        }
+        caps.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut remaining_cap = cap_total;
+        let mut out: Vec<(u64, f64)> = Vec::with_capacity(n);
+        for (i, &(id, cap)) in caps.iter().enumerate() {
+            let share = remaining_cap / (n - i) as f64;
+            let rate = cap.min(share);
+            remaining_cap -= rate;
+            out.push((id, rate));
+        }
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.last_update);
+        let dt = (now - self.last_update).as_secs_f64();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rates = self.current_rates();
+            for ((_, flow), &(_, rate)) in self.flows.iter_mut().zip(rates.iter()) {
+                let drained = (rate * dt).min(flow.0);
+                flow.0 -= drained;
+                self.served += drained;
+            }
+        }
+        self.last_update = now;
+    }
+
+    fn add_flow(&mut self, now: SimTime, id: u64, demand: f64, nominal: f64) {
+        self.advance(now);
+        let prev = self.flows.insert(id, (demand, nominal));
+        assert!(prev.is_none(), "duplicate flow id {id}");
+    }
+
+    fn remove_flow(&mut self, now: SimTime, id: u64) -> f64 {
+        self.advance(now);
+        let (remaining, _) = self.flows.remove(&id).expect("removing unknown flow");
+        if remaining <= DRAIN_EPS {
+            0.0
+        } else {
+            remaining
+        }
+    }
+
+    fn set_throttle(&mut self, fraction: f64) {
+        self.throttle = fraction;
+    }
+
+    fn next_completion(&self) -> Option<(SimTime, u64)> {
+        let rates = self.current_rates();
+        let mut best: Option<(SimTime, u64)> = None;
+        for ((id, &(remaining, _)), &(_, rate)) in self.flows.iter().zip(rates.iter()) {
+            let eta = if remaining <= DRAIN_EPS {
+                self.last_update
+            } else {
+                self.last_update + SimTime::from_secs_f64(remaining / rate) + SimTime::from_ps(1)
+            };
+            match best {
+                None => best = Some((eta, *id)),
+                Some((bt, _)) if eta < bt => best = Some((eta, *id)),
+                _ => {}
+            }
+        }
+        best
+    }
+}
+
+/// One step of the random interleaving the two implementations replay.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add a fresh flow with this demand and nominal rate.
+    Add { demand: f64, nominal: f64 },
+    /// Remove the (n mod live)-th active flow (no-op when none are live).
+    RemoveNth(usize),
+    /// Advance both clocks to the model's next completion instant.
+    AdvanceNext,
+    /// Advance both clocks by this many nanoseconds.
+    AdvanceBy(u64),
+    /// Set the throttle to `pct / 10` (always in `(0, 1]`).
+    Throttle(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0f64..1.0e6, 1.0f64..1.0e6)
+            .prop_map(|(demand, nominal)| Op::Add { demand, nominal }),
+        2 => any::<usize>().prop_map(Op::RemoveNth),
+        2 => Just(Op::AdvanceNext),
+        2 => (1u64..1_000_000_000).prop_map(Op::AdvanceBy),
+        1 => (1u8..=10).prop_map(Op::Throttle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole contract: under arbitrary interleavings of every
+    /// mutation the cache invalidates on, the cached `SharedResource` and
+    /// the naive recompute-everything reference agree **to the last bit** on
+    /// the allocation, the next completion, and the served total.
+    #[test]
+    fn cached_resource_is_bit_identical_to_naive_reference(
+        capacity in 1.0f64..1.0e7,
+        alpha in 0.0f64..0.5,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let model = ContentionModel::Linear { alpha };
+        let mut fast = SharedResource::new(capacity, model);
+        let mut naive = NaiveResource::new(capacity, model);
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Add { demand, nominal } => {
+                    let id = next_id;
+                    next_id += 1;
+                    fast.add_flow(now, id, demand, nominal);
+                    naive.add_flow(now, id, demand, nominal);
+                    live.push(id);
+                }
+                Op::RemoveNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(n % live.len());
+                    let a = fast.remove_flow(now, id);
+                    let b = naive.remove_flow(now, id);
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "residual of flow {}", id);
+                }
+                Op::AdvanceNext => {
+                    let eta = fast.next_completion();
+                    prop_assert_eq!(eta, naive.next_completion(), "ETA disagreement");
+                    if let Some((t, _)) = eta {
+                        now = t;
+                        fast.advance(now);
+                        naive.advance(now);
+                    }
+                }
+                Op::AdvanceBy(ns) => {
+                    now += SimTime::from_ns(ns);
+                    fast.advance(now);
+                    naive.advance(now);
+                }
+                Op::Throttle(pct) => {
+                    // Account served work up to the change first, as the
+                    // `set_throttle` contract requires.
+                    fast.advance(now);
+                    naive.advance(now);
+                    fast.set_throttle(pct as f64 / 10.0);
+                    naive.set_throttle(pct as f64 / 10.0);
+                }
+            }
+
+            // Every observable, after every op, compared exactly.
+            let fr = fast.current_rates();
+            let nr = naive.current_rates();
+            prop_assert_eq!(fr.len(), nr.len());
+            for (&(fid, frate), &(nid, nrate)) in fr.iter().zip(nr.iter()) {
+                prop_assert_eq!(fid, nid, "allocation order diverged");
+                prop_assert_eq!(
+                    frate.to_bits(),
+                    nrate.to_bits(),
+                    "rate of flow {} diverged: {} vs {}",
+                    fid,
+                    frate,
+                    nrate
+                );
+            }
+            prop_assert_eq!(fast.next_completion(), naive.next_completion());
+            prop_assert_eq!(
+                fast.total_served().to_bits(),
+                naive.served.to_bits(),
+                "served totals diverged: {} vs {}",
+                fast.total_served(),
+                naive.served
+            );
+        }
+
+        // Drain to empty through both and require identical completions.
+        while let Some((t, id)) = fast.next_completion() {
+            prop_assert_eq!(Some((t, id)), naive.next_completion());
+            fast.advance(t);
+            naive.advance(t);
+            let a = fast.remove_flow(t, id);
+            let b = naive.remove_flow(t, id);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(naive.next_completion(), None);
+        prop_assert_eq!(
+            fast.total_served().to_bits(),
+            naive.served.to_bits()
+        );
+    }
+}

@@ -1,10 +1,12 @@
 //! Property tests for `EventQueue`: the ordering invariants every
 //! byte-identity gate in the workspace silently depends on.
 //!
-//! Two properties:
+//! Three properties:
 //! 1. Pop order is non-decreasing in `SimTime`, whatever the schedule order.
 //! 2. Events scheduled for the same instant pop in FIFO insertion order —
 //!    the deterministic tie-break that makes heap layout unobservable.
+//! 3. The coalesced `pop_at` drain is a pure batching of repeated `pop`:
+//!    same events, same order, same clock (the DESIGN.md §16 contract).
 
 use memtier_des::{EventQueue, SimTime};
 use proptest::prelude::*;
@@ -88,5 +90,35 @@ proptest! {
             prop_assert!(at >= last);
             last = at;
         }
+    }
+
+    /// Draining with `pop_at` yields exactly the events, order, and clock
+    /// movements that one-at-a-time `pop` would — the byte-identity argument
+    /// for every coalesced drain in the scheduler. The tiny time domain
+    /// forces large same-instant batches.
+    #[test]
+    fn pop_at_matches_repeated_pop(times in prop::collection::vec(0u64..32, 1..200)) {
+        let mut batched = EventQueue::new();
+        let mut reference = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            batched.schedule(SimTime::from_ns(t), i);
+            reference.schedule(SimTime::from_ns(t), i);
+        }
+        let mut batch = Vec::new();
+        let mut drained = 0usize;
+        while let Some(at) = batched.peek_time() {
+            let n = batched.pop_at(at, &mut batch);
+            prop_assert_eq!(n, batch.len());
+            prop_assert!(n >= 1, "peeked instant must yield at least one event");
+            prop_assert_eq!(batched.now(), at, "pop_at must move the clock");
+            for &ev in &batch {
+                let (rt, rev) = reference.pop().expect("reference queue has the event");
+                prop_assert_eq!(rt, at, "batch crossed an instant boundary");
+                prop_assert_eq!(rev, ev, "batch order diverged from pop order");
+            }
+            drained += n;
+        }
+        prop_assert_eq!(drained, times.len());
+        prop_assert!(reference.pop().is_none(), "reference must drain with the batches");
     }
 }

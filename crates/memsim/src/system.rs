@@ -410,7 +410,10 @@ impl MemorySystem {
                     let mut utilization = [0.0; NUM_TIERS];
                     let mut active = [0; NUM_TIERS];
                     for (i, r) in self.resources.iter().enumerate() {
-                        let agg: f64 = r.current_rates().iter().map(|&(_, x)| x).sum();
+                        // Straight off the rate cache: same ascending-id
+                        // summation as current_rates(), without cloning the
+                        // allocation out per tier per sample.
+                        let agg = r.aggregate_rate();
                         utilization[i] = (agg / r.effective_capacity()).clamp(0.0, 1.0);
                         active[i] = r.active_flows();
                     }

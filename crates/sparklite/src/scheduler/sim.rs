@@ -1289,9 +1289,10 @@ impl<'a, U> JobRunner<'a, U> {
         }
         clones.sort_unstable();
         recheck.sort_unstable();
-        for at in recheck {
-            self.queue.schedule(at, Ev::SpecCheck(stage));
-        }
+        // One reservation for the whole re-check batch; scheduling order
+        // (and therefore FIFO sequence numbers) is unchanged.
+        self.queue
+            .schedule_batch(recheck.into_iter().map(|at| (at, Ev::SpecCheck(stage))));
         for (orig, part) in clones {
             self.speculated.insert((stage.0, part));
             self.spec_ready.push_back((stage, part, orig));
@@ -1304,6 +1305,9 @@ impl<'a, U> JobRunner<'a, U> {
     /// and a result partition never completes — a scheduler bug must surface
     /// as an error on the action, not a panic inside the engine.
     pub fn run(mut self) -> Result<JobOutcome<U>> {
+        // Scratch buffer for same-instant CPU event batches: reused across
+        // iterations so the steady-state loop pops without allocating.
+        let mut cpu_batch: Vec<Ev> = Vec::new();
         loop {
             // One guard per iteration: dispatch + preemption checks + the
             // event handler all land in the EventDispatch phase (which
@@ -1342,9 +1346,16 @@ impl<'a, U> JobRunner<'a, U> {
                 }
             }
             match (queue_next, mem_next) {
-                (Some(qt), Some((mt, _, _))) if qt <= mt => self.handle_cpu_event(),
-                (Some(_), None) => self.handle_cpu_event(),
-                (None, Some(_)) | (Some(_), Some(_)) => self.handle_mem_event(),
+                (Some(qt), Some((mt, _, _))) if qt <= mt => {
+                    self.handle_cpu_events_at(qt, &mut cpu_batch)
+                }
+                (Some(qt), None) => self.handle_cpu_events_at(qt, &mut cpu_batch),
+                // The memory completion peeked above is threaded through so
+                // the handler never recomputes it — the double water-fill
+                // per completion step is gone.
+                (None, Some((mt, tier, flow))) | (Some(_), Some((mt, tier, flow))) => {
+                    self.handle_mem_event(mt, tier, flow)
+                }
                 (None, None) => unreachable!("loop breaks before the epoch check"),
             }
             if let Some(e) = self.fatal.take() {
@@ -1401,8 +1412,38 @@ impl<'a, U> JobRunner<'a, U> {
         })
     }
 
-    fn handle_cpu_event(&mut self) {
-        let (t, ev) = self.queue.pop().expect("peeked event vanished");
+    /// Drain and handle every CPU event due at `at` in one coalesced heap
+    /// drain ([`EventQueue::pop_at`]).
+    ///
+    /// Byte-identical to the old pop-one-per-iteration loop: between two
+    /// same-instant CPU events the main loop's crash check (no crash `<= at`
+    /// exists once the first event was chosen — ties go to the crash *before*
+    /// any pop), epoch check (none strictly earlier than `at`), and memory
+    /// arbitration (a completion due at `at` loses the tie to the CPU event
+    /// anyway, and handling CPU work never creates an earlier one) were all
+    /// no-ops. Only `dispatch` could act between events — a completion can
+    /// free an executor slot — so it is interleaved here exactly where the
+    /// loop top would have run it.
+    fn handle_cpu_events_at(&mut self, at: SimTime, batch: &mut Vec<Ev>) {
+        self.queue.pop_at(at, batch);
+        debug_assert!(!batch.is_empty(), "peeked event vanished");
+        for (i, ev) in batch.drain(..).enumerate() {
+            if i > 0 {
+                self.dispatch();
+                // A fatal error aborts from the main loop; the rest of the
+                // batch is dropped exactly as it would have stayed queued.
+                if self.fatal.is_some() {
+                    return;
+                }
+            }
+            self.handle_cpu_event(at, ev);
+            if self.fatal.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn handle_cpu_event(&mut self, t: SimTime, ev: Ev) {
         self.prof.count_event(match &ev {
             Ev::CpuDone(_) => EventClass::CpuTimer,
             Ev::Retry(..) => EventClass::Retry,
@@ -1551,43 +1592,71 @@ impl<'a, U> JobRunner<'a, U> {
         }
     }
 
-    fn handle_mem_event(&mut self) {
-        let (t, tier, flow) = self.mem.next_completion().expect("peeked flow vanished");
+    /// Retire the memory completion the main loop peeked at `(t, tier,
+    /// flow)`, then keep draining further completions due at exactly `t`.
+    ///
+    /// The coalesced drain is byte-identical to returning to the main loop
+    /// per completion: a retirement that does not finish a task frees no
+    /// executor slot and queues no work, so the loop-top `dispatch` was a
+    /// no-op; no crash `<= t` or epoch `< t` can exist once the first
+    /// completion at `t` was chosen; and a CPU event due at `t` wins the
+    /// tie, so the drain defers to it. The loop stops (a) when a task
+    /// completes — a slot frees and `dispatch` has real work — (b) when a
+    /// same-instant CPU event must interleave, or (c) when the earliest
+    /// remaining completion is later than `t`. Re-querying
+    /// [`next_completion`](memtier_memsim::MemorySystem::next_completion)
+    /// per retirement is required for correctness (removing a flow re-shares
+    /// bandwidth, which can surface new same-instant completions) and cheap
+    /// against the rate cache.
+    fn handle_mem_event(&mut self, t: SimTime, tier: TierId, flow: u64) {
         self.now = t;
         self.mem.advance(t);
-        if let Some((migration_tier, batch)) = self.migration_flows.remove(&flow) {
-            self.prof.count_event(EventClass::Migration);
-            debug_assert_eq!(migration_tier, tier, "migration flow completed off-tier");
-            // The whole batch is the migration's: a one-part partition, so
-            // the ledger's conservation against the machine counters stays
-            // exact.
-            self.mem.finish_access_attributed(
-                t,
-                tier,
-                flow,
-                &batch,
-                &[(ObjectId::Migration, batch)],
-            );
-            return;
-        }
-        self.prof.count_event(EventClass::MemCompletion);
-        let task_id = self
-            .flow_owner
-            .remove(&flow)
-            .expect("completion for unowned flow");
-        let (batch, parts) = {
-            let task = self.running.get_mut(&task_id).expect("unknown task");
-            task.outstanding -= 1;
-            task.flows
-                .iter()
-                .find(|fl| fl.0 == tier && fl.1 == flow)
-                .map(|fl| (fl.2, fl.3.clone()))
-                .expect("flow not registered on task")
-        };
-        self.mem
-            .finish_access_attributed(t, tier, flow, &batch, &parts);
-        if self.running[&task_id].outstanding == 0 {
-            self.complete_task(task_id);
+        let (mut tier, mut flow) = (tier, flow);
+        loop {
+            if let Some((migration_tier, batch)) = self.migration_flows.remove(&flow) {
+                self.prof.count_event(EventClass::Migration);
+                debug_assert_eq!(migration_tier, tier, "migration flow completed off-tier");
+                // The whole batch is the migration's: a one-part partition,
+                // so the ledger's conservation against the machine counters
+                // stays exact.
+                self.mem.finish_access_attributed(
+                    t,
+                    tier,
+                    flow,
+                    &batch,
+                    &[(ObjectId::Migration, batch)],
+                );
+            } else {
+                self.prof.count_event(EventClass::MemCompletion);
+                let task_id = self
+                    .flow_owner
+                    .remove(&flow)
+                    .expect("completion for unowned flow");
+                let (batch, parts) = {
+                    let task = self.running.get_mut(&task_id).expect("unknown task");
+                    task.outstanding -= 1;
+                    task.flows
+                        .iter()
+                        .find(|fl| fl.0 == tier && fl.1 == flow)
+                        .map(|fl| (fl.2, fl.3.clone()))
+                        .expect("flow not registered on task")
+                };
+                self.mem
+                    .finish_access_attributed(t, tier, flow, &batch, &parts);
+                if self.running[&task_id].outstanding == 0 {
+                    self.complete_task(task_id);
+                    return;
+                }
+            }
+            match self.mem.next_completion() {
+                Some((t2, tier2, flow2))
+                    if t2 == t && self.queue.peek_time().is_none_or(|qt| qt > t) =>
+                {
+                    tier = tier2;
+                    flow = flow2;
+                }
+                _ => return,
+            }
         }
     }
 }
