@@ -24,7 +24,9 @@ use memtier_core::ScenarioResult;
 use memtier_memsim::MigrationStats;
 use memtier_workloads::{all_workloads, DataSize};
 use serde::{Deserialize, Serialize};
-use sparklite::{explain, EngineStats, ExplainReport, Finding, RecoveryStats, RunDigest};
+use sparklite::{
+    explain, EngineStats, ExplainReport, Finding, NetReport, RecoveryStats, RunDigest,
+};
 use std::collections::BTreeMap;
 
 /// Worker threads for campaign parallelism (scenarios are independent
@@ -458,6 +460,46 @@ pub fn bench_faults_entries(results: &[ScenarioResult]) -> Vec<BenchFaultsEntry>
                 .unwrap_or_else(|| "none".to_string()),
             virtual_runtime_s: r.elapsed_s,
             recovery: r.recovery,
+        })
+        .collect()
+}
+
+/// One row of the network-plane baseline (`BENCH_net.json`): a scenario's
+/// virtual runtime under one network wiring plus the full per-link traffic
+/// rollup. The `scenario` label embeds the wiring (`[net(...)]` suffix for
+/// topology runs), so rows join uniquely and the file feeds `compare` like
+/// every other baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchNetEntry {
+    /// Workload name.
+    pub app: String,
+    /// Full scenario label (workload, size, tier, grid, `[net(...)]`
+    /// suffix for runs with a wired topology).
+    pub scenario: String,
+    /// Network-mode label (`loopback` for unwired runs).
+    pub wiring: String,
+    /// End-to-end virtual runtime, seconds.
+    pub virtual_runtime_s: f64,
+    /// The run's traffic report (empty — all counters zero — for loopback
+    /// and single-node runs, where no transfer crosses a link).
+    pub network: NetReport,
+}
+
+/// Build the network-baseline rows for a result set, in input order.
+pub fn bench_net_entries(results: &[ScenarioResult]) -> Vec<BenchNetEntry> {
+    results
+        .iter()
+        .map(|r| BenchNetEntry {
+            app: r.scenario.workload.clone(),
+            scenario: r.scenario.label(),
+            wiring: r
+                .scenario
+                .network
+                .as_ref()
+                .map(|m| m.label())
+                .unwrap_or_else(|| "loopback".to_string()),
+            virtual_runtime_s: r.elapsed_s,
+            network: r.network.clone(),
         })
         .collect()
 }
@@ -975,6 +1017,39 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_ne!(rows[0].scenario, rows[1].scenario);
         let back: Vec<super::BenchFaultsEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn net_entries_label_wirings_and_roll_up_traffic() {
+        use memtier_core::{run_scenario, Scenario};
+        use memtier_memsim::TierId;
+        use memtier_workloads::DataSize;
+        use sparklite::{LocalityMode, NetTopology, NetworkMode};
+        let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR)
+            .with_grid(4, 10);
+        let wired = s.clone().with_network(NetworkMode::Topology {
+            topology: NetTopology::new(4, 2).with_oversubscription(4.0),
+            locality: LocalityMode::Blind,
+        });
+        let results = vec![run_scenario(&s).unwrap(), run_scenario(&wired).unwrap()];
+        let entries = super::bench_net_entries(&results);
+        assert_eq!(entries[0].wiring, "loopback");
+        assert!(entries[0].network.is_empty());
+        assert_eq!(entries[1].wiring, "net(4n/2r,os4,blind)");
+        assert!(entries[1].scenario.contains(&entries[1].wiring));
+        assert!(entries[1].network.total_bytes > 0);
+        // The per-link counters partition the locality split exactly.
+        assert_eq!(
+            entries[1].network.total_bytes,
+            entries[1].network.rack_local_bytes + entries[1].network.cross_rack_bytes
+        );
+        // A network baseline feeds `compare` like the others.
+        let json = serde_json::to_string(&entries).unwrap();
+        let rows: Vec<RuntimeRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_ne!(rows[0].scenario, rows[1].scenario);
+        let back: Vec<super::BenchNetEntry> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, entries);
     }
 

@@ -22,6 +22,9 @@ pub fn conf_for(scenario: &Scenario) -> SparkConf {
     if let Some(plan) = &scenario.faults {
         conf = conf.with_faults(plan.clone());
     }
+    if let Some(mode) = &scenario.network {
+        conf = conf.with_network(mode.clone());
+    }
     conf
 }
 
@@ -156,6 +159,7 @@ fn run_on_context(
         recovery: report.recovery,
         digest: report.digest,
         doctor: report.doctor,
+        network: report.network,
         engine: report.engine,
     };
     Ok((result, telemetry))

@@ -6,7 +6,8 @@ use memtier_memsim::{
 use memtier_workloads::DataSize;
 use serde::{Deserialize, Serialize};
 use sparklite::{
-    DoctorReport, EngineStats, FaultPlan, RecoveryStats, RunDigest, RunProfile, StageRollup,
+    DoctorReport, EngineStats, FaultPlan, NetReport, NetworkMode, RecoveryStats, RunDigest,
+    RunProfile, StageRollup,
 };
 
 /// One experimental configuration — a cell of the paper's sweeps.
@@ -36,6 +37,12 @@ pub struct Scenario {
     /// deserializes to) runs failure-free.
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// Cluster network wiring, if any. `None` (the default, and what every
+    /// scenario serialized before the network plane existed deserializes
+    /// to) keeps free loopback transfers. Skipped when absent so pre-plane
+    /// scenario JSON stays byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub network: Option<NetworkMode>,
 }
 
 impl Scenario {
@@ -52,6 +59,7 @@ impl Scenario {
             seed: 42,
             placement: None,
             faults: None,
+            network: None,
         }
     }
 
@@ -86,6 +94,12 @@ impl Scenario {
         self
     }
 
+    /// Wire the cluster through a simulated network topology.
+    pub fn with_network(mut self, mode: NetworkMode) -> Scenario {
+        self.network = Some(mode);
+        self
+    }
+
     /// A short display label (`pagerank-large@Tier 2, 1x40`); dynamic
     /// placement appends the policy (`…, 1x40 [hotcold(256MiB,5ms)]`) and
     /// a fault plan appends its own summary (`…, 1x40 [faults(seed3,…)]`),
@@ -101,6 +115,9 @@ impl Scenario {
         }
         if let Some(plan) = &self.faults {
             label = format!("{label} [{}]", plan.label());
+        }
+        if let Some(net) = &self.network {
+            label = format!("{label} [{}]", net.label());
         }
         label
     }
@@ -176,6 +193,13 @@ pub struct ScenarioResult {
     /// report).
     #[serde(default)]
     pub doctor: DoctorReport,
+    /// Aggregated network-plane activity: transfers and bytes by locality
+    /// class and traffic kind, plus per-link totals. All zeros under
+    /// loopback wiring — and skipped from the JSON entirely, so pre-plane
+    /// artifacts (and every loopback run) stay byte-identical
+    /// (`#[serde(default)]` for backward compatibility).
+    #[serde(default, skip_serializing_if = "NetReport::is_empty")]
+    pub network: NetReport,
     /// Wall-clock engine self-profiling sidecar, present only when the run
     /// enabled `profile_engine`. **Strictly outside the byte-identity
     /// domain**: every other field is a pure function of (workload, config,
@@ -302,12 +326,17 @@ mod tests {
             recovery: RecoveryStats::default(),
             digest: RunDigest::default(),
             doctor: DoctorReport::default(),
+            network: NetReport::default(),
             engine: None,
         };
         let json = serde_json::to_string(&result).unwrap();
         assert!(
             !json.contains("\"engine\""),
             "absent sidecar must not serialize"
+        );
+        assert!(
+            !json.contains("\"network\""),
+            "a quiet net report must not serialize"
         );
         let back: ScenarioResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.engine, None);
@@ -352,5 +381,34 @@ mod tests {
             .starts_with("sort-tiny@Tier 2, 1x40 [faults("));
         // And the recovery rollup defaults to quiet for old result JSON.
         assert!(RecoveryStats::default().is_quiet());
+    }
+
+    #[test]
+    fn network_is_optional_and_labeled() {
+        use memtier_des::SimTime;
+        use sparklite::{LocalityMode, NetTopology};
+        // Scenarios serialized before the network plane carry no `network`
+        // key; they must load as loopback, and a loopback scenario must not
+        // serialize the key at all.
+        let s = Scenario::default_conf("sort", DataSize::Tiny, TierId::NVM_NEAR);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("\"network\""));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.network, None);
+        assert_eq!(back.label(), "sort-tiny@Tier 2, 1x40");
+        // A topology shows up only as a label suffix, and round-trips.
+        let wired = back.clone().with_network(NetworkMode::Topology {
+            topology: NetTopology::new(4, 2),
+            locality: LocalityMode::DelayScheduling {
+                wait: SimTime::from_ms(1),
+            },
+        });
+        assert!(wired
+            .label()
+            .starts_with("sort-tiny@Tier 2, 1x40 [net(4n/2r,"));
+        assert!(wired.label().contains("delay1000us"));
+        let j2 = serde_json::to_string(&wired).unwrap();
+        let b2: Scenario = serde_json::from_str(&j2).unwrap();
+        assert_eq!(wired, b2);
     }
 }

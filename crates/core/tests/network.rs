@@ -1,0 +1,223 @@
+//! Workspace acceptance tests for the simulated network plane: a wired
+//! single-node topology is byte-identical to the unwired loopback runs, the
+//! per-link byte counters re-sum from the traffic in exact integers even
+//! under faults and dynamic placement, and locality-aware scheduling moves
+//! strictly fewer bytes across racks than blind placement.
+
+use memtier_core::{run_scenario, Scenario, ScenarioResult};
+use memtier_des::SimTime;
+use memtier_memsim::TierId;
+use memtier_workloads::{all_workloads, DataSize};
+use sparklite::{FaultPlan, LocalityMode, NetReport, NetTopology, NetworkMode};
+
+/// Serialize a result with the scenario descriptor blanked out: an unwired
+/// run and a single-node-topology run of the same workload differ *only*
+/// in their scenario (the `network` field and its label suffix), so
+/// everything measured must match byte-for-byte.
+fn measured_json(r: &ScenarioResult, desc: &Scenario) -> String {
+    let mut r = r.clone();
+    r.scenario = desc.clone();
+    serde_json::to_string(&r).unwrap()
+}
+
+fn single_node(locality: LocalityMode) -> NetworkMode {
+    NetworkMode::Topology {
+        topology: NetTopology::single_node(),
+        locality,
+    }
+}
+
+fn racked(oversub: f64, locality: LocalityMode) -> NetworkMode {
+    NetworkMode::Topology {
+        topology: NetTopology::new(4, 2).with_oversubscription(oversub),
+        locality,
+    }
+}
+
+/// The plane's ground rule: wiring up the degenerate single-node topology —
+/// where every transfer rides the loopback fast path — reproduces the
+/// unwired run byte-identically (virtual runtime, counters, energy, events,
+/// profile, hotness, doctor, network report) for every suite workload.
+#[test]
+fn single_node_topology_matches_loopback_byte_identically() {
+    for w in all_workloads() {
+        let s = Scenario::default_conf(w.name(), DataSize::Tiny, TierId::NVM_NEAR);
+        let wired = s.clone().with_network(single_node(LocalityMode::Blind));
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&wired).unwrap();
+        assert_eq!(
+            measured_json(&a, &s),
+            measured_json(&b, &s),
+            "{}: a single-node topology must be bit-for-bit loopback",
+            s.label()
+        );
+        assert!(
+            b.network.is_empty(),
+            "{}: no transfer may enter the plane on one node",
+            s.label()
+        );
+        // The loopback report serializes away entirely: pre-plane artifacts
+        // stay byte-identical.
+        assert!(!measured_json(&b, &s).contains("\"network\""));
+    }
+}
+
+/// Same firewall on a multi-executor grid, with delay scheduling switched
+/// on: one node means every preference is trivially node-local, so the
+/// policy may not perturb placement or timing.
+#[test]
+fn single_node_delay_scheduling_matches_loopback_on_a_grid() {
+    let s =
+        Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR).with_grid(3, 12);
+    let wired = s
+        .clone()
+        .with_network(single_node(LocalityMode::DelayScheduling {
+            wait: SimTime::from_us(500),
+        }));
+    let a = run_scenario(&s).unwrap();
+    let b = run_scenario(&wired).unwrap();
+    assert_eq!(
+        measured_json(&a, &s),
+        measured_json(&b, &s),
+        "delay scheduling on one node must be bit-for-bit loopback"
+    );
+}
+
+/// The exact-integer conservation contract on the traffic rollup: locality
+/// split, charge-kind split, and the per-link counters all re-sum to the
+/// byte total (every transfer exits its source through exactly one node
+/// uplink; every cross-rack transfer crosses exactly one rack uplink).
+fn assert_partitions(net: &NetReport, label: &str) {
+    assert!(net.transfers > 0, "{label}: no transfers entered the plane");
+    assert_eq!(
+        net.total_bytes,
+        net.rack_local_bytes + net.cross_rack_bytes,
+        "{label}: locality split must partition the bytes"
+    );
+    assert_eq!(
+        net.total_bytes,
+        net.shuffle_bytes
+            + net.broadcast_bytes
+            + net.dfs_read_bytes
+            + net.dfs_write_bytes
+            + net.rereplicate_bytes,
+        "{label}: charge-kind split must partition the bytes"
+    );
+    let link = |prefix: &str, suffix: &str| -> u64 {
+        net.links
+            .iter()
+            .filter(|l| l.label.starts_with(prefix) && l.label.ends_with(suffix))
+            .map(|l| l.bytes)
+            .sum()
+    };
+    assert_eq!(
+        net.total_bytes,
+        link("node", ":up"),
+        "{label}: node uplinks"
+    );
+    assert_eq!(
+        net.total_bytes,
+        link("node", ":down"),
+        "{label}: node downlinks"
+    );
+    assert_eq!(
+        net.cross_rack_bytes,
+        link("rack", ":up"),
+        "{label}: rack uplinks"
+    );
+    assert_eq!(
+        net.cross_rack_bytes,
+        link("rack", ":down"),
+        "{label}: rack downlinks"
+    );
+}
+
+/// Per-link counters conserve in exact integers on a clean wired run, the
+/// report survives a serialization round trip, and the whole run is
+/// deterministic.
+#[test]
+fn per_link_counters_conserve_and_round_trip() {
+    let s = Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR)
+        .with_grid(3, 12)
+        .with_network(racked(4.0, LocalityMode::Blind));
+    let a = run_scenario(&s).unwrap();
+    assert_partitions(&a.network, &s.label());
+    assert!(a.network.shuffle_bytes > 0, "repartition must shuffle");
+    let json = serde_json::to_string(&a).unwrap();
+    assert!(json.contains("\"network\""));
+    let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, a);
+    let b = run_scenario(&s).unwrap();
+    assert_eq!(
+        a.virtual_identity_json(),
+        b.virtual_identity_json(),
+        "wired runs must be deterministic"
+    );
+}
+
+/// The same conservation contract under fire: task failures, fetch
+/// failures (lineage-recovery refetch traffic), an executor crash
+/// (cancelled in-flight transfers), and delay scheduling all at once.
+/// Cancelled transfers never credit the link counters — only completed
+/// bytes re-sum.
+#[test]
+fn per_link_counters_conserve_under_faults_and_dynamic_placement() {
+    let plan = FaultPlan::seeded(3)
+        .with_task_failures(0.10)
+        .with_fetch_failures(0.10)
+        .with_crash(SimTime::from_ms(1), 1);
+    let s = Scenario::default_conf("pagerank", DataSize::Tiny, TierId::NVM_NEAR)
+        .with_grid(3, 12)
+        .with_network(racked(
+            4.0,
+            LocalityMode::DelayScheduling {
+                wait: SimTime::from_us(500),
+            },
+        ))
+        .with_faults(plan);
+    let a = run_scenario(&s).unwrap();
+    assert_partitions(&a.network, &s.label());
+    assert!(
+        !a.recovery.is_quiet(),
+        "the plan must actually injure the run: {:?}",
+        a.recovery
+    );
+    let b = run_scenario(&s).unwrap();
+    assert_eq!(
+        a.virtual_identity_json(),
+        b.virtual_identity_json(),
+        "faulty wired runs must be deterministic"
+    );
+}
+
+/// The locality win: on the asymmetric 3-executors-over-2-racks grid, delay
+/// scheduling places reducers next to the bulk of their shuffle input and
+/// moves strictly fewer bytes across racks than blind round-robin, without
+/// changing what the job computes.
+#[test]
+fn delay_scheduling_strictly_reduces_cross_rack_bytes() {
+    let base =
+        Scenario::default_conf("repartition", DataSize::Tiny, TierId::NVM_NEAR).with_grid(3, 12);
+    let blind = base.clone().with_network(racked(4.0, LocalityMode::Blind));
+    let local = base.clone().with_network(racked(
+        4.0,
+        LocalityMode::DelayScheduling {
+            wait: SimTime::from_us(500),
+        },
+    ));
+    let a = run_scenario(&blind).unwrap();
+    let b = run_scenario(&local).unwrap();
+    assert_partitions(&a.network, &blind.label());
+    assert_partitions(&b.network, &local.label());
+    assert!(
+        b.network.cross_rack_bytes < a.network.cross_rack_bytes,
+        "delay scheduling must strictly cut cross-rack bytes: blind {} vs delay {}",
+        a.network.cross_rack_bytes,
+        b.network.cross_rack_bytes
+    );
+    assert_eq!(
+        a.checksum, b.checksum,
+        "placement must not change the answer"
+    );
+    assert_eq!(a.output_records, b.output_records);
+}

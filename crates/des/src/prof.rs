@@ -46,11 +46,15 @@ pub enum EventClass {
     TelemetrySample,
     /// One task attempt dispatched onto an executor core.
     TaskDispatch,
+    /// A network-plane link drain retired by the scheduler's net handler.
+    NetCompletion,
+    /// A delay-scheduling locality-relax timer popped from the event queue.
+    NetRelax,
 }
 
 impl EventClass {
     /// Number of distinct event classes (array sizing).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// All classes, in stable display order.
     pub const ALL: [EventClass; EventClass::COUNT] = [
@@ -63,6 +67,8 @@ impl EventClass {
         EventClass::FaultCrash,
         EventClass::TelemetrySample,
         EventClass::TaskDispatch,
+        EventClass::NetCompletion,
+        EventClass::NetRelax,
     ];
 
     /// Stable snake_case name used as the JSON map key.
@@ -77,6 +83,8 @@ impl EventClass {
             EventClass::FaultCrash => "fault_crash",
             EventClass::TelemetrySample => "telemetry_sample",
             EventClass::TaskDispatch => "task_dispatch",
+            EventClass::NetCompletion => "net_completion",
+            EventClass::NetRelax => "net_relax",
         }
     }
 
@@ -91,6 +99,8 @@ impl EventClass {
             EventClass::FaultCrash => 6,
             EventClass::TelemetrySample => 7,
             EventClass::TaskDispatch => 8,
+            EventClass::NetCompletion => 9,
+            EventClass::NetRelax => 10,
         }
     }
 }

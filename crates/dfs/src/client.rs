@@ -89,6 +89,27 @@ impl DfsClient {
         Err(DfsError::AllReplicasUnavailable(block.id))
     }
 
+    /// Read one block trying live replicas in ascending `rank` order and
+    /// report which datanode served it. The sort is stable, so replicas
+    /// with equal ranks keep their declaration order — a constant rank is
+    /// byte-for-byte today's first-survivor behaviour — and the fallback
+    /// across down replicas is unchanged: a closer-but-dead replica is
+    /// skipped, not fatal.
+    pub fn read_block_ranked(
+        &self,
+        block: &BlockInfo,
+        rank: impl Fn(DataNodeId) -> u8,
+    ) -> Result<(Arc<Vec<u8>>, DataNodeId), DfsError> {
+        let mut ordered = block.replicas.clone();
+        ordered.sort_by_key(|&r| rank(r));
+        for replica in ordered {
+            if let Some(data) = self.datanode(replica).get(block.id) {
+                return Ok((data, replica));
+            }
+        }
+        Err(DfsError::AllReplicasUnavailable(block.id))
+    }
+
     /// File metadata.
     pub fn stat(&self, path: &str) -> Result<FileStatus, DfsError> {
         self.namenode.read().stat(path).cloned()
@@ -206,6 +227,35 @@ mod tests {
         // A restore brings the data back without re-replication.
         dfs.restore_datanode(block.replicas[0]);
         assert_eq!(c.read_file("/f").unwrap(), vec![5u8; 100]);
+    }
+
+    #[test]
+    fn ranked_reads_prefer_low_rank_but_survive_its_loss() {
+        let dfs = deployment();
+        let c = dfs.client();
+        let st = c.write_file("/f", &[9u8; 100], 100, 3).unwrap();
+        let block = &st.blocks[0];
+        let preferred = block.replicas[2];
+        // Rank the last-declared replica closest: it must serve the read.
+        let rank = |d: DataNodeId| if d == preferred { 0 } else { 1 };
+        let (_, served) = c.read_block_ranked(block, rank).unwrap();
+        assert_eq!(served, preferred);
+        // With the preferred replica down, the fallback keeps declaration
+        // order among the equally-ranked survivors (PR 5 behaviour).
+        dfs.fail_datanode(preferred);
+        let (_, served) = c.read_block_ranked(block, rank).unwrap();
+        assert_eq!(served, block.replicas[0]);
+        // A constant rank is exactly first-survivor order.
+        let (_, served) = c.read_block_ranked(block, |_| 0).unwrap();
+        assert_eq!(served, block.replicas[0]);
+        // Everything down: the typed error, as with read_block.
+        for &r in &block.replicas {
+            dfs.fail_datanode(r);
+        }
+        assert_eq!(
+            c.read_block_ranked(block, rank).unwrap_err(),
+            DfsError::AllReplicasUnavailable(block.id)
+        );
     }
 
     #[test]

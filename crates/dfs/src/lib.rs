@@ -106,8 +106,15 @@ impl Dfs {
     /// it (fewest-used first). Returns the number of replicas created;
     /// errors if some block has no surviving replica.
     pub fn rereplicate(&self) -> Result<usize, DfsError> {
+        Ok(self.rereplicate_with_records()?.len())
+    }
+
+    /// [`rereplicate`](Self::rereplicate), but returning one record per
+    /// replica copy so callers can charge the `src → dst` traffic through
+    /// a network plane. Records appear in the deterministic copy order.
+    pub fn rereplicate_with_records(&self) -> Result<Vec<ReplicaCopy>, DfsError> {
         let client = self.client();
-        let mut created = 0;
+        let mut copies = Vec::new();
         for file in client.list("/") {
             for block in &file.blocks {
                 let live: Vec<&std::sync::Arc<DataNode>> = self
@@ -131,12 +138,30 @@ impl Dfs {
                 candidates.sort_by_key(|d| (d.used(), d.id().0));
                 for target in candidates.into_iter().take(file.replication - live.len()) {
                     target.put(block.id, std::sync::Arc::clone(&payload))?;
-                    created += 1;
+                    copies.push(ReplicaCopy {
+                        block: block.id,
+                        src: source.id(),
+                        dst: target.id(),
+                        bytes: block.len as u64,
+                    });
                 }
             }
         }
-        Ok(created)
+        Ok(copies)
     }
+}
+
+/// One replica copy made by [`Dfs::rereplicate_with_records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaCopy {
+    /// The block that was copied.
+    pub block: BlockId,
+    /// Surviving datanode the bytes were read from.
+    pub src: DataNodeId,
+    /// Datanode that received the new replica.
+    pub dst: DataNodeId,
+    /// Block length in bytes.
+    pub bytes: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,33 @@
+//! # memtier-netsim — simulated network plane
+//!
+//! A deterministic node/rack cluster network for the `spark-memtier` stack:
+//!
+//! * [`NetTopology`] — nodes grouped contiguously into racks; every node
+//!   owns a full-duplex link into its rack switch and every rack a
+//!   full-duplex uplink into the core, shrunk by an oversubscription
+//!   factor. Same-node transfers take a loopback fast path and cost
+//!   nothing.
+//! * [`NetworkPlane`] — every cross-node transfer becomes one flow per
+//!   path link, each link a max–min fair [`memtier_des::SharedResource`]
+//!   (the memoized water-fill kernel memory channels use). A transfer
+//!   completes when its bottleneck link drains; at that instant — and only
+//!   then — the whole transfer is credited to every path link's exact
+//!   integer byte counter, which is what the scheduler-side conservation
+//!   invariant re-sums against.
+//! * [`NetworkMode`] / [`LocalityMode`] — the `SparkConf` surface: loopback
+//!   (the byte-identity baseline, no plane at all) or a topology with
+//!   locality-blind or delay-scheduling task placement.
+//!
+//! The crate is engine-agnostic: it maps executors/datanodes/driver to
+//! nodes but knows nothing about tasks, stages, or tiers. See
+//! `sparklite::net` for the scheduler-side bookkeeping.
+
+#![warn(missing_docs)]
+
+pub mod plane;
+pub mod topology;
+
+pub use plane::{NetworkPlane, TransferDone};
+pub use topology::{
+    LinkId, Locality, LocalityMode, NetTopology, NetworkMode, DEFAULT_LATENCY_US, DEFAULT_NODE_BW,
+};

@@ -1,0 +1,473 @@
+//! Node/rack topology: link naming, routing, capacities, and locality.
+
+use memtier_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Default per-node link bandwidth: 10 Gb/s Ethernet in bytes/second.
+pub const DEFAULT_NODE_BW: f64 = 1.25e9;
+/// Default per-hop latency in microseconds (commodity datacenter RTT scale).
+pub const DEFAULT_LATENCY_US: f64 = 100.0;
+
+/// A two-level (node → rack) cluster topology.
+///
+/// Every node owns a full-duplex link into its rack switch (modeled as a
+/// separate `up` and `down` half, each of [`node_bw`](Self::node_bw)
+/// bytes/s), and every rack owns a full-duplex uplink into the core. The
+/// rack uplink carries the aggregate of its nodes divided by the
+/// [`rack_oversubscription`](Self::rack_oversubscription) factor — the
+/// classic leaf/spine oversubscription knob. Transfers between co-located
+/// endpoints (same node) take the loopback fast path: no links, no latency,
+/// no flows.
+///
+/// Nodes are assigned to racks contiguously: with `nodes = 4, racks = 2`,
+/// rack 0 holds nodes {0, 1} and rack 1 holds nodes {2, 3}.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetTopology {
+    /// Number of physical nodes.
+    pub nodes: u32,
+    /// Number of racks; must divide `nodes` evenly.
+    pub racks: u32,
+    /// Bandwidth of each node↔rack-switch link half, in bytes/second.
+    pub node_bw: f64,
+    /// Rack-uplink oversubscription factor (≥ 1): the uplink's capacity is
+    /// `node_bw × nodes_per_rack / rack_oversubscription`.
+    pub rack_oversubscription: f64,
+    /// Per-hop propagation + switching latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Default for NetTopology {
+    fn default() -> Self {
+        NetTopology::new(1, 1)
+    }
+}
+
+impl NetTopology {
+    /// A topology with the default bandwidth/latency/oversubscription.
+    pub fn new(nodes: u32, racks: u32) -> Self {
+        NetTopology {
+            nodes,
+            racks,
+            node_bw: DEFAULT_NODE_BW,
+            rack_oversubscription: 1.0,
+            latency_us: DEFAULT_LATENCY_US,
+        }
+    }
+
+    /// The degenerate single-node topology: every transfer is loopback.
+    pub fn single_node() -> Self {
+        NetTopology::new(1, 1)
+    }
+
+    /// Set the rack-uplink oversubscription factor (builder style).
+    pub fn with_oversubscription(mut self, factor: f64) -> Self {
+        self.rack_oversubscription = factor;
+        self
+    }
+
+    /// Check the structural invariants, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("network topology needs at least one node".into());
+        }
+        if self.racks == 0 {
+            return Err("network topology needs at least one rack".into());
+        }
+        if self.racks > self.nodes {
+            return Err(format!(
+                "network topology has more racks ({}) than nodes ({})",
+                self.racks, self.nodes
+            ));
+        }
+        if self.nodes % self.racks != 0 {
+            return Err(format!(
+                "network topology nodes ({}) must divide evenly into racks ({})",
+                self.nodes, self.racks
+            ));
+        }
+        if !(self.node_bw.is_finite() && self.node_bw > 0.0) {
+            return Err(format!(
+                "network node bandwidth must be positive and finite, got {}",
+                self.node_bw
+            ));
+        }
+        if !(self.rack_oversubscription.is_finite() && self.rack_oversubscription >= 1.0) {
+            return Err(format!(
+                "rack oversubscription must be a finite factor >= 1, got {}",
+                self.rack_oversubscription
+            ));
+        }
+        if !(self.latency_us.is_finite() && self.latency_us >= 0.0) {
+            return Err(format!(
+                "network latency must be finite and non-negative, got {}",
+                self.latency_us
+            ));
+        }
+        Ok(())
+    }
+
+    /// Nodes per rack (contiguous assignment).
+    pub fn nodes_per_rack(&self) -> u32 {
+        self.nodes / self.racks
+    }
+
+    /// The rack holding `node`.
+    pub fn rack_of(&self, node: u32) -> u32 {
+        node / self.nodes_per_rack()
+    }
+
+    /// The node hosting executor `exec` (round-robin assignment, matching
+    /// how a cluster manager spreads executors over a homogeneous fleet).
+    pub fn node_of_executor(&self, exec: usize) -> u32 {
+        (exec as u64 % self.nodes as u64) as u32
+    }
+
+    /// The node hosting DFS datanode `datanode` (round-robin, co-located
+    /// with executors the way HDFS datanodes share Spark workers).
+    pub fn node_of_datanode(&self, datanode: u32) -> u32 {
+        datanode % self.nodes
+    }
+
+    /// The node hosting the driver.
+    pub fn driver_node(&self) -> u32 {
+        0
+    }
+
+    /// Locality class of a transfer between two nodes.
+    pub fn locality(&self, a: u32, b: u32) -> Locality {
+        if a == b {
+            Locality::NodeLocal
+        } else if self.rack_of(a) == self.rack_of(b) {
+            Locality::RackLocal
+        } else {
+            Locality::Remote
+        }
+    }
+
+    /// The ordered link path of a `src → dst` transfer. Same-node transfers
+    /// return the empty path (loopback fast path: free).
+    pub fn path(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let (rs, rd) = (self.rack_of(src), self.rack_of(dst));
+        if rs == rd {
+            vec![LinkId::NodeUp(src), LinkId::NodeDown(dst)]
+        } else {
+            vec![
+                LinkId::NodeUp(src),
+                LinkId::RackUp(rs),
+                LinkId::RackDown(rd),
+                LinkId::NodeDown(dst),
+            ]
+        }
+    }
+
+    /// Capacity of a link in bytes/second.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        match link {
+            LinkId::NodeUp(_) | LinkId::NodeDown(_) => self.node_bw,
+            LinkId::RackUp(_) | LinkId::RackDown(_) => {
+                self.node_bw * self.nodes_per_rack() as f64 / self.rack_oversubscription
+            }
+        }
+    }
+
+    /// Total number of links: an up/down half per node plus per rack.
+    pub fn num_links(&self) -> usize {
+        2 * self.nodes as usize + 2 * self.racks as usize
+    }
+
+    /// Dense index of a link in `0..num_links()`, stable across runs:
+    /// node-up halves first, then node-down, rack-up, rack-down.
+    pub fn link_index(&self, link: LinkId) -> usize {
+        let n = self.nodes as usize;
+        match link {
+            LinkId::NodeUp(i) => i as usize,
+            LinkId::NodeDown(i) => n + i as usize,
+            LinkId::RackUp(r) => 2 * n + r as usize,
+            LinkId::RackDown(r) => 2 * n + self.racks as usize + r as usize,
+        }
+    }
+
+    /// The link at a dense index (inverse of [`link_index`](Self::link_index)).
+    pub fn link_at(&self, index: usize) -> LinkId {
+        let n = self.nodes as usize;
+        let r = self.racks as usize;
+        if index < n {
+            LinkId::NodeUp(index as u32)
+        } else if index < 2 * n {
+            LinkId::NodeDown((index - n) as u32)
+        } else if index < 2 * n + r {
+            LinkId::RackUp((index - 2 * n) as u32)
+        } else {
+            LinkId::RackDown((index - 2 * n - r) as u32)
+        }
+    }
+
+    /// Whether the dense link index names a rack uplink/downlink half.
+    pub fn is_rack_link(&self, index: usize) -> bool {
+        index >= 2 * self.nodes as usize
+    }
+
+    /// Nominal (uncontended) duration of a transfer: per-hop latency plus
+    /// the serialization time on the path's bottleneck link. Loopback
+    /// transfers are free.
+    pub fn nominal_time(&self, src: u32, dst: u32, bytes: u64) -> SimTime {
+        let path = self.path(src, dst);
+        if path.is_empty() {
+            return SimTime::ZERO;
+        }
+        let bottleneck = path
+            .iter()
+            .map(|&l| self.link_capacity(l))
+            .fold(f64::INFINITY, f64::min);
+        let secs = self.latency_us * 1e-6 * path.len() as f64 + bytes as f64 / bottleneck;
+        SimTime::from_secs_f64(secs)
+    }
+}
+
+/// One half-duplex link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Node `n` → rack switch.
+    NodeUp(u32),
+    /// Rack switch → node `n`.
+    NodeDown(u32),
+    /// Rack `r` → core.
+    RackUp(u32),
+    /// Core → rack `r`.
+    RackDown(u32),
+}
+
+impl LinkId {
+    /// Stable human-readable label (used by events, traces, and reports).
+    pub fn label(&self) -> String {
+        match self {
+            LinkId::NodeUp(n) => format!("node{n}:up"),
+            LinkId::NodeDown(n) => format!("node{n}:down"),
+            LinkId::RackUp(r) => format!("rack{r}:up"),
+            LinkId::RackDown(r) => format!("rack{r}:down"),
+        }
+    }
+}
+
+/// Locality class of a transfer (and of a task placement decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Endpoints share a node: loopback, free.
+    NodeLocal,
+    /// Endpoints share a rack but not a node.
+    RackLocal,
+    /// Endpoints sit in different racks.
+    Remote,
+}
+
+impl Locality {
+    /// Stable label for events and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Locality::NodeLocal => "node-local",
+            Locality::RackLocal => "rack-local",
+            Locality::Remote => "remote",
+        }
+    }
+}
+
+/// How the simulated cluster is wired, from `SparkConf`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum NetworkMode {
+    /// No network plane: every transfer is free loopback (the pre-plane
+    /// model, and the byte-identity baseline).
+    #[default]
+    Loopback,
+    /// A node/rack topology with flows on every cross-node transfer.
+    Topology {
+        /// The cluster wiring.
+        topology: NetTopology,
+        /// How the scheduler uses (or ignores) locality.
+        locality: LocalityMode,
+    },
+}
+
+impl NetworkMode {
+    /// The topology, when one is configured.
+    pub fn topology(&self) -> Option<&NetTopology> {
+        match self {
+            NetworkMode::Loopback => None,
+            NetworkMode::Topology { topology, .. } => Some(topology),
+        }
+    }
+
+    /// The locality policy, when a topology is configured.
+    pub fn locality(&self) -> Option<&LocalityMode> {
+        match self {
+            NetworkMode::Loopback => None,
+            NetworkMode::Topology { locality, .. } => Some(locality),
+        }
+    }
+
+    /// Short display label for scenario keys: `loopback`, or e.g.
+    /// `net(4n/2r,os4,delay1000us)`.
+    pub fn label(&self) -> String {
+        match self {
+            NetworkMode::Loopback => "loopback".to_string(),
+            NetworkMode::Topology { topology, locality } => {
+                let policy = match locality {
+                    LocalityMode::Blind => "blind".to_string(),
+                    LocalityMode::DelayScheduling { wait } => {
+                        format!("delay{}us", wait.as_ps() / 1_000_000)
+                    }
+                };
+                format!(
+                    "net({}n/{}r,os{},{policy})",
+                    topology.nodes, topology.racks, topology.rack_oversubscription
+                )
+            }
+        }
+    }
+}
+
+/// Task-placement policy of the scheduler under a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LocalityMode {
+    /// Ignore locality: keep the plain round-robin placement (charges
+    /// traffic but never moves a task for it).
+    Blind,
+    /// Spark-style delay scheduling: hold a task for up to `wait` of
+    /// virtual time per locality level before relaxing node-local →
+    /// rack-local → any.
+    DelayScheduling {
+        /// How long a task may wait per level before relaxing.
+        wait: SimTime,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> NetTopology {
+        NetTopology::new(4, 2)
+    }
+
+    #[test]
+    fn rack_assignment_is_contiguous() {
+        let t = topo();
+        assert_eq!(t.nodes_per_rack(), 2);
+        assert_eq!(
+            (0..4).map(|n| t.rack_of(n)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn loopback_path_is_empty_and_free() {
+        let t = topo();
+        assert!(t.path(2, 2).is_empty());
+        assert_eq!(t.nominal_time(2, 2, 1 << 30), SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_rack_path_has_two_hops() {
+        let t = topo();
+        assert_eq!(t.path(0, 1), vec![LinkId::NodeUp(0), LinkId::NodeDown(1)]);
+    }
+
+    #[test]
+    fn cross_rack_path_traverses_both_uplinks() {
+        let t = topo();
+        assert_eq!(
+            t.path(1, 2),
+            vec![
+                LinkId::NodeUp(1),
+                LinkId::RackUp(0),
+                LinkId::RackDown(1),
+                LinkId::NodeDown(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversubscription_shrinks_rack_capacity() {
+        let mut t = topo();
+        t.rack_oversubscription = 4.0;
+        // nodes_per_rack = 2, so the uplink aggregates 2 × node_bw / 4.
+        let expect = t.node_bw * 2.0 / 4.0;
+        assert_eq!(t.link_capacity(LinkId::RackUp(0)), expect);
+        assert_eq!(t.link_capacity(LinkId::NodeUp(0)), t.node_bw);
+    }
+
+    #[test]
+    fn link_index_round_trips() {
+        let t = topo();
+        for i in 0..t.num_links() {
+            assert_eq!(t.link_index(t.link_at(i)), i);
+        }
+        assert_eq!(t.num_links(), 12);
+        assert!(t.is_rack_link(t.link_index(LinkId::RackUp(1))));
+        assert!(!t.is_rack_link(t.link_index(LinkId::NodeDown(3))));
+    }
+
+    #[test]
+    fn locality_classes() {
+        let t = topo();
+        assert_eq!(t.locality(0, 0), Locality::NodeLocal);
+        assert_eq!(t.locality(0, 1), Locality::RackLocal);
+        assert_eq!(t.locality(0, 3), Locality::Remote);
+        assert_eq!(Locality::Remote.label(), "remote");
+    }
+
+    #[test]
+    fn executor_and_datanode_mapping_wraps() {
+        let t = topo();
+        assert_eq!(t.node_of_executor(5), 1);
+        assert_eq!(t.node_of_datanode(7), 3);
+        assert_eq!(t.driver_node(), 0);
+    }
+
+    #[test]
+    fn nominal_time_uses_bottleneck_and_hops() {
+        let mut t = topo();
+        t.node_bw = 1e9;
+        t.rack_oversubscription = 8.0; // rack links: 2e9/8 = 0.25e9
+        t.latency_us = 10.0;
+        let bytes = 250_000_000u64; // 1 s on the rack bottleneck
+        let got = t.nominal_time(0, 2, bytes).as_secs_f64();
+        assert!((got - (1.0 + 4.0 * 10.0e-6)).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(NetTopology::new(0, 1).validate().is_err());
+        assert!(NetTopology::new(4, 3).validate().is_err());
+        assert!(NetTopology::new(2, 4).validate().is_err());
+        let mut t = topo();
+        t.rack_oversubscription = 0.5;
+        assert!(t.validate().is_err());
+        let mut t = topo();
+        t.node_bw = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = topo();
+        t.latency_us = f64::NAN;
+        assert!(t.validate().is_err());
+        assert!(topo().validate().is_ok());
+    }
+
+    #[test]
+    fn network_mode_default_is_loopback_and_serde_skips_cleanly() {
+        let m = NetworkMode::default();
+        assert_eq!(m, NetworkMode::Loopback);
+        assert!(m.topology().is_none());
+        let m = NetworkMode::Topology {
+            topology: topo(),
+            locality: LocalityMode::DelayScheduling {
+                wait: SimTime::from_us(500),
+            },
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NetworkMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

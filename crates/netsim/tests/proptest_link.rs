@@ -1,0 +1,108 @@
+//! Property tests for the network plane: a shared link never serves above
+//! its bandwidth, and fair sharing never beats a naive per-flow reference
+//! that pretends every transfer has the link to itself.
+
+use memtier_des::SimTime;
+use memtier_netsim::{NetTopology, NetworkPlane};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A plane whose only contended resource is the node0:up link: every
+/// transfer goes node 0 → node 1 inside one rack.
+fn one_link_plane(node_bw: f64) -> NetworkPlane {
+    let mut t = NetTopology::new(2, 1);
+    t.node_bw = node_bw;
+    t.latency_us = 0.0;
+    NetworkPlane::new(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At every event instant the aggregate allocation on a shared link
+    /// stays within its bandwidth, and each transfer completes no earlier
+    /// than the naive per-flow reference `bytes / min(rate, bandwidth)`
+    /// (the lower bound a transfer alone on the link would achieve).
+    #[test]
+    fn concurrent_flows_never_exceed_link_bandwidth(
+        node_bw in 1.0e3f64..1.0e6,
+        specs in prop::collection::vec((1u64..1_000_000, 1.0f64..1.0e6), 1..24),
+    ) {
+        let mut p = one_link_plane(node_bw);
+        let up = p.topology().link_index(memtier_netsim::LinkId::NodeUp(0));
+        let mut naive: BTreeMap<u64, f64> = BTreeMap::new();
+        for (i, &(bytes, rate)) in specs.iter().enumerate() {
+            let id = i as u64;
+            p.begin_transfer(SimTime::ZERO, id, 0, 1, bytes, rate);
+            naive.insert(id, bytes as f64 / rate.min(node_bw));
+        }
+        let total_bytes: u64 = specs.iter().map(|&(b, _)| b).sum();
+
+        let mut done = 0usize;
+        let mut last = SimTime::ZERO;
+        while let Some(t) = p.next_event_time() {
+            // The memoized allocation on the contended link respects the
+            // bandwidth at every piecewise-constant segment.
+            let agg: f64 = p.link_rates(up).iter().map(|&(_, r)| r).sum();
+            prop_assert!(
+                agg <= node_bw * (1.0 + 1e-9),
+                "aggregate {agg} exceeds bandwidth {node_bw}"
+            );
+            prop_assert!(t >= last, "event times must be monotone");
+            last = t;
+            if let Some(d) = p.step(t) {
+                done += 1;
+                // Differential vs the naive reference: sharing never makes
+                // a transfer finish before it would alone.
+                let floor = naive[&d.id];
+                prop_assert!(
+                    d.at.as_secs_f64() >= floor * (1.0 - 1e-9),
+                    "transfer {} finished at {}s, below its alone-time {floor}s",
+                    d.id,
+                    d.at.as_secs_f64()
+                );
+            }
+        }
+        prop_assert_eq!(done, specs.len());
+        // Completion credits the whole transfer to both path links, exactly.
+        prop_assert_eq!(p.link_bytes()[up], total_bytes);
+        prop_assert_eq!(p.link_bytes().iter().sum::<u64>(), 2 * total_bytes);
+        prop_assert_eq!(p.in_flight(), 0);
+    }
+
+    /// Cancelling a random subset mid-drain: completed transfers conserve,
+    /// cancelled ones contribute nothing, and the plane fully drains.
+    #[test]
+    fn cancellation_keeps_counters_conserved(
+        node_bw in 1.0e3f64..1.0e5,
+        specs in prop::collection::vec((1u64..100_000, 1.0f64..1.0e5, any::<bool>()), 1..16),
+    ) {
+        let mut p = one_link_plane(node_bw);
+        let up = p.topology().link_index(memtier_netsim::LinkId::NodeUp(0));
+        for (i, &(bytes, rate, _)) in specs.iter().enumerate() {
+            p.begin_transfer(SimTime::ZERO, i as u64, 0, 1, bytes, rate);
+        }
+        // Cancel the marked subset at the first event instant.
+        let at = p.next_event_time().unwrap();
+        p.advance(at);
+        let mut cancelled_bytes = 0u64;
+        let mut cancelled = 0u64;
+        for (i, &(bytes, _, cancel)) in specs.iter().enumerate() {
+            if cancel {
+                p.cancel_transfer(at, i as u64);
+                cancelled_bytes += bytes;
+                cancelled += 1;
+            }
+        }
+        let mut completed_bytes = 0u64;
+        while let Some(t) = p.next_event_time() {
+            if let Some(d) = p.step(t) {
+                completed_bytes += d.bytes;
+            }
+        }
+        prop_assert_eq!(p.link_bytes()[up], completed_bytes);
+        prop_assert_eq!(p.cancelled(), (cancelled, cancelled_bytes));
+        let total: u64 = specs.iter().map(|&(b, _, _)| b).sum();
+        prop_assert_eq!(completed_bytes + cancelled_bytes, total);
+    }
+}

@@ -48,6 +48,13 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         // broadcast once and its ~40 concurrent tasks share it.
         let share = (self.bytes / 32).max(64);
         env.charge_input_scan(memtier_memsim::ObjectId::Broadcast, share);
+        // Under a topology the same share travels driver → executor.
+        env.record_net(
+            crate::net::NetChargeKind::Broadcast,
+            crate::net::NetPeer::Driver,
+            true,
+            share,
+        );
         &self.value
     }
 

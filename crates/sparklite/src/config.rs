@@ -4,6 +4,7 @@ use crate::cost::CostModel;
 use crate::error::{Result, SparkError};
 use crate::faultsim::FaultPlan;
 use memtier_memsim::{CpuBindPolicy, MemBindPolicy, MemSimConfig, PlacementSpec, TierId};
+use memtier_netsim::NetworkMode;
 use serde::{Deserialize, Serialize};
 
 /// Placement of one executor: which socket its threads are pinned to and
@@ -94,6 +95,13 @@ pub struct SparkConf {
     /// (minus the sidecar) with it on or off.
     #[serde(default)]
     pub profile_engine: bool,
+    /// How the simulated cluster is wired. `Loopback` (the default, and
+    /// what every config serialized before the network plane existed
+    /// deserializes to) charges no network cost anywhere and is guaranteed
+    /// byte-identical to the pre-plane engine; a `Topology` routes every
+    /// cross-node transfer through per-link fair-shared flows.
+    #[serde(default)]
+    pub network: NetworkMode,
 }
 
 impl Default for SparkConf {
@@ -112,6 +120,7 @@ impl Default for SparkConf {
             shuffle_through_disk: false,
             fault_plan: None,
             profile_engine: false,
+            network: NetworkMode::Loopback,
         }
     }
 }
@@ -158,6 +167,13 @@ impl SparkConf {
     /// config (see [`profile_engine`](Self::profile_engine)).
     pub fn with_engine_profiling(mut self) -> SparkConf {
         self.profile_engine = true;
+        self
+    }
+
+    /// Wire the simulated cluster with a network topology (or back to
+    /// loopback).
+    pub fn with_network(mut self, network: NetworkMode) -> SparkConf {
+        self.network = network;
         self
     }
 
@@ -265,6 +281,16 @@ impl SparkConf {
                         "speculation multiplier must be finite and >= 1, got {}",
                         spec.multiplier
                     )));
+                }
+            }
+        }
+        if let NetworkMode::Topology { topology, locality } = &self.network {
+            topology.validate().map_err(SparkError::InvalidConfig)?;
+            if let memtier_netsim::LocalityMode::DelayScheduling { wait } = locality {
+                if wait.is_zero() {
+                    return Err(SparkError::InvalidConfig(
+                        "delay-scheduling wait must be positive".into(),
+                    ));
                 }
             }
         }
@@ -430,6 +456,43 @@ mod tests {
         let back: SparkConf = serde_json::from_value(json).unwrap();
         assert!(!back.profile_engine);
         assert!(SparkConf::default().with_engine_profiling().profile_engine);
+    }
+
+    #[test]
+    fn network_is_optional_in_serialized_configs() {
+        // Configs serialized before the network plane existed carry no
+        // `network` key; deserialization must default it to Loopback.
+        let mut json = serde_json::to_value(SparkConf::default()).unwrap();
+        json.as_object_mut().unwrap().remove("network");
+        let back: SparkConf = serde_json::from_value(json).unwrap();
+        assert_eq!(back.network, NetworkMode::Loopback);
+    }
+
+    #[test]
+    fn network_topologies_are_validated() {
+        use memtier_des::SimTime;
+        use memtier_netsim::{LocalityMode, NetTopology};
+        SparkConf::default()
+            .with_network(NetworkMode::Topology {
+                topology: NetTopology::new(4, 2),
+                locality: LocalityMode::DelayScheduling {
+                    wait: SimTime::from_us(500),
+                },
+            })
+            .validate()
+            .unwrap();
+        let bad_shape = SparkConf::default().with_network(NetworkMode::Topology {
+            topology: NetTopology::new(4, 3),
+            locality: LocalityMode::Blind,
+        });
+        assert!(bad_shape.validate().is_err());
+        let bad_wait = SparkConf::default().with_network(NetworkMode::Topology {
+            topology: NetTopology::new(2, 1),
+            locality: LocalityMode::DelayScheduling {
+                wait: SimTime::ZERO,
+            },
+        });
+        assert!(bad_wait.validate().is_err());
     }
 
     #[test]

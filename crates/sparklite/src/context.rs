@@ -10,6 +10,7 @@ use crate::events::{
 use crate::explain::RunDigest;
 use crate::faultsim::{FaultState, RecoveryStats};
 use crate::metrics::{AppMetrics, StageRollup, SystemEvents};
+use crate::net::{NetChargeKind, NetReport, NetState};
 use crate::profile::{build_profile, ProfileLog, RunProfile};
 use crate::rdd::source::{GeneratorRdd, ParallelizeRdd, TextFileRdd};
 use crate::rdd::{Data, Rdd, RddId, RddVitals, TaskEnv};
@@ -74,6 +75,11 @@ pub struct RunReport {
     /// Built from always-on sources only, so it is a pure function of the
     /// run and lives inside the byte-identity domain.
     pub doctor: DoctorReport,
+    /// Aggregated network-plane activity: completed transfer counts and
+    /// bytes split by locality class and traffic kind, plus per-link
+    /// totals. All zeros (and skipped from serialized results) under the
+    /// default loopback wiring, keeping pre-plane artifacts byte-identical.
+    pub network: NetReport,
     /// Wall-clock engine self-profiling sidecar: present only when
     /// [`SparkConf::profile_engine`] was set. Strictly outside the
     /// byte-identity domain — everything else on this report is a pure
@@ -97,6 +103,7 @@ struct Inner {
     event_log: Mutex<Option<MemoryRingHandle>>,
     profile_log: Mutex<ProfileLog>,
     faults: Mutex<FaultState>,
+    net: Mutex<NetState>,
 }
 
 /// A handle to one application. Cloning shares the application (like
@@ -133,6 +140,7 @@ impl SparkContext {
             PlacementMode::Dynamic(spec) => PlacementEngine::new_dynamic(spec),
         };
         let faults = FaultState::new(conf.fault_plan.clone(), executors.len());
+        let net = NetState::new(&conf.network);
         Ok(SparkContext {
             inner: Arc::new(Inner {
                 conf,
@@ -149,6 +157,7 @@ impl SparkContext {
                 event_log: Mutex::new(None),
                 profile_log: Mutex::new(ProfileLog::default()),
                 faults: Mutex::new(faults),
+                net: Mutex::new(net),
             }),
         })
     }
@@ -253,6 +262,7 @@ impl SparkContext {
         let mut rollups = inner.rollups.lock();
         let mut profile_log = inner.profile_log.lock();
         let mut faults = inner.faults.lock();
+        let mut net = inner.net.lock();
         let job_seq = app.jobs;
         let runner = JobRunner::new(
             &inner.runtime,
@@ -269,6 +279,7 @@ impl SparkContext {
             &mut rollups,
             &mut profile_log,
             &mut faults,
+            &mut net,
         );
         let outcome = runner.run()?;
         *clock = outcome.finished_at;
@@ -534,6 +545,12 @@ impl SparkContext {
             let cache = self.inner.runtime.cache.stats();
             let params = TierId::all().map(|t| mem.tier_params(t).clone());
             let total_cores: u64 = self.inner.executors.iter().map(|e| e.cores as u64).sum();
+            let net = self.inner.net.lock();
+            debug_assert!(
+                net.conserves(),
+                "per-link byte counters must re-sum from completed transfers"
+            );
+            let network = net.report();
             let doctor = diagnose(&DoctorInputs {
                 elapsed,
                 total_cores,
@@ -548,7 +565,10 @@ impl SparkContext {
                 recovery,
                 waste_spans: &waste_spans,
                 object_series: mem.object_series(),
+                network: network.clone(),
+                net_records: &net.records,
             });
+            drop(net);
             drop(profile_log);
             RunReport {
                 elapsed,
@@ -564,6 +584,7 @@ impl SparkContext {
                 recovery,
                 digest,
                 doctor,
+                network,
                 engine: None,
             }
         };
@@ -578,5 +599,101 @@ impl SparkContext {
     /// accrues regardless.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.inner.faults.lock().stats
+    }
+
+    /// Aggregated network-plane activity so far (all zeros under the
+    /// default loopback wiring).
+    pub fn net_report(&self) -> NetReport {
+        self.inner.net.lock().report()
+    }
+
+    /// Restore full DFS replication after datanode loss, charging every
+    /// replica copy through the network plane as a driverless
+    /// `src datanode → dst datanode` transfer. The virtual clock advances
+    /// to the last copy's completion, so re-replication traffic competes
+    /// for the same rack uplinks as everything else. Under loopback wiring
+    /// the copies are free and instantaneous, exactly as before the plane
+    /// existed. Returns the number of replicas created.
+    pub fn rereplicate_dfs(&self) -> Result<usize> {
+        let copies = self
+            .inner
+            .runtime
+            .dfs_deployment()
+            .rereplicate_with_records()
+            .map_err(SparkError::from)?;
+        let mut net = self.inner.net.lock();
+        if !net.active() || copies.is_empty() {
+            return Ok(copies.len());
+        }
+        let mut clock = self.inner.clock.lock();
+        let mut events = self.inner.events.lock();
+        let start = *clock;
+        for c in &copies {
+            if c.bytes == 0 {
+                continue;
+            }
+            let topo = net.topology().expect("active plane has a topology");
+            let src = topo.node_of_datanode(c.src.0);
+            let dst = topo.node_of_datanode(c.dst.0);
+            if src == dst {
+                net.note_node_local(c.bytes);
+                continue;
+            }
+            // Pace each copy at its path's nominal solo rate; concurrent
+            // copies then fair-share the links like any other flows.
+            let nominal = topo.nominal_time(src, dst, c.bytes);
+            let rate = c.bytes as f64 / nominal.as_secs_f64().max(1e-12);
+            let (_, links, locality) = net.begin(
+                start,
+                None,
+                NetChargeKind::Rereplicate,
+                src,
+                dst,
+                c.bytes,
+                rate,
+                false,
+            );
+            if events.is_active() {
+                let topo = net.topology().expect("active plane has a topology");
+                for &l in &links {
+                    events.emit(
+                        start,
+                        Event::FlowStarted {
+                            task_id: None,
+                            link: topo.link_at(l).label(),
+                            bytes: c.bytes,
+                            locality: locality.label().to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        // Drain the plane: re-replication runs to completion before the
+        // application resumes, advancing the virtual clock past the last
+        // copy.
+        while let Some(t) = net.next_event_time() {
+            if let Some(rec) = net.step(t) {
+                let (bytes, locality, links) = (rec.bytes, rec.locality, rec.links.clone());
+                if events.is_active() {
+                    let topo = net.topology().expect("active plane has a topology");
+                    for &l in &links {
+                        events.emit(
+                            t,
+                            Event::FlowCompleted {
+                                task_id: None,
+                                link: topo.link_at(l).label(),
+                                bytes,
+                                locality: locality.label().to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+            if t > *clock {
+                *clock = t;
+            }
+        }
+        self.inner.mem.lock().advance(*clock);
+        Ok(copies.len())
     }
 }

@@ -27,7 +27,9 @@
 //! * fault waste re-sums to `wasted_time`;
 //! * eviction count/bytes re-sum to the profiler's eviction records, whose
 //!   count equals the block manager's eviction counter;
-//! * migration bytes re-sum to the ledger's `migration` object traffic.
+//! * migration bytes re-sum to the ledger's `migration` object traffic;
+//! * cross-rack network bytes re-sum to the network plane's
+//!   `cross_rack_bytes` counter (both zero under loopback wiring).
 //!
 //! ## Determinism
 //!
@@ -39,6 +41,7 @@
 //! deterministic function of the run).
 
 use crate::faultsim::RecoveryStats;
+use crate::net::{NetReport, TransferRecord};
 use crate::profile::{hotness_promotion_whatif, reprice, ProfileLog, RunProfile, WhatIf};
 use crate::storage::CacheStats;
 use memtier_des::SimTime;
@@ -48,6 +51,7 @@ use memtier_memsim::{
 };
 use memtier_metrics::table::{fmt_f64, sparkline};
 use memtier_metrics::AsciiTable;
+use memtier_netsim::Locality;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -99,6 +103,11 @@ pub const WEAR_MIN_SHARE: f64 = 0.5;
 /// Waste detector: minimum wasted fraction of executor occupancy.
 pub const WASTE_MIN_FRAC: f64 = 0.01;
 
+/// Cross-rack saturation detector: minimum share of completed network
+/// bytes that crossed racks for the oversubscribed uplinks to count as
+/// the bottleneck.
+pub const CROSS_RACK_MIN_BYTE_FRAC: f64 = 0.25;
+
 /// The detector that produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FindingKind {
@@ -116,6 +125,8 @@ pub enum FindingKind {
     NvmWriteWear,
     /// Failed / killed attempts burn a visible slice of occupancy.
     FaultWasteConcentration,
+    /// Oversubscribed rack uplinks carry most of the network traffic.
+    CrossRackSaturation,
 }
 
 impl FindingKind {
@@ -129,6 +140,7 @@ impl FindingKind {
             FindingKind::ExecutorIdleBubble => "executor-idle-bubble",
             FindingKind::NvmWriteWear => "nvm-write-wear",
             FindingKind::FaultWasteConcentration => "fault-waste-concentration",
+            FindingKind::CrossRackSaturation => "cross-rack-saturation",
         }
     }
 
@@ -141,6 +153,7 @@ impl FindingKind {
             FindingKind::ExecutorIdleBubble => 4,
             FindingKind::NvmWriteWear => 5,
             FindingKind::FaultWasteConcentration => 6,
+            FindingKind::CrossRackSaturation => 7,
         }
     }
 }
@@ -234,6 +247,12 @@ pub struct DoctorSeries {
     pub evict_bytes: Vec<u64>,
     /// Bytes the placement engine migrated per window.
     pub migration_bytes: Vec<u64>,
+    /// Cross-rack network bytes per window (completed transfers, binned at
+    /// completion; re-sums to the net report's `cross_rack_bytes`). Empty —
+    /// and skipped from serialized reports, preserving pre-plane artifacts —
+    /// when the run saw no cross-rack traffic.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub cross_rack_bytes: Vec<u64>,
 }
 
 /// The doctor's product: the conserved windowed series, the conservation
@@ -287,6 +306,10 @@ pub struct DoctorInputs<'a> {
     pub waste_spans: &'a [(SimTime, SimTime)],
     /// The ledger's per-batch object series (for the migration timeline).
     pub object_series: &'a [ObjectSample],
+    /// Aggregated network-plane rollup (all-zero under loopback wiring).
+    pub network: NetReport,
+    /// Completed network transfers, completion order (empty under loopback).
+    pub net_records: &'a [TransferRecord],
 }
 
 /// Split the half-open span `[a, b)` across the uniform grid, charging each
@@ -385,6 +408,7 @@ pub fn diagnose(inputs: &DoctorInputs<'_>) -> DoctorReport {
         evictions: vec![0u64; n],
         evict_bytes: vec![0u64; n],
         migration_bytes: vec![0u64; n],
+        cross_rack_bytes: Vec::new(),
     };
 
     // Re-bin the rollup onto the doctor grid. The doctor width is an
@@ -448,6 +472,17 @@ pub fn diagnose(inputs: &DoctorInputs<'_>) -> DoctorReport {
         }
     }
 
+    // Cross-rack transfer completions, binned at their completion instant.
+    // The series stays empty (and off the wire) when nothing crossed racks.
+    for r in inputs.net_records {
+        if r.locality == Locality::Remote {
+            if s.cross_rack_bytes.is_empty() {
+                s.cross_rack_bytes = vec![0u64; n];
+            }
+            s.cross_rack_bytes[slot(n, width_ps, r.at)] += r.bytes;
+        }
+    }
+
     // The conservation contract, in exact integers.
     let conserved = check_conservation(inputs, &s, queue_total);
 
@@ -506,6 +541,10 @@ fn check_conservation(inputs: &DoctorInputs<'_>, s: &DoctorSeries, queue_total: 
         .map(|o| o.delta_bytes)
         .sum();
     ok &= mig == ledger_mig;
+    // 7. Cross-rack windows partition the network report's cross-rack total
+    //    (both zero under loopback wiring).
+    let xrack: u64 = s.cross_rack_bytes.iter().sum();
+    ok &= xrack == inputs.network.cross_rack_bytes;
     ok
 }
 
@@ -922,6 +961,77 @@ fn run_detectors(inputs: &DoctorInputs<'_>, report: &DoctorReport) -> Vec<Findin
         }
     }
 
+    // --- cross-rack-saturation ----------------------------------------------
+    // The oversubscribed rack uplinks dominate the network plane when most
+    // completed bytes crossed racks. Recovery is priced as "make that
+    // traffic node-local": node-local transfers are free loopback, so the
+    // surviving network time scales with the byte share left on the wire —
+    // the net_scale what-if axis prices exactly that.
+    let netr = &inputs.network;
+    if netr.total_bytes > 0 && netr.cross_rack_bytes > 0 {
+        let frac = netr.cross_rack_bytes as f64 / netr.total_bytes as f64;
+        if frac >= CROSS_RACK_MIN_BYTE_FRAC {
+            let mut w = WhatIf::identity();
+            w.net_scale = 1.0 - frac;
+            let rep = reprice(inputs.profile, &w);
+            let recovery_s = rep.baseline_s - rep.predicted_s;
+            let xrack: Vec<f64> = s.cross_rack_bytes.iter().map(|&b| b as f64).collect();
+            let mut uplinks: Vec<(&str, u64)> = netr
+                .links
+                .iter()
+                .filter(|l| l.bytes > 0 && l.label.starts_with("rack"))
+                .map(|l| (l.label.as_str(), l.bytes))
+                .collect();
+            uplinks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            let worst = uplinks.first().map(|&(l, _)| l).unwrap_or("rack links");
+            let mut stages: Vec<((u64, u32), SimTime)> = {
+                let mut m: BTreeMap<(u64, u32), SimTime> = BTreeMap::new();
+                for task in &inputs.log.tasks {
+                    if !task.breakdown.net.is_zero() {
+                        *m.entry((task.job, task.stage)).or_default() += task.breakdown.net;
+                    }
+                }
+                m.into_iter().collect()
+            };
+            stages.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            findings.push(Finding {
+                kind: FindingKind::CrossRackSaturation,
+                severity: if recovery_s >= SATURATION_CRITICAL_FRAC * elapsed_s {
+                    Severity::Critical
+                } else if recovery_s >= SATURATION_MIN_RECOVERY_FRAC * elapsed_s {
+                    Severity::Warning
+                } else {
+                    Severity::Info
+                },
+                score: (recovery_s / elapsed_s).max(frac * SATURATION_MIN_RECOVERY_FRAC),
+                summary: format!(
+                    "cross-rack traffic dominates the network plane: {:.1} MB of \
+                     {:.1} MB completed bytes crossed racks ({:.1}%, busiest uplink \
+                     {worst}) — scheduling that traffic node-local recovers \
+                     ~{recovery_s:.4}s",
+                    netr.cross_rack_bytes as f64 / 1e6,
+                    netr.total_bytes as f64 / 1e6,
+                    frac * 100.0,
+                ),
+                evidence: evidence(
+                    s,
+                    width,
+                    inputs.elapsed,
+                    "cross-rack bytes",
+                    &xrack,
+                    &top_windows(&xrack, EVIDENCE_TOP_K),
+                ),
+                stages: stages
+                    .iter()
+                    .take(3)
+                    .map(|((j, st), _)| format!("job{j}/stage{st}"))
+                    .collect(),
+                objects: Vec::new(),
+                estimated_recovery_s: recovery_s,
+            });
+        }
+    }
+
     findings
 }
 
@@ -1055,6 +1165,8 @@ mod tests {
             recovery: RecoveryStats::default(),
             waste_spans: &[],
             object_series: &[],
+            network: NetReport::default(),
+            net_records: &[],
         }
     }
 
@@ -1182,6 +1294,86 @@ mod tests {
             .expect("waste above threshold must surface");
         assert!(f.estimated_recovery_s > 0.0);
         assert!(!f.evidence.is_empty());
+    }
+
+    #[test]
+    fn cross_rack_saturation_fires_and_conserves() {
+        use crate::net::NetChargeKind;
+
+        let windows = WindowRollup::default();
+        let counters = CounterSnapshot::zero();
+        let params = params();
+        let log = ProfileLog::default();
+        let elapsed = SimTime::from_ms(10);
+        let profile = build_profile(&log, elapsed);
+        let hotness = HotnessReport::default();
+        let cache = CacheStats::default();
+        let mut inputs = empty_inputs(
+            elapsed, &windows, &counters, &params, &profile, &log, &hotness, &cache,
+        );
+        let rec = |at_ms: u64, bytes: u64, locality: Locality| TransferRecord {
+            at: SimTime::from_ms(at_ms),
+            task: Some(1),
+            kind: NetChargeKind::ShuffleFetch,
+            src: 0,
+            dst: 2,
+            bytes,
+            locality,
+            links: vec![0],
+            refetch: false,
+        };
+        let records = vec![
+            rec(2, 3_000_000, Locality::Remote),
+            rec(4, 1_000_000, Locality::RackLocal),
+        ];
+        inputs.network = NetReport {
+            transfers: 2,
+            total_bytes: 4_000_000,
+            rack_local_bytes: 1_000_000,
+            cross_rack_bytes: 3_000_000,
+            shuffle_bytes: 4_000_000,
+            links: vec![crate::net::LinkReport {
+                label: "rack0:up".into(),
+                bytes: 3_000_000,
+                busy_s: 0.001,
+            }],
+            ..NetReport::default()
+        };
+        inputs.net_records = &records;
+        let r = diagnose(&inputs);
+        assert!(r.conserved, "cross-rack windows must re-sum to the report");
+        let binned: u64 = r.series.cross_rack_bytes.iter().sum();
+        assert_eq!(binned, 3_000_000);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::CrossRackSaturation)
+            .expect("75% cross-rack share must surface");
+        assert!(f.summary.contains("rack0:up"));
+        assert!(!f.evidence.is_empty());
+        // With no network time in the profile the what-if recovers nothing,
+        // but the byte-share score still ranks the finding.
+        assert!(f.score > 0.0);
+    }
+
+    #[test]
+    fn mismatched_cross_rack_totals_break_conservation() {
+        let windows = WindowRollup::default();
+        let counters = CounterSnapshot::zero();
+        let params = params();
+        let log = ProfileLog::default();
+        let elapsed = SimTime::from_ms(10);
+        let profile = build_profile(&log, elapsed);
+        let hotness = HotnessReport::default();
+        let cache = CacheStats::default();
+        let mut inputs = empty_inputs(
+            elapsed, &windows, &counters, &params, &profile, &log, &hotness, &cache,
+        );
+        // The report claims cross-rack bytes, but no records back them.
+        inputs.network.total_bytes = 1_000_000;
+        inputs.network.cross_rack_bytes = 1_000_000;
+        let r = diagnose(&inputs);
+        assert!(!r.conserved);
     }
 
     #[test]

@@ -243,6 +243,32 @@ pub enum Event {
         /// Partition the copy computed.
         partition: usize,
     },
+    /// A cross-node transfer entered the network plane: one event per link
+    /// of its path. Only emitted under a topology (never in loopback mode).
+    FlowStarted {
+        /// Owning task (`None` for driver-initiated transfers such as DFS
+        /// re-replication).
+        task_id: Option<u64>,
+        /// Link label (e.g. `"node0:up"`, `"rack1:down"`).
+        link: String,
+        /// Transfer size in bytes (the whole transfer, on every link).
+        bytes: u64,
+        /// Locality class of the transfer (`"rack-local"` / `"remote"`;
+        /// node-local transfers never enter the plane).
+        locality: String,
+    },
+    /// A cross-node transfer finished draining: one event per path link,
+    /// emitted at the completion instant (when the slowest link drained).
+    FlowCompleted {
+        /// Owning task (`None` for driver-initiated transfers).
+        task_id: Option<u64>,
+        /// Link label the bytes were credited to.
+        link: String,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Locality class of the transfer.
+        locality: String,
+    },
 }
 
 /// An [`Event`] stamped with the virtual time it occurred at.
@@ -678,6 +704,33 @@ mod tests {
         assert!(text.lines().next().unwrap().contains("\"job_submitted\""));
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn flow_events_round_trip() {
+        let events = vec![
+            TimedEvent {
+                at: SimTime::from_us(3),
+                event: Event::FlowStarted {
+                    task_id: Some(9),
+                    link: "node0:up".to_string(),
+                    bytes: 4096,
+                    locality: "remote".to_string(),
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_us(8),
+                event: Event::FlowCompleted {
+                    task_id: None,
+                    link: "rack1:down".to_string(),
+                    bytes: 4096,
+                    locality: "rack-local".to_string(),
+                },
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert!(text.lines().next().unwrap().contains("\"flow_started\""));
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
     }
 
     #[test]

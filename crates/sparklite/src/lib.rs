@@ -75,6 +75,7 @@ pub mod explain;
 pub mod faultsim;
 pub mod memsize;
 pub mod metrics;
+pub mod net;
 pub mod profile;
 pub mod rdd;
 pub mod runtime;
@@ -104,7 +105,11 @@ pub use explain::{
 pub use faultsim::{CrashEvent, FaultPlan, FaultState, RecoveryStats, SpeculationConf};
 pub use memsize::MemSize;
 pub use memtier_des::{EngineProf, EngineStats};
+pub use memtier_netsim::{Locality, LocalityMode, NetTopology, NetworkMode};
 pub use metrics::{AppMetrics, StageRollup, SystemEvents};
+pub use net::{
+    LinkReport, NetCharge, NetChargeKind, NetCtx, NetPeer, NetReport, NetState, TransferRecord,
+};
 pub use profile::{
     build_profile, hotness_promotion_whatif, reprice, Attribution, EvictionRecord, PathSegment,
     ProfileLog, RunProfile, SegmentKind, TaskBreakdown, WhatIf, WhatIfReport,

@@ -50,6 +50,12 @@ pub struct TaskBreakdown {
     pub mem_read: [SimTime; NUM_TIERS],
     /// Memory stall attributed to write accesses, per tier.
     pub mem_write: [SimTime; NUM_TIERS],
+    /// Network time: cross-node transfer stall (shuffle fetch bytes on the
+    /// wire, broadcast, DFS traffic), including the task's share of link
+    /// contention stretch. Zero — and skipped in serialized form, keeping
+    /// loopback artifacts byte-identical — without a topology.
+    #[serde(default, skip_serializing_if = "SimTime::is_zero")]
+    pub net: SimTime,
 }
 
 impl TaskBreakdown {
@@ -60,7 +66,7 @@ impl TaskBreakdown {
 
     /// Sum of every component — equals the task's span by construction.
     pub fn total(&self) -> SimTime {
-        self.compute + self.shuffle_fetch + self.mem_total()
+        self.compute + self.shuffle_fetch + self.mem_total() + self.net
     }
 }
 
@@ -202,6 +208,10 @@ pub struct Attribution {
     pub mem_read: [SimTime; NUM_TIERS],
     /// Per-tier write-stall time of path tasks.
     pub mem_write: [SimTime; NUM_TIERS],
+    /// Network transfer stall of path tasks (zero, and skipped when
+    /// serialized, without a topology — loopback artifacts are unchanged).
+    #[serde(default, skip_serializing_if = "SimTime::is_zero")]
+    pub net: SimTime,
 }
 
 impl Attribution {
@@ -214,6 +224,7 @@ impl Attribution {
             + self.driver
             + self.mem_read.iter().copied().sum::<SimTime>()
             + self.mem_write.iter().copied().sum::<SimTime>()
+            + self.net
     }
 
     /// Total memory-stall time across tiers and directions.
@@ -238,6 +249,11 @@ impl Attribution {
             out.push((format!("tier{i}_read"), self.mem_read[i].as_secs_f64()));
             out.push((format!("tier{i}_write"), self.mem_write[i].as_secs_f64()));
         }
+        // Appended only when present so loopback baselines (and their
+        // artifact diffs) keep the pre-network component vector.
+        if !self.net.is_zero() {
+            out.push(("net".to_string(), self.net.as_secs_f64()));
+        }
         out
     }
 
@@ -256,6 +272,9 @@ impl Attribution {
             out.push((format!("tier{i}_read"), self.mem_read[i]));
             out.push((format!("tier{i}_write"), self.mem_write[i]));
         }
+        if !self.net.is_zero() {
+            out.push(("net".to_string(), self.net));
+        }
         out
     }
 
@@ -266,6 +285,7 @@ impl Attribution {
             self.mem_read[i] += b.mem_read[i];
             self.mem_write[i] += b.mem_write[i];
         }
+        self.net += b.net;
     }
 }
 
@@ -398,6 +418,21 @@ pub struct WhatIf {
     pub read_scale: [f64; NUM_TIERS],
     /// Perturbed/baseline effective write latency per tier.
     pub write_scale: [f64; NUM_TIERS],
+    /// Perturbed/baseline network transfer time (1 = unchanged; 0 = "every
+    /// transfer becomes node-local", the doctor's cross-rack recovery
+    /// estimate). Skipped in serialized form at the identity so pre-network
+    /// payloads round-trip unchanged.
+    #[serde(default = "scale_one", skip_serializing_if = "is_scale_one")]
+    pub net_scale: f64,
+}
+
+fn scale_one() -> f64 {
+    1.0
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_scale_one(s: &f64) -> bool {
+    *s == 1.0
 }
 
 impl WhatIf {
@@ -410,6 +445,7 @@ impl WhatIf {
         WhatIf {
             read_scale: [1.0; NUM_TIERS],
             write_scale: [1.0; NUM_TIERS],
+            net_scale: 1.0,
         }
     }
 
@@ -518,6 +554,7 @@ pub fn reprice(profile: &RunProfile, whatif: &WhatIf) -> WhatIfReport {
         delta_s += a.mem_read[i].as_secs_f64() * (1.0 - whatif.read_scale[i]);
         delta_s += a.mem_write[i].as_secs_f64() * (1.0 - whatif.write_scale[i]);
     }
+    delta_s += a.net.as_secs_f64() * (1.0 - whatif.net_scale);
     let baseline_s = profile.elapsed.as_secs_f64();
     let predicted_s = (baseline_s - delta_s).max(0.0);
     WhatIfReport {
@@ -703,5 +740,42 @@ mod tests {
         let json = serde_json::to_string(&profile).unwrap();
         let back: RunProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn net_component_is_optional_and_skipped_at_zero() {
+        // Zero net serializes exactly like the pre-network breakdown...
+        let b = bd(10, 15, 5);
+        let json = serde_json::to_string(&b).unwrap();
+        assert!(!json.contains("net"), "zero net must be skipped: {json}");
+        // ...and pre-network payloads deserialize with net = 0 / scale 1.
+        let mut v = serde_json::to_value(&b).unwrap();
+        v.as_object_mut().unwrap().remove("net");
+        let back: TaskBreakdown = serde_json::from_value(v).unwrap();
+        assert!(back.net.is_zero());
+        let mut w = serde_json::to_value(WhatIf::identity()).unwrap();
+        w.as_object_mut().unwrap().remove("net_scale");
+        let back: WhatIf = serde_json::from_value(w).unwrap();
+        assert_eq!(back, WhatIf::identity());
+    }
+
+    #[test]
+    fn reprice_scales_net_component() {
+        let mut log = two_stage_log();
+        // Give the path's last task 10 us of network stall (grown span so
+        // the breakdown still conserves).
+        log.tasks[1].breakdown.net = SimTime::from_us(10);
+        log.tasks[1].end += SimTime::from_us(10);
+        log.jobs[0].completed += SimTime::from_us(10);
+        let profile = build_profile(&log, SimTime::from_us(130));
+        assert!(profile.conserves());
+        assert_eq!(profile.attribution.net, SimTime::from_us(10));
+        let named = profile.attribution.named_seconds();
+        assert_eq!(named.last().unwrap().0, "net");
+        // "Make it node-local" removes the whole net component.
+        let mut w = WhatIf::identity();
+        w.net_scale = 0.0;
+        let r = reprice(&profile, &w);
+        assert!((r.predicted_s - 120e-6).abs() < 1e-12);
     }
 }

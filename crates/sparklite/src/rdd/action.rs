@@ -148,16 +148,16 @@ impl Rdd<String> {
                     bytes.push(b'\n');
                 }
                 env.charge_materialize(memtier_memsim::ObjectId::Scratch, bytes.len() as u64);
-                let client = env.rt.dfs();
-                client
-                    .write_file(
-                        &format!("{path}/part-{part:05}"),
-                        &bytes,
-                        env.rt.dfs_block_size,
-                        env.rt.dfs_replication,
-                    )
-                    .map(|_| ())
-                    .map_err(|e| e.to_string())
+                let block_size = env.rt.dfs_block_size;
+                let replication = env.rt.dfs_replication;
+                env.dfs_write(
+                    &format!("{path}/part-{part:05}"),
+                    &bytes,
+                    block_size,
+                    replication,
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string())
             }),
         )?;
         for r in results {

@@ -112,6 +112,7 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
                 left.iter().map(|b| b.bytes).sum(),
                 left.len() as u64,
             );
+            env.charge_shuffle_sources(left_id, part);
             for bucket in left {
                 let items = bucket.data.downcast::<Vec<(K, V)>>().expect("left bucket");
                 n_in += items.len() as u64;
@@ -125,6 +126,7 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
                 right.iter().map(|b| b.bytes).sum(),
                 right.len() as u64,
             );
+            env.charge_shuffle_sources(right_id, part);
             for bucket in right {
                 let items = bucket.data.downcast::<Vec<(K, W)>>().expect("right bucket");
                 n_in += items.len() as u64;

@@ -27,9 +27,11 @@ use crate::context::SparkContext;
 use crate::cost::OpCost;
 use crate::memsize::{slice_mem_size, MemSize};
 use crate::metrics::TaskMetrics;
+use crate::net::{NetCharge, NetChargeKind, NetCtx, NetPeer};
 use crate::runtime::Runtime;
 use crate::shuffle::{AnyPart, ShuffleId};
 use crate::storage::StorageLevel;
+use memtier_dfs::{BlockInfo, DfsError, FileStatus};
 use memtier_memsim::{AccessBatch, ObjectId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -146,6 +148,12 @@ pub trait RddBase: Send + Sync {
     fn set_storage_level(&self, level: StorageLevel);
     /// Materialize one partition within a task.
     fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed;
+    /// Datanodes holding this partition's input (DFS replica residency).
+    /// Empty for everything but storage-backed sources; the locality-aware
+    /// scheduler maps these to nodes when ranking placements.
+    fn preferred_replicas(&self, _part: usize) -> Vec<u32> {
+        Vec::new()
+    }
 }
 
 /// Per-task execution environment: runtime services, a metrics accumulator,
@@ -161,6 +169,15 @@ pub struct TaskEnv<'a> {
     /// [`add_traffic`](Self::add_traffic)), which is what lets the
     /// scheduler's attribution conserve against the machine counters.
     pub object_traffic: BTreeMap<ObjectId, AccessBatch>,
+    /// Network charges recorded by operators (shuffle fetches, DFS I/O,
+    /// broadcast pulls). Only populated when a topology is configured
+    /// (`net_ctx` is set); the scheduler resolves them into flows on the
+    /// network plane after the data plane finishes.
+    pub net_charges: Vec<NetCharge>,
+    /// Topology context of the hosting executor. `None` under loopback
+    /// wiring, in which case no charge is recorded and every code path is
+    /// byte-identical to the pre-plane engine.
+    pub net_ctx: Option<NetCtx>,
     memo: HashMap<(RddId, usize), AnyPart>,
 }
 
@@ -171,6 +188,8 @@ impl<'a> TaskEnv<'a> {
             rt,
             metrics: TaskMetrics::default(),
             object_traffic: BTreeMap::new(),
+            net_charges: Vec::new(),
+            net_ctx: None,
             memo: HashMap::new(),
         }
     }
@@ -339,6 +358,93 @@ impl<'a> TaskEnv<'a> {
     pub fn charge_records(&mut self, records_in: u64, records_out: u64) {
         self.metrics.records_in += records_in;
         self.metrics.records_out += records_out;
+    }
+
+    /// Record a network charge for the scheduler to turn into a flow on the
+    /// network plane. A no-op under loopback wiring (no topology context)
+    /// and for empty payloads, so pre-plane runs never see it.
+    pub fn record_net(&mut self, kind: NetChargeKind, peer: NetPeer, inbound: bool, bytes: u64) {
+        if self.net_ctx.is_none() || bytes == 0 {
+            return;
+        }
+        self.net_charges.push(NetCharge {
+            kind,
+            peer,
+            inbound,
+            bytes,
+        });
+    }
+
+    /// Record the per-source network charges of a reduce-side fetch: one
+    /// inbound charge per map executor that produced bytes for `reduce`.
+    /// Complements [`charge_shuffle_read`](Self::charge_shuffle_read) (which
+    /// prices the memory/CPU side) and is a no-op under loopback wiring.
+    pub fn charge_shuffle_sources(&mut self, shuffle: ShuffleId, reduce: usize) {
+        if self.net_ctx.is_none() {
+            return;
+        }
+        for (exec, bytes) in self.rt.shuffle.reduce_sources(shuffle, reduce) {
+            self.record_net(
+                NetChargeKind::ShuffleFetch,
+                NetPeer::Executor(exec),
+                true,
+                bytes,
+            );
+        }
+    }
+
+    /// Read a DFS block through the network plane's locality lens: with a
+    /// topology configured, live replicas are tried closest-first
+    /// (node-local > rack-local > remote, declaration order within a
+    /// class) and the serving datanode is charged as an inbound transfer.
+    /// Without one this is exactly `read_block(block, None)`.
+    pub fn dfs_read(&mut self, block: &BlockInfo) -> Result<Arc<Vec<u8>>, DfsError> {
+        let client = self.rt.dfs();
+        let Some(ctx) = self.net_ctx.clone() else {
+            return client.read_block(block, None);
+        };
+        let (data, served) = client.read_block_ranked(block, |d| {
+            match ctx.topo.locality(ctx.topo.node_of_datanode(d.0), ctx.node) {
+                memtier_netsim::Locality::NodeLocal => 0,
+                memtier_netsim::Locality::RackLocal => 1,
+                memtier_netsim::Locality::Remote => 2,
+            }
+        })?;
+        self.record_net(
+            NetChargeKind::DfsRead,
+            NetPeer::Datanode(served.0),
+            true,
+            data.len() as u64,
+        );
+        Ok(data)
+    }
+
+    /// Write a DFS file, charging one outbound transfer per block replica
+    /// when a topology is configured (replica fan-out is network traffic).
+    pub fn dfs_write(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        block_size: usize,
+        replication: usize,
+    ) -> Result<FileStatus, DfsError> {
+        let status = self
+            .rt
+            .dfs()
+            .write_file(path, data, block_size, replication)?;
+        if self.net_ctx.is_some() {
+            for block in &status.blocks {
+                for &replica in &block.replicas {
+                    self.record_net(
+                        NetChargeKind::DfsWrite,
+                        NetPeer::Datanode(replica.0),
+                        false,
+                        block.len as u64,
+                    );
+                }
+            }
+        }
+        Ok(status)
     }
 }
 

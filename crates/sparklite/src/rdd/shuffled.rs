@@ -189,6 +189,7 @@ pub(crate) fn shuffled_aggregate<K: Key, V: Data, C: Data>(
         let buckets = env.rt.shuffle.fetch_reduce(shuffle_id, part);
         let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
         env.charge_shuffle_read(shuffle_id, total_bytes, buckets.len() as u64);
+        env.charge_shuffle_sources(shuffle_id, part);
         let mut map: HashMap<K, C, DetHasher> = HashMap::default();
         let mut n_in = 0u64;
         for bucket in buckets {
@@ -279,6 +280,7 @@ pub(crate) fn shuffled_plain<K: Key, V: Data>(
         let buckets = env.rt.shuffle.fetch_reduce(shuffle_id, part);
         let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
         env.charge_shuffle_read(shuffle_id, total_bytes, buckets.len() as u64);
+        env.charge_shuffle_sources(shuffle_id, part);
         let mut out: Vec<(K, V)> = Vec::new();
         for bucket in buckets {
             let items = bucket

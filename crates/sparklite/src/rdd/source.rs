@@ -156,14 +156,20 @@ impl RddBase for TextFileRdd {
     fn set_storage_level(&self, level: StorageLevel) {
         *self.vitals.storage.write() = level;
     }
+    fn preferred_replicas(&self, part: usize) -> Vec<u32> {
+        self.status
+            .blocks
+            .get(part)
+            .map(|b| b.replicas.iter().map(|r| r.0).collect())
+            .unwrap_or_default()
+    }
     fn compute_partition(&self, part: usize, env: &mut TaskEnv<'_>) -> Computed {
-        let client = env.rt.dfs();
         if self.status.blocks.is_empty() {
             return Computed::from_vec(Vec::<String>::new());
         }
         let block = &self.status.blocks[part];
-        let data = client
-            .read_block(block, None)
+        let data = env
+            .dfs_read(block)
             .unwrap_or_else(|e| panic!("text_file: {e}"));
         let mut bytes = data.as_slice().to_vec();
 
@@ -172,8 +178,8 @@ impl RddBase for TextFileRdd {
         // a newline; otherwise that line belongs upstream and is skipped.
         let mut start = 0usize;
         if part > 0 {
-            let prev = client
-                .read_block(&self.status.blocks[part - 1], None)
+            let prev = env
+                .dfs_read(&self.status.blocks[part - 1])
                 .unwrap_or_else(|e| panic!("text_file: {e}"));
             if !prev.ends_with(b"\n") {
                 match bytes.iter().position(|&b| b == b'\n') {
@@ -188,8 +194,8 @@ impl RddBase for TextFileRdd {
         let mut extra_read = 0u64;
         if !bytes.ends_with(b"\n") {
             for next in self.status.blocks.iter().skip(part + 1) {
-                let next_data = client
-                    .read_block(next, None)
+                let next_data = env
+                    .dfs_read(next)
                     .unwrap_or_else(|e| panic!("text_file: {e}"));
                 match next_data.iter().position(|&b| b == b'\n') {
                     Some(nl) => {

@@ -43,6 +43,11 @@ impl Runtime {
     pub fn dfs(&self) -> DfsClient {
         self.dfs.client()
     }
+
+    /// The DFS deployment itself (datanode fault injection, re-replication).
+    pub fn dfs_deployment(&self) -> &Dfs {
+        &self.dfs
+    }
 }
 
 #[cfg(test)]

@@ -22,19 +22,22 @@ use crate::faultsim::{
     FaultState, SALT_FETCH_FAIL, SALT_FETCH_VICTIM, SALT_STRAGGLER, SALT_TASK_FAIL,
 };
 use crate::metrics::{AppMetrics, StageRollup, TaskMetrics};
+use crate::net::{NetChargeKind, NetState};
 use crate::profile::{
     EvictionRecord, JobRecord, ProfileLog, StageRecord, TaskBreakdown, TaskRecord,
 };
-use crate::rdd::TaskEnv;
+use crate::rdd::{Dep, RddBase, TaskEnv};
 use crate::runtime::Runtime;
 use crate::scheduler::dag::{StageId, StageKind, StagePlan};
 use crate::scheduler::executor::ExecutorSpec;
+use crate::shuffle::ShuffleId;
 use crate::storage::BlockKey;
 use crate::trace::{SpanKind, TaskSpan};
 use memtier_des::{EngineProf, EventClass, EventQueue, ProfPhase, SimTime};
 use memtier_memsim::{
     AccessBatch, MemorySystem, Migration, ObjectId, PlacementEngine, TierId, MIGRATION_FLOW_BASE,
 };
+use memtier_netsim::Locality;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -114,6 +117,14 @@ struct RunningTask<U> {
     fail: FailKind,
     /// True for speculative clones of stragglers.
     speculative: bool,
+    /// Transfer ids of the task's in-flight network flows.
+    transfers: Vec<u64>,
+    /// Transfers still draining; the task completes only when both its
+    /// memory flows and its transfers are done.
+    net_outstanding: usize,
+    /// Nominal (uncontended) network time — the breakdown's net share is
+    /// apportioned against this alongside the per-tier stall nominals.
+    net_nominal: SimTime,
 }
 
 enum Ev {
@@ -123,6 +134,9 @@ enum Ev {
     /// Re-evaluate speculation for a stage (scheduled for the instant a
     /// running task's age crosses the straggler threshold).
     SpecCheck(StageId),
+    /// Delay scheduling: a waiting task's locality level relaxes at this
+    /// instant — wake the dispatcher to re-evaluate placements.
+    LocalityRelax,
 }
 
 /// Runs one job's stage plan through the DES. `U` is the per-partition
@@ -164,6 +178,13 @@ pub struct JobRunner<'a, U> {
     /// Fault-injection state shared across the context's jobs: executor
     /// liveness, the crash schedule, cache-block ownership, recovery stats.
     faults: &'a mut FaultState,
+    /// The network plane shared across the context's jobs: topology, link
+    /// resources, transfer ledger, and cached-block residency. Inert (all
+    /// methods no-ops) under the default loopback mode.
+    net: &'a mut NetState,
+    /// Instants (in ps) with a LocalityRelax wake-up already queued, so a
+    /// stalled dispatch round schedules each relax boundary only once.
+    relax_scheduled: HashSet<u64>,
     /// Failed attempts per (stage, partition) — the retry budget's counter
     /// and the coordinate that de-correlates each retry's fault rolls.
     attempts: HashMap<(u32, usize), u32>,
@@ -205,6 +226,7 @@ impl<'a, U> JobRunner<'a, U> {
         rollups: &'a mut Vec<StageRollup>,
         profile: &'a mut ProfileLog,
         faults: &'a mut FaultState,
+        net: &'a mut NetState,
     ) -> Self {
         let n = plan.stages.len();
         let result_tasks = plan.stages[n - 1].num_tasks;
@@ -244,6 +266,8 @@ impl<'a, U> JobRunner<'a, U> {
             rollups,
             profile,
             faults,
+            net,
+            relax_scheduled: HashSet::new(),
             attempts: HashMap::new(),
             parked: Vec::new(),
             resubmit_pending: HashSet::new(),
@@ -383,6 +407,15 @@ impl<'a, U> JobRunner<'a, U> {
     }
 
     fn dispatch(&mut self) {
+        // Delay scheduling only engages on a real multi-node topology: on a
+        // single node (or under loopback) every placement is node-local, so
+        // the round-robin path below runs unchanged and stays byte-identical
+        // to pre-network-plane runs.
+        let delay = if self.net.topology().is_some_and(|t| t.nodes > 1) {
+            self.net.delay_wait()
+        } else {
+            None
+        };
         loop {
             if self.fatal.is_some() {
                 return;
@@ -404,9 +437,20 @@ impl<'a, U> JobRunner<'a, U> {
                     break;
                 }
             }
-            let from_spec = self.ready.is_empty();
+            let mut from_spec = self.ready.is_empty();
             if from_spec && self.spec_ready.is_empty() {
                 return;
+            }
+            if let (Some(wait), false) = (delay, from_spec) {
+                if self.dispatch_local(wait) {
+                    continue;
+                }
+                if self.spec_ready.is_empty() {
+                    return;
+                }
+                // Every ready task is holding out for a better-placed slot;
+                // let a waiting speculative clone use the idle capacity.
+                from_spec = true;
             }
             // Rotate over live executors looking for a free slot.
             let n = self.executors.len();
@@ -432,6 +476,147 @@ impl<'a, U> JobRunner<'a, U> {
         }
     }
 
+    /// One locality-aware dispatch round (delay scheduling): scan the ready
+    /// queue in order and launch the first task with an admissible
+    /// placement. A task with preferred nodes may only take a slot whose
+    /// locality level (node-local 0, rack-local 1, remote 2) is within the
+    /// level its wait has unlocked — `(now - submitted) / wait` levels, in
+    /// integer picoseconds. Tasks with no residency anywhere place exactly
+    /// like the round-robin path. Returns true when a task launched; false
+    /// when nothing is admissible right now (after queueing a
+    /// [`Ev::LocalityRelax`] wake-up for the earliest unlock instant).
+    fn dispatch_local(&mut self, wait: SimTime) -> bool {
+        let n = self.executors.len();
+        let free: Vec<usize> = (0..n)
+            .map(|off| (self.rr_exec + off) % n)
+            .filter(|&i| {
+                self.faults.alive[i] && self.executors[i].running < self.executors[i].spec.cores
+            })
+            .collect();
+        if free.is_empty() {
+            return false;
+        }
+        let topo = self
+            .net
+            .topology()
+            .expect("delay scheduling without a topology")
+            .clone();
+        let wait_ps = wait.as_ps().max(1);
+        let mut relax_at: Option<SimTime> = None;
+        let mut chosen: Option<(usize, usize)> = None; // (queue index, executor)
+        for (qi, &(stage, part)) in self.ready.iter().enumerate() {
+            if self.stage_state[stage.0 as usize].completed[part] {
+                continue;
+            }
+            let prefs = self.preferred_nodes(stage, part);
+            if prefs.is_empty() {
+                // No residency anywhere: first free slot in rotation order,
+                // exactly the executor round-robin would have picked.
+                chosen = Some((qi, free[0]));
+                break;
+            }
+            let submitted = self.stage_state[stage.0 as usize].submitted;
+            let allowed = ((self.now - submitted).as_ps() / wait_ps).min(2);
+            // Best locality among free executors; the first hit in rotation
+            // order wins ties, keeping the choice deterministic.
+            let (best_exec, best_rank) = free
+                .iter()
+                .map(|&e| {
+                    let node = topo.node_of_executor(e);
+                    let rank = prefs
+                        .iter()
+                        .map(|&p| locality_rank(topo.locality(node, p)))
+                        .min()
+                        .expect("non-empty preference list");
+                    (e, rank)
+                })
+                .min_by_key(|&(_, rank)| rank)
+                .expect("non-empty free list");
+            if best_rank <= allowed {
+                chosen = Some((qi, best_exec));
+                break;
+            }
+            // Not admissible yet: note when its next level unlocks.
+            let next = submitted + SimTime::from_ps(wait_ps.saturating_mul(allowed + 1));
+            relax_at = Some(relax_at.map_or(next, |r| r.min(next)));
+        }
+        match chosen {
+            Some((qi, exec_idx)) => {
+                let (stage, part) = self.ready.remove(qi).expect("indexed task vanished");
+                self.rr_exec = (exec_idx + 1) % n;
+                self.launch_task(stage, part, exec_idx, None);
+                true
+            }
+            None => {
+                if let Some(at) = relax_at {
+                    if self.relax_scheduled.insert(at.as_ps()) {
+                        self.queue.schedule(at, Ev::LocalityRelax);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Preferred topology nodes for (stage, partition), in priority order: a
+    /// cached block along the task's narrow lineage (the node of the
+    /// executor that produced it), else the map executor contributing the
+    /// most shuffle bytes to this reduce, else the datanodes holding the
+    /// partition's DFS input blocks. The narrow walk assumes partition
+    /// indices line up parent-to-child, which holds for the one-to-one
+    /// narrow ops; unions and coalesces only weaken the hint, never
+    /// correctness. Empty when the plane is off or nothing is resident.
+    fn preferred_nodes(&self, stage: StageId, part: usize) -> Vec<u32> {
+        let Some(topo) = self.net.topology() else {
+            return Vec::new();
+        };
+        let mut shuffles: Vec<ShuffleId> = Vec::new();
+        let mut replicas: Vec<u32> = Vec::new();
+        let mut stack: Vec<Arc<dyn RddBase>> =
+            vec![Arc::clone(&self.plan.stages[stage.0 as usize].terminal)];
+        let mut seen: HashSet<u32> = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node.id().0) {
+                continue;
+            }
+            if node.storage_level().is_cached() {
+                if let Some(&exec) = self.net.block_owner.get(&(node.id().0, part)) {
+                    return vec![topo.node_of_executor(exec)];
+                }
+            }
+            for r in node.preferred_replicas(part) {
+                replicas.push(topo.node_of_datanode(r));
+            }
+            for dep in node.deps() {
+                match dep {
+                    Dep::Narrow(p) => stack.push(p),
+                    Dep::Shuffle(d) => shuffles.push(d.shuffle_id),
+                }
+            }
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for sid in shuffles {
+            for (exec, bytes) in self.rt.shuffle.reduce_sources(sid, part) {
+                if bytes == 0 {
+                    continue;
+                }
+                let better = match best {
+                    Some((bb, be)) => bytes > bb || (bytes == bb && exec < be),
+                    None => true,
+                };
+                if better {
+                    best = Some((bytes, exec));
+                }
+            }
+        }
+        if let Some((_, exec)) = best {
+            return vec![topo.node_of_executor(exec)];
+        }
+        replicas.sort_unstable();
+        replicas.dedup();
+        replicas
+    }
+
     /// Dispatch one attempt of (stage, partition) onto a free slot of
     /// `exec_idx`. `spec_of` marks a speculative clone of the given
     /// original task: clones re-run the data plane (idempotently — shuffle
@@ -453,11 +638,17 @@ impl<'a, U> JobRunner<'a, U> {
             .then(|| self.rt.cache.stats())
             .unwrap_or_default();
         let mut env = TaskEnv::new(self.rt);
+        env.net_ctx = self.net.task_ctx(exec_idx);
         let mut result = None;
         match &self.plan.stages[stage_id.0 as usize].kind {
             StageKind::ShuffleMap(dep) => {
                 dep.writer.write_partition(part, &mut env);
                 self.rt.shuffle.mark_map_done(dep.shuffle_id, part);
+                // Residency bookkeeping for the network plane: the latest
+                // writer of a map output is where a reduce fetches it from.
+                self.rt
+                    .shuffle
+                    .record_map_exec(dep.shuffle_id, part, exec_idx);
             }
             StageKind::Result => {
                 let out = (self.result_fn)(part, &mut env);
@@ -466,6 +657,7 @@ impl<'a, U> JobRunner<'a, U> {
         }
         let mut metrics = env.metrics;
         let mut object_traffic = env.object_traffic;
+        let net_charges = env.net_charges;
         let evicted_blocks = self.rt.cache.take_evictions();
         // Always-on profiler records (like tasks/stages/jobs): the doctor's
         // eviction-churn series must exist inside the byte-identity domain,
@@ -485,6 +677,11 @@ impl<'a, U> JobRunner<'a, U> {
         if self.faults.plan.is_some() {
             for (key, _) in &inserted {
                 self.faults.block_owner.insert(*key, exec_idx);
+            }
+        }
+        if self.net.active() {
+            for (key, _) in &inserted {
+                self.net.block_owner.insert(*key, exec_idx);
             }
         }
 
@@ -638,7 +835,26 @@ impl<'a, U> JobRunner<'a, U> {
             .iter()
             .map(|(tier, _, batch, _)| self.mem.nominal_mem_time(*tier, batch))
             .fold(SimTime::ZERO, |acc, t| acc + t);
-        let duration = cpu + total_mem;
+        // Resolve the data plane's network charges against the topology.
+        // Same-node transfers ride the loopback fast path (no link, no
+        // time); cross-node ones contribute their nominal (uncontended)
+        // time to the task's duration, serial with CPU and memory stalls
+        // like everything else in the instruction stream.
+        let mut net_plan: Vec<(NetChargeKind, u32, u32, u64)> = Vec::new();
+        let mut total_net = SimTime::ZERO;
+        if self.net.active() {
+            for c in &net_charges {
+                let (src, dst) = self.net.resolve(exec_idx, c);
+                if src == dst {
+                    self.net.note_node_local(c.bytes);
+                    continue;
+                }
+                let topo = self.net.topology().expect("active plane has a topology");
+                total_net += topo.nominal_time(src, dst, c.bytes);
+                net_plan.push((c.kind, src, dst, c.bytes));
+            }
+        }
+        let duration = cpu + total_mem + total_net;
         let mut outstanding = 0;
         for (tier, flow, batch, _) in &flows {
             // Demand is in channel bytes: random accesses mostly leave
@@ -652,6 +868,44 @@ impl<'a, U> JobRunner<'a, U> {
                 self.flow_owner.insert(*flow, task_id);
             }
         }
+
+        // Start the task's cross-node transfers. Each is paced to the
+        // task's whole span (like memory flows), so its links see the
+        // transfer's average demand and concurrent tasks fair-share
+        // bandwidth over their overlap.
+        let mut transfers: Vec<u64> = Vec::with_capacity(net_plan.len());
+        for (kind, src, dst, bytes) in net_plan {
+            let rate = bytes as f64 / duration.as_secs_f64().max(1e-12);
+            let (id, links, locality) = self.net.begin(
+                self.now,
+                Some(task_id),
+                kind,
+                src,
+                dst,
+                bytes,
+                rate,
+                attempt > 0,
+            );
+            if self.events.is_active() {
+                let labels: Vec<String> = {
+                    let topo = self.net.topology().expect("transfer without a plane");
+                    links.iter().map(|&l| topo.link_at(l).label()).collect()
+                };
+                for link in labels {
+                    self.events.emit(
+                        self.now,
+                        Event::FlowStarted {
+                            task_id: Some(task_id),
+                            link,
+                            bytes,
+                            locality: locality.label().to_string(),
+                        },
+                    );
+                }
+            }
+            transfers.push(id);
+        }
+        let net_outstanding = transfers.len();
 
         self.running.insert(
             task_id,
@@ -670,6 +924,9 @@ impl<'a, U> JobRunner<'a, U> {
                 attempt,
                 fail,
                 speculative: spec_of.is_some(),
+                transfers,
+                net_outstanding,
+                net_nominal: total_net,
             },
         );
         if spec_of.is_some() {
@@ -726,7 +983,7 @@ impl<'a, U> JobRunner<'a, U> {
                 );
             }
         }
-        if outstanding == 0 {
+        if outstanding == 0 && net_outstanding == 0 {
             self.queue.schedule(self.now + cpu, Ev::CpuDone(task_id));
         }
     }
@@ -755,16 +1012,22 @@ impl<'a, U> JobRunner<'a, U> {
         if mem_actual.is_zero() {
             return b;
         }
-        // (tier index, is_write, nominal ps) for every non-zero component.
-        let mut parts: Vec<(usize, bool, u64)> = Vec::with_capacity(task.flows.len() * 2);
+        // (kind, tier index, nominal ps) for every non-zero component:
+        // kind 0 = tier read, 1 = tier write, 2 = network. The stall past
+        // the CPU span — nominal time plus contention stretch — is
+        // apportioned over all three proportionally.
+        let mut parts: Vec<(u8, usize, u64)> = Vec::with_capacity(task.flows.len() * 2 + 1);
         for (tier, _, batch, _) in &task.flows {
             let (r, w) = self.mem.nominal_mem_time_rw(*tier, batch);
             if !r.is_zero() {
-                parts.push((tier.index(), false, r.as_ps()));
+                parts.push((0, tier.index(), r.as_ps()));
             }
             if !w.is_zero() {
-                parts.push((tier.index(), true, w.as_ps()));
+                parts.push((1, tier.index(), w.as_ps()));
             }
+        }
+        if !task.net_nominal.is_zero() {
+            parts.push((2, 0, task.net_nominal.as_ps()));
         }
         let nominal_total: u64 = parts.iter().map(|&(_, _, ps)| ps).sum();
         if nominal_total == 0 {
@@ -776,26 +1039,26 @@ impl<'a, U> JobRunner<'a, U> {
         }
         let mut assigned = 0u64;
         let mut largest = 0usize;
-        for (i, &(tier, is_write, ps)) in parts.iter().enumerate() {
+        for (i, &(kind, tier, ps)) in parts.iter().enumerate() {
             // Widen to u128: ps values × mem_actual can exceed u64.
             let share = (ps as u128 * mem_actual.as_ps() as u128 / nominal_total as u128) as u64;
             assigned += share;
-            let slot = if is_write {
-                &mut b.mem_write[tier]
-            } else {
-                &mut b.mem_read[tier]
+            let slot = match kind {
+                0 => &mut b.mem_read[tier],
+                1 => &mut b.mem_write[tier],
+                _ => &mut b.net,
             };
             *slot += SimTime::from_ps(share);
             if ps > parts[largest].2 {
                 largest = i;
             }
         }
-        let (tier, is_write, _) = parts[largest];
+        let (kind, tier, _) = parts[largest];
         let remainder = SimTime::from_ps(mem_actual.as_ps() - assigned);
-        if is_write {
-            b.mem_write[tier] += remainder;
-        } else {
-            b.mem_read[tier] += remainder;
+        match kind {
+            0 => b.mem_read[tier] += remainder,
+            1 => b.mem_write[tier] += remainder,
+            _ => b.net += remainder,
         }
         debug_assert_eq!(b.total(), span, "task breakdown must conserve its span");
         b
@@ -1113,6 +1376,11 @@ impl<'a, U> JobRunner<'a, U> {
             );
             self.faults.stats.cancelled_bytes += partial.total_bytes();
         }
+        // Cancelled transfers never credit their links — the conservation
+        // invariant counts completed transfers only.
+        for &tid in &task.transfers {
+            self.net.cancel(self.now, tid);
+        }
         self.faults.record_waste(task.started, self.now);
         if spec_loser {
             self.faults.stats.speculative_killed += 1;
@@ -1227,6 +1495,13 @@ impl<'a, U> JobRunner<'a, U> {
             let (lost_blocks, lost_bytes) = self.rt.cache.drop_blocks(&lost);
             self.faults.stats.lost_blocks += lost_blocks;
             self.faults.stats.lost_bytes += lost_bytes;
+            // The plane's residency map follows the crash: blocks the dead
+            // executor produced no longer pin preferred locations there.
+            if self.net.active() {
+                self.net
+                    .block_owner
+                    .retain(|_, owner| *owner != crash.executor);
+            }
             if self.events.is_active() {
                 self.events.emit(
                     self.now,
@@ -1320,11 +1595,11 @@ impl<'a, U> JobRunner<'a, U> {
             }
             let queue_next = self.queue.peek_time();
             let mem_next = self.mem.next_completion();
-            let next_due = match (queue_next, mem_next) {
-                (None, None) => break,
-                (Some(qt), Some((mt, _, _))) => qt.min(mt),
-                (Some(qt), None) => qt,
-                (None, Some((mt, _, _))) => mt,
+            let net_next = self.net.next_event_time();
+            let mem_t = mem_next.map(|(mt, _, _)| mt);
+            let next_due = match [queue_next, mem_t, net_next].into_iter().flatten().min() {
+                Some(t) => t,
+                None => break,
             };
             // A scheduled executor crash preempts any event strictly after
             // it; ties go to the crash so work due at the same instant sees
@@ -1345,18 +1620,19 @@ impl<'a, U> JobRunner<'a, U> {
                     continue;
                 }
             }
-            match (queue_next, mem_next) {
-                (Some(qt), Some((mt, _, _))) if qt <= mt => {
-                    self.handle_cpu_events_at(qt, &mut cpu_batch)
-                }
-                (Some(qt), None) => self.handle_cpu_events_at(qt, &mut cpu_batch),
+            // Tie arbitration: CPU events beat memory completions beat
+            // network drains, preserving the pre-network-plane order (and
+            // byte-identity whenever `net_next` is `None`).
+            if queue_next == Some(next_due) {
+                self.handle_cpu_events_at(next_due, &mut cpu_batch);
+            } else if mem_t == Some(next_due) {
                 // The memory completion peeked above is threaded through so
                 // the handler never recomputes it — the double water-fill
                 // per completion step is gone.
-                (None, Some((mt, tier, flow))) | (Some(_), Some((mt, tier, flow))) => {
-                    self.handle_mem_event(mt, tier, flow)
-                }
-                (None, None) => unreachable!("loop breaks before the epoch check"),
+                let (mt, tier, flow) = mem_next.expect("peeked completion vanished");
+                self.handle_mem_event(mt, tier, flow);
+            } else {
+                self.handle_net_event(next_due);
             }
             if let Some(e) = self.fatal.take() {
                 self.abort();
@@ -1448,6 +1724,7 @@ impl<'a, U> JobRunner<'a, U> {
             Ev::CpuDone(_) => EventClass::CpuTimer,
             Ev::Retry(..) => EventClass::Retry,
             Ev::SpecCheck(_) => EventClass::SpecCheck,
+            Ev::LocalityRelax => EventClass::NetRelax,
         });
         // Stale events return WITHOUT advancing the clock: a dropped timer
         // must not stretch the job's elapsed time.
@@ -1486,6 +1763,17 @@ impl<'a, U> JobRunner<'a, U> {
                 self.mem.advance(t);
                 self.maybe_speculate(stage);
             }
+            Ev::LocalityRelax => {
+                self.relax_scheduled.remove(&t.as_ps());
+                if self.ready.is_empty() {
+                    return; // nothing is waiting on locality any more
+                }
+                // Purely a dispatch wake-up: the loop-top dispatch (or the
+                // batch interleave) re-evaluates placements at the new
+                // allowance.
+                self.now = t;
+                self.mem.advance(t);
+            }
         }
     }
 
@@ -1511,6 +1799,9 @@ impl<'a, U> JobRunner<'a, U> {
                     ObjectId::Recovery,
                 );
                 self.faults.stats.cancelled_bytes += partial.total_bytes();
+            }
+            for &tid in &task.transfers {
+                self.net.cancel(self.now, tid);
             }
             self.faults.record_waste(task.started, self.now);
             self.faults.stats.tasks_killed += 1;
@@ -1643,7 +1934,11 @@ impl<'a, U> JobRunner<'a, U> {
                 };
                 self.mem
                     .finish_access_attributed(t, tier, flow, &batch, &parts);
-                if self.running[&task_id].outstanding == 0 {
+                let done = {
+                    let task = &self.running[&task_id];
+                    task.outstanding == 0 && task.net_outstanding == 0
+                };
+                if done {
                     self.complete_task(task_id);
                     return;
                 }
@@ -1658,6 +1953,59 @@ impl<'a, U> JobRunner<'a, U> {
                 _ => return,
             }
         }
+    }
+
+    /// Retire one network-plane link drain at `t`. A drain that completes
+    /// its whole transfer (the last link of the path) appends the
+    /// conservation record, mirrors per-link [`Event::FlowCompleted`]
+    /// events, and decrements the owning task's outstanding-transfer count;
+    /// the task completes once both its memory flows and its transfers have
+    /// drained.
+    fn handle_net_event(&mut self, t: SimTime) {
+        self.prof.count_event(EventClass::NetCompletion);
+        self.now = t;
+        self.mem.advance(t);
+        let Some(rec) = self.net.step(t) else {
+            return; // a link drained without completing its transfer
+        };
+        let owner = rec.task;
+        let bytes = rec.bytes;
+        let locality = rec.locality;
+        let links = rec.links.clone();
+        if self.events.is_active() {
+            let labels: Vec<String> = {
+                let topo = self.net.topology().expect("net event without a plane");
+                links.iter().map(|&l| topo.link_at(l).label()).collect()
+            };
+            for link in labels {
+                self.events.emit(
+                    self.now,
+                    Event::FlowCompleted {
+                        task_id: owner,
+                        link,
+                        bytes,
+                        locality: locality.label().to_string(),
+                    },
+                );
+            }
+        }
+        if let Some(task_id) = owner {
+            if let Some(task) = self.running.get_mut(&task_id) {
+                task.net_outstanding -= 1;
+                if task.outstanding == 0 && task.net_outstanding == 0 {
+                    self.complete_task(task_id);
+                }
+            }
+        }
+    }
+}
+
+/// Delay scheduling's level ordering: lower is better.
+fn locality_rank(l: Locality) -> u64 {
+    match l {
+        Locality::NodeLocal => 0,
+        Locality::RackLocal => 1,
+        Locality::Remote => 2,
     }
 }
 

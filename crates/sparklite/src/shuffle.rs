@@ -127,6 +127,10 @@ struct ShuffleData {
     num_reduces: usize,
     buckets: HashMap<(usize, usize), Bucket>,
     done_maps: std::collections::HashSet<usize>,
+    /// Executor that produced each map output (the `MapOutputTracker`
+    /// location half): reducers use it to price fetches over the network
+    /// plane and the scheduler to prefer map-local placement.
+    map_exec: HashMap<usize, usize>,
 }
 
 /// Stores shuffle buckets and tracks map outputs (Spark's shuffle service +
@@ -160,6 +164,7 @@ impl ShuffleManager {
                 num_reduces,
                 buckets: HashMap::new(),
                 done_maps: std::collections::HashSet::new(),
+                map_exec: HashMap::new(),
             },
         );
         id
@@ -171,6 +176,33 @@ impl ShuffleManager {
         let data = inner.shuffles.get_mut(&id).expect("unregistered shuffle");
         assert!(map < data.num_maps, "map index {map} out of range");
         data.done_maps.insert(map);
+    }
+
+    /// Record which executor produced a map task's output (kept separate
+    /// from [`mark_map_done`](Self::mark_map_done) so pre-plane call sites
+    /// stay untouched). Re-runs overwrite: the latest location wins, like
+    /// Spark's `MapOutputTracker`.
+    pub fn record_map_exec(&self, id: ShuffleId, map: usize, exec: usize) {
+        let mut inner = self.inner.lock();
+        let data = inner.shuffles.get_mut(&id).expect("unregistered shuffle");
+        assert!(map < data.num_maps, "map index {map} out of range");
+        data.map_exec.insert(map, exec);
+    }
+
+    /// The `(executor, bytes)` sources a reducer fetches from, in map
+    /// order, skipping maps that produced nothing for this reducer. Maps
+    /// with no recorded location report executor 0 (the single-executor
+    /// degenerate case).
+    pub fn reduce_sources(&self, id: ShuffleId, reduce: usize) -> Vec<(usize, u64)> {
+        let inner = self.inner.lock();
+        let data = inner.shuffles.get(&id).expect("unregistered shuffle");
+        (0..data.num_maps)
+            .filter_map(|m| {
+                data.buckets
+                    .get(&(m, reduce))
+                    .map(|b| (data.map_exec.get(&m).copied().unwrap_or(0), b.bytes))
+            })
+            .collect()
     }
 
     /// Un-register one map task's output (a fetch failure blamed it). Only
@@ -378,6 +410,32 @@ mod tests {
         mgr.unregister(id);
         assert!(!mgr.is_complete(id));
         mgr.mark_map_lost(id, 0); // no-op on unknown shuffle
+    }
+
+    #[test]
+    fn reduce_sources_report_locations_in_map_order() {
+        let mgr = ShuffleManager::new();
+        let id = mgr.register(3, 1);
+        for (m, bytes) in [(0usize, 10u64), (2, 30)] {
+            mgr.put_bucket(
+                id,
+                m,
+                0,
+                Bucket {
+                    data: Arc::new(Vec::<u8>::new()),
+                    records: 1,
+                    bytes,
+                },
+            );
+        }
+        mgr.record_map_exec(id, 0, 1);
+        mgr.record_map_exec(id, 1, 2);
+        // Map 2 never recorded a location: defaults to executor 0. Map 1
+        // produced nothing for this reducer and is skipped.
+        assert_eq!(mgr.reduce_sources(id, 0), vec![(1, 10), (0, 30)]);
+        // A re-run on another executor overwrites the location.
+        mgr.record_map_exec(id, 0, 2);
+        assert_eq!(mgr.reduce_sources(id, 0), vec![(2, 10), (0, 30)]);
     }
 
     #[test]

@@ -34,6 +34,8 @@ use std::collections::BTreeMap;
 const DRIVER_PID: u64 = 1_000_000;
 /// Synthetic `pid` for counter tracks.
 const COUNTER_PID: u64 = 1_000_001;
+/// Synthetic `pid` for per-link network counter tracks.
+const NET_PID: u64 = 1_000_002;
 
 /// How a task attempt ended, for distinct rendering in the executor lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -449,6 +451,42 @@ fn push_lifecycle_events(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]
         }
     }
     push_residency_tracks(out, events);
+    push_net_tracks(out, events);
+}
+
+/// Per-link network utilization `"ph":"C"` tracks built from the
+/// [`Event::FlowCompleted`] stream: one counter track per topology link
+/// whose value is the cumulative bytes credited to it, stepping at each
+/// transfer completion — the network companion of the per-tier traffic
+/// tracks, rendered in its own "network telemetry" lane.
+fn push_net_tracks(out: &mut Vec<serde_json::Value>, events: &[TimedEvent]) {
+    let mut cumulative: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut any = false;
+    for e in events {
+        let Event::FlowCompleted { link, bytes, .. } = &e.event else {
+            continue;
+        };
+        if !any {
+            any = true;
+            out.push(json!({
+                "name": "process_name",
+                "ph": "M",
+                "pid": NET_PID,
+                "tid": 0,
+                "args": { "name": "network telemetry" }
+            }));
+        }
+        let total = cumulative.entry(link.as_str()).or_insert(0);
+        *total += bytes;
+        out.push(json!({
+            "name": format!("link {link} bytes"),
+            "cat": "network",
+            "ph": "C",
+            "ts": e.at.as_us_f64(),
+            "pid": NET_PID,
+            "args": { "mb": *total as f64 / 1e6 }
+        }));
+    }
 }
 
 /// Per-object tier-residency `"ph":"C"` tracks built from the
@@ -713,6 +751,45 @@ mod tests {
         assert_eq!(track[0]["args"]["tier"], 2);
         assert_eq!(track[1]["args"]["tier"], 0);
         assert_eq!(track[2]["args"]["tier"], 2);
+    }
+
+    #[test]
+    fn flow_completions_get_per_link_counter_tracks() {
+        let flow = |at_ms: u64, link: &str, bytes: u64| TimedEvent {
+            at: SimTime::from_ms(at_ms),
+            event: Event::FlowCompleted {
+                task_id: Some(7),
+                link: link.into(),
+                bytes,
+                locality: "rack-local".into(),
+            },
+        };
+        let events = vec![
+            flow(5, "node0:up", 1_000_000),
+            flow(9, "node0:up", 500_000),
+            flow(9, "rack0:down", 250_000),
+        ];
+        let json = chrome_trace_json_full(&[], &[], &events, None);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let out = v["traceEvents"].as_array().unwrap();
+        // One "network telemetry" lane label, emitted once.
+        let lanes: Vec<&serde_json::Value> = out
+            .iter()
+            .filter(|e| e["name"] == "process_name" && e["args"]["name"] == "network telemetry")
+            .collect();
+        assert_eq!(lanes.len(), 1);
+        // Cumulative per-link staircase: two points on node0:up, one on
+        // rack0:down, each carrying the running MB total.
+        let track: Vec<&serde_json::Value> = out
+            .iter()
+            .filter(|e| e["cat"] == "network" && e["ph"] == "C")
+            .collect();
+        assert_eq!(track.len(), 3);
+        assert_eq!(track[0]["name"], "link node0:up bytes");
+        assert_eq!(track[0]["args"]["mb"], 1.0);
+        assert_eq!(track[1]["args"]["mb"], 1.5);
+        assert_eq!(track[2]["name"], "link rack0:down bytes");
+        assert_eq!(track[2]["args"]["mb"], 0.25);
     }
 
     #[test]
